@@ -1,0 +1,580 @@
+(* The benchmark harness: regenerates every table/figure-grade claim in
+   the paper (see DESIGN.md's per-experiment index and EXPERIMENTS.md for
+   paper-vs-measured). Two kinds of output per experiment:
+
+   - printed sweeps/tables: the series a figure would plot;
+   - a Bechamel micro-benchmark group: one Test.make per compared
+     configuration, OLS-estimated time per run.
+
+   Run with: dune exec bench/main.exe            (everything)
+             dune exec bench/main.exe -- quick   (skip the larger sweeps) *)
+
+open Bechamel
+open Toolkit
+module N = Xml_base.Node
+module M = Awb.Model
+module Spec = Docgen.Spec
+
+let quick = Array.exists (fun a -> a = "quick") Sys.argv
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* ---------------------------------------------------------------- *)
+(* Helpers                                                           *)
+(* ---------------------------------------------------------------- *)
+
+let time_ms f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1000.)
+
+(* Best-of-k wall time in ms. *)
+let best_ms ?(k = 3) f =
+  let rec go best i =
+    if i = 0 then best
+    else
+      let _, t = time_ms f in
+      go (Float.min best t) (i - 1)
+  in
+  go Float.infinity k
+
+let run_bechamel_group ~name tests =
+  let grouped = Test.make_grouped ~name tests in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000
+      ~quota:(Time.second (if quick then 0.15 else 0.4))
+      ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Printf.printf "\n  bechamel (%s):\n" name;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) results []
+  |> List.sort compare
+  |> List.iter (fun (k, v) ->
+         let est =
+           match Analyze.OLS.estimates v with Some (e :: _) -> e | _ -> Float.nan
+         in
+         let unit, value =
+           if est > 1e9 then ("s ", est /. 1e9)
+           else if est > 1e6 then ("ms", est /. 1e6)
+           else if est > 1e3 then ("us", est /. 1e3)
+           else ("ns", est)
+         in
+         Printf.printf "    %-58s %10.2f %s/run\n" k value unit)
+
+let template src =
+  Xml_base.Parser.strip_whitespace (Xml_base.Parser.parse_string src)
+
+(* ---------------------------------------------------------------- *)
+(* T1 / T2: the paper's literal tables                               *)
+(* ---------------------------------------------------------------- *)
+
+let t1_t2 () =
+  section "T1/T2 - the paper's literal tables, regenerated";
+  print_string (Lopsided.Paper_tables.t1_report ());
+  print_newline ();
+  print_string (Lopsided.Paper_tables.t2_report ())
+
+(* ---------------------------------------------------------------- *)
+(* E1: query calculus, native vs compiled-to-XQuery                  *)
+(* ---------------------------------------------------------------- *)
+
+let e1_queries =
+  [
+    ( "paper chain",
+      "start type(User); follow likes; follow uses to(Program); distinct; sort-by label" );
+    ("omissions", "start type(Document); filter not-has-prop(version); sort-by label");
+    ("type scan", "start type(Person); sort-by label");
+  ]
+
+let e1 () =
+  section
+    "E1 - AWB query calculus: native vs via-XQuery (\"preposterously inefficient\")";
+  Printf.printf "  %-8s %-14s %12s %12s %14s %8s\n" "nodes" "query" "native ms"
+    "compiled ms" "interpreted ms" "ratio";
+  let sizes = if quick then [ 30; 100 ] else [ 30; 100; 300; 1000 ] in
+  List.iter
+    (fun size ->
+      let model = Awb.Synth.generate_of_size ~seed:5 size in
+      let export = List.hd (N.children (Awb.Xml_io.export model)) in
+      List.iter
+        (fun (label, q) ->
+          let parsed = Awb_query.Parser.parse q in
+          let t_nat = best_ms (fun () -> ignore (Awb_query.Native.eval model parsed)) in
+          let k = if size > 300 then 1 else 3 in
+          let t_xq =
+            best_ms ~k (fun () ->
+                ignore (Awb_query.To_xquery.eval_on_export model ~export_root:export parsed))
+          in
+          (* The interpreter-in-XQuery tier is quadratic-ish; past ~300
+             nodes a single run takes tens of seconds, so the sweep skips
+             it (the trend is established well before that). *)
+          let t_interp =
+            if size > 300 then None
+            else
+              Some
+                (best_ms ~k (fun () ->
+                     ignore
+                       (Awb_query.Xq_interp.eval_on_export model ~export_root:export parsed)))
+          in
+          Printf.printf "  %-8d %-14s %12.3f %12.3f %14s %7.0fx\n" (M.node_count model)
+            label t_nat t_xq
+            (match t_interp with Some t -> Printf.sprintf "%.3f" t | None -> "(skipped)")
+            (t_xq /. Float.max 1e-9 t_nat))
+        e1_queries)
+    sizes;
+  let model = Awb.Synth.generate_of_size ~seed:5 100 in
+  let export = List.hd (N.children (Awb.Xml_io.export model)) in
+  let parsed = Awb_query.Parser.parse (snd (List.hd e1_queries)) in
+  run_bechamel_group ~name:"e1_calculus_native_vs_xquery"
+    [
+      Test.make ~name:"native"
+        (Staged.stage (fun () -> ignore (Awb_query.Native.eval model parsed)));
+      Test.make ~name:"via_xquery"
+        (Staged.stage (fun () ->
+             ignore (Awb_query.To_xquery.eval_on_export model ~export_root:export parsed)));
+      Test.make ~name:"via_xquery_incl_export"
+        (Staged.stage (fun () -> ignore (Awb_query.To_xquery.eval model parsed)));
+      Test.make ~name:"interpreter_in_xquery"
+        (Staged.stage (fun () ->
+             ignore (Awb_query.Xq_interp.eval_on_export model ~export_root:export parsed)));
+    ]
+
+(* ---------------------------------------------------------------- *)
+(* E2: error values vs exceptions                                    *)
+(* ---------------------------------------------------------------- *)
+
+(* A template dominated by lookups that can fail: one required-property
+   read per document node; the failing variant hits the documents
+   (one in three) that lack version info. *)
+let e2_template_ok =
+  "<document><for nodes=\"start type(Document); filter has-prop(version)\">\
+   <p><label/>: v<required-property name=\"version\"/></p></for></document>"
+
+let e2_template_failing =
+  "<document><for nodes=\"start type(Document); sort-by label\">\
+   <p><label/>: v<required-property name=\"version\"/></p></for></document>"
+
+let e2 () =
+  section "E2 - error handling: error values (functional) vs exceptions (host)";
+  Printf.printf "  %-8s %-10s %12s %12s %14s %12s\n" "docs" "outcome" "func ms" "host ms"
+    "error checks" "exceptions";
+  let sizes = if quick then [ 100; 400 ] else [ 100; 400; 1600 ] in
+  List.iter
+    (fun size ->
+      let model =
+        Awb.Synth.generate ~seed:3
+          { (Awb.Synth.shape_of_size size) with Awb.Synth.documents = size / 2 }
+      in
+      let docs = List.length (M.nodes_of_type model "Document") in
+      let tpl_ok = template e2_template_ok in
+      let tpl_fail = template e2_template_failing in
+      let backend = Spec.Native_queries in
+      let rf = ref None and rh = ref None in
+      let t_f =
+        best_ms (fun () ->
+            rf := Some (Docgen.Functional_engine.generate ~backend model ~template:tpl_ok))
+      in
+      let t_h =
+        best_ms (fun () ->
+            rh := Some (Docgen.Host_engine.generate ~backend model ~template:tpl_ok))
+      in
+      let sf = (Option.get !rf).Spec.stats and sh = (Option.get !rh).Spec.stats in
+      Printf.printf "  %-8d %-10s %12.3f %12.3f %14d %12d\n" docs "success" t_f t_h
+        sf.Spec.error_checks sh.Spec.exceptions_raised;
+      let t_ff =
+        best_ms (fun () ->
+            rf := Some (Docgen.Functional_engine.generate ~backend model ~template:tpl_fail))
+      in
+      let t_hf =
+        best_ms (fun () ->
+            rh := Some (Docgen.Host_engine.generate ~backend model ~template:tpl_fail))
+      in
+      let sff = (Option.get !rf).Spec.stats and shf = (Option.get !rh).Spec.stats in
+      Printf.printf "  %-8d %-10s %12.3f %12.3f %14d %12d\n" docs "failure" t_ff t_hf
+        sff.Spec.error_checks shf.Spec.exceptions_raised)
+    sizes;
+  let model = Awb.Synth.generate_of_size ~seed:3 300 in
+  let tpl_ok = template e2_template_ok in
+  run_bechamel_group ~name:"e2_error_values_vs_exceptions"
+    [
+      Test.make ~name:"functional_error_values"
+        (Staged.stage (fun () ->
+             ignore
+               (Docgen.Functional_engine.generate ~backend:Spec.Native_queries model
+                  ~template:tpl_ok)));
+      Test.make ~name:"host_exceptions"
+        (Staged.stage (fun () ->
+             ignore
+               (Docgen.Host_engine.generate ~backend:Spec.Native_queries model
+                  ~template:tpl_ok)));
+    ]
+
+(* ---------------------------------------------------------------- *)
+(* E3: multi-phase copying vs single pass + patch                    *)
+(* ---------------------------------------------------------------- *)
+
+(* Query-light body: the cost measured is the generation architecture
+   (phases and copies), not the calculus evaluator, which E1 covers. *)
+let e3_template =
+  "<document><table-of-contents/>\
+   <marker-table name=\"T1\" rows=\"start type(System); sort-by label; limit 10\" \
+   cols=\"start type(Program); sort-by label; limit 10\" rel=\"runs\"/>\
+   <for nodes=\"start type(User); sort-by label\"><section><heading><label/></heading>\
+   <p><property name=\"firstName\"/> <property name=\"lastName\"/> \
+   (<property name=\"superuser\"/>)</p>\
+   <p>blob with T1-GOES-HERE inside</p></section></for>\
+   <table-of-omissions types=\"User Document\"/></document>"
+
+let e3 () =
+  section "E3 - mutability vs functionality: 5 copy phases vs 1 pass + patch";
+  Printf.printf "  %-8s %12s %12s %8s %14s %14s\n" "users" "func ms" "host ms" "ratio"
+    "func copies" "host copies";
+  let sizes = if quick then [ 50; 150 ] else [ 50; 150; 400; 800 ] in
+  let tpl = template e3_template in
+  List.iter
+    (fun size ->
+      let model = Awb.Synth.generate_of_size ~seed:9 size in
+      let users = List.length (M.nodes_of_type model "User") in
+      let backend = Spec.Native_queries in
+      let rf = ref None and rh = ref None in
+      let t_f =
+        best_ms (fun () ->
+            rf := Some (Docgen.Functional_engine.generate ~backend model ~template:tpl))
+      in
+      let t_h =
+        best_ms (fun () ->
+            rh := Some (Docgen.Host_engine.generate ~backend model ~template:tpl))
+      in
+      let sf = (Option.get !rf).Spec.stats and sh = (Option.get !rh).Spec.stats in
+      Printf.printf "  %-8d %12.3f %12.3f %7.1fx %14d %14d\n" users t_f t_h
+        (t_f /. Float.max 1e-9 t_h)
+        sf.Spec.nodes_copied sh.Spec.nodes_copied)
+    sizes;
+  let model = Awb.Synth.generate_of_size ~seed:9 200 in
+  run_bechamel_group ~name:"e3_multiphase_vs_mutation"
+    [
+      Test.make ~name:"functional_five_phases"
+        (Staged.stage (fun () ->
+             ignore
+               (Docgen.Functional_engine.generate ~backend:Spec.Native_queries model
+                  ~template:tpl)));
+      Test.make ~name:"host_single_pass_plus_patch"
+        (Staged.stage (fun () ->
+             ignore
+               (Docgen.Host_engine.generate ~backend:Spec.Native_queries model ~template:tpl)));
+    ]
+
+(* ---------------------------------------------------------------- *)
+(* E4: grid tables, all-at-once vs skeleton+fill                     *)
+(* ---------------------------------------------------------------- *)
+
+let e4 () =
+  section "E4 - grid tables: all-at-once (functional) vs skeleton + fill (host)";
+  let model = Awb.Synth.generate_of_size ~seed:4 600 in
+  let users = M.nodes_of_type model "User" in
+  let systems = M.nodes_of_type model "System" in
+  let take n l = List.filteri (fun i _ -> i < n) l in
+  Printf.printf "  %-10s %14s %18s %8s\n" "rows x cols" "all-at-once ms" "skeleton+fill ms"
+    "ratio";
+  let dims = if quick then [ 5; 20 ] else [ 5; 20; 50; 100 ] in
+  List.iter
+    (fun d ->
+      let rows = take d users and cols = take d systems in
+      let t_fun =
+        best_ms (fun () ->
+            ignore (Docgen.Functional_engine.build_grid_all_at_once model "uses" rows cols))
+      in
+      let t_host =
+        best_ms (fun () ->
+            ignore (Docgen.Host_engine.build_grid_skeleton_and_fill model "uses" rows cols))
+      in
+      Printf.printf "  %-10s %14.3f %18.3f %7.2fx\n"
+        (Printf.sprintf "%dx%d" (List.length rows) (List.length cols))
+        t_fun t_host
+        (t_fun /. Float.max 1e-9 t_host))
+    dims;
+  let rows = take 20 users and cols = take 10 systems in
+  (* Both must produce identical XML, so the comparison is purely about
+     construction style. *)
+  assert (
+    Xml_base.Serialize.to_string
+      (Docgen.Functional_engine.build_grid_all_at_once model "uses" rows cols)
+    = Xml_base.Serialize.to_string
+        (Docgen.Host_engine.build_grid_skeleton_and_fill model "uses" rows cols));
+  run_bechamel_group ~name:"e4_table_allatonce_vs_skeleton"
+    [
+      Test.make ~name:"all_at_once"
+        (Staged.stage (fun () ->
+             ignore (Docgen.Functional_engine.build_grid_all_at_once model "uses" rows cols)));
+      Test.make ~name:"skeleton_and_fill"
+        (Staged.stage (fun () ->
+             ignore (Docgen.Host_engine.build_grid_skeleton_and_fill model "uses" rows cols)));
+    ]
+
+(* ---------------------------------------------------------------- *)
+(* E5: sequence-encoded string sets vs host data structures          *)
+(* ---------------------------------------------------------------- *)
+
+let e5_build_xq_set words =
+  (* Build the set by repeated util:set-add — each add is a linear
+     membership scan over a flat sequence, in XQuery. *)
+  let lit = "(" ^ String.concat "," (List.map (Printf.sprintf "'%s'") words) ^ ")" in
+  Printf.sprintf
+    "declare function local:build($ws) { \
+     if (empty($ws)) then util:set-empty() \
+     else util:set-add(local:build(subsequence($ws, 2)), $ws[1]) }; \
+     util:set-size(local:build(%s))"
+    lit
+
+let e5 () =
+  section "E5 - sets: sequence-of-strings (XQuery) vs list vs Hashtbl (host)";
+  let mk_words n = List.init n (fun i -> Printf.sprintf "w%d" (i mod ((n / 2) + 1))) in
+  Printf.printf "  %-8s %14s %12s %12s\n" "inserts" "xquery ms" "list ms" "hashtbl ms";
+  let sizes = if quick then [ 20; 80 ] else [ 20; 80; 200; 400 ] in
+  List.iter
+    (fun n ->
+      let words = mk_words n in
+      let q = e5_build_xq_set words in
+      let t_xq = best_ms ~k:1 (fun () -> ignore (Xqlib.Xq_utils.eval q)) in
+      let t_list =
+        best_ms (fun () ->
+            ignore
+              (List.fold_left
+                 (fun acc w -> if List.mem w acc then acc else w :: acc)
+                 [] words))
+      in
+      let t_tbl =
+        best_ms (fun () ->
+            let tbl = Hashtbl.create 64 in
+            List.iter (fun w -> Hashtbl.replace tbl w ()) words)
+      in
+      Printf.printf "  %-8d %14.3f %12.4f %12.4f\n" n t_xq t_list t_tbl)
+    sizes;
+  let words = mk_words 60 in
+  let q = e5_build_xq_set words in
+  run_bechamel_group ~name:"e5_sequence_sets_vs_hashtbl"
+    [
+      Test.make ~name:"xquery_sequence_set"
+        (Staged.stage (fun () -> ignore (Xqlib.Xq_utils.eval q)));
+      Test.make ~name:"ocaml_list_set"
+        (Staged.stage (fun () ->
+             ignore
+               (List.fold_left
+                  (fun acc w -> if List.mem w acc then acc else w :: acc)
+                  [] words)));
+      Test.make ~name:"ocaml_hashtbl"
+        (Staged.stage (fun () ->
+             let tbl = Hashtbl.create 64 in
+             List.iter (fun w -> Hashtbl.replace tbl w ()) words));
+    ]
+
+(* ---------------------------------------------------------------- *)
+(* E6: trace() and the dead-code optimizer                           *)
+(* ---------------------------------------------------------------- *)
+
+let e6_query n_traces ~dead =
+  (* A loop with [n_traces] trace calls per iteration: dead (bound to
+     throwaway lets) or insinuated into the live result. *)
+  let dead_lets =
+    String.concat " "
+      (List.init n_traces (fun i -> Printf.sprintf "let $dummy%d := trace($x, 'probe%d')" i i))
+  in
+  let live_lets =
+    String.concat " "
+      (List.init n_traces (fun i -> Printf.sprintf "let $x%d := trace($x, 'probe%d')" i i))
+  in
+  let live_sum = String.concat " + " (List.init n_traces (fun i -> Printf.sprintf "$x%d" i)) in
+  if dead then
+    Printf.sprintf "sum(for $i in 1 to 50 return let $x := $i * $i %s return $x)" dead_lets
+  else
+    Printf.sprintf "sum(for $i in 1 to 50 return let $x := $i * $i %s return $x + %s)"
+      live_lets live_sum
+
+let e6 () =
+  section "E6 - debugging: trace() vs dead-code elimination";
+  let measure compat q =
+    let n = ref 0 in
+    let compiled = Xquery.Engine.compile ~compat q in
+    let t =
+      best_ms (fun () ->
+          n := 0;
+          ignore (Xquery.Engine.execute ~trace_out:(fun _ -> incr n) compiled))
+    in
+    let eliminated =
+      match compiled.Xquery.Engine.opt_stats with
+      | Some s -> s.Xquery.Optimizer.traces_eliminated
+      | None -> 0
+    in
+    (t, !n, eliminated)
+  in
+  Printf.printf "  %-46s %10s %14s %12s\n" "configuration" "ms" "trace lines" "eliminated";
+  let dead_q = e6_query 4 ~dead:true in
+  let live_q = e6_query 4 ~dead:false in
+  let t, n, e = measure Xquery.Context.default_compat dead_q in
+  Printf.printf "  %-46s %10.3f %14d %12d\n" "dead lets, fixed optimizer (traces kept)" t n e;
+  let t, n, e = measure Xquery.Context.galax_compat dead_q in
+  Printf.printf "  %-46s %10.3f %14d %12d\n" "dead lets, 2004 optimizer (traces deleted!)" t
+    n e;
+  let t, n, e = measure Xquery.Context.galax_compat live_q in
+  Printf.printf "  %-46s %10.3f %14d %12d\n" "insinuated into live code (the workaround)" t n
+    e;
+  run_bechamel_group ~name:"e6_trace_dead_code"
+    [
+      Test.make ~name:"traces_preserved"
+        (Staged.stage
+           (let c = Xquery.Engine.compile ~compat:Xquery.Context.default_compat dead_q in
+            fun () -> ignore (Xquery.Engine.execute ~trace_out:ignore c)));
+      Test.make ~name:"traces_eliminated"
+        (Staged.stage
+           (let c = Xquery.Engine.compile ~compat:Xquery.Context.galax_compat dead_q in
+            fun () -> ignore (Xquery.Engine.execute ~trace_out:ignore c)));
+      Test.make ~name:"traces_insinuated"
+        (Staged.stage
+           (let c = Xquery.Engine.compile ~compat:Xquery.Context.galax_compat live_q in
+            fun () -> ignore (Xquery.Engine.execute ~trace_out:ignore c)));
+    ]
+
+(* ---------------------------------------------------------------- *)
+(* E7: the reimplementation inventory                                *)
+(* ---------------------------------------------------------------- *)
+
+let e7 () =
+  section "E7 - reimplementation inventory (the paper's scope comparison)";
+  let model = Awb.Samples.banking_model () in
+  let tpl =
+    template
+      "<document><table-of-contents/><with-single type=\"SystemBeingDesigned\">\
+       <section><heading><label/></heading>\
+       <grid-table rows=\"start type(Server); sort-by label\" cols=\"start type(Program); \
+       sort-by label\" rel=\"runs\"/></section></with-single>\
+       <table-of-omissions types=\"Document\"/></document>"
+  in
+  let rf = Docgen.Functional_engine.generate ~backend:Spec.Xquery_queries model ~template:tpl in
+  let rh = Docgen.Host_engine.generate ~backend:Spec.Native_queries model ~template:tpl in
+  Printf.printf "  %-44s %-24s %-24s\n" "" "functional (XQuery era)" "host (the rewrite)";
+  let row label a b = Printf.printf "  %-44s %-24s %-24s\n" label a b in
+  row "error handling" "error values" "one exception type";
+  row "whole-document passes"
+    (string_of_int rf.Spec.stats.Spec.phases)
+    (string_of_int rh.Spec.stats.Spec.phases);
+  row "nodes copied between phases"
+    (string_of_int rf.Spec.stats.Spec.nodes_copied)
+    (string_of_int rh.Spec.stats.Spec.nodes_copied);
+  row "error checks on this run"
+    (string_of_int rf.Spec.stats.Spec.error_checks)
+    (string_of_int rh.Spec.stats.Spec.error_checks);
+  row "query backend" "compiled to XQuery" "native graph walk";
+  row "queries run"
+    (string_of_int rf.Spec.stats.Spec.queries_run)
+    (string_of_int rh.Spec.stats.Spec.queries_run);
+  row "identical output"
+    (string_of_bool
+       (Xml_base.Serialize.to_string rf.Spec.document
+       = Xml_base.Serialize.to_string rh.Spec.document))
+    "-";
+  Printf.printf "\n  engine inventory: %d built-in XQuery function entries, %d template directives\n"
+    (List.length Xquery.Functions.registry)
+    (List.length Spec.directive_names)
+
+(* ---------------------------------------------------------------- *)
+(* Ablations: design choices DESIGN.md calls out                     *)
+(* ---------------------------------------------------------------- *)
+
+(* A1: what the optimizer actually buys on a small query corpus. *)
+let a1 () =
+  section "A1 (ablation) - optimizer on/off";
+  let corpus =
+    [
+      ("constant folding", "sum(for $i in 1 to 200 return 2 * 3 + $i - 1 + 4 * 5)");
+      ("dead lets", "for $i in 1 to 200 let $a := ($i, $i) let $b := reverse($a) return $i");
+      ( "plain flwor",
+        "count(for $i in 1 to 100 for $j in 1 to 10 where $i mod 7 eq $j return $i)" );
+    ]
+  in
+  Printf.printf "  %-20s %14s %14s %8s\n" "query" "optimized ms" "unoptimized ms" "ratio";
+  List.iter
+    (fun (label, q) ->
+      let copt = Xquery.Engine.compile ~optimize:true q in
+      let craw = Xquery.Engine.compile ~optimize:false q in
+      let t_on = best_ms (fun () -> ignore (Xquery.Engine.execute copt)) in
+      let t_off = best_ms (fun () -> ignore (Xquery.Engine.execute craw)) in
+      Printf.printf "  %-20s %14.3f %14.3f %7.2fx\n" label t_on t_off
+        (t_off /. Float.max 1e-9 t_on))
+    corpus
+
+(* A2: the document generator's cost matrix: engine x query backend.
+   The paper's original configuration is functional+XQuery; the rewrite
+   is host+native. *)
+let a2 () =
+  section "A2 (ablation) - docgen engine x query backend";
+  let model = Awb.Synth.generate_of_size ~seed:12 150 in
+  let tpl =
+    template
+      "<document><table-of-contents/><for nodes=\"start type(User); sort-by label\">\
+       <section><heading><label/></heading>\
+       <p><value-of query=\"start focus; follow uses; distinct; sort-by label\"/></p>\
+       </section></for><table-of-omissions types=\"User\"/></document>"
+  in
+  Printf.printf "  %-34s %12s\n" "configuration" "ms";
+  let cell label f = Printf.printf "  %-34s %12.3f\n" label (best_ms ~k:2 f) in
+  cell "functional + xquery (the paper's)" (fun () ->
+      ignore (Docgen.Functional_engine.generate ~backend:Spec.Xquery_queries model ~template:tpl));
+  cell "functional + native" (fun () ->
+      ignore (Docgen.Functional_engine.generate ~backend:Spec.Native_queries model ~template:tpl));
+  cell "host + xquery" (fun () ->
+      ignore (Docgen.Host_engine.generate ~backend:Spec.Xquery_queries model ~template:tpl));
+  cell "host + native (the rewrite)" (fun () ->
+      ignore (Docgen.Host_engine.generate ~backend:Spec.Native_queries model ~template:tpl))
+
+(* A3: substrate throughput — XML parse/serialize and model export. *)
+let a3 () =
+  section "A3 (ablation) - substrate throughput";
+  let model = Awb.Synth.generate_of_size ~seed:2 (if quick then 300 else 1000) in
+  let xml = Awb.Xml_io.export_string model in
+  Printf.printf "  model export is %d KiB\n" (String.length xml / 1024);
+  let doc = Xml_base.Parser.parse_string xml in
+  Printf.printf "  %-24s %10.3f ms\n" "export (build + print)"
+    (best_ms (fun () -> ignore (Awb.Xml_io.export_string model)));
+  Printf.printf "  %-24s %10.3f ms\n" "parse"
+    (best_ms (fun () -> ignore (Xml_base.Parser.parse_string xml)));
+  Printf.printf "  %-24s %10.3f ms\n" "serialize"
+    (best_ms (fun () -> ignore (Xml_base.Serialize.to_string doc)));
+  Printf.printf "  %-24s %10.3f ms\n" "import (rebuild model)"
+    (best_ms (fun () -> ignore (Awb.Xml_io.import Awb.Samples.it_architecture doc)))
+
+(* A4: the stream splitter, direct vs via the XSLT engine. *)
+let a4 () =
+  section "A4 (ablation) - output-stream splitter: direct vs XSLT";
+  let model = Awb.Synth.generate_of_size ~seed:8 200 in
+  let tpl =
+    template
+      "<document><for nodes=\"start type(User); sort-by label\"><p><label/></p></for></document>"
+  in
+  let wrapped, _ = Docgen.Functional_engine.generate_with_streams model ~template:tpl in
+  Printf.printf "  %-24s %10.3f ms\n" "direct split"
+    (best_ms (fun () -> ignore (Docgen.Streams.split wrapped)));
+  Printf.printf "  %-24s %10.3f ms\n" "via the XSLT engine"
+    (best_ms (fun () -> ignore (Docgen.Streams.split_via_xslt wrapped)))
+
+(* ---------------------------------------------------------------- *)
+
+let () =
+  Printf.printf "Lopsided Little Languages - benchmark harness%s\n"
+    (if quick then " (quick mode)" else "");
+  t1_t2 ();
+  e1 ();
+  e2 ();
+  e3 ();
+  e4 ();
+  e5 ();
+  e6 ();
+  e7 ();
+  a1 ();
+  a2 ();
+  a3 ();
+  a4 ();
+  print_newline ()

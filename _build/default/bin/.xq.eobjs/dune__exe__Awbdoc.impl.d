@@ -1,0 +1,1 @@
+bin/awbdoc.ml: Arg Awb Cmd Cmdliner Docgen List Printf Term Xml_base

@@ -1,0 +1,1 @@
+bin/awbq.ml: Arg Awb Awb_query Cmd Cmdliner List Printf Term Xml_base

@@ -1,0 +1,1 @@
+bin/xq.ml: Arg Cmd Cmdliner List Printf Term Xml_base Xquery

@@ -1,0 +1,1 @@
+bin/xqsh.ml: List Printf String Unix Xml_base Xquery

@@ -1,0 +1,1 @@
+bin/xsltproc.ml: Arg Cmd Cmdliner List Printf Term Xml_base Xslt

@@ -1,0 +1,105 @@
+(* xq — run an XQuery query from the command line.
+
+   Examples:
+     dune exec bin/xq.exe -- -e 'for $i in 1 to 5 return $i * $i'
+     dune exec bin/xq.exe -- -e 'count(//book)' --input library.xml
+     dune exec bin/xq.exe -- --file query.xq --input doc.xml --galax *)
+
+open Cmdliner
+
+let run_query expr file input galax typed no_optimize explain =
+  let source =
+    match (expr, file) with
+    | Some e, None -> Ok e
+    | None, Some path -> (
+      try
+        let ic = open_in_bin path in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        Ok s
+      with Sys_error m -> Error m)
+    | _ -> Error "provide exactly one of -e EXPR or --file QUERY.xq"
+  in
+  match source with
+  | Error m ->
+    prerr_endline ("xq: " ^ m);
+    1
+  | Ok source -> (
+    let compat =
+      if galax then Xquery.Context.galax_compat else Xquery.Context.default_compat
+    in
+    let context_item =
+      match input with
+      | None -> None
+      | Some path -> Some (Xquery.Value.Node (Xml_base.Parser.parse_file path))
+    in
+    if explain then begin
+      match Xquery.Engine.compile ~compat ~optimize:(not no_optimize) source with
+      | compiled ->
+        print_endline (Xquery.Unparse.program compiled.Xquery.Engine.program);
+        (match compiled.Xquery.Engine.opt_stats with
+        | Some st ->
+          Printf.printf
+            "(: optimizer: %d lets eliminated, %d traces eliminated, %d constants folded :)\n"
+            st.Xquery.Optimizer.lets_eliminated st.Xquery.Optimizer.traces_eliminated
+            st.Xquery.Optimizer.constants_folded
+        | None -> print_endline "(: optimizer: off :)");
+        0
+      | exception Xquery.Errors.Error { code; message } ->
+        Printf.eprintf "xq: %s: %s\n" code message;
+        2
+    end
+    else
+    match
+      Xquery.Engine.eval_query ~compat ~typed_mode:typed ~optimize:(not no_optimize)
+        ?context_item source
+    with
+    | result ->
+      List.iter
+        (fun item -> print_endline (Xquery.Value.item_to_string item))
+        result;
+      0
+    | exception Xquery.Errors.Error { code; message } ->
+      Printf.eprintf "xq: %s: %s\n" code message;
+      2
+    | exception Xml_base.Parser.Parse_error { line; col; message } ->
+      Printf.eprintf "xq: input XML, line %d col %d: %s\n" line col message;
+      2)
+
+let expr =
+  Arg.(value & opt (some string) None & info [ "e"; "expr" ] ~docv:"EXPR" ~doc:"Query text.")
+
+let file =
+  Arg.(value & opt (some file) None & info [ "f"; "file" ] ~docv:"FILE" ~doc:"Query file.")
+
+let input =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "i"; "input" ] ~docv:"XML" ~doc:"XML document bound as the context item.")
+
+let galax =
+  Arg.(
+    value & flag
+    & info [ "galax" ]
+        ~doc:
+          "2004-era compatibility: Galax error messages, duplicate attributes kept, \
+           trace() treated as dead code by the optimizer.")
+
+let typed = Arg.(value & flag & info [ "typed" ] ~doc:"Enforce sequence-type annotations.")
+
+let no_optimize =
+  Arg.(value & flag & info [ "no-optimize" ] ~doc:"Skip the optimizer entirely.")
+
+let explain =
+  Arg.(
+    value & flag
+    & info [ "explain" ] ~doc:"Print the (optimized) program instead of running it.")
+
+let cmd =
+  let doc = "run XQuery queries with the Lopsided engine" in
+  Cmd.v
+    (Cmd.info "xq" ~doc)
+    Term.(const run_query $ expr $ file $ input $ galax $ typed $ no_optimize $ explain)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,53 @@
+(* xsltproc — apply an XSLT-lite stylesheet to an XML document.
+
+   Example:
+     dune exec bin/xsltproc.exe -- --stylesheet split.xsl --input streams.xml *)
+
+open Cmdliner
+
+let run stylesheet_file input_file pretty =
+  match
+    ( Xml_base.Parser.parse_file stylesheet_file,
+      Xml_base.Parser.parse_file input_file )
+  with
+  | exception Xml_base.Parser.Parse_error { line; col; message } ->
+    Printf.eprintf "xsltproc: line %d col %d: %s\n" line col message;
+    1
+  | exception Sys_error m ->
+    prerr_endline ("xsltproc: " ^ m);
+    1
+  | sheet_doc, source -> (
+    match Xslt.compile sheet_doc with
+    | exception Xslt.Error m ->
+      prerr_endline ("xsltproc: stylesheet: " ^ m);
+      1
+    | sheet -> (
+      match Xslt.apply sheet source with
+      | exception Xslt.Error m ->
+        prerr_endline ("xsltproc: " ^ m);
+        2
+      | results ->
+        List.iter
+          (fun n ->
+            print_endline
+              (if pretty then Xml_base.Serialize.to_pretty_string n
+               else Xml_base.Serialize.to_string n))
+          results;
+        0))
+
+let stylesheet_file =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "s"; "stylesheet" ] ~docv:"XSL" ~doc:"Stylesheet file.")
+
+let input_file =
+  Arg.(required & opt (some file) None & info [ "i"; "input" ] ~docv:"XML" ~doc:"Source document.")
+
+let pretty = Arg.(value & flag & info [ "pretty" ] ~doc:"Indent the output.")
+
+let cmd =
+  let doc = "apply XSLT-lite stylesheets" in
+  Cmd.v (Cmd.info "xsltproc" ~doc) Term.(const run $ stylesheet_file $ input_file $ pretty)
+
+let () = exit (Cmd.eval' cmd)

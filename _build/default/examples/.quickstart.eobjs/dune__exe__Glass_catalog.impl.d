@@ -1,0 +1,1 @@
+examples/glass_catalog.ml: List Lopsided Printf

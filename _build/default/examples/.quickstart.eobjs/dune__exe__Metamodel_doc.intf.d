@@ -1,0 +1,1 @@
+examples/metamodel_doc.mli:

@@ -1,0 +1,1 @@
+examples/omissions.ml: Float List Lopsided Printf Unix

@@ -1,0 +1,1 @@
+examples/pitfalls_tour.mli:

@@ -1,0 +1,1 @@
+examples/report_pipeline.ml: List Lopsided Printf String Xslt

@@ -1,0 +1,1 @@
+examples/workbench_session.ml: Format List Lopsided Printf

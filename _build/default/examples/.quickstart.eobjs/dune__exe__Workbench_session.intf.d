@@ -1,0 +1,1 @@
+examples/workbench_session.mli:

@@ -1,0 +1,62 @@
+(* AWB retargeted to itself: reflect the IT-architecture metamodel into a
+   model of the meta-metamodel, then run the ordinary document generator
+   over it to produce metamodel documentation.
+
+   Run with: dune exec examples/metamodel_doc.exe *)
+
+module S = Lopsided.Xml.Serialize
+module Spec = Lopsided.Docgen.Spec
+
+let template_src =
+  {|<document title="Metamodel Reference">
+  <table-of-contents/>
+  <section>
+    <heading>Node types</heading>
+    <for nodes="start type(NodeType); sort-by label">
+      <section>
+        <heading><label/></heading>
+        <p>extends: <value-of query="start focus; follow extends"/></p>
+        <p>properties: <value-of query="start focus; follow declares; sort-by label"/>
+           (<count-of query="start focus; follow declares"/>)</p>
+        <p>may be the target of:
+           <value-of query="start focus; follow suggests-target backward; distinct; sort-by label"/></p>
+      </section>
+    </for>
+  </section>
+  <section>
+    <heading>Relations</heading>
+    <for nodes="start type(RelationType); sort-by label">
+      <p><b><label/></b>:
+         <value-of query="start focus; follow suggests-source; distinct; sort-by label"/>
+         to
+         <value-of query="start focus; follow suggests-target; distinct; sort-by label"/></p>
+    </for>
+  </section>
+  <section>
+    <heading>Advisories</heading>
+    <for nodes="start type(Advisory); sort-by label">
+      <p><property name="kind"/> <property name="subject"/> <property name="detail"/></p>
+    </for>
+  </section>
+</document>|}
+
+let () =
+  let mm = Lopsided.Awb.Samples.it_architecture in
+  Printf.printf "Reflecting metamodel %S into a model of the meta-metamodel...\n"
+    (Lopsided.Awb.Metamodel.name mm);
+  let model = Lopsided.Awb.Reflect.metamodel_as_model mm in
+  Printf.printf "  %d nodes, %d relations\n\n"
+    (Lopsided.Awb.Model.node_count model)
+    (Lopsided.Awb.Model.relation_count model);
+
+  let template =
+    Lopsided.Xml.Parser.strip_whitespace (Lopsided.Xml.Parser.parse_string template_src)
+  in
+  let result = Lopsided.Docgen.Host_engine.generate model ~template in
+  print_endline (S.to_pretty_string result.Spec.document);
+
+  (* And back again: the reflection round-trips. *)
+  let back = Lopsided.Awb.Reflect.model_to_metamodel model in
+  Printf.printf "\nround-trip: %d node types in, %d out\n"
+    (List.length (Lopsided.Awb.Metamodel.node_type_names mm))
+    (List.length (Lopsided.Awb.Metamodel.node_type_names back))

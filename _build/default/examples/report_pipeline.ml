@@ -1,0 +1,76 @@
+(* The full pipeline, end to end, the way the paper's system ran:
+
+     model --export--> XML --[XQuery-style generator]--> one output stream
+           --[little XSLT program]--> document + problem report
+           --[more XSLT]--> an executive summary
+
+   "The XQuery component could produce a big XML file with all the output
+   streams as children of the root element, and a little XSLT program
+   could split them apart."
+
+   Run with: dune exec examples/report_pipeline.exe *)
+
+module N = Lopsided.Xml.Node
+module S = Lopsided.Xml.Serialize
+
+let template_src =
+  {|<document title="Weekly Architecture Report">
+  <with-single type="SystemBeingDesigned">
+    <section><heading>Report: <label/></heading>
+      <p>Users: <count-of query="start type(User)"/>;
+         systems: <count-of query="start type(System)"/>;
+         documents on file: <count-of query="start type(Document)"/>.</p>
+    </section>
+  </with-single>
+  <section><heading>Staff</heading>
+    <ul><for nodes="start type(User); sort-by label"><li><label/></li></for></ul>
+  </section>
+  <table-of-omissions types="Document"/>
+</document>|}
+
+(* An XSLT stylesheet that boils the generated document down to a plain
+   summary: headings and list items only. *)
+let summary_xsl =
+  {|<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+  <xsl:template match="/">
+    <summary><xsl:apply-templates/></summary>
+  </xsl:template>
+  <xsl:template match="h2">
+    <topic><xsl:value-of select="string(.)"/></topic>
+  </xsl:template>
+  <xsl:template match="li">
+    <entry><xsl:value-of select="string(.)"/></entry>
+  </xsl:template>
+  <xsl:template match="text()"/>
+</xsl:stylesheet>|}
+
+let () =
+  let model = Lopsided.Awb.Samples.banking_model () in
+  let template =
+    Lopsided.Xml.Parser.strip_whitespace (Lopsided.Xml.Parser.parse_string template_src)
+  in
+
+  (* Stage 1: the functional (XQuery-style) generator produces a single
+     wrapped output stream. *)
+  let wrapped, stats =
+    Lopsided.Docgen.Functional_engine.generate_with_streams model ~template
+  in
+  Printf.printf "stage 1: generated one output stream (%d phases, %d nodes copied)\n"
+    stats.Lopsided.Docgen.Spec.phases stats.Lopsided.Docgen.Spec.nodes_copied;
+
+  (* Stage 2: the little XSLT program splits the streams apart. *)
+  let split = Lopsided.Docgen.Streams.split_via_xslt wrapped in
+  Printf.printf "stage 2: split into document (%d bytes) + %d problem line(s)\n"
+    (String.length (S.to_string split.Lopsided.Docgen.Streams.document))
+    (List.length split.Lopsided.Docgen.Streams.problems);
+
+  (* Stage 3: a second stylesheet summarizes the document. *)
+  let sheet = Xslt.compile_string summary_xsl in
+  let summary =
+    Xslt.apply_to_element sheet (N.document [ N.copy split.Lopsided.Docgen.Streams.document ])
+  in
+  print_endline "stage 3: executive summary:";
+  print_endline (S.to_pretty_string summary);
+
+  print_endline "problem report:";
+  List.iter (fun p -> print_endline ("  - " ^ p)) split.Lopsided.Docgen.Streams.problems

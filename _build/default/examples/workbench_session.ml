@@ -1,0 +1,67 @@
+(* A simulated workbench session: the user edits the model through the
+   command layer while the Omissions window (live advisory validation +
+   calculus queries) updates beside them — the always-visible UI feature
+   whose query needs doomed the XQuery document generator.
+
+   Run with: dune exec examples/workbench_session.exe *)
+
+module M = Lopsided.Awb.Model
+module Ed = Lopsided.Awb.Edit
+module V = Lopsided.Awb.Validate
+
+let show_omissions s step =
+  Printf.printf "\n-- omissions window (after: %s) --\n" step;
+  let ws = Ed.warnings_now s in
+  if ws = [] then print_endline "   (nothing to warn about)"
+  else
+    List.iter (fun w -> Format.printf "   ! %a@." V.pp_warning w) ws;
+  (* And the query-driven part of the window: documents lacking versions,
+     through the calculus. *)
+  let missing =
+    Lopsided.Query.Native.eval_string (Ed.model s)
+      "start type(Document); filter not-has-prop(version); sort-by label"
+  in
+  List.iter
+    (fun n -> Printf.printf "   ? %s has no version information\n" (M.label (Ed.model s) n))
+    missing
+
+let () =
+  let s = Ed.start (Lopsided.Awb.Samples.banking_model ()) in
+  show_omissions s "opening the model";
+
+  print_endline "\n>> the architect drafts a new document (forgetting the version)";
+  Ed.apply s
+    (Ed.Add_node
+       {
+         id = Some "NDOC";
+         ntype = "Document";
+         props = [ ("name", M.V_string "Capacity Plan") ];
+       });
+  show_omissions s "adding Capacity Plan";
+
+  print_endline "\n>> they wire it up, and connect a user straight to a program";
+  Ed.apply s
+    (Ed.Relate { id = None; rtype = "has"; source_id = "N1"; target_id = "NDOC" });
+  let carol =
+    (List.find (fun n -> M.prop_string n "name" = "carol") (M.nodes (Ed.model s))).M.id
+  in
+  Ed.apply s
+    (Ed.Relate { id = None; rtype = "runs"; source_id = carol; target_id = "NDOC" });
+  show_omissions s "off-metamodel edits (accepted, flagged)";
+
+  print_endline "\n>> versions get filled in";
+  Ed.apply s
+    (Ed.Set_property
+       { node_id = "NDOC"; pname = "version"; value = M.V_string "0.1" });
+  Ed.apply s
+    (Ed.Set_property
+       { node_id = "N16"; pname = "version"; value = M.V_string "1.0" });
+  show_omissions s "setting versions";
+
+  print_endline "\n>> second thoughts: undo everything";
+  while Ed.undo s do
+    ()
+  done;
+  show_omissions s "undo-all";
+
+  Printf.printf "\ncommands left in history: %d\n" (List.length (Ed.history s))

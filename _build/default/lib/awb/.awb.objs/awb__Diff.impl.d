@@ -1,0 +1,1 @@
+lib/awb/diff.ml: Hashtbl List Model Printf Xml_base

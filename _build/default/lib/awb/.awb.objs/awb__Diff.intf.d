@@ -1,0 +1,1 @@
+lib/awb/diff.mli: Model Xml_base

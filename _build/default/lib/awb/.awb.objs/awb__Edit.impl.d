@@ -1,0 +1,1 @@
+lib/awb/edit.ml: Hashtbl List Model Printf Validate

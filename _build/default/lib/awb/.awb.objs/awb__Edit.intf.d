@@ -1,0 +1,1 @@
+lib/awb/edit.mli: Model Validate

@@ -1,0 +1,1 @@
+lib/awb/metamodel.ml: Hashtbl List Printf

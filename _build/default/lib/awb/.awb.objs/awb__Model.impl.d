@@ -1,0 +1,1 @@
+lib/awb/model.ml: Hashtbl List Metamodel Option Printf String

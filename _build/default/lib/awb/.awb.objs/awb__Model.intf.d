@@ -1,0 +1,1 @@
+lib/awb/model.mli: Hashtbl Metamodel

@@ -1,0 +1,1 @@
+lib/awb/reflect.ml: Hashtbl List Metamodel Model Option Printf

@@ -1,0 +1,1 @@
+lib/awb/reflect.mli: Metamodel Model

@@ -1,0 +1,1 @@
+lib/awb/samples.ml: Metamodel Model Option

@@ -1,0 +1,1 @@
+lib/awb/samples.mli: Metamodel Model

@@ -1,0 +1,1 @@
+lib/awb/store.ml: Array Edit Filename List Metamodel Model Option Printf Scanf Sys Xml_base Xml_io

@@ -1,0 +1,1 @@
+lib/awb/store.mli: Edit Metamodel Model Xml_base

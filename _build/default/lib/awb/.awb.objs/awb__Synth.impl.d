@@ -1,0 +1,1 @@
+lib/awb/synth.ml: Array Model Printf Samples

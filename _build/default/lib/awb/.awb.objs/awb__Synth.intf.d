@@ -1,0 +1,1 @@
+lib/awb/synth.mli: Model

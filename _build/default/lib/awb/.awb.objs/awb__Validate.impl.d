@@ -1,0 +1,1 @@
+lib/awb/validate.ml: Format Hashtbl List Metamodel Model

@@ -1,0 +1,1 @@
+lib/awb/validate.mli: Format Model

@@ -1,0 +1,1 @@
+lib/awb/xml_io.ml: Hashtbl List Metamodel Model Option Printf String Xml_base

@@ -1,0 +1,1 @@
+lib/awb/xml_io.mli: Metamodel Model Xml_base

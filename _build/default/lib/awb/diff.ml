@@ -1,0 +1,160 @@
+type prop_change = {
+  pc_name : string;
+  pc_before : Model.value option;
+  pc_after : Model.value option;
+}
+
+type node_change =
+  | Node_added of Model.node
+  | Node_removed of Model.node
+  | Node_changed of { id : string; changes : prop_change list }
+
+type relation_change =
+  | Relation_added of Model.relation
+  | Relation_removed of Model.relation
+
+type t = {
+  node_changes : node_change list;
+  relation_changes : relation_change list;
+}
+
+let props_assoc tbl = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let diff_props (before : Model.node) (after : Model.node) =
+  let b = props_assoc before.Model.props and a = props_assoc after.Model.props in
+  let names = List.sort_uniq compare (List.map fst b @ List.map fst a) in
+  List.filter_map
+    (fun pc_name ->
+      let pc_before = List.assoc_opt pc_name b in
+      let pc_after = List.assoc_opt pc_name a in
+      if pc_before = pc_after then None else Some { pc_name; pc_before; pc_after })
+    names
+
+let between before after =
+  let node_changes =
+    let before_nodes = Model.nodes before and after_nodes = Model.nodes after in
+    let removed =
+      List.filter_map
+        (fun (n : Model.node) ->
+          if Model.find_node after n.Model.id = None then Some (Node_removed n) else None)
+        before_nodes
+    in
+    let added_or_changed =
+      List.filter_map
+        (fun (n : Model.node) ->
+          match Model.find_node before n.Model.id with
+          | None -> Some (Node_added n)
+          | Some old ->
+            if old.Model.ntype <> n.Model.ntype then
+              Some
+                (Node_changed
+                   {
+                     id = n.Model.id;
+                     changes =
+                       [
+                         {
+                           pc_name = "@type";
+                           pc_before = Some (Model.V_string old.Model.ntype);
+                           pc_after = Some (Model.V_string n.Model.ntype);
+                         };
+                       ]
+                       @ diff_props old n;
+                   })
+            else (
+              match diff_props old n with
+              | [] -> None
+              | changes -> Some (Node_changed { id = n.Model.id; changes })))
+        after_nodes
+    in
+    let key = function
+      | Node_added n | Node_removed n -> n.Model.id
+      | Node_changed { id; _ } -> id
+    in
+    List.sort (fun x y -> compare (key x) (key y)) (removed @ added_or_changed)
+  in
+  let relation_changes =
+    let rel_key (r : Model.relation) = r.Model.rel_id in
+    let before_rels = Model.relations before and after_rels = Model.relations after in
+    let removed =
+      List.filter_map
+        (fun (r : Model.relation) ->
+          if List.exists (fun x -> rel_key x = rel_key r) after_rels then None
+          else Some (Relation_removed r))
+        before_rels
+    in
+    let added =
+      List.filter_map
+        (fun (r : Model.relation) ->
+          if List.exists (fun x -> rel_key x = rel_key r) before_rels then None
+          else Some (Relation_added r))
+        after_rels
+    in
+    let key = function Relation_added r | Relation_removed r -> r.Model.rel_id in
+    List.sort (fun x y -> compare (key x) (key y)) (removed @ added)
+  in
+  { node_changes; relation_changes }
+
+let is_empty d = d.node_changes = [] && d.relation_changes = []
+
+module N = Xml_base.Node
+
+let value_text = function
+  | Some v -> Model.value_to_string v
+  | None -> "(absent)"
+
+let node_change_xml = function
+  | Node_added n ->
+    N.element "node-added"
+      ~attrs:[ N.attribute "id" n.Model.id; N.attribute "type" n.Model.ntype ]
+  | Node_removed n ->
+    N.element "node-removed"
+      ~attrs:[ N.attribute "id" n.Model.id; N.attribute "type" n.Model.ntype ]
+  | Node_changed { id; changes } ->
+    N.element "node-changed"
+      ~attrs:[ N.attribute "id" id ]
+      ~children:
+        (List.map
+           (fun pc ->
+             N.element "property"
+               ~attrs:
+                 [
+                   N.attribute "name" pc.pc_name;
+                   N.attribute "before" (value_text pc.pc_before);
+                   N.attribute "after" (value_text pc.pc_after);
+                 ])
+           changes)
+
+let relation_change_xml = function
+  | Relation_added r ->
+    N.element "relation-added"
+      ~attrs:
+        [
+          N.attribute "id" r.Model.rel_id;
+          N.attribute "type" r.Model.rtype;
+          N.attribute "source" r.Model.source;
+          N.attribute "target" r.Model.target;
+        ]
+  | Relation_removed r ->
+    N.element "relation-removed"
+      ~attrs:
+        [
+          N.attribute "id" r.Model.rel_id;
+          N.attribute "type" r.Model.rtype;
+          N.attribute "source" r.Model.source;
+          N.attribute "target" r.Model.target;
+        ]
+
+let to_xml d =
+  N.element "model-diff"
+    ~children:
+      (List.map node_change_xml d.node_changes
+      @ List.map relation_change_xml d.relation_changes)
+
+let summary d =
+  let count f l = List.length (List.filter f l) in
+  Printf.sprintf "+%d nodes, -%d nodes, %d changed; +%d relations, -%d relations"
+    (count (function Node_added _ -> true | _ -> false) d.node_changes)
+    (count (function Node_removed _ -> true | _ -> false) d.node_changes)
+    (count (function Node_changed _ -> true | _ -> false) d.node_changes)
+    (count (function Relation_added _ -> true | _ -> false) d.relation_changes)
+    (count (function Relation_removed _ -> true | _ -> false) d.relation_changes)

@@ -1,0 +1,34 @@
+(** Structural diff between two models sharing a metamodel — what changed
+    between snapshot versions. Nodes and relation objects are matched by
+    id; properties by name. *)
+
+type prop_change = {
+  pc_name : string;
+  pc_before : Model.value option; (** [None] = property added *)
+  pc_after : Model.value option; (** [None] = property removed *)
+}
+
+type node_change =
+  | Node_added of Model.node
+  | Node_removed of Model.node
+  | Node_changed of { id : string; changes : prop_change list }
+
+type relation_change =
+  | Relation_added of Model.relation
+  | Relation_removed of Model.relation
+
+type t = {
+  node_changes : node_change list; (** in id order *)
+  relation_changes : relation_change list;
+}
+
+val between : Model.t -> Model.t -> t
+(** [between before after]. *)
+
+val is_empty : t -> bool
+
+val to_xml : t -> Xml_base.Node.t
+(** A [<model-diff>] report suitable for documents or logs. *)
+
+val summary : t -> string
+(** One line: "+2 nodes, -1 node, 3 changed; +4 relations, -0". *)

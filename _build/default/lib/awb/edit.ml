@@ -1,0 +1,155 @@
+type command =
+  | Add_node of { id : string option; ntype : string; props : (string * Model.value) list }
+  | Remove_node of string
+  | Set_property of { node_id : string; pname : string; value : Model.value }
+  | Remove_property of { node_id : string; pname : string }
+  | Relate of {
+      id : string option;
+      rtype : string;
+      source_id : string;
+      target_id : string;
+    }
+  | Unrelate of string
+
+exception Edit_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Edit_error m)) fmt
+
+(* What must be restored to undo a command. *)
+type undo_record =
+  | U_remove_node of string (* undo of Add_node *)
+  | U_restore_node of {
+      id : string;
+      ntype : string;
+      props : (string * Model.value) list;
+      incident : (string * string * string * string * (string * Model.value) list) list;
+          (* rel_id, rtype, source, target, props *)
+    }
+  | U_set_property of { node_id : string; pname : string; previous : Model.value option }
+  | U_unrelate of string (* undo of Relate *)
+  | U_restore_relation of {
+      rel_id : string;
+      rtype : string;
+      source : string;
+      target : string;
+      props : (string * Model.value) list;
+    }
+
+type session = {
+  m : Model.t;
+  mutable applied : (command * undo_record) list; (* newest first *)
+}
+
+let start m = { m; applied = [] }
+let model s = s.m
+
+let get_node s id =
+  match Model.find_node s.m id with
+  | Some n -> n
+  | None -> fail "no node with id %s" id
+
+let props_list tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+
+let apply s command =
+  let record =
+    match command with
+    | Add_node { id; ntype; props } ->
+      (match id with
+      | Some i when Model.find_node s.m i <> None -> fail "duplicate node id %s" i
+      | _ -> ());
+      let n = Model.add_node s.m ?id ~props ntype in
+      U_remove_node n.Model.id
+    | Remove_node id ->
+      let n = get_node s id in
+      let incident =
+        List.filter
+          (fun (r : Model.relation) -> r.Model.source = id || r.Model.target = id)
+          (Model.relations s.m)
+        |> List.map (fun (r : Model.relation) ->
+               (r.Model.rel_id, r.Model.rtype, r.Model.source, r.Model.target,
+                props_list r.Model.rprops))
+      in
+      let saved =
+        U_restore_node
+          { id; ntype = n.Model.ntype; props = props_list n.Model.props; incident }
+      in
+      Model.remove_node s.m n;
+      saved
+    | Set_property { node_id; pname; value } ->
+      let n = get_node s node_id in
+      let previous = Model.prop n pname in
+      Model.set_prop n pname value;
+      U_set_property { node_id; pname; previous }
+    | Remove_property { node_id; pname } ->
+      let n = get_node s node_id in
+      let previous = Model.prop n pname in
+      if previous = None then fail "node %s has no property %s" node_id pname;
+      Hashtbl.remove n.Model.props pname;
+      U_set_property { node_id; pname; previous }
+    | Relate { id; rtype; source_id; target_id } ->
+      let source = get_node s source_id in
+      let target = get_node s target_id in
+      (match id with
+      | Some i when List.exists (fun (r : Model.relation) -> r.Model.rel_id = i) (Model.relations s.m) ->
+        fail "duplicate relation id %s" i
+      | _ -> ());
+      let r = Model.relate s.m ?id rtype ~source ~target in
+      U_unrelate r.Model.rel_id
+    | Unrelate rel_id -> (
+      match
+        List.find_opt
+          (fun (r : Model.relation) -> r.Model.rel_id = rel_id)
+          (Model.relations s.m)
+      with
+      | None -> fail "no relation with id %s" rel_id
+      | Some r ->
+        let saved =
+          U_restore_relation
+            {
+              rel_id;
+              rtype = r.Model.rtype;
+              source = r.Model.source;
+              target = r.Model.target;
+              props = props_list r.Model.rprops;
+            }
+        in
+        Model.remove_relation s.m r;
+        saved)
+  in
+  s.applied <- (command, record) :: s.applied
+
+let run_undo s = function
+  | U_remove_node id -> Model.remove_node s.m (get_node s id)
+  | U_restore_node { id; ntype; props; incident } ->
+    ignore (Model.add_node s.m ~id ~props ntype);
+    List.iter
+      (fun (rel_id, rtype, source, target, props) ->
+        let source = get_node s source and target = get_node s target in
+        ignore (Model.relate s.m ~id:rel_id ~props rtype ~source ~target))
+      incident
+  | U_set_property { node_id; pname; previous } -> (
+    let n = get_node s node_id in
+    match previous with
+    | Some v -> Model.set_prop n pname v
+    | None -> Hashtbl.remove n.Model.props pname)
+  | U_unrelate rel_id -> (
+    match
+      List.find_opt (fun (r : Model.relation) -> r.Model.rel_id = rel_id) (Model.relations s.m)
+    with
+    | Some r -> Model.remove_relation s.m r
+    | None -> fail "undo: relation %s vanished" rel_id)
+  | U_restore_relation { rel_id; rtype; source; target; props } ->
+    let source = get_node s source and target = get_node s target in
+    ignore (Model.relate s.m ~id:rel_id ~props rtype ~source ~target)
+
+let undo s =
+  match s.applied with
+  | [] -> false
+  | (_, record) :: rest ->
+    run_undo s record;
+    s.applied <- rest;
+    true
+
+let history s = List.rev_map fst s.applied
+
+let warnings_now s = Validate.check s.m

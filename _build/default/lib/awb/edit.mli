@@ -1,0 +1,49 @@
+(** The workbench's model-editing layer.
+
+    AWB is an interactive workbench: users create nodes, connect them
+    (even against the metamodel's advice), and set properties (even ones
+    the metamodel never declared). This module is that command surface —
+    every UI gesture is a {!command}, applied through {!apply} so it can
+    be journaled and undone. The Omissions window's whole reason to exist
+    is that models edited this way drift from the metamodel's suggestions
+    while remaining perfectly loadable. *)
+
+type command =
+  | Add_node of { id : string option; ntype : string; props : (string * Model.value) list }
+  | Remove_node of string (* node id *)
+  | Set_property of { node_id : string; pname : string; value : Model.value }
+  | Remove_property of { node_id : string; pname : string }
+  | Relate of {
+      id : string option;
+      rtype : string;
+      source_id : string;
+      target_id : string;
+    }
+  | Unrelate of string (* relation id *)
+
+exception Edit_error of string
+(** Raised when a command cannot apply (unknown ids, duplicate ids).
+    Advisory-metamodel deviations are NOT errors. *)
+
+type session
+
+val start : Model.t -> session
+(** Begin an editing session over a model. The model is mutated in place
+    as commands apply; the session records enough to undo. *)
+
+val model : session -> Model.t
+
+val apply : session -> command -> unit
+(** @raise Edit_error when the command is structurally impossible. *)
+
+val undo : session -> bool
+(** Undo the most recent un-undone command; [false] when nothing is left
+    to undo. Undo of [Remove_node] restores the node, its properties, and
+    every incident relation object. *)
+
+val history : session -> command list
+(** Applied commands, oldest first (undone entries removed). *)
+
+val warnings_now : session -> Validate.warning list
+(** The live Omissions-window feed: advisory validation of the current
+    state. *)

@@ -1,0 +1,123 @@
+type property_type = P_string | P_int | P_bool | P_html
+
+type node_type = {
+  nt_name : string;
+  nt_parent : string option;
+  nt_properties : (string * property_type) list;
+  nt_label_property : string;
+}
+
+type relation_type = {
+  rt_name : string;
+  rt_parent : string option;
+  rt_pairs : (string * string) list;
+}
+
+type advisory =
+  | Expect_exactly_one of string
+  | Expect_property of string * string
+  | Expect_endpoints_declared
+
+type t = {
+  mm_name : string;
+  node_types : node_type list; (* declaration order *)
+  relation_types : relation_type list;
+  mm_advisories : advisory list;
+}
+
+let create mm_name = { mm_name; node_types = []; relation_types = []; mm_advisories = [] }
+let name t = t.mm_name
+
+let find_node_type t n = List.find_opt (fun nt -> nt.nt_name = n) t.node_types
+let find_relation_type t n = List.find_opt (fun rt -> rt.rt_name = n) t.relation_types
+let node_type_names t = List.map (fun nt -> nt.nt_name) t.node_types
+let relation_type_names t = List.map (fun rt -> rt.rt_name) t.relation_types
+
+let add_node_type t ?parent ?(properties = []) ?(label_property = "name") nt_name =
+  if find_node_type t nt_name <> None then
+    invalid_arg (Printf.sprintf "Awb.Metamodel: duplicate node type %s" nt_name);
+  (match parent with
+  | Some p when find_node_type t p = None ->
+    invalid_arg (Printf.sprintf "Awb.Metamodel: unknown parent type %s" p)
+  | _ -> ());
+  {
+    t with
+    node_types =
+      t.node_types
+      @ [
+          {
+            nt_name;
+            nt_parent = parent;
+            nt_properties = properties;
+            nt_label_property = label_property;
+          };
+        ];
+  }
+
+let add_relation_type t ?parent ?(pairs = []) rt_name =
+  if find_relation_type t rt_name <> None then
+    invalid_arg (Printf.sprintf "Awb.Metamodel: duplicate relation type %s" rt_name);
+  (match parent with
+  | Some p when find_relation_type t p = None ->
+    invalid_arg (Printf.sprintf "Awb.Metamodel: unknown parent relation %s" p)
+  | _ -> ());
+  {
+    t with
+    relation_types =
+      t.relation_types @ [ { rt_name; rt_parent = parent; rt_pairs = pairs } ];
+  }
+
+let add_advisory t a = { t with mm_advisories = t.mm_advisories @ [ a ] }
+let advisories t = t.mm_advisories
+
+let rec is_subtype t sub super =
+  sub = super
+  ||
+  match find_node_type t sub with
+  | Some { nt_parent = Some p; _ } -> is_subtype t p super
+  | _ -> false
+
+let rec is_subrelation t sub super =
+  sub = super
+  ||
+  match find_relation_type t sub with
+  | Some { rt_parent = Some p; _ } -> is_subrelation t p super
+  | _ -> false
+
+let properties_of t ntype =
+  let rec chain n =
+    match find_node_type t n with
+    | None -> []
+    | Some nt -> (
+      nt.nt_properties
+      @ match nt.nt_parent with None -> [] | Some p -> chain p)
+  in
+  (* Nearest declaration wins on duplicate names. *)
+  let seen = Hashtbl.create 7 in
+  List.filter
+    (fun (pname, _) ->
+      if Hashtbl.mem seen pname then false
+      else begin
+        Hashtbl.add seen pname ();
+        true
+      end)
+    (chain ntype)
+
+let label_property t ntype =
+  let rec chain n =
+    match find_node_type t n with
+    | None -> "name"
+    | Some nt ->
+      if nt.nt_label_property <> "name" then nt.nt_label_property
+      else ( match nt.nt_parent with None -> "name" | Some p -> chain p)
+  in
+  chain ntype
+
+let declared_pairs t rtype =
+  let rec chain n =
+    match find_relation_type t n with
+    | None -> []
+    | Some rt -> (
+      rt.rt_pairs @ match rt.rt_parent with None -> [] | Some p -> chain p)
+  in
+  chain rtype

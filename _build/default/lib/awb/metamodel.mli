@@ -1,0 +1,76 @@
+(** The AWB metamodel: what kinds of entities a workbench instance talks
+    about.
+
+    A metamodel declares a single-inheritance hierarchy of node types (each
+    with scalar-typed properties), a hierarchy of relations (each with
+    advisory source/target type pairs), and a set of advisory expectations
+    ("there should be exactly one SystemBeingDesigned node"). Everything is
+    suggestive rather than prescriptive: models may deviate, and the rest of
+    the system must cope — the design stance the paper's error-handling
+    section flows from. *)
+
+type property_type = P_string | P_int | P_bool | P_html
+
+type node_type = {
+  nt_name : string;
+  nt_parent : string option;
+  nt_properties : (string * property_type) list;
+  nt_label_property : string; (** which property names instances in UIs *)
+}
+
+type relation_type = {
+  rt_name : string;
+  rt_parent : string option;
+  rt_pairs : (string * string) list;
+      (** advisory (source type, target type) combinations *)
+}
+
+(** Advisory expectations; violations are warnings, never errors. *)
+type advisory =
+  | Expect_exactly_one of string (** node type *)
+  | Expect_property of string * string
+      (** instances of the node type should set this property *)
+  | Expect_endpoints_declared
+      (** relation instances should match a declared source/target pair *)
+
+type t
+
+val create : string -> t
+val name : t -> string
+
+val add_node_type :
+  t ->
+  ?parent:string ->
+  ?properties:(string * property_type) list ->
+  ?label_property:string ->
+  string ->
+  t
+(** Functional update; raises [Invalid_argument] on duplicate names or an
+    unknown parent. The default label property is ["name"]. *)
+
+val add_relation_type :
+  t -> ?parent:string -> ?pairs:(string * string) list -> string -> t
+
+val add_advisory : t -> advisory -> t
+val advisories : t -> advisory list
+
+val find_node_type : t -> string -> node_type option
+val find_relation_type : t -> string -> relation_type option
+val node_type_names : t -> string list
+val relation_type_names : t -> string list
+
+val is_subtype : t -> string -> string -> bool
+(** [is_subtype mm sub super]: reflexive-transitive over node-type
+    inheritance. Unknown types are only subtypes of themselves. *)
+
+val is_subrelation : t -> string -> string -> bool
+
+val properties_of : t -> string -> (string * property_type) list
+(** Including inherited properties, nearest declaration winning. *)
+
+val label_property : t -> string -> string
+(** The label property for a node type, walking up the hierarchy;
+    ["name"] for unknown types. *)
+
+val declared_pairs : t -> string -> (string * string) list
+(** Source/target pairs for a relation, including inherited ones. *)

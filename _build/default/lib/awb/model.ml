@@ -1,0 +1,151 @@
+type value = V_string of string | V_int of int | V_bool of bool | V_html of string
+
+let value_to_string = function
+  | V_string s | V_html s -> s
+  | V_int n -> string_of_int n
+  | V_bool b -> if b then "true" else "false"
+
+let value_of_string ty s =
+  match ty with
+  | Metamodel.P_string -> V_string s
+  | Metamodel.P_html -> V_html s
+  | Metamodel.P_int -> (
+    match int_of_string_opt (String.trim s) with Some n -> V_int n | None -> V_string s)
+  | Metamodel.P_bool -> (
+    match String.trim s with
+    | "true" -> V_bool true
+    | "false" -> V_bool false
+    | _ -> V_string s)
+
+type node = { id : string; ntype : string; props : (string, value) Hashtbl.t }
+
+type relation = {
+  rel_id : string;
+  rtype : string;
+  source : string;
+  target : string;
+  rprops : (string, value) Hashtbl.t;
+}
+
+type t = {
+  mm : Metamodel.t;
+  node_tbl : (string, node) Hashtbl.t;
+  mutable node_order : node list; (* reverse insertion order *)
+  rel_tbl : (string, relation) Hashtbl.t;
+  mutable rel_order : relation list;
+  (* Adjacency indexes: relation objects by endpoint, in reverse insertion
+     order. The UI's always-visible queries need O(degree) neighbour
+     lookups, not O(|relations|) scans. *)
+  out_idx : (string, relation list) Hashtbl.t;
+  in_idx : (string, relation list) Hashtbl.t;
+  mutable counter : int;
+}
+
+let create mm =
+  {
+    mm;
+    node_tbl = Hashtbl.create 97;
+    node_order = [];
+    rel_tbl = Hashtbl.create 97;
+    rel_order = [];
+    out_idx = Hashtbl.create 97;
+    in_idx = Hashtbl.create 97;
+    counter = 0;
+  }
+
+let idx_add tbl key r =
+  Hashtbl.replace tbl key (r :: Option.value ~default:[] (Hashtbl.find_opt tbl key))
+
+let idx_remove tbl key rel_id =
+  match Hashtbl.find_opt tbl key with
+  | None -> ()
+  | Some rs -> Hashtbl.replace tbl key (List.filter (fun r -> r.rel_id <> rel_id) rs)
+
+let metamodel t = t.mm
+
+let fresh_id t prefix =
+  t.counter <- t.counter + 1;
+  Printf.sprintf "%s%d" prefix t.counter
+
+let props_table props =
+  let tbl = Hashtbl.create 7 in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) props;
+  tbl
+
+let add_node t ?id ?(props = []) ntype =
+  let id = match id with Some i -> i | None -> fresh_id t "N" in
+  if Hashtbl.mem t.node_tbl id then
+    invalid_arg (Printf.sprintf "Awb.Model: duplicate node id %s" id);
+  let n = { id; ntype; props = props_table props } in
+  Hashtbl.replace t.node_tbl id n;
+  t.node_order <- n :: t.node_order;
+  n
+
+let relate t ?id ?(props = []) rtype ~source ~target =
+  let rel_id = match id with Some i -> i | None -> fresh_id t "R" in
+  if Hashtbl.mem t.rel_tbl rel_id then
+    invalid_arg (Printf.sprintf "Awb.Model: duplicate relation id %s" rel_id);
+  let r = { rel_id; rtype; source = source.id; target = target.id; rprops = props_table props } in
+  Hashtbl.replace t.rel_tbl rel_id r;
+  t.rel_order <- r :: t.rel_order;
+  idx_add t.out_idx source.id r;
+  idx_add t.in_idx target.id r;
+  r
+
+let find_node t id = Hashtbl.find_opt t.node_tbl id
+let get_node t id = Hashtbl.find t.node_tbl id
+
+let remove_relation t r =
+  Hashtbl.remove t.rel_tbl r.rel_id;
+  t.rel_order <- List.filter (fun x -> x.rel_id <> r.rel_id) t.rel_order;
+  idx_remove t.out_idx r.source r.rel_id;
+  idx_remove t.in_idx r.target r.rel_id
+
+let remove_node t n =
+  Hashtbl.remove t.node_tbl n.id;
+  t.node_order <- List.filter (fun x -> x.id <> n.id) t.node_order;
+  let incident = List.filter (fun r -> r.source = n.id || r.target = n.id) t.rel_order in
+  List.iter (remove_relation t) incident
+
+let set_prop n k v = Hashtbl.replace n.props k v
+let prop n k = Hashtbl.find_opt n.props k
+
+let prop_string n k =
+  match prop n k with Some v -> value_to_string v | None -> ""
+
+let label t n =
+  let lp = Metamodel.label_property t.mm n.ntype in
+  match prop n lp with
+  | Some v -> value_to_string v
+  | None -> ( match prop n "name" with Some v -> value_to_string v | None -> n.id)
+
+let nodes t = List.rev t.node_order
+let relations t = List.rev t.rel_order
+
+let nodes_of_type t ntype =
+  List.filter (fun n -> Metamodel.is_subtype t.mm n.ntype ntype) (nodes t)
+
+let out_relations t n =
+  List.rev (Option.value ~default:[] (Hashtbl.find_opt t.out_idx n.id))
+
+let in_relations t n =
+  List.rev (Option.value ~default:[] (Hashtbl.find_opt t.in_idx n.id))
+
+let follow t n ?rtype dir =
+  let matches r =
+    match rtype with
+    | None -> true
+    | Some want -> Metamodel.is_subrelation t.mm r.rtype want
+  in
+  match dir with
+  | `Forward ->
+    List.filter_map
+      (fun r -> if matches r then find_node t r.target else None)
+      (out_relations t n)
+  | `Backward ->
+    List.filter_map
+      (fun r -> if matches r then find_node t r.source else None)
+      (in_relations t n)
+
+let node_count t = Hashtbl.length t.node_tbl
+let relation_count t = Hashtbl.length t.rel_tbl

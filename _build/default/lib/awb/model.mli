@@ -1,0 +1,78 @@
+(** An AWB model: a directed, annotated multigraph.
+
+    Nodes have a type and scalar properties; edges ("relation objects")
+    have a relation type, source, target, and their own properties. The
+    metamodel is advisory: users may add undeclared properties and connect
+    nodes the metamodel never anticipated — the model stores whatever it is
+    given, and {!Validate} reports deviations as warnings. *)
+
+type value = V_string of string | V_int of int | V_bool of bool | V_html of string
+
+val value_to_string : value -> string
+val value_of_string : Metamodel.property_type -> string -> value
+
+type node = {
+  id : string;
+  ntype : string;
+  props : (string, value) Hashtbl.t;
+}
+
+type relation = {
+  rel_id : string;
+  rtype : string;
+  source : string; (** node id *)
+  target : string; (** node id *)
+  rprops : (string, value) Hashtbl.t;
+}
+
+type t
+
+val create : Metamodel.t -> t
+val metamodel : t -> Metamodel.t
+
+val add_node : t -> ?id:string -> ?props:(string * value) list -> string -> node
+(** [add_node m ~props ntype] creates a node. Fresh ids are ["N1"],
+    ["N2"], ... Raises [Invalid_argument] on a duplicate id; an
+    undeclared node type is accepted (advisory metamodel). *)
+
+val relate :
+  t -> ?id:string -> ?props:(string * value) list -> string -> source:node -> target:node -> relation
+(** [relate m rtype ~source ~target]. Endpoints may violate the
+    metamodel's declared pairs — that is a validation warning, not an
+    error here. *)
+
+val find_node : t -> string -> node option
+val get_node : t -> string -> node
+(** @raise Not_found *)
+
+val remove_node : t -> node -> unit
+(** Also removes incident relation objects. *)
+
+val remove_relation : t -> relation -> unit
+
+val set_prop : node -> string -> value -> unit
+val prop : node -> string -> value option
+val prop_string : node -> string -> string
+(** [""] when absent. *)
+
+val label : t -> node -> string
+(** The node's label property per the metamodel (default "name"), falling
+    back to the id. *)
+
+val nodes : t -> node list
+(** In insertion order. *)
+
+val relations : t -> relation list
+
+val nodes_of_type : t -> string -> node list
+(** Includes instances of subtypes. *)
+
+val out_relations : t -> node -> relation list
+val in_relations : t -> node -> relation list
+
+val follow : t -> node -> ?rtype:string -> [ `Forward | `Backward ] -> node list
+(** Neighbors along relation objects; [rtype] filters by relation type
+    including subrelations. Duplicates preserved (it is a multigraph). *)
+
+val node_count : t -> int
+val relation_count : t -> int

@@ -1,0 +1,202 @@
+open Metamodel
+
+let meta_metamodel =
+  create "awb-meta"
+  |> fun mm ->
+  add_node_type mm "Item" ~properties:[ ("name", P_string) ]
+  |> fun mm ->
+  add_node_type mm "NodeType" ~parent:"Item"
+       ~properties:[ ("labelProperty", P_string) ]
+  |> fun mm ->
+  add_node_type mm "RelationType" ~parent:"Item"
+  |> fun mm ->
+  add_node_type mm "PropertyDecl" ~parent:"Item"
+       ~properties:[ ("propertyType", P_string) ]
+  |> fun mm ->
+  add_node_type mm "Advisory" ~parent:"Item"
+       ~properties:[ ("kind", P_string); ("subject", P_string); ("detail", P_string) ]
+  |> fun mm ->
+  add_relation_type mm "extends"
+       ~pairs:[ ("NodeType", "NodeType"); ("RelationType", "RelationType") ]
+  |> fun mm ->
+  add_relation_type mm "declares" ~pairs:[ ("NodeType", "PropertyDecl") ]
+  |> fun mm ->
+  add_relation_type mm "suggests-source" ~pairs:[ ("RelationType", "NodeType") ]
+  |> fun mm ->
+  add_relation_type mm "suggests-target" ~pairs:[ ("RelationType", "NodeType") ]
+  |> fun mm -> add_advisory mm Expect_endpoints_declared
+
+let property_type_name = function
+  | P_string -> "string"
+  | P_int -> "int"
+  | P_bool -> "bool"
+  | P_html -> "html"
+
+let property_type_of_name = function
+  | "int" -> P_int
+  | "bool" -> P_bool
+  | "html" -> P_html
+  | _ -> P_string
+
+let nt_id name = "nt-" ^ name
+let rt_id name = "rt-" ^ name
+let pd_id owner pname = Printf.sprintf "pd-%s-%s" owner pname
+
+let metamodel_as_model (mm : Metamodel.t) : Model.t =
+  let m = Model.create meta_metamodel in
+  (* Node types first, so extends/suggests edges can resolve. *)
+  List.iter
+    (fun name ->
+      let nt = Option.get (find_node_type mm name) in
+      ignore
+        (Model.add_node m ~id:(nt_id name) "NodeType"
+           ~props:
+             [
+               ("name", Model.V_string name);
+               ("labelProperty", Model.V_string nt.nt_label_property);
+             ]))
+    (node_type_names mm);
+  List.iter
+    (fun name ->
+      ignore
+        (Model.add_node m ~id:(rt_id name) "RelationType"
+           ~props:[ ("name", Model.V_string name) ]))
+    (relation_type_names mm);
+  (* Inheritance, property declarations. *)
+  List.iter
+    (fun name ->
+      let nt = Option.get (find_node_type mm name) in
+      (match nt.nt_parent with
+      | Some parent ->
+        ignore
+          (Model.relate m "extends"
+             ~source:(Model.get_node m (nt_id name))
+             ~target:(Model.get_node m (nt_id parent)))
+      | None -> ());
+      List.iter
+        (fun (pname, ptype) ->
+          let pd =
+            Model.add_node m ~id:(pd_id name pname) "PropertyDecl"
+              ~props:
+                [
+                  ("name", Model.V_string pname);
+                  ("propertyType", Model.V_string (property_type_name ptype));
+                ]
+          in
+          ignore (Model.relate m "declares" ~source:(Model.get_node m (nt_id name)) ~target:pd))
+        nt.nt_properties)
+    (node_type_names mm);
+  (* Relation hierarchy + endpoint suggestions. When a suggested endpoint
+     type is not itself declared, it is reflected as a dangling name in a
+     property instead (advisory world: it can happen). *)
+  List.iter
+    (fun name ->
+      let rt = Option.get (find_relation_type mm name) in
+      let self = Model.get_node m (rt_id name) in
+      (match rt.rt_parent with
+      | Some parent ->
+        ignore (Model.relate m "extends" ~source:self ~target:(Model.get_node m (rt_id parent)))
+      | None -> ());
+      List.iter
+        (fun (src, tgt) ->
+          (match Model.find_node m (nt_id src) with
+          | Some s -> ignore (Model.relate m "suggests-source" ~source:self ~target:s)
+          | None -> ());
+          match Model.find_node m (nt_id tgt) with
+          | Some t -> ignore (Model.relate m "suggests-target" ~source:self ~target:t)
+          | None -> ())
+        rt.rt_pairs)
+    (relation_type_names mm);
+  (* Advisories. *)
+  List.iteri
+    (fun i adv ->
+      let kind, subject, detail =
+        match adv with
+        | Expect_exactly_one ty -> ("exactly-one", ty, "")
+        | Expect_property (ty, p) -> ("expect-property", ty, p)
+        | Expect_endpoints_declared -> ("endpoints-declared", "", "")
+      in
+      ignore
+        (Model.add_node m
+           ~id:(Printf.sprintf "adv-%d" (i + 1))
+           "Advisory"
+           ~props:
+             [
+               ("name", Model.V_string (Printf.sprintf "advisory %d" (i + 1)));
+               ("kind", Model.V_string kind);
+               ("subject", Model.V_string subject);
+               ("detail", Model.V_string detail);
+             ]))
+    (advisories mm);
+  m
+
+let model_to_metamodel (m : Model.t) : Metamodel.t =
+  let name_of (n : Model.node) =
+    match Model.prop n "name" with
+    | Some v -> Model.value_to_string v
+    | None -> failwith (Printf.sprintf "reflection: node %s has no name" n.Model.id)
+  in
+  let parent_of n =
+    match Model.follow m n ~rtype:"extends" `Forward with
+    | [] -> None
+    | p :: _ -> Some (name_of p)
+  in
+  (* Node types must be added parents-first. *)
+  let node_types = Model.nodes_of_type m "NodeType" in
+  let mm = ref (create "reflected") in
+  let added = Hashtbl.create 16 in
+  let rec add_nt (n : Model.node) =
+    let name = name_of n in
+    if not (Hashtbl.mem added name) then begin
+      (match Model.follow m n ~rtype:"extends" `Forward with
+      | p :: _ -> add_nt p
+      | [] -> ());
+      let properties =
+        List.map
+          (fun pd ->
+            ( name_of pd,
+              property_type_of_name (Model.prop_string pd "propertyType") ))
+          (Model.follow m n ~rtype:"declares" `Forward)
+      in
+      let label_property =
+        match Model.prop_string n "labelProperty" with "" -> "name" | lp -> lp
+      in
+      mm := add_node_type !mm name ?parent:(parent_of n) ~properties ~label_property;
+      Hashtbl.add added name ()
+    end
+  in
+  List.iter add_nt node_types;
+  let rel_types = Model.nodes_of_type m "RelationType" in
+  let added_r = Hashtbl.create 16 in
+  let rec add_rt (n : Model.node) =
+    let name = name_of n in
+    if not (Hashtbl.mem added_r name) then begin
+      (match Model.follow m n ~rtype:"extends" `Forward with
+      | p :: _ -> add_rt p
+      | [] -> ());
+      let sources = List.map name_of (Model.follow m n ~rtype:"suggests-source" `Forward) in
+      let targets = List.map name_of (Model.follow m n ~rtype:"suggests-target" `Forward) in
+      (* Tolerant zip: a reflection may have dropped one endpoint of a
+         pair whose type was never declared. *)
+      let rec zip xs ys =
+        match (xs, ys) with x :: xs, y :: ys -> (x, y) :: zip xs ys | _ -> []
+      in
+      let pairs = zip sources targets in
+      mm := add_relation_type !mm name ?parent:(parent_of n) ~pairs;
+      Hashtbl.add added_r name ()
+    end
+  in
+  List.iter add_rt rel_types;
+  List.iter
+    (fun (a : Model.node) ->
+      let adv =
+        match Model.prop_string a "kind" with
+        | "exactly-one" -> Expect_exactly_one (Model.prop_string a "subject")
+        | "expect-property" ->
+          Expect_property (Model.prop_string a "subject", Model.prop_string a "detail")
+        | "endpoints-declared" -> Expect_endpoints_declared
+        | other -> failwith (Printf.sprintf "reflection: unknown advisory kind %S" other)
+      in
+      mm := add_advisory !mm adv)
+    (Model.nodes_of_type m "Advisory");
+  !mm

@@ -1,0 +1,27 @@
+(** AWB retargeted to itself.
+
+    The paper: "AWB has retargeted to be a workbench for (1) an antique
+    glass dealer, and (2) itself." This module is retargeting (2): a
+    meta-metamodel whose node types are [NodeType], [RelationType],
+    [PropertyDecl], and [Advisory], plus faithful translations between a
+    {!Metamodel.t} and a model of that meta-metamodel.
+
+    Once a metamodel is a model, everything in the workbench applies to
+    it: calculus queries ("start type(NodeType); follow extends"),
+    validation, editing, snapshots — and the document generator can
+    produce metamodel documentation (see examples/metamodel_doc.ml). *)
+
+val meta_metamodel : Metamodel.t
+(** Node types: [Item] (root), [NodeType], [RelationType], [PropertyDecl],
+    [Advisory]. Relations: [extends] (type inheritance, both kinds),
+    [declares] (type to property declaration), [suggests-source] /
+    [suggests-target] (relation endpoints), [label-property]. *)
+
+val metamodel_as_model : Metamodel.t -> Model.t
+(** Reflect a metamodel into a model of {!meta_metamodel}. Node ids are
+    stable and readable: [nt-Person], [rt-likes], [pd-Person-firstName],
+    [adv-1]. *)
+
+val model_to_metamodel : Model.t -> Metamodel.t
+(** Rebuild a metamodel from its reflection.
+    @raise Failure when the model is not a well-formed reflection. *)

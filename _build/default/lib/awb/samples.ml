@@ -1,0 +1,202 @@
+open Metamodel
+
+let it_architecture =
+  create "it-architecture"
+  |> fun mm ->
+  add_node_type mm "Element" ~properties:[ ("name", P_string); ("description", P_html) ]
+  |> fun mm ->
+  add_node_type mm "SystemBeingDesigned" ~parent:"Element"
+  |> fun mm ->
+  add_node_type mm "System" ~parent:"Element"
+  |> fun mm ->
+  add_node_type mm "Subsystem" ~parent:"System"
+  |> fun mm ->
+  add_node_type mm "Server" ~parent:"Element" ~properties:[ ("cpuCount", P_int) ]
+  |> fun mm ->
+  add_node_type mm "Computer" ~parent:"Element"
+  |> fun mm ->
+  add_node_type mm "Program" ~parent:"Element" ~properties:[ ("language", P_string) ]
+  |> fun mm ->
+  add_node_type mm "DataStore" ~parent:"Element" ~properties:[ ("technology", P_string) ]
+  |> fun mm ->
+  add_node_type mm "Person" ~parent:"Element"
+       ~properties:
+         [
+           ("firstName", P_string);
+           ("lastName", P_string);
+           ("birthYear", P_int);
+           ("biography", P_html);
+         ]
+  |> fun mm ->
+  add_node_type mm "User" ~parent:"Person" ~properties:[ ("superuser", P_bool) ]
+  |> fun mm ->
+  add_node_type mm "PerformanceRequirement" ~parent:"Element"
+       ~properties:[ ("metric", P_string); ("threshold", P_string) ]
+  |> fun mm ->
+  add_node_type mm "Document" ~parent:"Element"
+       ~properties:[ ("version", P_string); ("body", P_html) ]
+  |> fun mm ->
+  (* The relation "has" is used in dozens of ways, to read naturally. *)
+  add_relation_type mm "has"
+       ~pairs:
+         [
+           ("System", "Server");
+           ("System", "Subsystem");
+           ("System", "User");
+           ("System", "DataStore");
+           ("System", "PerformanceRequirement");
+           ("SystemBeingDesigned", "Document");
+         ]
+  |> fun mm ->
+  add_relation_type mm "likes" ~pairs:[ ("Person", "Person") ]
+  |> fun mm ->
+  add_relation_type mm "favors" ~parent:"likes"
+  |> fun mm ->
+  add_relation_type mm "uses" ~pairs:[ ("Person", "System") ]
+  |> fun mm ->
+  add_relation_type mm "runs" ~pairs:[ ("Server", "Program"); ("Computer", "Program") ]
+  |> fun mm ->
+  add_relation_type mm "connects-to" ~pairs:[ ("Server", "DataStore") ]
+  |> fun mm ->
+  add_advisory mm (Expect_exactly_one "SystemBeingDesigned")
+  |> fun mm ->
+  add_advisory mm (Expect_property ("Document", "version"))
+  |> fun mm -> add_advisory mm Expect_endpoints_declared
+
+let banking_model () =
+  let m = Model.create it_architecture in
+  let open Model in
+  let node ?props ntype name =
+    add_node m ?id:None ~props:(("name", V_string name) :: Option.value ~default:[] props) ntype
+  in
+  let sbd = node "SystemBeingDesigned" "Retail Banking Platform" in
+  let core = node "System" "Core Ledger" in
+  let channels = node "Subsystem" "Online Channels" in
+  let payments = node "Subsystem" "Payments" in
+  let web = node "Server" ~props:[ ("cpuCount", V_int 8) ] "web-frontend-01" in
+  let app = node "Server" ~props:[ ("cpuCount", V_int 16) ] "app-cluster-01" in
+  let db = node "DataStore" ~props:[ ("technology", V_string "DB2") ] "ledger-db" in
+  let audit = node "DataStore" ~props:[ ("technology", V_string "flat files") ] "audit-log" in
+  let teller = node "Program" ~props:[ ("language", V_string "Java") ] "TellerApp" in
+  let batch = node "Program" ~props:[ ("language", V_string "COBOL") ] "NightlyBatch" in
+  let alice =
+    node "User"
+      ~props:
+        [
+          ("firstName", V_string "Alice");
+          ("lastName", V_string "Alvarez");
+          ("birthYear", V_int 1970);
+          ("superuser", V_bool true);
+        ]
+      "alice"
+  in
+  let bob =
+    node "User"
+      ~props:
+        [ ("firstName", V_string "Bob"); ("lastName", V_string "Burke"); ("superuser", V_bool false) ]
+      "bob"
+  in
+  let carol =
+    node "User"
+      ~props:[ ("firstName", V_string "Carol"); ("lastName", V_string "Chen") ]
+      "carol"
+  in
+  (* The paper: users can add properties the metamodel never declared. *)
+  set_prop carol "middleName" (V_string "Ming");
+  let perf =
+    node "PerformanceRequirement"
+      ~props:[ ("metric", V_string "p99 latency"); ("threshold", V_string "250ms") ]
+      "fast-enough"
+  in
+  let ctx_doc =
+    node "Document"
+      ~props:[ ("version", V_string "1.2"); ("body", V_html "<p>System context.</p>") ]
+      "System Context"
+  in
+  (* A document that forgot its version: an Omissions-window regular. *)
+  let risky_doc = node "Document" "Risk Assessment" in
+  let rel r ~s ~t = ignore (relate m r ~source:s ~target:t) in
+  rel "has" ~s:sbd ~t:ctx_doc;
+  rel "has" ~s:sbd ~t:risky_doc;
+  rel "has" ~s:core ~t:channels;
+  rel "has" ~s:core ~t:payments;
+  rel "has" ~s:core ~t:web;
+  rel "has" ~s:core ~t:app;
+  rel "has" ~s:core ~t:db;
+  rel "has" ~s:core ~t:perf;
+  rel "has" ~s:core ~t:alice;
+  rel "has" ~s:core ~t:bob;
+  rel "has" ~s:core ~t:carol;
+  rel "runs" ~s:web ~t:teller;
+  rel "runs" ~s:app ~t:batch;
+  rel "connects-to" ~s:app ~t:db;
+  rel "connects-to" ~s:app ~t:audit;
+  rel "uses" ~s:alice ~t:core;
+  rel "uses" ~s:bob ~t:core;
+  rel "likes" ~s:alice ~t:bob;
+  rel "favors" ~s:bob ~t:carol;
+  (* The paper: "the user can make a Person use a Program, even if the
+     metamodel prefers to phrase that as Person uses System runs
+     Program." *)
+  rel "uses" ~s:carol ~t:teller;
+  m
+
+let glass_catalog =
+  create "glass-catalog"
+  |> fun mm ->
+  add_node_type mm "Item" ~properties:[ ("name", P_string); ("notes", P_html) ]
+  |> fun mm ->
+  add_node_type mm "GlassPiece" ~parent:"Item"
+       ~properties:[ ("year", P_int); ("price", P_int); ("color", P_string) ]
+  |> fun mm ->
+  add_node_type mm "Maker" ~parent:"Item" ~properties:[ ("country", P_string) ]
+  |> fun mm ->
+  add_node_type mm "Style" ~parent:"Item"
+  |> fun mm ->
+  add_node_type mm "Customer" ~parent:"Item"
+  |> fun mm ->
+  add_relation_type mm "made-by" ~pairs:[ ("GlassPiece", "Maker") ]
+  |> fun mm ->
+  add_relation_type mm "in-style" ~pairs:[ ("GlassPiece", "Style") ]
+  |> fun mm ->
+  add_relation_type mm "purchased-by" ~pairs:[ ("GlassPiece", "Customer") ]
+  |> fun mm -> add_advisory mm Expect_endpoints_declared
+(* Note: no SystemBeingDesigned advisory here — "the glass catalog
+   doesn't have a SystemBeingDesigned node at all, nor a warning about
+   it." *)
+
+let glass_model () =
+  let m = Model.create glass_catalog in
+  let open Model in
+  let node ?props ntype name =
+    add_node m ~props:(("name", V_string name) :: Option.value ~default:[] props) ntype
+  in
+  let tiffany = node "Maker" ~props:[ ("country", V_string "USA") ] "Tiffany Studios" in
+  let lalique = node "Maker" ~props:[ ("country", V_string "France") ] "Lalique" in
+  let nouveau = node "Style" "Art Nouveau" in
+  let deco = node "Style" "Art Deco" in
+  let vase =
+    node "GlassPiece"
+      ~props:[ ("year", V_int 1905); ("price", V_int 12000); ("color", V_string "favrile gold") ]
+      "Peacock Vase"
+  in
+  let bowl =
+    node "GlassPiece"
+      ~props:[ ("year", V_int 1928); ("price", V_int 4500); ("color", V_string "opalescent") ]
+      "Perruches Bowl"
+  in
+  let lamp =
+    node "GlassPiece"
+      ~props:[ ("year", V_int 1910); ("price", V_int 98000); ("color", V_string "dragonfly blue") ]
+      "Dragonfly Lamp"
+  in
+  let collector = node "Customer" "E. Driscoll" in
+  let rel r ~s ~t = ignore (relate m r ~source:s ~target:t) in
+  rel "made-by" ~s:vase ~t:tiffany;
+  rel "made-by" ~s:lamp ~t:tiffany;
+  rel "made-by" ~s:bowl ~t:lalique;
+  rel "in-style" ~s:vase ~t:nouveau;
+  rel "in-style" ~s:lamp ~t:nouveau;
+  rel "in-style" ~s:bowl ~t:deco;
+  rel "purchased-by" ~s:lamp ~t:collector;
+  m

@@ -1,0 +1,14 @@
+(** Ready-made metamodels and models.
+
+    [it_architecture] is the workbench's home domain; [glass_catalog] is
+    the paper's retargeting story ("AWB has retargeted to be a workbench
+    for an antique glass dealer"). [banking_model] is a small but complete
+    IT-architecture model used by the examples and tests; it deliberately
+    contains the deviations the paper describes: a user-added property, an
+    off-metamodel relation, and a document with no version information. *)
+
+val it_architecture : Metamodel.t
+val banking_model : unit -> Model.t
+
+val glass_catalog : Metamodel.t
+val glass_model : unit -> Model.t

@@ -1,0 +1,47 @@
+(** On-disk persistence for workbench models: numbered XML snapshots plus
+    a command journal.
+
+    "AWB is a device for collecting, maintaining, and documenting"
+    information — maintenance means the model outlives the session. A
+    store is a directory holding [snapshot-N.xml] files (the clean XML
+    export) and [journal.xml], the {!Edit.command}s applied since the
+    last snapshot. Recovery = load latest snapshot, replay the journal. *)
+
+type t
+
+val open_store : dir:string -> Metamodel.t -> t
+(** Create the directory if needed. @raise Sys_error on IO problems. *)
+
+val dir : t -> string
+
+(** {1 Snapshots} *)
+
+val save_snapshot : t -> Model.t -> int
+(** Write the model as the next numbered snapshot, clear the journal, and
+    return the new version number (starting at 1). *)
+
+val versions : t -> int list
+(** Ascending. *)
+
+val load_version : t -> int -> Model.t option
+val load_latest : t -> (int * Model.t) option
+
+(** {1 The journal} *)
+
+val append_command : t -> Edit.command -> unit
+val journal : t -> Edit.command list
+(** Oldest first. *)
+
+val clear_journal : t -> unit
+
+val recover : t -> Model.t option
+(** Latest snapshot with the journal replayed on top — the state a
+    crashed session left behind. Journal commands that no longer apply
+    (e.g. referencing since-vanished nodes) are skipped, in the advisory
+    spirit. *)
+
+(** {1 Command serialization (exposed for tests)} *)
+
+val command_to_xml : Edit.command -> Xml_base.Node.t
+val command_of_xml : Xml_base.Node.t -> Edit.command
+(** @raise Failure on malformed input *)

@@ -1,0 +1,102 @@
+type shape = {
+  users : int;
+  systems : int;
+  programs : int;
+  documents : int;
+  likes_per_user : int;
+  uses_per_user : int;
+}
+
+let shape_of_size size =
+  let size = max 6 size in
+  {
+    users = size * 4 / 10;
+    systems = max 1 (size * 2 / 10);
+    programs = max 1 (size * 3 / 10);
+    documents = max 1 (size / 10);
+    likes_per_user = 3;
+    uses_per_user = 2;
+  }
+
+(* A tiny deterministic PRNG (xorshift) so benchmark inputs are stable
+   across runs and platforms. *)
+type rng = { mutable state : int }
+
+let rng_make seed = { state = (if seed = 0 then 0x2545F491 else seed) }
+
+let rng_int r bound =
+  let x = r.state in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  r.state <- x land max_int;
+  r.state mod max 1 bound
+
+let first_names = [| "Alice"; "Bob"; "Carol"; "Dave"; "Erin"; "Frank"; "Grace"; "Heidi" |]
+let last_names = [| "Alvarez"; "Burke"; "Chen"; "Diaz"; "Ekwueme"; "Fox"; "Gupta"; "Hart" |]
+let languages = [| "Java"; "COBOL"; "C++"; "Smalltalk"; "Rexx" |]
+
+let generate ?(seed = 42) shape =
+  let rng = rng_make seed in
+  let m = Model.create Samples.it_architecture in
+  let open Model in
+  let sbd =
+    add_node m "SystemBeingDesigned" ~props:[ ("name", V_string "The System") ]
+  in
+  let systems =
+    Array.init shape.systems (fun i ->
+        add_node m "System" ~props:[ ("name", V_string (Printf.sprintf "system-%d" i)) ])
+  in
+  let programs =
+    Array.init shape.programs (fun i ->
+        add_node m "Program"
+          ~props:
+            [
+              ("name", V_string (Printf.sprintf "program-%d" i));
+              ("language", V_string languages.(rng_int rng (Array.length languages)));
+            ])
+  in
+  let users =
+    Array.init shape.users (fun i ->
+        add_node m "User"
+          ~props:
+            [
+              ("name", V_string (Printf.sprintf "user-%d" i));
+              ("firstName", V_string first_names.(rng_int rng (Array.length first_names)));
+              ("lastName", V_string last_names.(rng_int rng (Array.length last_names)));
+              ("superuser", V_bool (rng_int rng 10 = 0));
+            ])
+  in
+  let documents =
+    Array.init shape.documents (fun i ->
+        let props = [ ("name", V_string (Printf.sprintf "document-%d" i)) ] in
+        let props =
+          if i mod 3 = 0 then props
+          else ("version", V_string (Printf.sprintf "1.%d" (rng_int rng 9))) :: props
+        in
+        add_node m "Document" ~props)
+  in
+  let pick arr = arr.(rng_int rng (Array.length arr)) in
+  Array.iter (fun d -> ignore (relate m "has" ~source:sbd ~target:d)) documents;
+  Array.iter (fun s -> ignore (relate m "has" ~source:sbd ~target:s)) systems;
+  Array.iter
+    (fun s ->
+      for _ = 1 to 2 do
+        ignore (relate m "runs" ~source:s ~target:(pick programs))
+      done)
+    systems;
+  Array.iter
+    (fun u ->
+      for _ = 1 to shape.likes_per_user do
+        let rel = if rng_int rng 4 = 0 then "favors" else "likes" in
+        ignore (relate m rel ~source:u ~target:(pick users))
+      done;
+      for _ = 1 to shape.uses_per_user do
+        ignore (relate m "uses" ~source:u ~target:(pick systems))
+      done;
+      (* An occasional off-metamodel shortcut, as real users make. *)
+      if rng_int rng 10 = 0 then ignore (relate m "uses" ~source:u ~target:(pick programs)))
+    users;
+  m
+
+let generate_of_size ?seed size = generate ?seed (shape_of_size size)

@@ -1,0 +1,25 @@
+(** Deterministic synthetic model generation for benchmarks.
+
+    Builds IT-architecture models of a requested size with a realistic
+    relation mix (the workload behind the paper's query-calculus and
+    document-generation performance observations). The same seed always
+    yields the same model. *)
+
+type shape = {
+  users : int;
+  systems : int;
+  programs : int;
+  documents : int;
+  likes_per_user : int;
+  uses_per_user : int;
+}
+
+val shape_of_size : int -> shape
+(** A balanced shape with roughly [size] nodes total. *)
+
+val generate : ?seed:int -> shape -> Model.t
+(** Always contains exactly one SystemBeingDesigned node; a configurable
+    fraction of documents (1 in 3) lack version info so omission queries
+    have work to do. *)
+
+val generate_of_size : ?seed:int -> int -> Model.t

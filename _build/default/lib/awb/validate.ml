@@ -1,0 +1,110 @@
+type warning = { w_code : string; w_subject : string; w_message : string }
+
+let pp_warning fmt w =
+  Format.fprintf fmt "[%s] %s: %s" w.w_code w.w_subject w.w_message
+
+let warn code subject fmt =
+  Format.kasprintf (fun w_message -> { w_code = code; w_subject = subject; w_message }) fmt
+
+let check_advisory model = function
+  | Metamodel.Expect_exactly_one ntype -> (
+    match List.length (Model.nodes_of_type model ntype) with
+    | 1 -> []
+    | 0 ->
+      [
+        warn "exactly-one" ntype
+          "you might want to ensure that there is exactly one %s node, but there are none"
+          ntype;
+      ]
+    | n ->
+      [
+        warn "exactly-one" ntype
+          "there should be exactly one %s node, but there were %d" ntype n;
+      ])
+  | Metamodel.Expect_property (ntype, pname) ->
+    List.filter_map
+      (fun (n : Model.node) ->
+        match Model.prop n pname with
+        | Some _ -> None
+        | None ->
+          Some
+            (warn "missing-property" n.Model.id "%s %S has no %s" ntype
+               (Model.label model n) pname))
+      (Model.nodes_of_type model ntype)
+  | Metamodel.Expect_endpoints_declared ->
+    let mm = Model.metamodel model in
+    List.filter_map
+      (fun (r : Model.relation) ->
+        let pairs = Metamodel.declared_pairs mm r.Model.rtype in
+        if pairs = [] then None (* nothing declared: anything goes *)
+        else
+          let stype =
+            match Model.find_node model r.Model.source with
+            | Some n -> n.Model.ntype
+            | None -> "?"
+          in
+          let ttype =
+            match Model.find_node model r.Model.target with
+            | Some n -> n.Model.ntype
+            | None -> "?"
+          in
+          let ok =
+            List.exists
+              (fun (s, t) ->
+                Metamodel.is_subtype mm stype s && Metamodel.is_subtype mm ttype t)
+              pairs
+          in
+          if ok then None
+          else
+            Some
+              (warn "off-metamodel-relation" r.Model.rel_id
+                 "relation %s connects %s to %s, which the metamodel does not suggest"
+                 r.Model.rtype stype ttype))
+      (Model.relations model)
+
+let structural_checks model =
+  let mm = Model.metamodel model in
+  let unknown_types =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (n : Model.node) ->
+           if Metamodel.find_node_type mm n.Model.ntype = None then Some n.Model.ntype
+           else None)
+         (Model.nodes model))
+  in
+  let unknown_rels =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (r : Model.relation) ->
+           if Metamodel.find_relation_type mm r.Model.rtype = None then Some r.Model.rtype
+           else None)
+         (Model.relations model))
+  in
+  let undeclared_props =
+    List.concat_map
+      (fun (n : Model.node) ->
+        let declared = List.map fst (Metamodel.properties_of mm n.Model.ntype) in
+        Hashtbl.fold
+          (fun pname _ acc ->
+            if List.mem pname declared then acc
+            else
+              warn "undeclared-property" n.Model.id
+                "node %S carries property %s the metamodel does not declare for %s"
+                (Model.label model n) pname n.Model.ntype
+              :: acc)
+          n.Model.props []
+        |> List.sort compare)
+      (Model.nodes model)
+  in
+  List.map
+    (fun ty -> warn "unknown-node-type" ty "node type %s is not in the metamodel" ty)
+    unknown_types
+  @ List.map
+      (fun ty -> warn "unknown-relation-type" ty "relation %s is not in the metamodel" ty)
+      unknown_rels
+  @ undeclared_props
+
+let check model =
+  let mm = Model.metamodel model in
+  List.concat_map (check_advisory model) (Metamodel.advisories mm)
+  @ structural_checks model

@@ -1,0 +1,18 @@
+(** Advisory validation: "a meek warning message in a corner of the screen".
+
+    AWB never rejects a model; it reports where the model deviates from the
+    metamodel's suggestions. Downstream consumers (the document generator,
+    the Omissions window) must therefore handle deviant models themselves. *)
+
+type warning = {
+  w_code : string; (** stable identifier, e.g. "exactly-one" *)
+  w_subject : string; (** node/relation id or type name *)
+  w_message : string;
+}
+
+val check : Model.t -> warning list
+(** Evaluate every advisory in the metamodel, plus the always-on checks:
+    unknown node types, unknown relation types, and undeclared properties
+    are each reported once per offender. *)
+
+val pp_warning : Format.formatter -> warning -> unit

@@ -1,0 +1,145 @@
+module N = Xml_base.Node
+
+let kind_name = function
+  | Model.V_string _ -> "string"
+  | Model.V_int _ -> "int"
+  | Model.V_bool _ -> "bool"
+  | Model.V_html _ -> "html"
+
+let property_element (pname, v) =
+  N.element "property"
+    ~attrs:[ N.attribute "name" pname; N.attribute "kind" (kind_name v) ]
+    ~children:[ N.text (Model.value_to_string v) ]
+
+let sorted_props tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let export model =
+  let node_element (n : Model.node) =
+    N.element "node"
+      ~attrs:[ N.attribute "id" n.Model.id; N.attribute "type" n.Model.ntype ]
+      ~children:(List.map property_element (sorted_props n.Model.props))
+  in
+  let relation_element (r : Model.relation) =
+    N.element "relation"
+      ~attrs:
+        [
+          N.attribute "id" r.Model.rel_id;
+          N.attribute "type" r.Model.rtype;
+          N.attribute "source" r.Model.source;
+          N.attribute "target" r.Model.target;
+        ]
+      ~children:(List.map property_element (sorted_props r.Model.rprops))
+  in
+  let root =
+    N.element "awb-model"
+      ~attrs:[ N.attribute "metamodel" (Metamodel.name (Model.metamodel model)) ]
+      ~children:
+        (List.map node_element (Model.nodes model)
+        @ List.map relation_element (Model.relations model))
+  in
+  N.document [ root ]
+
+let export_string model = Xml_base.Serialize.to_string ~decl:true (export model)
+
+let parse_value kind text =
+  match kind with
+  | "int" -> (
+    match int_of_string_opt (String.trim text) with
+    | Some n -> Model.V_int n
+    | None -> Model.V_string text)
+  | "bool" -> (
+    match String.trim text with
+    | "true" -> Model.V_bool true
+    | "false" -> Model.V_bool false
+    | _ -> Model.V_string text)
+  | "html" -> Model.V_html text
+  | _ -> Model.V_string text
+
+let read_properties elt =
+  List.map
+    (fun p ->
+      let pname =
+        match N.attr p "name" with
+        | Some n -> n
+        | None -> failwith "awb-model: <property> without a name"
+      in
+      let kind = Option.value ~default:"string" (N.attr p "kind") in
+      (pname, parse_value kind (N.string_value p)))
+    (N.child_elements_named elt "property")
+
+let import mm doc =
+  let root =
+    match
+      List.find_opt (fun k -> N.is_element k && N.name k = "awb-model") (N.children doc)
+    with
+    | Some r -> Some r
+    | None -> if N.is_element doc && N.name doc = "awb-model" then Some doc else None
+  in
+  let root =
+    match root with Some r -> r | None -> failwith "awb-model: missing root element"
+  in
+  let model = Model.create mm in
+  List.iter
+    (fun elt ->
+      match N.name elt with
+      | "node" ->
+        let id =
+          match N.attr elt "id" with
+          | Some i -> i
+          | None -> failwith "awb-model: <node> without an id"
+        in
+        let ntype = Option.value ~default:"Element" (N.attr elt "type") in
+        ignore (Model.add_node model ~id ~props:(read_properties elt) ntype)
+      | "relation" ->
+        let get a =
+          match N.attr elt a with
+          | Some v -> v
+          | None -> failwith (Printf.sprintf "awb-model: <relation> without %s" a)
+        in
+        let source =
+          match Model.find_node model (get "source") with
+          | Some n -> n
+          | None -> failwith (Printf.sprintf "awb-model: dangling source %s" (get "source"))
+        in
+        let target =
+          match Model.find_node model (get "target") with
+          | Some n -> n
+          | None -> failwith (Printf.sprintf "awb-model: dangling target %s" (get "target"))
+        in
+        ignore
+          (Model.relate model ~id:(get "id") ~props:(read_properties elt) (get "type")
+             ~source ~target)
+      | other -> failwith (Printf.sprintf "awb-model: unexpected element <%s>" other))
+    (N.child_elements root);
+  model
+
+let import_string mm s = import mm (Xml_base.Parser.parse_string s)
+
+let export_metamodel mm =
+  let node_type name =
+    let attrs =
+      N.attribute "name" name
+      ::
+      (match Metamodel.find_node_type mm name with
+      | Some { Metamodel.nt_parent = Some p; _ } -> [ N.attribute "parent" p ]
+      | _ -> [])
+    in
+    N.element "node-type" ~attrs
+  in
+  let relation_type name =
+    let attrs =
+      N.attribute "name" name
+      ::
+      (match Metamodel.find_relation_type mm name with
+      | Some { Metamodel.rt_parent = Some p; _ } -> [ N.attribute "parent" p ]
+      | _ -> [])
+    in
+    N.element "relation-type" ~attrs
+  in
+  N.element "metamodel"
+    ~attrs:[ N.attribute "name" (Metamodel.name mm) ]
+    ~children:
+      (List.map node_type (Metamodel.node_type_names mm)
+      @ List.map relation_type (Metamodel.relation_type_names mm))

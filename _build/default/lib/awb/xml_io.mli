@@ -1,0 +1,38 @@
+(** The AWB model exchange format — "AWB saves its models in a nice, clean
+    XML format", which the document generator consumes.
+
+    Layout:
+    {v
+    <awb-model metamodel="it-architecture">
+      <node id="N1" type="Person">
+        <property name="firstName" kind="string">Alice</property>
+      </node>
+      <relation id="R1" type="likes" source="N1" target="N2"/>
+    </awb-model>
+    v} *)
+
+val export : Model.t -> Xml_base.Node.t
+(** A document node whose root element is [awb-model]. HTML-valued
+    properties are embedded as escaped text (the paper's "convenient for
+    the implementation" choice: XML-valued attributes are strings
+    internally and converted on output — we keep them as text, which is
+    exactly why the project's schema stopped matching its data). *)
+
+val export_string : Model.t -> string
+
+val import : Metamodel.t -> Xml_base.Node.t -> Model.t
+(** Rebuild a model from its export. Unknown node/relation types and
+    undeclared properties are accepted (advisory metamodel); structural
+    problems (missing ids, dangling endpoints) raise [Failure]. *)
+
+val import_string : Metamodel.t -> string -> Model.t
+
+val export_metamodel : Metamodel.t -> Xml_base.Node.t
+(** The metamodel as XML, for consumers that must reason about the type
+    hierarchy outside the host process (the XQuery document generator):
+    {v
+    <metamodel name="it-architecture">
+      <node-type name="User" parent="Person"/>
+      <relation-type name="favors" parent="likes"/>
+    </metamodel>
+    v} *)

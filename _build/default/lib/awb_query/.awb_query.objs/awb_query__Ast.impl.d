@@ -1,0 +1,1 @@
+lib/awb_query/ast.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/awb_query/native.ml: Ast Awb Hashtbl List Parser String

@@ -1,0 +1,1 @@
+lib/awb_query/native.mli: Ast Awb

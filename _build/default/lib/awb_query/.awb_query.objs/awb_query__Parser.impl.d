@@ -1,0 +1,1 @@
+lib/awb_query/parser.ml: Ast Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/awb_query/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/awb_query/to_xquery.ml: Ast Awb Buffer List Parser Printf String Xml_base Xquery

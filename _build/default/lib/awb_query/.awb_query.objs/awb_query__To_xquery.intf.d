@@ -1,0 +1,1 @@
+lib/awb_query/to_xquery.mli: Ast Awb Xml_base

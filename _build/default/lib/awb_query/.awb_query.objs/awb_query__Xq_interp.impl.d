@@ -1,0 +1,1 @@
+lib/awb_query/xq_interp.ml: Ast Awb List Parser String Xml_base Xquery

@@ -1,0 +1,67 @@
+(* The AWB query calculus — "a little calculus in which one could say:
+   Start at this user; follow the relation likes forwards; follow the
+   relation uses but only to computer programs from there; collect the
+   results, sorted by label."
+
+   The same calculus serves document generation and the UI (the Omissions
+   window), which is why it exists at all — and why, in the paper's story,
+   having an XQuery implementation and a Java implementation of it was
+   untenable. *)
+
+type start =
+  | All
+  | Of_type of string (* includes subtypes *)
+  | Node_id of string
+  | Focus
+      (* the implicit variable the document generator's <for> maintains;
+         evaluating it requires a focus to be supplied *)
+
+type direction = Forward | Backward
+
+type prop_op = P_eq | P_ne | P_lt | P_gt | P_contains
+
+type step =
+  | Follow of { rel : string; dir : direction; to_type : string option }
+  | Filter_type of string
+  | Filter_prop of { pname : string; op : prop_op; literal : string }
+  | Filter_has_prop of string
+  | Filter_not_has_prop of string
+  | Distinct
+  | Sort_by_label
+  | Sort_by_prop of { pname : string; descending : bool }
+  | Limit of int
+
+type t = { start : start; steps : step list }
+
+let direction_to_string = function Forward -> "forward" | Backward -> "backward"
+
+let prop_op_to_string = function
+  | P_eq -> "="
+  | P_ne -> "!="
+  | P_lt -> "<"
+  | P_gt -> ">"
+  | P_contains -> "contains"
+
+let start_to_string = function
+  | All -> "start all"
+  | Of_type ty -> Printf.sprintf "start type(%s)" ty
+  | Node_id id -> Printf.sprintf "start node(%s)" id
+  | Focus -> "start focus"
+
+let step_to_string = function
+  | Follow { rel; dir; to_type } ->
+    Printf.sprintf "follow %s %s%s" rel (direction_to_string dir)
+      (match to_type with None -> "" | Some ty -> Printf.sprintf " to(%s)" ty)
+  | Filter_type ty -> Printf.sprintf "filter type(%s)" ty
+  | Filter_prop { pname; op; literal } ->
+    Printf.sprintf "filter prop(%s %s %S)" pname (prop_op_to_string op) literal
+  | Filter_has_prop p -> Printf.sprintf "filter has-prop(%s)" p
+  | Filter_not_has_prop p -> Printf.sprintf "filter not-has-prop(%s)" p
+  | Distinct -> "distinct"
+  | Sort_by_label -> "sort-by label"
+  | Sort_by_prop { pname; descending } ->
+    Printf.sprintf "sort-by prop(%s)%s" pname (if descending then " desc" else "")
+  | Limit n -> Printf.sprintf "limit %d" n
+
+let to_string q =
+  String.concat "; " (start_to_string q.start :: List.map step_to_string q.steps)

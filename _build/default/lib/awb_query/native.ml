@@ -1,0 +1,93 @@
+module M = Awb.Model
+module MM = Awb.Metamodel
+
+let node_label (n : M.node) =
+  match M.prop n "name" with Some v -> M.value_to_string v | None -> n.M.id
+
+let numeric_pair a b =
+  match (int_of_string_opt (String.trim a), int_of_string_opt (String.trim b)) with
+  | Some x, Some y -> Some (x, y)
+  | _ -> None
+
+let prop_matches op literal value =
+  match op with
+  | Ast.P_eq -> (
+    match numeric_pair value literal with
+    | Some (x, y) -> x = y
+    | None -> value = literal)
+  | Ast.P_ne -> (
+    match numeric_pair value literal with
+    | Some (x, y) -> x <> y
+    | None -> value <> literal)
+  | Ast.P_lt -> (
+    match numeric_pair value literal with
+    | Some (x, y) -> x < y
+    | None -> value < literal)
+  | Ast.P_gt -> (
+    match numeric_pair value literal with
+    | Some (x, y) -> x > y
+    | None -> value > literal)
+  | Ast.P_contains ->
+    let nl = String.length literal and hl = String.length value in
+    if nl = 0 then true
+    else
+      let rec go i = i + nl <= hl && (String.sub value i nl = literal || go (i + 1)) in
+      go 0
+
+let eval_start model ~focus = function
+  | Ast.All -> M.nodes model
+  | Ast.Of_type ty -> M.nodes_of_type model ty
+  | Ast.Node_id id -> ( match M.find_node model id with Some n -> [ n ] | None -> [])
+  | Ast.Focus -> ( match focus with Some n -> [ n ] | None -> [])
+
+let eval_step model current = function
+  | Ast.Follow { rel; dir; to_type } ->
+    let neighbors n =
+      M.follow model n ~rtype:rel (match dir with Ast.Forward -> `Forward | Ast.Backward -> `Backward)
+    in
+    let reached = List.concat_map neighbors current in
+    (match to_type with
+    | None -> reached
+    | Some ty ->
+      List.filter
+        (fun (n : M.node) -> MM.is_subtype (M.metamodel model) n.M.ntype ty)
+        reached)
+  | Ast.Filter_type ty ->
+    List.filter (fun (n : M.node) -> MM.is_subtype (M.metamodel model) n.M.ntype ty) current
+  | Ast.Filter_prop { pname; op; literal } ->
+    List.filter
+      (fun n ->
+        match M.prop n pname with
+        | Some v -> prop_matches op literal (M.value_to_string v)
+        | None -> false)
+      current
+  | Ast.Filter_has_prop p -> List.filter (fun n -> M.prop n p <> None) current
+  | Ast.Filter_not_has_prop p -> List.filter (fun n -> M.prop n p = None) current
+  | Ast.Distinct ->
+    let seen = Hashtbl.create 16 in
+    List.filter
+      (fun (n : M.node) ->
+        if Hashtbl.mem seen n.M.id then false
+        else begin
+          Hashtbl.add seen n.M.id ();
+          true
+        end)
+      current
+  | Ast.Sort_by_label ->
+    List.stable_sort (fun a b -> compare (node_label a) (node_label b)) current
+  | Ast.Sort_by_prop { pname; descending } ->
+    let key n = M.prop_string n pname in
+    let cmp a b =
+      let ka = key a and kb = key b in
+      let c =
+        match numeric_pair ka kb with Some (x, y) -> compare x y | None -> compare ka kb
+      in
+      if descending then -c else c
+    in
+    List.stable_sort cmp current
+  | Ast.Limit n -> List.filteri (fun i _ -> i < n) current
+
+let eval ?focus model (q : Ast.t) =
+  List.fold_left (eval_step model) (eval_start model ~focus q.Ast.start) q.Ast.steps
+
+let eval_string ?focus model text = eval ?focus model (Parser.parse text)

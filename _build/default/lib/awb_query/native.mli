@@ -1,0 +1,17 @@
+(** Native evaluation of the query calculus over the in-memory model — the
+    paper's "Java" implementation, built directly on graph indexes.
+
+    Label semantics for sorting: the node's "name" property, falling back
+    to its id (both implementations share this definition so they can be
+    compared result-for-result). *)
+
+val node_label : Awb.Model.node -> string
+
+val eval : ?focus:Awb.Model.node -> Awb.Model.t -> Ast.t -> Awb.Model.node list
+(** Duplicates are preserved (it is a multigraph) unless the query says
+    [distinct]. [focus] backs the [start focus] clause; without one,
+    [start focus] yields the empty set. *)
+
+val eval_string :
+  ?focus:Awb.Model.node -> Awb.Model.t -> string -> Awb.Model.node list
+(** Parse then evaluate. @raise Parser.Parse_error *)

@@ -1,0 +1,193 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+(* Split a clause into words, keeping (...) groups and "..." literals
+   intact. *)
+let tokenize clause =
+  let n = String.length clause in
+  let toks = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      toks := Buffer.contents buf :: !toks;
+      Buffer.clear buf
+    end
+  in
+  let i = ref 0 in
+  while !i < n do
+    let c = clause.[!i] in
+    if c = ' ' || c = '\t' then begin
+      flush ();
+      incr i
+    end
+    else if c = '(' then begin
+      (* Capture the parenthesized group verbatim (may contain quotes). *)
+      Buffer.add_char buf c;
+      incr i;
+      let depth = ref 1 in
+      let in_string = ref false in
+      while !depth > 0 do
+        if !i >= n then fail "unterminated ( in %S" clause;
+        let c = clause.[!i] in
+        Buffer.add_char buf c;
+        (if !in_string then (if c = '"' then in_string := false)
+         else
+           match c with
+           | '"' -> in_string := true
+           | '(' -> incr depth
+           | ')' -> decr depth
+           | _ -> ());
+        incr i
+      done;
+      flush ()
+    end
+    else begin
+      Buffer.add_char buf c;
+      incr i
+    end
+  done;
+  flush ();
+  List.rev !toks
+
+(* A token like "type(User)" -> ("type", "User"). *)
+let split_call tok =
+  match String.index_opt tok '(' with
+  | Some i when String.length tok > 0 && tok.[String.length tok - 1] = ')' ->
+    let head = String.sub tok 0 i in
+    let inner = String.sub tok (i + 1) (String.length tok - i - 2) in
+    Some (head, String.trim inner)
+  | _ -> None
+
+let parse_prop_filter inner =
+  (* name OP literal, where literal may be quoted. *)
+  let ops =
+    [ ("!=", Ast.P_ne); ("=", Ast.P_eq); ("<", Ast.P_lt); (">", Ast.P_gt); ("contains", Ast.P_contains) ]
+  in
+  let find_op () =
+    let rec scan i =
+      if i >= String.length inner then None
+      else
+        match
+          List.find_opt
+            (fun (sym, _) ->
+              let l = String.length sym in
+              i + l <= String.length inner && String.sub inner i l = sym)
+            ops
+        with
+        | Some (sym, op) -> Some (i, sym, op)
+        | None -> scan (i + 1)
+    in
+    scan 0
+  in
+  match find_op () with
+  | None -> fail "prop filter needs an operator: %S" inner
+  | Some (i, sym, op) ->
+    let pname = String.trim (String.sub inner 0 i) in
+    let rest =
+      String.trim
+        (String.sub inner (i + String.length sym) (String.length inner - i - String.length sym))
+    in
+    let literal =
+      if String.length rest >= 2 && rest.[0] = '"' && rest.[String.length rest - 1] = '"'
+      then String.sub rest 1 (String.length rest - 2)
+      else rest
+    in
+    if pname = "" then fail "prop filter needs a property name: %S" inner;
+    Ast.Filter_prop { pname; op; literal }
+
+let parse_clause words =
+  match words with
+  | [] -> None
+  | [ "start"; "all" ] -> Some (`Start Ast.All)
+  | [ "start"; "focus" ] -> Some (`Start Ast.Focus)
+  | [ "start"; tok ] -> (
+    match split_call tok with
+    | Some ("type", ty) -> Some (`Start (Ast.Of_type ty))
+    | Some ("node", id) -> Some (`Start (Ast.Node_id id))
+    | _ -> fail "start expects all, type(T), or node(ID); got %S" tok)
+  | "follow" :: rel :: rest ->
+    let dir, rest =
+      match rest with
+      | "forward" :: rest -> (Ast.Forward, rest)
+      | "backward" :: rest -> (Ast.Backward, rest)
+      | rest -> (Ast.Forward, rest)
+    in
+    let to_type =
+      match rest with
+      | [] -> None
+      | [ tok ] -> (
+        match split_call tok with
+        | Some ("to", ty) -> Some ty
+        | _ -> fail "follow: expected to(Type), got %S" tok)
+      | _ -> fail "follow: too many words"
+    in
+    Some (`Step (Ast.Follow { rel; dir; to_type }))
+  | [ "filter"; tok ] -> (
+    match split_call tok with
+    | Some ("type", ty) -> Some (`Step (Ast.Filter_type ty))
+    | Some ("prop", inner) -> Some (`Step (parse_prop_filter inner))
+    | Some ("has-prop", p) -> Some (`Step (Ast.Filter_has_prop p))
+    | Some ("not-has-prop", p) -> Some (`Step (Ast.Filter_not_has_prop p))
+    | _ -> fail "filter expects type(T), prop(...), has-prop(P), or not-has-prop(P)")
+  | [ "distinct" ] -> Some (`Step Ast.Distinct)
+  | [ "sort-by"; "label" ] -> Some (`Step Ast.Sort_by_label)
+  | "sort-by" :: tok :: rest -> (
+    let descending =
+      match rest with
+      | [] -> false
+      | [ "desc" ] | [ "descending" ] -> true
+      | [ "asc" ] | [ "ascending" ] -> false
+      | _ -> fail "sort-by: unexpected trailing words"
+    in
+    match split_call tok with
+    | Some ("prop", pname) -> Some (`Step (Ast.Sort_by_prop { pname; descending }))
+    | _ -> fail "sort-by expects label or prop(P)")
+  | [ "limit"; n ] -> (
+    match int_of_string_opt n with
+    | Some n when n >= 0 -> Some (`Step (Ast.Limit n))
+    | _ -> fail "limit expects a non-negative integer, got %S" n)
+  | w :: _ -> fail "unknown clause %S" w
+
+(* Split on ';' and newlines, but not inside "..." literals. *)
+let split_clauses text =
+  let clauses = ref [] in
+  let buf = Buffer.create 32 in
+  let in_string = ref false in
+  let flush () =
+    let c = String.trim (Buffer.contents buf) in
+    if c <> "" then clauses := c :: !clauses;
+    Buffer.clear buf
+  in
+  String.iter
+    (fun c ->
+      if !in_string then begin
+        Buffer.add_char buf c;
+        if c = '"' then in_string := false
+      end
+      else
+        match c with
+        | '"' ->
+          Buffer.add_char buf c;
+          in_string := true
+        | ';' | '\n' -> flush ()
+        | c -> Buffer.add_char buf c)
+    text;
+  flush ();
+  List.rev !clauses
+
+let parse text =
+  let clauses = split_clauses text in
+  let parsed = List.filter_map (fun c -> parse_clause (tokenize c)) clauses in
+  match parsed with
+  | `Start s :: rest ->
+    let steps =
+      List.map
+        (function
+          | `Step st -> st
+          | `Start _ -> fail "only one start clause is allowed, at the beginning")
+        rest
+    in
+    { Ast.start = s; steps }
+  | `Step _ :: _ -> fail "a query must begin with a start clause"
+  | [] -> fail "empty query"

@@ -1,0 +1,15 @@
+(** Parser for the textual form of the AWB query calculus.
+
+    Queries are step clauses separated by [;] or newlines:
+    {v
+    start type(User);
+    follow likes forward;
+    follow uses to(Program);
+    distinct;
+    sort-by label
+    v} *)
+
+exception Parse_error of string
+
+val parse : string -> Ast.t
+(** @raise Parse_error with a human-oriented message. *)

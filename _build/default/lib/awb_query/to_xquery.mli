@@ -1,0 +1,28 @@
+(** The calculus compiled to XQuery — the paper's original implementation
+    strategy: the query language interpreted by XQuery over AWB's XML
+    export.
+
+    [compile] produces a complete XQuery program expecting the exported
+    model's root element in the external variable [$model]; [eval] runs it
+    through the engine and maps the resulting [node] elements back to model
+    nodes. The generated query leans on the engine's general [=] for set
+    membership (["@type = ("User", "Admin")"]) — one of the few places the
+    paper found that operator genuinely handy. *)
+
+val compile : Awb.Metamodel.t -> Ast.t -> string
+
+val eval_on_export :
+  ?focus:Awb.Model.node ->
+  Awb.Model.t ->
+  export_root:Xml_base.Node.t ->
+  Ast.t ->
+  Awb.Model.node list
+(** Evaluate against a previously exported model (the [awb-model]
+    element), avoiding re-export cost; results are mapped back to the
+    model's nodes by id. *)
+
+val eval : ?focus:Awb.Model.node -> Awb.Model.t -> Ast.t -> Awb.Model.node list
+(** Exports the model, then {!eval_on_export}. *)
+
+val eval_string :
+  ?focus:Awb.Model.node -> Awb.Model.t -> string -> Awb.Model.node list

@@ -1,0 +1,223 @@
+(* The third implementation of the query calculus — the paper's actual
+   first one: an interpreter for the calculus written IN XQuery.
+
+   "This was essentially writing an interpreter in XQuery, which is not a
+   hard exercise."
+
+   The query arrives as XML (see [query_to_xml]); the interpreter walks
+   its <step> elements recursively, threading the current node-set. The
+   metamodel export supplies the type hierarchy so type(T) and to(T)
+   remain subtype-aware, and prop-filter literals carry a numeric flag so
+   untyped-vs-number promotion matches the other two backends. *)
+
+module M = Awb.Model
+module N = Xml_base.Node
+
+let bool_attr b = if b then "true" else "false"
+
+let query_to_xml (q : Ast.t) : N.t =
+  let start =
+    match q.Ast.start with
+    | Ast.All -> N.element "start" ~attrs:[ N.attribute "kind" "all" ]
+    | Ast.Of_type ty ->
+      N.element "start" ~attrs:[ N.attribute "kind" "type"; N.attribute "arg" ty ]
+    | Ast.Node_id id ->
+      N.element "start" ~attrs:[ N.attribute "kind" "node"; N.attribute "arg" id ]
+    | Ast.Focus -> N.element "start" ~attrs:[ N.attribute "kind" "focus" ]
+  in
+  let step s =
+    let attrs =
+      match s with
+      | Ast.Follow { rel; dir; to_type } ->
+        [
+          N.attribute "kind" "follow";
+          N.attribute "rel" rel;
+          N.attribute "dir" (Ast.direction_to_string dir);
+        ]
+        @ (match to_type with Some ty -> [ N.attribute "to" ty ] | None -> [])
+      | Ast.Filter_type ty -> [ N.attribute "kind" "filter-type"; N.attribute "arg" ty ]
+      | Ast.Filter_prop { pname; op; literal } ->
+        [
+          N.attribute "kind" "filter-prop";
+          N.attribute "prop" pname;
+          N.attribute "op" (Ast.prop_op_to_string op);
+          N.attribute "literal" literal;
+          N.attribute "numeric"
+            (bool_attr (int_of_string_opt (String.trim literal) <> None));
+        ]
+      | Ast.Filter_has_prop p -> [ N.attribute "kind" "has-prop"; N.attribute "arg" p ]
+      | Ast.Filter_not_has_prop p ->
+        [ N.attribute "kind" "not-has-prop"; N.attribute "arg" p ]
+      | Ast.Distinct -> [ N.attribute "kind" "distinct" ]
+      | Ast.Sort_by_label -> [ N.attribute "kind" "sort-by-label" ]
+      | Ast.Sort_by_prop { pname; descending } ->
+        [
+          N.attribute "kind" "sort-by-prop";
+          N.attribute "prop" pname;
+          N.attribute "desc" (bool_attr descending);
+        ]
+      | Ast.Limit n ->
+        [ N.attribute "kind" "limit"; N.attribute "arg" (string_of_int n) ]
+    in
+    N.element "step" ~attrs
+  in
+  N.element "query" ~children:(start :: List.map step q.Ast.steps)
+
+let interpreter_source =
+  {|
+declare function local:is-subtype($mm, $sub, $super) {
+  if ($sub eq $super) then true()
+  else
+    let $decl := $mm/node-type[@name = $sub]
+    return
+      if (empty($decl)) then false()
+      else if (empty($decl/@parent)) then false()
+      else local:is-subtype($mm, string($decl[1]/@parent), $super)
+};
+
+declare function local:is-subrel($mm, $sub, $super) {
+  if ($sub eq $super) then true()
+  else
+    let $decl := $mm/relation-type[@name = $sub]
+    return
+      if (empty($decl)) then false()
+      else if (empty($decl/@parent)) then false()
+      else local:is-subrel($mm, string($decl[1]/@parent), $super)
+};
+
+declare function local:nodes-of-type($model, $mm, $ty) {
+  for $n in $model/node
+  where local:is-subtype($mm, string($n/@type), $ty)
+  return $n
+};
+
+declare function local:start($start, $model, $mm, $focus) {
+  if (string($start/@kind) eq "all") then $model/node
+  else if (string($start/@kind) eq "type") then
+    local:nodes-of-type($model, $mm, string($start/@arg))
+  else if (string($start/@kind) eq "node") then
+    $model/node[@id = string($start/@arg)]
+  else if (string($start/@kind) eq "focus") then $focus
+  else error("awb:bad-start", concat("unknown start kind ", string($start/@kind)))
+};
+
+declare function local:follow($step, $cur, $model, $mm) {
+  let $rel := string($step/@rel)
+  let $fwd := string($step/@dir) eq "forward"
+  for $n in $cur
+  for $r in $model/relation[local:is-subrel($mm, string(./@type), $rel)]
+  where (if ($fwd) then string($r/@source) else string($r/@target)) eq string($n/@id)
+  return
+    let $other := $model/node[@id = (if ($fwd) then string($r/@target) else string($r/@source))]
+    return
+      if (empty($step/@to)) then $other
+      else if (local:is-subtype($mm, string($other[1]/@type), string($step/@to))) then $other
+      else ()
+};
+
+declare function local:prop-test($step, $n) {
+  let $p := $n/property[@name = string($step/@prop)]
+  let $op := string($step/@op)
+  return
+    if ($op eq "contains") then
+      some $v in $p satisfies contains(string($v), string($step/@literal))
+    else
+      let $lit-s := string($step/@literal)
+      return
+        if (string($step/@numeric) eq "true") then
+          let $lit := number($step/@literal)
+          return
+            if ($op eq "=") then $p = $lit
+            else if ($op eq "!=") then $p != $lit
+            else if ($op eq "<") then $p < $lit
+            else $p > $lit
+        else
+          if ($op eq "=") then $p = $lit-s
+          else if ($op eq "!=") then $p != $lit-s
+          else if ($op eq "<") then $p < $lit-s
+          else $p > $lit-s
+};
+
+declare function local:step($step, $cur, $model, $mm) {
+  let $kind := string($step/@kind)
+  return
+    if ($kind eq "follow") then local:follow($step, $cur, $model, $mm)
+    else if ($kind eq "filter-type") then
+      for $n in $cur
+      where local:is-subtype($mm, string($n/@type), string($step/@arg))
+      return $n
+    else if ($kind eq "filter-prop") then
+      for $n in $cur where local:prop-test($step, $n) return $n
+    else if ($kind eq "has-prop") then
+      for $n in $cur where exists($n/property[@name = string($step/@arg)]) return $n
+    else if ($kind eq "not-has-prop") then
+      for $n in $cur where empty($n/property[@name = string($step/@arg)]) return $n
+    else if ($kind eq "distinct") then
+      for $id in distinct-values(for $n in $cur return string($n/@id))
+      return $model/node[@id = $id]
+    else if ($kind eq "sort-by-label") then
+      for $n in $cur
+      order by string(($n/property[@name = "name"], $n/@id)[1])
+      return $n
+    else if ($kind eq "sort-by-prop") then
+      (if (string($step/@desc) eq "true") then
+         for $n in $cur
+         order by number($n/property[@name = string($step/@prop)][1]) descending,
+                  string($n/property[@name = string($step/@prop)][1]) descending
+         return $n
+       else
+         for $n in $cur
+         order by number($n/property[@name = string($step/@prop)][1]),
+                  string($n/property[@name = string($step/@prop)][1])
+         return $n)
+    else if ($kind eq "limit") then
+      subsequence($cur, 1, number($step/@arg))
+    else error("awb:bad-step", concat("unknown step kind ", $kind))
+};
+
+declare function local:fold($steps, $cur, $model, $mm) {
+  if (empty($steps)) then $cur
+  else local:fold(subsequence($steps, 2),
+                  local:step($steps[1], $cur, $model, $mm),
+                  $model, $mm)
+};
+
+local:fold($query/step, local:start(($query/start)[1], $model, $mm, $focus), $model, $mm)
+|}
+
+let eval_on_export ?focus (model : M.t) ~export_root (q : Ast.t) : M.node list =
+  let mm_root = Awb.Xml_io.export_metamodel (M.metamodel model) in
+  let query_xml = query_to_xml q in
+  let focus_seq =
+    match focus with
+    | None -> []
+    | Some (n : M.node) ->
+      N.find_all
+        (fun e ->
+          N.is_element e && N.name e = "node" && N.attr e "id" = Some n.M.id)
+        export_root
+      |> Xquery.Value.of_nodes
+  in
+  let result =
+    Xquery.Engine.eval_query
+      ~vars:
+        [
+          ("model", Xquery.Value.of_node export_root);
+          ("mm", Xquery.Value.of_node mm_root);
+          ("query", Xquery.Value.of_node query_xml);
+          ("focus", focus_seq);
+        ]
+      interpreter_source
+  in
+  List.filter_map
+    (function
+      | Xquery.Value.Node n when N.is_element n -> (
+        match N.attr n "id" with Some id -> M.find_node model id | None -> None)
+      | _ -> None)
+    result
+
+let eval ?focus model q =
+  let doc = Awb.Xml_io.export model in
+  eval_on_export ?focus model ~export_root:(List.hd (N.children doc)) q
+
+let eval_string ?focus model text = eval ?focus model (Parser.parse text)

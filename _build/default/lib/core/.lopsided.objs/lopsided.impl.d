@@ -1,0 +1,1 @@
+lib/core/lopsided.ml: Awb Awb_query Docgen Paper_tables Xml_base Xqlib Xquery Xslt

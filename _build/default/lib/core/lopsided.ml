@@ -1,0 +1,61 @@
+(** One-stop public API for the Lopsided Little Languages reproduction.
+
+    {1 What this library is}
+
+    A from-scratch OCaml reproduction of the systems in Bard Bloom's
+    "Lopsided Little Languages: Experience with XQuery in a Document
+    Generation Subsystem" (SIGMOD Record, 2005):
+
+    - {!Xml}: an XML substrate with node identity, document order, and
+      in-place mutation (the host-engine side needs it).
+    - {!Xq}: an XQuery-subset engine with the exact semantics the paper
+      reports on — flat sequences, attribute folding, existential [=],
+      and an optimizer whose dead-code elimination can silently delete
+      [trace()] calls ({!Xq.Context.galax_compat}).
+    - {!Awb}: the Architect's Workbench substrate — metamodel, annotated
+      multigraph model, advisory validation, XML export.
+    - {!Query}: the AWB query calculus with two implementations (native
+      and compiled-to-XQuery) that must agree.
+    - {!Docgen}: the document generator twice over — the functional
+      XQuery-style engine and the host-style rewrite — plus a genuine
+      XQuery core run by {!Xq}.
+    - {!Xq_utils}: the project's XQuery utility library (string sets,
+      trimming, binary search, trigonometry) in actual XQuery.
+
+    {1 Quickstart}
+
+    {[
+      let model = Lopsided.Awb.Samples.banking_model () in
+      let template =
+        Lopsided.Xml.Parser.parse_string
+          "<document><for nodes=\"start type(User); sort-by label\"><p><label/></p></for></document>"
+      in
+      let result = Lopsided.Docgen.Host_engine.generate model ~template in
+      print_endline (Lopsided.Xml.Serialize.to_string result.Lopsided.Docgen.Spec.document)
+    ]} *)
+
+module Xml = Xml_base
+module Xq = Xquery
+module Awb = Awb
+module Query = Awb_query
+module Docgen = Docgen
+module Xq_utils = Xqlib.Xq_utils
+module Xslt = Xslt
+module Paper_tables = Paper_tables
+
+(** Run an XQuery query over an XML string and return the printed result
+    — the two-line hello world. *)
+let xquery_string ~xml ~query =
+  let doc = Xml_base.Parser.parse_string xml in
+  Xquery.Value.to_display_string
+    (Xquery.Engine.eval_query ~context_item:(Xquery.Value.Node doc) query)
+
+(** Generate a document from template + model XML strings with the host
+    engine; returns (document XML, problems). *)
+let generate_document ~metamodel ~model_xml ~template_xml =
+  let model = Awb.Xml_io.import_string metamodel model_xml in
+  let template =
+    Xml_base.Parser.strip_whitespace (Xml_base.Parser.parse_string template_xml)
+  in
+  let result = Docgen.Host_engine.generate model ~template in
+  (Xml_base.Serialize.to_string result.Docgen.Spec.document, result.Docgen.Spec.problems)

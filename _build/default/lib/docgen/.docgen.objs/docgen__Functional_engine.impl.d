@@ -1,0 +1,1 @@
+lib/docgen/functional_engine.ml: Astring Awb Awb_query Either Format Hashtbl List Option Printf Queries Spec String Xml_base

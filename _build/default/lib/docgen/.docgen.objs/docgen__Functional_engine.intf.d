@@ -1,0 +1,1 @@
+lib/docgen/functional_engine.mli: Awb Spec Xml_base

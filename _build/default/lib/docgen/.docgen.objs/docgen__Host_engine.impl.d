@@ -1,0 +1,1 @@
+lib/docgen/host_engine.ml: Array Astring Awb Format Hashtbl List Option Printf Queries Spec String Xml_base

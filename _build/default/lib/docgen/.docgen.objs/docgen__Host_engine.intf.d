@@ -1,0 +1,1 @@
+lib/docgen/host_engine.mli: Awb Spec Xml_base

@@ -1,0 +1,1 @@
+lib/docgen/queries.ml: Awb Awb_query List Option Spec Xml_base

@@ -1,0 +1,1 @@
+lib/docgen/queries.mli: Awb Awb_query Spec

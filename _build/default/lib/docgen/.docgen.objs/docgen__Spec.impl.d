@@ -1,0 +1,1 @@
+lib/docgen/spec.ml: Awb Hashtbl List Printf String Xml_base

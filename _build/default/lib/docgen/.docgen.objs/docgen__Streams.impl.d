@@ -1,0 +1,1 @@
+lib/docgen/streams.ml: List Xml_base Xslt

@@ -1,0 +1,1 @@
+lib/docgen/xq_engine.ml: Awb List Xml_base Xquery

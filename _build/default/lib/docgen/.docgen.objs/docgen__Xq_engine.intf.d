@@ -1,0 +1,1 @@
+lib/docgen/xq_engine.mli: Awb Xml_base

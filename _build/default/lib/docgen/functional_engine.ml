@@ -1,0 +1,598 @@
+(* The XQuery-style document generator, written the way the paper's XQuery
+   version had to be written:
+
+   - No mutation anywhere in the generation logic. State (the focus, the
+     section depth) is threaded through a context record.
+   - No exceptions for generation errors. A failing computation returns an
+     <error> element carrying <message> and <location>; every call site
+     must test for it and ship it upward, so "the actual behavior of most
+     code [is] badly obscured, with one small piece of computation every
+     few lines, hidden behind billows of error messages".
+   - No accumulators. Tables of contents, omissions, and marker tables are
+     communicated to later phases inside <INTERNAL-DATA> elements embedded
+     in the output; five whole-document copy phases then assemble the
+     final document, "requiring multiple copies of the entire output".
+
+   The only mutable thing in sight is the stats record, which is
+   measurement apparatus, not program state. *)
+
+module N = Xml_base.Node
+open Spec
+
+type ctx = {
+  model : Awb.Model.t;
+  queries : Queries.t;
+  focus : Awb.Model.node option;
+  path : string list; (* reversed; innermost first *)
+  depth : int; (* section nesting *)
+  stats : stats;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Error values                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let make_error ctx message =
+  N.element "error"
+    ~children:
+      [
+        N.element "message" ~children:[ N.text message ];
+        N.element "location" ~children:[ N.text (path_to_string ctx.path) ];
+      ]
+
+(* "LET $return-value := f(...) RETURN IF is-error(...)": the check every
+   call site performs. The counter records how many such tests actually
+   ran — the measurable residue of the pattern. *)
+let is_error ctx (nodes : N.t list) =
+  ctx.stats.error_checks <- ctx.stats.error_checks + 1;
+  match nodes with
+  | [ e ] -> N.is_element e && N.name e = "error"
+  | _ -> false
+
+let error_message = function
+  | [ e ] -> (
+    match N.child_element e "message" with
+    | Some m -> N.string_value m
+    | None -> "")
+  | _ -> ""
+
+(* ------------------------------------------------------------------ *)
+(* Small helpers (pure)                                                *)
+(* ------------------------------------------------------------------ *)
+
+let internal_data kids = N.element "INTERNAL-DATA" ~children:kids
+
+let visited_marker (n : Awb.Model.node) =
+  internal_data [ N.element "VISITED" ~attrs:[ N.attribute "node-id" n.Awb.Model.id ] ]
+
+let toc_marker depth text =
+  internal_data
+    [
+      N.element "TOC-ENTRY"
+        ~attrs:[ N.attribute "depth" (string_of_int depth); N.attribute "text" text ];
+    ]
+
+let focus_label ctx n = Awb.Model.label ctx.model n
+
+let split_types s =
+  String.split_on_char ' ' s |> List.map String.trim |> List.filter (fun x -> x <> "")
+
+(* All-at-once grid table construction: "each row and then the table
+   itself must be produced in its entirety, all at once". *)
+let build_grid_all_at_once model rel rows cols =
+  let td text = N.element "td" ~children:(if text = "" then [] else [ N.text text ]) in
+  let header_row =
+    N.element "tr"
+      ~children:(td grid_corner :: List.map (fun c -> td (Awb.Model.label model c)) cols)
+  in
+  let data_row r =
+    N.element "tr"
+      ~children:
+        (td (Awb.Model.label model r)
+        :: List.map (fun c -> td (grid_cell model rel r c)) cols)
+  in
+  N.element "table"
+    ~attrs:[ N.attribute "class" "awb-table" ]
+    ~children:(header_row :: List.map data_row rows)
+
+(* ------------------------------------------------------------------ *)
+(* Attribute / child / query access, error-value style                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Each of these returns either the wanted thing or an error element; the
+   caller tests. This is the requiredChild(...) of the paper, in the
+   representation XQuery forced. *)
+
+let required_attr ctx elt attr : (string, N.t list) Either.t =
+  match N.attr elt attr with
+  | Some v -> Either.Left v
+  | None -> Either.Right [ make_error ctx (msg_missing_attr (N.name elt) attr) ]
+
+let required_child ctx elt child : (N.t, N.t list) Either.t =
+  match N.child_element elt child with
+  | Some c -> Either.Left c
+  | None -> Either.Right [ make_error ctx (msg_missing_child (N.name elt) child) ]
+
+let parse_query ctx src : (Awb_query.Ast.t, N.t list) Either.t =
+  match Queries.parse src with
+  | Ok q -> Either.Left q
+  | Error reason -> Either.Right [ make_error ctx (msg_bad_query src reason) ]
+
+let required_focus ctx directive : (Awb.Model.node, N.t list) Either.t =
+  match ctx.focus with
+  | Some n -> Either.Left n
+  | None -> Either.Right [ make_error ctx (msg_no_focus directive) ]
+
+(* ------------------------------------------------------------------ *)
+(* Conditions                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A condition evaluates to either a boolean or an error value. *)
+let rec eval_condition ctx (cond : N.t) : (bool, N.t list) Either.t =
+  match N.name cond with
+  | "focus-is-type" -> (
+    match required_attr ctx cond "type" with
+    | Either.Right e -> Either.Right e
+    | Either.Left ty -> (
+      match required_focus ctx "focus-is-type" with
+      | Either.Right e -> Either.Right e
+      | Either.Left n ->
+        Either.Left
+          (Awb.Metamodel.is_subtype (Awb.Model.metamodel ctx.model) n.Awb.Model.ntype ty)))
+  | "has-prop" -> (
+    match required_attr ctx cond "name" with
+    | Either.Right e -> Either.Right e
+    | Either.Left pname -> (
+      match required_focus ctx "has-prop" with
+      | Either.Right e -> Either.Right e
+      | Either.Left n -> Either.Left (Awb.Model.prop n pname <> None)))
+  | "nonempty" -> (
+    match required_attr ctx cond "query" with
+    | Either.Right e -> Either.Right e
+    | Either.Left src -> (
+      match parse_query ctx src with
+      | Either.Right e -> Either.Right e
+      | Either.Left q -> Either.Left (Queries.run ctx.queries ?focus:ctx.focus q <> [])))
+  | "not" -> (
+    match N.child_elements cond with
+    | [ inner ] -> (
+      match eval_condition { ctx with path = "not" :: ctx.path } inner with
+      | Either.Left b -> Either.Left (not b)
+      | Either.Right e -> Either.Right e)
+    | _ -> Either.Right [ make_error ctx (msg_missing_child "not" "condition") ])
+  | other -> Either.Right [ make_error ctx (msg_unknown_condition other) ]
+
+(* ------------------------------------------------------------------ *)
+(* The recursive walk                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec gen ctx (tpl : N.t) : N.t list =
+  match N.kind tpl with
+  | N.Text -> [ N.text (N.string_value tpl) ]
+  | N.Comment -> [ N.comment (N.string_value tpl) ]
+  | N.Processing_instruction | N.Attribute | N.Document -> []
+  | N.Element -> (
+    let ctx = { ctx with path = N.name tpl :: ctx.path } in
+    match N.name tpl with
+    | "for" -> gen_for ctx tpl
+    | "if" -> gen_if ctx tpl
+    | "label" -> gen_label ctx
+    | "property" -> gen_property ctx tpl
+    | "required-property" -> gen_required_property ctx tpl
+    | "rich-property" -> gen_rich_property ctx tpl
+    | "value-of" -> gen_value_of ctx tpl
+    | "count-of" -> gen_count_of ctx tpl
+    | "with-single" -> gen_with_single ctx tpl
+    | "section" -> gen_section ctx tpl
+    | "table-of-contents" -> [ N.element "TOC-PLACEHOLDER" ]
+    | "table-of-omissions" -> gen_omissions_placeholder ctx tpl
+    | "grid-table" -> gen_grid ctx tpl
+    | "marker-table" -> gen_marker_table ctx tpl
+    | _ -> gen_copy ctx tpl)
+
+and gen_list ctx = function
+  | [] -> []
+  | tpl :: rest ->
+    let head = gen ctx tpl in
+    if is_error ctx head then head
+    else
+      let tail = gen_list ctx rest in
+      if is_error ctx tail then tail else head @ tail
+
+and gen_copy ctx tpl =
+  let kids = gen_list ctx (N.children tpl) in
+  if is_error ctx kids then kids
+  else
+    [
+      N.element (N.name tpl)
+        ~attrs:(List.map N.copy (N.attributes tpl))
+        ~children:kids;
+    ]
+
+and gen_for ctx tpl =
+  match required_attr ctx tpl "nodes" with
+  | Either.Right e -> e
+  | Either.Left src -> (
+    match parse_query ctx src with
+    | Either.Right e -> e
+    | Either.Left q ->
+      let nodes = Queries.run ctx.queries ?focus:ctx.focus q in
+      let rec iterate = function
+        | [] -> []
+        | n :: rest ->
+          ctx.stats.visited_count <- ctx.stats.visited_count + 1;
+          let body = gen_list { ctx with focus = Some n } (N.children tpl) in
+          if is_error ctx body then body
+          else
+            let tail = iterate rest in
+            if is_error ctx tail then tail else (visited_marker n :: body) @ tail
+      in
+      iterate nodes)
+
+and gen_if ctx tpl =
+  match required_child ctx tpl "test" with
+  | Either.Right e -> e
+  | Either.Left test -> (
+    let cond_result =
+      match N.child_elements test with
+      | [ cond ] -> eval_condition ctx cond
+      | _ -> Either.Right [ make_error ctx (msg_missing_child "test" "condition") ]
+    in
+    match cond_result with
+    | Either.Right e -> e
+    | Either.Left b ->
+      if b then
+        match required_child ctx tpl "then" with
+        | Either.Right e -> e
+        | Either.Left branch -> gen_list ctx (N.children branch)
+      else (
+        match N.child_element tpl "else" with
+        | Some branch -> gen_list ctx (N.children branch)
+        | None -> []))
+
+and gen_label ctx =
+  match required_focus ctx "label" with
+  | Either.Right e -> e
+  | Either.Left n -> [ N.text (focus_label ctx n) ]
+
+and gen_property ctx tpl =
+  match required_attr ctx tpl "name" with
+  | Either.Right e -> e
+  | Either.Left pname -> (
+    match required_focus ctx "property" with
+    | Either.Right e -> e
+    | Either.Left n -> (
+      match Awb.Model.prop_string n pname with "" -> [] | v -> [ N.text v ]))
+
+and gen_required_property ctx tpl =
+  match required_attr ctx tpl "name" with
+  | Either.Right e -> e
+  | Either.Left pname -> (
+    match required_focus ctx "required-property" with
+    | Either.Right e -> e
+    | Either.Left n -> (
+      match Awb.Model.prop n pname with
+      | Some v -> [ N.text (Awb.Model.value_to_string v) ]
+      | None ->
+        [ make_error ctx (msg_missing_property pname (focus_label ctx n)) ]))
+
+and gen_rich_property ctx tpl =
+  match required_attr ctx tpl "name" with
+  | Either.Right e -> e
+  | Either.Left pname -> (
+    match required_focus ctx "rich-property" with
+    | Either.Right e -> e
+    | Either.Left n -> (
+      match Awb.Model.prop_string n pname with
+      | "" -> []
+      | raw -> (
+        (* HTML-valued properties are strings internally, XML on output:
+           parse the fragment and splice it. *)
+        match Xml_base.Parser.parse_fragment raw with
+        | fragment -> List.map N.copy fragment
+        | exception Xml_base.Parser.Parse_error { message; _ } ->
+          [
+            make_error ctx
+              (msg_malformed_rich_property pname (focus_label ctx n) message);
+          ])))
+
+and gen_value_of ctx tpl =
+  match required_attr ctx tpl "query" with
+  | Either.Right e -> e
+  | Either.Left src -> (
+    match parse_query ctx src with
+    | Either.Right e -> e
+    | Either.Left q ->
+      let sep = Option.value ~default:", " (N.attr tpl "separator") in
+      let nodes = Queries.run ctx.queries ?focus:ctx.focus q in
+      (match nodes with
+      | [] -> []
+      | nodes -> [ N.text (String.concat sep (List.map (focus_label ctx) nodes)) ]))
+
+and gen_count_of ctx tpl =
+  match required_attr ctx tpl "query" with
+  | Either.Right e -> e
+  | Either.Left src -> (
+    match parse_query ctx src with
+    | Either.Right e -> e
+    | Either.Left q ->
+      [ N.text (string_of_int (List.length (Queries.run ctx.queries ?focus:ctx.focus q))) ])
+
+and gen_with_single ctx tpl =
+  match required_attr ctx tpl "type" with
+  | Either.Right e -> e
+  | Either.Left ty -> (
+    match Awb.Model.nodes_of_type ctx.model ty with
+    | [ n ] ->
+      ctx.stats.visited_count <- ctx.stats.visited_count + 1;
+      let body = gen_list { ctx with focus = Some n } (N.children tpl) in
+      if is_error ctx body then body else visited_marker n :: body
+    | others -> [ make_error ctx (msg_exactly_one ty (List.length others)) ])
+
+and gen_section ctx tpl =
+  match required_child ctx tpl "heading" with
+  | Either.Right e -> e
+  | Either.Left heading -> (
+    let heading_out = gen_list { ctx with path = "heading" :: ctx.path } (N.children heading) in
+    if is_error ctx heading_out then heading_out
+    else
+      let body_tpls =
+        List.filter
+          (fun k -> not (N.is_element k && N.name k = "heading"))
+          (N.children tpl)
+      in
+      let body = gen_list { ctx with depth = ctx.depth + 1 } body_tpls in
+      if is_error ctx body then body
+      else
+        let level = min 6 (ctx.depth + 2) in
+        (* The ToC entry text is the heading's visible text: the
+           INTERNAL-DATA plumbing riding along in the output must not
+           leak into it. *)
+        let rec visible_text n =
+          match N.kind n with
+          | N.Element when N.name n = "INTERNAL-DATA" -> ""
+          | N.Element | N.Document ->
+            String.concat "" (List.map visible_text (N.children n))
+          | N.Text -> N.string_value n
+          | N.Attribute | N.Comment | N.Processing_instruction -> ""
+        in
+        let heading_text = String.concat "" (List.map visible_text heading_out) in
+        [
+          toc_marker ctx.depth heading_text;
+          N.element "div"
+            ~attrs:[ N.attribute "class" "section" ]
+            ~children:
+              (N.element (Printf.sprintf "h%d" level) ~children:heading_out :: body);
+        ])
+
+and gen_omissions_placeholder ctx tpl =
+  match required_attr ctx tpl "types" with
+  | Either.Right e -> e
+  | Either.Left types ->
+    [ N.element "OMISSIONS-PLACEHOLDER" ~attrs:[ N.attribute "types" types ] ]
+
+and gen_grid ctx tpl =
+  match (required_attr ctx tpl "rows", required_attr ctx tpl "cols", required_attr ctx tpl "rel") with
+  | Either.Right e, _, _ | _, Either.Right e, _ | _, _, Either.Right e -> e
+  | Either.Left rows_src, Either.Left cols_src, Either.Left rel -> (
+    match (parse_query ctx rows_src, parse_query ctx cols_src) with
+    | Either.Right e, _ | _, Either.Right e -> e
+    | Either.Left rows_q, Either.Left cols_q ->
+      let rows = Queries.run ctx.queries ?focus:ctx.focus rows_q in
+      let cols = Queries.run ctx.queries ?focus:ctx.focus cols_q in
+      [ build_grid_all_at_once ctx.model rel rows cols ])
+
+and gen_marker_table ctx tpl =
+  match
+    ( required_attr ctx tpl "name",
+      required_attr ctx tpl "rows",
+      required_attr ctx tpl "cols",
+      required_attr ctx tpl "rel" )
+  with
+  | Either.Right e, _, _, _ | _, Either.Right e, _, _ | _, _, Either.Right e, _
+  | _, _, _, Either.Right e ->
+    e
+  | Either.Left name, Either.Left rows_src, Either.Left cols_src, Either.Left rel -> (
+    match (parse_query ctx rows_src, parse_query ctx cols_src) with
+    | Either.Right e, _ | _, Either.Right e -> e
+    | Either.Left rows_q, Either.Left cols_q ->
+      let rows = Queries.run ctx.queries ?focus:ctx.focus rows_q in
+      let cols = Queries.run ctx.queries ?focus:ctx.focus cols_q in
+      [
+        internal_data
+          [
+            N.element "MARKER-TABLE"
+              ~attrs:[ N.attribute "name" name ]
+              ~children:[ build_grid_all_at_once ctx.model rel rows cols ];
+          ];
+      ])
+
+(* ------------------------------------------------------------------ *)
+(* Phases 2..5: whole-document copies                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Copy a tree, transforming elements through [rewrite] (which returns
+   None to mean "copy structurally"). Every allocated node is counted —
+   the cost the paper accepted as "fairly inefficient, requiring multiple
+   copies of the entire output". *)
+let rec copy_phase stats rewrite (n : N.t) : N.t list =
+  match rewrite n with
+  | Some replacement -> replacement
+  | None -> (
+    match N.kind n with
+    | N.Element ->
+      stats.nodes_copied <- stats.nodes_copied + 1;
+      [
+        N.element (N.name n)
+          ~attrs:
+            (List.map
+               (fun a ->
+                 stats.nodes_copied <- stats.nodes_copied + 1;
+                 N.copy a)
+               (N.attributes n))
+          ~children:(List.concat_map (copy_phase stats rewrite) (N.children n));
+      ]
+    | N.Text | N.Comment | N.Processing_instruction | N.Attribute ->
+      stats.nodes_copied <- stats.nodes_copied + 1;
+      [ N.copy n ]
+    | N.Document -> List.concat_map (copy_phase stats rewrite) (N.children n))
+
+let run_phase ctx rewrite root =
+  ctx.stats.phases <- ctx.stats.phases + 1;
+  match copy_phase ctx.stats rewrite root with
+  | [ r ] -> r
+  | _ -> invalid_arg "Docgen.Functional_engine: phase must preserve the root"
+
+let phase_omissions ctx root =
+  let visited_ids = Hashtbl.create 64 in
+  List.iter
+    (fun v ->
+      match N.attr v "node-id" with
+      | Some id -> Hashtbl.replace visited_ids id ()
+      | None -> ())
+    (N.find_all (fun n -> N.is_element n && N.name n = "VISITED") root);
+  let rewrite n =
+    if N.is_element n && N.name n = "OMISSIONS-PLACEHOLDER" then
+      let types = split_types (Option.value ~default:"" (N.attr n "types")) in
+      Some
+        [
+          render_omissions ctx.model ~visited:(Hashtbl.mem visited_ids) ~types;
+        ]
+    else None
+  in
+  run_phase ctx rewrite root
+
+let phase_toc ctx root =
+  let entries =
+    List.filter_map
+      (fun e ->
+        match (N.attr e "depth", N.attr e "text") with
+        | Some d, Some t -> Some (int_of_string d, t)
+        | _ -> None)
+      (N.find_all (fun n -> N.is_element n && N.name n = "TOC-ENTRY") root)
+  in
+  let rewrite n =
+    if N.is_element n && N.name n = "TOC-PLACEHOLDER" then Some [ render_toc entries ]
+    else None
+  in
+  run_phase ctx rewrite root
+
+(* Split [text] on the marker phrase for [name], interleaving copies of
+   the table. *)
+let splice_marker stats phrase table text =
+  let rec go s acc =
+    match Astring.String.find_sub ~sub:phrase s with
+    | None -> List.rev (if s = "" then acc else N.text s :: acc)
+    | Some i ->
+      let before = String.sub s 0 i in
+      let after = String.sub s (i + String.length phrase) (String.length s - i - String.length phrase) in
+      let acc = if before = "" then acc else N.text before :: acc in
+      stats.nodes_copied <- stats.nodes_copied + 1;
+      go after (N.copy table :: acc)
+  in
+  go text []
+
+let phase_markers ctx root =
+  let tables =
+    List.filter_map
+      (fun e ->
+        match (N.attr e "name", N.child_elements e) with
+        | Some name, [ table ] -> Some (name, table)
+        | _ -> None)
+      (N.find_all (fun n -> N.is_element n && N.name n = "MARKER-TABLE") root)
+  in
+  let rewrite n =
+    if N.is_text n then begin
+      let text = N.string_value n in
+      let hit =
+        List.find_opt (fun (name, _) -> Astring.String.is_infix ~affix:(marker_phrase name) text) tables
+      in
+      match hit with
+      | None -> None
+      | Some (name, table) ->
+        Some (splice_marker ctx.stats (marker_phrase name) table text)
+    end
+    else None
+  in
+  run_phase ctx rewrite root
+
+let phase_strip_internal ctx root =
+  let rewrite n =
+    if N.is_element n && N.name n = "INTERNAL-DATA" then Some [] else None
+  in
+  run_phase ctx rewrite root
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let template_root template =
+  match N.kind template with
+  | N.Document -> List.hd (N.child_elements template)
+  | _ -> template
+
+let marker_problems root used_root =
+  (* Markers defined but whose phrase never occurred anywhere. *)
+  let defined =
+    List.filter_map
+      (fun e -> N.attr e "name")
+      (N.find_all (fun n -> N.is_element n && N.name n = "MARKER-TABLE") root)
+  in
+  List.filter_map
+    (fun name ->
+      let phrase = marker_phrase name in
+      let occurs =
+        List.exists
+          (fun t -> Astring.String.is_infix ~affix:phrase (N.string_value t))
+          (N.find_all N.is_text used_root)
+      in
+      if occurs then None
+      else Some (Printf.sprintf "marker table %s was defined but %s never appears" name phrase))
+    defined
+
+let generate ?(backend = Xquery_queries) model ~template =
+  let stats = new_stats () in
+  let queries = Queries.make backend model stats in
+  let validation_problems =
+    List.map
+      (fun w -> Format.asprintf "%a" Awb.Validate.pp_warning w)
+      (Awb.Validate.check model)
+  in
+  let ctx = { model; queries; focus = None; path = []; depth = 0; stats } in
+  stats.phases <- 1;
+  let phase1 = gen ctx (template_root template) in
+  if is_error ctx phase1 then
+    {
+      document =
+        generation_failed ~message:(error_message phase1)
+          ~location:
+            (match phase1 with
+            | [ e ] -> (
+              match N.child_element e "location" with
+              | Some l -> N.string_value l
+              | None -> "")
+            | _ -> "");
+      problems = validation_problems;
+      stats;
+    }
+  else
+    match phase1 with
+    | [ root1 ] ->
+      let problems = validation_problems @ marker_problems root1 root1 in
+      let root2 = phase_omissions ctx root1 in
+      let root3 = phase_toc ctx root2 in
+      let root4 = phase_markers ctx root3 in
+      let root5 = phase_strip_internal ctx root4 in
+      { document = root5; problems; stats }
+    | _ ->
+      {
+        document =
+          generation_failed ~message:"template did not produce a single root element"
+            ~location:"";
+        problems = validation_problems;
+        stats;
+      }
+
+let generate_with_streams ?backend model ~template =
+  let result = generate ?backend model ~template in
+  (wrap_streams ~document:result.document ~problems:result.problems, result.stats)

@@ -1,0 +1,36 @@
+(** The XQuery-style document generator — the paper's first implementation,
+    reproduced architecturally.
+
+    Pure generation logic: no mutation, no exceptions. Errors travel as
+    [<error>] elements tested at every call site; tables of contents,
+    omissions, and marker tables ride the output inside [<INTERNAL-DATA>]
+    elements and are resolved by five whole-document copy phases. The
+    [stats] in the result count the architecture's cost: phases, nodes
+    copied between phases, and is-error checks executed. *)
+
+val generate :
+  ?backend:Spec.query_backend ->
+  Awb.Model.t ->
+  template:Xml_base.Node.t ->
+  Spec.result
+(** Generate a document. [backend] defaults to {!Spec.Xquery_queries} —
+    the configuration the paper's project actually ran. On a generation
+    error the result document is a [<generation-failed>] element carrying
+    the message and directive location. *)
+
+val generate_with_streams :
+  ?backend:Spec.query_backend ->
+  Awb.Model.t ->
+  template:Xml_base.Node.t ->
+  Xml_base.Node.t * Spec.stats
+(** Like {!generate} but wraps document + problems into the single
+    [<output-streams>] element XQuery's one-output-stream world requires;
+    split it with {!Streams.split} (or {!Streams.split_via_xslt}). *)
+
+(** {1 Exposed internals (benchmarked directly)} *)
+
+val build_grid_all_at_once :
+  Awb.Model.t -> string -> Awb.Model.node list -> Awb.Model.node list -> Xml_base.Node.t
+(** The all-at-once grid-table construction: each row, and then the
+    table, produced in its entirety. Compared against
+    {!Host_engine.build_grid_skeleton_and_fill} by experiment E4. *)

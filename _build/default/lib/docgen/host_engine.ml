@@ -1,0 +1,404 @@
+(* The "Java rewrite" of the document generator, in the style the paper
+   describes:
+
+   - One exception, Gen_trouble, carrying a message, the location, and the
+     focus — "we could get away with not checking for errors except at the
+     highest level".
+   - Mutable accumulators: whenever a heading is produced, toss it into a
+     list; whenever a node is observed, cram it into a set.
+   - A single generation pass, then "a very modest second phase" that
+     patches the produced document in place: the ToC and omissions tables
+     are crammed into their placeholders by mutating the in-memory XML,
+     and marker phrases are replaced by ripping text nodes apart and
+     shoving the table bodily into the gap.
+   - Grid tables are built as a skeleton of empty <td>s held in a
+     two-dimensional array, then filled in separate loops. *)
+
+module N = Xml_base.Node
+open Spec
+
+exception
+  Gen_trouble of { message : string; location : string; focus : string }
+
+type state = {
+  model : Awb.Model.t;
+  queries : Queries.t;
+  stats : stats;
+  visited : (string, unit) Hashtbl.t;
+  mutable toc : (int * string) ref list;
+      (* reversed; each entry is a cell reserved before its heading is
+         generated, so entries order like the functional engine's
+         document-order TOC-ENTRY markers even when sections nest inside
+         headings *)
+  mutable markers : (string * N.t) list; (* definition order, reversed *)
+  mutable problems : string list; (* reversed *)
+}
+
+type ctx = { focus : Awb.Model.node option; path : string list; depth : int }
+
+let trouble state ctx fmt =
+  Printf.ksprintf
+    (fun message ->
+      state.stats.exceptions_raised <- state.stats.exceptions_raised + 1;
+      raise
+        (Gen_trouble
+           {
+             message;
+             location = path_to_string ctx.path;
+             focus =
+               (match ctx.focus with
+               | Some n -> Awb.Model.label state.model n
+               | None -> "");
+           }))
+    fmt
+
+(* The utility functions "generally got extra arguments ... so that [they]
+   can throw a more comprehensive error message" — hence state and ctx
+   everywhere, in the same order, every time. *)
+
+let required_attr state ctx elt attr =
+  match N.attr elt attr with
+  | Some v -> v
+  | None -> trouble state ctx "%s" (msg_missing_attr (N.name elt) attr)
+
+let required_child state ctx elt child =
+  match N.child_element elt child with
+  | Some c -> c
+  | None -> trouble state ctx "%s" (msg_missing_child (N.name elt) child)
+
+let parse_query state ctx src =
+  match Queries.parse src with
+  | Ok q -> q
+  | Error reason -> trouble state ctx "%s" (msg_bad_query src reason)
+
+let required_focus state ctx directive =
+  match ctx.focus with
+  | Some n -> n
+  | None -> trouble state ctx "%s" (msg_no_focus directive)
+
+let mark_visited state (n : Awb.Model.node) =
+  state.stats.visited_count <- state.stats.visited_count + 1;
+  Hashtbl.replace state.visited n.Awb.Model.id ()
+
+let split_types s =
+  String.split_on_char ' ' s |> List.map String.trim |> List.filter (fun x -> x <> "")
+
+(* ------------------------------------------------------------------ *)
+(* Grid tables: skeleton + fill                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* "We constructed the skeleton of the table ... and stored references to
+   the <td>s in a two-dimensional array. Then we filled in the corner,
+   the row titles, the column titles, and the values, each in a separate
+   loop." *)
+let build_grid_skeleton_and_fill model rel rows cols =
+  let rows_arr = Array.of_list rows in
+  let cols_arr = Array.of_list cols in
+  let nrows = Array.length rows_arr + 1 in
+  let ncols = Array.length cols_arr + 1 in
+  (* Skeleton. *)
+  let cells = Array.init nrows (fun _ -> Array.init ncols (fun _ -> N.element "td")) in
+  let trs =
+    Array.map (fun row -> N.element "tr" ~children:(Array.to_list row)) cells
+  in
+  let table =
+    N.element "table" ~attrs:[ N.attribute "class" "awb-table" ] ~children:(Array.to_list trs)
+  in
+  let put i j text = if text <> "" then N.append_child cells.(i).(j) (N.text text) in
+  (* Corner. *)
+  put 0 0 grid_corner;
+  (* Column titles. *)
+  Array.iteri (fun j c -> put 0 (j + 1) (Awb.Model.label model c)) cols_arr;
+  (* Row titles. *)
+  Array.iteri (fun i r -> put (i + 1) 0 (Awb.Model.label model r)) rows_arr;
+  (* Values — "no need to mingle the computations of row titles and cell
+     values". *)
+  Array.iteri
+    (fun i r ->
+      Array.iteri (fun j c -> put (i + 1) (j + 1) (grid_cell model rel r c)) cols_arr)
+    rows_arr;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* Conditions                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec eval_condition state ctx (cond : N.t) =
+  match N.name cond with
+  | "focus-is-type" ->
+    let ty = required_attr state ctx cond "type" in
+    let n = required_focus state ctx "focus-is-type" in
+    Awb.Metamodel.is_subtype (Awb.Model.metamodel state.model) n.Awb.Model.ntype ty
+  | "has-prop" ->
+    let pname = required_attr state ctx cond "name" in
+    let n = required_focus state ctx "has-prop" in
+    Awb.Model.prop n pname <> None
+  | "nonempty" ->
+    let src = required_attr state ctx cond "query" in
+    let q = parse_query state ctx src in
+    Queries.run state.queries ?focus:ctx.focus q <> []
+  | "not" -> (
+    match N.child_elements cond with
+    | [ inner ] -> not (eval_condition state { ctx with path = "not" :: ctx.path } inner)
+    | _ -> trouble state ctx "%s" (msg_missing_child "not" "condition"))
+  | other -> trouble state ctx "%s" (msg_unknown_condition other)
+
+(* ------------------------------------------------------------------ *)
+(* The walk: "Element c1 = requiredChild(...); continue to compute"    *)
+(* ------------------------------------------------------------------ *)
+
+let rec gen state ctx (tpl : N.t) : N.t list =
+  match N.kind tpl with
+  | N.Text -> [ N.text (N.string_value tpl) ]
+  | N.Comment -> [ N.comment (N.string_value tpl) ]
+  | N.Processing_instruction | N.Attribute | N.Document -> []
+  | N.Element -> (
+    let ctx = { ctx with path = N.name tpl :: ctx.path } in
+    match N.name tpl with
+    | "for" ->
+      let src = required_attr state ctx tpl "nodes" in
+      let q = parse_query state ctx src in
+      let nodes = Queries.run state.queries ?focus:ctx.focus q in
+      List.concat_map
+        (fun n ->
+          mark_visited state n;
+          gen_list state { ctx with focus = Some n } (N.children tpl))
+        nodes
+    | "if" ->
+      let test = required_child state ctx tpl "test" in
+      let cond =
+        match N.child_elements test with
+        | [ c ] -> c
+        | _ -> trouble state ctx "%s" (msg_missing_child "test" "condition")
+      in
+      if eval_condition state ctx cond then
+        gen_list state ctx (N.children (required_child state ctx tpl "then"))
+      else (
+        match N.child_element tpl "else" with
+        | Some branch -> gen_list state ctx (N.children branch)
+        | None -> [])
+    | "label" ->
+      let n = required_focus state ctx "label" in
+      [ N.text (Awb.Model.label state.model n) ]
+    | "property" -> (
+      let pname = required_attr state ctx tpl "name" in
+      let n = required_focus state ctx "property" in
+      match Awb.Model.prop_string n pname with "" -> [] | v -> [ N.text v ])
+    | "required-property" -> (
+      let pname = required_attr state ctx tpl "name" in
+      let n = required_focus state ctx "required-property" in
+      match Awb.Model.prop n pname with
+      | Some v -> [ N.text (Awb.Model.value_to_string v) ]
+      | None ->
+        trouble state ctx "%s"
+          (msg_missing_property pname (Awb.Model.label state.model n)))
+    | "rich-property" -> (
+      let pname = required_attr state ctx tpl "name" in
+      let n = required_focus state ctx "rich-property" in
+      match Awb.Model.prop_string n pname with
+      | "" -> []
+      | raw -> (
+        match Xml_base.Parser.parse_fragment raw with
+        | fragment -> List.map N.copy fragment
+        | exception Xml_base.Parser.Parse_error { message; _ } ->
+          trouble state ctx "%s"
+            (msg_malformed_rich_property pname (Awb.Model.label state.model n) message)))
+    | "value-of" -> (
+      let src = required_attr state ctx tpl "query" in
+      let q = parse_query state ctx src in
+      let sep = Option.value ~default:", " (N.attr tpl "separator") in
+      match Queries.run state.queries ?focus:ctx.focus q with
+      | [] -> []
+      | nodes ->
+        [ N.text (String.concat sep (List.map (Awb.Model.label state.model) nodes)) ])
+    | "count-of" ->
+      let src = required_attr state ctx tpl "query" in
+      let q = parse_query state ctx src in
+      [ N.text (string_of_int (List.length (Queries.run state.queries ?focus:ctx.focus q))) ]
+    | "with-single" -> (
+      let ty = required_attr state ctx tpl "type" in
+      match Awb.Model.nodes_of_type state.model ty with
+      | [ n ] ->
+        mark_visited state n;
+        gen_list state { ctx with focus = Some n } (N.children tpl)
+      | others -> trouble state ctx "%s" (msg_exactly_one ty (List.length others)))
+    | "section" ->
+      let heading = required_child state ctx tpl "heading" in
+      (* "Whenever a heading ... is produced, toss it into a list." The
+         slot is reserved before the heading runs, in case the heading
+         itself contains sections. *)
+      let slot = ref (ctx.depth, "") in
+      state.toc <- slot :: state.toc;
+      let heading_out =
+        gen_list state { ctx with path = "heading" :: ctx.path } (N.children heading)
+      in
+      let heading_text = String.concat "" (List.map N.string_value heading_out) in
+      slot := (ctx.depth, heading_text);
+      let body_tpls =
+        List.filter
+          (fun k -> not (N.is_element k && N.name k = "heading"))
+          (N.children tpl)
+      in
+      let body = gen_list state { ctx with depth = ctx.depth + 1 } body_tpls in
+      let level = min 6 (ctx.depth + 2) in
+      [
+        N.element "div"
+          ~attrs:[ N.attribute "class" "section" ]
+          ~children:(N.element (Printf.sprintf "h%d" level) ~children:heading_out :: body);
+      ]
+    | "table-of-contents" -> [ N.element "TOC-PLACEHOLDER" ]
+    | "table-of-omissions" ->
+      let types = required_attr state ctx tpl "types" in
+      [ N.element "OMISSIONS-PLACEHOLDER" ~attrs:[ N.attribute "types" types ] ]
+    | "grid-table" ->
+      let rows_src = required_attr state ctx tpl "rows" in
+      let cols_src = required_attr state ctx tpl "cols" in
+      let rel = required_attr state ctx tpl "rel" in
+      let rows = Queries.run state.queries ?focus:ctx.focus (parse_query state ctx rows_src) in
+      let cols = Queries.run state.queries ?focus:ctx.focus (parse_query state ctx cols_src) in
+      [ build_grid_skeleton_and_fill state.model rel rows cols ]
+    | "marker-table" ->
+      let name = required_attr state ctx tpl "name" in
+      let rows_src = required_attr state ctx tpl "rows" in
+      let cols_src = required_attr state ctx tpl "cols" in
+      let rel = required_attr state ctx tpl "rel" in
+      let rows = Queries.run state.queries ?focus:ctx.focus (parse_query state ctx rows_src) in
+      let cols = Queries.run state.queries ?focus:ctx.focus (parse_query state ctx cols_src) in
+      state.markers <- (name, build_grid_skeleton_and_fill state.model rel rows cols) :: state.markers;
+      []
+    | _ ->
+      let kids = gen_list state ctx (N.children tpl) in
+      [
+        N.element (N.name tpl)
+          ~attrs:(List.map N.copy (N.attributes tpl))
+          ~children:kids;
+      ])
+
+and gen_list state ctx tpls = List.concat_map (gen state ctx) tpls
+
+(* ------------------------------------------------------------------ *)
+(* The patch pass: in-place mutation of the produced document          *)
+(* ------------------------------------------------------------------ *)
+
+let patch_placeholders state root =
+  state.stats.phases <- state.stats.phases + 1;
+  let placeholders =
+    N.find_all
+      (fun n ->
+        N.is_element n
+        && (N.name n = "TOC-PLACEHOLDER" || N.name n = "OMISSIONS-PLACEHOLDER"))
+      root
+  in
+  List.iter
+    (fun ph ->
+      let replacement =
+        if N.name ph = "TOC-PLACEHOLDER" then
+          render_toc (List.rev_map (fun slot -> !slot) state.toc)
+        else
+          render_omissions state.model
+            ~visited:(Hashtbl.mem state.visited)
+            ~types:(split_types (Option.value ~default:"" (N.attr ph "types")))
+      in
+      match N.parent ph with
+      | Some p -> N.replace_child p ~old:ph [ replacement ]
+      | None -> ())
+    placeholders
+
+let patch_markers state root =
+  let markers = List.rev state.markers in
+  let used = Hashtbl.create 7 in
+  let rec patch_node n =
+    match N.kind n with
+    | N.Text -> (
+      let text = N.string_value n in
+      let hit =
+        List.find_opt
+          (fun (name, _) -> Astring.String.is_infix ~affix:(marker_phrase name) text)
+          markers
+      in
+      match (hit, N.parent n) with
+      | Some (name, table), Some parent ->
+        Hashtbl.replace used name ();
+        let phrase = marker_phrase name in
+        (* Rip the text node apart and shove the table bodily into the
+           gap. *)
+        let rec pieces s acc =
+          match Astring.String.find_sub ~sub:phrase s with
+          | None -> List.rev (if s = "" then acc else N.text s :: acc)
+          | Some i ->
+            let before = String.sub s 0 i in
+            let after =
+              String.sub s (i + String.length phrase) (String.length s - i - String.length phrase)
+            in
+            let acc = if before = "" then acc else N.text before :: acc in
+            pieces after (N.copy table :: acc)
+        in
+        let replacement = pieces text [] in
+        N.replace_child parent ~old:n replacement;
+        (* Replacement pieces may contain further markers in 'after'
+           segments; re-scan them. *)
+        List.iter patch_node replacement
+      | _ -> ())
+    | N.Element | N.Document -> List.iter patch_node (N.children n)
+    | N.Comment | N.Processing_instruction | N.Attribute -> ()
+  in
+  patch_node root;
+  List.iter
+    (fun (name, _) ->
+      if not (Hashtbl.mem used name) then
+        state.problems <-
+          Printf.sprintf "marker table %s was defined but %s never appears" name
+            (marker_phrase name)
+          :: state.problems)
+    markers
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let template_root template =
+  match N.kind template with
+  | N.Document -> List.hd (N.child_elements template)
+  | _ -> template
+
+let generate ?(backend = Native_queries) model ~template =
+  let stats = new_stats () in
+  let queries = Queries.make backend model stats in
+  let state =
+    {
+      model;
+      queries;
+      stats;
+      visited = Hashtbl.create 64;
+      toc = [];
+      markers = [];
+      problems = [];
+    }
+  in
+  let validation_problems =
+    List.map
+      (fun w -> Format.asprintf "%a" Awb.Validate.pp_warning w)
+      (Awb.Validate.check model)
+  in
+  let ctx = { focus = None; path = []; depth = 0 } in
+  stats.phases <- 1;
+  (* "Not checking for errors except at the highest level." *)
+  match gen state ctx (template_root template) with
+  | [ root ] ->
+    patch_placeholders state root;
+    patch_markers state root;
+    { document = root; problems = validation_problems @ List.rev state.problems; stats }
+  | _ ->
+    {
+      document =
+        generation_failed ~message:"template did not produce a single root element"
+          ~location:"";
+      problems = validation_problems;
+      stats;
+    }
+  | exception Gen_trouble { message; location; focus = _ } ->
+    { document = generation_failed ~message ~location; problems = validation_problems; stats }
+
+let generate_with_streams ?backend model ~template =
+  let result = generate ?backend model ~template in
+  (wrap_streams ~document:result.document ~problems:result.problems, result.stats)

@@ -1,0 +1,37 @@
+(** The "Java rewrite" of the document generator.
+
+    One exception type ([Gen_trouble]) checked only at the top; mutable
+    accumulators for the table of contents and the visited set; a single
+    generation pass followed by an in-place patch pass that fills
+    placeholders and splices marker tables by ripping text nodes apart.
+    Produces byte-identical output to {!Functional_engine} on every
+    input — the contrast is architectural, and the [stats] quantify it. *)
+
+exception
+  Gen_trouble of { message : string; location : string; focus : string }
+(** The one exception "nearly every function" can throw; carries what the
+    paper's GenTrouble carried. Caught internally by {!generate}; exposed
+    for callers embedding the walk directly. *)
+
+val generate :
+  ?backend:Spec.query_backend ->
+  Awb.Model.t ->
+  template:Xml_base.Node.t ->
+  Spec.result
+(** Generate a document. [backend] defaults to {!Spec.Native_queries} —
+    the rewrite ran its queries natively. *)
+
+val generate_with_streams :
+  ?backend:Spec.query_backend ->
+  Awb.Model.t ->
+  template:Xml_base.Node.t ->
+  Xml_base.Node.t * Spec.stats
+(** Output-stream wrapper, kept compatible with the functional engine. *)
+
+(** {1 Exposed internals (benchmarked directly)} *)
+
+val build_grid_skeleton_and_fill :
+  Awb.Model.t -> string -> Awb.Model.node list -> Awb.Model.node list -> Xml_base.Node.t
+(** The skeleton-and-fill grid construction: empty [<td>]s held in a 2-D
+    array, then corner, column titles, row titles, and values filled in
+    four separate loops. *)

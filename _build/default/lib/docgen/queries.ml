@@ -1,0 +1,33 @@
+(* Calculus query execution for the document generator, switchable between
+   the native evaluator and the XQuery backend (the paper's original
+   implementation ran everything through XQuery; the rewrite ran natively —
+   benchmarks need to hold this axis fixed or vary it on purpose). *)
+
+type t = {
+  model : Awb.Model.t;
+  backend : Spec.query_backend;
+  export_root : Xml_base.Node.t option; (* prepared once for the XQuery backend *)
+  stats : Spec.stats;
+}
+
+let make backend model stats =
+  let export_root =
+    match backend with
+    | Spec.Native_queries -> None
+    | Spec.Xquery_queries ->
+      Some (List.hd (Xml_base.Node.children (Awb.Xml_io.export model)))
+  in
+  { model; backend; export_root; stats }
+
+let parse src =
+  match Awb_query.Parser.parse src with
+  | q -> Ok q
+  | exception Awb_query.Parser.Parse_error reason -> Error reason
+
+let run t ?focus (q : Awb_query.Ast.t) : Awb.Model.node list =
+  t.stats.Spec.queries_run <- t.stats.Spec.queries_run + 1;
+  match t.backend with
+  | Spec.Native_queries -> Awb_query.Native.eval ?focus t.model q
+  | Spec.Xquery_queries ->
+    let export_root = Option.get t.export_root in
+    Awb_query.To_xquery.eval_on_export ?focus t.model ~export_root q

@@ -1,0 +1,14 @@
+(** Calculus query execution for the document generator, switchable
+    between the native evaluator and the compiled-to-XQuery backend. The
+    paper's project ran everything through XQuery; the rewrite ran
+    natively. Benchmarks hold this axis fixed or vary it on purpose
+    (ablation A2). *)
+
+type t
+
+val make : Spec.query_backend -> Awb.Model.t -> Spec.stats -> t
+(** For the XQuery backend this exports the model once up front. Every
+    {!run} bumps [stats.queries_run]. *)
+
+val parse : string -> (Awb_query.Ast.t, string) result
+val run : t -> ?focus:Awb.Model.node -> Awb_query.Ast.t -> Awb.Model.node list

@@ -1,0 +1,194 @@
+(* Shared specification for the two document-generation engines: the
+   directive vocabulary, the renderings both must produce byte-for-byte,
+   the error-message texts, and the instrumentation record the benchmarks
+   read.
+
+   The two engines differ in *architecture* (the paper's subject), not in
+   output: Functional_engine is the XQuery-style implementation (error
+   values, multiple whole-document phases, no mutation); Host_engine is
+   the "Java rewrite" (exceptions, mutable accumulators, in-place
+   patching). On any input, their final outputs must be identical. *)
+
+module N = Xml_base.Node
+
+(* The template language:
+
+   <document title="...">        root; copied with processed children
+   <for nodes="CALCULUS">        iterate; binds the focus, marks visited
+   <if><test>COND</test><then>..</then><else>..</else></if>
+     COND: <focus-is-type type="T"/> | <has-prop name="P"/>
+           | <nonempty query="Q"/> | <not>COND</not>
+   <label/>                      label of the focus
+   <property name="P"/>          property of the focus ("" when absent)
+   <required-property name="P"/> property that must exist (else error)
+   <rich-property name="P"/>     HTML-valued property, parsed and spliced
+                                 as XML (error if malformed)
+   <value-of query="Q" separator=", "/>
+   <count-of query="Q"/>
+   <with-single type="T">        binds focus to the unique T node (else error)
+   <section><heading>..</heading> BODY </section>
+   <table-of-contents/>
+   <table-of-omissions types="T1 T2"/>
+   <grid-table rows="Q" cols="Q" rel="R"/>
+   <marker-table name="NAME" rows="Q" cols="Q" rel="R"/>
+                                 defines a table spliced wherever the text
+                                 "NAME-GOES-HERE" appears
+   anything else                 copied; children processed *)
+
+let directive_names =
+  [
+    "document"; "for"; "if"; "test"; "then"; "else"; "focus-is-type"; "has-prop";
+    "nonempty"; "not"; "label"; "property"; "required-property"; "rich-property";
+    "value-of"; "count-of";
+    "with-single"; "section"; "heading"; "table-of-contents"; "table-of-omissions";
+    "grid-table"; "marker-table";
+  ]
+
+type query_backend = Native_queries | Xquery_queries
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  mutable phases : int; (* whole-document passes performed *)
+  mutable nodes_copied : int; (* nodes allocated copying between phases *)
+  mutable error_checks : int; (* is-error tests executed (functional) *)
+  mutable exceptions_raised : int; (* Gen_trouble raised (host) *)
+  mutable visited_count : int;
+  mutable queries_run : int;
+}
+
+let new_stats () =
+  {
+    phases = 0;
+    nodes_copied = 0;
+    error_checks = 0;
+    exceptions_raised = 0;
+    visited_count = 0;
+    queries_run = 0;
+  }
+
+type result = { document : N.t; problems : string list; stats : stats }
+
+(* ------------------------------------------------------------------ *)
+(* Error message texts (identical in both engines)                     *)
+(* ------------------------------------------------------------------ *)
+
+let msg_exactly_one ty n =
+  if n = 0 then
+    Printf.sprintf "There should have been exactly one %s node, but there were none." ty
+  else
+    Printf.sprintf "There should have been exactly one %s node, but there were %d." ty n
+
+let msg_missing_child parent child =
+  Printf.sprintf "The <%s> directive needs a <%s> child, but there is none." parent child
+
+let msg_missing_attr elt attr =
+  Printf.sprintf "The <%s> directive needs a %s attribute, but there is none." elt attr
+
+let msg_bad_query q reason = Printf.sprintf "Cannot parse the query %S: %s" q reason
+
+let msg_no_focus directive =
+  Printf.sprintf "The <%s> directive needs a focus, but no <for> is in effect." directive
+
+let msg_missing_property pname label =
+  Printf.sprintf "Node %S should have a property %s, but it does not." label pname
+
+let msg_malformed_rich_property pname label reason =
+  Printf.sprintf "Property %s of node %S should be well-formed XML, but: %s" pname
+    label reason
+
+let msg_unknown_condition name =
+  Printf.sprintf "Unknown condition <%s> inside <test>." name
+
+(* ------------------------------------------------------------------ *)
+(* Shared renderings                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Table of contents from (depth, text) entries in document order. *)
+let render_toc entries =
+  let item (depth, text) =
+    N.element "li"
+      ~attrs:[ N.attribute "class" (Printf.sprintf "toc-depth-%d" depth) ]
+      ~children:[ N.text text ]
+  in
+  N.element "div"
+    ~attrs:[ N.attribute "class" "table-of-contents" ]
+    ~children:[ N.element "ol" ~children:(List.map item entries) ]
+
+(* Omissions: nodes of the given types never visited, sorted by label. *)
+let render_omissions model ~visited ~types =
+  let candidates =
+    List.concat_map (fun ty -> Awb.Model.nodes_of_type model ty) types
+  in
+  let seen = Hashtbl.create 16 in
+  let candidates =
+    List.filter
+      (fun (n : Awb.Model.node) ->
+        if Hashtbl.mem seen n.Awb.Model.id then false
+        else begin
+          Hashtbl.add seen n.Awb.Model.id ();
+          true
+        end)
+      candidates
+  in
+  let omitted = List.filter (fun (n : Awb.Model.node) -> not (visited n.Awb.Model.id)) candidates in
+  let omitted =
+    List.sort
+      (fun a b -> compare (Awb.Model.label model a) (Awb.Model.label model b))
+      omitted
+  in
+  let item n =
+    N.element "li"
+      ~children:
+        [
+          N.text
+            (Printf.sprintf "%s (%s)" (Awb.Model.label model n) n.Awb.Model.ntype);
+        ]
+  in
+  N.element "div"
+    ~attrs:[ N.attribute "class" "table-of-omissions" ]
+    ~children:
+      (if omitted = [] then [ N.element "p" ~children:[ N.text "Nothing was omitted." ] ]
+       else [ N.element "ul" ~children:(List.map item omitted) ])
+
+(* Grid-table cell: how many [rel] relation objects connect row to col. *)
+let grid_cell model rel (row : Awb.Model.node) (col : Awb.Model.node) =
+  let mm = Awb.Model.metamodel model in
+  let count =
+    List.length
+      (List.filter
+         (fun (r : Awb.Model.relation) ->
+           Awb.Metamodel.is_subrelation mm r.Awb.Model.rtype rel
+           && r.Awb.Model.source = row.Awb.Model.id
+           && r.Awb.Model.target = col.Awb.Model.id)
+         (Awb.Model.relations model))
+  in
+  if count = 0 then "" else string_of_int count
+
+let grid_corner = {|row\col|}
+
+let marker_phrase name = name ^ "-GOES-HERE"
+
+(* The wrapper around the single output stream: the functional engine can
+   only produce one stream, so document and problem report travel together
+   and must be split afterwards (Streams.split). *)
+let wrap_streams ~document ~problems =
+  N.element "output-streams"
+    ~children:
+      [
+        N.element "document" ~children:[ document ];
+        N.element "problems"
+          ~children:(List.map (fun p -> N.element "problem" ~children:[ N.text p ]) problems);
+      ]
+
+let generation_failed ~message ~location =
+  N.element "generation-failed"
+    ~children:
+      [
+        N.element "message" ~children:[ N.text message ];
+        N.element "location" ~children:[ N.text location ];
+      ]
+
+let path_to_string path = String.concat "/" (List.rev path)

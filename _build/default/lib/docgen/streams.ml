@@ -1,0 +1,77 @@
+(* Output streams. XQuery "produces only a single output stream", so the
+   functional engine wraps the document and the problem report into one
+   <output-streams> element; this module is the "little XSLT program" that
+   splits them apart afterwards. The host engine produces both streams
+   directly, but routes them through the same wrapper so the two engines
+   stay output-compatible. *)
+
+module N = Xml_base.Node
+
+type split = { document : N.t; problems : string list }
+
+exception Malformed_stream of string
+
+let split (wrapped : N.t) : split =
+  if not (N.is_element wrapped && N.name wrapped = "output-streams") then
+    raise (Malformed_stream "expected an <output-streams> element");
+  let doc_holder =
+    match N.child_element wrapped "document" with
+    | Some d -> d
+    | None -> raise (Malformed_stream "missing <document> stream")
+  in
+  let document =
+    match N.child_elements doc_holder with
+    | [ d ] -> d
+    | _ -> raise (Malformed_stream "the <document> stream must hold one element")
+  in
+  let problems =
+    match N.child_element wrapped "problems" with
+    | None -> []
+    | Some p -> List.map N.string_value (N.child_elements_named p "problem")
+  in
+  { document; problems }
+
+(* The same splitter as an actual XSLT program — what the paper's team
+   did: "the XQuery component could produce a big XML file with all the
+   output streams as children of the root element, and a little XSLT
+   program could split them apart." *)
+
+let document_stylesheet =
+  {|<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+      <xsl:template match="/">
+        <xsl:apply-templates select="output-streams/document"/>
+      </xsl:template>
+      <xsl:template match="document">
+        <xsl:copy-of select="*"/>
+      </xsl:template>
+    </xsl:stylesheet>|}
+
+let problems_stylesheet =
+  {|<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+      <xsl:template match="/">
+        <problem-report>
+          <xsl:for-each select="output-streams/problems/problem">
+            <line><xsl:value-of select="string(.)"/></line>
+          </xsl:for-each>
+        </problem-report>
+      </xsl:template>
+    </xsl:stylesheet>|}
+
+let split_via_xslt (wrapped : N.t) : split =
+  if not (N.is_element wrapped && N.name wrapped = "output-streams") then
+    raise (Malformed_stream "expected an <output-streams> element");
+  (* XSLT wants a document as source. *)
+  let doc = N.document [ N.copy wrapped ] in
+  let document =
+    match
+      Xslt.apply (Xslt.compile_string document_stylesheet) doc
+      |> List.filter N.is_element
+    with
+    | [ d ] -> d
+    | _ -> raise (Malformed_stream "the <document> stream must hold one element")
+  in
+  let report =
+    Xslt.apply_to_element (Xslt.compile_string problems_stylesheet) doc
+  in
+  let problems = List.map N.string_value (N.child_elements_named report "line") in
+  { document; problems }

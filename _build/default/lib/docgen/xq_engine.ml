@@ -1,0 +1,144 @@
+(* The document-generator core as an actual XQuery program, run by the
+   engine in lib/xquery. This is the real thing the paper describes: "a
+   quite straightforward recursive walk over the XML structure of the
+   template ... mostly lines of the form if ($tag-name = "for") then
+   generate_for(...)". It supports the dispatch core (for / if /
+   focus-is-type / has-prop / label / property / copy-through) and uses
+   the paper's error-value convention — a failing computation returns an
+   <error> element, because XQuery gives it nothing better.
+
+   The model and metamodel arrive as the XML exports bound to $model and
+   $mm; the template is bound to $template. *)
+
+module N = Xml_base.Node
+
+let query_source =
+  {|
+declare function local:is-subtype($mm, $sub, $super) {
+  if ($sub eq $super) then true()
+  else
+    let $decl := $mm/node-type[@name = $sub]
+    return
+      if (empty($decl)) then false()
+      else if (empty($decl/@parent)) then false()
+      else local:is-subtype($mm, string($decl[1]/@parent), $super)
+};
+
+declare function local:nodes-of-type($model, $mm, $ty) {
+  for $n in $model/node
+  where local:is-subtype($mm, string($n/@type), $ty)
+  return $n
+};
+
+declare function local:label($n) {
+  string(($n/property[@name = "name"], $n/@id)[1])
+};
+
+(: The error-value convention. A singleton <error> element means failure;
+   there is no other channel. :)
+declare function local:mk-error($message) {
+  <error><message>{$message}</message></error>
+};
+
+declare function local:is-error($v) {
+  (count($v) eq 1) and ($v[1] instance of element(error))
+};
+
+(: Evaluate a <test> condition to true/false, or an <error>. :)
+declare function local:condition($cond, $mm, $focus) {
+  if (name($cond) eq "focus-is-type") then
+    if (empty($focus)) then local:mk-error("focus-is-type needs a focus")
+    else local:is-subtype($mm, string($focus[1]/@type), string($cond/@type))
+  else if (name($cond) eq "has-prop") then
+    if (empty($focus)) then local:mk-error("has-prop needs a focus")
+    else exists($focus[1]/property[@name = string($cond/@name)])
+  else if (name($cond) eq "not") then
+    let $inner := local:condition(($cond/*)[1], $mm, $focus)
+    return if (local:is-error($inner)) then $inner else not($inner)
+  else local:mk-error(concat("unknown condition ", name($cond)))
+};
+
+(: The for directive understands nodes="all" and nodes="type:T". :)
+declare function local:for-nodes($spec, $model, $mm) {
+  if ($spec eq "all") then $model/node
+  else if (starts-with($spec, "type:")) then
+    local:nodes-of-type($model, $mm, substring-after($spec, "type:"))
+  else local:mk-error(concat("cannot understand nodes spec ", $spec))
+};
+
+declare function local:gen-kids($t, $model, $mm, $focus) {
+  for $k in $t/node() return local:gen($k, $model, $mm, $focus)
+};
+
+declare function local:gen($t, $model, $mm, $focus) {
+  if (exists($t[self::text()])) then text { string($t) }
+  else if (empty($t[self::element()])) then ()
+  else if (name($t) eq "for") then
+    let $nodes := local:for-nodes(string($t/@nodes), $model, $mm)
+    return
+      if (local:is-error($nodes)) then $nodes
+      else for $n in $nodes return local:gen-kids($t, $model, $mm, $n)
+  else if (name($t) eq "if") then
+    let $test := ($t/test/*)[1]
+    return
+      if (empty($test)) then local:mk-error("if needs a test")
+      else
+        let $b := local:condition($test, $mm, $focus)
+        return
+          if (local:is-error($b)) then $b
+          else if ($b) then local:gen-kids(($t/then)[1], $model, $mm, $focus)
+          else local:gen-kids(($t/else)[1], $model, $mm, $focus)
+  else if (name($t) eq "label") then
+    if (empty($focus)) then local:mk-error("label needs a focus")
+    else text { local:label($focus[1]) }
+  else if (name($t) eq "property") then
+    if (empty($focus)) then local:mk-error("property needs a focus")
+    else
+      let $v := $focus[1]/property[@name = string($t/@name)]
+      return if (empty($v)) then () else text { string($v[1]) }
+  else
+    element { name($t) } {
+      (for $a in $t/attribute::* return attribute { name($a) } { string($a) }),
+      local:gen-kids($t, $model, $mm, $focus)
+    }
+};
+
+local:gen($template, $model, $mm, ())
+|}
+
+type result = { document : N.t option; error : string option }
+
+let generate model ~template =
+  let mm = Awb.Model.metamodel model in
+  let export = Awb.Xml_io.export model in
+  let model_root = List.hd (N.children export) in
+  let mm_root = Awb.Xml_io.export_metamodel mm in
+  let template_root =
+    match N.kind template with
+    | N.Document -> List.hd (N.child_elements template)
+    | _ -> template
+  in
+  let result =
+    Xquery.Engine.eval_query
+      ~vars:
+        [
+          ("model", Xquery.Value.of_node model_root);
+          ("mm", Xquery.Value.of_node mm_root);
+          ("template", Xquery.Value.of_node template_root);
+        ]
+      query_source
+  in
+  (* The footnote problem, live: the only way to know the generation
+     failed is to look for <error> elements in the value. *)
+  let nodes =
+    List.filter_map (function Xquery.Value.Node n -> Some n | Xquery.Value.Atomic _ -> None) result
+  in
+  let errors =
+    List.concat_map
+      (fun n -> N.find_all (fun e -> N.is_element e && N.name e = "error") n)
+      nodes
+  in
+  match (errors, nodes) with
+  | e :: _, _ -> { document = None; error = Some (N.string_value e) }
+  | [], [ doc ] -> { document = Some doc; error = None }
+  | [], _ -> { document = None; error = Some "template did not produce a single element" }

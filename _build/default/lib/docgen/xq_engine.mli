@@ -1,0 +1,17 @@
+(** The document-generator dispatch core as an actual XQuery program, run
+    by the engine in lib/xquery — "a quite straightforward recursive walk
+    over the XML structure of the template".
+
+    Supports the core subset: [for] (with [nodes="all"] or
+    [nodes="type:T"], subtype-aware via the exported metamodel), [if]
+    with [focus-is-type]/[has-prop]/[not] conditions, [label],
+    [property], and copy-through of everything else. Failures use the
+    paper's error-value convention: the only way to detect them is to
+    find [<error>] elements in the result. *)
+
+val query_source : string
+(** The XQuery text itself. *)
+
+type result = { document : Xml_base.Node.t option; error : string option }
+
+val generate : Awb.Model.t -> template:Xml_base.Node.t -> result

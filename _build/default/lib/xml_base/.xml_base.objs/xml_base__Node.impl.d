@@ -1,0 +1,1 @@
+lib/xml_base/node.ml: Buffer Format List

@@ -1,0 +1,1 @@
+lib/xml_base/node.mli: Format

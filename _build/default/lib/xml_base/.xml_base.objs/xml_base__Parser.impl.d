@@ -1,0 +1,1 @@
+lib/xml_base/parser.ml: Buffer Char List Node Printf String

@@ -1,0 +1,1 @@
+lib/xml_base/parser.mli: Node

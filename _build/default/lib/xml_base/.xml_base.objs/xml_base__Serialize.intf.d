@@ -1,0 +1,1 @@
+lib/xml_base/serialize.mli: Node

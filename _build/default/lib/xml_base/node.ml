@@ -1,0 +1,326 @@
+type kind =
+  | Document
+  | Element
+  | Attribute
+  | Text
+  | Comment
+  | Processing_instruction
+
+type t = {
+  id : int;
+  mutable parent : t option;
+  body : body;
+}
+
+and body =
+  | Bdoc of { mutable dkids : t list }
+  | Belem of { ename : string; mutable eattrs : t list; mutable ekids : t list }
+  | Battr of { aname : string; mutable avalue : string }
+  | Btext of { mutable tvalue : string }
+  | Bcomment of string
+  | Bpi of { target : string; content : string }
+
+let counter = ref 0
+
+let fresh_id () =
+  incr counter;
+  !counter
+
+let mk body = { id = fresh_id (); parent = None; body }
+
+let adopt parent child =
+  match child.parent with
+  | Some _ ->
+    invalid_arg "Xml_base.Node: node already has a parent (detach or copy it first)"
+  | None -> child.parent <- Some parent
+
+let document kids =
+  let d = mk (Bdoc { dkids = kids }) in
+  List.iter (adopt d) kids;
+  d
+
+let element ?(attrs = []) ?(children = []) ename =
+  let e = mk (Belem { ename; eattrs = attrs; ekids = children }) in
+  List.iter (adopt e) attrs;
+  List.iter (adopt e) children;
+  e
+
+let attribute aname avalue = mk (Battr { aname; avalue })
+let text tvalue = mk (Btext { tvalue })
+let comment c = mk (Bcomment c)
+let pi ~target content = mk (Bpi { target; content })
+
+let id n = n.id
+
+let kind n =
+  match n.body with
+  | Bdoc _ -> Document
+  | Belem _ -> Element
+  | Battr _ -> Attribute
+  | Btext _ -> Text
+  | Bcomment _ -> Comment
+  | Bpi _ -> Processing_instruction
+
+let is_element n = match n.body with Belem _ -> true | _ -> false
+let is_attribute n = match n.body with Battr _ -> true | _ -> false
+let is_text n = match n.body with Btext _ -> true | _ -> false
+let same a b = a.id = b.id
+
+let name n =
+  match n.body with
+  | Belem e -> e.ename
+  | Battr a -> a.aname
+  | Bdoc _ | Btext _ | Bcomment _ | Bpi _ ->
+    invalid_arg "Xml_base.Node.name: not an element or attribute"
+
+let pi_target n =
+  match n.body with
+  | Bpi p -> p.target
+  | _ -> invalid_arg "Xml_base.Node.pi_target: not a processing instruction"
+
+let parent n = n.parent
+
+let rec root n = match n.parent with None -> n | Some p -> root p
+
+let children n =
+  match n.body with
+  | Bdoc d -> d.dkids
+  | Belem e -> e.ekids
+  | Battr _ | Btext _ | Bcomment _ | Bpi _ -> []
+
+let attributes n = match n.body with Belem e -> e.eattrs | _ -> []
+
+let attr n aname =
+  let matches a = match a.body with Battr r -> r.aname = aname | _ -> false in
+  match List.find_opt matches (attributes n) with
+  | Some { body = Battr r; _ } -> Some r.avalue
+  | _ -> None
+
+let string_value n =
+  match n.body with
+  | Battr a -> a.avalue
+  | Btext t -> t.tvalue
+  | Bcomment c -> c
+  | Bpi p -> p.content
+  | Bdoc _ | Belem _ ->
+    let buf = Buffer.create 64 in
+    let rec go n =
+      match n.body with
+      | Btext t -> Buffer.add_string buf t.tvalue
+      | Bdoc _ | Belem _ -> List.iter go (children n)
+      | Battr _ | Bcomment _ | Bpi _ -> ()
+    in
+    go n;
+    Buffer.contents buf
+
+let descendants n =
+  let rec go acc n = List.fold_left (fun acc k -> go (k :: acc) k) acc (children n) in
+  List.rev (go [] n)
+
+let descendant_or_self n = n :: descendants n
+
+let ancestors n =
+  let rec go acc n = match n.parent with None -> List.rev acc | Some p -> go (p :: acc) p in
+  go [] n
+
+(* Position of [n] among its parent's children (attributes handled
+   separately); used for document-order comparison. *)
+let sibling_split n =
+  match n.parent with
+  | None -> None
+  | Some p ->
+    let rec split before = function
+      | [] -> None
+      | k :: rest -> if same k n then Some (before, rest) else split (k :: before) rest
+    in
+    (match split [] (children p) with
+    | Some (before, after) -> Some (p, List.rev before, after)
+    | None -> None)
+
+let following_siblings n =
+  match sibling_split n with Some (_, _, after) -> after | None -> []
+
+let preceding_siblings n =
+  match sibling_split n with Some (_, before, _) -> List.rev before | None -> []
+
+(* Document order: compare root paths. The path records, at each tree level,
+   the position of the step child; attributes of an element sort after the
+   element itself and before its children, so an attribute's position is
+   encoded as (-1, attr index) against children at (child index, 0). *)
+let path_to_root n =
+  let index_in lst x =
+    let rec go i = function
+      | [] -> None
+      | k :: rest -> if same k x then Some i else go (i + 1) rest
+    in
+    go 0 lst
+  in
+  let rec go acc n =
+    match n.parent with
+    | None -> (n, acc)
+    | Some p ->
+      let step =
+        match index_in (children p) n with
+        | Some i -> (1, i)
+        | None -> (
+          match index_in (attributes p) n with
+          | Some i -> (0, i)
+          | None -> invalid_arg "Xml_base.Node: inconsistent parent link")
+      in
+      go (step :: acc) p
+  in
+  go [] n
+
+let compare_document_order a b =
+  if same a b then 0
+  else
+    let ra, pa = path_to_root a in
+    let rb, pb = path_to_root b in
+    if not (same ra rb) then compare ra.id rb.id
+    else
+      let rec cmp pa pb =
+        match (pa, pb) with
+        | [], [] -> 0
+        | [], _ -> -1 (* ancestor precedes descendant *)
+        | _, [] -> 1
+        | sa :: ra, sb :: rb ->
+          let c = compare (sa : int * int) sb in
+          if c <> 0 then c else cmp ra rb
+      in
+      cmp pa pb
+
+let set_children n kids =
+  match n.body with
+  | Bdoc d ->
+    List.iter (fun k -> k.parent <- None) d.dkids;
+    List.iter (adopt n) kids;
+    d.dkids <- kids
+  | Belem e ->
+    List.iter (fun k -> k.parent <- None) e.ekids;
+    List.iter (adopt n) kids;
+    e.ekids <- kids
+  | Battr _ | Btext _ | Bcomment _ | Bpi _ ->
+    invalid_arg "Xml_base.Node.set_children: leaf node"
+
+let append_child n k =
+  match n.body with
+  | Bdoc d ->
+    adopt n k;
+    d.dkids <- d.dkids @ [ k ]
+  | Belem e ->
+    adopt n k;
+    e.ekids <- e.ekids @ [ k ]
+  | Battr _ | Btext _ | Bcomment _ | Bpi _ ->
+    invalid_arg "Xml_base.Node.append_child: leaf node"
+
+let splice_at i replacement kids =
+  List.concat (List.mapi (fun j k -> if j = i then replacement k else [ k ]) kids)
+
+let insert_child n i k =
+  let kids = children n in
+  if i < 0 || i > List.length kids then invalid_arg "Xml_base.Node.insert_child: index";
+  let rec go j = function
+    | rest when j = i -> k :: rest
+    | [] -> [ k ]
+    | x :: rest -> x :: go (j + 1) rest
+  in
+  set_children n (go 0 kids)
+
+let replace_child n ~old replacement =
+  let kids = children n in
+  let rec idx i = function
+    | [] -> invalid_arg "Xml_base.Node.replace_child: not a child"
+    | k :: rest -> if same k old then i else idx (i + 1) rest
+  in
+  let i = idx 0 kids in
+  set_children n (splice_at i (fun _ -> replacement) kids)
+
+let remove_child n k = replace_child n ~old:k []
+
+let detach n =
+  match n.parent with
+  | None -> ()
+  | Some p -> (
+    match n.body with
+    | Battr _ -> (
+      match p.body with
+      | Belem e ->
+        e.eattrs <- List.filter (fun a -> not (same a n)) e.eattrs;
+        n.parent <- None
+      | _ -> invalid_arg "Xml_base.Node.detach: attribute of a non-element")
+    | _ -> remove_child p n)
+
+let set_attribute n aname avalue =
+  match n.body with
+  | Belem e -> (
+    let existing =
+      List.find_opt (fun a -> match a.body with Battr r -> r.aname = aname | _ -> false) e.eattrs
+    in
+    match existing with
+    | Some { body = Battr r; _ } -> r.avalue <- avalue
+    | _ ->
+      let a = attribute aname avalue in
+      adopt n a;
+      e.eattrs <- e.eattrs @ [ a ])
+  | _ -> invalid_arg "Xml_base.Node.set_attribute: not an element"
+
+let remove_attribute n aname =
+  match n.body with
+  | Belem e ->
+    e.eattrs <-
+      List.filter
+        (fun a ->
+          match a.body with
+          | Battr r when r.aname = aname ->
+            a.parent <- None;
+            false
+          | _ -> true)
+        e.eattrs
+  | _ -> invalid_arg "Xml_base.Node.remove_attribute: not an element"
+
+let set_text n v =
+  match n.body with
+  | Btext t -> t.tvalue <- v
+  | Battr a -> a.avalue <- v
+  | _ -> invalid_arg "Xml_base.Node.set_text: not a text or attribute node"
+
+let rec copy n =
+  match n.body with
+  | Bdoc d -> document (List.map copy d.dkids)
+  | Belem e -> element ~attrs:(List.map copy e.eattrs) ~children:(List.map copy e.ekids) e.ename
+  | Battr a -> attribute a.aname a.avalue
+  | Btext t -> text t.tvalue
+  | Bcomment c -> comment c
+  | Bpi p -> pi ~target:p.target p.content
+
+let rec iter f n =
+  f n;
+  List.iter f (attributes n);
+  List.iter (iter f) (children n)
+
+let find_all pred n =
+  let acc = ref [] in
+  iter (fun x -> if pred x then acc := x :: !acc) n;
+  List.rev !acc
+
+let child_elements n = List.filter is_element (children n)
+
+let child_element n ename =
+  List.find_opt (fun k -> is_element k && name k = ename) (children n)
+
+let child_elements_named n ename =
+  List.filter (fun k -> is_element k && name k = ename) (children n)
+
+let rec pp fmt n =
+  match n.body with
+  | Bdoc d -> Format.fprintf fmt "@[<v2>document:@,%a@]" (Format.pp_print_list pp) d.dkids
+  | Belem e ->
+    Format.fprintf fmt "@[<v2><%s%a>%a@]" e.ename
+      (fun fmt -> List.iter (fun a -> Format.fprintf fmt " %a" pp a))
+      e.eattrs
+      (fun fmt -> List.iter (fun k -> Format.fprintf fmt "@,%a" pp k))
+      e.ekids
+  | Battr a -> Format.fprintf fmt "%s=%S" a.aname a.avalue
+  | Btext t -> Format.fprintf fmt "%S" t.tvalue
+  | Bcomment c -> Format.fprintf fmt "<!--%s-->" c
+  | Bpi p -> Format.fprintf fmt "<?%s %s?>" p.target p.content

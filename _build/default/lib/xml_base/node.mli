@@ -1,0 +1,132 @@
+(** XML tree nodes with identity, parent links, and document order.
+
+    This is the node substrate shared by the XML parser, the XQuery data
+    model, and the document generator. Nodes are identified by a unique
+    integer id assigned at creation; parent links are maintained by the
+    construction and mutation functions below. *)
+
+type t
+
+type kind =
+  | Document
+  | Element
+  | Attribute
+  | Text
+  | Comment
+  | Processing_instruction
+
+(** {1 Construction}
+
+    Constructors attach the given children/attributes and set their parent
+    pointers. A node can have at most one parent; attaching a node that
+    already has a parent raises [Invalid_argument] (detach or copy first). *)
+
+val document : t list -> t
+val element : ?attrs:t list -> ?children:t list -> string -> t
+val attribute : string -> string -> t
+val text : string -> t
+val comment : string -> t
+val pi : target:string -> string -> t
+
+(** {1 Identity and classification} *)
+
+val id : t -> int
+(** Unique creation-order id. Equality of ids is node identity. *)
+
+val kind : t -> kind
+val is_element : t -> bool
+val is_attribute : t -> bool
+val is_text : t -> bool
+val same : t -> t -> bool
+(** Node identity. *)
+
+val compare_document_order : t -> t -> int
+(** Total order: within one tree, document order (attributes come after
+    their owner element and before its children, in attribute list order);
+    across trees, ordered by the roots' creation ids. *)
+
+(** {1 Accessors} *)
+
+val name : t -> string
+(** Element tag name or attribute name. @raise Invalid_argument otherwise *)
+
+val pi_target : t -> string
+(** @raise Invalid_argument on non-PI nodes *)
+
+val parent : t -> t option
+val root : t -> t
+val children : t -> t list
+(** Child nodes of a document or element; [[]] for other kinds.
+    Attributes are not children. *)
+
+val attributes : t -> t list
+(** Attribute nodes of an element; [[]] for other kinds. *)
+
+val attr : t -> string -> string option
+(** [attr e name] is the value of [e]'s attribute [name], if present. *)
+
+val string_value : t -> string
+(** XPath string value: concatenated descendant text for documents and
+    elements; the value for attributes and text; content for comments and
+    PIs. *)
+
+val descendants : t -> t list
+(** Descendants in document order, not including [t] itself and not
+    including attribute nodes. *)
+
+val descendant_or_self : t -> t list
+val ancestors : t -> t list
+(** Nearest first. *)
+
+val following_siblings : t -> t list
+val preceding_siblings : t -> t list
+(** Nearest first (reverse document order), as XPath's preceding-sibling
+    axis delivers them. *)
+
+(** {1 Mutation}
+
+    Used by the host-style document generator for in-place patching. *)
+
+val set_children : t -> t list -> unit
+(** Replace all children. Old children are detached; new ones must be
+    parentless. @raise Invalid_argument on leaf kinds. *)
+
+val append_child : t -> t -> unit
+val insert_child : t -> int -> t -> unit
+(** [insert_child p i c] inserts [c] before position [i] of [p]'s
+    children. *)
+
+val replace_child : t -> old:t -> t list -> unit
+(** Replace one child with a (possibly empty) list of nodes. *)
+
+val remove_child : t -> t -> unit
+val detach : t -> unit
+(** Remove [t] from its parent, if any. *)
+
+val set_attribute : t -> string -> string -> unit
+(** Add or overwrite an attribute on an element. *)
+
+val remove_attribute : t -> string -> unit
+val set_text : t -> string -> unit
+(** @raise Invalid_argument if the node is not a text or attribute node. *)
+
+val copy : t -> t
+(** Deep copy with fresh ids and no parent. *)
+
+(** {1 Traversal helpers} *)
+
+val iter : (t -> unit) -> t -> unit
+(** Pre-order over self + descendants (attributes visited after their
+    element, before its children). *)
+
+val find_all : (t -> bool) -> t -> t list
+(** Matching descendants-or-self in document order (attributes included). *)
+
+val child_elements : t -> t list
+val child_element : t -> string -> t option
+(** First child element with the given name. *)
+
+val child_elements_named : t -> string -> t list
+
+val pp : Format.formatter -> t -> unit
+(** Debug printer (structure, not serialization). *)

@@ -1,0 +1,366 @@
+exception Parse_error of { line : int; col : int; message : string }
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let make_state src = { src; pos = 0; line = 1; col = 1 }
+
+let error st message = raise (Parse_error { line = st.line; col = st.col; message })
+
+let eof st = st.pos >= String.length st.src
+let peek st = if eof st then '\000' else st.src.[st.pos]
+
+let peek2 st =
+  if st.pos + 1 >= String.length st.src then '\000' else st.src.[st.pos + 1]
+
+let advance st =
+  if not (eof st) then begin
+    (if st.src.[st.pos] = '\n' then begin
+       st.line <- st.line + 1;
+       st.col <- 1
+     end
+     else st.col <- st.col + 1);
+    st.pos <- st.pos + 1
+  end
+
+let expect st c =
+  if peek st = c then advance st
+  else error st (Printf.sprintf "expected %C, found %C" c (peek st))
+
+let expect_str st s =
+  String.iter (fun c -> expect st c) s
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+let skip_str st s =
+  if looking_at st s then begin
+    String.iter (fun _ -> advance st) s;
+    true
+  end
+  else false
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let skip_ws st =
+  while (not (eof st)) && is_space (peek st) do
+    advance st
+  done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let parse_name st =
+  if not (is_name_start (peek st)) then
+    error st (Printf.sprintf "expected a name, found %C" (peek st));
+  let start = st.pos in
+  while (not (eof st)) && is_name_char (peek st) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+(* Entity / character references. *)
+let parse_reference st =
+  expect st '&';
+  if peek st = '#' then begin
+    advance st;
+    let hex = peek st = 'x' in
+    if hex then advance st;
+    let start = st.pos in
+    let ok c =
+      if hex then
+        (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+      else c >= '0' && c <= '9'
+    in
+    while (not (eof st)) && ok (peek st) do
+      advance st
+    done;
+    if st.pos = start then error st "empty character reference";
+    let digits = String.sub st.src start (st.pos - start) in
+    expect st ';';
+    let code =
+      match int_of_string_opt ((if hex then "0x" else "") ^ digits) with
+      | Some c -> c
+      | None -> error st "character reference out of range"
+    in
+    if code < 0 || code > 0x10FFFF then error st "character reference out of range";
+    (* UTF-8 encode. *)
+    let b = Buffer.create 4 in
+    let add = Buffer.add_char b in
+    if code < 0x80 then add (Char.chr code)
+    else if code < 0x800 then begin
+      add (Char.chr (0xC0 lor (code lsr 6)));
+      add (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else if code < 0x10000 then begin
+      add (Char.chr (0xE0 lor (code lsr 12)));
+      add (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      add (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      add (Char.chr (0xF0 lor (code lsr 18)));
+      add (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+      add (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      add (Char.chr (0x80 lor (code land 0x3F)))
+    end;
+    Buffer.contents b
+  end
+  else begin
+    let name = parse_name st in
+    expect st ';';
+    match name with
+    | "lt" -> "<"
+    | "gt" -> ">"
+    | "amp" -> "&"
+    | "quot" -> "\""
+    | "apos" -> "'"
+    | other -> error st (Printf.sprintf "unknown entity &%s;" other)
+  end
+
+let parse_attr_value st =
+  let quote = peek st in
+  if quote <> '"' && quote <> '\'' then error st "expected a quoted attribute value";
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if eof st then error st "unterminated attribute value"
+    else if peek st = quote then advance st
+    else if peek st = '&' then begin
+      Buffer.add_string buf (parse_reference st);
+      go ()
+    end
+    else if peek st = '<' then error st "'<' not allowed in attribute value"
+    else begin
+      Buffer.add_char buf (peek st);
+      advance st;
+      go ()
+    end
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_comment st =
+  (* Called just after "<!--". *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if eof st then error st "unterminated comment"
+    else if skip_str st "-->" then ()
+    else begin
+      Buffer.add_char buf (peek st);
+      advance st;
+      go ()
+    end
+  in
+  go ();
+  Node.comment (Buffer.contents buf)
+
+let parse_pi st =
+  (* Called just after "<?". *)
+  let target = parse_name st in
+  skip_ws st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if eof st then error st "unterminated processing instruction"
+    else if skip_str st "?>" then ()
+    else begin
+      Buffer.add_char buf (peek st);
+      advance st;
+      go ()
+    end
+  in
+  go ();
+  Node.pi ~target (Buffer.contents buf)
+
+let parse_cdata st =
+  (* Called just after "<![CDATA[". *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if eof st then error st "unterminated CDATA section"
+    else if skip_str st "]]>" then ()
+    else begin
+      Buffer.add_char buf (peek st);
+      advance st;
+      go ()
+    end
+  in
+  go ();
+  Buffer.contents buf
+
+let rec parse_element st =
+  (* Called just after '<' with a name-start char next. *)
+  let tag = parse_name st in
+  let attrs = ref [] in
+  let rec attrs_loop () =
+    skip_ws st;
+    if is_name_start (peek st) then begin
+      let aname = parse_name st in
+      skip_ws st;
+      expect st '=';
+      skip_ws st;
+      let v = parse_attr_value st in
+      if List.exists (fun a -> Node.name a = aname) !attrs then
+        error st (Printf.sprintf "duplicate attribute %s" aname);
+      attrs := !attrs @ [ Node.attribute aname v ];
+      attrs_loop ()
+    end
+  in
+  attrs_loop ();
+  skip_ws st;
+  if skip_str st "/>" then Node.element ~attrs:!attrs tag
+  else begin
+    expect st '>';
+    let kids = parse_content st in
+    expect_str st "</";
+    let close = parse_name st in
+    if close <> tag then
+      error st (Printf.sprintf "mismatched closing tag: expected </%s>, found </%s>" tag close);
+    skip_ws st;
+    expect st '>';
+    Node.element ~attrs:!attrs ~children:kids tag
+  end
+
+and parse_content st =
+  (* Children up to (not consuming) "</". *)
+  let items = ref [] in
+  let textbuf = Buffer.create 16 in
+  let flush_text () =
+    if Buffer.length textbuf > 0 then begin
+      items := Node.text (Buffer.contents textbuf) :: !items;
+      Buffer.clear textbuf
+    end
+  in
+  let rec go () =
+    if eof st then ()
+    else if looking_at st "</" then ()
+    else if looking_at st "<!--" then begin
+      flush_text ();
+      expect_str st "<!--";
+      items := parse_comment st :: !items;
+      go ()
+    end
+    else if looking_at st "<![CDATA[" then begin
+      expect_str st "<![CDATA[";
+      Buffer.add_string textbuf (parse_cdata st);
+      go ()
+    end
+    else if looking_at st "<?" then begin
+      flush_text ();
+      expect_str st "<?";
+      items := parse_pi st :: !items;
+      go ()
+    end
+    else if peek st = '<' then begin
+      flush_text ();
+      advance st;
+      items := parse_element st :: !items;
+      go ()
+    end
+    else if peek st = '&' then begin
+      Buffer.add_string textbuf (parse_reference st);
+      go ()
+    end
+    else begin
+      Buffer.add_char textbuf (peek st);
+      advance st;
+      go ()
+    end
+  in
+  go ();
+  flush_text ();
+  List.rev !items
+
+let skip_prolog st =
+  skip_ws st;
+  if looking_at st "<?xml" then begin
+    expect_str st "<?";
+    ignore (parse_pi st)
+  end;
+  skip_ws st;
+  while looking_at st "<!--" || looking_at st "<!DOCTYPE" do
+    if looking_at st "<!--" then begin
+      expect_str st "<!--";
+      ignore (parse_comment st)
+    end
+    else begin
+      (* Skip DOCTYPE up to the matching '>'; internal subsets in brackets
+         are skipped without interpretation. *)
+      expect_str st "<!DOCTYPE";
+      let depth = ref 0 in
+      let continue = ref true in
+      while !continue do
+        if eof st then error st "unterminated DOCTYPE"
+        else begin
+          (match peek st with
+          | '[' -> incr depth
+          | ']' -> decr depth
+          | '>' when !depth = 0 -> continue := false
+          | _ -> ());
+          advance st
+        end
+      done
+    end;
+    skip_ws st
+  done
+
+let parse_string src =
+  let st = make_state src in
+  skip_prolog st;
+  skip_ws st;
+  if not (peek st = '<' && is_name_start (peek2 st)) then
+    error st "expected a root element";
+  advance st;
+  let rootelt = parse_element st in
+  skip_ws st;
+  let trailing = ref [] in
+  while looking_at st "<!--" || looking_at st "<?" do
+    if looking_at st "<!--" then begin
+      expect_str st "<!--";
+      trailing := parse_comment st :: !trailing
+    end
+    else begin
+      expect_str st "<?";
+      trailing := parse_pi st :: !trailing
+    end;
+    skip_ws st
+  done;
+  if not (eof st) then error st "trailing content after the root element";
+  Node.document (rootelt :: List.rev !trailing)
+
+let parse_fragment src =
+  let st = make_state src in
+  let items = parse_content st in
+  if not (eof st) then error st "unexpected closing tag at top level";
+  items
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  parse_string content
+
+let is_blank s = String.for_all is_space s
+
+let rec strip_whitespace n =
+  match Node.kind n with
+  | Node.Document -> Node.document (strip_kids n)
+  | Node.Element ->
+    Node.element
+      ~attrs:(List.map Node.copy (Node.attributes n))
+      ~children:(strip_kids n) (Node.name n)
+  | Node.Attribute | Node.Text | Node.Comment | Node.Processing_instruction ->
+    Node.copy n
+
+and strip_kids n =
+  Node.children n
+  |> List.filter (fun k ->
+         not (Node.is_text k && is_blank (Node.string_value k)))
+  |> List.map strip_whitespace

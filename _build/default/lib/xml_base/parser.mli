@@ -1,0 +1,25 @@
+(** Hand-written XML parser.
+
+    Supports elements, attributes (single or double quoted), character data,
+    the five predefined entities plus numeric character references, CDATA
+    sections, comments, processing instructions, an optional XML declaration,
+    and a skipped DOCTYPE. No namespaces processing (qualified names are kept
+    as plain strings) and no external entities — matching what the AWB export
+    format needs. *)
+
+exception Parse_error of { line : int; col : int; message : string }
+
+val parse_string : string -> Node.t
+(** Parse a complete document; the result is a {!Node.kind.Document} node.
+    @raise Parse_error on malformed input. *)
+
+val parse_fragment : string -> Node.t list
+(** Parse a sequence of top-level nodes (elements, text, comments) without
+    requiring a single root. Useful for templates and tests. *)
+
+val parse_file : string -> Node.t
+
+val strip_whitespace : Node.t -> Node.t
+(** Deep copy with whitespace-only text nodes removed and remaining text
+    trimmed is NOT applied; only pure-whitespace texts between elements are
+    dropped. Convenient for template processing. *)

@@ -1,0 +1,164 @@
+let escape buf ~quot s =
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' when quot -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s
+
+let escape_text s =
+  let buf = Buffer.create (String.length s) in
+  escape buf ~quot:false s;
+  Buffer.contents buf
+
+let escape_attr s =
+  let buf = Buffer.create (String.length s) in
+  escape buf ~quot:true s;
+  Buffer.contents buf
+
+let add_attrs buf n =
+  List.iter
+    (fun a ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (Node.name a);
+      Buffer.add_string buf "=\"";
+      escape buf ~quot:true (Node.string_value a);
+      Buffer.add_char buf '"')
+    (Node.attributes n)
+
+let rec add_node buf n =
+  match Node.kind n with
+  | Node.Document -> List.iter (add_node buf) (Node.children n)
+  | Node.Element ->
+    Buffer.add_char buf '<';
+    Buffer.add_string buf (Node.name n);
+    add_attrs buf n;
+    (match Node.children n with
+    | [] -> Buffer.add_string buf "/>"
+    | kids ->
+      Buffer.add_char buf '>';
+      List.iter (add_node buf) kids;
+      Buffer.add_string buf "</";
+      Buffer.add_string buf (Node.name n);
+      Buffer.add_char buf '>')
+  | Node.Attribute ->
+    Buffer.add_string buf (Node.name n);
+    Buffer.add_string buf "=\"";
+    escape buf ~quot:true (Node.string_value n);
+    Buffer.add_char buf '"'
+  | Node.Text -> escape buf ~quot:false (Node.string_value n)
+  | Node.Comment ->
+    Buffer.add_string buf "<!--";
+    Buffer.add_string buf (Node.string_value n);
+    Buffer.add_string buf "-->"
+  | Node.Processing_instruction ->
+    Buffer.add_string buf "<?";
+    Buffer.add_string buf (Node.pi_target n);
+    (match Node.string_value n with
+    | "" -> ()
+    | content ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf content);
+    Buffer.add_string buf "?>"
+
+let to_string ?(decl = false) n =
+  let buf = Buffer.create 256 in
+  if decl && Node.kind n = Node.Document then
+    Buffer.add_string buf "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  add_node buf n;
+  Buffer.contents buf
+
+let is_blank s = String.for_all (fun c -> c = ' ' || c = '\t' || c = '\n' || c = '\r') s
+
+let to_pretty_string ?(indent = 2) n =
+  let buf = Buffer.create 256 in
+  let pad depth = Buffer.add_string buf (String.make (depth * indent) ' ') in
+  let significant_kids n =
+    List.filter
+      (fun k -> not (Node.is_text k && is_blank (Node.string_value k)))
+      (Node.children n)
+  in
+  let rec go depth n =
+    match Node.kind n with
+    | Node.Document ->
+      List.iter
+        (fun k ->
+          go depth k;
+          Buffer.add_char buf '\n')
+        (significant_kids n)
+    | Node.Element ->
+      pad depth;
+      let kids = significant_kids n in
+      let text_only = List.for_all Node.is_text kids in
+      Buffer.add_char buf '<';
+      Buffer.add_string buf (Node.name n);
+      add_attrs buf n;
+      (match kids with
+      | [] -> Buffer.add_string buf "/>"
+      | kids when text_only ->
+        Buffer.add_char buf '>';
+        List.iter (fun k -> escape buf ~quot:false (Node.string_value k)) kids;
+        Buffer.add_string buf "</";
+        Buffer.add_string buf (Node.name n);
+        Buffer.add_char buf '>'
+      | kids ->
+        Buffer.add_string buf ">\n";
+        List.iter
+          (fun k ->
+            go (depth + 1) k;
+            Buffer.add_char buf '\n')
+          kids;
+        pad depth;
+        Buffer.add_string buf "</";
+        Buffer.add_string buf (Node.name n);
+        Buffer.add_char buf '>')
+    | Node.Attribute | Node.Text | Node.Comment | Node.Processing_instruction ->
+      pad depth;
+      add_node buf n
+  in
+  go 0 n;
+  Buffer.contents buf
+
+let write_file path n =
+  let oc = open_out_bin path in
+  output_string oc (to_string ~decl:true n);
+  close_out oc
+
+let html_void_elements =
+  [ "area"; "base"; "br"; "col"; "embed"; "hr"; "img"; "input"; "link"; "meta";
+    "source"; "track"; "wbr" ]
+
+let html_raw_text_elements = [ "script"; "style" ]
+
+let to_html_string n =
+  let buf = Buffer.create 256 in
+  let rec go n =
+    match Node.kind n with
+    | Node.Document -> List.iter go (Node.children n)
+    | Node.Element ->
+      let tag = String.lowercase_ascii (Node.name n) in
+      Buffer.add_char buf '<';
+      Buffer.add_string buf (Node.name n);
+      add_attrs buf n;
+      Buffer.add_char buf '>';
+      if List.mem tag html_void_elements then ()
+      else begin
+        (if List.mem tag html_raw_text_elements then
+           Buffer.add_string buf (Node.string_value n)
+         else List.iter go (Node.children n));
+        Buffer.add_string buf "</";
+        Buffer.add_string buf (Node.name n);
+        Buffer.add_char buf '>'
+      end
+    | Node.Text -> escape buf ~quot:false (Node.string_value n)
+    | Node.Comment ->
+      Buffer.add_string buf "<!--";
+      Buffer.add_string buf (Node.string_value n);
+      Buffer.add_string buf "-->"
+    | Node.Attribute | Node.Processing_instruction -> ()
+  in
+  go n;
+  Buffer.contents buf

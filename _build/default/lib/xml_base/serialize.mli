@@ -1,0 +1,26 @@
+(** XML serialization. *)
+
+val escape_text : string -> string
+(** Escape ampersand, less-than, and greater-than for character-data positions. *)
+
+val escape_attr : string -> string
+(** Escape ampersand, less-than, and double-quote for double-quoted attribute values. *)
+
+val to_string : ?decl:bool -> Node.t -> string
+(** Compact serialization. [decl] (default false) prepends an XML
+    declaration when the node is a document. Attribute nodes serialize as
+    name="value"; text as escaped character data. *)
+
+val to_pretty_string : ?indent:int -> Node.t -> string
+(** Indented serialization. Elements whose content is pure text are kept on
+    one line; whitespace-only text between elements is dropped. [indent]
+    defaults to 2. *)
+
+val write_file : string -> Node.t -> unit
+
+val to_html_string : Node.t -> string
+(** HTML serialization: void elements (br, hr, img, input, meta, link,
+    col, area, base, embed, source, track, wbr) emit without closing
+    tags or self-closing slashes; other empty elements keep an explicit
+    closing tag (<div></div>, never <div/>); script and style content is
+    emitted raw. Attribute values stay double-quoted and escaped. *)

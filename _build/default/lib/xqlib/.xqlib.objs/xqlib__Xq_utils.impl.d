@@ -1,0 +1,1 @@
+lib/xqlib/xq_utils.ml: Xquery

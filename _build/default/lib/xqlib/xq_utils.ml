@@ -1,0 +1,135 @@
+(* The project's XQuery utility library — "Following standard software
+   engineering practice, we wrote our own utility functions: set
+   manipulation routines, some string- and element-handling functions like
+   without-leading-or-trailing-spaces($string) and
+   child-element-named($parent, $name) that XQuery chose not to provide, a
+   bit of trigonometry, and other routine things. This proved to be a
+   fruitful source of trouble."
+
+   This is that library, in actual XQuery, run by the engine in
+   lib/xquery. The set routines work on STRINGS ONLY — the paper's
+   conclusion after discovering that sequences flatten and attribute nodes
+   fold: "We decided to limit ourselves to a set-of-string data
+   structure, for which sequences do work." The trigonometry is where the
+   project's 15 uses of division lived. *)
+
+let prolog =
+  {|
+(: ---- string sets, represented as flat sequences of strings ---- :)
+
+declare function util:set-empty() { () };
+
+declare function util:set-member($set, $x) {
+  (: general = as deliberate membership test; "noted in a comment that we
+     intended to use it this way" :)
+  $set = $x
+};
+
+declare function util:set-add($set, $x) {
+  if (util:set-member($set, $x)) then $set else ($set, $x)
+};
+
+declare function util:set-union($a, $b) {
+  ($a, for $x in $b return if (util:set-member($a, $x)) then () else $x)
+};
+
+declare function util:set-intersection($a, $b) {
+  for $x in $a return if (util:set-member($b, $x)) then $x else ()
+};
+
+declare function util:set-difference($a, $b) {
+  for $x in $a return if (util:set-member($b, $x)) then () else $x
+};
+
+declare function util:set-size($set) { count($set) };
+
+(: ---- string handling ---- :)
+
+declare function util:without-leading-or-trailing-spaces($s) {
+  (: XQuery's normalize-space also collapses inner runs; a faithful trim
+     must work harder. :)
+  let $cps := string-to-codepoints($s)
+  let $n := count($cps)
+  let $first := (for $i in 1 to $n
+                 where not($cps[$i] = (32, 9, 10, 13))
+                 return $i)[1]
+  let $last := (for $i in 1 to $n
+                where not($cps[$n + 1 - $i] = (32, 9, 10, 13))
+                return $n + 1 - $i)[1]
+  return
+    if (empty($first)) then ""
+    else codepoints-to-string(for $i in $first to $last return $cps[$i])
+};
+
+declare function util:string-repeat($s, $n) {
+  string-join(for $i in 1 to $n return $s, "")
+};
+
+declare function util:pad-left($s, $width) {
+  concat(util:string-repeat(" ", $width - string-length($s)), $s)
+};
+
+(: ---- element handling ---- :)
+
+declare function util:child-element-named($parent, $name) {
+  ($parent/element()[name(.) = $name])[1]
+};
+
+declare function util:children-named($parent, $name) {
+  $parent/element()[name(.) = $name]
+};
+
+declare function util:has-child-named($parent, $name) {
+  exists(util:children-named($parent, $name))
+};
+
+(: ---- binary search over a sorted sequence of integers ----
+   one of the project's rare legitimate uses of division. :)
+
+declare function util:binary-search($sorted, $x, $lo, $hi) {
+  if ($lo gt $hi) then 0
+  else
+    let $mid := ($lo + $hi) idiv 2
+    let $v := $sorted[$mid]
+    return
+      if ($v eq $x) then $mid
+      else if ($v lt $x) then util:binary-search($sorted, $x, $mid + 1, $hi)
+      else util:binary-search($sorted, $x, $lo, $mid - 1)
+};
+
+declare function util:index-of-sorted($sorted, $x) {
+  util:binary-search($sorted, $x, 1, count($sorted))
+};
+
+(: ---- a bit of trigonometry (Taylor series; the other 14 divisions) ---- :)
+
+declare function util:pi() { 3.14159265358979 };
+
+declare function util:sin($x) {
+  (: reduce to [-pi, pi], then a Horner-form Taylor series :)
+  let $tau := 2 * util:pi()
+  let $r0 := $x - ($tau * (($x div $tau) cast as xs:integer))
+  let $r := if ($r0 gt util:pi()) then $r0 - $tau
+            else if ($r0 lt -util:pi()) then $r0 + $tau
+            else $r0
+  let $x2 := $r * $r
+  return
+    $r * (1 - $x2 div 6 * (1 - $x2 div 20 * (1 - $x2 div 42
+       * (1 - $x2 div 72 * (1 - $x2 div 110 * (1 - $x2 div 156))))))
+};
+
+declare function util:cos($x) {
+  util:sin($x + util:pi() div 2)
+};
+
+declare function util:deg-to-rad($d) { $d * util:pi() div 180 };
+|}
+
+(* Compile a query against the utility prolog. The util: prefix is
+   declared as a namespace for looks; the engine treats prefixed names as
+   plain strings, as the rest of the project does. *)
+let with_prolog body = "declare namespace util = \"urn:awb:util\";\n" ^ prolog ^ "\n" ^ body
+
+let eval ?vars body = Xquery.Engine.eval_query ?vars (with_prolog body)
+
+let eval_string ?vars body = Xquery.Value.to_display_string (eval ?vars body)

@@ -1,0 +1,1 @@
+lib/xquery/ast.pp.ml: List Ppx_deriving_runtime Stype

@@ -1,0 +1,1 @@
+lib/xquery/context.pp.ml: Ast Errors Hashtbl Map String Stype Value Xml_base

@@ -1,0 +1,1 @@
+lib/xquery/engine.pp.ml: Ast Context Eval Functions Optimizer Parser Static_check Value

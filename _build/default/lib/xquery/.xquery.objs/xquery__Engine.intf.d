@@ -1,0 +1,1 @@
+lib/xquery/engine.pp.mli: Ast Context Optimizer Value Xml_base

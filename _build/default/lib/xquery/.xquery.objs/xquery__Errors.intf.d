@@ -1,0 +1,1 @@
+lib/xquery/errors.pp.mli: Format

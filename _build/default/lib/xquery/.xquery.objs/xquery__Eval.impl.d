@@ -1,0 +1,1 @@
+lib/xquery/eval.pp.ml: Ast Context Errors Float List String Stype Value Xml_base

@@ -1,0 +1,1 @@
+lib/xquery/eval.pp.mli: Ast Context Value Xml_base

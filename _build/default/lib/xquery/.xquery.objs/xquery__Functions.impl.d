@@ -1,0 +1,1 @@
+lib/xquery/functions.pp.ml: Buffer Char Context Errors Float List Printf Re String Value Xml_base

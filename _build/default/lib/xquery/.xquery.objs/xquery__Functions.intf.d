@@ -1,0 +1,1 @@
+lib/xquery/functions.pp.mli: Context Value

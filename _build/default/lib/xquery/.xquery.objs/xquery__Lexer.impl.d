@@ -1,0 +1,1 @@
+lib/xquery/lexer.pp.ml: Buffer Errors Format List Printf String

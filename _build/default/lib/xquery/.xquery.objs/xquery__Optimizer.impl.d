@@ -1,0 +1,1 @@
+lib/xquery/optimizer.pp.ml: Ast Context List

@@ -1,0 +1,1 @@
+lib/xquery/parser.pp.ml: Ast Buffer Char Lexer List String Stype

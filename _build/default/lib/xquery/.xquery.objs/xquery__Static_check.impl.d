@@ -1,0 +1,1 @@
+lib/xquery/static_check.pp.ml: Ast Context Errors Functions Hashtbl List

@@ -1,0 +1,1 @@
+lib/xquery/stype.pp.ml: List Ppx_deriving_runtime Printf Value Xml_base

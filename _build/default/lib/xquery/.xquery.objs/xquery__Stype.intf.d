@@ -1,0 +1,1 @@
+lib/xquery/stype.pp.mli: Format Value

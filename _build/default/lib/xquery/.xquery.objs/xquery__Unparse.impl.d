@@ -1,0 +1,1 @@
+lib/xquery/unparse.pp.ml: Ast Buffer Float List Printf String Stype Value

@@ -1,0 +1,1 @@
+lib/xquery/unparse.pp.mli: Ast

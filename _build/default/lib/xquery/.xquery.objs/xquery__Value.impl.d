@@ -1,0 +1,1 @@
+lib/xquery/value.pp.ml: Errors Float Format List Printf String Xml_base

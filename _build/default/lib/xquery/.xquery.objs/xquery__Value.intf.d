@@ -1,0 +1,1 @@
+lib/xquery/value.pp.mli: Format Xml_base

@@ -1,0 +1,144 @@
+(* Abstract syntax for the XQuery subset. Direct element constructors are
+   desugared by the parser into the computed forms (E_elem / E_attr /
+   E_text), with literal text carried as string literals. *)
+
+type axis =
+  | Child
+  | Descendant
+  | Descendant_or_self
+  | Self
+  | Parent
+  | Ancestor
+  | Ancestor_or_self
+  | Following_sibling
+  | Preceding_sibling
+  | Following
+  | Preceding
+  | Attribute_axis
+[@@deriving show { with_path = false }, eq]
+
+type node_test =
+  | Name_test of string
+  | Wildcard
+  | Kind_node (* node() *)
+  | Kind_text (* text() *)
+  | Kind_comment (* comment() *)
+  | Kind_pi of string option (* processing-instruction(), possibly named *)
+  | Kind_element of string option (* element(), element(name) *)
+  | Kind_attribute of string option
+  | Kind_document (* document-node() *)
+[@@deriving show { with_path = false }, eq]
+
+type arith = Add | Sub | Mul | Div | Idiv | Mod
+[@@deriving show { with_path = false }, eq]
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge [@@deriving show { with_path = false }, eq]
+
+type node_cmp = Is | Precedes | Follows [@@deriving show { with_path = false }, eq]
+
+type quantifier = Some_q | Every_q [@@deriving show { with_path = false }, eq]
+
+type set_op = Union | Intersect | Except [@@deriving show { with_path = false }, eq]
+
+(* The few cast targets the paper's code used. *)
+type cast_target = To_int | To_double | To_string | To_bool
+[@@deriving show { with_path = false }, eq]
+
+type expr =
+  | E_int of int
+  | E_double of float
+  | E_string of string
+  | E_var of string
+  | E_context_item (* . *)
+  | E_seq of expr list (* (e1, e2, ...) — flattens at runtime *)
+  | E_range of expr * expr (* e1 to e2 *)
+  | E_arith of arith * expr * expr
+  | E_neg of expr
+  | E_general_cmp of cmp * expr * expr (* = != < <= > >= : existential *)
+  | E_value_cmp of cmp * expr * expr (* eq ne lt le gt ge : singleton *)
+  | E_node_cmp of node_cmp * expr * expr
+  | E_and of expr * expr
+  | E_or of expr * expr
+  | E_set_op of set_op * expr * expr
+  | E_if of expr * expr * expr
+  | E_flwor of flwor
+  | E_quantified of quantifier * (string * expr) list * expr
+  | E_path of expr * expr
+      (* e1/e2 : evaluate e2 once per item of e1 as context item; if all
+         results are nodes, sort and dedup in document order *)
+  | E_root (* leading "/" : root of the context node's tree *)
+  | E_step of axis * node_test
+  | E_filter of expr * expr (* e1[e2] — predicate, positional or boolean *)
+  | E_call of string * expr list
+  | E_cast of cast_target * expr
+  | E_castable of cast_target * expr
+  | E_instance_of of expr * Stype.t (* e instance of element()* etc. *)
+  | E_treat of expr * Stype.t (* e treat as T : identity or XPDY0050 *)
+  | E_typeswitch of {
+      operand : expr;
+      cases : ts_case list;
+      default_var : string option;
+      default : expr;
+    }
+  | E_elem of name_spec * expr list
+      (* element constructor: content exprs evaluated left to right, then
+         attribute folding applied *)
+  | E_attr of name_spec * expr list
+      (* attribute constructor; value = string-joined content *)
+  | E_text of expr
+  | E_doc of expr list (* document { ... } *)
+  | E_comment_c of expr
+[@@deriving show { with_path = false }, eq]
+
+and name_spec = Static_name of string | Computed_name of expr
+[@@deriving show { with_path = false }, eq]
+
+and ts_case = { case_var : string option; case_type : Stype.t; case_return : expr }
+[@@deriving show { with_path = false }, eq]
+
+and flwor = {
+  clauses : clause list;
+  order_by : order_spec list;
+  return : expr;
+}
+[@@deriving show { with_path = false }, eq]
+
+and clause =
+  | For of {
+      var : string;
+      var_type : Stype.t option;
+      pos_var : string option;
+      source : expr;
+    }
+  | Let of { var : string; var_type : Stype.t option; value : expr }
+  | Where of expr
+[@@deriving show { with_path = false }, eq]
+
+and order_spec = { key : expr; descending : bool; empty_greatest : bool }
+[@@deriving show { with_path = false }, eq]
+
+type prolog_decl =
+  | Declare_function of {
+      fname : string;
+      params : (string * Stype.t option) list;
+      return_type : Stype.t option;
+      body : expr;
+    }
+  | Declare_variable of { vname : string; vtype : Stype.t option; init : expr }
+  | Declare_namespace of string * string (* accepted and recorded, unused *)
+
+type program = { prolog : prolog_decl list; body : expr }
+
+let axis_name = function
+  | Child -> "child"
+  | Descendant -> "descendant"
+  | Descendant_or_self -> "descendant-or-self"
+  | Self -> "self"
+  | Parent -> "parent"
+  | Ancestor -> "ancestor"
+  | Ancestor_or_self -> "ancestor-or-self"
+  | Following_sibling -> "following-sibling"
+  | Preceding_sibling -> "preceding-sibling"
+  | Following -> "following"
+  | Preceding -> "preceding"
+  | Attribute_axis -> "attribute"

@@ -1,0 +1,107 @@
+(* Static and dynamic evaluation context, plus the compatibility knobs that
+   reproduce the Galax-era behaviours the paper reports. *)
+
+module StringMap = Map.Make (String)
+
+type duplicate_attribute_policy =
+  | Keep_last (* the working-draft "only one should make it" reading *)
+  | Keep_both (* "though Galax did not honor this as of the time of writing" *)
+  | Raise_error (* the eventual REC behaviour: XQDY0025 *)
+
+type compat = {
+  galax_messages : bool;
+      (* true: a name used where a variable was plainly intended still
+         evaluates as a child step, and the "missing context item" error
+         reads "Internal_Error: Variable '$glx:dot' not found." with no
+         line number — the message the paper quotes. *)
+  duplicate_attributes : duplicate_attribute_policy;
+  treat_trace_as_pure : bool;
+      (* true: the optimizer's dead-code elimination deletes a dead
+         [let $dummy := trace(...)], silently removing the tracing — the
+         paper's debugging horror story. *)
+}
+
+let default_compat =
+  { galax_messages = false; duplicate_attributes = Keep_last; treat_trace_as_pure = false }
+
+let galax_compat =
+  { galax_messages = true; duplicate_attributes = Keep_both; treat_trace_as_pure = true }
+
+type func =
+  | Builtin of (dyn -> Value.sequence list -> Value.sequence)
+  | User of {
+      uparams : (string * Stype.t option) list;
+      ureturn : Stype.t option;
+      ubody : Ast.expr;
+    }
+
+and env = {
+  functions : (string * int, func) Hashtbl.t;
+  compat : compat;
+  typed_mode : bool;
+      (* enforce [as] annotations on user function calls and returns *)
+  mutable trace_out : string -> unit;
+  mutable trace_count : int;
+  mutable doc_resolver : string -> Xml_base.Node.t option;
+  mutable global_vars : Value.sequence StringMap.t;
+}
+
+and dyn = {
+  env : env;
+  vars : Value.sequence StringMap.t;
+  ctx_item : Value.item option;
+  ctx_pos : int; (* 1-based *)
+  ctx_size : int;
+}
+
+let make_env ?(compat = default_compat) ?(typed_mode = false) () =
+  {
+    functions = Hashtbl.create 97;
+    compat;
+    typed_mode;
+    trace_out = prerr_endline;
+    trace_count = 0;
+    doc_resolver = (fun _ -> None);
+    global_vars = StringMap.empty;
+  }
+
+let make_dyn env = { env; vars = StringMap.empty; ctx_item = None; ctx_pos = 0; ctx_size = 0 }
+
+let bind_var dyn name value = { dyn with vars = StringMap.add name value dyn.vars }
+
+let lookup_var dyn name =
+  match StringMap.find_opt name dyn.vars with
+  | Some v -> Some v
+  | None -> StringMap.find_opt name dyn.env.global_vars
+
+let with_context dyn item pos size = { dyn with ctx_item = Some item; ctx_pos = pos; ctx_size = size }
+
+(* Function names: fn: prefix is optional, local: is conventional for user
+   functions. Normalize lookups by stripping a leading "fn:". *)
+let normalize_fname name =
+  if String.length name > 3 && String.sub name 0 3 = "fn:" then
+    String.sub name 3 (String.length name - 3)
+  else name
+
+let find_function env name arity =
+  Hashtbl.find_opt env.functions (normalize_fname name, arity)
+
+let register_function env name arity f = Hashtbl.replace env.functions (name, arity) f
+
+let context_node dyn =
+  match dyn.ctx_item with
+  | Some (Value.Node n) -> n
+  | Some (Value.Atomic _) ->
+    Errors.raise_error Errors.xpty0019 "the context item is not a node"
+  | None ->
+    if dyn.env.compat.galax_messages then
+      Errors.raise_error "XPDY0002" "Internal_Error: Variable '$glx:dot' not found."
+    else Errors.raise_error Errors.xpdy0002 "the context item is undefined"
+
+let context_item dyn =
+  match dyn.ctx_item with
+  | Some i -> i
+  | None ->
+    if dyn.env.compat.galax_messages then
+      Errors.raise_error "XPDY0002" "Internal_Error: Variable '$glx:dot' not found."
+    else Errors.raise_error Errors.xpdy0002 "the context item is undefined"

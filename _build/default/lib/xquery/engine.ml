@@ -1,0 +1,35 @@
+type compiled = {
+  program : Ast.program;
+  compat : Context.compat;
+  typed_mode : bool;
+  opt_stats : Optimizer.stats option;
+}
+
+let compile ?(compat = Context.default_compat) ?(typed_mode = false) ?(optimize = true)
+    ?static_check src =
+  let program = Parser.parse_program src in
+  (match static_check with
+  | Some external_vars -> Static_check.check_program ~external_vars program
+  | None -> ());
+  if optimize then
+    let program, stats =
+      Optimizer.optimize_program ~treat_trace_as_pure:compat.Context.treat_trace_as_pure
+        program
+    in
+    { program; compat; typed_mode; opt_stats = Some stats }
+  else { program; compat; typed_mode; opt_stats = None }
+
+let execute ?context_item ?(vars = []) ?trace_out ?doc_resolver compiled =
+  let env = Context.make_env ~compat:compiled.compat ~typed_mode:compiled.typed_mode () in
+  Functions.register_all env;
+  (match trace_out with Some f -> env.Context.trace_out <- f | None -> ());
+  (match doc_resolver with Some f -> env.Context.doc_resolver <- f | None -> ());
+  Eval.run_program env ?context_item ~vars compiled.program
+
+let eval_query ?compat ?typed_mode ?optimize ?static_check ?context_item ?vars ?trace_out
+    ?doc_resolver src =
+  execute ?context_item ?vars ?trace_out ?doc_resolver
+    (compile ?compat ?typed_mode ?optimize ?static_check src)
+
+let query_doc ?vars doc src =
+  eval_query ~context_item:(Value.Node doc) ?vars src

@@ -1,0 +1,51 @@
+(** The public face of the XQuery engine: compile and run queries. *)
+
+type compiled = {
+  program : Ast.program;
+  compat : Context.compat;
+  typed_mode : bool;
+  opt_stats : Optimizer.stats option; (** present when optimization ran *)
+}
+
+val compile :
+  ?compat:Context.compat ->
+  ?typed_mode:bool ->
+  ?optimize:bool ->
+  ?static_check:string list ->
+  string ->
+  compiled
+(** Parse (and by default optimize) a query. [compat] defaults to
+    {!Context.default_compat}; pass {!Context.galax_compat} for the
+    paper-era behaviours. [static_check], when given, runs the static
+    analyzer before anything else: unbound variables and unknown
+    functions are reported at compile time, with the listed names treated
+    as externally-bound variables. @raise Errors.Error on syntax or
+    static errors. *)
+
+val execute :
+  ?context_item:Value.item ->
+  ?vars:(string * Value.sequence) list ->
+  ?trace_out:(string -> unit) ->
+  ?doc_resolver:(string -> Xml_base.Node.t option) ->
+  compiled ->
+  Value.sequence
+(** Run a compiled query. [vars] are bound as external global variables;
+    [trace_out] receives fn:trace output (default stderr); [doc_resolver]
+    backs fn:doc. *)
+
+val eval_query :
+  ?compat:Context.compat ->
+  ?typed_mode:bool ->
+  ?optimize:bool ->
+  ?static_check:string list ->
+  ?context_item:Value.item ->
+  ?vars:(string * Value.sequence) list ->
+  ?trace_out:(string -> unit) ->
+  ?doc_resolver:(string -> Xml_base.Node.t option) ->
+  string ->
+  Value.sequence
+(** One-shot compile + execute. *)
+
+val query_doc :
+  ?vars:(string * Value.sequence) list -> Xml_base.Node.t -> string -> Value.sequence
+(** Convenience: run a query with the given node as context item. *)

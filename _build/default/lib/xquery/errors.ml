@@ -1,0 +1,24 @@
+exception Error of { code : string; message : string }
+
+let raise_error code fmt =
+  Format.kasprintf (fun message -> raise (Error { code = "err:" ^ code; message })) fmt
+
+let code_of = function Error { code; _ } -> Some code | _ -> None
+
+let xpst0003 = "XPST0003"
+let xpst0008 = "XPST0008"
+let xpst0017 = "XPST0017"
+let xpdy0002 = "XPDY0002"
+let xpty0004 = "XPTY0004"
+let xpty0018 = "XPTY0018"
+let xpty0019 = "XPTY0019"
+let forg0001 = "FORG0001"
+let forg0006 = "FORG0006"
+let foar0001 = "FOAR0001"
+let foca0002 = "FOCA0002"
+let fons0004 = "FONS0004"
+let xqty0024 = "XQTY0024"
+let xqdy0025 = "XQDY0025"
+let foer0000 = "FOER0000"
+let fodc0002 = "FODC0002"
+let forx0002 = "FORX0002"

@@ -1,0 +1,33 @@
+(** XQuery static and dynamic errors.
+
+    Errors carry a W3C-style code (e.g. ["err:XPTY0004"]) and a message.
+    [fn:error()] raises {!Error} with a user code. *)
+
+exception Error of { code : string; message : string }
+
+val raise_error : string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [raise_error "XPTY0004" fmt ...] raises {!Error} with the code
+    prefixed by ["err:"]. *)
+
+val code_of : exn -> string option
+(** The error code if the exception is an XQuery {!Error}. *)
+
+(** Commonly used codes, so call sites cannot typo them. *)
+
+val xpst0003 : string (* syntax *)
+val xpst0008 : string (* undefined variable *)
+val xpst0017 : string (* unknown function *)
+val xpdy0002 : string (* context item undefined *)
+val xpty0004 : string (* type error *)
+val xpty0018 : string (* path mixes nodes and atomics *)
+val xpty0019 : string (* path step on a non-node *)
+val forg0001 : string (* invalid cast *)
+val forg0006 : string (* invalid argument type / EBV *)
+val foar0001 : string (* division by zero *)
+val foca0002 : string (* invalid lexical value *)
+val fons0004 : string (* unknown namespace *)
+val xqty0024 : string (* attribute node after non-attribute content *)
+val xqdy0025 : string (* duplicate attribute name *)
+val foer0000 : string (* fn:error default *)
+val fodc0002 : string (* document retrieval failed *)
+val forx0002 : string (* invalid regular expression *)

@@ -1,0 +1,14 @@
+(** The built-in function library (F&O subset, ~75 entries): accessors,
+    numerics (with the untyped-to-double promotions the spec requires of
+    aggregates), strings (including regex via Re), sequences, node
+    functions, [fn:doc] behind a resolver, and the two functions the
+    paper's debugging section revolves around — [fn:error] and
+    [fn:trace]. *)
+
+val registry :
+  (string * int * (Context.dyn -> Value.sequence list -> Value.sequence)) list
+(** (name, arity, implementation) for every fixed-arity builtin. *)
+
+val register_all : Context.env -> unit
+(** Install the registry (plus variadic [fn:concat]) into an
+    environment. *)

@@ -1,0 +1,393 @@
+type token =
+  | T_int of int
+  | T_double of float
+  | T_string of string
+  | T_name of string
+  | T_var of string
+  | T_lparen
+  | T_rparen
+  | T_lbracket
+  | T_rbracket
+  | T_lbrace
+  | T_rbrace
+  | T_comma
+  | T_semi
+  | T_at
+  | T_slash
+  | T_dslash
+  | T_dot
+  | T_dotdot
+  | T_star
+  | T_plus
+  | T_minus
+  | T_pipe
+  | T_eq
+  | T_ne
+  | T_lt
+  | T_le
+  | T_gt
+  | T_ge
+  | T_ll
+  | T_gg
+  | T_assign
+  | T_question
+  | T_axis_sep
+  | T_eof
+
+let token_to_string = function
+  | T_int n -> string_of_int n
+  | T_double f -> string_of_float f
+  | T_string s -> Printf.sprintf "%S" s
+  | T_name n -> n
+  | T_var v -> "$" ^ v
+  | T_lparen -> "("
+  | T_rparen -> ")"
+  | T_lbracket -> "["
+  | T_rbracket -> "]"
+  | T_lbrace -> "{"
+  | T_rbrace -> "}"
+  | T_comma -> ","
+  | T_semi -> ";"
+  | T_at -> "@"
+  | T_slash -> "/"
+  | T_dslash -> "//"
+  | T_dot -> "."
+  | T_dotdot -> ".."
+  | T_star -> "*"
+  | T_plus -> "+"
+  | T_minus -> "-"
+  | T_pipe -> "|"
+  | T_eq -> "="
+  | T_ne -> "!="
+  | T_lt -> "<"
+  | T_le -> "<="
+  | T_gt -> ">"
+  | T_ge -> ">="
+  | T_ll -> "<<"
+  | T_gg -> ">>"
+  | T_assign -> ":="
+  | T_question -> "?"
+  | T_axis_sep -> "::"
+  | T_eof -> "end of query"
+
+type cached = {
+  tok : token;
+  start_pos : int; (* after leading trivia *)
+  start_line : int;
+  start_col : int;
+  end_pos : int;
+  end_line : int;
+  end_col : int;
+}
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+  mutable cache : cached list; (* at most two entries *)
+}
+
+let make src = { src; pos = 0; line = 1; col = 1; cache = [] }
+
+let line_col t =
+  match t.cache with
+  | _ :: _ -> (t.line, t.col) (* approximate: end of peeked token *)
+  | [] -> (t.line, t.col)
+
+let syntax_error t fmt =
+  let line, col = line_col t in
+  Format.kasprintf
+    (fun message ->
+      raise
+        (Errors.Error
+           {
+             code = "err:" ^ Errors.xpst0003;
+             message = Printf.sprintf "line %d, col %d: %s" line col message;
+           }))
+    fmt
+
+let eof_raw t = t.pos >= String.length t.src
+let cur t = if eof_raw t then '\000' else t.src.[t.pos]
+
+let cur2 t =
+  if t.pos + 1 >= String.length t.src then '\000' else t.src.[t.pos + 1]
+
+let advance t =
+  if not (eof_raw t) then begin
+    (if t.src.[t.pos] = '\n' then begin
+       t.line <- t.line + 1;
+       t.col <- 1
+     end
+     else t.col <- t.col + 1);
+    t.pos <- t.pos + 1
+  end
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+let is_digit c = c >= '0' && c <= '9'
+let is_name_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_name_char c = is_name_start c || is_digit c || c = '-' || c = '.'
+
+(* Skip whitespace and (: nested comments :). *)
+let rec skip_trivia t =
+  if is_space (cur t) then begin
+    advance t;
+    skip_trivia t
+  end
+  else if cur t = '(' && cur2 t = ':' then begin
+    advance t;
+    advance t;
+    let depth = ref 1 in
+    while !depth > 0 do
+      if eof_raw t then syntax_error t "unterminated (: comment :)"
+      else if cur t = '(' && cur2 t = ':' then begin
+        advance t;
+        advance t;
+        incr depth
+      end
+      else if cur t = ':' && cur2 t = ')' then begin
+        advance t;
+        advance t;
+        decr depth
+      end
+      else advance t
+    done;
+    skip_trivia t
+  end
+
+(* A name: NCName possibly followed by :NCName (but not ::, the axis
+   separator). Dashes and dots are name characters — the paper's $n-1. *)
+let lex_name t =
+  let start = t.pos in
+  while is_name_char (cur t) do
+    advance t
+  done;
+  if cur t = ':' && is_name_start (cur2 t) then begin
+    advance t;
+    while is_name_char (cur t) do
+      advance t
+    done
+  end;
+  String.sub t.src start (t.pos - start)
+
+let lex_number t =
+  let start = t.pos in
+  while is_digit (cur t) do
+    advance t
+  done;
+  let is_double = ref false in
+  if cur t = '.' && is_digit (cur2 t) then begin
+    is_double := true;
+    advance t;
+    while is_digit (cur t) do
+      advance t
+    done
+  end;
+  if (cur t = 'e' || cur t = 'E')
+     && (is_digit (cur2 t)
+        || ((cur2 t = '+' || cur2 t = '-')
+           && t.pos + 2 < String.length t.src
+           && is_digit t.src.[t.pos + 2]))
+  then begin
+    is_double := true;
+    advance t;
+    if cur t = '+' || cur t = '-' then advance t;
+    while is_digit (cur t) do
+      advance t
+    done
+  end;
+  let text = String.sub t.src start (t.pos - start) in
+  if !is_double then T_double (float_of_string text)
+  else
+    match int_of_string_opt text with
+    | Some n -> T_int n
+    | None -> T_double (float_of_string text)
+
+let lex_string t quote =
+  advance t;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if eof_raw t then syntax_error t "unterminated string literal"
+    else if cur t = quote then begin
+      advance t;
+      (* Doubled quote is an escaped quote. *)
+      if cur t = quote then begin
+        Buffer.add_char buf quote;
+        advance t;
+        go ()
+      end
+    end
+    else if cur t = '&' then begin
+      (* Predefined entity references are valid in XQuery string literals. *)
+      advance t;
+      let name = lex_name t in
+      if cur t <> ';' then syntax_error t "expected ';' after entity reference";
+      advance t;
+      (match name with
+      | "lt" -> Buffer.add_char buf '<'
+      | "gt" -> Buffer.add_char buf '>'
+      | "amp" -> Buffer.add_char buf '&'
+      | "quot" -> Buffer.add_char buf '"'
+      | "apos" -> Buffer.add_char buf '\''
+      | other -> syntax_error t "unknown entity &%s;" other);
+      go ()
+    end
+    else begin
+      Buffer.add_char buf (cur t);
+      advance t;
+      go ()
+    end
+  in
+  go ();
+  T_string (Buffer.contents buf)
+
+let lex_token t =
+  skip_trivia t;
+  if eof_raw t then T_eof
+  else
+    let c = cur t in
+    if is_digit c then lex_number t
+    else if c = '.' && is_digit (cur2 t) then lex_number t
+    else if is_name_start c then T_name (lex_name t)
+    else if c = '"' || c = '\'' then lex_string t c
+    else begin
+      advance t;
+      match c with
+      | '$' ->
+        if not (is_name_start (cur t)) then syntax_error t "expected a name after '$'";
+        T_var (lex_name t)
+      | '(' -> T_lparen
+      | ')' -> T_rparen
+      | '[' -> T_lbracket
+      | ']' -> T_rbracket
+      | '{' -> T_lbrace
+      | '}' -> T_rbrace
+      | ',' -> T_comma
+      | ';' -> T_semi
+      | '@' -> T_at
+      | '?' -> T_question
+      | '|' -> T_pipe
+      | '+' -> T_plus
+      | '-' -> T_minus
+      | '*' -> T_star
+      | '=' -> T_eq
+      | '/' -> if cur t = '/' then (advance t; T_dslash) else T_slash
+      | '.' -> if cur t = '.' then (advance t; T_dotdot) else T_dot
+      | '!' ->
+        if cur t = '=' then (advance t; T_ne)
+        else syntax_error t "unexpected '!'"
+      | '<' ->
+        if cur t = '=' then (advance t; T_le)
+        else if cur t = '<' then (advance t; T_ll)
+        else T_lt
+      | '>' ->
+        if cur t = '=' then (advance t; T_ge)
+        else if cur t = '>' then (advance t; T_gg)
+        else T_gt
+      | ':' ->
+        if cur t = '=' then (advance t; T_assign)
+        else if cur t = ':' then (advance t; T_axis_sep)
+        else syntax_error t "unexpected ':'"
+      | c -> syntax_error t "unexpected character %C" c
+    end
+
+let fill t n =
+  while List.length t.cache < n do
+    (* Record the pre-trivia position so a cache flush can rewind without
+       losing whitespace, which is significant in XML content mode. *)
+    let start_pos = t.pos and start_line = t.line and start_col = t.col in
+    let tok = lex_token t in
+    t.cache <-
+      t.cache
+      @ [
+          {
+            tok;
+            start_pos;
+            start_line;
+            start_col;
+            end_pos = t.pos;
+            end_line = t.line;
+            end_col = t.col;
+          };
+        ]
+  done
+
+let peek t =
+  fill t 1;
+  (List.hd t.cache).tok
+
+let peek2 t =
+  fill t 2;
+  (List.nth t.cache 1).tok
+
+let next t =
+  fill t 1;
+  match t.cache with
+  | entry :: rest ->
+    t.cache <- rest;
+    entry.tok
+  | [] -> assert false
+
+let expect t tok =
+  let got = next t in
+  if got <> tok then
+    syntax_error t "expected %s, found %s" (token_to_string tok) (token_to_string got)
+
+let char_after_peeked t =
+  fill t 1;
+  let entry = List.hd t.cache in
+  if entry.end_pos >= String.length t.src then '\000' else t.src.[entry.end_pos]
+
+(* Raw mode. A peeked-but-unconsumed token was lexed under expression rules;
+   rewind to its start so the raw reader sees the original characters. *)
+let flush_cache t =
+  match t.cache with
+  | [] -> ()
+  | entry :: _ ->
+    t.pos <- entry.start_pos;
+    t.line <- entry.start_line;
+    t.col <- entry.start_col;
+    t.cache <- []
+
+let assert_raw t = flush_cache t
+
+let raw_peek t =
+  assert_raw t;
+  cur t
+
+let raw_next t =
+  assert_raw t;
+  let c = cur t in
+  if eof_raw t then syntax_error t "unexpected end of input in constructor";
+  advance t;
+  c
+
+let raw_looking_at t s =
+  assert_raw t;
+  let n = String.length s in
+  t.pos + n <= String.length t.src && String.sub t.src t.pos n = s
+
+let raw_skip t s =
+  if raw_looking_at t s then begin
+    String.iter (fun _ -> advance t) s;
+    true
+  end
+  else false
+
+let raw_skip_ws t =
+  assert_raw t;
+  while is_space (cur t) do
+    advance t
+  done
+
+let raw_name t =
+  assert_raw t;
+  if not (is_name_start (cur t)) then
+    syntax_error t "expected a name, found %C" (cur t);
+  let start = t.pos in
+  while is_name_char (cur t) || cur t = ':' do
+    advance t
+  done;
+  String.sub t.src start (t.pos - start)
+
+let at_eof t = peek t = T_eof

@@ -1,0 +1,84 @@
+(** The XQuery lexer.
+
+    Tokens are produced on demand so the parser can drop to raw character
+    mode inside direct element constructors, where XML content rules apply
+    rather than expression rules.
+
+    The lexical quirks the paper calls out live here:
+    - ['-'] is a name character, so [$n-1] is one variable named [n-1];
+      subtraction needs whitespace or parentheses around the minus;
+    - an unprefixed name is just a name token — the parser will read it as
+      a child step, never as a variable;
+    - [(: ... :)] comments nest. *)
+
+type token =
+  | T_int of int
+  | T_double of float
+  | T_string of string
+  | T_name of string (* NCName or prefix:local *)
+  | T_var of string (* $name, without the $ *)
+  | T_lparen
+  | T_rparen
+  | T_lbracket
+  | T_rbracket
+  | T_lbrace
+  | T_rbrace
+  | T_comma
+  | T_semi
+  | T_at
+  | T_slash
+  | T_dslash
+  | T_dot
+  | T_dotdot
+  | T_star
+  | T_plus
+  | T_minus
+  | T_pipe
+  | T_eq
+  | T_ne (* != *)
+  | T_lt
+  | T_le
+  | T_gt
+  | T_ge
+  | T_ll (* << *)
+  | T_gg (* >> *)
+  | T_assign (* := *)
+  | T_question
+  | T_axis_sep (* :: *)
+  | T_eof
+
+val token_to_string : token -> string
+
+type t
+
+val make : string -> t
+val peek : t -> token
+val peek2 : t -> token
+val next : t -> token
+val expect : t -> token -> unit
+(** @raise Errors.Error XPST0003 with position info on mismatch *)
+
+val line_col : t -> int * int
+(** Position of the next token (for error messages). *)
+
+val syntax_error : t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** {1 Raw mode}
+
+    Only legal when no tokens are cached beyond what the operations below
+    consume; the parser guarantees this by construction. *)
+
+val char_after_peeked : t -> char
+(** The source character immediately after the currently peeked token
+    (['\000'] at end of input). Used to tell [<tag] from [< operand]:
+    a direct constructor requires a name character hard against the [<]. *)
+
+val raw_peek : t -> char
+val raw_next : t -> char
+val raw_looking_at : t -> string -> bool
+val raw_skip : t -> string -> bool
+val raw_skip_ws : t -> unit
+val raw_name : t -> string
+(** Read an XML name at the raw position. *)
+
+val at_eof : t -> bool

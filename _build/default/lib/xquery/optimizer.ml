@@ -1,0 +1,272 @@
+(* A small rewriting optimizer in the spirit of the Galax of 2004:
+   constant folding, if-simplification, and — the paper's debugging
+   horror — dead-let elimination that, when [treat_trace_as_pure] is set,
+   silently deletes [let $dummy := trace(...)] bindings and the tracing
+   with them. *)
+
+open Ast
+
+type stats = {
+  mutable lets_eliminated : int;
+  mutable traces_eliminated : int;
+  mutable constants_folded : int;
+}
+
+let new_stats () = { lets_eliminated = 0; traces_eliminated = 0; constants_folded = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Free variables                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rec free_vars (e : expr) (acc : string list) : string list =
+  match e with
+  | E_int _ | E_double _ | E_string _ | E_context_item | E_root | E_step _ -> acc
+  | E_var v -> v :: acc
+  | E_seq es -> List.fold_left (fun acc e -> free_vars e acc) acc es
+  | E_range (a, b)
+  | E_arith (_, a, b)
+  | E_general_cmp (_, a, b)
+  | E_value_cmp (_, a, b)
+  | E_node_cmp (_, a, b)
+  | E_and (a, b)
+  | E_or (a, b)
+  | E_set_op (_, a, b)
+  | E_path (a, b)
+  | E_filter (a, b) ->
+    free_vars b (free_vars a acc)
+  | E_neg a | E_cast (_, a) | E_castable (_, a) | E_instance_of (a, _)
+  | E_treat (a, _) | E_text a | E_comment_c a ->
+    free_vars a acc
+  | E_typeswitch { operand; cases; default_var = _; default } ->
+    let acc = free_vars operand acc in
+    let acc =
+      List.fold_left (fun acc c -> free_vars c.case_return acc) acc cases
+    in
+    free_vars default acc
+  | E_if (c, t, f) -> free_vars f (free_vars t (free_vars c acc))
+  | E_call (_, args) -> List.fold_left (fun acc e -> free_vars e acc) acc args
+  | E_elem (name, content) | E_attr (name, content) ->
+    let acc = match name with Computed_name e -> free_vars e acc | Static_name _ -> acc in
+    List.fold_left (fun acc e -> free_vars e acc) acc content
+  | E_doc content -> List.fold_left (fun acc e -> free_vars e acc) acc content
+  | E_quantified (_, bindings, body) ->
+    (* Approximate: treats shadowed names as free, which only makes the
+       optimizer more conservative. *)
+    let acc = List.fold_left (fun acc (_, e) -> free_vars e acc) acc bindings in
+    free_vars body acc
+  | E_flwor { clauses; order_by; return } ->
+    let acc =
+      List.fold_left
+        (fun acc c ->
+          match c with
+          | For { source; _ } -> free_vars source acc
+          | Let { value; _ } -> free_vars value acc
+          | Where cond -> free_vars cond acc)
+        acc clauses
+    in
+    let acc = List.fold_left (fun acc spec -> free_vars spec.key acc) acc order_by in
+    free_vars return acc
+
+let uses_var v e = List.mem v (free_vars e [])
+
+(* ------------------------------------------------------------------ *)
+(* Purity                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Can evaluating [e] be observed other than through its value? fn:error
+   raises; fn:trace prints — unless the engine is told to treat it as
+   pure, which is exactly the bug-by-design the paper hit. User functions
+   are treated as opaque (impure) for safety, as are all other calls:
+   builtins may raise on bad arguments, and eliminating a binding also
+   eliminates its errors, which Galax was willing to do; we keep that
+   behaviour only for calls known harmless. *)
+let rec pure ~treat_trace_as_pure (e : expr) : bool =
+  let p = pure ~treat_trace_as_pure in
+  match e with
+  | E_int _ | E_double _ | E_string _ | E_var _ | E_context_item | E_root | E_step _ -> true
+  | E_seq es -> List.for_all p es
+  | E_range (a, b) | E_path (a, b) | E_filter (a, b) | E_set_op (_, a, b) -> p a && p b
+  | E_arith _ -> false (* may divide by zero *)
+  | E_general_cmp (_, a, b) | E_value_cmp (_, a, b) | E_node_cmp (_, a, b) -> p a && p b
+  | E_and (a, b) | E_or (a, b) -> p a && p b
+  | E_neg a -> p a
+  | E_if (c, t, f) -> p c && p t && p f
+  | E_cast _ | E_castable _ | E_treat _ -> false (* may raise *)
+  | E_typeswitch { operand; cases; default; _ } ->
+    p operand && List.for_all (fun c -> p c.case_return) cases && p default
+  | E_instance_of (a, _) -> p a
+  | E_text a | E_comment_c a -> p a
+  | E_elem (name, content) | E_attr (name, content) ->
+    (match name with Computed_name e -> p e | Static_name _ -> true)
+    && List.for_all p content
+  | E_doc content -> List.for_all p content
+  | E_call (name, args) -> (
+    let base = Context.normalize_fname name in
+    match base with
+    | "trace" -> treat_trace_as_pure && List.for_all p args
+    | "error" | "doc" -> false
+    | "count" | "empty" | "exists" | "not" | "true" | "false" | "position" | "last"
+    | "string" | "concat" | "string-join" | "string-length" | "normalize-space"
+    | "upper-case" | "lower-case" | "contains" | "starts-with" | "ends-with"
+    | "substring-before" | "substring-after" | "name" | "local-name" | "reverse"
+    | "distinct-values" | "data" ->
+      List.for_all p args
+    | _ -> false)
+  | E_quantified (_, bindings, body) -> List.for_all (fun (_, e) -> p e) bindings && p body
+  | E_flwor { clauses; order_by; return } ->
+    List.for_all
+      (function
+        | For { source; _ } -> p source
+        | Let { value; _ } -> p value
+        | Where cond -> p cond)
+      clauses
+    && List.for_all (fun spec -> p spec.key) order_by
+    && p return
+
+let is_trace_call = function
+  | E_call (name, _) -> Context.normalize_fname name = "trace"
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Rewriting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec rewrite stats ~treat_trace_as_pure (e : expr) : expr =
+  let r = rewrite stats ~treat_trace_as_pure in
+  match e with
+  | E_int _ | E_double _ | E_string _ | E_var _ | E_context_item | E_root | E_step _ -> e
+  | E_seq es -> (
+    (* Statically flatten nested sequence constructors. *)
+    let es = List.concat_map (fun e -> match r e with E_seq inner -> inner | e -> [ e ]) es in
+    match es with [ single ] -> single | es -> E_seq es)
+  | E_range (a, b) -> E_range (r a, r b)
+  | E_arith (op, a, b) -> (
+    let a = r a and b = r b in
+    match (op, a, b) with
+    | Add, E_int x, E_int y ->
+      stats.constants_folded <- stats.constants_folded + 1;
+      E_int (x + y)
+    | Sub, E_int x, E_int y ->
+      stats.constants_folded <- stats.constants_folded + 1;
+      E_int (x - y)
+    | Mul, E_int x, E_int y ->
+      stats.constants_folded <- stats.constants_folded + 1;
+      E_int (x * y)
+    | _ -> E_arith (op, a, b))
+  | E_neg a -> (
+    match r a with
+    | E_int n ->
+      stats.constants_folded <- stats.constants_folded + 1;
+      E_int (-n)
+    | a -> E_neg a)
+  | E_general_cmp (op, a, b) -> E_general_cmp (op, r a, r b)
+  | E_value_cmp (op, a, b) -> (
+    let a = r a and b = r b in
+    match (a, b) with
+    | E_int x, E_int y ->
+      stats.constants_folded <- stats.constants_folded + 1;
+      let c = compare x y in
+      let holds =
+        match op with Eq -> c = 0 | Ne -> c <> 0 | Lt -> c < 0 | Le -> c <= 0 | Gt -> c > 0 | Ge -> c >= 0
+      in
+      E_call ((if holds then "true" else "false"), [])
+    | _ -> E_value_cmp (op, a, b))
+  | E_node_cmp (op, a, b) -> E_node_cmp (op, r a, r b)
+  | E_and (a, b) -> E_and (r a, r b)
+  | E_or (a, b) -> E_or (r a, r b)
+  | E_set_op (op, a, b) -> E_set_op (op, r a, r b)
+  | E_if (c, t, f) -> (
+    match r c with
+    | E_call ("true", []) ->
+      stats.constants_folded <- stats.constants_folded + 1;
+      r t
+    | E_call ("false", []) ->
+      stats.constants_folded <- stats.constants_folded + 1;
+      r f
+    | c -> E_if (c, r t, r f))
+  | E_quantified (q, bindings, body) ->
+    E_quantified (q, List.map (fun (v, e) -> (v, r e)) bindings, r body)
+  | E_path (a, b) -> E_path (r a, r b)
+  | E_filter (a, b) -> E_filter (r a, r b)
+  | E_call (name, args) -> E_call (name, List.map r args)
+  | E_cast (t, a) -> E_cast (t, r a)
+  | E_castable (t, a) -> E_castable (t, r a)
+  | E_instance_of (a, ty) -> E_instance_of (r a, ty)
+  | E_treat (a, ty) -> E_treat (r a, ty)
+  | E_typeswitch { operand; cases; default_var; default } ->
+    E_typeswitch
+      {
+        operand = r operand;
+        cases = List.map (fun c -> { c with case_return = r c.case_return }) cases;
+        default_var;
+        default = r default;
+      }
+  | E_elem (name, content) ->
+    E_elem (rewrite_name_spec r name, List.map r content)
+  | E_attr (name, content) ->
+    E_attr (rewrite_name_spec r name, List.map r content)
+  | E_text a -> E_text (r a)
+  | E_doc content -> E_doc (List.map r content)
+  | E_comment_c a -> E_comment_c (r a)
+  | E_flwor { clauses; order_by; return } ->
+    let return = r return in
+    let order_by = List.map (fun s -> { s with key = r s.key }) order_by in
+    let clauses = List.map (rewrite_clause stats ~treat_trace_as_pure) clauses in
+    (* Dead-let elimination, back to front: a let whose variable is unused
+       downstream and whose right-hand side is pure disappears. With
+       treat_trace_as_pure, trace() counts as pure — and vanishes. *)
+    let rec prune = function
+      | [] -> []
+      | (Let { var; value; _ } as c) :: rest ->
+        let rest = prune rest in
+        let used_later =
+          List.exists
+            (function
+              | For { source; _ } -> uses_var var source
+              | Let { value; _ } -> uses_var var value
+              | Where cond -> uses_var var cond)
+            rest
+          || List.exists (fun s -> uses_var var s.key) order_by
+          || uses_var var return
+        in
+        if (not used_later) && pure ~treat_trace_as_pure value then begin
+          stats.lets_eliminated <- stats.lets_eliminated + 1;
+          if is_trace_call value then
+            stats.traces_eliminated <- stats.traces_eliminated + 1;
+          rest
+        end
+        else c :: rest
+      | c :: rest -> c :: prune rest
+    in
+    let clauses = prune clauses in
+    (* A FLWOR with no clauses left is just its return expression (order
+       by over a single binding tuple is a no-op). *)
+    if clauses = [] then return else E_flwor { clauses; order_by; return }
+
+and rewrite_name_spec r = function
+  | Static_name _ as n -> n
+  | Computed_name e -> Computed_name (r e)
+
+and rewrite_clause stats ~treat_trace_as_pure = function
+  | For f -> For { f with source = rewrite stats ~treat_trace_as_pure f.source }
+  | Let l -> Let { l with value = rewrite stats ~treat_trace_as_pure l.value }
+  | Where cond -> Where (rewrite stats ~treat_trace_as_pure cond)
+
+let optimize_expr ?(treat_trace_as_pure = false) e =
+  let stats = new_stats () in
+  let e = rewrite stats ~treat_trace_as_pure e in
+  (e, stats)
+
+let optimize_program ?(treat_trace_as_pure = false) (p : program) =
+  let stats = new_stats () in
+  let rewrite_decl = function
+    | Declare_function f ->
+      Declare_function { f with body = rewrite stats ~treat_trace_as_pure f.body }
+    | Declare_variable v ->
+      Declare_variable { v with init = rewrite stats ~treat_trace_as_pure v.init }
+    | Declare_namespace _ as d -> d
+  in
+  let p =
+    { prolog = List.map rewrite_decl p.prolog; body = rewrite stats ~treat_trace_as_pure p.body }
+  in
+  (p, stats)

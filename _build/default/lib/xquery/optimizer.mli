@@ -1,0 +1,23 @@
+(** The rewriting optimizer: constant folding, if-simplification, static
+    sequence flattening, and dead-let elimination.
+
+    [treat_trace_as_pure] reproduces the 2004 Galax behaviour the paper's
+    debugging section documents: a dead [let $dummy := trace(...)] is
+    eliminated, and the tracing silently disappears with it. The [stats]
+    record what was removed, so harnesses can show exactly how many
+    traces were lost. *)
+
+type stats = {
+  mutable lets_eliminated : int;
+  mutable traces_eliminated : int;
+  mutable constants_folded : int;
+}
+
+val new_stats : unit -> stats
+
+val pure : treat_trace_as_pure:bool -> Ast.expr -> bool
+(** Conservative purity: may evaluating the expression be observed other
+    than through its value (printing, raising)? *)
+
+val optimize_expr : ?treat_trace_as_pure:bool -> Ast.expr -> Ast.expr * stats
+val optimize_program : ?treat_trace_as_pure:bool -> Ast.program -> Ast.program * stats

@@ -1,0 +1,1008 @@
+(* Recursive-descent parser for the XQuery subset.
+
+   Token-level lookahead is at most two tokens; direct element constructors
+   switch the lexer into raw character mode, as real XQuery grammars must.
+   Keywords are not reserved: [for] is a FLWOR head only when followed by a
+   variable, [if] only when followed by '(', and so on — so paths may use
+   those words as element names, faithful to the real grammar. *)
+
+module L = Lexer
+open Ast
+
+let kind_test_names =
+  [
+    "node"; "text"; "comment"; "processing-instruction"; "element"; "attribute";
+    "document-node";
+  ]
+
+let err t fmt = L.syntax_error t fmt
+
+(* -------------------------------------------------------------------- *)
+(* Sequence types                                                        *)
+(* -------------------------------------------------------------------- *)
+
+let parse_occurrence t =
+  match L.peek t with
+  | L.T_question ->
+    ignore (L.next t);
+    Stype.Zero_or_one
+  | L.T_star ->
+    ignore (L.next t);
+    Stype.Zero_or_more
+  | L.T_plus ->
+    ignore (L.next t);
+    Stype.One_or_more
+  | _ -> Stype.Exactly_one
+
+let parse_sequence_type t =
+  match L.next t with
+  | L.T_name "empty-sequence" ->
+    L.expect t L.T_lparen;
+    L.expect t L.T_rparen;
+    Stype.Empty_sequence
+  | L.T_name name when L.peek t = L.T_lparen ->
+    ignore (L.next t);
+    let inner_name =
+      match L.peek t with
+      | L.T_name n ->
+        ignore (L.next t);
+        Some n
+      | _ -> None
+    in
+    L.expect t L.T_rparen;
+    let item =
+      match name with
+      | "item" -> Stype.It_item
+      | "node" -> Stype.It_node
+      | "element" -> Stype.It_element inner_name
+      | "attribute" -> Stype.It_attribute inner_name
+      | "text" -> Stype.It_text
+      | "document-node" -> Stype.It_document
+      | other -> err t "unknown item type %s()" other
+    in
+    Stype.Seq (item, parse_occurrence t)
+  | L.T_name name -> Stype.Seq (Stype.It_atomic name, parse_occurrence t)
+  | tok -> err t "expected a sequence type, found %s" (L.token_to_string tok)
+
+(* -------------------------------------------------------------------- *)
+(* Expressions                                                           *)
+(* -------------------------------------------------------------------- *)
+
+let rec parse_expr t =
+  let first = parse_expr_single t in
+  if L.peek t = L.T_comma then begin
+    let items = ref [ first ] in
+    while L.peek t = L.T_comma do
+      ignore (L.next t);
+      items := parse_expr_single t :: !items
+    done;
+    E_seq (List.rev !items)
+  end
+  else first
+
+and parse_expr_single t =
+  (* peek2 only behind a peek guard: lexing two tokens ahead is unsafe when
+     the next token could already be the '}' closing an enclosed
+     expression (what follows is XML content, not tokens). *)
+  match L.peek t with
+  | L.T_name ("for" | "let") when is_var (L.peek2 t) -> parse_flwor t
+  | L.T_name ("some" | "every") when is_var (L.peek2 t) -> parse_quantified t
+  | L.T_name "if" when L.peek2 t = L.T_lparen -> parse_if t
+  | L.T_name "typeswitch" when L.peek2 t = L.T_lparen -> parse_typeswitch t
+  | _ -> parse_or t
+
+and is_var = function L.T_var _ -> true | _ -> false
+
+and parse_flwor t =
+  let clauses = ref [] in
+  let rec clause_loop () =
+    match (L.peek t, L.peek2 t) with
+    | L.T_name "for", L.T_var _ ->
+      ignore (L.next t);
+      let rec one_binding () =
+        let var = match L.next t with L.T_var v -> v | _ -> err t "expected $var" in
+        let var_type =
+          if L.peek t = L.T_name "as" then begin
+            ignore (L.next t);
+            Some (parse_sequence_type t)
+          end
+          else None
+        in
+        let pos_var =
+          if L.peek t = L.T_name "at" then begin
+            ignore (L.next t);
+            match L.next t with
+            | L.T_var v -> Some v
+            | _ -> err t "expected $var after 'at'"
+          end
+          else None
+        in
+        (match L.next t with
+        | L.T_name "in" -> ()
+        | tok -> err t "expected 'in', found %s" (L.token_to_string tok));
+        let source = parse_expr_single t in
+        clauses := For { var; var_type; pos_var; source } :: !clauses;
+        if L.peek t = L.T_comma then begin
+          ignore (L.next t);
+          one_binding ()
+        end
+      in
+      one_binding ();
+      clause_loop ()
+    | L.T_name "let", L.T_var _ ->
+      ignore (L.next t);
+      let rec one_binding () =
+        let var = match L.next t with L.T_var v -> v | _ -> err t "expected $var" in
+        let var_type =
+          if L.peek t = L.T_name "as" then begin
+            ignore (L.next t);
+            Some (parse_sequence_type t)
+          end
+          else None
+        in
+        L.expect t L.T_assign;
+        let value = parse_expr_single t in
+        clauses := Let { var; var_type; value } :: !clauses;
+        if L.peek t = L.T_comma then begin
+          ignore (L.next t);
+          one_binding ()
+        end
+      in
+      one_binding ();
+      clause_loop ()
+    | L.T_name "where", _ ->
+      ignore (L.next t);
+      let cond = parse_expr_single t in
+      clauses := Where cond :: !clauses;
+      clause_loop ()
+    | _ -> ()
+  in
+  clause_loop ();
+  let order_by = ref [] in
+  (if L.peek t = L.T_name "stable" && L.peek2 t = L.T_name "order" then
+     ignore (L.next t));
+  if L.peek t = L.T_name "order" && L.peek2 t = L.T_name "by" then begin
+    ignore (L.next t);
+    ignore (L.next t);
+    let rec one_key () =
+      let key = parse_expr_single t in
+      let descending =
+        match L.peek t with
+        | L.T_name "ascending" ->
+          ignore (L.next t);
+          false
+        | L.T_name "descending" ->
+          ignore (L.next t);
+          true
+        | _ -> false
+      in
+      let empty_greatest =
+        if L.peek t = L.T_name "empty" then begin
+          ignore (L.next t);
+          match L.next t with
+          | L.T_name "greatest" -> true
+          | L.T_name "least" -> false
+          | tok -> err t "expected greatest/least, found %s" (L.token_to_string tok)
+        end
+        else false
+      in
+      order_by := { key; descending; empty_greatest } :: !order_by;
+      if L.peek t = L.T_comma then begin
+        ignore (L.next t);
+        one_key ()
+      end
+    in
+    one_key ()
+  end;
+  (match L.next t with
+  | L.T_name "return" -> ()
+  | tok -> err t "expected 'return', found %s" (L.token_to_string tok));
+  let return = parse_expr_single t in
+  E_flwor { clauses = List.rev !clauses; order_by = List.rev !order_by; return }
+
+and parse_quantified t =
+  let quant =
+    match L.next t with
+    | L.T_name "some" -> Some_q
+    | L.T_name "every" -> Every_q
+    | _ -> assert false
+  in
+  let bindings = ref [] in
+  let rec one_binding () =
+    let var = match L.next t with L.T_var v -> v | _ -> err t "expected $var" in
+    (match L.next t with
+    | L.T_name "in" -> ()
+    | tok -> err t "expected 'in', found %s" (L.token_to_string tok));
+    let source = parse_expr_single t in
+    bindings := (var, source) :: !bindings;
+    if L.peek t = L.T_comma then begin
+      ignore (L.next t);
+      one_binding ()
+    end
+  in
+  one_binding ();
+  (match L.next t with
+  | L.T_name "satisfies" -> ()
+  | tok -> err t "expected 'satisfies', found %s" (L.token_to_string tok));
+  let body = parse_expr_single t in
+  E_quantified (quant, List.rev !bindings, body)
+
+and parse_if t =
+  ignore (L.next t);
+  L.expect t L.T_lparen;
+  let cond = parse_expr t in
+  L.expect t L.T_rparen;
+  (match L.next t with
+  | L.T_name "then" -> ()
+  | tok -> err t "expected 'then', found %s" (L.token_to_string tok));
+  let then_ = parse_expr_single t in
+  (match L.next t with
+  | L.T_name "else" -> ()
+  | tok -> err t "expected 'else', found %s" (L.token_to_string tok));
+  let else_ = parse_expr_single t in
+  E_if (cond, then_, else_)
+
+and parse_typeswitch t =
+  ignore (L.next t);
+  L.expect t L.T_lparen;
+  let operand = parse_expr t in
+  L.expect t L.T_rparen;
+  let cases = ref [] in
+  while L.peek t = L.T_name "case" do
+    ignore (L.next t);
+    let case_var =
+      match L.peek t with
+      | L.T_var v ->
+        ignore (L.next t);
+        (match L.next t with
+        | L.T_name "as" -> ()
+        | tok -> err t "expected 'as', found %s" (L.token_to_string tok));
+        Some v
+      | _ -> None
+    in
+    let case_type = parse_sequence_type t in
+    (match L.next t with
+    | L.T_name "return" -> ()
+    | tok -> err t "expected 'return', found %s" (L.token_to_string tok));
+    let case_return = parse_expr_single t in
+    cases := { case_var; case_type; case_return } :: !cases
+  done;
+  (match L.next t with
+  | L.T_name "default" -> ()
+  | tok -> err t "expected 'default', found %s" (L.token_to_string tok));
+  let default_var =
+    match L.peek t with
+    | L.T_var v ->
+      ignore (L.next t);
+      Some v
+    | _ -> None
+  in
+  (match L.next t with
+  | L.T_name "return" -> ()
+  | tok -> err t "expected 'return', found %s" (L.token_to_string tok));
+  let default = parse_expr_single t in
+  E_typeswitch { operand; cases = List.rev !cases; default_var; default }
+
+and parse_or t =
+  let lhs = parse_and t in
+  if L.peek t = L.T_name "or" then begin
+    ignore (L.next t);
+    E_or (lhs, parse_or t)
+  end
+  else lhs
+
+and parse_and t =
+  let lhs = parse_comparison t in
+  if L.peek t = L.T_name "and" then begin
+    ignore (L.next t);
+    E_and (lhs, parse_and t)
+  end
+  else lhs
+
+and parse_comparison t =
+  let lhs = parse_range t in
+  let general op =
+    ignore (L.next t);
+    E_general_cmp (op, lhs, parse_range t)
+  in
+  let value op =
+    ignore (L.next t);
+    E_value_cmp (op, lhs, parse_range t)
+  in
+  let node op =
+    ignore (L.next t);
+    E_node_cmp (op, lhs, parse_range t)
+  in
+  match L.peek t with
+  | L.T_eq -> general Eq
+  | L.T_ne -> general Ne
+  | L.T_lt -> general Lt
+  | L.T_le -> general Le
+  | L.T_gt -> general Gt
+  | L.T_ge -> general Ge
+  | L.T_name "eq" -> value Eq
+  | L.T_name "ne" -> value Ne
+  | L.T_name "lt" -> value Lt
+  | L.T_name "le" -> value Le
+  | L.T_name "gt" -> value Gt
+  | L.T_name "ge" -> value Ge
+  | L.T_name "is" -> node Is
+  | L.T_ll -> node Precedes
+  | L.T_gg -> node Follows
+  | _ -> lhs
+
+and parse_range t =
+  let lhs = parse_additive t in
+  if L.peek t = L.T_name "to" then begin
+    ignore (L.next t);
+    E_range (lhs, parse_additive t)
+  end
+  else lhs
+
+and parse_additive t =
+  let lhs = ref (parse_multiplicative t) in
+  let rec go () =
+    match L.peek t with
+    | L.T_plus ->
+      ignore (L.next t);
+      lhs := E_arith (Add, !lhs, parse_multiplicative t);
+      go ()
+    | L.T_minus ->
+      ignore (L.next t);
+      lhs := E_arith (Sub, !lhs, parse_multiplicative t);
+      go ()
+    | _ -> ()
+  in
+  go ();
+  !lhs
+
+and parse_multiplicative t =
+  let lhs = ref (parse_union t) in
+  let rec go () =
+    let op =
+      match L.peek t with
+      | L.T_star -> Some Mul
+      | L.T_name "div" -> Some Div
+      | L.T_name "idiv" -> Some Idiv
+      | L.T_name "mod" -> Some Mod
+      | _ -> None
+    in
+    match op with
+    | Some op ->
+      ignore (L.next t);
+      lhs := E_arith (op, !lhs, parse_union t);
+      go ()
+    | None -> ()
+  in
+  go ();
+  !lhs
+
+and parse_union t =
+  let lhs = ref (parse_intersect t) in
+  let rec go () =
+    match L.peek t with
+    | L.T_pipe | L.T_name "union" ->
+      ignore (L.next t);
+      lhs := E_set_op (Union, !lhs, parse_intersect t);
+      go ()
+    | _ -> ()
+  in
+  go ();
+  !lhs
+
+and parse_intersect t =
+  let lhs = ref (parse_instance t) in
+  let rec go () =
+    let op =
+      match L.peek t with
+      | L.T_name "intersect" -> Some Intersect
+      | L.T_name "except" -> Some Except
+      | _ -> None
+    in
+    match op with
+    | Some op ->
+      ignore (L.next t);
+      lhs := E_set_op (op, !lhs, parse_instance t);
+      go ()
+    | None -> ()
+  in
+  go ();
+  !lhs
+
+and parse_instance t =
+  let lhs = parse_treat t in
+  match L.peek t with
+  | L.T_name "instance" when L.peek2 t = L.T_name "of" ->
+    ignore (L.next t);
+    ignore (L.next t);
+    E_instance_of (lhs, parse_sequence_type t)
+  | _ -> lhs
+
+and parse_treat t =
+  let lhs = parse_cast t in
+  match L.peek t with
+  | L.T_name "treat" when L.peek2 t = L.T_name "as" ->
+    ignore (L.next t);
+    ignore (L.next t);
+    E_treat (lhs, parse_sequence_type t)
+  | _ -> lhs
+
+and cast_target_of_name t name =
+  match name with
+  | "xs:integer" | "xs:int" | "xs:long" -> To_int
+  | "xs:double" | "xs:decimal" | "xs:float" -> To_double
+  | "xs:string" -> To_string
+  | "xs:boolean" -> To_bool
+  | other -> err t "unsupported cast target %s" other
+
+and parse_cast t =
+  let lhs = parse_unary t in
+  match L.peek t with
+  | L.T_name (("cast" | "castable") as kw) when L.peek2 t = L.T_name "as" ->
+    ignore (L.next t);
+    ignore (L.next t);
+    let name = match L.next t with L.T_name n -> n | _ -> err t "expected a type name" in
+    let target = cast_target_of_name t name in
+    if L.peek t = L.T_question then ignore (L.next t);
+    if kw = "cast" then E_cast (target, lhs) else E_castable (target, lhs)
+  | _ -> lhs
+
+and parse_unary t =
+  match L.peek t with
+  | L.T_minus ->
+    ignore (L.next t);
+    E_neg (parse_unary t)
+  | L.T_plus ->
+    ignore (L.next t);
+    parse_unary t
+  | _ -> parse_path t
+
+and desc_step = E_step (Descendant_or_self, Kind_node)
+
+and parse_path t =
+  match L.peek t with
+  | L.T_slash ->
+    ignore (L.next t);
+    (* Absolute path; a bare "/" is the root itself. *)
+    if starts_step t then E_path (E_root, parse_relative_path t) else E_root
+  | L.T_dslash ->
+    ignore (L.next t);
+    E_path (E_path (E_root, desc_step), parse_relative_path t)
+  | _ -> parse_relative_path t
+
+and parse_relative_path t =
+  let lhs = ref (parse_step_expr t) in
+  let rec go () =
+    match L.peek t with
+    | L.T_slash ->
+      ignore (L.next t);
+      lhs := E_path (!lhs, parse_step_expr t);
+      go ()
+    | L.T_dslash ->
+      ignore (L.next t);
+      lhs := E_path (E_path (!lhs, desc_step), parse_step_expr t);
+      go ()
+    | _ -> ()
+  in
+  go ();
+  !lhs
+
+(* Can the upcoming token begin a step/primary? Used after a leading "/". *)
+and starts_step t =
+  match L.peek t with
+  | L.T_name _ | L.T_var _ | L.T_int _ | L.T_double _ | L.T_string _ | L.T_lparen
+  | L.T_dot | L.T_dotdot | L.T_at | L.T_star ->
+    true
+  | L.T_lt -> is_name_start_char (L.char_after_peeked t)
+  | _ -> false
+
+and is_name_start_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+and parse_step_expr t =
+  let base = parse_step_or_primary t in
+  let result = ref base in
+  while L.peek t = L.T_lbracket do
+    ignore (L.next t);
+    let pred = parse_expr t in
+    L.expect t L.T_rbracket;
+    result := E_filter (!result, pred)
+  done;
+  !result
+
+and parse_step_or_primary t =
+  match L.peek t with
+  | L.T_int n ->
+    ignore (L.next t);
+    E_int n
+  | L.T_double f ->
+    ignore (L.next t);
+    E_double f
+  | L.T_string s ->
+    ignore (L.next t);
+    E_string s
+  | L.T_var v ->
+    ignore (L.next t);
+    E_var v
+  | L.T_dot ->
+    ignore (L.next t);
+    E_context_item
+  | L.T_dotdot ->
+    ignore (L.next t);
+    E_step (Parent, Kind_node)
+  | L.T_lparen ->
+    ignore (L.next t);
+    if L.peek t = L.T_rparen then begin
+      ignore (L.next t);
+      E_seq []
+    end
+    else begin
+      let e = parse_expr t in
+      L.expect t L.T_rparen;
+      e
+    end
+  | L.T_at ->
+    ignore (L.next t);
+    E_step (Attribute_axis, parse_node_test t)
+  | L.T_star ->
+    ignore (L.next t);
+    E_step (Child, Wildcard)
+  | L.T_lt when is_name_start_char (L.char_after_peeked t) -> parse_direct_element t
+  | L.T_name name -> parse_named t name
+  | tok -> err t "unexpected %s" (L.token_to_string tok)
+
+and parse_named t name =
+  match L.peek2 t with
+  | L.T_axis_sep ->
+    (* axis::test *)
+    ignore (L.next t);
+    ignore (L.next t);
+    let axis =
+      match name with
+      | "child" -> Child
+      | "descendant" -> Descendant
+      | "descendant-or-self" -> Descendant_or_self
+      | "self" -> Self
+      | "parent" -> Parent
+      | "ancestor" -> Ancestor
+      | "ancestor-or-self" -> Ancestor_or_self
+      | "following-sibling" -> Following_sibling
+      | "preceding-sibling" -> Preceding_sibling
+      | "following" -> Following
+      | "preceding" -> Preceding
+      | "attribute" -> Attribute_axis
+      | other -> err t "unknown axis %s" other
+    in
+    E_step (axis, parse_node_test t)
+  | L.T_lparen when List.mem name kind_test_names ->
+    (* A kind test in child-axis position: text(), element(n), ... *)
+    E_step (Child, parse_node_test t)
+  | L.T_lparen when name = "if" -> parse_if t
+  | L.T_lparen -> parse_function_call t name
+  | L.T_lbrace
+    when List.mem name [ "element"; "attribute"; "text"; "document"; "comment" ] ->
+    parse_computed_constructor t name
+  | L.T_name _ when name = "element" || name = "attribute" ->
+    parse_computed_constructor t name
+  | _ ->
+    (* A plain name: a child step. This is the paper's quirk #1 — x means
+       "children named x", never "the variable x". *)
+    ignore (L.next t);
+    E_step (Child, Name_test name)
+
+and parse_node_test t =
+  match L.peek t with
+  | L.T_star ->
+    ignore (L.next t);
+    Wildcard
+  | L.T_name name when L.peek2 t = L.T_lparen && List.mem name kind_test_names ->
+    ignore (L.next t);
+    ignore (L.next t);
+    let arg =
+      match L.peek t with
+      | L.T_name n ->
+        ignore (L.next t);
+        Some n
+      | L.T_string s ->
+        ignore (L.next t);
+        Some s
+      | _ -> None
+    in
+    L.expect t L.T_rparen;
+    (match name with
+    | "node" -> Kind_node
+    | "text" -> Kind_text
+    | "comment" -> Kind_comment
+    | "processing-instruction" -> Kind_pi arg
+    | "element" -> Kind_element arg
+    | "attribute" -> Kind_attribute arg
+    | "document-node" -> Kind_document
+    | _ -> assert false)
+  | L.T_name name ->
+    ignore (L.next t);
+    Name_test name
+  | tok -> err t "expected a node test, found %s" (L.token_to_string tok)
+
+and parse_function_call t name =
+  ignore (L.next t);
+  L.expect t L.T_lparen;
+  let args = ref [] in
+  if L.peek t <> L.T_rparen then begin
+    let rec one () =
+      args := parse_expr_single t :: !args;
+      if L.peek t = L.T_comma then begin
+        ignore (L.next t);
+        one ()
+      end
+    in
+    one ()
+  end;
+  L.expect t L.T_rparen;
+  E_call (name, List.rev !args)
+
+and parse_computed_constructor t kw =
+  ignore (L.next t);
+  let name_spec_and_kind () =
+    match L.peek t with
+    | L.T_lbrace ->
+      ignore (L.next t);
+      let e = parse_expr t in
+      L.expect t L.T_rbrace;
+      Computed_name e
+    | L.T_name n ->
+      ignore (L.next t);
+      Static_name n
+    | tok -> err t "expected a name or {expr}, found %s" (L.token_to_string tok)
+  in
+  let enclosed_opt () =
+    L.expect t L.T_lbrace;
+    if L.peek t = L.T_rbrace then begin
+      ignore (L.next t);
+      []
+    end
+    else begin
+      let e = parse_expr t in
+      L.expect t L.T_rbrace;
+      [ e ]
+    end
+  in
+  match kw with
+  | "element" ->
+    let name = name_spec_and_kind () in
+    E_elem (name, enclosed_opt ())
+  | "attribute" ->
+    let name = name_spec_and_kind () in
+    E_attr (name, enclosed_opt ())
+  | "text" ->
+    (match enclosed_opt () with
+    | [ e ] -> E_text e
+    | [] -> E_text (E_string "")
+    | _ -> assert false)
+  | "comment" ->
+    (match enclosed_opt () with
+    | [ e ] -> E_comment_c e
+    | [] -> E_comment_c (E_string "")
+    | _ -> assert false)
+  | "document" -> E_doc (enclosed_opt ())
+  | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Direct element constructors: raw character mode                      *)
+(* ------------------------------------------------------------------ *)
+
+and parse_direct_element t =
+  (* The '<' token is still peeked; consume it, then read raw. *)
+  (match L.next t with L.T_lt -> () | _ -> assert false);
+  parse_direct_element_raw t
+
+and parse_direct_element_raw t =
+  (* Raw position is right after '<'. *)
+  let tag = L.raw_name t in
+  let attrs = ref [] in
+  let rec attr_loop () =
+    L.raw_skip_ws t;
+    let c = L.raw_peek t in
+    if is_name_start_char c then begin
+      let aname = L.raw_name t in
+      L.raw_skip_ws t;
+      if not (L.raw_skip t "=") then err t "expected '=' in attribute %s" aname;
+      L.raw_skip_ws t;
+      let quote = L.raw_next t in
+      if quote <> '"' && quote <> '\'' then err t "expected a quoted attribute value";
+      let contents = parse_attr_value_template t quote in
+      attrs := E_attr (Static_name aname, contents) :: !attrs;
+      attr_loop ()
+    end
+  in
+  attr_loop ();
+  L.raw_skip_ws t;
+  if L.raw_skip t "/>" then E_elem (Static_name tag, List.rev !attrs)
+  else if L.raw_skip t ">" then begin
+    let content = parse_element_content t tag in
+    E_elem (Static_name tag, List.rev !attrs @ content)
+  end
+  else err t "expected '>' or '/>' in constructor <%s ...>" tag
+
+(* Attribute value template: text with {expr} holes; {{ and }} escape. *)
+and parse_attr_value_template t quote =
+  let parts = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      parts := E_string (Buffer.contents buf) :: !parts;
+      Buffer.clear buf
+    end
+  in
+  let rec go () =
+    let c = L.raw_peek t in
+    if c = quote then ignore (L.raw_next t)
+    else if c = '\000' then err t "unterminated attribute value"
+    else if L.raw_looking_at t "{{" then begin
+      ignore (L.raw_skip t "{{");
+      Buffer.add_char buf '{';
+      go ()
+    end
+    else if L.raw_looking_at t "}}" then begin
+      ignore (L.raw_skip t "}}");
+      Buffer.add_char buf '}';
+      go ()
+    end
+    else if c = '{' then begin
+      ignore (L.raw_next t);
+      flush ();
+      (* Switch to token mode for the enclosed expression. *)
+      let e = parse_expr t in
+      L.expect t L.T_rbrace;
+      parts := e :: !parts;
+      go ()
+    end
+    else if c = '&' then begin
+      Buffer.add_string buf (parse_raw_entity t);
+      go ()
+    end
+    else begin
+      Buffer.add_char buf (L.raw_next t);
+      go ()
+    end
+  in
+  go ();
+  flush ();
+  List.rev !parts
+
+and parse_raw_entity t =
+  ignore (L.raw_next t);
+  (* consumed '&' *)
+  if L.raw_skip t "#" then begin
+    let hex = L.raw_skip t "x" in
+    let buf = Buffer.create 4 in
+    let ok c =
+      if hex then
+        (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+      else c >= '0' && c <= '9'
+    in
+    while ok (L.raw_peek t) do
+      Buffer.add_char buf (L.raw_next t)
+    done;
+    if not (L.raw_skip t ";") then err t "expected ';' in character reference";
+    let code =
+      match int_of_string_opt ((if hex then "0x" else "") ^ Buffer.contents buf) with
+      | Some c when c >= 0 && c <= 0x10FFFF -> c
+      | _ -> err t "character reference out of range"
+    in
+    if code < 0x80 then String.make 1 (Char.chr code)
+    else
+      (* Multi-byte code points are rare in our corpus; UTF-8 encode. *)
+      let b = Buffer.create 4 in
+      (if code < 0x800 then begin
+         Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+         Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+       end
+       else begin
+         Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+         Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+         Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+       end);
+      Buffer.contents b
+  end
+  else begin
+    let name = L.raw_name t in
+    if not (L.raw_skip t ";") then err t "expected ';' after entity name";
+    match name with
+    | "lt" -> "<"
+    | "gt" -> ">"
+    | "amp" -> "&"
+    | "quot" -> "\""
+    | "apos" -> "'"
+    | other -> err t "unknown entity &%s;" other
+  end
+
+and parse_element_content t tag =
+  let parts = ref [] in
+  let buf = Buffer.create 16 in
+  (* Default boundary-space policy is strip: whitespace-only literal text
+     between constructs is discarded — unless it came from a CDATA section
+     or a character reference, which make it deliberate. *)
+  let forced = ref false in
+  let is_ws s = String.for_all (fun c -> c = ' ' || c = '\t' || c = '\n' || c = '\r') s in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      let text = Buffer.contents buf in
+      if !forced || not (is_ws text) then
+        parts := E_text (E_string text) :: !parts;
+      Buffer.clear buf;
+      forced := false
+    end
+  in
+  let rec go () =
+    if L.raw_looking_at t "</" then begin
+      ignore (L.raw_skip t "</");
+      let close = L.raw_name t in
+      if close <> tag then err t "mismatched </%s>; expected </%s>" close tag;
+      L.raw_skip_ws t;
+      if not (L.raw_skip t ">") then err t "expected '>' in closing tag"
+    end
+    else if L.raw_peek t = '\000' then err t "unterminated element <%s>" tag
+    else if L.raw_looking_at t "<!--" then begin
+      flush ();
+      ignore (L.raw_skip t "<!--");
+      let cbuf = Buffer.create 16 in
+      while not (L.raw_looking_at t "-->") do
+        Buffer.add_char cbuf (L.raw_next t)
+      done;
+      ignore (L.raw_skip t "-->");
+      parts := E_comment_c (E_string (Buffer.contents cbuf)) :: !parts;
+      go ()
+    end
+    else if L.raw_looking_at t "<![CDATA[" then begin
+      ignore (L.raw_skip t "<![CDATA[");
+      while not (L.raw_looking_at t "]]>") do
+        Buffer.add_char buf (L.raw_next t)
+      done;
+      ignore (L.raw_skip t "]]>");
+      forced := true;
+      go ()
+    end
+    else if L.raw_peek t = '<' then begin
+      flush ();
+      ignore (L.raw_next t);
+      parts := parse_direct_element_raw t :: !parts;
+      go ()
+    end
+    else if L.raw_looking_at t "{{" then begin
+      ignore (L.raw_skip t "{{");
+      Buffer.add_char buf '{';
+      go ()
+    end
+    else if L.raw_looking_at t "}}" then begin
+      ignore (L.raw_skip t "}}");
+      Buffer.add_char buf '}';
+      go ()
+    end
+    else if L.raw_peek t = '{' then begin
+      ignore (L.raw_next t);
+      flush ();
+      let e = parse_expr t in
+      L.expect t L.T_rbrace;
+      parts := e :: !parts;
+      go ()
+    end
+    else if L.raw_peek t = '&' then begin
+      Buffer.add_string buf (parse_raw_entity t);
+      forced := true;
+      go ()
+    end
+    else begin
+      Buffer.add_char buf (L.raw_next t);
+      go ()
+    end
+  in
+  go ();
+  flush ();
+  List.rev !parts
+
+(* ------------------------------------------------------------------ *)
+(* Prolog and program                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let parse_prolog t =
+  let decls = ref [] in
+  (* Optional version declaration. *)
+  (match (L.peek t, L.peek2 t) with
+  | L.T_name "xquery", L.T_name "version" ->
+    ignore (L.next t);
+    ignore (L.next t);
+    (match L.next t with
+    | L.T_string _ -> ()
+    | tok -> err t "expected a version string, found %s" (L.token_to_string tok));
+    L.expect t L.T_semi
+  | _ -> ());
+  let rec loop () =
+    match (L.peek t, L.peek2 t) with
+    | L.T_name "declare", L.T_name "namespace" ->
+      ignore (L.next t);
+      ignore (L.next t);
+      let prefix = match L.next t with L.T_name n -> n | _ -> err t "expected a prefix" in
+      L.expect t L.T_eq;
+      let uri =
+        match L.next t with L.T_string s -> s | _ -> err t "expected a URI string"
+      in
+      L.expect t L.T_semi;
+      decls := Declare_namespace (prefix, uri) :: !decls;
+      loop ()
+    | L.T_name "declare", L.T_name "variable" ->
+      ignore (L.next t);
+      ignore (L.next t);
+      let vname = match L.next t with L.T_var v -> v | _ -> err t "expected $var" in
+      let vtype =
+        if L.peek t = L.T_name "as" then begin
+          ignore (L.next t);
+          Some (parse_sequence_type t)
+        end
+        else None
+      in
+      L.expect t L.T_assign;
+      let init = parse_expr_single t in
+      L.expect t L.T_semi;
+      decls := Declare_variable { vname; vtype; init } :: !decls;
+      loop ()
+    | L.T_name "declare", L.T_name "function" ->
+      ignore (L.next t);
+      ignore (L.next t);
+      let fname = match L.next t with L.T_name n -> n | _ -> err t "expected a name" in
+      L.expect t L.T_lparen;
+      let params = ref [] in
+      if L.peek t <> L.T_rparen then begin
+        let rec one () =
+          let pname = match L.next t with L.T_var v -> v | _ -> err t "expected $param" in
+          let ptype =
+            if L.peek t = L.T_name "as" then begin
+              ignore (L.next t);
+              Some (parse_sequence_type t)
+            end
+            else None
+          in
+          params := (pname, ptype) :: !params;
+          if L.peek t = L.T_comma then begin
+            ignore (L.next t);
+            one ()
+          end
+        in
+        one ()
+      end;
+      L.expect t L.T_rparen;
+      let return_type =
+        if L.peek t = L.T_name "as" then begin
+          ignore (L.next t);
+          Some (parse_sequence_type t)
+        end
+        else None
+      in
+      L.expect t L.T_lbrace;
+      let body = parse_expr t in
+      L.expect t L.T_rbrace;
+      L.expect t L.T_semi;
+      decls :=
+        Declare_function { fname; params = List.rev !params; return_type; body }
+        :: !decls;
+      loop ()
+    | _ -> ()
+  in
+  loop ();
+  List.rev !decls
+
+let parse_program src =
+  let t = L.make src in
+  let prolog = parse_prolog t in
+  let body = parse_expr t in
+  (match L.peek t with
+  | L.T_eof -> ()
+  | tok -> err t "unexpected %s after the query body" (L.token_to_string tok));
+  { prolog; body }
+
+let parse_expression src =
+  let t = L.make src in
+  let e = parse_expr t in
+  (match L.peek t with
+  | L.T_eof -> ()
+  | tok -> err t "unexpected %s after the expression" (L.token_to_string tok));
+  e

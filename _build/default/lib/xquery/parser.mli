@@ -1,0 +1,15 @@
+(** The XQuery parser: recursive descent over {!Lexer}, with raw-mode
+    switching for direct element constructors.
+
+    Keywords are not reserved — [for], [if], [element] and friends parse
+    as path steps unless followed by the tokens that make them
+    constructs, exactly as the real grammar requires. All errors are
+    {!Errors.Error} with code [err:XPST0003] and a line/column prefix. *)
+
+val parse_program : string -> Ast.program
+(** Parse a full query: optional version declaration, prolog
+    (namespace/variable/function declarations), then the body. *)
+
+val parse_expression : string -> Ast.expr
+(** Parse a single expression (no prolog) — the form XSLT select/test
+    attributes use. *)

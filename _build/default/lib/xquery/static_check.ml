@@ -1,0 +1,131 @@
+(* Static analysis: detect unbound variables (XPST0008) and unknown
+   functions (XPST0017) at compile time instead of mid-query. Galax of
+   the era surfaced these at runtime with little context; a static pass is
+   the "more complete XQuery programming environment" the paper wished
+   for, so the engine offers it as an option. *)
+
+open Ast
+
+type fenv = {
+  known_arities : (string * int) list; (* user-declared functions *)
+  builtins : (string * int, Context.func) Hashtbl.t;
+}
+
+let err = Errors.raise_error
+
+let function_known fenv name arity =
+  let base = Context.normalize_fname name in
+  List.mem (base, arity) fenv.known_arities
+  || Hashtbl.mem fenv.builtins (base, arity)
+  || (base = "concat" && arity >= 2)
+
+let rec check_expr fenv (bound : string list) (e : expr) : unit =
+  let c = check_expr fenv bound in
+  match e with
+  | E_int _ | E_double _ | E_string _ | E_context_item | E_root | E_step _ -> ()
+  | E_var v ->
+    if not (List.mem v bound) then
+      err Errors.xpst0008 "static error: undefined variable $%s" v
+  | E_seq es -> List.iter c es
+  | E_range (a, b)
+  | E_arith (_, a, b)
+  | E_general_cmp (_, a, b)
+  | E_value_cmp (_, a, b)
+  | E_node_cmp (_, a, b)
+  | E_and (a, b)
+  | E_or (a, b)
+  | E_set_op (_, a, b)
+  | E_path (a, b)
+  | E_filter (a, b) ->
+    c a;
+    c b
+  | E_neg a | E_cast (_, a) | E_castable (_, a) | E_instance_of (a, _)
+  | E_treat (a, _) | E_text a | E_comment_c a ->
+    c a
+  | E_if (x, t, f) ->
+    c x;
+    c t;
+    c f
+  | E_typeswitch { operand; cases; default_var; default } ->
+    c operand;
+    List.iter
+      (fun case ->
+        let bound =
+          match case.case_var with Some v -> v :: bound | None -> bound
+        in
+        check_expr fenv bound case.case_return)
+      cases;
+    let bound = match default_var with Some v -> v :: bound | None -> bound in
+    check_expr fenv bound default
+  | E_call (name, args) ->
+    if not (function_known fenv name (List.length args)) then
+      err Errors.xpst0017 "static error: unknown function %s/%d" name (List.length args);
+    List.iter c args
+  | E_elem (name, content) | E_attr (name, content) ->
+    (match name with Computed_name e -> c e | Static_name _ -> ());
+    List.iter c content
+  | E_doc content -> List.iter c content
+  | E_quantified (_, bindings, body) ->
+    let bound =
+      List.fold_left
+        (fun bound (v, src) ->
+          check_expr fenv bound src;
+          v :: bound)
+        bound bindings
+    in
+    check_expr fenv bound body
+  | E_flwor { clauses; order_by; return } ->
+    let bound =
+      List.fold_left
+        (fun bound clause ->
+          match clause with
+          | For { var; pos_var; source; _ } ->
+            check_expr fenv bound source;
+            let bound = var :: bound in
+            (match pos_var with Some pv -> pv :: bound | None -> bound)
+          | Let { var; value; _ } ->
+            check_expr fenv bound value;
+            var :: bound
+          | Where cond ->
+            check_expr fenv bound cond;
+            bound)
+        bound clauses
+    in
+    List.iter (fun spec -> check_expr fenv bound spec.key) order_by;
+    check_expr fenv bound return
+
+(* Check a whole program. [external_vars] are the variables the caller
+   promises to bind at execution time (the $model of the world). *)
+let check_program ?(external_vars = []) (prog : program) : unit =
+  let builtins = Hashtbl.create 97 in
+  let scratch_env = Context.make_env () in
+  Functions.register_all scratch_env;
+  Hashtbl.iter (fun k v -> Hashtbl.replace builtins k v) scratch_env.Context.functions;
+  let known_arities =
+    List.filter_map
+      (function
+        | Declare_function { fname; params; _ } ->
+          Some (Context.normalize_fname fname, List.length params)
+        | Declare_variable _ | Declare_namespace _ -> None)
+      prog.prolog
+  in
+  let fenv = { known_arities; builtins } in
+  (* Globals come into scope in declaration order; function bodies see all
+     globals and their own parameters. *)
+  let globals =
+    List.fold_left
+      (fun globals decl ->
+        match decl with
+        | Declare_variable { vname; init; _ } ->
+          check_expr fenv globals init;
+          vname :: globals
+        | Declare_function _ | Declare_namespace _ -> globals)
+      external_vars prog.prolog
+  in
+  List.iter
+    (function
+      | Declare_function { params; body; _ } ->
+        check_expr fenv (List.map fst params @ globals) body
+      | Declare_variable _ | Declare_namespace _ -> ())
+    prog.prolog;
+  check_expr fenv globals prog.body

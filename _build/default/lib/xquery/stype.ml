@@ -1,0 +1,76 @@
+module N = Xml_base.Node
+
+type occurrence = Exactly_one | Zero_or_one | Zero_or_more | One_or_more
+[@@deriving show { with_path = false }, eq]
+
+type item_type =
+  | It_item
+  | It_atomic of string
+  | It_node
+  | It_element of string option
+  | It_attribute of string option
+  | It_text
+  | It_document
+[@@deriving show { with_path = false }, eq]
+
+type t = Empty_sequence | Seq of item_type * occurrence
+[@@deriving show { with_path = false }, eq]
+
+let atomic_matches (a : Value.atomic) tyname =
+  match (tyname, a) with
+  | "xs:anyAtomicType", _ -> true
+  | "xs:integer", Value.A_int _ -> true
+  | ("xs:double" | "xs:decimal" | "xs:float"), (Value.A_int _ | Value.A_double _) -> true
+  | "xs:string", Value.A_string _ -> true
+  | "xs:boolean", Value.A_bool _ -> true
+  | "xs:untypedAtomic", Value.A_untyped _ -> true
+  | _ -> false
+
+let item_matches (i : Value.item) it =
+  match (it, i) with
+  | It_item, _ -> true
+  | It_atomic ty, Value.Atomic a -> atomic_matches a ty
+  | It_atomic _, Value.Node _ -> false
+  | (It_node | It_element _ | It_attribute _ | It_text | It_document), Value.Atomic _ ->
+    false
+  | It_node, Value.Node _ -> true
+  | It_element name, Value.Node n ->
+    N.is_element n && (match name with None -> true | Some nm -> N.name n = nm)
+  | It_attribute name, Value.Node n ->
+    N.is_attribute n && (match name with None -> true | Some nm -> N.name n = nm)
+  | It_text, Value.Node n -> N.kind n = N.Text
+  | It_document, Value.Node n -> N.kind n = N.Document
+
+let matches (s : Value.sequence) t =
+  match t with
+  | Empty_sequence -> s = []
+  | Seq (it, occ) ->
+    let len_ok =
+      match occ with
+      | Exactly_one -> List.length s = 1
+      | Zero_or_one -> List.length s <= 1
+      | Zero_or_more -> true
+      | One_or_more -> s <> []
+    in
+    len_ok && List.for_all (fun i -> item_matches i it) s
+
+let item_type_to_string = function
+  | It_item -> "item()"
+  | It_atomic ty -> ty
+  | It_node -> "node()"
+  | It_element None -> "element()"
+  | It_element (Some n) -> Printf.sprintf "element(%s)" n
+  | It_attribute None -> "attribute()"
+  | It_attribute (Some n) -> Printf.sprintf "attribute(%s)" n
+  | It_text -> "text()"
+  | It_document -> "document-node()"
+
+let to_string = function
+  | Empty_sequence -> "empty-sequence()"
+  | Seq (it, occ) ->
+    item_type_to_string it
+    ^ (match occ with
+      | Exactly_one -> ""
+      | Zero_or_one -> "?"
+      | Zero_or_more -> "*"
+      | One_or_more -> "+")

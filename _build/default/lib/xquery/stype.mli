@@ -1,0 +1,35 @@
+(** Sequence types — the slice of the XQuery type system used by function
+    signatures ([declare function f($x as xs:string) as element()*]).
+
+    The paper used XQuery in untyped mode after type annotations
+    "metastatized"; we support both: annotations are parsed and, when the
+    engine runs in typed mode, enforced dynamically at call and return. *)
+
+type occurrence =
+  | Exactly_one
+  | Zero_or_one (* ? *)
+  | Zero_or_more (* * *)
+  | One_or_more (* + *)
+
+type item_type =
+  | It_item (* item() *)
+  | It_atomic of string (* xs:integer, xs:string, ... (by name) *)
+  | It_node (* node() *)
+  | It_element of string option (* element(), element(n) *)
+  | It_attribute of string option
+  | It_text
+  | It_document
+
+type t = Empty_sequence | Seq of item_type * occurrence
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool
+
+val matches : Value.sequence -> t -> bool
+(** Dynamic conformance. Atomic types match by name with the numeric
+    promotion ladder (xs:integer values match xs:double and xs:decimal
+    annotations); untypedAtomic matches only xs:untypedAtomic and
+    xs:anyAtomicType. *)
+
+val to_string : t -> string

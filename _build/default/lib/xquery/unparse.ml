@@ -1,0 +1,187 @@
+(* Render an AST back to XQuery source. The output is fully parenthesized
+   where precedence could bite, so [parse (unparse e)] is structurally
+   identical to [e] — a property the test suite checks on random
+   expressions. Also used by tooling that wants to show compiled or
+   optimized queries. *)
+
+open Ast
+
+let quote_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\"\""
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let arith_op = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "div"
+  | Idiv -> "idiv"
+  | Mod -> "mod"
+
+let general_op = function Eq -> "=" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+let value_op = function Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
+let node_op = function Is -> "is" | Precedes -> "<<" | Follows -> ">>"
+
+let set_op = function Union -> "union" | Intersect -> "intersect" | Except -> "except"
+
+let cast_target = function
+  | To_int -> "xs:integer"
+  | To_double -> "xs:double"
+  | To_string -> "xs:string"
+  | To_bool -> "xs:boolean"
+
+let node_test = function
+  | Name_test n -> n
+  | Wildcard -> "*"
+  | Kind_node -> "node()"
+  | Kind_text -> "text()"
+  | Kind_comment -> "comment()"
+  | Kind_pi None -> "processing-instruction()"
+  | Kind_pi (Some t) -> Printf.sprintf "processing-instruction(%s)" t
+  | Kind_element None -> "element()"
+  | Kind_element (Some n) -> Printf.sprintf "element(%s)" n
+  | Kind_attribute None -> "attribute()"
+  | Kind_attribute (Some n) -> Printf.sprintf "attribute(%s)" n
+  | Kind_document -> "document-node()"
+
+let rec expr (e : Ast.expr) : string =
+  match e with
+  | E_int n -> if n < 0 then Printf.sprintf "(%d)" n else string_of_int n
+  | E_double f ->
+    let s = Value.string_of_atomic (Value.A_double f) in
+    (* NaN/INF have no literal; fall back to number(). *)
+    if s = "NaN" then "number(\"NaN\")"
+    else if s = "INF" then "number(\"INF\")"
+    else if s = "-INF" then "(number(\"-INF\"))"
+    else if Float.is_integer f then Printf.sprintf "%.1f" f
+    else if f < 0.0 then Printf.sprintf "(%s)" s
+    else s
+  | E_string s -> quote_string s
+  | E_var v -> "$" ^ v
+  | E_context_item -> "."
+  | E_seq es -> "(" ^ String.concat ", " (List.map expr es) ^ ")"
+  | E_range (a, b) -> paren (expr a ^ " to " ^ expr b)
+  | E_arith (op, a, b) -> paren (expr a ^ " " ^ arith_op op ^ " " ^ expr b)
+  | E_neg a -> paren ("-" ^ expr a)
+  | E_general_cmp (op, a, b) -> paren (expr a ^ " " ^ general_op op ^ " " ^ expr b)
+  | E_value_cmp (op, a, b) -> paren (expr a ^ " " ^ value_op op ^ " " ^ expr b)
+  | E_node_cmp (op, a, b) -> paren (expr a ^ " " ^ node_op op ^ " " ^ expr b)
+  | E_and (a, b) -> paren (expr a ^ " and " ^ expr b)
+  | E_or (a, b) -> paren (expr a ^ " or " ^ expr b)
+  | E_set_op (op, a, b) -> paren (expr a ^ " " ^ set_op op ^ " " ^ expr b)
+  | E_if (c, t, f) ->
+    Printf.sprintf "(if (%s) then %s else %s)" (expr c) (expr t) (expr f)
+  | E_flwor f -> paren (flwor f)
+  | E_quantified (q, bindings, body) ->
+    let kw = match q with Some_q -> "some" | Every_q -> "every" in
+    Printf.sprintf "(%s %s satisfies %s)" kw
+      (String.concat ", "
+         (List.map (fun (v, src) -> Printf.sprintf "$%s in %s" v (expr src)) bindings))
+      (expr body)
+  | E_path (a, b) -> paren (expr a ^ "/" ^ expr b)
+  | E_root -> "(/)"
+  | E_step (Child, t) -> "child::" ^ node_test t
+  | E_step (axis, t) -> Ast.axis_name axis ^ "::" ^ node_test t
+  | E_filter (a, p) -> paren (expr a) ^ "[" ^ expr p ^ "]"
+  | E_call (name, args) ->
+    Printf.sprintf "%s(%s)" name (String.concat ", " (List.map expr args))
+  | E_cast (t, a) -> paren (expr a ^ " cast as " ^ cast_target t)
+  | E_castable (t, a) -> paren (expr a ^ " castable as " ^ cast_target t)
+  | E_instance_of (a, ty) -> paren (expr a ^ " instance of " ^ Stype.to_string ty)
+  | E_treat (a, ty) -> paren (expr a ^ " treat as " ^ Stype.to_string ty)
+  | E_elem (name, content) ->
+    Printf.sprintf "element %s {%s}" (name_spec name)
+      (String.concat ", " (List.map expr content))
+  | E_attr (name, content) ->
+    (* AVT parts were desugared by the parser; re-emit as a computed
+       attribute whose value is the string-concatenation of the parts. *)
+    Printf.sprintf "attribute %s {%s}" (name_spec name)
+      (match content with
+      | [] -> "\"\""
+      | [ single ] -> expr single
+      | parts ->
+        "concat("
+        ^ String.concat ", " (List.map (fun p -> "string((" ^ expr p ^ ", \"\")[1])") parts)
+        ^ ")")
+  | E_text a -> Printf.sprintf "text {%s}" (expr a)
+  | E_comment_c a -> Printf.sprintf "comment {%s}" (expr a)
+  | E_doc content ->
+    Printf.sprintf "document {%s}" (String.concat ", " (List.map expr content))
+  | E_typeswitch { operand; cases; default_var; default } ->
+    Printf.sprintf "(typeswitch (%s) %s default %sreturn %s)" (expr operand)
+      (String.concat " "
+         (List.map
+            (fun c ->
+              Printf.sprintf "case %s%s return %s"
+                (match c.case_var with Some v -> "$" ^ v ^ " as " | None -> "")
+                (Stype.to_string c.case_type) (expr c.case_return))
+            cases))
+      (match default_var with Some v -> "$" ^ v ^ " " | None -> "")
+      (expr default)
+
+and paren s = "(" ^ s ^ ")"
+
+and name_spec = function
+  | Static_name n -> n
+  | Computed_name e -> "{" ^ expr e ^ "}"
+
+and flwor { clauses; order_by; return } =
+  if clauses = [] && order_by = [] then expr return
+  else flwor_nonempty { clauses; order_by; return }
+
+and flwor_nonempty { clauses; order_by; return } =
+  let clause = function
+    | For { var; var_type; pos_var; source } ->
+      Printf.sprintf "for $%s%s%s in %s" var
+        (match var_type with Some t -> " as " ^ Stype.to_string t | None -> "")
+        (match pos_var with Some pv -> " at $" ^ pv | None -> "")
+        (expr source)
+    | Let { var; var_type; value } ->
+      Printf.sprintf "let $%s%s := %s" var
+        (match var_type with Some t -> " as " ^ Stype.to_string t | None -> "")
+        (expr value)
+    | Where cond -> "where " ^ expr cond
+  in
+  let order =
+    if order_by = [] then ""
+    else
+      " order by "
+      ^ String.concat ", "
+          (List.map
+             (fun spec ->
+               expr spec.key
+               ^ (if spec.descending then " descending" else "")
+               ^ if spec.empty_greatest then " empty greatest" else "")
+             order_by)
+  in
+  String.concat " " (List.map clause clauses) ^ order ^ " return " ^ expr return
+
+let prolog_decl = function
+  | Declare_function { fname; params; return_type; body } ->
+    Printf.sprintf "declare function %s(%s)%s { %s };" fname
+      (String.concat ", "
+         (List.map
+            (fun (p, ty) ->
+              "$" ^ p ^ match ty with Some t -> " as " ^ Stype.to_string t | None -> "")
+            params))
+      (match return_type with Some t -> " as " ^ Stype.to_string t | None -> "")
+      (expr body)
+  | Declare_variable { vname; vtype; init } ->
+    Printf.sprintf "declare variable $%s%s := %s;" vname
+      (match vtype with Some t -> " as " ^ Stype.to_string t | None -> "")
+      (expr init)
+  | Declare_namespace (prefix, uri) ->
+    Printf.sprintf "declare namespace %s = %s;" prefix (quote_string uri)
+
+let program (p : Ast.program) =
+  String.concat "\n" (List.map prolog_decl p.prolog @ [ expr p.body ])

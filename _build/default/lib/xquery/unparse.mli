@@ -1,0 +1,12 @@
+(** Render ASTs back to XQuery source.
+
+    Output is parenthesized defensively so [parse (program p)] is a fixed
+    point (checked by property tests); direct constructors re-emit in
+    computed form. Useful for showing optimized or machine-generated
+    queries (e.g. the calculus compiler's output). *)
+
+val expr : Ast.expr -> string
+val prolog_decl : Ast.prolog_decl -> string
+val program : Ast.program -> string
+val quote_string : string -> string
+(** An XQuery string literal denoting exactly the given string. *)

@@ -1,0 +1,449 @@
+module N = Xml_base.Node
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Patterns                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type pattern_step = P_name of string | P_star | P_text | P_node
+
+type pattern = {
+  steps : pattern_step list; (* outermost first; [] means the root pattern "/" *)
+  anchored : bool; (* leading "/" *)
+  source : string;
+}
+
+let parse_pattern src =
+  let src = String.trim src in
+  if src = "/" then { steps = []; anchored = true; source = src }
+  else begin
+    let anchored = String.length src > 0 && src.[0] = '/' in
+    let body = if anchored then String.sub src 1 (String.length src - 1) else src in
+    let steps =
+      List.map
+        (fun piece ->
+          match String.trim piece with
+          | "*" -> P_star
+          | "text()" -> P_text
+          | "node()" -> P_node
+          | "" -> fail "empty step in pattern %S" src
+          | name ->
+            String.iter
+              (fun c ->
+                if not
+                     ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+                     || (c >= '0' && c <= '9')
+                     || c = '-' || c = '_' || c = '.' || c = ':')
+                then fail "unsupported pattern %S" src)
+              name;
+            P_name name)
+        (String.split_on_char '/' body)
+    in
+    { steps; anchored; source = src }
+  end
+
+let step_matches step (n : N.t) =
+  match step with
+  | P_name name -> N.is_element n && N.name n = name
+  | P_star -> N.is_element n
+  | P_text -> N.kind n = N.Text
+  | P_node -> N.kind n <> N.Document
+
+let pattern_matches pat (n : N.t) =
+  if pat.steps = [] then N.kind n = N.Document
+  else begin
+    let rec up node = function
+      | [] ->
+        (* All steps consumed; anchored patterns additionally require the
+           chain to sit directly under the document root. *)
+        (not pat.anchored)
+        || (match N.parent node with
+           | Some p -> N.kind p = N.Document
+           | None -> true)
+      | step :: above -> (
+        step_matches step node
+        &&
+        match above with
+        | [] ->
+          (not pat.anchored)
+          || (match N.parent node with
+             | Some p -> N.kind p = N.Document
+             | None -> true)
+        | _ -> (
+          match N.parent node with Some p -> up p above | None -> false))
+    in
+    up n (List.rev pat.steps)
+  end
+
+let default_priority pat =
+  match pat.steps with
+  | [] -> 0.5 (* the root pattern *)
+  | [ P_star ] | [ P_node ] -> -0.5
+  | [ P_text ] -> -0.5
+  | [ P_name _ ] -> 0.0
+  | _ -> 0.5 (* qualified paths are more specific *)
+
+(* ------------------------------------------------------------------ *)
+(* Stylesheets                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type rule = {
+  pattern : pattern;
+  priority : float;
+  order : int; (* document order; later wins ties *)
+  body : N.t list; (* template children (from the stylesheet tree) *)
+}
+
+type stylesheet = { rules : rule list (* sorted best-first *) }
+
+let is_xsl n tag = N.is_element n && N.name n = "xsl:" ^ tag
+
+let compile (doc : N.t) =
+  let root =
+    match N.kind doc with
+    | N.Document -> (
+      match N.child_elements doc with
+      | [ r ] -> r
+      | _ -> fail "stylesheet must have one root element")
+    | _ -> doc
+  in
+  if not (N.name root = "xsl:stylesheet" || N.name root = "xsl:transform") then
+    fail "expected <xsl:stylesheet>, found <%s>" (N.name root);
+  let rules =
+    List.filter (fun tpl -> not (is_xsl tpl "output")) (N.child_elements root)
+    |> List.mapi
+      (fun order tpl ->
+        if not (is_xsl tpl "template") then
+          fail "expected <xsl:template>, found <%s>" (N.name tpl)
+        else begin
+          let match_src =
+            match N.attr tpl "match" with
+            | Some m -> m
+            | None -> fail "<xsl:template> needs a match attribute"
+          in
+          let pattern = parse_pattern match_src in
+          let priority =
+            match N.attr tpl "priority" with
+            | Some p -> (
+              match float_of_string_opt p with
+              | Some f -> f
+              | None -> fail "bad priority %S" p)
+            | None -> default_priority pattern
+          in
+          { pattern; priority; order; body = N.children tpl }
+        end)
+  in
+  (* Best-first: higher priority, then later in document order. *)
+  let sorted =
+    List.sort
+      (fun a b ->
+        match compare b.priority a.priority with 0 -> compare b.order a.order | c -> c)
+      rules
+  in
+  { rules = sorted }
+
+let compile_string s = compile (Xml_base.Parser.parse_string s)
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation (shared with the XQuery engine)               *)
+(* ------------------------------------------------------------------ *)
+
+type env = {
+  xq : Xquery.Context.env;
+  mutable expr_cache : (string * Xquery.Ast.expr) list;
+}
+
+let make_env () =
+  let xq = Xquery.Context.make_env () in
+  Xquery.Functions.register_all xq;
+  { xq; expr_cache = [] }
+
+let parse_expr env src =
+  match List.assoc_opt src env.expr_cache with
+  | Some e -> e
+  | None -> (
+    match Xquery.Parser.parse_expression src with
+    | e ->
+      env.expr_cache <- (src, e) :: env.expr_cache;
+      e
+    | exception Xquery.Errors.Error { message; _ } ->
+      fail "bad expression %S: %s" src message)
+
+type ctx = {
+  env : env;
+  node : N.t;
+  pos : int;
+  size : int;
+  vars : Xquery.Value.sequence Xquery.Context.StringMap.t;
+}
+
+let eval_expr ctx src =
+  let expr = parse_expr ctx.env src in
+  let dyn = Xquery.Context.make_dyn ctx.env.xq in
+  let dyn =
+    Xquery.Context.with_context dyn (Xquery.Value.Node ctx.node) ctx.pos ctx.size
+  in
+  let dyn = { dyn with Xquery.Context.vars = ctx.vars } in
+  try Xquery.Eval.eval dyn expr
+  with Xquery.Errors.Error { code; message } ->
+    fail "evaluating %S: %s: %s" src code message
+
+let eval_nodes ctx src =
+  match Xquery.Value.all_nodes (eval_expr ctx src) with
+  | Some ns -> ns
+  | None -> fail "select=%S must evaluate to nodes" src
+
+let eval_string_of ctx src = Xquery.Value.string_value
+    (match eval_expr ctx src with [] -> [] | x :: _ -> [ x ])
+
+let eval_bool ctx src = Xquery.Value.effective_boolean_value (eval_expr ctx src)
+
+(* Attribute value templates in literal result elements: {expr} holes. *)
+let expand_avt ctx s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then ()
+    else if i + 1 < n && s.[i] = '{' && s.[i + 1] = '{' then begin
+      Buffer.add_char buf '{';
+      go (i + 2)
+    end
+    else if i + 1 < n && s.[i] = '}' && s.[i + 1] = '}' then begin
+      Buffer.add_char buf '}';
+      go (i + 2)
+    end
+    else if s.[i] = '{' then begin
+      match String.index_from_opt s (i + 1) '}' with
+      | None -> fail "unterminated { in attribute value template %S" s
+      | Some j ->
+        let expr = String.sub s (i + 1) (j - i - 1) in
+        Buffer.add_string buf
+          (String.concat " "
+             (List.map Xquery.Value.string_of_atomic
+                (Xquery.Value.atomize (eval_expr ctx expr))));
+        go (j + 1)
+    end
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
+(* xsl:sort children of for-each/apply-templates. *)
+let sort_specs item =
+  List.filter (fun k -> is_xsl k "sort") (N.child_elements item)
+
+let apply_sorts ctx specs nodes =
+  if specs = [] then nodes
+  else begin
+    let keyed =
+      List.map
+        (fun n ->
+          let key_ctx = { ctx with node = n } in
+          let keys =
+            List.map
+              (fun spec ->
+                let sel = Option.value ~default:"string(.)" (N.attr spec "select") in
+                let s = eval_string_of key_ctx sel in
+                let numeric = N.attr spec "data-type" = Some "number" in
+                let descending = N.attr spec "order" = Some "descending" in
+                (s, numeric, descending))
+              specs
+          in
+          (keys, n))
+        nodes
+    in
+    let compare_keys k1 k2 =
+      let rec go = function
+        | [], [] -> 0
+        | (a, numeric, desc) :: r1, (b, _, _) :: r2 ->
+          let c =
+            if numeric then
+              compare
+                (Option.value ~default:Float.nan (float_of_string_opt a))
+                (Option.value ~default:Float.nan (float_of_string_opt b))
+            else compare a b
+          in
+          if c <> 0 then if desc then -c else c else go (r1, r2)
+        | _ -> 0
+      in
+      go (k1, k2)
+    in
+    List.map snd (List.stable_sort (fun (k1, _) (k2, _) -> compare_keys k1 k2) keyed)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Instantiation                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let rec apply_rules sheet env vars (n : N.t) ~pos ~size : N.t list =
+  let ctx = { env; node = n; pos; size; vars } in
+  match List.find_opt (fun r -> pattern_matches r.pattern n) sheet.rules with
+  | Some rule -> instantiate sheet ctx rule.body
+  | None -> builtin_rule sheet env vars n
+
+and builtin_rule sheet env vars n =
+  match N.kind n with
+  | N.Document | N.Element ->
+    let kids = N.children n in
+    let size = List.length kids in
+    List.concat (List.mapi (fun i k -> apply_rules sheet env vars k ~pos:(i + 1) ~size) kids)
+  | N.Text -> [ N.text (N.string_value n) ]
+  | N.Attribute | N.Comment | N.Processing_instruction -> []
+
+and instantiate sheet ctx (body : N.t list) : N.t list =
+  (* xsl:variable declarations scope over their following siblings. *)
+  let rec go ctx = function
+    | [] -> []
+    | item :: rest when is_xsl item "variable" ->
+      let name =
+        match N.attr item "name" with
+        | Some v -> v
+        | None -> fail "<xsl:variable> needs a name"
+      in
+      let value =
+        match N.attr item "select" with
+        | Some sel -> eval_expr ctx sel
+        | None ->
+          (* Content-valued variable: an element-less result tree fragment
+             is approximated by its nodes. *)
+          List.map
+            (fun n -> Xquery.Value.Node n)
+            (instantiate sheet ctx (N.children item))
+      in
+      let ctx =
+        { ctx with vars = Xquery.Context.StringMap.add name value ctx.vars }
+      in
+      go ctx rest
+    | item :: rest -> instantiate_one sheet ctx item @ go ctx rest
+  in
+  go ctx body
+
+and instantiate_one sheet ctx (item : N.t) : N.t list =
+  match N.kind item with
+  | N.Text ->
+    let s = N.string_value item in
+    if String.for_all (fun c -> c = ' ' || c = '\t' || c = '\n' || c = '\r') s then []
+    else [ N.text s ]
+  | N.Comment -> []
+  | N.Attribute | N.Processing_instruction | N.Document -> []
+  | N.Element -> (
+    match N.name item with
+    | "xsl:apply-templates" ->
+      let nodes =
+        match N.attr item "select" with
+        | Some sel -> eval_nodes ctx sel
+        | None -> N.children ctx.node
+      in
+      let nodes = apply_sorts ctx (sort_specs item) nodes in
+      let size = List.length nodes in
+      List.concat
+        (List.mapi
+           (fun i n -> apply_rules sheet ctx.env ctx.vars n ~pos:(i + 1) ~size)
+           nodes)
+    | "xsl:value-of" -> (
+      let sel =
+        match N.attr item "select" with
+        | Some s -> s
+        | None -> fail "<xsl:value-of> needs select"
+      in
+      match eval_string_of ctx sel with "" -> [] | s -> [ N.text s ])
+    | "xsl:copy-of" -> (
+      match N.attr item "select" with
+      | Some sel -> List.map N.copy (eval_nodes ctx sel)
+      | None -> fail "<xsl:copy-of> needs select")
+    | "xsl:copy" -> (
+      match N.kind ctx.node with
+      | N.Element ->
+        [ N.element (N.name ctx.node) ~children:(instantiate sheet ctx (N.children item)) ]
+      | N.Document -> instantiate sheet ctx (N.children item)
+      | _ -> [ N.copy ctx.node ])
+    | "xsl:for-each" ->
+      let sel =
+        match N.attr item "select" with
+        | Some s -> s
+        | None -> fail "<xsl:for-each> needs select"
+      in
+      let nodes = apply_sorts ctx (sort_specs item) (eval_nodes ctx sel) in
+      let size = List.length nodes in
+      let body =
+        List.filter (fun k -> not (is_xsl k "sort")) (N.children item)
+      in
+      List.concat
+        (List.mapi
+           (fun i n -> instantiate sheet { ctx with node = n; pos = i + 1; size } body)
+           nodes)
+    | "xsl:if" ->
+      let test =
+        match N.attr item "test" with
+        | Some t -> t
+        | None -> fail "<xsl:if> needs test"
+      in
+      if eval_bool ctx test then instantiate sheet ctx (N.children item) else []
+    | "xsl:choose" ->
+      let rec choose = function
+        | [] -> []
+        | branch :: rest when is_xsl branch "when" -> (
+          match N.attr branch "test" with
+          | Some t ->
+            if eval_bool ctx t then instantiate sheet ctx (N.children branch)
+            else choose rest
+          | None -> fail "<xsl:when> needs test")
+        | branch :: _ when is_xsl branch "otherwise" ->
+          instantiate sheet ctx (N.children branch)
+        | other :: _ -> fail "unexpected <%s> in <xsl:choose>" (N.name other)
+      in
+      choose (N.child_elements item)
+    | "xsl:element" ->
+      let name =
+        match N.attr item "name" with
+        | Some n -> expand_avt ctx n
+        | None -> fail "<xsl:element> needs name"
+      in
+      let content = instantiate sheet ctx (N.children item) in
+      let attrs, kids = List.partition N.is_attribute content in
+      [ N.element name ~attrs ~children:kids ]
+    | "xsl:attribute" ->
+      let name =
+        match N.attr item "name" with
+        | Some n -> expand_avt ctx n
+        | None -> fail "<xsl:attribute> needs name"
+      in
+      let value =
+        String.concat ""
+          (List.map N.string_value (instantiate sheet ctx (N.children item)))
+      in
+      [ N.attribute name value ]
+    | "xsl:text" -> [ N.text (N.string_value item) ]
+    | "xsl:variable" -> assert false (* handled in [instantiate] *)
+    | name when String.length name >= 4 && String.sub name 0 4 = "xsl:" ->
+      fail "unsupported instruction <%s>" name
+    | _ ->
+      (* Literal result element: attributes are value templates, children
+         instantiate; attribute nodes produced by content fold in. *)
+      let attrs =
+        List.map
+          (fun a -> N.attribute (N.name a) (expand_avt ctx (N.string_value a)))
+          (N.attributes item)
+      in
+      let content = instantiate sheet ctx (N.children item) in
+      let extra_attrs, kids = List.partition N.is_attribute content in
+      [ N.element (N.name item) ~attrs:(attrs @ extra_attrs) ~children:kids ])
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let apply sheet source =
+  let env = make_env () in
+  apply_rules sheet env Xquery.Context.StringMap.empty source ~pos:1 ~size:1
+
+let apply_to_element sheet source =
+  match List.filter N.is_element (apply sheet source) with
+  | [ e ] -> e
+  | other -> fail "expected one element result, got %d" (List.length other)

@@ -1,0 +1,40 @@
+(** A little XSLT 1.0-style transformation engine.
+
+    The paper's system was "mostly in XQuery, with a bit of XSLT sprinkled
+    in at the end" — notably "a little XSLT program" that split the single
+    output stream apart. This module is that substrate: template rules
+    matched by pattern, applied recursively, with the usual instruction
+    set ([apply-templates], [value-of], [for-each], [if],
+    [choose]/[when]/[otherwise], [copy], [copy-of], [element],
+    [attribute], [text], [variable]).
+
+    Select and test expressions reuse the XQuery engine's XPath subset,
+    evaluated with the current node as context item, so the two little
+    languages share one expression language — as they do in the real
+    standards.
+
+    Supported match patterns: ["/"] (the document), [name], [*], [text()],
+    [node()], and parent-qualified paths like [a/b] or [/doc/a/b]
+    (anchored at the root when they start with [/]). Template conflicts
+    resolve by explicit [priority], then specificity, then document order
+    (later wins). Built-in rules: elements and documents recurse; text
+    copies; attributes and comments produce nothing. *)
+
+exception Error of string
+
+type stylesheet
+
+val compile : Xml_base.Node.t -> stylesheet
+(** Compile a parsed stylesheet (root [xsl:stylesheet] or
+    [xsl:transform]; the [xsl:] prefix is required on instruction
+    elements). @raise Error on malformed stylesheets. *)
+
+val compile_string : string -> stylesheet
+
+val apply : stylesheet -> Xml_base.Node.t -> Xml_base.Node.t list
+(** Transform a source node (usually a document); the result sequence is
+    the instantiation of the best-matching template for it. *)
+
+val apply_to_element : stylesheet -> Xml_base.Node.t -> Xml_base.Node.t
+(** Like {!apply} but expects exactly one element result.
+    @raise Error otherwise. *)

@@ -1,0 +1,1 @@
+test/test_awb.ml: Alcotest Astring Awb Awb_query Docgen List Option QCheck QCheck_alcotest Xml_base

@@ -1,0 +1,1 @@
+test/test_awb_edit.ml: Alcotest Awb Gen List Option Printf QCheck QCheck_alcotest Xml_base

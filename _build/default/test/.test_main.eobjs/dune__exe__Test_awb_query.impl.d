@@ -1,0 +1,1 @@
+test/test_awb_query.ml: Alcotest Astring Awb Awb_query List Printf Xml_base

@@ -1,0 +1,1 @@
+test/test_awb_store.ml: Alcotest Array Astring Awb Filename Fun List Printf Random Sys Unix Xml_base

@@ -1,0 +1,1 @@
+test/test_docgen.ml: Alcotest Astring Awb Docgen List Printf Str Xml_base

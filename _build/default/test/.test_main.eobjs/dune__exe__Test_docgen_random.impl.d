@@ -1,0 +1,1 @@
+test/test_docgen_random.ml: Awb Docgen List QCheck QCheck_alcotest Xml_base

@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Astring Awb Docgen Xml_base

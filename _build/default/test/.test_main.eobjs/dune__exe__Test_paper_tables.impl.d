@@ -1,0 +1,1 @@
+test/test_paper_tables.ml: Alcotest Astring Buffer List Printf Xquery

@@ -1,0 +1,1 @@
+test/test_xml_base.ml: Alcotest Astring List QCheck QCheck_alcotest String Xml_base

@@ -1,0 +1,1 @@
+test/test_xqlib.ml: Alcotest Char Float Gen List Printf QCheck QCheck_alcotest String Xqlib Xquery

@@ -1,0 +1,1 @@
+test/test_xquery.ml: Alcotest Gen List Printf QCheck QCheck_alcotest String Xml_base Xquery

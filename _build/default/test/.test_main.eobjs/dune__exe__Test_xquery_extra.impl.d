@@ -1,0 +1,1 @@
+test/test_xquery_extra.ml: Alcotest Astring List Printf QCheck QCheck_alcotest String Xml_base Xquery

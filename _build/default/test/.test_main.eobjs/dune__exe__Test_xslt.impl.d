@@ -1,0 +1,1 @@
+test/test_xslt.ml: Alcotest Astring Awb Docgen List Printf QCheck QCheck_alcotest String Xml_base Xslt

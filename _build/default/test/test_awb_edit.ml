@@ -1,0 +1,202 @@
+(* Tests for the workbench editing layer: commands, undo, and the live
+   omissions feed that motivated the whole two-query-language story. *)
+
+module M = Awb.Model
+module Ed = Awb.Edit
+module V = Awb.Validate
+
+let check = Alcotest.check
+let string_t = Alcotest.string
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let fresh_session () = Ed.start (Awb.Samples.banking_model ())
+
+let export s = Awb.Xml_io.export_string (Ed.model s)
+
+(* Order-insensitive canonical form: nodes and relations sorted by id. *)
+let canon_export s =
+  let doc = Xml_base.Parser.parse_string s in
+  let root = List.hd (Xml_base.Node.children doc) in
+  let key e = (Xml_base.Node.name e, Option.value ~default:"" (Xml_base.Node.attr e "id")) in
+  let sorted =
+    List.sort
+      (fun a b -> compare (key a) (key b))
+      (List.map Xml_base.Node.copy (Xml_base.Node.child_elements root))
+  in
+  Xml_base.Serialize.to_string (Xml_base.Node.element "awb-model" ~children:sorted)
+
+let test_add_and_undo () =
+  let s = fresh_session () in
+  let before = export s in
+  Ed.apply s (Ed.Add_node { id = Some "NX"; ntype = "User"; props = [ ("name", M.V_string "dora") ] });
+  check bool_t "node exists" true (M.find_node (Ed.model s) "NX" <> None);
+  check int_t "history" 1 (List.length (Ed.history s));
+  check bool_t "undo ok" true (Ed.undo s);
+  check bool_t "node gone" true (M.find_node (Ed.model s) "NX" = None);
+  check string_t "model restored exactly" before (export s);
+  check bool_t "nothing left to undo beyond baseline" true (not (Ed.undo s) || true)
+
+let test_remove_restores_relations () =
+  let s = fresh_session () in
+  let before = export s in
+  let alice =
+    (List.find (fun n -> M.prop_string n "name" = "alice") (M.nodes (Ed.model s))).M.id
+  in
+  let incident_before =
+    List.length
+      (List.filter
+         (fun (r : M.relation) -> r.M.source = alice || r.M.target = alice)
+         (M.relations (Ed.model s)))
+  in
+  check bool_t "alice has relations" true (incident_before > 0);
+  Ed.apply s (Ed.Remove_node alice);
+  check bool_t "gone" true (M.find_node (Ed.model s) alice = None);
+  check bool_t "undo" true (Ed.undo s);
+  check bool_t "alice back" true (M.find_node (Ed.model s) alice <> None);
+  let incident_after =
+    List.length
+      (List.filter
+         (fun (r : M.relation) -> r.M.source = alice || r.M.target = alice)
+         (M.relations (Ed.model s)))
+  in
+  check int_t "relations restored" incident_before incident_after;
+  (* Order may differ after restore; compare canonical forms. *)
+  check string_t "same content" (canon_export before) (canon_export (export s))
+
+let test_set_property_undo () =
+  let s = fresh_session () in
+  let alice =
+    (List.find (fun n -> M.prop_string n "name" = "alice") (M.nodes (Ed.model s))).M.id
+  in
+  Ed.apply s (Ed.Set_property { node_id = alice; pname = "firstName"; value = M.V_string "Alicia" });
+  check string_t "changed" "Alicia" (M.prop_string (M.get_node (Ed.model s) alice) "firstName");
+  Ed.apply s (Ed.Set_property { node_id = alice; pname = "nickname"; value = M.V_string "Al" });
+  check bool_t "new prop" true (M.prop (M.get_node (Ed.model s) alice) "nickname" <> None);
+  check bool_t "undo new prop" true (Ed.undo s);
+  check bool_t "new prop gone" true (M.prop (M.get_node (Ed.model s) alice) "nickname" = None);
+  check bool_t "undo change" true (Ed.undo s);
+  check string_t "restored" "Alice" (M.prop_string (M.get_node (Ed.model s) alice) "firstName")
+
+let test_relate_unrelate () =
+  let s = fresh_session () in
+  let node name =
+    (List.find (fun n -> M.prop_string n "name" = name) (M.nodes (Ed.model s))).M.id
+  in
+  let rels_before = M.relation_count (Ed.model s) in
+  Ed.apply s
+    (Ed.Relate { id = Some "RX"; rtype = "likes"; source_id = node "carol"; target_id = node "alice" });
+  check int_t "added" (rels_before + 1) (M.relation_count (Ed.model s));
+  Ed.apply s (Ed.Unrelate "RX");
+  check int_t "removed" rels_before (M.relation_count (Ed.model s));
+  check bool_t "undo unrelate" true (Ed.undo s);
+  check int_t "back" (rels_before + 1) (M.relation_count (Ed.model s));
+  check bool_t "undo relate" true (Ed.undo s);
+  check int_t "gone again" rels_before (M.relation_count (Ed.model s))
+
+let test_errors () =
+  let s = fresh_session () in
+  let fails c = match Ed.apply s c with exception Ed.Edit_error _ -> true | _ -> false in
+  check bool_t "unknown node" true (fails (Ed.Remove_node "NOPE"));
+  check bool_t "unknown relation" true (fails (Ed.Unrelate "NOPE"));
+  check bool_t "dangling relate" true
+    (fails (Ed.Relate { id = None; rtype = "likes"; source_id = "NOPE"; target_id = "N1" }));
+  check bool_t "duplicate node id" true
+    (fails (Ed.Add_node { id = Some "N1"; ntype = "User"; props = [] }));
+  check bool_t "remove absent property" true
+    (fails (Ed.Remove_property { node_id = "N1"; pname = "zorp" }));
+  (* failed commands leave no history *)
+  check int_t "no history from failures" 0 (List.length (Ed.history s))
+
+let test_live_omissions_feed () =
+  let s = fresh_session () in
+  let count_code code ws = List.length (List.filter (fun w -> w.V.w_code = code) ws) in
+  let missing0 = count_code "missing-property" (Ed.warnings_now s) in
+  (* The user adds a document without version info: the Omissions feed
+     grows immediately. *)
+  Ed.apply s
+    (Ed.Add_node
+       { id = Some "ND"; ntype = "Document"; props = [ ("name", M.V_string "Droft") ] });
+  check int_t "one more omission" (missing0 + 1)
+    (count_code "missing-property" (Ed.warnings_now s));
+  (* Setting the version silences it. *)
+  Ed.apply s (Ed.Set_property { node_id = "ND"; pname = "version"; value = M.V_string "0.1" });
+  check int_t "silenced" missing0 (count_code "missing-property" (Ed.warnings_now s));
+  (* An off-metamodel edit is accepted and flagged, never refused. *)
+  let off0 = count_code "off-metamodel-relation" (Ed.warnings_now s) in
+  let alice =
+    (List.find (fun n -> M.prop_string n "name" = "alice") (M.nodes (Ed.model s))).M.id
+  in
+  Ed.apply s (Ed.Relate { id = None; rtype = "runs"; source_id = alice; target_id = "ND" });
+  check int_t "flagged, not refused" (off0 + 1)
+    (count_code "off-metamodel-relation" (Ed.warnings_now s))
+
+(* Property: any random command sequence, fully undone, restores the
+   canonical export. *)
+let prop_undo_restores =
+  let open QCheck in
+  let gen_cmds =
+    Gen.(
+      list_size (int_range 1 12)
+        (frequency
+           [
+             ( 3,
+               let* i = int_bound 99 in
+               return
+                 (Ed.Add_node
+                    {
+                      id = Some (Printf.sprintf "G%d" i);
+                      ntype = "User";
+                      props = [ ("name", M.V_string (Printf.sprintf "g%d" i)) ];
+                    }) );
+             ( 2,
+               let* i = int_bound 15 in
+               return
+                 (Ed.Set_property
+                    {
+                      node_id = Printf.sprintf "N%d" (i + 1);
+                      pname = "note";
+                      value = M.V_string "x";
+                    }) );
+             (1, let* i = int_bound 15 in return (Ed.Remove_node (Printf.sprintf "N%d" (i + 1))));
+             ( 1,
+               let* i = int_bound 15 in
+               let* j = int_bound 15 in
+               return
+                 (Ed.Relate
+                    {
+                      id = None;
+                      rtype = "likes";
+                      source_id = Printf.sprintf "N%d" (i + 1);
+                      target_id = Printf.sprintf "N%d" (j + 1);
+                    }) );
+           ]))
+  in
+  QCheck.Test.make ~name:"undo-all restores the model" ~count:60
+    (QCheck.make gen_cmds)
+    (fun cmds ->
+      let s = fresh_session () in
+      let before = canon_export (export s) in
+      let applied =
+        List.fold_left
+          (fun n cmd -> match Ed.apply s cmd with () -> n + 1 | exception Ed.Edit_error _ -> n)
+          0 cmds
+      in
+      for _ = 1 to applied do
+        ignore (Ed.undo s)
+      done;
+      canon_export (export s) = before)
+
+let suite =
+  [
+    ( "awb.edit",
+      [
+        Alcotest.test_case "add + undo" `Quick test_add_and_undo;
+        Alcotest.test_case "remove restores relations" `Quick test_remove_restores_relations;
+        Alcotest.test_case "property edits" `Quick test_set_property_undo;
+        Alcotest.test_case "relate/unrelate" `Quick test_relate_unrelate;
+        Alcotest.test_case "structural errors" `Quick test_errors;
+        Alcotest.test_case "live omissions feed" `Quick test_live_omissions_feed;
+        QCheck_alcotest.to_alcotest prop_undo_restores;
+      ] );
+  ]

@@ -1,0 +1,236 @@
+(* Tests for the AWB query calculus: parser, native evaluation, the XQuery
+   compilation, and the cross-implementation oracle (the paper's "it would
+   be insane to have two implementations" — we have two on purpose, and
+   they must agree). *)
+
+module A = Awb_query.Ast
+module P = Awb_query.Parser
+module Nat = Awb_query.Native
+module XQ = Awb_query.To_xquery
+module M = Awb.Model
+
+let check = Alcotest.check
+let string_t = Alcotest.string
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let banking = Awb.Samples.banking_model ()
+
+let labels ns = List.map Nat.node_label ns
+let run_native q = labels (Nat.eval_string banking q)
+let run_xquery q = labels (XQ.eval_string banking q)
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_roundtrip () =
+  let cases =
+    [
+      "start all";
+      "start type(User)";
+      "start node(N3)";
+      "start type(User); follow likes forward";
+      "start type(User); follow uses forward to(Program)";
+      "start all; filter type(Document); filter not-has-prop(version)";
+      "start all; filter prop(year > 1900); distinct; sort-by label; limit 3";
+      "start all; sort-by prop(year) desc";
+    ]
+  in
+  List.iter
+    (fun src ->
+      let q = P.parse src in
+      (* to_string then reparse must be identical structure. *)
+      let q2 = P.parse (A.to_string q) in
+      check string_t ("roundtrip " ^ src) (A.to_string q) (A.to_string q2))
+    cases
+
+let test_parse_quoted_literal () =
+  let q = P.parse "start all; filter prop(name = \"alice; bob\")" in
+  match q.A.steps with
+  | [ A.Filter_prop { pname = "name"; op = A.P_eq; literal = "alice; bob" } ] -> ()
+  | _ -> Alcotest.fail "quoted literal with a semicolon mis-parsed"
+
+let test_parse_errors () =
+  let fails s = match P.parse s with exception P.Parse_error _ -> true | _ -> false in
+  check bool_t "empty" true (fails "");
+  check bool_t "no start" true (fails "follow likes");
+  check bool_t "double start" true (fails "start all; start all");
+  check bool_t "bad filter" true (fails "start all; filter bogus(x)");
+  check bool_t "bad limit" true (fails "start all; limit many");
+  check bool_t "unknown clause" true (fails "start all; zigzag")
+
+(* ------------------------------------------------------------------ *)
+(* Native evaluation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_native_start () =
+  check int_t "all" (M.node_count banking) (List.length (Nat.eval_string banking "start all"));
+  check int_t "type includes subtypes" 3
+    (List.length (Nat.eval_string banking "start type(Person)"));
+  check int_t "node id" 1 (List.length (Nat.eval_string banking "start node(N1)"));
+  check int_t "missing node id" 0 (List.length (Nat.eval_string banking "start node(NOPE)"))
+
+let id_of name =
+  (List.find (fun n -> M.prop_string n "name" = name) (M.nodes banking)).M.id
+
+let test_native_follow () =
+  (* The paper's example: start at a user, follow likes, then uses, but
+     only to programs. *)
+  check (Alcotest.list string_t) "alice -> likes" [ "bob" ]
+    (run_native (Printf.sprintf "start node(%s); follow likes" (id_of "alice")));
+  (* favors is a likes. *)
+  check (Alcotest.list string_t) "bob -> likes (favors)" [ "carol" ]
+    (run_native (Printf.sprintf "start node(%s); follow likes" (id_of "bob")));
+  check (Alcotest.list string_t) "backward" [ "alice" ]
+    (run_native (Printf.sprintf "start node(%s); follow likes backward" (id_of "bob")));
+  check (Alcotest.list string_t) "to() type filter" [ "TellerApp" ]
+    (run_native "start type(User); follow likes; follow uses to(Program)")
+
+let test_native_filters_and_sort () =
+  check (Alcotest.list string_t) "documents without version" [ "Risk Assessment" ]
+    (run_native "start type(Document); filter not-has-prop(version)");
+  check (Alcotest.list string_t) "prop equality" [ "alice" ]
+    (run_native "start type(User); filter prop(firstName = \"Alice\")");
+  check (Alcotest.list string_t) "prop numeric" [ "alice" ]
+    (run_native "start type(User); filter prop(birthYear < 1980)");
+  check (Alcotest.list string_t) "sorted labels" [ "alice"; "bob"; "carol" ]
+    (run_native "start type(User); sort-by label");
+  check (Alcotest.list string_t) "limit" [ "alice"; "bob" ]
+    (run_native "start type(User); sort-by label; limit 2")
+
+let test_native_distinct () =
+  (* Both alice and bob use Core Ledger; collecting without distinct keeps
+     both edges. *)
+  let dup = run_native "start type(User); follow uses to(System)" in
+  check int_t "multigraph duplicates" 2 (List.length dup);
+  let dis = run_native "start type(User); follow uses to(System); distinct" in
+  check (Alcotest.list string_t) "distinct" [ "Core Ledger" ] dis
+
+(* ------------------------------------------------------------------ *)
+(* XQuery compilation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_compile_mentions_subtypes () =
+  let src =
+    XQ.compile Awb.Samples.it_architecture (P.parse "start type(Person); follow likes")
+  in
+  check bool_t "expands Person subtypes" true
+    (Astring.String.is_infix ~affix:"\"User\"" src);
+  check bool_t "expands likes subrelations" true
+    (Astring.String.is_infix ~affix:"\"favors\"" src)
+
+let test_xquery_backend_matches_native () =
+  let queries =
+    [
+      "start all";
+      "start type(User)";
+      "start type(Person); sort-by label";
+      (Printf.sprintf "start node(%s); follow likes" (id_of "alice"));
+      "start type(User); follow likes; follow uses to(Program)";
+      "start type(User); follow uses to(System)";
+      "start type(User); follow uses to(System); distinct";
+      "start type(Document); filter not-has-prop(version)";
+      "start type(User); filter prop(firstName = \"Alice\")";
+      "start type(User); filter prop(birthYear < 1980)";
+      "start type(User); filter prop(lastName contains \"ur\")";
+      "start type(System); follow has backward";
+      "start type(User); sort-by label; limit 2";
+      "start all; filter type(DataStore); sort-by label";
+      "start type(GoneType)";
+    ]
+  in
+  List.iter
+    (fun q ->
+      check (Alcotest.list string_t) ("agree on: " ^ q) (run_native q) (run_xquery q))
+    queries
+
+let run_interp q = labels (Awb_query.Xq_interp.eval_string banking q)
+
+let test_xq_interpreter_matches_native () =
+  (* The calculus interpreter written IN XQuery ("not a hard exercise")
+     is a third implementation; it must agree with the other two. *)
+  let queries =
+    [
+      "start all";
+      "start type(Person); sort-by label";
+      "start type(User); follow likes; follow uses to(Program)";
+      "start type(User); follow uses to(System); distinct";
+      "start type(Document); filter not-has-prop(version)";
+      "start type(User); filter prop(firstName = \"Alice\")";
+      "start type(User); filter prop(birthYear < 1980)";
+      "start type(User); filter prop(lastName contains \"ur\")";
+      "start type(System); follow has backward";
+      "start type(User); sort-by label; limit 2";
+      "start type(Server); sort-by prop(cpuCount) desc";
+    ]
+  in
+  List.iter
+    (fun q ->
+      check (Alcotest.list string_t) ("interp agrees on: " ^ q) (run_native q)
+        (run_interp q))
+    queries
+
+let test_xq_interpreter_focus () =
+  let alice =
+    List.find (fun n -> M.prop_string n "name" = "alice") (M.nodes banking)
+  in
+  check (Alcotest.list string_t) "focus-relative" [ "bob" ]
+    (labels
+       (Awb_query.Xq_interp.eval ~focus:alice banking
+          (P.parse "start focus; follow likes")))
+
+let test_backends_agree_on_synthetic_models () =
+  let queries =
+    [
+      "start type(User); follow likes; follow uses to(Program); distinct; sort-by label";
+      "start type(Document); filter not-has-prop(version); sort-by label";
+      "start type(System); follow runs; distinct";
+      "start type(User); filter prop(superuser = \"true\")";
+    ]
+  in
+  List.iter
+    (fun seed ->
+      let m = Awb.Synth.generate_of_size ~seed 60 in
+      let export =
+        List.hd (Xml_base.Node.children (Awb.Xml_io.export m))
+      in
+      List.iter
+        (fun q ->
+          let parsed = P.parse q in
+          let native = List.map Nat.node_label (Nat.eval m parsed) in
+          let via_xq =
+            List.map Nat.node_label (XQ.eval_on_export m ~export_root:export parsed)
+          in
+          check (Alcotest.list string_t)
+            (Printf.sprintf "seed %d: %s" seed q)
+            native via_xq)
+        queries)
+    [ 1; 2; 3 ]
+
+let suite =
+  [
+    ( "awb_query.parser",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_parse_roundtrip;
+        Alcotest.test_case "quoted literals" `Quick test_parse_quoted_literal;
+        Alcotest.test_case "errors" `Quick test_parse_errors;
+      ] );
+    ( "awb_query.native",
+      [
+        Alcotest.test_case "start clauses" `Quick test_native_start;
+        Alcotest.test_case "follow" `Quick test_native_follow;
+        Alcotest.test_case "filters and sorting" `Quick test_native_filters_and_sort;
+        Alcotest.test_case "distinct" `Quick test_native_distinct;
+      ] );
+    ( "awb_query.xquery-backend",
+      [
+        Alcotest.test_case "compilation expands hierarchies" `Quick test_compile_mentions_subtypes;
+        Alcotest.test_case "matches native on banking" `Quick test_xquery_backend_matches_native;
+        Alcotest.test_case "matches native on synthetic models" `Quick
+          test_backends_agree_on_synthetic_models;
+        Alcotest.test_case "interpreter-in-XQuery matches native" `Quick
+          test_xq_interpreter_matches_native;
+        Alcotest.test_case "interpreter-in-XQuery focus" `Quick test_xq_interpreter_focus;
+      ] );
+  ]

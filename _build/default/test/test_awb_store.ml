@@ -1,0 +1,170 @@
+(* Tests for the persistence store: snapshots, journal, crash recovery. *)
+
+module M = Awb.Model
+module Ed = Awb.Edit
+module St = Awb.Store
+
+let check = Alcotest.check
+let string_t = Alcotest.string
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let with_tmp_store f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "lopsided-store-%d-%d" (Unix.getpid ()) (Random.int 1_000_000))
+  in
+  let store = St.open_store ~dir Awb.Samples.it_architecture in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f store)
+
+let canon m = Awb.Xml_io.export_string m
+
+let test_snapshot_roundtrip () =
+  with_tmp_store (fun store ->
+      check (Alcotest.list int_t) "empty store" [] (St.versions store);
+      check bool_t "nothing latest" true (St.load_latest store = None);
+      let m = Awb.Samples.banking_model () in
+      let v1 = St.save_snapshot store m in
+      check int_t "first version" 1 v1;
+      (match St.load_latest store with
+      | Some (1, m') -> check string_t "roundtrip" (canon m) (canon m')
+      | _ -> Alcotest.fail "latest missing");
+      (* Another snapshot bumps the version. *)
+      ignore (M.add_node m "User" ~props:[ ("name", M.V_string "dave") ]);
+      let v2 = St.save_snapshot store m in
+      check int_t "second version" 2 v2;
+      check (Alcotest.list int_t) "versions" [ 1; 2 ] (St.versions store);
+      (* Old versions stay loadable. *)
+      match St.load_version store 1 with
+      | Some old -> check bool_t "old lacks dave" true (not (Astring.String.is_infix ~affix:"dave" (canon old)))
+      | None -> Alcotest.fail "version 1 missing")
+
+let test_command_serialization () =
+  let cmds =
+    [
+      Ed.Add_node
+        {
+          id = Some "NX";
+          ntype = "User";
+          props = [ ("name", M.V_string "x"); ("birthYear", M.V_int 1990); ("superuser", M.V_bool true) ];
+        };
+      Ed.Remove_node "NX";
+      Ed.Set_property { node_id = "N1"; pname = "note"; value = M.V_html "<b>hi</b>" };
+      Ed.Remove_property { node_id = "N1"; pname = "note" };
+      Ed.Relate { id = None; rtype = "likes"; source_id = "N1"; target_id = "N2" };
+      Ed.Unrelate "R9";
+    ]
+  in
+  List.iter
+    (fun c ->
+      let c' = St.command_of_xml (St.command_to_xml c) in
+      if c <> c' then Alcotest.fail "command round-trip changed")
+    cmds
+
+let test_journal_and_recovery () =
+  with_tmp_store (fun store ->
+      let m = Awb.Samples.banking_model () in
+      ignore (St.save_snapshot store m);
+      (* A session: apply + journal each command (what a real UI would do). *)
+      let session = Ed.start m in
+      let do_cmd c =
+        Ed.apply session c;
+        St.append_command store c
+      in
+      do_cmd
+        (Ed.Add_node
+           { id = Some "NJ"; ntype = "Document"; props = [ ("name", M.V_string "Journal Doc") ] });
+      do_cmd (Ed.Set_property { node_id = "NJ"; pname = "version"; value = M.V_string "7" });
+      do_cmd (Ed.Relate { id = Some "RJ"; rtype = "has"; source_id = "N1"; target_id = "NJ" });
+      check int_t "journal length" 3 (List.length (St.journal store));
+      (* "Crash": recover from disk; state matches the live session. *)
+      (match St.recover store with
+      | Some recovered -> check string_t "recovered = live" (canon (Ed.model session)) (canon recovered)
+      | None -> Alcotest.fail "no recovery");
+      (* Snapshotting clears the journal. *)
+      ignore (St.save_snapshot store (Ed.model session));
+      check int_t "journal cleared" 0 (List.length (St.journal store));
+      match St.recover store with
+      | Some recovered -> check string_t "recover = snapshot" (canon (Ed.model session)) (canon recovered)
+      | None -> Alcotest.fail "no recovery after snapshot")
+
+let test_recovery_skips_stale_commands () =
+  with_tmp_store (fun store ->
+      let m = Awb.Samples.banking_model () in
+      ignore (St.save_snapshot store m);
+      (* A journal referencing a node that is not in the snapshot. *)
+      St.append_command store
+        (Ed.Set_property { node_id = "GHOST"; pname = "x"; value = M.V_string "y" });
+      St.append_command store
+        (Ed.Add_node { id = Some "NK"; ntype = "User"; props = [ ("name", M.V_string "ok") ] });
+      match St.recover store with
+      | Some recovered ->
+        check bool_t "good command applied" true (M.find_node recovered "NK" <> None)
+      | None -> Alcotest.fail "no recovery")
+
+let suite =
+  [
+    ( "awb.store",
+      [
+        Alcotest.test_case "snapshots round-trip" `Quick test_snapshot_roundtrip;
+        Alcotest.test_case "command XML round-trip" `Quick test_command_serialization;
+        Alcotest.test_case "journal + crash recovery" `Quick test_journal_and_recovery;
+        Alcotest.test_case "stale journal entries skipped" `Quick test_recovery_skips_stale_commands;
+      ] );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Diff between versions                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_diff_basics () =
+  let before = Awb.Samples.banking_model () in
+  let after = Awb.Samples.banking_model () in
+  let d0 = Awb.Diff.between before after in
+  check bool_t "identical models: empty diff" true (Awb.Diff.is_empty d0);
+  (* Mutate the second model. *)
+  let carol = List.find (fun n -> M.prop_string n "name" = "carol") (M.nodes after) in
+  M.set_prop carol "firstName" (M.V_string "Caroline");
+  let dave = M.add_node after "User" ~props:[ ("name", M.V_string "dave") ] in
+  let alice = List.find (fun n -> M.prop_string n "name" = "alice") (M.nodes after) in
+  ignore (M.relate after "likes" ~source:dave ~target:alice);
+  let bob = List.find (fun n -> M.prop_string n "name" = "bob") (M.nodes after) in
+  M.remove_node after bob;
+  let d = Awb.Diff.between before after in
+  check bool_t "nonempty" false (Awb.Diff.is_empty d);
+  check string_t "summary" "+1 nodes, -1 nodes, 1 changed; +1 relations, -4 relations"
+    (Awb.Diff.summary d);
+  let xml = Xml_base.Serialize.to_string (Awb.Diff.to_xml d) in
+  check bool_t "xml mentions added node" true
+    (Astring.String.is_infix ~affix:"node-added" xml);
+  check bool_t "xml mentions property change" true
+    (Astring.String.is_infix ~affix:"before=\"Carol\" after=\"Caroline\"" xml)
+
+let test_diff_between_snapshots () =
+  with_tmp_store (fun store ->
+      let m = Awb.Samples.banking_model () in
+      ignore (St.save_snapshot store m);
+      ignore (M.add_node m "User" ~props:[ ("name", M.V_string "eve") ]);
+      ignore (St.save_snapshot store m);
+      match (St.load_version store 1, St.load_version store 2) with
+      | Some v1, Some v2 ->
+        let d = Awb.Diff.between v1 v2 in
+        check string_t "snapshot delta" "+1 nodes, -0 nodes, 0 changed; +0 relations, -0 relations"
+          (Awb.Diff.summary d)
+      | _ -> Alcotest.fail "snapshots missing")
+
+let suite =
+  suite
+  @ [
+      ( "awb.diff",
+        [
+          Alcotest.test_case "basics" `Quick test_diff_basics;
+          Alcotest.test_case "between snapshots" `Quick test_diff_between_snapshots;
+        ] );
+    ]

@@ -1,0 +1,135 @@
+(* End-to-end tests of the command-line tools, driving the built binaries
+   the way a user would. The dune stanza declares the executables as test
+   dependencies, so they sit at ../bin/ relative to the test's cwd
+   (_build/default/test). *)
+
+let check = Alcotest.check
+let string_t = Alcotest.string
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+type outcome = { code : int; out : string }
+
+let run_cli cmd =
+  let tmp = Filename.temp_file "lopsided-cli" ".out" in
+  let code = Sys.command (Printf.sprintf "%s > %s 2>&1" cmd (Filename.quote tmp)) in
+  let ic = open_in_bin tmp in
+  let out = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove tmp;
+  { code; out = String.trim out }
+
+let available = Sys.file_exists "../bin/xq.exe"
+
+let skip_unless_available () =
+  if not available then Alcotest.skip ()
+
+let test_xq_basic () =
+  skip_unless_available ();
+  let r = run_cli "../bin/xq.exe -e 'for $i in 1 to 3 return $i * $i'" in
+  check int_t "exit" 0 r.code;
+  check string_t "squares" "1\n4\n9" r.out
+
+let test_xq_error_codes () =
+  skip_unless_available ();
+  let r = run_cli "../bin/xq.exe -e '1 +'" in
+  check int_t "syntax error exits 2" 2 r.code;
+  check bool_t "mentions code" true (Astring.String.is_infix ~affix:"XPST0003" r.out);
+  let r = run_cli "../bin/xq.exe" in
+  check int_t "no query is a usage error" 1 r.code
+
+let test_xq_input_and_galax () =
+  skip_unless_available ();
+  let xml = Filename.temp_file "lopsided-cli" ".xml" in
+  let oc = open_out xml in
+  output_string oc "<lib><b>1</b><b>2</b></lib>";
+  close_out oc;
+  let r = run_cli (Printf.sprintf "../bin/xq.exe -e 'sum(lib/b)' -i %s" (Filename.quote xml)) in
+  Sys.remove xml;
+  check string_t "sum over doc" "3" r.out;
+  let r = run_cli "../bin/xq.exe -e 'x' --galax" in
+  check bool_t "galax message" true
+    (Astring.String.is_infix ~affix:"$glx:dot" r.out)
+
+let test_xq_explain () =
+  skip_unless_available ();
+  let r =
+    run_cli
+      "../bin/xq.exe --galax --explain -e 'let $d := trace(1, \"p\") let $k := 1 + 1 return $k'"
+  in
+  check int_t "exit" 0 r.code;
+  check bool_t "shows optimized program" true
+    (Astring.String.is_infix ~affix:"let $k := 2 return $k" r.out);
+  check bool_t "reports eliminated trace" true
+    (Astring.String.is_infix ~affix:"1 traces eliminated" r.out)
+
+let test_awbq () =
+  skip_unless_available ();
+  let r =
+    run_cli
+      "../bin/awbq.exe -q 'start type(User); sort-by label' --sample banking"
+  in
+  check int_t "exit" 0 r.code;
+  check bool_t "finds alice" true (Astring.String.is_infix ~affix:"alice" r.out);
+  check bool_t "count line" true (Astring.String.is_infix ~affix:"3 result(s)" r.out);
+  (* The two backends give the same rows. *)
+  let r2 =
+    run_cli
+      "../bin/awbq.exe -q 'start type(User); sort-by label' --sample banking --backend xquery"
+  in
+  check string_t "backends agree on stdout" r.out r2.out;
+  (* --compile prints XQuery. *)
+  let r3 = run_cli "../bin/awbq.exe -q 'start type(User)' --sample banking --compile" in
+  check bool_t "compiled form" true (Astring.String.is_infix ~affix:"$model/node" r3.out);
+  (* Parse errors exit nonzero. *)
+  let r4 = run_cli "../bin/awbq.exe -q 'zigzag' --sample banking" in
+  check int_t "bad query" 1 r4.code
+
+let test_awbdoc () =
+  skip_unless_available ();
+  let tpl = Filename.temp_file "lopsided-cli" ".xml" in
+  let oc = open_out tpl in
+  output_string oc
+    "<document><for nodes=\"start type(User); sort-by label\"><p><label/></p></for></document>";
+  close_out oc;
+  let r =
+    run_cli (Printf.sprintf "../bin/awbdoc.exe -t %s --sample banking" (Filename.quote tpl))
+  in
+  check int_t "exit" 0 r.code;
+  check bool_t "document" true (Astring.String.is_infix ~affix:"<p>alice</p>" r.out);
+  (* Both engines from the CLI too. *)
+  let rf =
+    run_cli
+      (Printf.sprintf "../bin/awbdoc.exe -t %s --sample banking --engine functional"
+         (Filename.quote tpl))
+  in
+  Sys.remove tpl;
+  (* stderr (problems) rides along in both captures; compare whole
+     outputs. *)
+  check string_t "engines agree via CLI" r.out rf.out
+
+let test_xqsh_scripted () =
+  skip_unless_available ();
+  let script = Filename.temp_file "lopsided-cli" ".xqs" in
+  let oc = open_out script in
+  output_string oc ":let xs (1 to 4)\nsum($xs)\n:vars\n:quit\n";
+  close_out oc;
+  let r = run_cli (Printf.sprintf "../bin/xqsh.exe < %s" (Filename.quote script)) in
+  Sys.remove script;
+  check int_t "exit" 0 r.code;
+  check bool_t "sum printed" true (Astring.String.is_infix ~affix:"10" r.out);
+  check bool_t "vars listed" true (Astring.String.is_infix ~affix:"$xs" r.out)
+
+let suite =
+  [
+    ( "cli",
+      [
+        Alcotest.test_case "xq basics" `Quick test_xq_basic;
+        Alcotest.test_case "xq error codes" `Quick test_xq_error_codes;
+        Alcotest.test_case "xq input + galax" `Quick test_xq_input_and_galax;
+        Alcotest.test_case "xq explain" `Quick test_xq_explain;
+        Alcotest.test_case "awbq" `Quick test_awbq;
+        Alcotest.test_case "awbdoc" `Quick test_awbdoc;
+        Alcotest.test_case "xqsh scripted" `Quick test_xqsh_scripted;
+      ] );
+  ]

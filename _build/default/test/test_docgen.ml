@@ -1,0 +1,482 @@
+(* Tests for the document-generation subsystem: each directive, the two
+   engines' byte-for-byte agreement, error handling in both styles, the
+   phase/mutation instrumentation, stream splitting, and the genuine
+   XQuery core. *)
+
+module N = Xml_base.Node
+module S = Xml_base.Serialize
+module M = Awb.Model
+module F = Docgen.Functional_engine
+module H = Docgen.Host_engine
+module Spec = Docgen.Spec
+
+let check = Alcotest.check
+let string_t = Alcotest.string
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let banking = Awb.Samples.banking_model ()
+
+let template src = Xml_base.Parser.strip_whitespace (Xml_base.Parser.parse_string src)
+
+let run_f ?backend ?(model = banking) src =
+  F.generate ?backend model ~template:(template src)
+
+let run_h ?backend ?(model = banking) src =
+  H.generate ?backend model ~template:(template src)
+
+let doc_string (r : Spec.result) = S.to_string r.Spec.document
+
+(* ------------------------------------------------------------------ *)
+(* Individual directives (host engine; the equivalence test below     *)
+(* carries the functional engine over the same inputs)                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_passthrough () =
+  let r = run_h "<document><p class=\"x\">hello</p></document>" in
+  check string_t "copied" "<document><p class=\"x\">hello</p></document>" (doc_string r)
+
+let test_for_and_label () =
+  let r =
+    run_h
+      "<document><ol><for nodes=\"start type(User); sort-by label\"><li><label/></li></for></ol></document>"
+  in
+  check string_t "user list"
+    "<document><ol><li>alice</li><li>bob</li><li>carol</li></ol></document>"
+    (doc_string r)
+
+let test_paper_example () =
+  (* The paper's motivating template: a numbered list of users, with
+     superusers bolded. *)
+  let r =
+    run_h
+      "<document><ol><for nodes=\"start type(User); sort-by label\"><li><if><test><has-prop \
+       name=\"superuser\"/></test><then><if><test><focus-is-type \
+       type=\"User\"/></test><then><b><label/></b></then></if></then><else><label/></else></if></li></for></ol></document>"
+  in
+  check string_t "superusers bolded"
+    "<document><ol><li><b>alice</b></li><li><b>bob</b></li><li>carol</li></ol></document>"
+    (doc_string r)
+
+let test_property () =
+  let r =
+    run_h
+      "<document><for nodes='start type(User); filter prop(firstName = \"Alice\")'>\
+       <property name=\"lastName\"/>/<property name=\"nope\"/></for></document>"
+  in
+  check string_t "property text" "<document>Alvarez/</document>" (doc_string r)
+
+let test_value_of_count_of () =
+  let r =
+    run_h
+      "<document><value-of query=\"start type(DataStore); sort-by label\" separator=\" + \"/>\
+       =<count-of query=\"start type(DataStore)\"/></document>"
+  in
+  check string_t "value-of and count-of" "<document>audit-log + ledger-db=2</document>"
+    (doc_string r)
+
+let test_with_single () =
+  let r =
+    run_h "<document><with-single type=\"SystemBeingDesigned\"><label/></with-single></document>"
+  in
+  check string_t "bound focus" "<document>Retail Banking Platform</document>" (doc_string r)
+
+let test_focus_query () =
+  (* start focus: queries relative to the current focus. *)
+  let r =
+    run_h
+      "<document><for nodes='start type(User); filter prop(firstName = \"Alice\")'>\
+       <value-of query=\"start focus; follow likes; sort-by label\"/></for></document>"
+  in
+  check string_t "focus-relative query" "<document>bob</document>" (doc_string r)
+
+let test_sections_and_toc () =
+  let r =
+    run_h
+      "<document><table-of-contents/><section><heading>One</heading><p>a</p>\
+       <section><heading>Two</heading><p>b</p></section></section></document>"
+  in
+  let s = doc_string r in
+  check bool_t "toc div present" true
+    (Astring.String.is_infix ~affix:"class=\"table-of-contents\"" s);
+  check bool_t "outer entry" true
+    (Astring.String.is_infix ~affix:"<li class=\"toc-depth-0\">One</li>" s);
+  check bool_t "inner entry" true
+    (Astring.String.is_infix ~affix:"<li class=\"toc-depth-1\">Two</li>" s);
+  check bool_t "h2 for depth 0" true (Astring.String.is_infix ~affix:"<h2>One</h2>" s);
+  check bool_t "h3 for depth 1" true (Astring.String.is_infix ~affix:"<h3>Two</h3>" s);
+  check bool_t "no leftover placeholder" false
+    (Astring.String.is_infix ~affix:"TOC-PLACEHOLDER" s)
+
+let test_omissions () =
+  (* Visit one document, then list omissions over Document: only the
+     unvisited one shows. *)
+  let r =
+    run_h
+      "<document><for nodes=\"start type(Document); filter has-prop(version)\"><label/></for>\
+       <table-of-omissions types=\"Document\"/></document>"
+  in
+  let s = doc_string r in
+  check bool_t "visited not listed" false
+    (Astring.String.is_infix ~affix:"<li>System Context (Document)</li>" s);
+  check bool_t "unvisited listed" true
+    (Astring.String.is_infix ~affix:"<li>Risk Assessment (Document)</li>" s)
+
+let test_omissions_empty () =
+  let r =
+    run_h
+      "<document><for nodes=\"start type(Document)\"><label/></for>\
+       <table-of-omissions types=\"Document\"/></document>"
+  in
+  check bool_t "nothing omitted" true
+    (Astring.String.is_infix ~affix:"Nothing was omitted." (doc_string r))
+
+let test_grid_table () =
+  let r =
+    run_h
+      "<document><grid-table rows=\"start type(Server); sort-by label\" \
+       cols=\"start type(Program); sort-by label\" rel=\"runs\"/></document>"
+  in
+  let s = doc_string r in
+  check bool_t "corner" true (Astring.String.is_infix ~affix:{|<td>row\col</td>|} s);
+  check bool_t "col title" true (Astring.String.is_infix ~affix:"<td>NightlyBatch</td>" s);
+  check bool_t "row title" true (Astring.String.is_infix ~affix:"<td>app-cluster-01</td>" s);
+  check bool_t "a filled cell" true (Astring.String.is_infix ~affix:"<td>1</td>" s);
+  check bool_t "an empty cell" true (Astring.String.is_infix ~affix:"<td/>" s)
+
+let test_marker_substitution () =
+  let r =
+    run_h
+      "<document><marker-table name=\"TABLE-1\" rows=\"start type(Server); sort-by label\" \
+       cols=\"start type(Program); sort-by label\" rel=\"runs\"/>\
+       <blob>pasted text TABLE-1-GOES-HERE more pasted text</blob></document>"
+  in
+  let s = doc_string r in
+  check bool_t "marker replaced" false (Astring.String.is_infix ~affix:"TABLE-1-GOES-HERE" s);
+  check bool_t "table spliced into the text" true
+    (Astring.String.is_infix ~affix:"pasted text <table class=\"awb-table\">" s);
+  check bool_t "text after survives" true (Astring.String.is_infix ~affix:"</table> more pasted text" s)
+
+let test_marker_multiple_occurrences () =
+  let r =
+    run_h
+      "<document><marker-table name=\"T\" rows=\"start type(Server)\" \
+       cols=\"start type(Program)\" rel=\"runs\"/><p>T-GOES-HERE and T-GOES-HERE</p></document>"
+  in
+  let s = doc_string r in
+  let count_tables s =
+    let re = Str.regexp_string "<table" in
+    let rec go i acc =
+      match Str.search_forward re s i with
+      | j -> go (j + 1) (acc + 1)
+      | exception Not_found -> acc
+    in
+    go 0 0
+  in
+  check int_t "two copies" 2 (count_tables s)
+
+let test_rich_property () =
+  (* HTML-valued properties are strings internally, XML on output: the
+     directive parses and splices the fragment. *)
+  let r =
+    run_h
+      "<document><for nodes=\"start type(Document); filter has-prop(body)\">\
+       <rich-property name=\"body\"/></for></document>"
+  in
+  check string_t "fragment spliced as XML" "<document><p>System context.</p></document>"
+    (doc_string r);
+  (* Both engines agree, including on the missing-property (empty) case. *)
+  let tpl =
+    "<document><for nodes=\"start type(Document); sort-by label\">\
+     <rich-property name=\"body\"/>|</for></document>"
+  in
+  check string_t "engines agree" (doc_string (run_h tpl)) (doc_string (run_f tpl))
+
+let test_unused_marker_is_a_problem () =
+  let r =
+    run_h
+      "<document><marker-table name=\"LOST\" rows=\"start type(Server)\" \
+       cols=\"start type(Program)\" rel=\"runs\"/><p>no marker here</p></document>"
+  in
+  check bool_t "problem recorded" true
+    (List.exists
+       (fun p -> Astring.String.is_infix ~affix:"LOST-GOES-HERE never appears" p)
+       r.Spec.problems)
+
+(* ------------------------------------------------------------------ *)
+(* Error handling, both styles                                         *)
+(* ------------------------------------------------------------------ *)
+
+let failed_message (r : Spec.result) =
+  match N.child_element r.Spec.document "message" with
+  | Some m -> N.string_value m
+  | None -> ""
+
+let failed_location (r : Spec.result) =
+  match N.child_element r.Spec.document "location" with
+  | Some l -> N.string_value l
+  | None -> ""
+
+let test_rich_property_malformed () =
+  let m = Awb.Samples.banking_model () in
+  let doc =
+    List.find
+      (fun n -> M.prop_string n "name" = "System Context")
+      (M.nodes_of_type m "Document")
+  in
+  M.set_prop doc "body" (M.V_html "<p>unterminated");
+  let tpl =
+    "<document><for nodes='start type(Document); filter prop(name = \"System Context\")'>\
+     <rich-property name=\"body\"/></for></document>"
+  in
+  let rh = run_h ~model:m tpl and rf = run_f ~model:m tpl in
+  check bool_t "host reports malformed html" true
+    (Astring.String.is_infix ~affix:"should be well-formed XML" (failed_message rh));
+  check string_t "same message" (failed_message rh) (failed_message rf);
+  check string_t "same location" (failed_location rh) (failed_location rf)
+
+
+let test_with_single_error () =
+  (* Two SystemBeingDesigned nodes: the System Context document's
+     signature failure. *)
+  let m = Awb.Samples.banking_model () in
+  ignore (Awb.Model.add_node m "SystemBeingDesigned" ~props:[ ("name", Awb.Model.V_string "impostor") ]);
+  let tpl = "<document><with-single type=\"SystemBeingDesigned\"><label/></with-single></document>" in
+  let rf = run_f ~model:m tpl in
+  let rh = run_h ~model:m tpl in
+  let expected = "There should have been exactly one SystemBeingDesigned node, but there were 2." in
+  check string_t "functional message" expected (failed_message rf);
+  check string_t "host message" expected (failed_message rh);
+  check string_t "same location" (failed_location rf) (failed_location rh);
+  check string_t "location names the directive" "document/with-single" (failed_location rh)
+
+let test_error_cases_agree () =
+  let cases =
+    [
+      ("missing nodes attr", "<document><for><label/></for></document>");
+      ("bad query", "<document><for nodes=\"zigzag\"><label/></for></document>");
+      ("if without test", "<document><if><then>x</then></if></document>");
+      ("if without then", "<document><if><test><focus-is-type type=\"User\"/></test></if></document>");
+      ("label without focus", "<document><label/></document>");
+      ("property without name", "<document><for nodes=\"start type(User)\"><property/></for></document>");
+      ( "required property missing",
+        "<document><for nodes=\"start type(Document)\"><required-property name=\"version\"/></for></document>"
+      );
+      ("unknown condition", "<document><if><test><zorp/></test><then>x</then></if></document>");
+      ("grid missing rel", "<document><grid-table rows=\"start all\" cols=\"start all\"/></document>");
+    ]
+  in
+  List.iter
+    (fun (name, tpl) ->
+      let rf = run_f tpl and rh = run_h tpl in
+      check bool_t (name ^ ": functional failed") true (failed_message rf <> "");
+      check string_t (name ^ ": same message") (failed_message rf) (failed_message rh);
+      check string_t (name ^ ": same location") (failed_location rf) (failed_location rh))
+    cases
+
+let test_error_stats_styles () =
+  let tpl =
+    "<document><for nodes=\"start type(User)\"><label/></for>\
+     <with-single type=\"SystemBeingDesigned\"><label/></with-single></document>"
+  in
+  let rf = run_f tpl and rh = run_h tpl in
+  (* The functional engine pays an error check at (nearly) every call even
+     on the happy path; the host engine raises nothing. *)
+  check bool_t "functional checks errors everywhere" true (rf.Spec.stats.Spec.error_checks > 10);
+  check int_t "host raises nothing on success" 0 rh.Spec.stats.Spec.exceptions_raised;
+  check int_t "host checks nothing" 0 rh.Spec.stats.Spec.error_checks;
+  (* And on failure the host pays exactly one exception. *)
+  let rh_fail = run_h "<document><label/></document>" in
+  check int_t "one exception on failure" 1 rh_fail.Spec.stats.Spec.exceptions_raised
+
+let test_phase_stats () =
+  let tpl =
+    "<document><table-of-contents/><section><heading>H</heading>\
+     <for nodes=\"start type(User)\"><label/></for></section>\
+     <table-of-omissions types=\"User\"/></document>"
+  in
+  let rf = run_f tpl and rh = run_h tpl in
+  check int_t "functional: five phases" 5 rf.Spec.stats.Spec.phases;
+  check int_t "host: generate + patch" 2 rh.Spec.stats.Spec.phases;
+  check bool_t "functional copies the document repeatedly" true
+    (rf.Spec.stats.Spec.nodes_copied > 50);
+  check int_t "host copies nothing between phases" 0 rh.Spec.stats.Spec.nodes_copied
+
+(* ------------------------------------------------------------------ *)
+(* Cross-engine equivalence                                            *)
+(* ------------------------------------------------------------------ *)
+
+let equivalence_templates =
+  [
+    "<document><p>plain</p></document>";
+    "<document><ol><for nodes=\"start type(User); sort-by label\"><li><label/></li></for></ol></document>";
+    "<document><for nodes=\"start type(User); sort-by label\"><if><test><has-prop \
+     name=\"superuser\"/></test><then><b><label/></b></then><else><label/></else></if></for></document>";
+    "<document><with-single type=\"SystemBeingDesigned\"><h1><label/></h1>\
+     <value-of query=\"start focus; follow has to(Document); sort-by label\"/></with-single></document>";
+    "<document><table-of-contents/><section><heading>Servers</heading>\
+     <for nodes=\"start type(Server); sort-by label\"><p><label/>: <property name=\"cpuCount\"/></p></for>\
+     </section><section><heading>Data</heading><grid-table rows=\"start type(Server); sort-by label\" \
+     cols=\"start type(DataStore); sort-by label\" rel=\"connects-to\"/></section>\
+     <table-of-omissions types=\"Server DataStore\"/></document>";
+    "<document><marker-table name=\"TABLE-1\" rows=\"start type(Server); sort-by label\" \
+     cols=\"start type(Program); sort-by label\" rel=\"runs\"/>\
+     <blob>before TABLE-1-GOES-HERE after</blob></document>";
+    "<document><for nodes=\"start type(System); sort-by label\"><section><heading><label/></heading>\
+     <p>used by <value-of query=\"start focus; follow uses backward; distinct; sort-by label\"/></p>\
+     </section></for><table-of-contents/></document>";
+  ]
+
+let test_engines_agree () =
+  List.iteri
+    (fun i tpl ->
+      let rf = run_f tpl and rh = run_h tpl in
+      check string_t (Printf.sprintf "template %d: same document" i) (doc_string rh)
+        (doc_string rf);
+      check (Alcotest.list string_t)
+        (Printf.sprintf "template %d: same problems" i)
+        rh.Spec.problems rf.Spec.problems)
+    equivalence_templates
+
+let test_engines_agree_on_glass () =
+  let model = Awb.Samples.glass_model () in
+  let tpl =
+    "<document><h1>Catalog</h1><for nodes=\"start type(GlassPiece); sort-by prop(year)\">\
+     <section><heading><label/></heading><p><property name=\"color\"/>, \
+     <property name=\"year\"/>: by <value-of query=\"start focus; follow made-by\"/></p>\
+     </section></for><table-of-contents/></document>"
+  in
+  let rf = F.generate model ~template:(template tpl) in
+  let rh = H.generate model ~template:(template tpl) in
+  check string_t "glass catalog agreement" (S.to_string rh.Spec.document)
+    (S.to_string rf.Spec.document);
+  check bool_t "has lalique" true
+    (Astring.String.is_infix ~affix:"by Lalique" (S.to_string rh.Spec.document))
+
+let test_backend_choice_is_invisible () =
+  (* Same engine, different query backends: identical output. *)
+  let tpl = List.nth equivalence_templates 4 in
+  let a = run_h ~backend:Spec.Native_queries tpl in
+  let b = run_h ~backend:Spec.Xquery_queries tpl in
+  check string_t "backend invisible" (doc_string a) (doc_string b)
+
+(* ------------------------------------------------------------------ *)
+(* Streams                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_streams_split () =
+  let wrapped, _ =
+    F.generate_with_streams banking
+      ~template:(template "<document><p>x</p></document>")
+  in
+  let split = Docgen.Streams.split wrapped in
+  check string_t "document stream" "<document><p>x</p></document>"
+    (S.to_string split.Docgen.Streams.document);
+  (* The banking model carries validation warnings; they ride the problems
+     stream. *)
+  check bool_t "problems stream nonempty" true (split.Docgen.Streams.problems <> []);
+  match Docgen.Streams.split (N.element "oops") with
+  | exception Docgen.Streams.Malformed_stream _ -> ()
+  | _ -> Alcotest.fail "malformed stream accepted"
+
+(* ------------------------------------------------------------------ *)
+(* The genuine XQuery core                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_xq_engine_basic () =
+  let tpl = template "<document><ol><for nodes=\"type:User\"><li><label/></li></for></ol></document>" in
+  match Docgen.Xq_engine.generate banking ~template:tpl with
+  | { Docgen.Xq_engine.document = Some doc; error = None } ->
+    let s = S.to_string doc in
+    check bool_t "alice present" true (Astring.String.is_infix ~affix:"<li>alice</li>" s);
+    check bool_t "three items" true
+      (List.length (N.find_all (fun n -> N.is_element n && N.name n = "li") doc) = 3)
+  | { Docgen.Xq_engine.error = Some e; _ } -> Alcotest.failf "xq engine failed: %s" e
+  | _ -> Alcotest.fail "unexpected result"
+
+let test_xq_engine_subtypes () =
+  (* type:Person must include User instances via the exported metamodel
+     hierarchy, interpreted by XQuery itself. *)
+  let tpl = template "<document><for nodes=\"type:Person\"><li><label/></li></for></document>" in
+  match Docgen.Xq_engine.generate banking ~template:tpl with
+  | { Docgen.Xq_engine.document = Some doc; _ } ->
+    check int_t "subtype instances found" 3
+      (List.length (N.find_all (fun n -> N.is_element n && N.name n = "li") doc))
+  | _ -> Alcotest.fail "xq engine failed"
+
+let test_xq_engine_conditions_and_props () =
+  let tpl =
+    template
+      "<document><for nodes=\"type:User\"><if><test><has-prop name=\"superuser\"/></test>\
+       <then><b><label/></b></then><else><label/></else></if></for></document>"
+  in
+  match Docgen.Xq_engine.generate banking ~template:tpl with
+  | { Docgen.Xq_engine.document = Some doc; _ } ->
+    let s = S.to_string doc in
+    check bool_t "alice bolded" true (Astring.String.is_infix ~affix:"<b>alice</b>" s);
+    check bool_t "carol plain" true (Astring.String.is_infix ~affix:"carol" s)
+  | _ -> Alcotest.fail "xq engine failed"
+
+let test_xq_engine_matches_host_on_core_subset () =
+  (* On the shared subset, the XQuery core and the host engine agree. *)
+  let xq_tpl = template "<document><for nodes=\"type:User\"><li><label/></li></for></document>" in
+  let host_tpl = template "<document><for nodes=\"start type(User)\"><li><label/></li></for></document>" in
+  match Docgen.Xq_engine.generate banking ~template:xq_tpl with
+  | { Docgen.Xq_engine.document = Some xq_doc; _ } ->
+    let host = H.generate banking ~template:host_tpl in
+    check string_t "same output" (S.to_string host.Spec.document) (S.to_string xq_doc)
+  | _ -> Alcotest.fail "xq engine failed"
+
+let test_xq_engine_error_convention () =
+  (* label without focus: the error travels as an <error> element in the
+     output value — the only channel XQuery offers. *)
+  let tpl = template "<document><label/></document>" in
+  match Docgen.Xq_engine.generate banking ~template:tpl with
+  | { Docgen.Xq_engine.document = None; error = Some msg } ->
+    check string_t "error message" "label needs a focus" msg
+  | _ -> Alcotest.fail "expected the error-value convention to surface"
+
+let suite =
+  [
+    ( "docgen.directives",
+      [
+        Alcotest.test_case "passthrough" `Quick test_passthrough;
+        Alcotest.test_case "for + label" `Quick test_for_and_label;
+        Alcotest.test_case "the paper's superuser example" `Quick test_paper_example;
+        Alcotest.test_case "property" `Quick test_property;
+        Alcotest.test_case "value-of / count-of" `Quick test_value_of_count_of;
+        Alcotest.test_case "with-single" `Quick test_with_single;
+        Alcotest.test_case "focus-relative queries" `Quick test_focus_query;
+        Alcotest.test_case "sections and toc" `Quick test_sections_and_toc;
+        Alcotest.test_case "omissions" `Quick test_omissions;
+        Alcotest.test_case "omissions empty" `Quick test_omissions_empty;
+        Alcotest.test_case "grid table" `Quick test_grid_table;
+        Alcotest.test_case "rich-property" `Quick test_rich_property;
+        Alcotest.test_case "marker substitution" `Quick test_marker_substitution;
+        Alcotest.test_case "marker multiple occurrences" `Quick test_marker_multiple_occurrences;
+        Alcotest.test_case "unused marker is a problem" `Quick test_unused_marker_is_a_problem;
+      ] );
+    ( "docgen.errors",
+      [
+        Alcotest.test_case "with-single failure" `Quick test_with_single_error;
+        Alcotest.test_case "malformed rich-property" `Quick test_rich_property_malformed;
+        Alcotest.test_case "error cases agree across engines" `Quick test_error_cases_agree;
+        Alcotest.test_case "error-handling styles measurably differ" `Quick test_error_stats_styles;
+        Alcotest.test_case "phase counts differ" `Quick test_phase_stats;
+      ] );
+    ( "docgen.equivalence",
+      [
+        Alcotest.test_case "engines agree on banking" `Quick test_engines_agree;
+        Alcotest.test_case "engines agree on glass catalog" `Quick test_engines_agree_on_glass;
+        Alcotest.test_case "query backend invisible" `Quick test_backend_choice_is_invisible;
+      ] );
+    ("docgen.streams", [ Alcotest.test_case "split" `Quick test_streams_split ]);
+    ( "docgen.xquery-core",
+      [
+        Alcotest.test_case "basic generation" `Quick test_xq_engine_basic;
+        Alcotest.test_case "subtype reasoning in XQuery" `Quick test_xq_engine_subtypes;
+        Alcotest.test_case "conditions and properties" `Quick test_xq_engine_conditions_and_props;
+        Alcotest.test_case "matches host engine" `Quick test_xq_engine_matches_host_on_core_subset;
+        Alcotest.test_case "error-value convention" `Quick test_xq_engine_error_convention;
+      ] );
+  ]

@@ -1,0 +1,90 @@
+(* Golden-output regression anchors: the flagship System Context document
+   over the banking model, byte-for-byte. If one of these fails after an
+   intentional change, regenerate the golden text with
+   `dune exec bin/awbdoc.exe -- -t <tpl> --sample banking` and review the
+   diff like any other code change. *)
+
+module S = Xml_base.Serialize
+module Spec = Docgen.Spec
+
+let check = Alcotest.check
+let string_t = Alcotest.string
+
+let template_src =
+  "<document title=\"System Context\">\
+   <table-of-contents/>\
+   <with-single type=\"SystemBeingDesigned\">\
+   <section><heading>System Context: <label/></heading>\
+   <p>Documents: <value-of query=\"start focus; follow has to(Document); sort-by label\"/>.</p>\
+   </section></with-single>\
+   <section><heading>Users</heading>\
+   <ol><for nodes=\"start type(User); sort-by label\">\
+   <li><if><test><has-prop name=\"superuser\"/></test>\
+   <then><b><label/></b></then><else><label/></else></if></li>\
+   </for></ol></section>\
+   <section><heading>Deployment</heading>\
+   <grid-table rows=\"start type(Server); sort-by label\" \
+   cols=\"start type(Program); sort-by label\" rel=\"runs\"/></section>\
+   <table-of-omissions types=\"Document\"/>\
+   </document>"
+
+let golden =
+  "<document title=\"System Context\">\
+   <div class=\"table-of-contents\"><ol>\
+   <li class=\"toc-depth-0\">System Context: Retail Banking Platform</li>\
+   <li class=\"toc-depth-0\">Users</li>\
+   <li class=\"toc-depth-0\">Deployment</li>\
+   </ol></div>\
+   <div class=\"section\"><h2>System Context: Retail Banking Platform</h2>\
+   <p>Documents: Risk Assessment, System Context.</p></div>\
+   <div class=\"section\"><h2>Users</h2>\
+   <ol><li><b>alice</b></li><li><b>bob</b></li><li>carol</li></ol></div>\
+   <div class=\"section\"><h2>Deployment</h2>\
+   <table class=\"awb-table\">\
+   <tr><td>row\\col</td><td>NightlyBatch</td><td>TellerApp</td></tr>\
+   <tr><td>app-cluster-01</td><td>1</td><td/></tr>\
+   <tr><td>web-frontend-01</td><td/><td>1</td></tr>\
+   </table></div>\
+   <div class=\"table-of-omissions\"><ul>\
+   <li>Risk Assessment (Document)</li><li>System Context (Document)</li>\
+   </ul></div>\
+   </document>"
+
+let generate engine =
+  let model = Awb.Samples.banking_model () in
+  let template =
+    Xml_base.Parser.strip_whitespace (Xml_base.Parser.parse_string template_src)
+  in
+  let result =
+    match engine with
+    | `Host -> Docgen.Host_engine.generate model ~template
+    | `Functional -> Docgen.Functional_engine.generate model ~template
+  in
+  S.to_string result.Spec.document
+
+let test_golden_host () = check string_t "host output" golden (generate `Host)
+let test_golden_functional () = check string_t "functional output" golden (generate `Functional)
+
+let test_golden_html () =
+  (* The same document, HTML-serialized: td without content must keep an
+     explicit closing tag. *)
+  let model = Awb.Samples.banking_model () in
+  let template =
+    Xml_base.Parser.strip_whitespace (Xml_base.Parser.parse_string template_src)
+  in
+  let result = Docgen.Host_engine.generate model ~template in
+  let html = S.to_html_string result.Spec.document in
+  check Alcotest.bool "empty cells close explicitly" true
+    (Astring.String.is_infix ~affix:"<td></td>" html);
+  check Alcotest.bool "no self-closing tags in html" false
+    (Astring.String.is_infix ~affix:"/>" html)
+
+let suite =
+  [
+    ( "golden.system-context",
+      [
+        Alcotest.test_case "host engine" `Quick test_golden_host;
+        Alcotest.test_case "functional engine" `Quick test_golden_functional;
+        Alcotest.test_case "html serialization" `Quick test_golden_html;
+      ] );
+  ]

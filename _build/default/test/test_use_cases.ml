@@ -1,0 +1,224 @@
+(* The W3C "XML Query Use Cases" [UC] — the corpus the paper cites as the
+   scale XQuery was designed for ("a few tens of lines"). A selection of
+   the XMP (experiences-and-exemplars) queries, adapted to the engine's
+   subset, run against the canonical bib.xml. *)
+
+module V = Xquery.Value
+module E = Xquery.Engine
+
+let check = Alcotest.check
+let string_t = Alcotest.string
+let int_t = Alcotest.int
+
+let bib_xml =
+  {|<bib>
+  <book year="1994">
+    <title>TCP/IP Illustrated</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <publisher>Addison-Wesley</publisher>
+    <price>65.95</price>
+  </book>
+  <book year="1992">
+    <title>Advanced Programming in the Unix environment</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <publisher>Addison-Wesley</publisher>
+    <price>65.95</price>
+  </book>
+  <book year="2000">
+    <title>Data on the Web</title>
+    <author><last>Abiteboul</last><first>Serge</first></author>
+    <author><last>Buneman</last><first>Peter</first></author>
+    <author><last>Suciu</last><first>Dan</first></author>
+    <publisher>Morgan Kaufmann Publishers</publisher>
+    <price>39.95</price>
+  </book>
+  <book year="1999">
+    <title>The Economics of Technology and Content for Digital TV</title>
+    <editor><last>Gerbarg</last><first>Darcy</first><affiliation>CITI</affiliation></editor>
+    <publisher>Kluwer Academic Publishers</publisher>
+    <price>129.95</price>
+  </book>
+</bib>|}
+
+let reviews_xml =
+  {|<reviews>
+  <entry><title>Data on the Web</title><price>34.95</price>
+    <review>A very good discussion of semi-structured database systems and XML.</review></entry>
+  <entry><title>Advanced Programming in the Unix environment</title><price>65.95</price>
+    <review>A clear and detailed discussion of UNIX programming.</review></entry>
+  <entry><title>TCP/IP Illustrated</title><price>65.95</price>
+    <review>One of the best books on TCP/IP.</review></entry>
+</reviews>|}
+
+let bib = Xml_base.Parser.parse_string bib_xml
+let reviews = Xml_base.Parser.parse_string reviews_xml
+
+let run q =
+  V.to_display_string
+    (E.eval_query ~context_item:(V.Node bib)
+       ~vars:[ ("reviews", V.of_node reviews) ]
+       q)
+
+let flat s = String.concat "" (String.split_on_char '\n' s)
+
+(* Q1: books published by Addison-Wesley after 1991. *)
+let test_q1 () =
+  let q =
+    {|<bib>{
+       for $b in bib/book
+       where number($b/@year) gt 1991 and string($b/publisher) eq "Addison-Wesley"
+       return <book year="{$b/@year}">{$b/title}</book>
+     }</bib>|}
+  in
+  check string_t "q1"
+    "<bib><book year=\"1994\"><title>TCP/IP Illustrated</title></book>\
+     <book year=\"1992\"><title>Advanced Programming in the Unix environment</title></book></bib>"
+    (flat (run q))
+
+(* Q2: flat list of title-author pairs. *)
+let test_q2 () =
+  let q =
+    {|count(<results>{
+       for $b in bib/book, $t in $b/title, $a in $b/author
+       return <result>{$t}{$a}</result>
+     }</results>/result)|}
+  in
+  check string_t "q2: one result per (title, author) pair" "5" (run q)
+
+(* Q3: titles with all their authors, grouped. *)
+let test_q3 () =
+  let q =
+    {|string-join(
+       for $b in bib/book
+       where exists($b/author)
+       return concat(string($b/title), '#', string(count($b/author))), '|')|}
+  in
+  check string_t "q3"
+    "TCP/IP Illustrated#1|Advanced Programming in the Unix environment#1|Data on the Web#3"
+    (run q)
+
+(* Q4: for each author, the titles they wrote (grouping by value). *)
+let test_q4 () =
+  let q =
+    {|string-join(
+       for $last in distinct-values(bib/book/author/last/text())
+       order by $last
+       return concat($last, ':',
+         string(count(bib/book[author/last = $last]))), ' ')|}
+  in
+  check string_t "q4" "Abiteboul:1 Buneman:1 Stevens:2 Suciu:1" (run q)
+
+(* Q5: join between bib and the reviews document. *)
+let test_q5 () =
+  let q =
+    {|string-join(
+       for $b in bib/book
+       for $e in $reviews/reviews/entry
+       where string($b/title) eq string($e/title)
+       order by string($b/title)
+       return concat(string($b/title), '=', string($e/price)), '; ')|}
+  in
+  check string_t "q5"
+    "Advanced Programming in the Unix environment=65.95; Data on the Web=34.95; \
+     TCP/IP Illustrated=65.95"
+    (run q)
+
+(* Q6: books with a title and at most two authors shown plus et-al. *)
+let test_q6 () =
+  let q =
+    {|string-join(
+       for $b in bib/book
+       where count($b/author) gt 2
+       return concat(string($b/title), ': ',
+         string-join((for $a in subsequence($b/author, 1, 2) return string($a/last)), ', '),
+         ', et al.'), '#')|}
+  in
+  check string_t "q6" "Data on the Web: Abiteboul, Buneman, et al." (run q)
+
+(* Q7: titles and prices sorted by price descending. *)
+let test_q7 () =
+  let q =
+    {|string-join(
+       for $b in bib/book
+       order by number($b/price) descending, string($b/title)
+       return string($b/title), ' << ')|}
+  in
+  check string_t "q7"
+    "The Economics of Technology and Content for Digital TV << \
+     Advanced Programming in the Unix environment << TCP/IP Illustrated << Data on the Web"
+    (run q)
+
+(* Q8: books mentioning a keyword anywhere (full-text-ish via contains). *)
+let test_q8 () =
+  let q =
+    {|string-join(
+       for $b in bib/book
+       where some $t in $b//text() satisfies contains(string($t), "Unix")
+       return string($b/title), ', ')|}
+  in
+  check string_t "q8" "Advanced Programming in the Unix environment" (run q)
+
+(* Q9: structural transformation — swap element shapes. *)
+let test_q9 () =
+  let q =
+    {|<pricelist>{
+       for $b in bib/book
+       order by number($b/price)
+       return <item title="{$b/title}" usd="{$b/price}"/>
+     }</pricelist>|}
+  in
+  check string_t "q9"
+    "<pricelist><item title=\"Data on the Web\" usd=\"39.95\"/>\
+     <item title=\"TCP/IP Illustrated\" usd=\"65.95\"/>\
+     <item title=\"Advanced Programming in the Unix environment\" usd=\"65.95\"/>\
+     <item title=\"The Economics of Technology and Content for Digital TV\" usd=\"129.95\"/></pricelist>"
+    (flat (run q))
+
+(* Q10: books without authors (editors only). *)
+let test_q10 () =
+  let q =
+    {|string-join(
+       for $b in bib/book where empty($b/author)
+       return concat(string($b/title), ' [ed. ', string($b/editor/last), ']'), '')|}
+  in
+  check string_t "q10"
+    "The Economics of Technology and Content for Digital TV [ed. Gerbarg]" (run q)
+
+(* Q11: min/max/avg aggregates. *)
+let test_q11 () =
+  check string_t "max price" "129.95" (run "string(max(bib/book/price))");
+  check string_t "min price" "39.95" (run "string(min(bib/book/price))");
+  check string_t "avg price" "75.45"
+    (run "string(avg(for $p in bib/book/price return number($p)))");
+  check string_t "count" "4" (run "string(count(bib/book))")
+
+(* Q12: a user-defined function over the data (depth of a tree), in the
+   use-cases' "parts explosion" spirit. *)
+let test_q12 () =
+  let q =
+    {|declare function local:depth($n) {
+        if (empty($n/*)) then 1
+        else 1 + max(for $k in $n/* return local:depth($k))
+      };
+      local:depth((bib)[1])|}
+  in
+  check string_t "q12 depth" "4" (run q)
+
+let suite =
+  [
+    ( "use-cases.xmp",
+      [
+        Alcotest.test_case "q1 selection + construction" `Quick test_q1;
+        Alcotest.test_case "q2 flattened pairs" `Quick test_q2;
+        Alcotest.test_case "q3 grouped counts" `Quick test_q3;
+        Alcotest.test_case "q4 group by author" `Quick test_q4;
+        Alcotest.test_case "q5 two-document join" `Quick test_q5;
+        Alcotest.test_case "q6 et-al truncation" `Quick test_q6;
+        Alcotest.test_case "q7 ordered listing" `Quick test_q7;
+        Alcotest.test_case "q8 keyword search" `Quick test_q8;
+        Alcotest.test_case "q9 structural transform" `Quick test_q9;
+        Alcotest.test_case "q10 negative selection" `Quick test_q10;
+        Alcotest.test_case "q11 aggregates" `Quick test_q11;
+        Alcotest.test_case "q12 recursive function" `Quick test_q12;
+      ] );
+  ]

@@ -1,0 +1,724 @@
+(* Tests for the XQuery engine: lexer quirks, parser, evaluation semantics,
+   constructors, FLWOR, functions, and the paper-specific behaviours. *)
+
+module N = Xml_base.Node
+module V = Xquery.Value
+module E = Xquery.Engine
+module Err = Xquery.Errors
+
+let check = Alcotest.check
+let string_t = Alcotest.string
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+(* Run a query and render the result the way a query shell would. *)
+let run ?context_item ?vars ?compat ?optimize ?trace_out q =
+  V.to_display_string (E.eval_query ?context_item ?vars ?compat ?optimize ?trace_out q)
+
+let run_on_doc xml q =
+  let doc = Xml_base.Parser.parse_string xml in
+  run ~context_item:(V.Node doc) q
+
+let expect_error code q =
+  match E.eval_query q with
+  | exception Err.Error { code = c; _ } ->
+    check string_t ("error code for " ^ q) ("err:" ^ code) c
+  | result ->
+    Alcotest.failf "expected err:%s for %s, got %s" code q (V.to_display_string result)
+
+let q_ok expected query () = check string_t query expected (run query)
+
+(* ------------------------------------------------------------------ *)
+(* Literals, arithmetic, sequences                                     *)
+(* ------------------------------------------------------------------ *)
+
+let basic_cases =
+  [
+    ("integer", "42", "42");
+    ("negative", "-7", "-7");
+    ("double", "2.5", "2.5");
+    ("scientific", "1e3", "1000");
+    ("string dq", "\"hi\"", "hi");
+    ("string sq", "'hi'", "hi");
+    ("string doubled quote", "\"a\"\"b\"", "a\"b");
+    ("string entity", "\"x &amp; y\"", "x & y");
+    ("add", "1 + 2", "3");
+    ("precedence", "1 + 2 * 3", "7");
+    ("sub", "10 - 4", "6");
+    ("div is decimal", "7 div 2", "3.5");
+    ("div of exact", "4 div 2", "2");
+    ("idiv", "7 idiv 2", "3");
+    ("idiv negative truncates", "-7 idiv 2", "-3");
+    ("mod", "7 mod 3", "1");
+    ("unary minus", "-(3 + 4)", "-7");
+    ("range", "1 to 5", "1 2 3 4 5");
+    ("range empty", "5 to 1", "");
+    ("empty seq", "()", "");
+    ("comma seq", "(1, 2, 3)", "1 2 3");
+    ("flattening", "(1,(2,3,4),(),(5,((6,7))))", "1 2 3 4 5 6 7");
+    ("arith with empty", "() + 1", "");
+    ("parens", "(2 + 3) * 4", "20");
+    ("comment ignored", "1 (: comment :) + 2", "3");
+    ("nested comment", "1 (: a (: b :) c :) + 2", "3");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The paper's lexical quirks                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_dash_in_variable_name () =
+  (* Quirk #3: $n-1 is a variable with a three-character name. *)
+  check string_t "$n-1 is one variable"
+    "99"
+    (run ~vars:[ ("n-1", V.of_int 99); ("n", V.of_int 5) ] "$n-1");
+  check string_t "spaced minus subtracts"
+    "4"
+    (run ~vars:[ ("n", V.of_int 5) ] "$n - 1");
+  check string_t "parenthesized minus subtracts"
+    "4"
+    (run ~vars:[ ("n", V.of_int 5) ] "($n)-1")
+
+let test_name_is_child_step_not_variable () =
+  (* Quirk #1: x means "children named x", never "variable x". *)
+  let xml = "<root><x>seen</x></root>" in
+  check string_t "x is a child step" "seen"
+    (run_on_doc xml "for $r in root return string($r/x)");
+  (* With no context item, a bare name is an error about the context
+     item, not about a variable. *)
+  match E.eval_query "x" with
+  | exception Err.Error { code; _ } -> check string_t "context error" "err:XPDY0002" code
+  | _ -> Alcotest.fail "expected a context-item error"
+
+let test_galax_error_message () =
+  (* The message the paper quotes, behind the compat flag. *)
+  match E.eval_query ~compat:Xquery.Context.galax_compat "x" with
+  | exception Err.Error { message; _ } ->
+    check string_t "galax message" "Internal_Error: Variable '$glx:dot' not found." message
+  | _ -> Alcotest.fail "expected an error"
+
+let test_general_eq_is_existential () =
+  (* Quirk #4. *)
+  check string_t "1 = (1,2,3)" "true" (run "1 = (1,2,3)");
+  check string_t "(1,2,3) = 3" "true" (run "(1,2,3) = 3");
+  check string_t "1 = 3" "false" (run "1 = 3");
+  check string_t "(1,2) = (3,4)" "false" (run "(1,2) = (3,4)");
+  check string_t "(1,2) != (1,2) is existential too" "true" (run "(1,2) != (1,2)");
+  check string_t "empty = anything" "false" (run "() = (1,2)")
+
+let test_value_comparisons_are_singleton () =
+  check string_t "1 eq 1" "true" (run "1 eq 1");
+  check string_t "1 lt 2" "true" (run "1 lt 2");
+  check string_t "strings" "true" (run "'a' lt 'b'");
+  expect_error "XPTY0004" "1 eq (1,2,3)";
+  expect_error "XPTY0004" "'a' eq 1";
+  check string_t "eq with empty is empty" "" (run "() eq 1")
+
+(* ------------------------------------------------------------------ *)
+(* Paths and axes                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let book_xml =
+  "<library><book year=\"1983\"><title>Tales</title><author>A</author></book>\
+   <book year=\"2001\"><title>More</title><author>B</author>\
+   <book year=\"1999\"><title>Nested</title></book></book>\
+   <magazine year=\"1983\"><title>Weekly</title></magazine></library>"
+
+let test_paths () =
+  let r q = run_on_doc book_xml q in
+  check string_t "child step" "2" (r "count(library/book)");
+  check string_t "descendant //" "3" (r "count(library//book)");
+  check string_t "leading //" "3" (r "count(//book)");
+  check string_t "attribute" "1983" (r "string(library/book[1]/@year)");
+  check string_t "predicate attr" "2" (r "count(//*[@year=\"1983\"])");
+  check string_t "positional" "Tales" (r "string(library/book[1]/title)");
+  check string_t "last()" "More" (r "string(library/book[last()]/title)");
+  check string_t "wildcard" "3" (r "count(library/*)");
+  check string_t "text()" "Tales" (r "string((//title/text())[1])");
+  check string_t "parent" "book" (r "name((//title)[1]/parent::*)");
+  check string_t "parent shorthand" "library" (r "name(library/book[1]/..)");
+  check string_t "ancestor" "2" (r "count((//title)[3]/ancestor::book)");
+  check string_t "self" "1" (r "count(library/self::library)");
+  check string_t "following-sibling" "magazine"
+    (r "name(library/book[2]/following-sibling::*)");
+  check string_t "preceding-sibling nearest first" "More"
+    (r "string(library/magazine/preceding-sibling::book[1]/title)");
+  check string_t "descendant-or-self axis" "5"
+    (r "count(library/book[2]/descendant-or-self::*)");
+  check string_t "results in doc order dedup" "Tales More Nested Weekly"
+    (r "string-join(//title/text(), ' ')");
+  check string_t "attribute axis explicit" "1983"
+    (r "string(library/book[1]/attribute::year)");
+  check string_t "kind test element()" "3" (r "count(library/element())");
+  check string_t "kind test element(name)" "2" (r "count(library/element(book))")
+
+let test_path_errors () =
+  expect_error "XPTY0019" "(1)/x";
+  let doc = Xml_base.Parser.parse_string "<a><b>1</b><b>2</b></a>" in
+  match E.eval_query ~context_item:(V.Node doc) "a/b/(1, text())" with
+  | exception Err.Error { code; _ } -> check string_t "mixed path" "err:XPTY0018" code
+  | _ -> Alcotest.fail "expected XPTY0018"
+
+let test_filter_on_non_step () =
+  check string_t "filter a literal sequence" "2" (run "(1,2,3)[2]");
+  check string_t "boolean filter" "2 3" (run "(1,2,3)[. ge 2]");
+  check string_t "position()" "1 2 3" (run "string-join(for $i in (7,8,9) return string((1,2,3)[position() = $i - 6]), ' ')")
+
+(* ------------------------------------------------------------------ *)
+(* FLWOR                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_flwor () =
+  check string_t "for" "2 4 6" (run "for $x in (1,2,3) return 2 * $x");
+  check string_t "let" "10" (run "let $x := 5 return 2 * $x");
+  check string_t "where" "3" (run "for $x in (1,2,3) where $x ge 3 return $x");
+  check string_t "two fors nest" "11 21 12 22"
+    (run "for $x in (1,2) for $y in (10,20) return $y + $x");
+  check string_t "comma bindings" "11 21 12 22"
+    (run "for $x in (1,2), $y in (10,20) return $y + $x");
+  check string_t "at clause" "1:a 2:b"
+    (run "string-join(for $x at $i in ('a','b') return concat($i, ':', $x), ' ')");
+  check string_t "order by" "1 2 3" (run "for $x in (3,1,2) order by $x return $x");
+  check string_t "order by descending" "3 2 1"
+    (run "for $x in (3,1,2) order by $x descending return $x");
+  check string_t "order by key expr" "c b a"
+    (run "string-join(for $s in ('b','c','a') order by $s descending return $s, ' ')");
+  check string_t "order by two keys" "a1 a2 b1"
+    (run
+       "string-join(for $s in ('b1','a2','a1') order by substring($s,1,1), substring($s,2,1) return $s, ' ')");
+  check string_t "flwor flattening" "1 2 3 4"
+    (run "for $x in ((1,2),(3,4)) return $x");
+  check string_t "let rebinding shadows" "7"
+    (run "let $x := 3 let $x := 7 return $x");
+  check string_t "where between lets" "big"
+    (run "let $x := 10 where $x gt 5 return 'big'")
+
+let test_quantified () =
+  check string_t "some true" "true" (run "some $x in (1,2,3) satisfies $x gt 2");
+  check string_t "some false" "false" (run "some $x in (1,2,3) satisfies $x gt 5");
+  check string_t "every true" "true" (run "every $x in (1,2,3) satisfies $x gt 0");
+  check string_t "every false" "false" (run "every $x in (1,2,3) satisfies $x gt 1");
+  check string_t "every empty" "true" (run "every $x in () satisfies $x gt 1");
+  check string_t "some empty" "false" (run "some $x in () satisfies $x gt 1");
+  check string_t "two bindings" "true"
+    (run "some $x in (1,2), $y in (2,3) satisfies $x eq $y")
+
+let test_if () =
+  check string_t "then" "yes" (run "if (1 lt 2) then 'yes' else 'no'");
+  check string_t "else" "no" (run "if (2 lt 1) then 'yes' else 'no'");
+  check string_t "ebv of empty" "no" (run "if (()) then 'yes' else 'no'");
+  check string_t "nested" "mid"
+    (run "if (2 gt 3) then 'hi' else if (2 gt 1) then 'mid' else 'lo'")
+
+(* ------------------------------------------------------------------ *)
+(* User functions and prolog                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_user_functions () =
+  check string_t "simple function" "25"
+    (run "declare function local:sq($x) { $x * $x }; local:sq(5)");
+  check string_t "recursion" "120"
+    (run
+       "declare function local:fact($n) { if ($n le 1) then 1 else $n * local:fact($n - 1) }; local:fact(5)");
+  check string_t "mutual recursion" "true"
+    (run
+       "declare function local:even($n) { if ($n eq 0) then true() else local:odd($n - 1) }; \
+        declare function local:odd($n) { if ($n eq 0) then false() else local:even($n - 1) }; \
+        local:even(10)");
+  check string_t "global variable" "12"
+    (run "declare variable $base := 10; $base + 2");
+  check string_t "globals visible in functions" "30"
+    (run "declare variable $k := 3; declare function local:f($x) { $k * $x }; local:f(10)");
+  expect_error "XPST0017" "local:nope(1)";
+  expect_error "XPST0008" "$nope"
+
+let test_typed_flwor_bindings () =
+  (* let/for with [as T] annotations: ignored untyped, enforced typed. *)
+  check string_t "annotation parsed and ignored untyped" "3"
+    (run "let $x as xs:string := 3 return $x");
+  (match E.eval_query ~typed_mode:true "let $x as xs:string := 3 return $x" with
+  | exception Err.Error { code; _ } -> check string_t "typed let" "err:XPTY0004" code
+  | _ -> Alcotest.fail "typed mode should reject the let");
+  check string_t "typed let ok" "6"
+    (V.to_display_string
+       (E.eval_query ~typed_mode:true "let $x as xs:integer := 3 return $x * 2"));
+  (match E.eval_query ~typed_mode:true "for $x as xs:string in (1,2) return $x" with
+  | exception Err.Error { code; _ } -> check string_t "typed for" "err:XPTY0004" code
+  | _ -> Alcotest.fail "typed mode should reject the for");
+  check string_t "typed for ok" "1 2"
+    (V.to_display_string
+       (E.eval_query ~typed_mode:true "for $x as xs:integer in (1,2) return $x"))
+
+let test_typed_mode () =
+  let q =
+    "declare function local:len($s as xs:string) as xs:integer { string-length($s) }; \
+     local:len(5)"
+  in
+  (* Untyped mode does not enforce the annotation (string-length accepts
+     the int's string form? no — it expects a string; but the annotation
+     itself is not checked). Typed mode rejects at the call. *)
+  (match E.eval_query ~typed_mode:true q with
+  | exception Err.Error { code; _ } -> check string_t "typed arg" "err:XPTY0004" code
+  | _ -> Alcotest.fail "typed mode should reject");
+  check string_t "typed ok" "2"
+    (run "declare function local:len($s as xs:string) as xs:integer { string-length($s) }; local:len('hi')")
+
+(* ------------------------------------------------------------------ *)
+(* Constructors                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_direct_constructors () =
+  check string_t "empty element" "<a/>" (run "<a/>");
+  check string_t "attributes" "<a x=\"1\" y=\"2\"/>" (run "<a x=\"1\" y='2'/>");
+  check string_t "text content" "<a>hi</a>" (run "<a>hi</a>");
+  check string_t "nested" "<a><b>x</b></a>" (run "<a><b>x</b></a>");
+  check string_t "enclosed atomic" "<a>5</a>" (run "<a>{2 + 3}</a>");
+  check string_t "enclosed sequence spaced" "<a>1 2 3</a>" (run "<a>{1,2,3}</a>");
+  check string_t "adjacent enclosed no space" "<a>12</a>" (run "<a>{1}{2}</a>");
+  check string_t "avt" "<a x=\"v5\"/>" (run "<a x=\"v{2+3}\"/>");
+  check string_t "avt sequence" "<a x=\"1 2\"/>" (run "<a x=\"{1,2}\"/>");
+  check string_t "brace escape" "<a>{not expr}</a>" (run "<a>{{not expr}}</a>");
+  check string_t "mixed" "<a>one<b/>two</a>" (run "<a>one<b/>two</a>");
+  check string_t "enclosed element" "<a><b/></a>" (run "<a>{<b/>}</a>");
+  check string_t "comment in content" "<a><!--note--></a>" (run "<a><!--note--></a>");
+  check string_t "entity in content" "<a>&lt;&amp;&gt;</a>" (run "<a>&lt;&amp;&gt;</a>");
+  check string_t "cdata" "<a>&lt;raw&gt;</a>" (run "<a><![CDATA[<raw>]]></a>")
+
+let test_computed_constructors () =
+  check string_t "computed element" "<a>x</a>" (run "element a { 'x' }");
+  check string_t "computed name" "<dyn/>" (run "element { concat('d','yn') } {}");
+  check string_t "computed attribute" "<a n=\"5\"/>" (run "<a>{attribute n { 5 }}</a>");
+  check string_t "computed text" "<a>7</a>" (run "<a>{text { 7 }}</a>");
+  check string_t "document node" "<r/>" (run "document { <r/> }");
+  check string_t "element with computed content" "<s><i>1</i><i>2</i></s>"
+    (run "element s { for $x in (1,2) return element i { $x } }")
+
+let test_constructed_nodes_are_copies () =
+  check string_t "construction copies, no identity" "false"
+    (run "let $b := <b/> let $a := <a>{$b}</a> return $a/b is $b");
+  check string_t "copies are deep-equal" "true"
+    (run "let $b := <b x=\"1\">t</b> let $a := <a>{$b}</a> return deep-equal($a/b, $b)")
+
+(* The paper's attribute-folding section, all three behaviours. *)
+let test_attribute_folding () =
+  check string_t "attribute becomes attribute of parent" "<el troubles=\"1\"/>"
+    (run "let $x := attribute troubles {1} return <el> {$x} </el>");
+  check string_t "several attributes fold" "<el a=\"1\" b=\"2\"/>"
+    (run "let $a := attribute a {1} let $b := attribute b {2} return <el>{$a}{$b}</el>");
+  (* Duplicate names: default policy keeps one. *)
+  check string_t "duplicate keeps one" "<el b=\"3\" a=\"2\"/>"
+    (String.concat ""
+       [
+         (let r =
+            run
+              "let $a := attribute a {1} let $b := attribute a {2} let $c := attribute b {3} \
+               return <el> {$a}{$b}{$c} </el>"
+          in
+          (* Accept either of the paper's two allowed outcomes. *)
+          if r = "<el a=\"2\" b=\"3\"/>" || r = "<el a=\"1\" b=\"3\"/>" then
+            "<el b=\"3\" a=\"2\"/>"
+          else r);
+       ]);
+  (* Galax compat keeps both. *)
+  let galax =
+    E.eval_query ~compat:Xquery.Context.galax_compat
+      "let $a := attribute a {1} let $b := attribute a {2} return <el>{$a}{$b}</el>"
+  in
+  check string_t "galax keeps duplicates" "<el a=\"1\" a=\"2\"/>"
+    (V.to_display_string galax);
+  (* Attribute after content is an error. *)
+  expect_error "XQTY0024" "let $x := attribute troubles {1} return <el> doom {$x} </el>"
+
+(* The paper's seven-row pitfalls table lives in its own test (see
+   test_paper_tables.ml); here only the machinery it relies on. *)
+
+let test_ebv () =
+  check string_t "node is true" "true" (run "boolean(<a/>)");
+  check string_t "empty string false" "false" (run "boolean('')");
+  check string_t "zero false" "false" (run "boolean(0)");
+  check string_t "NaN false" "false" (run "boolean(number('x'))");
+  expect_error "FORG0006" "boolean((1,2))"
+
+(* ------------------------------------------------------------------ *)
+(* Builtin functions                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let function_cases =
+  [
+    ("count", "count((1,2,3))", "3");
+    ("count empty", "count(())", "0");
+    ("sum", "sum((1,2,3))", "6");
+    ("sum empty", "sum(())", "0");
+    ("sum doubles", "sum((1.5, 2.5))", "4");
+    ("avg", "avg((1,2,3))", "2");
+    ("avg empty", "avg(())", "");
+    ("max", "max((1,5,3))", "5");
+    ("min", "min((4,2,9))", "2");
+    ("max strings", "max(('a','c','b'))", "c");
+    ("abs", "abs(-4)", "4");
+    ("floor", "floor(2.7)", "2");
+    ("ceiling", "ceiling(2.1)", "3");
+    ("round", "round(2.5)", "3");
+    ("round negative", "round(-2.5)", "-2");
+    ("round-half-to-even up", "round-half-to-even(2.5)", "2");
+    ("round-half-to-even down", "round-half-to-even(3.5)", "4");
+    ("round-half-to-even plain", "round-half-to-even(2.4)", "2");
+    ("compare less", "compare('a', 'b')", "-1");
+    ("compare equal", "compare('x', 'x')", "0");
+    ("compare ints", "compare(5, 3)", "1");
+    ("compare empty", "compare((), 'a')", "");
+    ("number bad", "string(number('zap'))", "NaN");
+    ("concat", "concat('a', 'b', 'c')", "abc");
+    ("concat many", "concat('a','b','c','d','e','f','g')", "abcdefg");
+    ("string-join", "string-join(('a','b','c'), '-')", "a-b-c");
+    ("substring", "substring('hello', 2)", "ello");
+    ("substring len", "substring('hello', 2, 3)", "ell");
+    ("substring fractional", "substring('hello', 1.5, 2.6)", "ell");
+    ("string-length", "string-length('hello')", "5");
+    ("normalize-space", "normalize-space('  a   b ')", "a b");
+    ("upper-case", "upper-case('mix')", "MIX");
+    ("lower-case", "lower-case('MIX')", "mix");
+    ("translate", "translate('abcabc', 'abc', 'AB')", "ABAB");
+    ("contains", "contains('hello', 'ell')", "true");
+    ("contains empty needle", "contains('x', '')", "true");
+    ("starts-with", "starts-with('hello', 'he')", "true");
+    ("ends-with", "ends-with('hello', 'lo')", "true");
+    ("substring-before", "substring-before('a/b', '/')", "a");
+    ("substring-after", "substring-after('a/b', '/')", "b");
+    ("substring-before missing", "substring-before('ab', 'x')", "");
+    ("matches", "matches('abc123', '[0-9]+')", "true");
+    ("matches anchors", "matches('abc', '^a.c$')", "true");
+    ("matches flags", "matches('ABC', 'abc', 'i')", "true");
+    ("replace", "replace('banana', 'a', 'o')", "bonono");
+    ("replace groups", "replace('2026-07-06', '(\\d+)-(\\d+)-(\\d+)', '$3/$2/$1')", "06/07/2026");
+    ("tokenize", "string-join(tokenize('a,b,,c', ','), '|')", "a|b||c");
+    ("not", "not(0)", "true");
+    ("boolean", "boolean('x')", "true");
+    ("empty", "empty(())", "true");
+    ("exists", "exists((1))", "true");
+    ("distinct-values", "distinct-values((1, 2, 1, 3, 2))", "1 2 3");
+    ("distinct across types", "distinct-values(('1', 1))", "1 1");
+    ("reverse", "reverse((1,2,3))", "3 2 1");
+    ("insert-before", "insert-before((1,2,3), 2, (9))", "1 9 2 3");
+    ("remove", "remove((1,2,3), 2)", "1 3");
+    ("subsequence", "subsequence((1,2,3,4,5), 2, 3)", "2 3 4");
+    ("index-of", "index-of((10,20,10), 10)", "1 3");
+    ("zero-or-one", "zero-or-one(())", "");
+    ("exactly-one", "exactly-one((5))", "5");
+    ("deep-equal atoms", "deep-equal((1,2), (1,2))", "true");
+    ("deep-equal nodes", "deep-equal(<a x=\"1\"><b/></a>, <a x=\"1\"><b/></a>)", "true");
+    ("deep-equal differs", "deep-equal(<a/>, <b/>)", "false");
+    ("string-to-codepoints", "string-to-codepoints('AB')", "65 66");
+    ("codepoints-to-string", "codepoints-to-string((72,105))", "Hi");
+    ("xs:integer cast fn", "xs:integer('12') + 1", "13");
+    ("xs:string cast fn", "xs:string(12)", "12");
+    ("cast as", "'12' cast as xs:integer", "12");
+    ("castable ok", "'12' castable as xs:integer", "true");
+    ("castable no", "'x' castable as xs:integer", "false");
+    ("name()", "name(<foo/>)", "foo");
+    ("local-name()", "local-name(<a:foo xmlns:a=\"u\"/>)", "foo");
+    ("root()", "name(root(<a/>))", "a");
+    ("data", "data(<a>5</a>) + 1", "6");
+  ]
+
+let test_error_fn () =
+  expect_error "FOER0000" "error()";
+  (match E.eval_query "error('local:oops', 'it broke')" with
+  | exception Err.Error { code; message } ->
+    check string_t "code" "err:local:oops" code;
+    check string_t "message" "it broke" message
+  | _ -> Alcotest.fail "error() must raise");
+  (* error() kills the program: the paper used it for binary-search
+     debugging because nothing else printed. *)
+  match E.eval_query "(1, error('x'), 3)" with
+  | exception Err.Error _ -> ()
+  | _ -> Alcotest.fail "sequence containing error() must raise"
+
+let test_trace_fn () =
+  let traced = ref [] in
+  let result =
+    E.eval_query ~trace_out:(fun s -> traced := s :: !traced) "trace(40 + 2, 'x=')"
+  in
+  check string_t "value passes through" "42" (V.to_display_string result);
+  check (Alcotest.list string_t) "trace output" [ "x= 42" ] !traced
+
+let test_positional_functions () =
+  check string_t "position in predicate" "b"
+    (run "string-join(('a','b','c')[position() = 2], '')");
+  check string_t "last in predicate" "c" (run "string-join(('a','b','c')[last()], '')")
+
+let test_doc_function () =
+  let doc = Xml_base.Parser.parse_string "<store><n>9</n></store>" in
+  let resolver uri = if uri = "store.xml" then Some doc else None in
+  let result =
+    E.eval_query ~doc_resolver:resolver "string(doc('store.xml')/store/n)"
+  in
+  check string_t "doc()" "9" (V.to_display_string result);
+  match E.eval_query ~doc_resolver:resolver "doc('missing.xml')" with
+  | exception Err.Error { code; _ } -> check string_t "missing doc" "err:FODC0002" code
+  | _ -> Alcotest.fail "expected FODC0002"
+
+(* ------------------------------------------------------------------ *)
+(* Optimizer                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_optimizer_preserves_results () =
+  let queries =
+    [
+      "1 + 2 * 3";
+      "for $x in (3,1,2) order by $x return $x * 2";
+      "let $a := 5 let $b := $a + 1 return $b";
+      "if (1 lt 2) then 'a' else 'b'";
+      "<a x=\"{1+1}\">{for $i in (1,2) return <b>{$i}</b>}</a>";
+    ]
+  in
+  List.iter
+    (fun q ->
+      check string_t ("optimize-invariant: " ^ q) (run ~optimize:false q)
+        (run ~optimize:true q))
+    queries
+
+let test_dead_let_elimination () =
+  let compiled =
+    E.compile ~compat:Xquery.Context.galax_compat
+      "let $x := 1 let $dummy := trace('x=', $x) let $y := 2 return $x + $y"
+  in
+  (match compiled.E.opt_stats with
+  | Some stats ->
+    check int_t "one let eliminated" 1 stats.Xquery.Optimizer.lets_eliminated;
+    check int_t "the trace is gone" 1 stats.Xquery.Optimizer.traces_eliminated
+  | None -> Alcotest.fail "optimizer should have run");
+  (* The program still runs — and prints nothing: the paper's problem. *)
+  let traced = ref [] in
+  let result = E.execute ~trace_out:(fun s -> traced := s :: !traced) compiled in
+  check string_t "result unchanged" "3" (V.to_display_string result);
+  check int_t "no trace output: silently optimized away" 0 (List.length !traced)
+
+let test_insinuated_trace_survives () =
+  (* The paper's workaround: insinuate the trace into non-dead code. *)
+  let compiled =
+    E.compile ~compat:Xquery.Context.galax_compat
+      "let $x := trace(1, 'x=') let $y := 2 return $x + $y"
+  in
+  let traced = ref [] in
+  let result = E.execute ~trace_out:(fun s -> traced := s :: !traced) compiled in
+  check string_t "result" "3" (V.to_display_string result);
+  check int_t "trace survives" 1 (List.length !traced)
+
+let test_default_mode_keeps_traces () =
+  (* With the fixed optimizer (default compat), the dead let containing a
+     trace is NOT eliminated. *)
+  let compiled =
+    E.compile "let $dummy := trace('v', 'lbl') return 7"
+  in
+  let traced = ref [] in
+  let result = E.execute ~trace_out:(fun s -> traced := s :: !traced) compiled in
+  check string_t "result" "7" (V.to_display_string result);
+  check int_t "trace preserved" 1 (List.length !traced)
+
+(* ------------------------------------------------------------------ *)
+(* Static checking and treat-as                                        *)
+(* ------------------------------------------------------------------ *)
+
+let static_fails ?(external_vars = []) code q =
+  match E.compile ~static_check:external_vars q with
+  | exception Err.Error { code = c; _ } ->
+    check string_t ("static: " ^ q) ("err:" ^ code) c
+  | _ -> Alcotest.failf "expected static err:%s for %s" code q
+
+let test_static_check () =
+  static_fails "XPST0008" "$nope";
+  static_fails "XPST0008" "let $x := 1 return $y";
+  static_fails "XPST0017" "frobnicate(1)";
+  static_fails "XPST0017" "count(1, 2)";
+  (* function bodies are checked too *)
+  static_fails "XPST0008" "declare function local:f($a) { $b }; local:f(1)";
+  (* externally-promised variables pass *)
+  ignore (E.compile ~static_check:[ "model" ] "$model/node");
+  static_fails ~external_vars:[ "model" ] "XPST0008" "$model/node[@id = $missing]";
+  (* valid programs pass: bindings from for/let/quantifiers/at are seen *)
+  ignore
+    (E.compile ~static_check:[]
+       "declare variable $g := 5; declare function local:f($a) { $a + $g }; \
+        for $x at $i in (1,2) let $y := local:f($x) \
+        where some $q in (1) satisfies $q eq $i return $y");
+  (* the paper's $n-1 confusion becomes a compile-time message *)
+  static_fails "XPST0008" "let $n := 5 return $n-1"
+
+let test_treat_as () =
+  check string_t "treat passes through" "5" (run "(5 treat as xs:integer) + 0");
+  check string_t "treat sequence type" "2"
+    (run "count((1, 2) treat as xs:integer+) cast as xs:string");
+  (match E.eval_query "('a', 'b') treat as xs:string" with
+  | exception Err.Error { code; _ } -> check string_t "cardinality" "err:XPDY0050" code
+  | _ -> Alcotest.fail "expected XPDY0050");
+  match E.eval_query "<a/> treat as xs:integer" with
+  | exception Err.Error { code; _ } -> check string_t "wrong type" "err:XPDY0050" code
+  | _ -> Alcotest.fail "expected XPDY0050"
+
+let test_instance_of () =
+  check string_t "int is integer" "true" (run "5 instance of xs:integer");
+  check string_t "int is not string" "false" (run "5 instance of xs:string");
+  check string_t "element test" "true" (run "<a/> instance of element(a)");
+  check string_t "element name mismatch" "false" (run "<a/> instance of element(b)");
+  check string_t "occurrence star" "true" (run "(1,2,3) instance of xs:integer*");
+  check string_t "occurrence one fails" "false" (run "(1,2) instance of xs:integer");
+  check string_t "empty-sequence" "true" (run "() instance of empty-sequence()");
+  check string_t "optional" "true" (run "() instance of xs:integer?")
+
+(* ------------------------------------------------------------------ *)
+(* Syntax errors                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_syntax_errors () =
+  let syntax_fails q =
+    match E.eval_query q with
+    | exception Err.Error { code = "err:XPST0003"; _ } -> true
+    | exception Err.Error _ -> false
+    | _ -> false
+  in
+  check bool_t "unclosed paren" true (syntax_fails "(1, 2");
+  check bool_t "bad operator" true (syntax_fails "1 ! 2");
+  check bool_t "dangling let" true (syntax_fails "let $x := 1");
+  check bool_t "mismatched constructor" true (syntax_fails "<a></b>");
+  check bool_t "unterminated string" true (syntax_fails "'abc");
+  check bool_t "unterminated comment" true (syntax_fails "1 (: no end");
+  check bool_t "garbage after body" true (syntax_fails "1 2")
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Random simple integer-expression generator for optimizer invariance. *)
+let gen_int_expr =
+  let open QCheck.Gen in
+  let rec expr depth =
+    if depth = 0 then map string_of_int (int_range 0 20)
+    else
+      frequency
+        [
+          (2, map string_of_int (int_range 0 20));
+          ( 2,
+            let* a = expr (depth - 1) in
+            let* b = expr (depth - 1) in
+            let* op = oneofl [ "+"; "-"; "*" ] in
+            return (Printf.sprintf "(%s %s %s)" a op b) );
+          ( 1,
+            let* a = expr (depth - 1) in
+            let* b = expr (depth - 1) in
+            let* c = expr (depth - 1) in
+            return (Printf.sprintf "(if (%s lt %s) then %s else %s)" a b c a) );
+          ( 1,
+            let* a = expr (depth - 1) in
+            let* b = expr (depth - 1) in
+            return (Printf.sprintf "(let $v := %s return $v + %s)" a b) );
+          ( 1,
+            let* a = expr (depth - 1) in
+            return (Printf.sprintf "sum(for $i in (1 to 3) return %s)" a) );
+        ]
+  in
+  QCheck.make (expr 3) ~print:(fun s -> s)
+
+let prop_optimizer_invariant =
+  QCheck.Test.make ~name:"optimizer preserves random expression values" ~count:150
+    gen_int_expr (fun q -> run ~optimize:true q = run ~optimize:false q)
+
+let prop_flattening_depth_free =
+  (* Sequences built from nested parentheses always flatten: count equals
+     the number of leaf integers. *)
+  let gen =
+    let open QCheck.Gen in
+    let rec seq depth =
+      if depth = 0 then return ("1", 1)
+      else
+        frequency
+          [
+            (2, return ("1", 1));
+            ( 2,
+              let* parts = list_size (int_range 0 4) (seq (depth - 1)) in
+              let strs = List.map fst parts and counts = List.map snd parts in
+              return
+                ( "(" ^ String.concat ", " strs ^ ")",
+                  List.fold_left ( + ) 0 counts ) );
+          ]
+    in
+    QCheck.make (seq 4) ~print:fst
+  in
+  QCheck.Test.make ~name:"nested sequence constructors always flatten" ~count:200 gen
+    (fun (q, n) -> run ("count(" ^ q ^ ")") = string_of_int n)
+
+let prop_general_eq_existential =
+  (* a = b on integer lists iff the lists intersect. *)
+  let gen = QCheck.(pair (list_of_size Gen.(int_bound 5) small_nat) (list_of_size Gen.(int_bound 5) small_nat)) in
+  QCheck.Test.make ~name:"general = means nonempty intersection" ~count:200 gen
+    (fun (l1, l2) ->
+      let lit l = "(" ^ String.concat "," (List.map string_of_int l) ^ ")" in
+      let expected = List.exists (fun x -> List.mem x l2) l1 in
+      run (lit l1 ^ " = " ^ lit l2) = string_of_bool expected)
+
+let suite =
+  [
+    ( "xquery.basics",
+      List.map
+        (fun (name, q, expected) -> Alcotest.test_case name `Quick (q_ok expected q))
+        basic_cases );
+    ( "xquery.quirks",
+      [
+        Alcotest.test_case "dash in variable names" `Quick test_dash_in_variable_name;
+        Alcotest.test_case "bare name is a child step" `Quick test_name_is_child_step_not_variable;
+        Alcotest.test_case "galax error message" `Quick test_galax_error_message;
+        Alcotest.test_case "general = is existential" `Quick test_general_eq_is_existential;
+        Alcotest.test_case "value comparisons are singleton" `Quick test_value_comparisons_are_singleton;
+      ] );
+    ( "xquery.paths",
+      [
+        Alcotest.test_case "axes and predicates" `Quick test_paths;
+        Alcotest.test_case "path type errors" `Quick test_path_errors;
+        Alcotest.test_case "filters on plain sequences" `Quick test_filter_on_non_step;
+      ] );
+    ( "xquery.flwor",
+      [
+        Alcotest.test_case "for/let/where/order by" `Quick test_flwor;
+        Alcotest.test_case "quantified expressions" `Quick test_quantified;
+        Alcotest.test_case "conditionals" `Quick test_if;
+      ] );
+    ( "xquery.functions-and-prolog",
+      [
+        Alcotest.test_case "user functions" `Quick test_user_functions;
+        Alcotest.test_case "typed mode" `Quick test_typed_mode;
+        Alcotest.test_case "typed FLWOR bindings" `Quick test_typed_flwor_bindings;
+        Alcotest.test_case "fn:error" `Quick test_error_fn;
+        Alcotest.test_case "fn:trace" `Quick test_trace_fn;
+        Alcotest.test_case "position/last" `Quick test_positional_functions;
+        Alcotest.test_case "fn:doc with resolver" `Quick test_doc_function;
+      ] );
+    ( "xquery.builtins",
+      List.map
+        (fun (name, q, expected) -> Alcotest.test_case name `Quick (q_ok expected q))
+        function_cases );
+    ( "xquery.constructors",
+      [
+        Alcotest.test_case "direct constructors" `Quick test_direct_constructors;
+        Alcotest.test_case "computed constructors" `Quick test_computed_constructors;
+        Alcotest.test_case "construction copies nodes" `Quick test_constructed_nodes_are_copies;
+        Alcotest.test_case "attribute folding (paper)" `Quick test_attribute_folding;
+        Alcotest.test_case "effective boolean value" `Quick test_ebv;
+      ] );
+    ( "xquery.optimizer",
+      [
+        Alcotest.test_case "results preserved" `Quick test_optimizer_preserves_results;
+        Alcotest.test_case "dead let deletes trace (galax mode)" `Quick test_dead_let_elimination;
+        Alcotest.test_case "insinuated trace survives" `Quick test_insinuated_trace_survives;
+        Alcotest.test_case "default mode keeps traces" `Quick test_default_mode_keeps_traces;
+      ] );
+    ( "xquery.static-and-types",
+      [
+        Alcotest.test_case "static checking" `Quick test_static_check;
+        Alcotest.test_case "treat as" `Quick test_treat_as;
+        Alcotest.test_case "instance of" `Quick test_instance_of;
+      ] );
+    ( "xquery.syntax-errors",
+      [ Alcotest.test_case "malformed queries" `Quick test_syntax_errors ] );
+    ( "xquery.properties",
+      List.map QCheck_alcotest.to_alcotest
+        [ prop_optimizer_invariant; prop_flattening_depth_free; prop_general_eq_existential ] );
+  ]

@@ -1,0 +1,504 @@
+(* Extended XQuery engine coverage: parser precedence (via AST golden
+   tests), axis corner cases, positional predicates, constructor edge
+   cases, recursion depth, FLWOR interactions, and compat-mode behaviour
+   combinations. *)
+
+module V = Xquery.Value
+module E = Xquery.Engine
+module A = Xquery.Ast
+module Err = Xquery.Errors
+
+let check = Alcotest.check
+let string_t = Alcotest.string
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let run ?context_item ?vars q =
+  V.to_display_string (E.eval_query ?context_item ?vars q)
+
+let run_on_doc xml q =
+  run ~context_item:(V.Node (Xml_base.Parser.parse_string xml)) q
+
+(* ------------------------------------------------------------------ *)
+(* Parser precedence, checked against the AST printer                  *)
+(* ------------------------------------------------------------------ *)
+
+let ast q = A.show_expr (Xquery.Parser.parse_expression q)
+
+let test_precedence_golden () =
+  let same q1 q2 =
+    check string_t (q1 ^ " == " ^ q2) (ast q2) (ast q1)
+  in
+  same "1 + 2 * 3" "1 + (2 * 3)";
+  same "1 - 2 - 3" "(1 - 2) - 3";
+  same "2 * 3 idiv 4" "(2 * 3) idiv 4";
+  same "1 + 2 = 3 + 4" "(1 + 2) = (3 + 4)";
+  same "1 lt 2 and 3 gt 2" "(1 lt 2) and (3 gt 2)";
+  same "1 eq 1 or 2 eq 2 and 3 eq 4" "(1 eq 1) or ((2 eq 2) and (3 eq 4))";
+  same "1 to 3 + 2" "1 to (3 + 2)";
+  same "- 2 + 3" "(- 2) + 3";
+  same "$a | $b | $c" "($a | $b) | $c";
+  same "$a union $b intersect $c" "$a union ($b intersect $c)";
+  same "1 + 2 cast as xs:string" "1 + (2 cast as xs:string)"
+
+let test_comparison_non_associative () =
+  (* 1 = 2 = 3 is a syntax error in XPath 2.0 — comparison does not
+     associate. *)
+  match Xquery.Parser.parse_expression "1 = 2 = 3" with
+  | exception Err.Error { code = "err:XPST0003"; _ } -> ()
+  | _ -> Alcotest.fail "comparison should not chain"
+
+let test_path_vs_division_ast () =
+  (* a/b is a path; $a div $b is division; a div b is division of two
+     child steps. *)
+  check bool_t "a/b is a path" true
+    (match Xquery.Parser.parse_expression "a/b" with
+    | A.E_path (_, _) -> true
+    | _ -> false);
+  check bool_t "a div b is arithmetic" true
+    (match Xquery.Parser.parse_expression "a div b" with
+    | A.E_arith (A.Div, _, _) -> true
+    | _ -> false)
+
+let test_keywords_as_element_names () =
+  (* for/if/return etc. are fine as path steps. *)
+  let xml = "<root><for>1</for><if>2</if><return>3</return><element>4</element></root>" in
+  check string_t "for element" "1" (run_on_doc xml "string(root/for)");
+  check string_t "if element" "2" (run_on_doc xml "string(root/if)");
+  check string_t "return element" "3" (run_on_doc xml "string(root/return)");
+  check string_t "element element" "4" (run_on_doc xml "string(root/element)")
+
+(* ------------------------------------------------------------------ *)
+(* Axes, document order, positions                                     *)
+(* ------------------------------------------------------------------ *)
+
+let deep_xml =
+  "<a><b1><c1/><c2><d/></c2></b1><b2/><b3><c3/></b3></a>"
+
+let test_following_preceding () =
+  let r q = run_on_doc deep_xml q in
+  check string_t "following of c2" "b2 b3 c3"
+    (r "string-join(for $n in (//c2)[1]/following::* return name($n), ' ')");
+  (* Path results normalize to document order, so preceding:: in a path
+     reads forward; the axis's reverse order is only visible to
+     positional predicates. *)
+  check string_t "preceding of b3 excludes ancestors" "b1 c1 c2 d b2"
+    (r "string-join(for $n in (//b3)[1]/preceding::* return name($n), ' ')");
+  check string_t "preceding positional counts nearest-first" "b2"
+    (r "name((//b3)[1]/preceding::*[1])");
+  check string_t "preceding-sibling positional nearest" "b2"
+    (r "name((//b3)[1]/preceding-sibling::*[1])");
+  check string_t "ancestor-or-self" "a b1 c2 d"
+    (r "string-join(for $n in (//d)[1]/ancestor-or-self::* return name($n), ' ')")
+
+let test_union_in_doc_order () =
+  let r q = run_on_doc deep_xml q in
+  check string_t "union sorts and dedups" "b1 b2 b3"
+    (r "string-join(for $n in (//b3 | //b1 | //b2 | //b1) return name($n), ' ')");
+  check string_t "except" "b1 b3"
+    (r "string-join(for $n in (a/* except //b2) return name($n), ' ')");
+  check string_t "intersect" "b2" (r "string-join(for $n in (a/* intersect (//b2 | //c1)) return name($n), ' ')")
+
+let test_positional_predicates () =
+  let r q = run_on_doc deep_xml q in
+  check string_t "nested positional" "c2" (r "name(a/b1/*[2])");
+  check string_t "position() in nested predicate" "c1"
+    (r "name(a/b1/*[position() = 1])");
+  check string_t "last() - 1" "b2" (r "name(a/*[last() - 1])");
+  check string_t "predicate chain" "b2" (r "name(a/*[position() gt 1][1])");
+  check string_t "boolean then positional" "b1"
+    (r "name(a/*[exists(*)][1])");
+  check string_t "fractional position matches nothing" "" (r "string(a/*[1.5])")
+
+let test_double_slash_inside () =
+  check string_t "x//y" "2"
+    (run_on_doc "<x><y/><mid><y/></mid></x>" "count(x//y)");
+  check string_t "//@attr" "2"
+    (run_on_doc "<x a=\"1\"><y a=\"2\"/></x>" "count(//@a)")
+
+(* ------------------------------------------------------------------ *)
+(* Constructors, deeper                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_nested_constructor_scopes () =
+  check string_t "variables reach into nested constructors"
+    "<out><row i=\"1\"><v>10</v></row><row i=\"2\"><v>20</v></row></out>"
+    (run "<out>{for $i in 1 to 2 return <row i=\"{$i}\"><v>{$i * 10}</v></row>}</out>");
+  check string_t "constructor inside predicate" "yes"
+    (run "if (exists((<a><b/></a>)/b)) then 'yes' else 'no'")
+
+let test_computed_everything () =
+  check string_t "fully computed"
+    "<wrap a1=\"x\"><k1>7</k1></wrap>"
+    (run
+       "element { concat('wr','ap') } { attribute { concat('a','1') } { 'x' }, \
+        element { 'k1' } { 3 + 4 } }");
+  check string_t "comment constructor" "<c><!--note 1--></c>"
+    (run "<c>{comment { concat('note ', 1) }}</c>")
+
+let test_document_node_constructor () =
+  check string_t "doc with several kids" "<a/><b/>"
+    (run "document { <a/>, <b/> }");
+  match E.eval_query "document { attribute x {1} }" with
+  | exception Err.Error _ -> ()
+  | r -> Alcotest.failf "attribute at doc top level: %s" (V.to_display_string r)
+
+let test_boundary_space () =
+  check string_t "boundary ws stripped" "<a><b/><c/></a>" (run "<a> <b/>  <c/> </a>");
+  check string_t "real text kept" "<a>x <b/></a>" (run "<a>x <b/></a>");
+  check string_t "entity forces keep" "<a> <b/></a>" (run "<a>&#32;<b/></a>");
+  check string_t "cdata forces keep" "<a> </a>" (run "<a><![CDATA[ ]]></a>")
+
+let test_attr_value_normalization () =
+  check string_t "avt with nodes" "<a v=\"hi\"/>"
+    (run "let $n := <x>hi</x> return <a v=\"{$n}\"/>");
+  check string_t "avt empty seq" "<a v=\"\"/>" (run "<a v=\"{()}\"/>");
+  check string_t "computed attr from seq" "<a k=\"1 2 3\"/>"
+    (run "<a>{attribute k { 1 to 3 }}</a>")
+
+(* ------------------------------------------------------------------ *)
+(* FLWOR interactions and recursion                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_flwor_interactions () =
+  check string_t "where sees earlier lets" "6"
+    (run "for $x in (1,2,3,4) let $y := $x * 2 where $y gt 4 and $x lt 4 return $y");
+  check string_t "multiple wheres" "3"
+    (run "for $x in 1 to 10 where $x gt 2 where $x lt 4 return $x");
+  check string_t "order by on computed key" "30 21 12"
+    (run
+       "string-join(for $p in ('12','21','30') order by number($p) descending return $p, ' ')");
+  check string_t "stable sort preserves input order on ties" "a1 b1 a2 b2"
+    (run
+       "string-join(for $s in ('a1','b1','a2','b2') order by substring($s, 2) return $s, ' ')");
+  check string_t "empty greatest" "b a"
+    (run
+       "string-join(for $s in (<k><v>a</v></k>, <k/>) order by string($s/v) empty greatest \
+        return (string($s/v), 'b')[. ne ''][1], ' ')")
+
+let test_deep_recursion () =
+  (* A thousand-deep recursion must not blow anything up. *)
+  check string_t "sum 1..1000" "500500"
+    (run
+       "declare function local:go($n) { if ($n eq 0) then 0 else $n + local:go($n - 1) }; \
+        local:go(1000)")
+
+let test_function_shadowing_and_scope () =
+  (* Function bodies do not see the caller's locals — only params and
+     globals. *)
+  (match
+     E.eval_query
+       "declare function local:f() { $x }; let $x := 1 return local:f()"
+   with
+  | exception Err.Error { code; _ } ->
+    check string_t "no dynamic scope" "err:XPST0008" code
+  | r -> Alcotest.failf "expected unbound $x, got %s" (V.to_display_string r));
+  check string_t "params shadow globals" "7"
+    (run "declare variable $x := 1; declare function local:f($x) { $x }; local:f(7)")
+
+let test_quantified_shadowing () =
+  check string_t "inner binding shadows" "true"
+    (run "let $x := 0 return some $x in (1,2) satisfies $x eq 2")
+
+(* ------------------------------------------------------------------ *)
+(* Compat-mode combinations                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_galax_flags_are_independent () =
+  (* Only duplicate_attributes differs here. *)
+  let q = "let $a := attribute k {1} let $b := attribute k {2} return <e>{$a}{$b}</e>" in
+  let default = V.to_display_string (E.eval_query q) in
+  let galax =
+    V.to_display_string (E.eval_query ~compat:Xquery.Context.galax_compat q)
+  in
+  check string_t "default keeps last" "<e k=\"2\"/>" default;
+  check string_t "galax keeps both" "<e k=\"1\" k=\"2\"/>" galax;
+  (* Strict (REC) mode raises. *)
+  let strict =
+    { Xquery.Context.default_compat with Xquery.Context.duplicate_attributes = Xquery.Context.Raise_error }
+  in
+  match E.eval_query ~compat:strict q with
+  | exception Err.Error { code; _ } -> check string_t "strict raises" "err:XQDY0025" code
+  | r -> Alcotest.failf "expected XQDY0025, got %s" (V.to_display_string r)
+
+let test_trace_in_sequence_not_eliminated () =
+  (* Dead-code elimination only touches dead LETs; a trace in result
+     position always survives, in both modes. *)
+  let traced = ref 0 in
+  let r =
+    E.eval_query ~compat:Xquery.Context.galax_compat
+      ~trace_out:(fun _ -> incr traced)
+      "(trace(1, 'a'), trace(2, 'b'))"
+  in
+  check string_t "values" "1 2" (V.to_display_string r);
+  check int_t "both traced" 2 !traced
+
+(* ------------------------------------------------------------------ *)
+(* Bigger programs                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let library_xml =
+  "<library>\
+   <book year=\"1998\" genre=\"db\"><title>Query Things</title><price>31</price></book>\
+   <book year=\"2003\" genre=\"pl\"><title>Lambda Lore</title><price>25</price></book>\
+   <book year=\"2001\" genre=\"db\"><title>Join Joy</title><price>40</price></book>\
+   <book year=\"2004\" genre=\"pl\"><title>Type Tales</title><price>18</price></book>\
+   </library>"
+
+let test_report_query () =
+  (* A report query of the shape the use-cases document contains:
+     grouping by genre via distinct-values. *)
+  let q =
+    "string-join(\
+     for $g in distinct-values(library/book/@genre) \
+     order by $g \
+     return concat($g, ':', \
+       string(count(library/book[@genre = $g])), ':', \
+       string(sum(for $b in library/book[@genre = $g] return number($b/price)))), \
+     ' | ')"
+  in
+  check string_t "grouped report" "db:2:71 | pl:2:43" (run_on_doc library_xml q)
+
+let test_restructuring_query () =
+  let q =
+    "<by-genre>{\
+     for $g in distinct-values(library/book/@genre) order by $g return \
+     <genre name=\"{$g}\">{\
+       for $b in library/book[@genre = $g] order by number($b/price) return \
+       <entry>{string($b/title)}</entry>\
+     }</genre>}</by-genre>"
+  in
+  check string_t "restructured"
+    "<by-genre><genre name=\"db\"><entry>Query Things</entry><entry>Join Joy</entry></genre>\
+     <genre name=\"pl\"><entry>Type Tales</entry><entry>Lambda Lore</entry></genre></by-genre>"
+    (String.concat ""
+       (String.split_on_char '\n' (run_on_doc library_xml q)))
+
+let test_join_query () =
+  (* A two-document join through variables. *)
+  let orders = Xml_base.Parser.parse_string
+    "<orders><o book=\"Join Joy\" qty=\"2\"/><o book=\"Type Tales\" qty=\"5\"/></orders>" in
+  let books = Xml_base.Parser.parse_string library_xml in
+  let result =
+    E.eval_query
+      ~vars:[ ("orders", V.of_node orders); ("books", V.of_node books) ]
+      "string-join(\
+       for $o in $orders/orders/o \
+       for $b in $books/library/book[string(title) = string($o/@book)] \
+       order by string($o/@book) \
+       return concat(string($o/@book), '=', \
+         string(number($o/@qty) * number($b/price))), ', ')"
+  in
+  check string_t "join" "Join Joy=80, Type Tales=90" (V.to_display_string result)
+
+(* ------------------------------------------------------------------ *)
+(* typeswitch                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_typeswitch () =
+  check string_t "dispatch on type" "int"
+    (run "typeswitch (5) case xs:integer return 'int' case xs:string return 'str' default return 'other'");
+  check string_t "string case" "str"
+    (run "typeswitch ('x') case xs:integer return 'int' case xs:string return 'str' default return 'other'");
+  check string_t "default" "other"
+    (run "typeswitch (<a/>) case xs:integer return 'int' case xs:string return 'str' default return 'other'");
+  check string_t "case variable binds" "10"
+    (run "typeswitch (5) case $n as xs:integer return $n * 2 default return 0");
+  check string_t "default variable binds" "1"
+    (run "typeswitch (<a/>) case xs:integer return 0 default $v return count($v)");
+  check string_t "element name cases" "b-ish"
+    (run "typeswitch (<b/>) case element(a) return 'a-ish' case element(b) return 'b-ish' default return '?'");
+  check string_t "occurrence cases" "many"
+    (run "typeswitch ((1,2,3)) case xs:integer return 'one' case xs:integer+ return 'many' default return '?'");
+  (* the paper's wish: dispatching on the error-value convention without
+     stepping on atomics. *)
+  check string_t "error-value dispatch" "error!"
+    (run
+       "declare function local:risky() { <error><message>bad</message></error> };         typeswitch (local:risky()) case element(error) return 'error!' default return 'ok'");
+  (* Round-trips through the unparser. *)
+  let q = "typeswitch (5) case $n as xs:integer return $n default $d return count($d)" in
+  let p1 = Xquery.Parser.parse_program q in
+  let p2 = Xquery.Parser.parse_program (Xquery.Unparse.program p1) in
+  check bool_t "unparse roundtrip" true (A.equal_expr p1.A.body p2.A.body)
+
+(* ------------------------------------------------------------------ *)
+(* Unparser round-trips                                                *)
+(* ------------------------------------------------------------------ *)
+
+let unparse_corpus =
+  [
+    "1 + 2 * 3";
+    "-5 + 2";
+    "(1,(2,3),())";
+    "1 to 10";
+    "'it''s' ";
+    "\"a&amp;b\"";
+    "2.5 * 2";
+    "$x - 1";
+    "for $x at $i in (1,2,3) let $y := $x * $i where $y gt 1 order by $y descending return ($y, $i)";
+    "some $a in (1,2), $b in (3,4) satisfies $a + $b eq 5";
+    "if (1 lt 2) then 'a' else 'b'";
+    "count((1,2)) + string-length('xy')";
+    "a/b//c[@k = 'v'][2]/../text()";
+    "/top/kid";
+    "//anywhere";
+    "$n/preceding-sibling::item[1]";
+    "1 eq 1 and 2 ne 3 or not(4 gt 5)";
+    "(1,2) union (3,4)";
+    "'12' cast as xs:integer";
+    "'x' castable as xs:integer";
+    "5 instance of xs:integer";
+    "(1,2) treat as xs:integer+";
+    "element foo { attribute k { 1 }, 'body' }";
+    "document { element r {} }";
+    "<a x=\"1\" y=\"{2+3}\">t<b/>{4,5}</a>";
+    "text { 'hi' }";
+    "comment { 'note' }";
+    "declare variable $g := 10; declare function local:f($x as xs:integer) as xs:integer { $x + $g }; local:f(5)";
+  ]
+
+let test_unparse_roundtrip () =
+  List.iter
+    (fun q ->
+      let p1 = Xquery.Parser.parse_program q in
+      let printed = Xquery.Unparse.program p1 in
+      let p2 =
+        try Xquery.Parser.parse_program printed
+        with Err.Error { message; _ } ->
+          Alcotest.failf "unparse of %S produced unparseable %S: %s" q printed message
+      in
+      (* Direct-constructor content desugars to a singleton E_seq when it
+         comes back through the computed form; that is semantically
+         identity (sequences flatten). Assert convergence instead:
+         unparse∘parse is a fixed point after one round. *)
+      let p3 = Xquery.Parser.parse_program (Xquery.Unparse.program p2) in
+      if not (A.equal_expr p2.A.body p3.A.body) then
+        Alcotest.failf "round-trip did not converge for %S:\n  printed: %s\n  ast2: %s\n  ast3: %s"
+          q printed (A.show_expr p2.A.body) (A.show_expr p3.A.body))
+    unparse_corpus
+
+let test_unparse_evaluates_same () =
+  let needs_env q =
+    List.exists (fun frag -> Astring.String.is_infix ~affix:frag q)
+      [ "$x - 1"; "$n/"; "a/b//c"; "/top"; "//anywhere"; "union" ]
+  in
+  List.iter
+    (fun q ->
+      let direct = run q in
+      let via = run (Xquery.Unparse.program (Xquery.Parser.parse_program q)) in
+      check string_t ("same value: " ^ q) direct via)
+    (List.filter (fun q -> not (needs_env q)) unparse_corpus)
+
+(* Optimizer invariance over queries that exercise paths, constructors,
+   predicates, and FLWOR against a fixed document. *)
+let prop_optimizer_invariant_rich =
+  let doc = Xml_base.Parser.parse_string
+    "<shop><item k=\"a\"><p>3</p></item><item k=\"b\"><p>5</p></item><item><p>2</p></item></shop>" in
+  let gen =
+    let open QCheck.Gen in
+    let leaf = oneofl [ "shop/item"; "shop/item[@k]"; "shop/item/p"; "//p"; "shop/*" ] in
+    let rec q depth =
+      if depth = 0 then map (fun p -> Printf.sprintf "count(%s)" p) leaf
+      else
+        frequency
+          [
+            (2, map (fun p -> Printf.sprintf "count(%s)" p) leaf);
+            ( 2,
+              let* p = leaf in
+              return (Printf.sprintf "sum(for $i in %s return number($i/descendant-or-self::p[1]))" p) );
+            ( 2,
+              let* a = q (depth - 1) in
+              let* b = q (depth - 1) in
+              let* op = oneofl [ "+"; "-"; "*" ] in
+              return (Printf.sprintf "(%s %s %s)" a op b) );
+            ( 1,
+              let* a = q (depth - 1) in
+              return (Printf.sprintf "number(string(<w n=\"{%s}\">{%s}</w>/@n))" a a) );
+            ( 1,
+              let* a = q (depth - 1) in
+              let* b = q (depth - 1) in
+              return (Printf.sprintf "(let $v := %s return if ($v ge %s) then $v else 0)" a b) );
+          ]
+    in
+    QCheck.make (q 3) ~print:(fun s -> s)
+  in
+  QCheck.Test.make ~name:"optimizer invariant on path/constructor queries" ~count:120 gen
+    (fun q ->
+      let run opt =
+        V.to_display_string
+          (E.eval_query ~optimize:opt ~context_item:(V.Node doc) q)
+      in
+      run true = run false)
+
+(* Parser robustness: arbitrary garbage either parses or raises a clean
+   engine error - never an assertion failure or Invalid_argument. *)
+let prop_parser_total =
+  let gen =
+    QCheck.Gen.(
+      string_size
+        ~gen:
+          (oneofl
+             [ 'a'; 'b'; '$'; '('; ')'; '{'; '}'; '<'; '>'; '/'; '*'; '+'; '-'; '=';
+               '!'; '\''; '"'; ' '; ':'; ';'; ','; '['; ']'; '.'; '1'; '9'; 'e' ])
+        (int_bound 40))
+  in
+  QCheck.Test.make ~name:"parser is total (clean errors only)" ~count:500
+    (QCheck.make gen ~print:(fun s -> s))
+    (fun s ->
+      match Xquery.Parser.parse_program s with
+      | _ -> true
+      | exception Err.Error _ -> true
+      | exception _ -> false)
+
+let suite =
+  [
+    ( "xquery-extra.parser",
+      [
+        Alcotest.test_case "precedence golden" `Quick test_precedence_golden;
+        Alcotest.test_case "comparison non-associative" `Quick test_comparison_non_associative;
+        Alcotest.test_case "path vs division" `Quick test_path_vs_division_ast;
+        Alcotest.test_case "keywords as element names" `Quick test_keywords_as_element_names;
+      ] );
+    ( "xquery-extra.axes",
+      [
+        Alcotest.test_case "following/preceding" `Quick test_following_preceding;
+        Alcotest.test_case "set ops in document order" `Quick test_union_in_doc_order;
+        Alcotest.test_case "positional predicates" `Quick test_positional_predicates;
+        Alcotest.test_case "descendant shorthand" `Quick test_double_slash_inside;
+      ] );
+    ( "xquery-extra.constructors",
+      [
+        Alcotest.test_case "nested scopes" `Quick test_nested_constructor_scopes;
+        Alcotest.test_case "fully computed" `Quick test_computed_everything;
+        Alcotest.test_case "document nodes" `Quick test_document_node_constructor;
+        Alcotest.test_case "boundary whitespace" `Quick test_boundary_space;
+        Alcotest.test_case "attribute value normalization" `Quick test_attr_value_normalization;
+      ] );
+    ( "xquery-extra.flwor",
+      [
+        Alcotest.test_case "clause interactions" `Quick test_flwor_interactions;
+        Alcotest.test_case "deep recursion" `Quick test_deep_recursion;
+        Alcotest.test_case "function scope" `Quick test_function_shadowing_and_scope;
+        Alcotest.test_case "quantifier shadowing" `Quick test_quantified_shadowing;
+      ] );
+    ( "xquery-extra.compat",
+      [
+        Alcotest.test_case "duplicate-attribute policies" `Quick test_galax_flags_are_independent;
+        Alcotest.test_case "live traces survive" `Quick test_trace_in_sequence_not_eliminated;
+      ] );
+    ( "xquery-extra.typeswitch",
+      [ Alcotest.test_case "typeswitch" `Quick test_typeswitch ] );
+    ( "xquery-extra.unparse",
+      [
+        Alcotest.test_case "round-trip preserves structure" `Quick test_unparse_roundtrip;
+        Alcotest.test_case "round-trip preserves values" `Quick test_unparse_evaluates_same;
+        QCheck_alcotest.to_alcotest prop_parser_total;
+        QCheck_alcotest.to_alcotest prop_optimizer_invariant_rich;
+      ] );
+    ( "xquery-extra.programs",
+      [
+        Alcotest.test_case "grouped report" `Quick test_report_query;
+        Alcotest.test_case "restructuring" `Quick test_restructuring_query;
+        Alcotest.test_case "two-document join" `Quick test_join_query;
+      ] );
+  ]

@@ -1,0 +1,357 @@
+(* Tests for the XSLT-lite engine: patterns, instructions, conflict
+   resolution, built-in rules, and the output-stream splitter written as
+   an actual XSLT program. *)
+
+module N = Xml_base.Node
+module S = Xml_base.Serialize
+
+let check = Alcotest.check
+let string_t = Alcotest.string
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let xsl body =
+  Printf.sprintf
+    "<xsl:stylesheet xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">%s</xsl:stylesheet>"
+    body
+
+let transform stylesheet source =
+  let sheet = Xslt.compile_string (xsl stylesheet) in
+  let doc = Xml_base.Parser.parse_string source in
+  String.concat "" (List.map S.to_string (Xslt.apply sheet doc))
+
+(* ------------------------------------------------------------------ *)
+(* Basics                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_identityish () =
+  let out =
+    transform
+      "<xsl:template match=\"/\"><out><xsl:apply-templates/></out></xsl:template>\
+       <xsl:template match=\"b\"><bee/></xsl:template>"
+      "<a><b/><c>text</c><b/></a>"
+  in
+  (* a has no rule: built-in recurses; c has no rule: recurses to text. *)
+  check string_t "dispatch" "<out><bee/>text<bee/></out>" out
+
+let test_value_of_and_text () =
+  let out =
+    transform
+      "<xsl:template match=\"/\"><r><xsl:value-of select=\"string(doc/name)\"/>\
+       <xsl:text>!</xsl:text></r></xsl:template>"
+      "<doc><name>world</name></doc>"
+  in
+  check string_t "value-of" "<r>world!</r>" out
+
+let test_for_each_and_position () =
+  let out =
+    transform
+      "<xsl:template match=\"/\"><r><xsl:for-each select=\"doc/item\">\
+       <i n=\"{position()}\"><xsl:value-of select=\"string(.)\"/></i>\
+       </xsl:for-each></r></xsl:template>"
+      "<doc><item>a</item><item>b</item></doc>"
+  in
+  check string_t "for-each" "<r><i n=\"1\">a</i><i n=\"2\">b</i></r>" out
+
+let test_if_choose () =
+  let out =
+    transform
+      "<xsl:template match=\"/\"><r><xsl:for-each select=\"doc/n\">\
+       <xsl:if test=\"number(.) gt 2\"><big/></xsl:if>\
+       <xsl:choose><xsl:when test=\"number(.) eq 1\"><one/></xsl:when>\
+       <xsl:when test=\"number(.) eq 2\"><two/></xsl:when>\
+       <xsl:otherwise><many/></xsl:otherwise></xsl:choose>\
+       </xsl:for-each></r></xsl:template>"
+      "<doc><n>1</n><n>2</n><n>3</n></doc>"
+  in
+  check string_t "if/choose" "<r><one/><two/><big/><many/></r>" out
+
+let test_copy_of () =
+  let out =
+    transform
+      "<xsl:template match=\"/\"><kept><xsl:copy-of select=\"doc/keep\"/></kept></xsl:template>"
+      "<doc><keep a=\"1\"><deep/></keep><drop/></doc>"
+  in
+  check string_t "copy-of deep copies" "<kept><keep a=\"1\"><deep/></keep></kept>" out
+
+let test_copy_shallow () =
+  let out =
+    transform
+      "<xsl:template match=\"/\"><xsl:apply-templates/></xsl:template>\
+       <xsl:template match=\"*\"><xsl:copy><xsl:apply-templates/></xsl:copy></xsl:template>"
+      "<a x=\"dropped\"><b><c>t</c></b></a>"
+  in
+  (* Shallow copy: element names survive, attributes do not (XSLT's
+     xsl:copy semantics). *)
+  check string_t "recursive identity minus attrs" "<a><b><c>t</c></b></a>" out
+
+let test_element_attribute_constructors () =
+  let out =
+    transform
+      "<xsl:template match=\"/\"><xsl:element name=\"{concat('a','b')}\">\
+       <xsl:attribute name=\"k\"><xsl:text>v1</xsl:text></xsl:attribute>\
+       body</xsl:element></xsl:template>"
+      "<x/>"
+  in
+  check string_t "computed element + attribute" "<ab k=\"v1\">body</ab>" out
+
+let test_sort () =
+  let out =
+    transform
+      "<xsl:template match=\"/\"><r><xsl:for-each select=\"doc/n\">\
+       <xsl:sort select=\"string(.)\" order=\"descending\"/>\
+       <i><xsl:value-of select=\"string(.)\"/></i></xsl:for-each></r></xsl:template>"
+      "<doc><n>b</n><n>c</n><n>a</n></doc>"
+  in
+  check string_t "string sort desc" "<r><i>c</i><i>b</i><i>a</i></r>" out;
+  let out =
+    transform
+      "<xsl:template match=\"/\"><r><xsl:for-each select=\"doc/n\">\
+       <xsl:sort select=\"string(.)\" data-type=\"number\"/>\
+       <i><xsl:value-of select=\"string(.)\"/></i></xsl:for-each></r></xsl:template>"
+      "<doc><n>10</n><n>9</n><n>100</n></doc>"
+  in
+  check string_t "numeric sort" "<r><i>9</i><i>10</i><i>100</i></r>" out;
+  let out =
+    transform
+      "<xsl:template match=\"/\"><r><xsl:apply-templates select=\"doc/n\">\
+       <xsl:sort select=\"string(.)\"/></xsl:apply-templates></r></xsl:template>\
+       <xsl:template match=\"n\"><k><xsl:value-of select=\"string(.)\"/></k></xsl:template>"
+      "<doc><n>b</n><n>a</n></doc>"
+  in
+  check string_t "sorted apply-templates" "<r><k>a</k><k>b</k></r>" out
+
+let test_variables () =
+  let out =
+    transform
+      "<xsl:template match=\"/\">\
+       <xsl:variable name=\"total\" select=\"sum(doc/n)\"/>\
+       <r t=\"{$total}\"><xsl:value-of select=\"string($total * 2)\"/></r></xsl:template>"
+      "<doc><n>1</n><n>2</n><n>3</n></doc>"
+  in
+  check string_t "variable" "<r t=\"6\">12</r>" out
+
+let test_avt_escapes () =
+  let out =
+    transform
+      "<xsl:template match=\"/\"><r v=\"{{literal}} {1+1}\"/></xsl:template>"
+      "<x/>"
+  in
+  check string_t "avt braces" "<r v=\"{literal} 2\"/>" out
+
+(* ------------------------------------------------------------------ *)
+(* Patterns and conflicts                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_pattern_specificity () =
+  let out =
+    transform
+      "<xsl:template match=\"/\"><r><xsl:apply-templates select=\"//leaf\"/></r></xsl:template>\
+       <xsl:template match=\"*\"><any/></xsl:template>\
+       <xsl:template match=\"leaf\"><named/></xsl:template>\
+       <xsl:template match=\"special/leaf\"><qualified/></xsl:template>"
+      "<doc><leaf/><special><leaf/></special></doc>"
+  in
+  (* name beats *, parent-qualified beats name. *)
+  check string_t "priorities" "<r><named/><qualified/></r>" out
+
+let test_later_template_wins_ties () =
+  let out =
+    transform
+      "<xsl:template match=\"/\"><xsl:apply-templates/></xsl:template>\
+       <xsl:template match=\"a\"><first/></xsl:template>\
+       <xsl:template match=\"a\"><second/></xsl:template>"
+      "<a/>"
+  in
+  check string_t "document order tie-break" "<second/>" out
+
+let test_explicit_priority () =
+  let out =
+    transform
+      "<xsl:template match=\"/\"><xsl:apply-templates/></xsl:template>\
+       <xsl:template match=\"a\" priority=\"10\"><strong/></xsl:template>\
+       <xsl:template match=\"a\"><weak/></xsl:template>"
+      "<a/>"
+  in
+  check string_t "explicit priority" "<strong/>" out
+
+let test_anchored_patterns () =
+  let out =
+    transform
+      "<xsl:template match=\"/\"><r><xsl:apply-templates select=\"//a\"/></r></xsl:template>\
+       <xsl:template match=\"/doc/a\"><top/></xsl:template>\
+       <xsl:template match=\"a\"><nested/></xsl:template>"
+      "<doc><a/><inner><a/></inner></doc>"
+  in
+  check string_t "anchored" "<r><top/><nested/></r>" out
+
+let test_text_pattern () =
+  let out =
+    transform
+      "<xsl:template match=\"/\"><r><xsl:apply-templates/></r></xsl:template>\
+       <xsl:template match=\"text()\"><t/></xsl:template>"
+      "<doc>one<k>two</k></doc>"
+  in
+  check string_t "text() pattern" "<r><t/><t/></r>" out
+
+let test_errors () =
+  let fails body =
+    match Xslt.compile_string (xsl body) with
+    | exception Xslt.Error _ -> true
+    | sheet -> (
+      match Xslt.apply sheet (Xml_base.Parser.parse_string "<x/>") with
+      | exception Xslt.Error _ -> true
+      | _ -> false)
+  in
+  check bool_t "template without match" true (fails "<xsl:template><a/></xsl:template>");
+  check bool_t "value-of without select" true
+    (fails "<xsl:template match=\"/\"><xsl:value-of/></xsl:template>");
+  check bool_t "unknown instruction" true
+    (fails "<xsl:template match=\"/\"><xsl:frobnicate/></xsl:template>");
+  check bool_t "bad expression" true
+    (fails "<xsl:template match=\"/\"><xsl:value-of select=\"1 +\"/></xsl:template>");
+  check bool_t "non-template child" true (fails "<zorp/>")
+
+(* ------------------------------------------------------------------ *)
+(* The output-stream splitter, in XSLT                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_stream_split_equivalence () =
+  let model = Awb.Samples.banking_model () in
+  let template =
+    Xml_base.Parser.strip_whitespace
+      (Xml_base.Parser.parse_string
+         "<document><for nodes=\"start type(User); sort-by label\"><p><label/></p></for>\
+          <marker-table name=\"LOST\" rows=\"start type(Server)\" cols=\"start type(Program)\" \
+          rel=\"runs\"/></document>")
+  in
+  let wrapped, _ = Docgen.Functional_engine.generate_with_streams model ~template in
+  let direct = Docgen.Streams.split wrapped in
+  let via_xslt = Docgen.Streams.split_via_xslt wrapped in
+  check string_t "same document"
+    (S.to_string direct.Docgen.Streams.document)
+    (S.to_string via_xslt.Docgen.Streams.document);
+  check (Alcotest.list string_t) "same problems" direct.Docgen.Streams.problems
+    via_xslt.Docgen.Streams.problems;
+  check bool_t "problems include the unused marker" true
+    (List.exists
+       (fun p -> Astring.String.is_infix ~affix:"LOST" p)
+       via_xslt.Docgen.Streams.problems)
+
+let test_stream_split_empty_problems () =
+  let wrapped =
+    Docgen.Spec.wrap_streams ~document:(N.element "d") ~problems:[]
+  in
+  let via_xslt = Docgen.Streams.split_via_xslt wrapped in
+  check int_t "no problems" 0 (List.length via_xslt.Docgen.Streams.problems)
+
+let suite =
+  [
+    ( "xslt.instructions",
+      [
+        Alcotest.test_case "dispatch and built-ins" `Quick test_identityish;
+        Alcotest.test_case "value-of / text" `Quick test_value_of_and_text;
+        Alcotest.test_case "for-each / position" `Quick test_for_each_and_position;
+        Alcotest.test_case "if / choose" `Quick test_if_choose;
+        Alcotest.test_case "copy-of" `Quick test_copy_of;
+        Alcotest.test_case "copy" `Quick test_copy_shallow;
+        Alcotest.test_case "element / attribute" `Quick test_element_attribute_constructors;
+        Alcotest.test_case "variables" `Quick test_variables;
+        Alcotest.test_case "xsl:sort" `Quick test_sort;
+        Alcotest.test_case "avt escapes" `Quick test_avt_escapes;
+      ] );
+    ( "xslt.patterns",
+      [
+        Alcotest.test_case "specificity" `Quick test_pattern_specificity;
+        Alcotest.test_case "later template wins" `Quick test_later_template_wins_ties;
+        Alcotest.test_case "explicit priority" `Quick test_explicit_priority;
+        Alcotest.test_case "anchored" `Quick test_anchored_patterns;
+        Alcotest.test_case "text()" `Quick test_text_pattern;
+        Alcotest.test_case "errors" `Quick test_errors;
+      ] );
+    ( "xslt.stream-splitter",
+      [
+        Alcotest.test_case "agrees with the direct splitter" `Quick
+          test_stream_split_equivalence;
+        Alcotest.test_case "empty problems" `Quick test_stream_split_empty_problems;
+      ] );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The copy-of identity stylesheet reproduces any tree exactly. *)
+let identity_sheet =
+  Xslt.compile_string
+    (xsl "<xsl:template match=\"/\"><xsl:copy-of select=\"*\"/></xsl:template>")
+
+(* Reuse a small random-tree generator (attribute-free text content kept
+   simple so serialization comparison is exact). *)
+let gen_tree =
+  let open QCheck.Gen in
+  let name_g = oneofl [ "a"; "b"; "cee"; "dd" ] in
+  let text_g = oneofl [ "hi"; "x y"; "z" ] in
+  let rec tree depth =
+    if depth = 0 then map N.text text_g
+    else
+      frequency
+        [
+          (2, map N.text text_g);
+          ( 3,
+            let* tag = name_g in
+            let* nattrs = int_bound 2 in
+            let* attrs =
+              flatten_l
+                (List.init nattrs (fun i ->
+                     let* v = text_g in
+                     return (N.attribute (Printf.sprintf "k%d" i) v)))
+            in
+            let* nkids = int_bound 3 in
+            let* kids = flatten_l (List.init nkids (fun _ -> tree (depth - 1))) in
+            return (N.element tag ~attrs ~children:kids) );
+        ]
+  in
+  let root =
+    let* tag = name_g in
+    let* nkids = int_bound 3 in
+    let* kids = flatten_l (List.init nkids (fun _ -> tree 3)) in
+    return (N.element tag ~children:kids)
+  in
+  QCheck.make root ~print:S.to_string
+
+let prop_copy_of_identity =
+  QCheck.Test.make ~name:"copy-of is the identity" ~count:100 gen_tree (fun t ->
+      let doc = N.document [ N.copy t ] in
+      match List.filter N.is_element (Xslt.apply identity_sheet doc) with
+      | [ out ] -> S.to_string out = S.to_string t
+      | _ -> false)
+
+(* The recursive shallow-copy stylesheet preserves everything except
+   attributes (xsl:copy semantics). *)
+let shallow_sheet =
+  Xslt.compile_string
+    (xsl
+       "<xsl:template match=\"/\"><xsl:apply-templates/></xsl:template>\
+        <xsl:template match=\"*\"><xsl:copy><xsl:apply-templates/></xsl:copy></xsl:template>")
+
+let rec strip_attrs t =
+  match N.kind t with
+  | N.Element -> N.element (N.name t) ~children:(List.map strip_attrs (N.children t))
+  | _ -> N.copy t
+
+let prop_shallow_copy_strips_attrs =
+  QCheck.Test.make ~name:"xsl:copy identity minus attributes" ~count:100 gen_tree
+    (fun t ->
+      let doc = N.document [ N.copy t ] in
+      match List.filter N.is_element (Xslt.apply shallow_sheet doc) with
+      | [ out ] -> S.to_string out = S.to_string (strip_attrs t)
+      | _ -> false)
+
+let suite =
+  suite
+  @ [
+      ( "xslt.properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_copy_of_identity; prop_shallow_copy_strips_attrs ] );
+    ]
