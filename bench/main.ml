@@ -176,22 +176,22 @@ let e2 () =
       let rf = ref None and rh = ref None in
       let t_f =
         best_ms (fun () ->
-            rf := Some (Docgen.Functional_engine.generate ~backend model ~template:tpl_ok))
+            rf := Some (Docgen.generate ~engine:`Functional ~backend model ~template:tpl_ok))
       in
       let t_h =
         best_ms (fun () ->
-            rh := Some (Docgen.Host_engine.generate ~backend model ~template:tpl_ok))
+            rh := Some (Docgen.generate ~engine:`Host ~backend model ~template:tpl_ok))
       in
       let sf = (Option.get !rf).Spec.stats and sh = (Option.get !rh).Spec.stats in
       Printf.printf "  %-8d %-10s %12.3f %12.3f %14d %12d\n" docs "success" t_f t_h
         sf.Spec.error_checks sh.Spec.exceptions_raised;
       let t_ff =
         best_ms (fun () ->
-            rf := Some (Docgen.Functional_engine.generate ~backend model ~template:tpl_fail))
+            rf := Some (Docgen.generate ~engine:`Functional ~backend model ~template:tpl_fail))
       in
       let t_hf =
         best_ms (fun () ->
-            rh := Some (Docgen.Host_engine.generate ~backend model ~template:tpl_fail))
+            rh := Some (Docgen.generate ~engine:`Host ~backend model ~template:tpl_fail))
       in
       let sff = (Option.get !rf).Spec.stats and shf = (Option.get !rh).Spec.stats in
       Printf.printf "  %-8d %-10s %12.3f %12.3f %14d %12d\n" docs "failure" t_ff t_hf
@@ -204,12 +204,12 @@ let e2 () =
       Test.make ~name:"functional_error_values"
         (Staged.stage (fun () ->
              ignore
-               (Docgen.Functional_engine.generate ~backend:Spec.Native_queries model
+               (Docgen.generate ~engine:`Functional ~backend:Spec.Native_queries model
                   ~template:tpl_ok)));
       Test.make ~name:"host_exceptions"
         (Staged.stage (fun () ->
              ignore
-               (Docgen.Host_engine.generate ~backend:Spec.Native_queries model
+               (Docgen.generate ~engine:`Host ~backend:Spec.Native_queries model
                   ~template:tpl_ok)));
     ]
 
@@ -243,11 +243,11 @@ let e3 () =
       let rf = ref None and rh = ref None in
       let t_f =
         best_ms (fun () ->
-            rf := Some (Docgen.Functional_engine.generate ~backend model ~template:tpl))
+            rf := Some (Docgen.generate ~engine:`Functional ~backend model ~template:tpl))
       in
       let t_h =
         best_ms (fun () ->
-            rh := Some (Docgen.Host_engine.generate ~backend model ~template:tpl))
+            rh := Some (Docgen.generate ~engine:`Host ~backend model ~template:tpl))
       in
       let sf = (Option.get !rf).Spec.stats and sh = (Option.get !rh).Spec.stats in
       Printf.printf "  %-8d %12.3f %12.3f %7.1fx %14d %14d\n" users t_f t_h
@@ -260,12 +260,12 @@ let e3 () =
       Test.make ~name:"functional_five_phases"
         (Staged.stage (fun () ->
              ignore
-               (Docgen.Functional_engine.generate ~backend:Spec.Native_queries model
+               (Docgen.generate ~engine:`Functional ~backend:Spec.Native_queries model
                   ~template:tpl)));
       Test.make ~name:"host_single_pass_plus_patch"
         (Staged.stage (fun () ->
              ignore
-               (Docgen.Host_engine.generate ~backend:Spec.Native_queries model ~template:tpl)));
+               (Docgen.generate ~engine:`Host ~backend:Spec.Native_queries model ~template:tpl)));
     ]
 
 (* ---------------------------------------------------------------- *)
@@ -453,8 +453,8 @@ let e7 () =
        sort-by label\" rel=\"runs\"/></section></with-single>\
        <table-of-omissions types=\"Document\"/></document>"
   in
-  let rf = Docgen.Functional_engine.generate ~backend:Spec.Xquery_queries model ~template:tpl in
-  let rh = Docgen.Host_engine.generate ~backend:Spec.Native_queries model ~template:tpl in
+  let rf = Docgen.generate ~engine:`Functional ~backend:Spec.Xquery_queries model ~template:tpl in
+  let rh = Docgen.generate ~engine:`Host ~backend:Spec.Native_queries model ~template:tpl in
   Printf.printf "  %-44s %-24s %-24s\n" "" "functional (XQuery era)" "host (the rewrite)";
   let row label a b = Printf.printf "  %-44s %-24s %-24s\n" label a b in
   row "error handling" "error values" "one exception type";
@@ -479,6 +479,89 @@ let e7 () =
   Printf.printf "\n  engine inventory: %d built-in XQuery function entries, %d template directives\n"
     (List.length Xquery.Functions.registry)
     (List.length Spec.directive_names)
+
+(* ---------------------------------------------------------------- *)
+(* E8: the service layer — compiled-artifact cache + domain batches  *)
+(* ---------------------------------------------------------------- *)
+
+let e8_template =
+  "<document><table-of-contents/><for nodes=\"start type(User); sort-by label\">\
+   <section><heading><label/></heading>\
+   <p><value-of query=\"start focus; follow uses; distinct; sort-by label\"/></p>\
+   <p><count-of query=\"start focus; follow uses to(Program); distinct\"/></p>\
+   </section></for><table-of-omissions types=\"User\"/></document>"
+
+let e8 () =
+  section "E8 - service layer: compiled-artifact cache + multi-domain batches";
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "  cores available to the runtime: %d\n" cores;
+  let model = Awb.Synth.generate_of_size ~seed:7 (if quick then 120 else 400) in
+  let model_xml = Awb.Xml_io.export_string model in
+  Printf.printf "  model export is %d KiB; batch = %d requests\n\n"
+    (String.length model_xml / 1024)
+    (if quick then 8 else 24);
+  let n = if quick then 8 else 24 in
+  let mk_batch tpl =
+    List.init n (fun i ->
+        Service.request
+          ~id:(Printf.sprintf "req%d" i)
+          ~template:(Service.Template_xml tpl)
+          ~model:
+            (Service.Model_xml { metamodel = Awb.Samples.it_architecture; xml = model_xml })
+          ())
+  in
+  let run_ok svc ~domains batch =
+    let rs = Service.run_batch ~domains svc batch in
+    List.map
+      (fun (r : Service.response) ->
+        match r.Service.result with
+        | Ok out -> out.Service.document
+        | Error e -> failwith (Service.error_to_string e))
+      rs
+  in
+  (* Cold vs warm: capacity 0 re-parses the template and re-imports the
+     model on every request; a warmed cache pays those costs once. The
+     roster template keeps generation cheap, so the batch is bound by
+     exactly the work the cache elides. *)
+  let roster =
+    "<document><for nodes=\"start type(User); sort-by label\"><p><label/></p></for>\
+     </document>"
+  in
+  let cache_batch = mk_batch roster in
+  let cold_svc =
+    Service.create ~config:{ Service.default_config with Service.cache_capacity = 0 } ()
+  in
+  let warm_svc = Service.create () in
+  ignore (run_ok warm_svc ~domains:1 cache_batch) (* warm the caches *);
+  let t_cold = best_ms ~k:2 (fun () -> ignore (run_ok cold_svc ~domains:1 cache_batch)) in
+  let t_warm = best_ms ~k:2 (fun () -> ignore (run_ok warm_svc ~domains:1 cache_batch)) in
+  Printf.printf "  %-34s %10.3f ms\n" "cold cache (reparse + reimport)" t_cold;
+  Printf.printf "  %-34s %10.3f ms\n" "warm cache" t_warm;
+  Printf.printf "  %-34s %9.2fx\n" "warm speedup" (t_cold /. Float.max 1e-9 t_warm);
+  let c = Service.counters warm_svc in
+  Printf.printf "  warm-cache hit rates: templates %d/%d, models %d/%d\n\n"
+    c.Service.template_hits
+    (c.Service.template_hits + c.Service.template_misses)
+    c.Service.model_hits
+    (c.Service.model_hits + c.Service.model_misses);
+  (* Domain scaling on a generation-bound batch, with the serial run as
+     the byte-identity oracle. On a single-core box the parallel numbers
+     only measure overhead — the point of printing `cores` above. *)
+  let scaling_batch = mk_batch e8_template in
+  let reference = run_ok warm_svc ~domains:1 scaling_batch in
+  let t1 = ref 0. in
+  List.iter
+    (fun domains ->
+      let docs = ref [] in
+      let t = best_ms ~k:2 (fun () -> docs := run_ok warm_svc ~domains scaling_batch) in
+      if domains = 1 then t1 := t;
+      Printf.printf "  %d domain%s %28s %10.3f ms  %6.2fx vs 1 domain  identical: %b\n"
+        domains
+        (if domains = 1 then " " else "s")
+        "" t
+        (!t1 /. Float.max 1e-9 t)
+        (!docs = reference))
+    [ 1; 2; 4 ]
 
 (* ---------------------------------------------------------------- *)
 (* Ablations: design choices DESIGN.md calls out                     *)
@@ -522,13 +605,13 @@ let a2 () =
   Printf.printf "  %-34s %12s\n" "configuration" "ms";
   let cell label f = Printf.printf "  %-34s %12.3f\n" label (best_ms ~k:2 f) in
   cell "functional + xquery (the paper's)" (fun () ->
-      ignore (Docgen.Functional_engine.generate ~backend:Spec.Xquery_queries model ~template:tpl));
+      ignore (Docgen.generate ~engine:`Functional ~backend:Spec.Xquery_queries model ~template:tpl));
   cell "functional + native" (fun () ->
-      ignore (Docgen.Functional_engine.generate ~backend:Spec.Native_queries model ~template:tpl));
+      ignore (Docgen.generate ~engine:`Functional ~backend:Spec.Native_queries model ~template:tpl));
   cell "host + xquery" (fun () ->
-      ignore (Docgen.Host_engine.generate ~backend:Spec.Xquery_queries model ~template:tpl));
+      ignore (Docgen.generate ~engine:`Host ~backend:Spec.Xquery_queries model ~template:tpl));
   cell "host + native (the rewrite)" (fun () ->
-      ignore (Docgen.Host_engine.generate ~backend:Spec.Native_queries model ~template:tpl))
+      ignore (Docgen.generate ~engine:`Host ~backend:Spec.Native_queries model ~template:tpl))
 
 (* A3: substrate throughput — XML parse/serialize and model export. *)
 let a3 () =
@@ -554,7 +637,7 @@ let a4 () =
     template
       "<document><for nodes=\"start type(User); sort-by label\"><p><label/></p></for></document>"
   in
-  let wrapped, _ = Docgen.Functional_engine.generate_with_streams model ~template:tpl in
+  let wrapped, _ = Docgen.generate_with_streams ~engine:`Functional model ~template:tpl in
   Printf.printf "  %-24s %10.3f ms\n" "direct split"
     (best_ms (fun () -> ignore (Docgen.Streams.split wrapped)));
   Printf.printf "  %-24s %10.3f ms\n" "via the XSLT engine"
@@ -573,6 +656,7 @@ let () =
   e5 ();
   e6 ();
   e7 ();
+  e8 ();
   a1 ();
   a2 ();
   a3 ();

@@ -33,14 +33,14 @@ let run template_file sample model_file engine pretty html stats =
       1
     | template ->
       let template = Xml_base.Parser.strip_whitespace template in
-      let result =
-        match engine with
-        | "host" -> Docgen.Host_engine.generate model ~template
-        | "functional" -> Docgen.Functional_engine.generate model ~template
-        | other ->
-          prerr_endline (Printf.sprintf "awbdoc: unknown engine %S" other);
+      let engine =
+        match Docgen.engine_of_string engine with
+        | Ok e -> e
+        | Error m ->
+          prerr_endline ("awbdoc: " ^ m);
           exit 1
       in
+      let result = Docgen.generate ~engine model ~template in
       let s =
         if html then Xml_base.Serialize.to_html_string result.Docgen.Spec.document
         else if pretty then Xml_base.Serialize.to_pretty_string result.Docgen.Spec.document
@@ -74,7 +74,10 @@ let model_file =
 let engine =
   Arg.(
     value & opt string "host"
-    & info [ "engine" ] ~docv:"E" ~doc:"host (the rewrite) or functional (the XQuery style).")
+    & info [ "engine" ] ~docv:"E"
+        ~doc:
+          "host (the rewrite), functional (the XQuery style), or xq (the actual \
+           XQuery core).")
 
 let pretty = Arg.(value & flag & info [ "pretty" ] ~doc:"Indent the output.")
 let html = Arg.(value & flag & info [ "html" ] ~doc:"Serialize as HTML (void elements, raw script/style).")

@@ -1,0 +1,172 @@
+(* awbserve — drive the document-generation service over a directory of
+   template files.
+
+   Examples:
+     dune exec bin/awbserve.exe -- --templates examples/ --sample banking
+     dune exec bin/awbserve.exe -- -T tpls/ --model m.xml --domains 4 --repeat 8 --stats
+     dune exec bin/awbserve.exe -- -T tpls/ --sample glass --engine functional \
+       --deadline 250 --out generated/ *)
+
+open Cmdliner
+
+let list_templates dir =
+  match Sys.readdir dir with
+  | entries ->
+    Array.to_list entries
+    |> List.filter (fun f -> Filename.check_suffix f ".xml")
+    |> List.sort compare
+    |> List.map (fun f -> (Filename.remove_extension f, Filename.concat dir f))
+  | exception Sys_error m -> failwith m
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_model sample model_file =
+  match (sample, model_file) with
+  | Some "banking", None -> Ok (Service.Model_value (Awb.Samples.banking_model ()))
+  | Some "glass", None -> Ok (Service.Model_value (Awb.Samples.glass_model ()))
+  | Some other, None -> Error (Printf.sprintf "unknown sample %S (banking|glass)" other)
+  | None, Some path -> (
+    (* Route through the service's model cache: repeated requests import
+       the XML once. *)
+    try Ok (Service.Model_xml { metamodel = Awb.Samples.it_architecture; xml = read_file path })
+    with Sys_error m -> Error m)
+  | None, None -> Ok (Service.Model_value (Awb.Samples.banking_model ()))
+  | Some _, Some _ -> Error "choose one of --sample or --model"
+
+let run templates_dir sample model_file engine domains repeat deadline_ms cache_capacity
+    out_dir stats =
+  let fail m =
+    prerr_endline ("awbserve: " ^ m);
+    exit 1
+  in
+  let engine =
+    match Docgen.engine_of_string engine with Ok e -> e | Error m -> fail m
+  in
+  let model = match load_model sample model_file with Ok m -> m | Error m -> fail m in
+  let templates =
+    match list_templates templates_dir with
+    | [] -> fail (Printf.sprintf "no .xml templates in %s" templates_dir)
+    | ts -> ts
+    | exception Failure m -> fail m
+  in
+  let svc =
+    Service.create
+      ~config:
+        {
+          Service.domains;
+          cache_capacity;
+          default_deadline = Option.map (fun ms -> ms /. 1000.) deadline_ms;
+        }
+      ()
+  in
+  let requests =
+    List.concat_map
+      (fun round ->
+        List.map
+          (fun (name, path) ->
+            let id = if repeat = 1 then name else Printf.sprintf "%s.%d" name round in
+            Service.request ~engine ~id
+              ~template:(Service.Template_xml (read_file path))
+              ~model ())
+          templates)
+      (List.init (max 1 repeat) (fun i -> i + 1))
+  in
+  let t0 = Unix.gettimeofday () in
+  let responses = Service.run_batch svc requests in
+  let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  (match out_dir with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    List.iter
+      (fun (r : Service.response) ->
+        match r.Service.result with
+        | Ok out ->
+          let oc = open_out (Filename.concat dir (r.Service.request_id ^ ".xml")) in
+          output_string oc out.Service.document;
+          output_char oc '\n';
+          close_out oc
+        | Error _ -> ())
+      responses);
+  let ok, failed =
+    List.partition (fun (r : Service.response) -> Result.is_ok r.Service.result) responses
+  in
+  List.iter
+    (fun (r : Service.response) ->
+      match r.Service.result with
+      | Ok out ->
+        Printf.printf "ok   %-24s %6d bytes  %7.2f ms%s\n" r.Service.request_id
+          (String.length out.Service.document)
+          (out.Service.timings.Service.total_s *. 1000.)
+          (match out.Service.problems with
+          | [] -> ""
+          | ps -> Printf.sprintf "  (%d problems)" (List.length ps))
+      | Error e ->
+        Printf.printf "FAIL %-24s %s\n" r.Service.request_id (Service.error_to_string e))
+    responses;
+  Printf.printf "\n%d requests (%d ok, %d failed) in %.2f ms across %d domain%s\n"
+    (List.length responses) (List.length ok) (List.length failed) elapsed_ms domains
+    (if domains = 1 then "" else "s");
+  if stats then Format.printf "%a@." Service.pp_counters (Service.counters svc);
+  if failed = [] then 0 else 1
+
+let templates_dir =
+  Arg.(
+    required
+    & opt (some dir) None
+    & info [ "T"; "templates" ] ~docv:"DIR" ~doc:"Directory of .xml template files.")
+
+let sample =
+  Arg.(value & opt (some string) None & info [ "sample" ] ~docv:"NAME" ~doc:"banking or glass.")
+
+let model_file =
+  Arg.(value & opt (some file) None & info [ "model" ] ~docv:"XML" ~doc:"awb-model export.")
+
+let engine =
+  Arg.(
+    value & opt string "host"
+    & info [ "engine" ] ~docv:"E" ~doc:"host, functional, or xq.")
+
+let domains =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N" ~doc:"Fan the batch across $(docv) OCaml domains.")
+
+let repeat =
+  Arg.(
+    value & opt int 1
+    & info [ "repeat" ] ~docv:"K"
+        ~doc:"Serve the template set $(docv) times (exercises the caches).")
+
+let deadline_ms =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"MS" ~doc:"Per-request deadline in milliseconds.")
+
+let cache_capacity =
+  Arg.(
+    value & opt int 128
+    & info [ "cache" ] ~docv:"N" ~doc:"Artifact cache capacity (0 disables caching).")
+
+let out_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"DIR" ~doc:"Write each generated document to $(docv)/<id>.xml.")
+
+let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print service counters.")
+
+let cmd =
+  let doc = "serve batches of document generations from AWB models" in
+  Cmd.v
+    (Cmd.info "awbserve" ~doc)
+    Term.(
+      const run $ templates_dir $ sample $ model_file $ engine $ domains $ repeat
+      $ deadline_ms $ cache_capacity $ out_dir $ stats)
+
+let () = exit (Cmd.eval' cmd)

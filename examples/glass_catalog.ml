@@ -42,7 +42,7 @@ let () =
   let template =
     Lopsided.Xml.Parser.strip_whitespace (Lopsided.Xml.Parser.parse_string template_src)
   in
-  let result = Lopsided.Docgen.Host_engine.generate model ~template in
+  let result = Lopsided.Docgen.generate ~engine:`Host model ~template in
   print_endline "== Antique glass catalog (host engine) ==\n";
   print_endline (Lopsided.Xml.Serialize.to_pretty_string result.Spec.document);
   if result.Spec.problems <> [] then begin
@@ -52,7 +52,7 @@ let () =
 
   (* The same template through the functional engine gives the same
      bytes — the glass catalog has no idea which architecture made it. *)
-  let functional = Lopsided.Docgen.Functional_engine.generate model ~template in
+  let functional = Lopsided.Docgen.generate ~engine:`Functional model ~template in
   Printf.printf "\nfunctional engine output identical: %b\n"
     (Lopsided.Xml.Serialize.to_string functional.Spec.document
     = Lopsided.Xml.Serialize.to_string result.Spec.document)

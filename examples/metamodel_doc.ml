@@ -52,7 +52,7 @@ let () =
   let template =
     Lopsided.Xml.Parser.strip_whitespace (Lopsided.Xml.Parser.parse_string template_src)
   in
-  let result = Lopsided.Docgen.Host_engine.generate model ~template in
+  let result = Lopsided.Docgen.generate ~engine:`Host model ~template in
   print_endline (S.to_pretty_string result.Spec.document);
 
   (* And back again: the reflection round-trips. *)

@@ -53,7 +53,7 @@ let () =
   (* Stage 1: the functional (XQuery-style) generator produces a single
      wrapped output stream. *)
   let wrapped, stats =
-    Lopsided.Docgen.Functional_engine.generate_with_streams model ~template
+    Lopsided.Docgen.generate_with_streams ~engine:`Functional model ~template
   in
   Printf.printf "stage 1: generated one output stream (%d phases, %d nodes copied)\n"
     stats.Lopsided.Docgen.Spec.phases stats.Lopsided.Docgen.Spec.nodes_copied;

@@ -54,8 +54,8 @@ let () =
 
   print_endline "== Generating the System Context document twice ==\n";
 
-  let functional = Lopsided.Docgen.Functional_engine.generate model ~template in
-  let host = Lopsided.Docgen.Host_engine.generate model ~template in
+  let functional = Lopsided.Docgen.generate ~engine:`Functional model ~template in
+  let host = Lopsided.Docgen.generate ~engine:`Host model ~template in
 
   let fs = S.to_string functional.Spec.document in
   let hs = S.to_string host.Spec.document in
@@ -79,5 +79,5 @@ let () =
   ignore
     (Lopsided.Awb.Model.add_node model "SystemBeingDesigned"
        ~props:[ ("name", Lopsided.Awb.Model.V_string "impostor") ]);
-  let broken = Lopsided.Docgen.Host_engine.generate model ~template in
+  let broken = Lopsided.Docgen.generate ~engine:`Host model ~template in
   print_endline (S.to_pretty_string broken.Spec.document)

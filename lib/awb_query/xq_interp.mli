@@ -1,0 +1,24 @@
+(** The third implementation of the query calculus — the paper's actual
+    first one: an interpreter for the calculus written IN XQuery
+    ("essentially writing an interpreter in XQuery, which is not a hard
+    exercise"). Slow on purpose; benchmark E1 quantifies it. *)
+
+val query_to_xml : Ast.t -> Xml_base.Node.t
+(** The calculus query as the XML the interpreter walks. *)
+
+val interpreter_source : string
+(** The interpreter itself, in XQuery. *)
+
+val eval_on_export :
+  ?focus:Awb.Model.node ->
+  Awb.Model.t ->
+  export_root:Xml_base.Node.t ->
+  Ast.t ->
+  Awb.Model.node list
+(** Run against an already-exported model (export once, query many). *)
+
+val eval : ?focus:Awb.Model.node -> Awb.Model.t -> Ast.t -> Awb.Model.node list
+(** Export the model, then {!eval_on_export}. *)
+
+val eval_string : ?focus:Awb.Model.node -> Awb.Model.t -> string -> Awb.Model.node list
+(** Parse the calculus text, then {!eval}. *)

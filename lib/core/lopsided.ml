@@ -16,9 +16,13 @@
       multigraph model, advisory validation, XML export.
     - {!Query}: the AWB query calculus with two implementations (native
       and compiled-to-XQuery) that must agree.
-    - {!Docgen}: the document generator twice over — the functional
-      XQuery-style engine and the host-style rewrite — plus a genuine
-      XQuery core run by {!Xq}.
+    - {!Docgen}: the document generator three ways — the functional
+      XQuery-style engine, the host-style rewrite, and a genuine XQuery
+      core run by {!Xq} — all behind one dispatcher,
+      [Docgen.generate ~engine:(`Host | `Functional | `Xq)].
+    - {!Service}: the production layer — compiled-artifact LRU caches,
+      multi-domain batch generation with work stealing, deadlines, and
+      counters.
     - {!Xq_utils}: the project's XQuery utility library (string sets,
       trimming, binary search, trigonometry) in actual XQuery.
 
@@ -30,7 +34,7 @@
         Lopsided.Xml.Parser.parse_string
           "<document><for nodes=\"start type(User); sort-by label\"><p><label/></p></for></document>"
       in
-      let result = Lopsided.Docgen.Host_engine.generate model ~template in
+      let result = Lopsided.Docgen.generate ~engine:`Host model ~template in
       print_endline (Lopsided.Xml.Serialize.to_string result.Lopsided.Docgen.Spec.document)
     ]} *)
 
@@ -39,9 +43,18 @@ module Xq = Xquery
 module Awb = Awb
 module Query = Awb_query
 module Docgen = Docgen
+module Service = Service
 module Xq_utils = Xqlib.Xq_utils
 module Xslt = Xslt
 module Paper_tables = Paper_tables
+
+(** Re-exported engine dispatch, so [Lopsided.generate ~engine:...] works
+    without reaching into {!Docgen}. *)
+let generate = Docgen.generate
+
+let engine_of_string = Docgen.engine_of_string
+let engine_name = Docgen.engine_name
+let all_engines = Docgen.all_engines
 
 (** Run an XQuery query over an XML string and return the printed result
     — the two-line hello world. *)
@@ -50,12 +63,23 @@ let xquery_string ~xml ~query =
   Xquery.Value.to_display_string
     (Xquery.Engine.eval_query ~context_item:(Xquery.Value.Node doc) query)
 
-(** Generate a document from template + model XML strings with the host
-    engine; returns (document XML, problems). *)
-let generate_document ~metamodel ~model_xml ~template_xml =
-  let model = Awb.Xml_io.import_string metamodel model_xml in
-  let template =
-    Xml_base.Parser.strip_whitespace (Xml_base.Parser.parse_string template_xml)
+(** What a successful {!generate_document} returns. *)
+type generated = { document : string; problems : string list }
+
+(** Generate a document from template + model XML strings; the engine is
+    selectable and every failure (template parse, model import,
+    generation) comes back as [Error message] instead of an exception or
+    a [<generation-failed>] document to fish out. One-off convenience —
+    services should hold a {!Service.t} and reuse its caches. *)
+let generate_document ?(engine = `Host) ~metamodel ~model_xml ~template_xml () :
+    (generated, string) result =
+  let svc = Service.create ~config:{ Service.default_config with cache_capacity = 0 } () in
+  let req =
+    Service.request ~engine ~id:"generate_document"
+      ~template:(Service.Template_xml template_xml)
+      ~model:(Service.Model_xml { metamodel; xml = model_xml })
+      ()
   in
-  let result = Docgen.Host_engine.generate model ~template in
-  (Xml_base.Serialize.to_string result.Docgen.Spec.document, result.Docgen.Spec.problems)
+  match (Service.run svc req).Service.result with
+  | Ok out -> Ok { document = out.Service.document; problems = out.Service.problems }
+  | Error e -> Error (Service.error_to_string e)

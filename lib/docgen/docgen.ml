@@ -1,0 +1,59 @@
+(** The document-generation library, fronted by one engine-neutral API.
+
+    The paper builds the same generator three times — functional
+    XQuery-style, host-language rewrite, and a genuine XQuery core — and
+    the interesting comparisons need to swap architectures freely. This
+    main module is the only surface callers outside lib/docgen should
+    use: pick an engine by name and call {!generate}. The per-engine
+    modules stay exported for the benchmarks that measure their exposed
+    internals (grid construction, stream wrapping). *)
+
+module Spec = Spec
+module Queries = Queries
+module Streams = Streams
+module Engine_intf = Engine_intf
+module Functional_engine = Functional_engine
+module Host_engine = Host_engine
+module Xq_engine = Xq_engine
+
+type engine = Engine_intf.kind
+
+let all_engines = Engine_intf.all_kinds
+let engine_name = Engine_intf.kind_name
+let engine_of_string = Engine_intf.kind_of_string
+
+(* The three architectures as first-class implementations of the one
+   interface. *)
+
+module Host : Engine_intf.S = struct
+  let name = "host"
+  let generate = Host_engine.generate
+end
+
+module Functional : Engine_intf.S = struct
+  let name = "functional"
+  let generate = Functional_engine.generate
+end
+
+module Xq : Engine_intf.S = struct
+  let name = "xq"
+  let generate ?backend model ~template = Xq_engine.generate_spec ?backend model ~template
+end
+
+let engine_module : engine -> (module Engine_intf.S) = function
+  | `Host -> (module Host)
+  | `Functional -> (module Functional)
+  | `Xq -> (module Xq)
+
+let generate ?backend ?(engine : engine = `Host) model ~template =
+  let (module E : Engine_intf.S) = engine_module engine in
+  E.generate ?backend model ~template
+
+let generate_with_streams ?backend ?(engine : engine = `Host) model ~template =
+  match engine with
+  | `Host -> Host_engine.generate_with_streams ?backend model ~template
+  | `Functional -> Functional_engine.generate_with_streams ?backend model ~template
+  | `Xq ->
+    let result = Xq_engine.generate_spec ?backend model ~template in
+    ( Spec.wrap_streams ~document:result.Spec.document ~problems:result.Spec.problems,
+      result.Spec.stats )

@@ -1,0 +1,38 @@
+(** The one interface all three document-generation engines implement.
+
+    The paper gives us three architectures for the same job: the
+    functional XQuery-style engine, the host-language rewrite, and the
+    genuine XQuery core run by the engine in lib/xquery. Callers should
+    not care which one they are driving — they ask for a {!Spec.result}
+    and pick the architecture by name. [Docgen.generate] dispatches on
+    {!kind}; the service layer and the CLIs go through it exclusively. *)
+
+type kind = [ `Host | `Functional | `Xq ]
+
+let all_kinds : kind list = [ `Host; `Functional; `Xq ]
+
+let kind_name : kind -> string = function
+  | `Host -> "host"
+  | `Functional -> "functional"
+  | `Xq -> "xq"
+
+let kind_of_string : string -> (kind, string) result = function
+  | "host" -> Ok `Host
+  | "functional" -> Ok `Functional
+  | "xq" -> Ok `Xq
+  | other ->
+    Error (Printf.sprintf "unknown engine %S (host|functional|xq)" other)
+
+(** What every engine must provide: a name for diagnostics and the
+    uniform generation entry point. [backend] selects the calculus query
+    backend where the engine has one; the [`Xq] engine embeds its own
+    queries and ignores it. *)
+module type S = sig
+  val name : string
+
+  val generate :
+    ?backend:Spec.query_backend ->
+    Awb.Model.t ->
+    template:Xml_base.Node.t ->
+    Spec.result
+end

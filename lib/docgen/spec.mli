@@ -1,0 +1,62 @@
+(** Shared specification for the document-generation engines: the
+    directive vocabulary, renderings all engines must produce
+    byte-for-byte, error-message texts, and the instrumentation record
+    the benchmarks read. The engines differ in {e architecture} (the
+    paper's subject), not in output. *)
+
+val directive_names : string list
+(** Every element name the template language treats as a directive. *)
+
+type query_backend = Native_queries | Xquery_queries
+
+(** {1 Instrumentation} *)
+
+type stats = {
+  mutable phases : int;  (** whole-document passes performed *)
+  mutable nodes_copied : int;  (** nodes allocated copying between phases *)
+  mutable error_checks : int;  (** is-error tests executed (functional) *)
+  mutable exceptions_raised : int;  (** Gen_trouble raised (host) *)
+  mutable visited_count : int;
+  mutable queries_run : int;
+}
+
+val new_stats : unit -> stats
+
+type result = { document : Xml_base.Node.t; problems : string list; stats : stats }
+
+(** {1 Error message texts (identical in every engine)} *)
+
+val msg_exactly_one : string -> int -> string
+val msg_missing_child : string -> string -> string
+val msg_missing_attr : string -> string -> string
+val msg_bad_query : string -> string -> string
+val msg_no_focus : string -> string
+val msg_missing_property : string -> string -> string
+val msg_malformed_rich_property : string -> string -> string -> string
+val msg_unknown_condition : string -> string
+
+(** {1 Shared renderings} *)
+
+val render_toc : (int * string) list -> Xml_base.Node.t
+(** Table of contents from (depth, text) entries in document order. *)
+
+val render_omissions :
+  Awb.Model.t -> visited:(string -> bool) -> types:string list -> Xml_base.Node.t
+(** Omissions: nodes of the given types never visited, sorted by label. *)
+
+val grid_cell : Awb.Model.t -> string -> Awb.Model.node -> Awb.Model.node -> string
+(** Grid-table cell text: how many [rel] relation instances connect row
+    to col (empty string for zero). *)
+
+val grid_corner : string
+val marker_phrase : string -> string
+
+val wrap_streams : document:Xml_base.Node.t -> problems:string list -> Xml_base.Node.t
+(** The single-output-stream wrapper; split with {!Streams.split}. *)
+
+val generation_failed : message:string -> location:string -> Xml_base.Node.t
+(** The [<generation-failed>] document every engine produces on a fatal
+    generation error. *)
+
+val path_to_string : string list -> string
+(** Render a reversed directive path ("innermost first") as a location. *)

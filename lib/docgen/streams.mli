@@ -1,0 +1,21 @@
+(** Output streams. XQuery "produces only a single output stream", so the
+    functional engine wraps document and problem report into one
+    [<output-streams>] element; this module splits them apart — directly,
+    or via the "little XSLT program" the paper's team actually used. *)
+
+type split = { document : Xml_base.Node.t; problems : string list }
+
+exception Malformed_stream of string
+
+val split : Xml_base.Node.t -> split
+(** Direct split. @raise Malformed_stream when the wrapper shape is wrong. *)
+
+val document_stylesheet : string
+(** The XSLT source extracting the document stream. *)
+
+val problems_stylesheet : string
+(** The XSLT source extracting the problem report. *)
+
+val split_via_xslt : Xml_base.Node.t -> split
+(** The same split, performed by the XSLT engine running the two
+    stylesheets above. @raise Malformed_stream as {!split}. *)

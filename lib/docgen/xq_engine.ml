@@ -108,7 +108,12 @@ local:gen($template, $model, $mm, ())
 
 type result = { document : N.t option; error : string option }
 
-let generate model ~template =
+(* The dispatch core compiles to a reusable program: callers that serve
+   many requests (the service layer) compile once and run many times
+   instead of re-parsing ~90 lines of XQuery per document. *)
+let compile () = Xquery.Engine.compile query_source
+
+let generate_compiled compiled model ~template =
   let mm = Awb.Model.metamodel model in
   let export = Awb.Xml_io.export model in
   let model_root = List.hd (N.children export) in
@@ -119,14 +124,14 @@ let generate model ~template =
     | _ -> template
   in
   let result =
-    Xquery.Engine.eval_query
+    Xquery.Engine.execute
       ~vars:
         [
           ("model", Xquery.Value.of_node model_root);
           ("mm", Xquery.Value.of_node mm_root);
           ("template", Xquery.Value.of_node template_root);
         ]
-      query_source
+      compiled
   in
   (* The footnote problem, live: the only way to know the generation
      failed is to look for <error> elements in the value. *)
@@ -142,3 +147,30 @@ let generate model ~template =
   | e :: _, _ -> { document = None; error = Some (N.string_value e) }
   | [], [ doc ] -> { document = Some doc; error = None }
   | [], _ -> { document = None; error = Some "template did not produce a single element" }
+
+let generate model ~template = generate_compiled (compile ()) model ~template
+
+(* Adapter to the engine-uniform result shape (Engine_intf.S). The xq
+   core embeds its own queries, so [backend] is accepted and ignored;
+   a generation error becomes the same <generation-failed> document the
+   other two engines produce. *)
+let generate_spec ?backend:_ ?compiled model ~template : Spec.result =
+  let stats = Spec.new_stats () in
+  stats.Spec.phases <- 1;
+  stats.Spec.queries_run <- 1;
+  let r =
+    match compiled with
+    | Some c -> generate_compiled c model ~template
+    | None -> generate model ~template
+  in
+  match r with
+  | { document = Some doc; _ } -> { Spec.document = doc; problems = []; stats }
+  | { document = None; error } ->
+    {
+      Spec.document =
+        Spec.generation_failed
+          ~message:(Option.value ~default:"generation failed" error)
+          ~location:"";
+      problems = [];
+      stats;
+    }

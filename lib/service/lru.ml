@@ -1,0 +1,100 @@
+(* A size-bounded LRU keyed by string, with hit/miss/eviction counters.
+   Hashtbl + intrusive doubly-linked recency list: O(1) find, add, and
+   eviction. Not itself thread-safe — the service guards every cache
+   behind one mutex, which also supplies the happens-before edge that
+   publishes cached trees to other domains. *)
+
+type 'a entry = {
+  key : string;
+  value : 'a;
+  mutable prev : 'a entry option; (* towards most-recently-used *)
+  mutable next : 'a entry option; (* towards least-recently-used *)
+}
+
+type 'a t = {
+  capacity : int;
+  tbl : (string, 'a entry) Hashtbl.t;
+  mutable mru : 'a entry option;
+  mutable lru : 'a entry option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Lru.create: negative capacity";
+  {
+    capacity;
+    tbl = Hashtbl.create (max 16 capacity);
+    mru = None;
+    lru = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.tbl
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+
+let unlink t e =
+  (match e.prev with Some p -> p.next <- e.next | None -> t.mru <- e.next);
+  (match e.next with Some n -> n.prev <- e.prev | None -> t.lru <- e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_front t e =
+  e.next <- t.mru;
+  e.prev <- None;
+  (match t.mru with Some old -> old.prev <- Some e | None -> t.lru <- Some e);
+  t.mru <- Some e
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+  | Some e ->
+    t.hits <- t.hits + 1;
+    unlink t e;
+    push_front t e;
+    Some e.value
+
+(* Membership without touching recency or counters (tests use it). *)
+let mem t key = Hashtbl.mem t.tbl key
+
+let evict_lru t =
+  match t.lru with
+  | None -> ()
+  | Some e ->
+    unlink t e;
+    Hashtbl.remove t.tbl e.key;
+    t.evictions <- t.evictions + 1
+
+let add t key value =
+  if t.capacity = 0 then ()
+  else begin
+    (match Hashtbl.find_opt t.tbl key with
+    | Some old ->
+      unlink t old;
+      Hashtbl.remove t.tbl key
+    | None -> ());
+    let e = { key; value; prev = None; next = None } in
+    Hashtbl.replace t.tbl key e;
+    push_front t e;
+    while Hashtbl.length t.tbl > t.capacity do
+      evict_lru t
+    done
+  end
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.mru <- None;
+  t.lru <- None
+
+let reset_counters t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0

@@ -1,0 +1,29 @@
+(** Size-bounded LRU cache keyed by string, with hit/miss/eviction
+    counters. O(1) operations; NOT thread-safe on its own — callers
+    (the service) serialize access behind a mutex. A capacity of 0 makes
+    {!add} a no-op, turning the cache off. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument on a negative capacity. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val find : 'a t -> string -> 'a option
+(** Bumps the entry to most-recently-used and counts a hit or a miss. *)
+
+val mem : 'a t -> string -> bool
+(** Membership probe; touches neither recency nor the counters. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert or replace; evicts least-recently-used entries past capacity. *)
+
+val clear : 'a t -> unit
+(** Drop all entries (counters survive; see {!reset_counters}). *)
+
+val hits : 'a t -> int
+val misses : 'a t -> int
+val evictions : 'a t -> int
+val reset_counters : 'a t -> unit

@@ -1,0 +1,117 @@
+(* A batch-scoped pool of OCaml 5 domains with work stealing.
+
+   Tasks are indices into an array of thunks. Each worker owns a deque:
+   it pops from the front of its own, and steals from the BACK of a
+   victim's when its own runs dry — classic work-stealing shape, here
+   with a mutex per deque rather than a lock-free Chase-Lev deque; the
+   units of work (whole document generations) are far too coarse for
+   deque overhead to matter.
+
+   Results land in one shared array, each slot written by exactly one
+   worker before the join; Domain.join publishes them to the caller.
+   A raising task does not kill its worker: the exception is captured
+   in the slot and re-raised in the calling domain after the join, so
+   the rest of the batch still completes. *)
+
+type deque = { mutex : Mutex.t; mutable items : int list }
+
+let pop_own dq =
+  Mutex.lock dq.mutex;
+  let r =
+    match dq.items with
+    | [] -> None
+    | i :: rest ->
+      dq.items <- rest;
+      Some i
+  in
+  Mutex.unlock dq.mutex;
+  r
+
+let steal_back dq =
+  Mutex.lock dq.mutex;
+  let r =
+    match List.rev dq.items with
+    | [] -> None
+    | last :: rev_rest ->
+      dq.items <- List.rev rev_rest;
+      Some last
+  in
+  Mutex.unlock dq.mutex;
+  r
+
+(* Counters the bench reads to see stealing actually happen. *)
+type stats = { mutable executed : int array; mutable steals : int }
+
+let run ?(domains = 1) (tasks : (unit -> 'a) array) : ('a, exn) result array * stats =
+  let n = Array.length tasks in
+  let nworkers = max 1 (min domains (max 1 n)) in
+  let results : ('a, exn) result option array = Array.make n None in
+  let stats = { executed = Array.make nworkers 0; steals = 0 } in
+  let steal_count = Atomic.make 0 in
+  if nworkers = 1 then begin
+    (* Same code path shape as the parallel case, minus the domains: the
+       serial-vs-parallel byte-identical oracle depends on nothing else
+       differing. *)
+    Array.iteri
+      (fun i task ->
+        results.(i) <- Some (try Ok (task ()) with e -> Error e);
+        stats.executed.(0) <- stats.executed.(0) + 1)
+      tasks
+  end
+  else begin
+    let deques =
+      Array.init nworkers (fun _ -> { mutex = Mutex.create (); items = [] })
+    in
+    (* Deal tasks round-robin so every worker starts with a share. *)
+    for i = n - 1 downto 0 do
+      let w = i mod nworkers in
+      deques.(w).items <- i :: deques.(w).items
+    done;
+    let executed = Array.make nworkers 0 in
+    let worker w () =
+      let rec next_task victim =
+        match pop_own deques.(w) with
+        | Some i -> Some i
+        | None ->
+          (* Own deque dry: sweep the others once for something to steal;
+             give up when a full sweep finds every deque empty. *)
+          if victim >= nworkers then None
+          else
+            let v = (w + 1 + victim) mod nworkers in
+            if v = w then next_task (victim + 1)
+            else (
+              match steal_back deques.(v) with
+              | Some i ->
+                Atomic.incr steal_count;
+                Some i
+              | None -> next_task (victim + 1))
+      in
+      let rec loop () =
+        match next_task 0 with
+        | None -> ()
+        | Some i ->
+          results.(i) <- Some (try Ok (tasks.(i) ()) with e -> Error e);
+          executed.(w) <- executed.(w) + 1;
+          loop ()
+      in
+      loop ()
+    in
+    let spawned = Array.init (nworkers - 1) (fun w -> Domain.spawn (worker (w + 1))) in
+    worker 0 ();
+    Array.iter Domain.join spawned;
+    stats.executed <- executed;
+    stats.steals <- Atomic.get steal_count
+  end;
+  let out =
+    Array.mapi
+      (fun i -> function
+        | Some r -> r
+        | None -> Error (Failure (Printf.sprintf "Pool.run: task %d never ran" i)))
+      results
+  in
+  (out, stats)
+
+let run_exn ?domains tasks =
+  let results, stats = run ?domains tasks in
+  ( Array.map (function Ok v -> v | Error e -> raise e) results,
+    stats )

@@ -1,0 +1,20 @@
+(** Batch execution across OCaml 5 domains with a work-stealing queue.
+
+    [run ~domains tasks] evaluates every thunk, fanning them over at most
+    [domains] domains (the calling domain is one of the workers). Each
+    worker pops from its own deque and steals from the back of a victim's
+    when dry. Order of results matches the order of [tasks]; a raising
+    task yields [Error exn] in its slot without disturbing the rest of
+    the batch. [domains <= 1] (or a single task) runs everything in the
+    calling domain. *)
+
+type stats = {
+  mutable executed : int array;  (** tasks completed per worker *)
+  mutable steals : int;  (** successful steals across the batch *)
+}
+
+val run : ?domains:int -> (unit -> 'a) array -> ('a, exn) result array * stats
+
+val run_exn : ?domains:int -> (unit -> 'a) array -> 'a array * stats
+(** Like {!run} but re-raises the first captured exception, in the
+    calling domain. *)

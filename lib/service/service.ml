@@ -1,0 +1,435 @@
+(* The document-generation service: request in, response out, as fast as
+   repeat traffic allows.
+
+   Three content-hash-keyed LRU caches hold the artifacts that are
+   expensive to rebuild per request — parsed templates, imported models,
+   and Xquery.Engine.compile'd programs (the xq engine's dispatch core
+   above all). One mutex guards all three: contention is negligible next
+   to generation work, and the lock doubles as the happens-before edge
+   that publishes a tree parsed by one domain to every other. Cached
+   values are read-only by construction — the engines copy template
+   nodes, never mutate them — so cross-domain sharing is safe.
+
+   Batches fan out over Pool (work-stealing across OCaml 5 domains).
+   Each request is error-isolated: parse failures, generation failures,
+   blown deadlines, and stray exceptions all land in that request's
+   response, never in its neighbours'. *)
+
+module Lru = Lru
+module Pool = Pool
+module N = Xml_base.Node
+module Spec = Docgen.Spec
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type template_source =
+  | Template_xml of string (* parsed + whitespace-stripped, cached by content hash *)
+  | Template_node of N.t (* pre-parsed; bypasses the cache *)
+
+type model_source =
+  | Model_xml of { metamodel : Awb.Metamodel.t; xml : string } (* imported, cached *)
+  | Model_value of Awb.Model.t (* pre-built; bypasses the cache *)
+
+type request = {
+  id : string;
+  template : template_source;
+  model : model_source;
+  engine : Docgen.engine;
+  backend : Spec.query_backend option;
+  deadline : float option; (* seconds from submission *)
+}
+
+let request ?(engine = `Host) ?backend ?deadline ~id ~template ~model () =
+  { id; template; model; engine; backend; deadline }
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type error =
+  | Template_error of string
+  | Model_error of string
+  | Generation_failed of { message : string; location : string }
+  | Deadline_exceeded of { elapsed_s : float; deadline_s : float }
+  | Internal_error of string
+
+let error_to_string = function
+  | Template_error m -> "template error: " ^ m
+  | Model_error m -> "model error: " ^ m
+  | Generation_failed { message; location } ->
+    if location = "" then "generation failed: " ^ message
+    else Printf.sprintf "generation failed at %s: %s" location message
+  | Deadline_exceeded { elapsed_s; deadline_s } ->
+    Printf.sprintf "deadline exceeded: %.1f ms elapsed against a %.1f ms budget"
+      (elapsed_s *. 1000.) (deadline_s *. 1000.)
+  | Internal_error m -> "internal error: " ^ m
+
+type timings = {
+  template_s : float;
+  model_s : float;
+  generate_s : float;
+  serialize_s : float;
+  total_s : float;
+}
+
+type output = {
+  document : string;
+  problems : string list;
+  stats : Spec.stats;
+  engine_used : Docgen.engine;
+  timings : timings;
+}
+
+type response = { request_id : string; result : (output, error) result }
+
+(* ------------------------------------------------------------------ *)
+(* Configuration and state                                             *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  domains : int; (* default width of run_batch *)
+  cache_capacity : int; (* entries per artifact cache; 0 disables caching *)
+  default_deadline : float option; (* seconds; a per-request deadline wins *)
+}
+
+let default_config = { domains = 1; cache_capacity = 128; default_deadline = None }
+
+type counters = {
+  requests : int;
+  succeeded : int;
+  failed : int;
+  deadline_failures : int;
+  batches : int;
+  steals : int;
+  template_hits : int;
+  template_misses : int;
+  model_hits : int;
+  model_misses : int;
+  query_hits : int;
+  query_misses : int;
+  evictions : int;
+  template_s : float;
+  model_s : float;
+  generate_s : float;
+  serialize_s : float;
+}
+
+type phase_totals = {
+  mutable acc_template_s : float;
+  mutable acc_model_s : float;
+  mutable acc_generate_s : float;
+  mutable acc_serialize_s : float;
+}
+
+type t = {
+  config : config;
+  mutex : Mutex.t;
+  templates : N.t Lru.t;
+  models : Awb.Model.t Lru.t;
+  queries : Xquery.Engine.compiled Lru.t;
+  mutable requests : int;
+  mutable succeeded : int;
+  mutable failed : int;
+  mutable deadline_failures : int;
+  mutable batches : int;
+  mutable steals : int;
+  totals : phase_totals;
+}
+
+let create ?(config = default_config) () =
+  {
+    config;
+    mutex = Mutex.create ();
+    templates = Lru.create ~capacity:config.cache_capacity;
+    models = Lru.create ~capacity:config.cache_capacity;
+    queries = Lru.create ~capacity:config.cache_capacity;
+    requests = 0;
+    succeeded = 0;
+    failed = 0;
+    deadline_failures = 0;
+    batches = 0;
+    steals = 0;
+    totals =
+      { acc_template_s = 0.; acc_model_s = 0.; acc_generate_s = 0.; acc_serialize_s = 0. };
+  }
+
+let config t = t.config
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* Find-or-compute. The computation runs OUTSIDE the lock so a cold
+   parse on one domain never serializes the others; the worst case is
+   two domains computing the same artifact once, last add wins. *)
+let cached t lru key compute =
+  match with_lock t (fun () -> Lru.find lru key) with
+  | Some v -> v
+  | None ->
+    let v = compute () in
+    with_lock t (fun () -> Lru.add lru key v);
+    v
+
+let digest s = Digest.to_hex (Digest.string s)
+
+(* ------------------------------------------------------------------ *)
+(* Cached artifact access                                              *)
+(* ------------------------------------------------------------------ *)
+
+let template_of_source t = function
+  | Template_node n -> n
+  | Template_xml xml ->
+    cached t t.templates ("tpl:" ^ digest xml) (fun () ->
+        Xml_base.Parser.strip_whitespace (Xml_base.Parser.parse_string xml))
+
+let model_of_source t = function
+  | Model_value m -> m
+  | Model_xml { metamodel; xml } ->
+    cached t t.models
+      (Printf.sprintf "model:%s:%s" (Awb.Metamodel.name metamodel) (digest xml))
+      (fun () -> Awb.Xml_io.import_string metamodel xml)
+
+let compile_query t src =
+  try Ok (cached t t.queries ("xq:" ^ digest src) (fun () -> Xquery.Engine.compile src))
+  with Xquery.Errors.Error _ as e -> Error (Printexc.to_string e)
+
+(* The xq engine's dispatch core, compiled once and cached like any
+   other query artifact. *)
+let xq_core t =
+  cached t t.queries
+    ("xq:" ^ digest Docgen.Xq_engine.query_source)
+    (fun () -> Docgen.Xq_engine.compile ())
+
+let clear_caches t =
+  with_lock t (fun () ->
+      Lru.clear t.templates;
+      Lru.clear t.models;
+      Lru.clear t.queries)
+
+(* ------------------------------------------------------------------ *)
+(* Request execution                                                   *)
+(* ------------------------------------------------------------------ *)
+
+exception Fail of error
+
+let now () = Unix.gettimeofday ()
+
+let generation_failure (result : Spec.result) =
+  if N.is_element result.Spec.document && N.name result.Spec.document = "generation-failed"
+  then
+    let get child =
+      match N.child_element result.Spec.document child with
+      | Some c -> N.string_value c
+      | None -> ""
+    in
+    Some (Generation_failed { message = get "message"; location = get "location" })
+  else None
+
+(* One request, start-to-finish, on whichever domain picked it up. [t0]
+   is the submission time the deadline counts from; checks run at every
+   phase boundary (generation is not preempted mid-walk — a deadline
+   blown inside a phase surfaces at the next boundary). *)
+let execute t ~t0 (req : request) : response * timings =
+  let deadline =
+    match req.deadline with Some _ as d -> d | None -> t.config.default_deadline
+  in
+  let check_deadline () =
+    match deadline with
+    | Some d ->
+      let elapsed_s = now () -. t0 in
+      if elapsed_s > d then raise (Fail (Deadline_exceeded { elapsed_s; deadline_s = d }))
+    | None -> ()
+  in
+  let tpl_s = ref 0. and model_s = ref 0. and gen_s = ref 0. and ser_s = ref 0. in
+  let timed cell mk_error f =
+    check_deadline ();
+    let s = now () in
+    let v =
+      try f ()
+      with
+      | Fail _ as e -> raise e
+      | Xml_base.Parser.Parse_error { line; col; message } ->
+        raise (Fail (mk_error (Printf.sprintf "line %d col %d: %s" line col message)))
+      | Failure m | Invalid_argument m -> raise (Fail (mk_error m))
+    in
+    cell := !cell +. (now () -. s);
+    v
+  in
+  let started = now () in
+  let result =
+    try
+      let template =
+        timed tpl_s (fun m -> Template_error m) (fun () -> template_of_source t req.template)
+      in
+      let model =
+        timed model_s (fun m -> Model_error m) (fun () -> model_of_source t req.model)
+      in
+      let gen =
+        timed gen_s
+          (fun m -> Generation_failed { message = m; location = "" })
+          (fun () ->
+            try
+              match req.engine with
+              | `Xq ->
+                Docgen.Xq_engine.generate_spec ?backend:req.backend ~compiled:(xq_core t)
+                  model ~template
+              | (`Host | `Functional) as engine ->
+                Docgen.generate ?backend:req.backend ~engine model ~template
+            with Xquery.Errors.Error _ as e ->
+              raise
+                (Fail (Generation_failed { message = Printexc.to_string e; location = "" })))
+      in
+      match generation_failure gen with
+      | Some err -> Error err
+      | None ->
+        let document =
+          timed ser_s
+            (fun m -> Internal_error m)
+            (fun () -> Xml_base.Serialize.to_string gen.Spec.document)
+        in
+        (* A deadline blown during serialization still counts. *)
+        check_deadline ();
+        Ok
+          {
+            document;
+            problems = gen.Spec.problems;
+            stats = gen.Spec.stats;
+            engine_used = req.engine;
+            timings =
+              {
+                template_s = !tpl_s;
+                model_s = !model_s;
+                generate_s = !gen_s;
+                serialize_s = !ser_s;
+                total_s = now () -. started;
+              };
+          }
+    with
+    | Fail e -> Error e
+    | e -> Error (Internal_error (Printexc.to_string e))
+  in
+  let timings =
+    {
+      template_s = !tpl_s;
+      model_s = !model_s;
+      generate_s = !gen_s;
+      serialize_s = !ser_s;
+      total_s = now () -. started;
+    }
+  in
+  ({ request_id = req.id; result }, timings)
+
+(* Fold one finished request into the service counters; caller holds no
+   lock. *)
+let record t (responses : (response * timings) list) =
+  with_lock t (fun () ->
+      List.iter
+        (fun (resp, (tm : timings)) ->
+          t.requests <- t.requests + 1;
+          (match resp.result with
+          | Ok _ -> t.succeeded <- t.succeeded + 1
+          | Error (Deadline_exceeded _) ->
+            t.failed <- t.failed + 1;
+            t.deadline_failures <- t.deadline_failures + 1
+          | Error _ -> t.failed <- t.failed + 1);
+          t.totals.acc_template_s <- t.totals.acc_template_s +. tm.template_s;
+          t.totals.acc_model_s <- t.totals.acc_model_s +. tm.model_s;
+          t.totals.acc_generate_s <- t.totals.acc_generate_s +. tm.generate_s;
+          t.totals.acc_serialize_s <- t.totals.acc_serialize_s +. tm.serialize_s)
+        responses)
+
+let run t req =
+  let pair = execute t ~t0:(now ()) req in
+  record t [ pair ];
+  fst pair
+
+let run_batch ?domains t (reqs : request list) : response list =
+  let domains =
+    match domains with Some d -> max 1 d | None -> max 1 t.config.domains
+  in
+  let t0 = now () in
+  let tasks = Array.of_list (List.map (fun r () -> execute t ~t0 r) reqs) in
+  let results, pstats = Pool.run ~domains tasks in
+  with_lock t (fun () ->
+      t.batches <- t.batches + 1;
+      t.steals <- t.steals + pstats.Pool.steals);
+  let ids = Array.of_list (List.map (fun r -> r.id) reqs) in
+  let pairs =
+    Array.to_list
+      (Array.mapi
+         (fun i -> function
+           | Ok pair -> pair
+           | Error e ->
+             (* Pool already isolates task exceptions, and execute never
+                raises; belt and braces. *)
+             ( { request_id = ids.(i); result = Error (Internal_error (Printexc.to_string e)) },
+               {
+                 template_s = 0.;
+                 model_s = 0.;
+                 generate_s = 0.;
+                 serialize_s = 0.;
+                 total_s = 0.;
+               } ))
+         results)
+  in
+  record t pairs;
+  List.map fst pairs
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let counters t : counters =
+  with_lock t (fun () ->
+      {
+        requests = t.requests;
+        succeeded = t.succeeded;
+        failed = t.failed;
+        deadline_failures = t.deadline_failures;
+        batches = t.batches;
+        steals = t.steals;
+        template_hits = Lru.hits t.templates;
+        template_misses = Lru.misses t.templates;
+        model_hits = Lru.hits t.models;
+        model_misses = Lru.misses t.models;
+        query_hits = Lru.hits t.queries;
+        query_misses = Lru.misses t.queries;
+        evictions =
+          Lru.evictions t.templates + Lru.evictions t.models + Lru.evictions t.queries;
+        template_s = t.totals.acc_template_s;
+        model_s = t.totals.acc_model_s;
+        generate_s = t.totals.acc_generate_s;
+        serialize_s = t.totals.acc_serialize_s;
+      })
+
+let reset_counters t =
+  with_lock t (fun () ->
+      t.requests <- 0;
+      t.succeeded <- 0;
+      t.failed <- 0;
+      t.deadline_failures <- 0;
+      t.batches <- 0;
+      t.steals <- 0;
+      Lru.reset_counters t.templates;
+      Lru.reset_counters t.models;
+      Lru.reset_counters t.queries;
+      t.totals.acc_template_s <- 0.;
+      t.totals.acc_model_s <- 0.;
+      t.totals.acc_generate_s <- 0.;
+      t.totals.acc_serialize_s <- 0.)
+
+let pp_counters fmt (c : counters) =
+  Format.fprintf fmt
+    "@[<v>requests: %d (%d ok, %d failed, %d deadline)@,\
+     batches: %d (steals: %d)@,\
+     template cache: %d hits / %d misses@,\
+     model cache: %d hits / %d misses@,\
+     query cache: %d hits / %d misses@,\
+     evictions: %d@,\
+     phase totals: template %.3f ms, model %.3f ms, generate %.3f ms, serialize %.3f ms@]"
+    c.requests c.succeeded c.failed c.deadline_failures c.batches c.steals c.template_hits
+    c.template_misses c.model_hits c.model_misses c.query_hits c.query_misses c.evictions
+    (c.template_s *. 1000.) (c.model_s *. 1000.) (c.generate_s *. 1000.)
+    (c.serialize_s *. 1000.)

@@ -1,0 +1,134 @@
+(** The request/response document-generation service.
+
+    Wraps the unified docgen engine API ({!Docgen.generate}) in a
+    production shape: size-bounded LRU caches for compiled artifacts
+    (parsed templates, imported models, compiled XQuery programs) keyed
+    by content hash and shared across domains behind one mutex; batch
+    fan-out over OCaml 5 domains with work stealing ({!Pool}); per-request
+    deadlines; and an error-isolating result type so one failing template
+    cannot take down a batch. Counters expose cache behaviour and
+    per-phase timings to the bench harness (experiment E8). *)
+
+module Lru = Lru
+(** The size-bounded LRU the caches are built on. *)
+
+module Pool = Pool
+(** The work-stealing domain pool batches run on. *)
+
+(** {1 Requests} *)
+
+type template_source =
+  | Template_xml of string
+      (** parsed + whitespace-stripped once, cached by content hash *)
+  | Template_node of Xml_base.Node.t  (** pre-parsed; bypasses the cache *)
+
+type model_source =
+  | Model_xml of { metamodel : Awb.Metamodel.t; xml : string }
+      (** imported once per (metamodel, content) pair, cached *)
+  | Model_value of Awb.Model.t  (** pre-built; bypasses the cache *)
+
+type request = {
+  id : string;  (** echoed back in the response *)
+  template : template_source;
+  model : model_source;
+  engine : Docgen.engine;
+  backend : Docgen.Spec.query_backend option;
+  deadline : float option;  (** seconds from submission; overrides the config *)
+}
+
+val request :
+  ?engine:Docgen.engine ->
+  ?backend:Docgen.Spec.query_backend ->
+  ?deadline:float ->
+  id:string ->
+  template:template_source ->
+  model:model_source ->
+  unit ->
+  request
+(** Convenience constructor; [engine] defaults to [`Host]. *)
+
+(** {1 Responses} *)
+
+type error =
+  | Template_error of string  (** template failed to parse *)
+  | Model_error of string  (** model XML failed to parse or import *)
+  | Generation_failed of { message : string; location : string }
+      (** the engine reported a generation error *)
+  | Deadline_exceeded of { elapsed_s : float; deadline_s : float }
+  | Internal_error of string  (** anything else; never kills the batch *)
+
+val error_to_string : error -> string
+
+type timings = {
+  template_s : float;
+  model_s : float;
+  generate_s : float;
+  serialize_s : float;
+  total_s : float;
+}
+
+type output = {
+  document : string;  (** the serialized document *)
+  problems : string list;
+  stats : Docgen.Spec.stats;
+  engine_used : Docgen.engine;
+  timings : timings;
+}
+
+type response = { request_id : string; result : (output, error) result }
+
+(** {1 The service} *)
+
+type config = {
+  domains : int;  (** default width of {!run_batch}; 1 = serial *)
+  cache_capacity : int;  (** entries per artifact cache; 0 disables caching *)
+  default_deadline : float option;  (** seconds; a per-request deadline wins *)
+}
+
+val default_config : config
+(** [{ domains = 1; cache_capacity = 128; default_deadline = None }] *)
+
+type t
+
+val create : ?config:config -> unit -> t
+val config : t -> config
+
+val run : t -> request -> response
+(** Serve one request on the calling domain. *)
+
+val run_batch : ?domains:int -> t -> request list -> response list
+(** Serve a batch, fanned across domains (default [config.domains]) with
+    work stealing. Responses come back in request order, and outputs are
+    byte-identical to a serial run of the same batch. Every failure is
+    confined to its own response. *)
+
+val compile_query : t -> string -> (Xquery.Engine.compiled, string) result
+(** Compile an XQuery program through the artifact cache: repeated
+    compilations of the same source are served from memory. *)
+
+(** {1 Introspection} *)
+
+type counters = {
+  requests : int;
+  succeeded : int;
+  failed : int;
+  deadline_failures : int;
+  batches : int;
+  steals : int;  (** work-stealing steals across all batches *)
+  template_hits : int;
+  template_misses : int;
+  model_hits : int;
+  model_misses : int;
+  query_hits : int;
+  query_misses : int;
+  evictions : int;  (** summed over the three caches *)
+  template_s : float;  (** accumulated per-phase wall time, seconds *)
+  model_s : float;
+  generate_s : float;
+  serialize_s : float;
+}
+
+val counters : t -> counters
+val reset_counters : t -> unit
+val clear_caches : t -> unit
+val pp_counters : Format.formatter -> counters -> unit

@@ -20,11 +20,12 @@ and body =
   | Bcomment of string
   | Bpi of { target : string; content : string }
 
-let counter = ref 0
+(* Atomic: nodes are allocated concurrently once the service layer fans
+   generation across domains, and ids must stay unique within any tree a
+   single domain builds ([same] is id equality). *)
+let counter = Atomic.make 0
 
-let fresh_id () =
-  incr counter;
-  !counter
+let fresh_id () = Atomic.fetch_and_add counter 1 + 1
 
 let mk body = { id = fresh_id (); parent = None; body }
 

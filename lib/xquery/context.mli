@@ -1,0 +1,68 @@
+(** Static and dynamic evaluation context, plus the compatibility knobs
+    that reproduce the Galax-era behaviours the paper reports. *)
+
+module StringMap : Map.S with type key = string
+
+type duplicate_attribute_policy =
+  | Keep_last  (** the working-draft "only one should make it" reading *)
+  | Keep_both  (** "though Galax did not honor this as of the time of writing" *)
+  | Raise_error  (** the eventual REC behaviour: XQDY0025 *)
+
+type compat = {
+  galax_messages : bool;
+      (** true: the "missing context item" error reads
+          "Internal_Error: Variable '$glx:dot' not found." with no line
+          number — the message the paper quotes *)
+  duplicate_attributes : duplicate_attribute_policy;
+  treat_trace_as_pure : bool;
+      (** true: dead-code elimination silently deletes a dead
+          [let $dummy := trace(...)] — the paper's debugging horror story *)
+}
+
+val default_compat : compat
+val galax_compat : compat
+
+type func =
+  | Builtin of (dyn -> Value.sequence list -> Value.sequence)
+  | User of {
+      uparams : (string * Stype.t option) list;
+      ureturn : Stype.t option;
+      ubody : Ast.expr;
+    }
+
+and env = {
+  functions : (string * int, func) Hashtbl.t;
+  compat : compat;
+  typed_mode : bool;  (** enforce [as] annotations on user function calls *)
+  mutable trace_out : string -> unit;
+  mutable trace_count : int;
+  mutable doc_resolver : string -> Xml_base.Node.t option;
+  mutable global_vars : Value.sequence StringMap.t;
+}
+
+and dyn = {
+  env : env;
+  vars : Value.sequence StringMap.t;
+  ctx_item : Value.item option;
+  ctx_pos : int;  (** 1-based *)
+  ctx_size : int;
+}
+
+val make_env : ?compat:compat -> ?typed_mode:bool -> unit -> env
+val make_dyn : env -> dyn
+val bind_var : dyn -> string -> Value.sequence -> dyn
+val lookup_var : dyn -> string -> Value.sequence option
+val with_context : dyn -> Value.item -> int -> int -> dyn
+
+val normalize_fname : string -> string
+(** Strip an optional leading ["fn:"]. *)
+
+val find_function : env -> string -> int -> func option
+val register_function : env -> string -> int -> func -> unit
+
+val context_node : dyn -> Xml_base.Node.t
+(** @raise Errors.Error (XPTY0019/XPDY0002) when the context item is
+    absent or not a node; the message depends on [compat]. *)
+
+val context_item : dyn -> Value.item
+(** @raise Errors.Error (XPDY0002) when the context item is undefined. *)

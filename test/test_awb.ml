@@ -314,7 +314,7 @@ let test_reflect_docgen () =
           <p><label/>: <count-of query=\"start focus; follow declares\"/> properties</p>\
           </for></document>")
   in
-  let r = Docgen.Host_engine.generate m ~template in
+  let r = Docgen.generate ~engine:`Host m ~template in
   check bool_t "documents GlassPiece" true
     (Astring.String.is_infix ~affix:"GlassPiece: 3 properties"
        (Xml_base.Serialize.to_string r.Docgen.Spec.document))

@@ -108,6 +108,34 @@ let test_awbdoc () =
      outputs. *)
   check string_t "engines agree via CLI" r.out rf.out
 
+let test_awbserve () =
+  skip_unless_available ();
+  let dir = Filename.temp_file "lopsided-serve" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let write name body =
+    let oc = open_out (Filename.concat dir name) in
+    output_string oc body;
+    close_out oc
+  in
+  write "users.xml"
+    "<document><for nodes=\"start type(User); sort-by label\"><p><label/></p></for></document>";
+  write "broken.xml" "<document><for nodes=\"start type(User)\"><p><label/>";
+  let r =
+    run_cli
+      (Printf.sprintf
+         "../bin/awbserve.exe -T %s --sample banking --repeat 2 --domains 2 --stats"
+         (Filename.quote dir))
+  in
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir;
+  (* broken.xml fails, so the batch exits nonzero — but the good
+     template still generates on every round and the counters print. *)
+  check int_t "exit" 1 r.code;
+  check bool_t "good template ok" true (Astring.String.is_infix ~affix:"ok   users.1" r.out);
+  check bool_t "bad template isolated" true (Astring.String.is_infix ~affix:"FAIL broken.2" r.out);
+  check bool_t "cache counters shown" true (Astring.String.is_infix ~affix:"template cache" r.out)
+
 let test_xqsh_scripted () =
   skip_unless_available ();
   let script = Filename.temp_file "lopsided-cli" ".xqs" in
@@ -130,6 +158,7 @@ let suite =
         Alcotest.test_case "xq explain" `Quick test_xq_explain;
         Alcotest.test_case "awbq" `Quick test_awbq;
         Alcotest.test_case "awbdoc" `Quick test_awbdoc;
+        Alcotest.test_case "awbserve" `Quick test_awbserve;
         Alcotest.test_case "xqsh scripted" `Quick test_xqsh_scripted;
       ] );
   ]

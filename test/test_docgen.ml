@@ -6,8 +6,8 @@
 module N = Xml_base.Node
 module S = Xml_base.Serialize
 module M = Awb.Model
-module F = Docgen.Functional_engine
-module H = Docgen.Host_engine
+
+
 module Spec = Docgen.Spec
 
 let check = Alcotest.check
@@ -20,10 +20,10 @@ let banking = Awb.Samples.banking_model ()
 let template src = Xml_base.Parser.strip_whitespace (Xml_base.Parser.parse_string src)
 
 let run_f ?backend ?(model = banking) src =
-  F.generate ?backend model ~template:(template src)
+  Docgen.generate ~engine:`Functional ?backend model ~template:(template src)
 
 let run_h ?backend ?(model = banking) src =
-  H.generate ?backend model ~template:(template src)
+  Docgen.generate ~engine:`Host ?backend model ~template:(template src)
 
 let doc_string (r : Spec.result) = S.to_string r.Spec.document
 
@@ -346,8 +346,8 @@ let test_engines_agree_on_glass () =
      <property name=\"year\"/>: by <value-of query=\"start focus; follow made-by\"/></p>\
      </section></for><table-of-contents/></document>"
   in
-  let rf = F.generate model ~template:(template tpl) in
-  let rh = H.generate model ~template:(template tpl) in
+  let rf = Docgen.generate ~engine:`Functional model ~template:(template tpl) in
+  let rh = Docgen.generate ~engine:`Host model ~template:(template tpl) in
   check string_t "glass catalog agreement" (S.to_string rh.Spec.document)
     (S.to_string rf.Spec.document);
   check bool_t "has lalique" true
@@ -366,7 +366,7 @@ let test_backend_choice_is_invisible () =
 
 let test_streams_split () =
   let wrapped, _ =
-    F.generate_with_streams banking
+    Docgen.generate_with_streams ~engine:`Functional banking
       ~template:(template "<document><p>x</p></document>")
   in
   let split = Docgen.Streams.split wrapped in
@@ -383,26 +383,27 @@ let test_streams_split () =
 (* The genuine XQuery core                                             *)
 (* ------------------------------------------------------------------ *)
 
+let xq_failed (r : Docgen.Spec.result) =
+  N.is_element r.Spec.document && N.name r.Spec.document = "generation-failed"
+
 let test_xq_engine_basic () =
   let tpl = template "<document><ol><for nodes=\"type:User\"><li><label/></li></for></ol></document>" in
-  match Docgen.Xq_engine.generate banking ~template:tpl with
-  | { Docgen.Xq_engine.document = Some doc; error = None } ->
-    let s = S.to_string doc in
-    check bool_t "alice present" true (Astring.String.is_infix ~affix:"<li>alice</li>" s);
-    check bool_t "three items" true
-      (List.length (N.find_all (fun n -> N.is_element n && N.name n = "li") doc) = 3)
-  | { Docgen.Xq_engine.error = Some e; _ } -> Alcotest.failf "xq engine failed: %s" e
-  | _ -> Alcotest.fail "unexpected result"
+  let r = Docgen.generate ~engine:`Xq banking ~template:tpl in
+  if xq_failed r then Alcotest.failf "xq engine failed: %s" (N.string_value r.Spec.document);
+  let doc = r.Spec.document in
+  let s = S.to_string doc in
+  check bool_t "alice present" true (Astring.String.is_infix ~affix:"<li>alice</li>" s);
+  check bool_t "three items" true
+    (List.length (N.find_all (fun n -> N.is_element n && N.name n = "li") doc) = 3)
 
 let test_xq_engine_subtypes () =
   (* type:Person must include User instances via the exported metamodel
      hierarchy, interpreted by XQuery itself. *)
   let tpl = template "<document><for nodes=\"type:Person\"><li><label/></li></for></document>" in
-  match Docgen.Xq_engine.generate banking ~template:tpl with
-  | { Docgen.Xq_engine.document = Some doc; _ } ->
-    check int_t "subtype instances found" 3
-      (List.length (N.find_all (fun n -> N.is_element n && N.name n = "li") doc))
-  | _ -> Alcotest.fail "xq engine failed"
+  let r = Docgen.generate ~engine:`Xq banking ~template:tpl in
+  if xq_failed r then Alcotest.fail "xq engine failed";
+  check int_t "subtype instances found" 3
+    (List.length (N.find_all (fun n -> N.is_element n && N.name n = "li") r.Spec.document))
 
 let test_xq_engine_conditions_and_props () =
   let tpl =
@@ -410,31 +411,30 @@ let test_xq_engine_conditions_and_props () =
       "<document><for nodes=\"type:User\"><if><test><has-prop name=\"superuser\"/></test>\
        <then><b><label/></b></then><else><label/></else></if></for></document>"
   in
-  match Docgen.Xq_engine.generate banking ~template:tpl with
-  | { Docgen.Xq_engine.document = Some doc; _ } ->
-    let s = S.to_string doc in
-    check bool_t "alice bolded" true (Astring.String.is_infix ~affix:"<b>alice</b>" s);
-    check bool_t "carol plain" true (Astring.String.is_infix ~affix:"carol" s)
-  | _ -> Alcotest.fail "xq engine failed"
+  let r = Docgen.generate ~engine:`Xq banking ~template:tpl in
+  if xq_failed r then Alcotest.fail "xq engine failed";
+  let s = S.to_string r.Spec.document in
+  check bool_t "alice bolded" true (Astring.String.is_infix ~affix:"<b>alice</b>" s);
+  check bool_t "carol plain" true (Astring.String.is_infix ~affix:"carol" s)
 
 let test_xq_engine_matches_host_on_core_subset () =
   (* On the shared subset, the XQuery core and the host engine agree. *)
   let xq_tpl = template "<document><for nodes=\"type:User\"><li><label/></li></for></document>" in
   let host_tpl = template "<document><for nodes=\"start type(User)\"><li><label/></li></for></document>" in
-  match Docgen.Xq_engine.generate banking ~template:xq_tpl with
-  | { Docgen.Xq_engine.document = Some xq_doc; _ } ->
-    let host = H.generate banking ~template:host_tpl in
-    check string_t "same output" (S.to_string host.Spec.document) (S.to_string xq_doc)
-  | _ -> Alcotest.fail "xq engine failed"
+  let r = Docgen.generate ~engine:`Xq banking ~template:xq_tpl in
+  if xq_failed r then Alcotest.fail "xq engine failed";
+  let host = Docgen.generate ~engine:`Host banking ~template:host_tpl in
+  check string_t "same output" (S.to_string host.Spec.document) (S.to_string r.Spec.document)
 
 let test_xq_engine_error_convention () =
   (* label without focus: the error travels as an <error> element in the
      output value — the only channel XQuery offers. *)
   let tpl = template "<document><label/></document>" in
-  match Docgen.Xq_engine.generate banking ~template:tpl with
-  | { Docgen.Xq_engine.document = None; error = Some msg } ->
-    check string_t "error message" "label needs a focus" msg
-  | _ -> Alcotest.fail "expected the error-value convention to surface"
+  let r = Docgen.generate ~engine:`Xq banking ~template:tpl in
+  if not (xq_failed r) then Alcotest.fail "expected the error-value convention to surface";
+  match N.child_element r.Spec.document "message" with
+  | Some m -> check string_t "error message" "label needs a focus" (N.string_value m)
+  | None -> Alcotest.fail "generation-failed without a message"
 
 let suite =
   [

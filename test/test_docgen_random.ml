@@ -155,8 +155,8 @@ let gen_template : N.t QCheck.arbitrary =
   QCheck.make root ~print:S.to_string
 
 let engines_agree backend template =
-  let rf = Docgen.Functional_engine.generate ~backend banking ~template in
-  let rh = Docgen.Host_engine.generate ~backend banking ~template in
+  let rf = Docgen.generate ~engine:`Functional ~backend banking ~template in
+  let rh = Docgen.generate ~engine:`Host ~backend banking ~template in
   S.to_string rf.Spec.document = S.to_string rh.Spec.document
   && rf.Spec.problems = rh.Spec.problems
 
@@ -171,7 +171,7 @@ let prop_engines_agree_xquery =
 let prop_streams_roundtrip =
   QCheck.Test.make ~name:"random templates: stream split is faithful" ~count:30
     gen_template (fun template ->
-      let wrapped, _ = Docgen.Functional_engine.generate_with_streams banking ~template in
+      let wrapped, _ = Docgen.generate_with_streams ~engine:`Functional banking ~template in
       let direct = Docgen.Streams.split wrapped in
       let xslt = Docgen.Streams.split_via_xslt wrapped in
       S.to_string direct.Docgen.Streams.document = S.to_string xslt.Docgen.Streams.document
@@ -180,8 +180,8 @@ let prop_streams_roundtrip =
 let prop_deterministic =
   QCheck.Test.make ~name:"generation is deterministic" ~count:25 gen_template
     (fun template ->
-      let a = Docgen.Host_engine.generate banking ~template in
-      let b = Docgen.Host_engine.generate banking ~template in
+      let a = Docgen.generate ~engine:`Host banking ~template in
+      let b = Docgen.generate ~engine:`Host banking ~template in
       S.to_string a.Spec.document = S.to_string b.Spec.document)
 
 (* Glass-model smoke property with a fixed template over random models is
@@ -191,8 +191,8 @@ let prop_deterministic =
 let prop_total_on_glass =
   QCheck.Test.make ~name:"random templates: total on the glass model" ~count:25
     gen_template (fun template ->
-      let rf = Docgen.Functional_engine.generate glass ~template in
-      let rh = Docgen.Host_engine.generate glass ~template in
+      let rf = Docgen.generate ~engine:`Functional glass ~template in
+      let rh = Docgen.generate ~engine:`Host glass ~template in
       S.to_string rf.Spec.document = S.to_string rh.Spec.document)
 
 let suite =

@@ -57,8 +57,8 @@ let generate engine =
   in
   let result =
     match engine with
-    | `Host -> Docgen.Host_engine.generate model ~template
-    | `Functional -> Docgen.Functional_engine.generate model ~template
+    | `Host -> Docgen.generate ~engine:`Host model ~template
+    | `Functional -> Docgen.generate ~engine:`Functional model ~template
   in
   S.to_string result.Spec.document
 
@@ -72,7 +72,7 @@ let test_golden_html () =
   let template =
     Xml_base.Parser.strip_whitespace (Xml_base.Parser.parse_string template_src)
   in
-  let result = Docgen.Host_engine.generate model ~template in
+  let result = Docgen.generate ~engine:`Host model ~template in
   let html = S.to_html_string result.Spec.document in
   check Alcotest.bool "empty cells close explicitly" true
     (Astring.String.is_infix ~affix:"<td></td>" html);

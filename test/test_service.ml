@@ -1,0 +1,311 @@
+(* The service layer: LRU behaviour, cache counters, deadlines as typed
+   errors, error isolation within a batch, and the serial-vs-parallel
+   oracle (byte-identical documents across 1, 2, and 4 domains). *)
+
+let check = Alcotest.check
+let string_t = Alcotest.string
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let banking = Awb.Samples.banking_model ()
+
+let users_tpl =
+  "<document><ol><for nodes=\"start type(User); sort-by label\"><li><label/></li></for></ol>\
+   </document>"
+
+let report_tpl =
+  "<document><table-of-contents/><for nodes=\"start type(User); sort-by label\">\
+   <section><heading><label/></heading>\
+   <p><value-of query=\"start focus; follow uses; distinct; sort-by label\"/></p>\
+   </section></for><table-of-omissions types=\"User Document\"/></document>"
+
+let failing_tpl =
+  "<document><for nodes=\"start type(Document); sort-by label\">\
+   <p><required-property name=\"version\"/></p></for></document>"
+
+(* ------------------------------------------------------------------ *)
+(* The LRU itself                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_lru_hit_miss_eviction () =
+  let lru = Service.Lru.create ~capacity:2 in
+  Service.Lru.add lru "a" 1;
+  Service.Lru.add lru "b" 2;
+  check (Alcotest.option int_t) "hit a" (Some 1) (Service.Lru.find lru "a");
+  (* "a" was just used, so adding "c" must evict "b". *)
+  Service.Lru.add lru "c" 3;
+  check bool_t "b evicted" false (Service.Lru.mem lru "b");
+  check bool_t "a survives" true (Service.Lru.mem lru "a");
+  check bool_t "c present" true (Service.Lru.mem lru "c");
+  check (Alcotest.option int_t) "miss b" None (Service.Lru.find lru "b");
+  check int_t "hits" 1 (Service.Lru.hits lru);
+  check int_t "misses" 1 (Service.Lru.misses lru);
+  check int_t "evictions" 1 (Service.Lru.evictions lru);
+  check int_t "length" 2 (Service.Lru.length lru)
+
+let test_lru_replace_and_zero_capacity () =
+  let lru = Service.Lru.create ~capacity:2 in
+  Service.Lru.add lru "k" 1;
+  Service.Lru.add lru "k" 2;
+  check (Alcotest.option int_t) "replaced" (Some 2) (Service.Lru.find lru "k");
+  check int_t "no eviction on replace" 0 (Service.Lru.evictions lru);
+  let off = Service.Lru.create ~capacity:0 in
+  Service.Lru.add off "k" 1;
+  check bool_t "capacity 0 stores nothing" false (Service.Lru.mem off "k")
+
+(* ------------------------------------------------------------------ *)
+(* Cache behaviour through the service                                 *)
+(* ------------------------------------------------------------------ *)
+
+let svc ?(domains = 1) ?(capacity = 32) () =
+  Service.create
+    ~config:{ Service.domains; cache_capacity = capacity; default_deadline = None }
+    ()
+
+let req ?engine ?deadline ~id tpl =
+  Service.request ?engine ?deadline ~id ~template:(Service.Template_xml tpl)
+    ~model:(Service.Model_value banking) ()
+
+let ok_exn (r : Service.response) =
+  match r.Service.result with
+  | Ok out -> out
+  | Error e -> Alcotest.failf "%s failed: %s" r.Service.request_id (Service.error_to_string e)
+
+let test_template_cache_hits () =
+  let t = svc () in
+  List.iter
+    (fun i -> ignore (ok_exn (Service.run t (req ~id:(string_of_int i) users_tpl))))
+    [ 1; 2; 3 ];
+  let c = Service.counters t in
+  check int_t "one template miss" 1 c.Service.template_misses;
+  check int_t "two template hits" 2 c.Service.template_hits;
+  check int_t "requests" 3 c.Service.requests;
+  check int_t "succeeded" 3 c.Service.succeeded
+
+let test_model_cache_hits () =
+  let xml = Awb.Xml_io.export_string banking in
+  let t = svc () in
+  let model = Service.Model_xml { metamodel = Awb.Samples.it_architecture; xml } in
+  let mk id = Service.request ~id ~template:(Service.Template_xml users_tpl) ~model () in
+  let r1 = Service.run t (mk "a") and r2 = Service.run t (mk "b") in
+  check string_t "same output from cached model" (ok_exn r1).Service.document
+    (ok_exn r2).Service.document;
+  let c = Service.counters t in
+  check int_t "one model miss" 1 c.Service.model_misses;
+  check int_t "one model hit" 1 c.Service.model_hits
+
+let test_query_cache_via_xq_engine () =
+  let t = svc () in
+  let tpl = "<document><for nodes=\"type:User\"><li><label/></li></for></document>" in
+  ignore (ok_exn (Service.run t (req ~engine:`Xq ~id:"x1" tpl)));
+  ignore (ok_exn (Service.run t (req ~engine:`Xq ~id:"x2" tpl)));
+  let c = Service.counters t in
+  check int_t "xq core compiled once" 1 c.Service.query_misses;
+  check int_t "second run hit the compiled core" 1 c.Service.query_hits
+
+let test_compile_query_cached () =
+  let t = svc () in
+  (match Service.compile_query t "1 + 1" with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "compile failed: %s" m);
+  (match Service.compile_query t "1 + 1" with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "recompile failed: %s" m);
+  let c = Service.counters t in
+  check int_t "compiled once" 1 c.Service.query_misses;
+  check int_t "served from cache" 1 c.Service.query_hits;
+  match Service.compile_query t "1 +" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "syntax error accepted"
+
+let test_eviction_counted () =
+  let t = svc ~capacity:1 () in
+  ignore (ok_exn (Service.run t (req ~id:"a" users_tpl)));
+  ignore (ok_exn (Service.run t (req ~id:"b" report_tpl)));
+  ignore (ok_exn (Service.run t (req ~id:"c" users_tpl)));
+  let c = Service.counters t in
+  check bool_t "evictions counted" true (c.Service.evictions >= 2);
+  check int_t "every lookup missed" 3 c.Service.template_misses
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines and error isolation                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_deadline_expiry_is_typed () =
+  let t = svc () in
+  let r = Service.run t (req ~deadline:0. ~id:"late" users_tpl) in
+  (match r.Service.result with
+  | Error (Service.Deadline_exceeded { deadline_s; _ }) ->
+    check (Alcotest.float 1e-9) "deadline echoed" 0. deadline_s
+  | Error e -> Alcotest.failf "wrong error: %s" (Service.error_to_string e)
+  | Ok _ -> Alcotest.fail "expected Deadline_exceeded");
+  let c = Service.counters t in
+  check int_t "counted as deadline failure" 1 c.Service.deadline_failures
+
+let test_default_deadline_from_config () =
+  let t =
+    Service.create
+      ~config:{ Service.domains = 1; cache_capacity = 8; default_deadline = Some 0. }
+      ()
+  in
+  match (Service.run t (req ~id:"late" users_tpl)).Service.result with
+  | Error (Service.Deadline_exceeded _) -> ()
+  | _ -> Alcotest.fail "config deadline not applied"
+
+let test_error_isolation_in_batch () =
+  let t = svc ~domains:2 () in
+  let batch =
+    [
+      req ~id:"ok1" users_tpl;
+      { (req ~id:"broken" failing_tpl) with Service.template = Service.Template_xml "<oops" };
+      req ~id:"genfail" failing_tpl;
+      req ~id:"ok2" report_tpl;
+    ]
+  in
+  match Service.run_batch t batch with
+  | [ r1; r2; r3; r4 ] ->
+    ignore (ok_exn r1);
+    ignore (ok_exn r4);
+    (match r2.Service.result with
+    | Error (Service.Template_error _) -> ()
+    | _ -> Alcotest.fail "parse failure not typed as Template_error");
+    (match r3.Service.result with
+    | Error (Service.Generation_failed { message; _ }) ->
+      check bool_t "carries the engine message" true
+        (Astring.String.is_infix ~affix:"should have a property version" message)
+    | _ -> Alcotest.fail "generation failure not typed as Generation_failed")
+  | rs -> Alcotest.failf "expected 4 responses, got %d" (List.length rs)
+
+(* ------------------------------------------------------------------ *)
+(* The serial-vs-parallel oracle                                       *)
+(* ------------------------------------------------------------------ *)
+
+let oracle_batch () =
+  (* A mixed batch: different templates, engines, and repeat traffic. *)
+  List.concat_map
+    (fun round ->
+      [
+        req ~id:(Printf.sprintf "u%d" round) users_tpl;
+        req ~engine:`Functional ~id:(Printf.sprintf "r%d" round) report_tpl;
+        req ~engine:`Xq ~id:(Printf.sprintf "x%d" round)
+          "<document><for nodes=\"type:User\"><li><label/></li></for></document>";
+      ])
+    [ 1; 2; 3; 4 ]
+
+let test_parallel_matches_serial () =
+  let serial = Service.run_batch ~domains:1 (svc ()) (oracle_batch ()) in
+  List.iter
+    (fun domains ->
+      let par = Service.run_batch ~domains (svc ()) (oracle_batch ()) in
+      check int_t "same cardinality" (List.length serial) (List.length par);
+      List.iter2
+        (fun (a : Service.response) (b : Service.response) ->
+          check string_t "ids in request order" a.Service.request_id b.Service.request_id;
+          check string_t
+            (Printf.sprintf "%s byte-identical across %d domains" a.Service.request_id
+               domains)
+            (ok_exn a).Service.document (ok_exn b).Service.document)
+        serial par)
+    [ 2; 4 ]
+
+let test_pool_runs_everything_once () =
+  let n = 37 in
+  let tasks = Array.init n (fun i () -> i * i) in
+  let results, stats = Service.Pool.run ~domains:4 tasks in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ok v -> check int_t "task result in its slot" (i * i) v
+      | Error e -> Alcotest.failf "task %d failed: %s" i (Printexc.to_string e))
+    results;
+  check int_t "all tasks executed exactly once" n
+    (Array.fold_left ( + ) 0 stats.Service.Pool.executed)
+
+let test_pool_isolates_exceptions () =
+  let tasks =
+    Array.init 8 (fun i () -> if i = 3 then failwith "boom" else i)
+  in
+  let results, _ = Service.Pool.run ~domains:2 tasks in
+  Array.iteri
+    (fun i r ->
+      match (i, r) with
+      | 3, Error (Failure m) -> check string_t "the failure" "boom" m
+      | 3, _ -> Alcotest.fail "task 3 should have failed"
+      | _, Ok v -> check int_t "neighbours unharmed" i v
+      | _, Error e -> Alcotest.failf "task %d failed: %s" i (Printexc.to_string e))
+    results
+
+(* ------------------------------------------------------------------ *)
+(* The re-exported top-level API                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_lopsided_generate_document () =
+  let model_xml = Awb.Xml_io.export_string banking in
+  (match
+     Lopsided.generate_document ~metamodel:Awb.Samples.it_architecture ~model_xml
+       ~template_xml:users_tpl ()
+   with
+  | Ok { Lopsided.document; problems } ->
+    check bool_t "document generated" true
+      (Astring.String.is_infix ~affix:"<li>alice</li>" document);
+    check bool_t "banking model problems surface" true (problems <> [])
+  | Error m -> Alcotest.failf "generate_document failed: %s" m);
+  match
+    Lopsided.generate_document ~metamodel:Awb.Samples.it_architecture ~model_xml
+      ~template_xml:"<oops" ()
+  with
+  | Error m -> check bool_t "typed template error" true (String.length m > 0)
+  | Ok _ -> Alcotest.fail "malformed template accepted"
+
+let test_engine_dispatch_agreement () =
+  let template =
+    Xml_base.Parser.strip_whitespace (Xml_base.Parser.parse_string report_tpl)
+  in
+  let doc engine =
+    Xml_base.Serialize.to_string
+      (Docgen.generate ~engine banking ~template).Docgen.Spec.document
+  in
+  check string_t "host and functional agree through the dispatcher" (doc `Host)
+    (doc `Functional);
+  List.iter
+    (fun e ->
+      check bool_t "engine name round-trips" true
+        (Docgen.engine_of_string (Docgen.engine_name e) = Ok e))
+    Docgen.all_engines
+
+let suite =
+  [
+    ( "service.lru",
+      [
+        Alcotest.test_case "hit/miss/eviction" `Quick test_lru_hit_miss_eviction;
+        Alcotest.test_case "replace + zero capacity" `Quick test_lru_replace_and_zero_capacity;
+      ] );
+    ( "service.cache",
+      [
+        Alcotest.test_case "template cache hits" `Quick test_template_cache_hits;
+        Alcotest.test_case "model cache hits" `Quick test_model_cache_hits;
+        Alcotest.test_case "xq core compiled once" `Quick test_query_cache_via_xq_engine;
+        Alcotest.test_case "compile_query cached" `Quick test_compile_query_cached;
+        Alcotest.test_case "evictions counted" `Quick test_eviction_counted;
+      ] );
+    ( "service.requests",
+      [
+        Alcotest.test_case "deadline expiry is typed" `Quick test_deadline_expiry_is_typed;
+        Alcotest.test_case "config default deadline" `Quick test_default_deadline_from_config;
+        Alcotest.test_case "batch isolates errors" `Quick test_error_isolation_in_batch;
+      ] );
+    ( "service.parallel",
+      [
+        Alcotest.test_case "parallel output = serial output (2, 4 domains)" `Quick
+          test_parallel_matches_serial;
+        Alcotest.test_case "pool executes each task once" `Quick
+          test_pool_runs_everything_once;
+        Alcotest.test_case "pool isolates exceptions" `Quick test_pool_isolates_exceptions;
+      ] );
+    ( "service.api",
+      [
+        Alcotest.test_case "Lopsided.generate_document" `Quick test_lopsided_generate_document;
+        Alcotest.test_case "engine dispatcher agreement" `Quick
+          test_engine_dispatch_agreement;
+      ] );
+  ]

@@ -225,7 +225,7 @@ let test_stream_split_equivalence () =
           <marker-table name=\"LOST\" rows=\"start type(Server)\" cols=\"start type(Program)\" \
           rel=\"runs\"/></document>")
   in
-  let wrapped, _ = Docgen.Functional_engine.generate_with_streams model ~template in
+  let wrapped, _ = Docgen.generate_with_streams ~engine:`Functional model ~template in
   let direct = Docgen.Streams.split wrapped in
   let via_xslt = Docgen.Streams.split_via_xslt wrapped in
   check string_t "same document"
