@@ -6,8 +6,10 @@
    - a Bechamel micro-benchmark group: one Test.make per compared
      configuration, OLS-estimated time per run.
 
-   Run with: dune exec bench/main.exe            (everything)
-             dune exec bench/main.exe -- quick   (skip the larger sweeps) *)
+   Run with: dune exec bench/main.exe                      (everything)
+             dune exec bench/main.exe -- --quick           (smaller sweeps)
+             dune exec bench/main.exe -- --only e9 --json  (one experiment,
+                                                   JSON to BENCH_eval.json) *)
 
 open Bechamel
 open Toolkit
@@ -15,7 +17,17 @@ module N = Xml_base.Node
 module M = Awb.Model
 module Spec = Docgen.Spec
 
-let quick = Array.exists (fun a -> a = "quick") Sys.argv
+let argv = Array.to_list Sys.argv
+let quick = List.exists (fun a -> a = "quick" || a = "--quick") argv
+let json = List.mem "--json" argv
+
+let only =
+  let rec go = function
+    | "--only" :: name :: _ -> Some (String.lowercase_ascii name)
+    | _ :: rest -> go rest
+    | [] -> None
+  in
+  go argv
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -644,21 +656,207 @@ let a4 () =
     (best_ms (fun () -> ignore (Docgen.Streams.split_via_xslt wrapped)))
 
 (* ---------------------------------------------------------------- *)
+(* E9: the evaluator fast path                                       *)
+(* ---------------------------------------------------------------- *)
+
+(* Slow (seed algorithms, ~fast_eval:false) vs fast on the same compiled
+   query, with the display string as the identity oracle. Results feed
+   the --json emitter so the perf trajectory is recorded per PR. *)
+let e9_results : (string * float * float) list ref = ref []
+
+let e9_record name slow fast =
+  e9_results := (name, slow, fast) :: !e9_results;
+  Printf.printf "  %-24s %12.3f %12.3f %9.1fx\n" name slow fast
+    (slow /. Float.max 1e-9 fast)
+
+let e9_write_json path =
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"e9_eval_fast_path\",\n  \"quick\": %b,\n  \"results\": [\n" quick;
+  output_string oc
+    (String.concat ",\n"
+       (List.rev_map
+          (fun (name, slow, fast) ->
+            Printf.sprintf
+              "    {\"name\": \"%s\", \"slow_ms\": %.3f, \"fast_ms\": %.3f, \
+               \"speedup\": %.2f}"
+              name slow fast
+              (slow /. Float.max 1e-9 fast))
+          !e9_results));
+  output_string oc "\n  ]\n}\n";
+  close_out oc;
+  Printf.printf "\n  wrote %s\n" path
+
+(* A spine [depth] levels deep, one leaf per level, a needle near the
+   top: descendant queries see many nodes whose root paths are long
+   (worst case for the path-walking comparator), and existence queries
+   have an early exit the lazy walk can take. *)
+let e9_deep_doc depth =
+  let rec build i =
+    let kids =
+      if i = 0 then [ N.element "leaf" ] else [ N.element "leaf"; build (i - 1) ]
+    in
+    let kids = if i = depth - 3 then N.element "needle" :: kids else kids in
+    N.element ~children:kids "level"
+  in
+  N.document [ N.element ~children:[ build (depth - 1) ] "root" ]
+
+(* Many sections of interleaved <a>/<b>: union/except node sets in the
+   thousands, with moderate fan-out so the seed comparator's per-level
+   sibling scans stay feasible to measure. *)
+let e9_wide_doc sections per_section =
+  let section i =
+    let kids =
+      List.concat
+        (List.init per_section (fun j ->
+             [
+               N.element ~children:[ N.text (Printf.sprintf "a%d-%d" i j) ] "a";
+               N.element ~children:[ N.text (Printf.sprintf "b%d-%d" i j) ] "b";
+             ]))
+    in
+    N.element ~children:kids "section"
+  in
+  N.document [ N.element ~children:(List.init sections section) "root" ]
+
+(* Grouped items with @v values; the one needle sits in the first group,
+   so the existential comparison's lazy scan stops almost immediately
+   while the eager path atomizes (and document-orders) everything. *)
+let e9_values_doc groups per_group =
+  let group g =
+    N.element
+      ~children:
+        (List.init per_group (fun j ->
+             let v = if g = 0 && j = 10 then "needle" else Printf.sprintf "w%d-%d" g j in
+             N.element ~attrs:[ N.attribute "v" v ] "item"))
+      "group"
+  in
+  N.document [ N.element ~children:(List.init groups group) "root" ]
+
+let e9 () =
+  section "E9 - evaluator fast path: doc-order keys, hash set ops, lazy sequences";
+  Printf.printf "  %-24s %12s %12s %10s\n" "query" "seed ms" "fast ms" "speedup";
+  let bench ?(k = 2) name q doc =
+    let compiled = Xquery.Engine.compile q in
+    let ctx = Xquery.Value.Node doc in
+    let r_slow = ref [] and r_fast = ref [] in
+    let slow =
+      best_ms ~k (fun () ->
+          r_slow := Xquery.Engine.execute ~fast_eval:false ~context_item:ctx compiled)
+    in
+    let fast =
+      best_ms ~k (fun () ->
+          r_fast := Xquery.Engine.execute ~fast_eval:true ~context_item:ctx compiled)
+    in
+    assert (
+      Xquery.Value.to_display_string !r_slow = Xquery.Value.to_display_string !r_fast);
+    e9_record name slow fast
+  in
+  let deep = e9_deep_doc (if quick then 300 else 1500) in
+  let wide = e9_wide_doc (if quick then 60 else 150) (if quick then 8 else 10) in
+  let values = e9_values_doc (if quick then 30 else 60) (if quick then 40 else 60) in
+  bench "deep_descendant" "count(//leaf)" deep;
+  bench "exists_deep" "exists(//needle)" deep;
+  bench "count_gt_rewrite" "count(//needle) > 0" deep;
+  bench "union_heavy" "count((//a | //b) except //b)" wide;
+  bench "existential_eq" "//item/@v = 'needle'" values;
+  bench "distinct_values" "count(distinct-values(//item/@v))" values;
+  bench "some_satisfies" "some $v in //item/@v satisfies $v = 'needle'" values;
+  (* TOC generation through the pure-XQuery docgen engine on a large
+     exported model; the whole run flips through the env default so every
+     environment the engine creates inherits the setting. *)
+  let model = Awb.Synth.generate_of_size ~seed:21 (if quick then 120 else 1850) in
+  let export_nodes =
+    let n = ref 0 in
+    N.iter (fun _ -> incr n) (Awb.Xml_io.export model);
+    !n
+  in
+  let tpl =
+    template
+      "<document><toc><for nodes=\"type:User\"><entry><label/></entry></for></toc>\
+       <for nodes=\"type:User\"><section><heading><label/></heading>\
+       <if><test><has-prop name=\"superuser\"/></test><then><p>superuser</p></then>\
+       <else><p><property name=\"firstName\"/></p></else></if>\
+       </section></for></document>"
+  in
+  let compiled_core = Docgen.Xq_engine.compile () in
+  let with_default b f =
+    let old = !Xquery.Context.fast_eval_default in
+    Xquery.Context.fast_eval_default := b;
+    Fun.protect ~finally:(fun () -> Xquery.Context.fast_eval_default := old) f
+  in
+  let toc b =
+    with_default b (fun () ->
+        Xml_base.Serialize.to_string
+          (Docgen.Xq_engine.generate_spec ~compiled:compiled_core model ~template:tpl)
+            .Spec.document)
+  in
+  let r_slow = ref "" and r_fast = ref "" in
+  let t_slow = best_ms ~k:1 (fun () -> r_slow := toc false) in
+  let t_fast = best_ms ~k:1 (fun () -> r_fast := toc true) in
+  assert (!r_slow = !r_fast);
+  e9_record "toc_generation" t_slow t_fast;
+  Printf.printf "  (toc model: %d model nodes, %d exported XML nodes)\n"
+    (M.node_count model) export_nodes;
+  run_bechamel_group ~name:"e9_eval_fast_path"
+    [
+      Test.make ~name:"union_seed"
+        (Staged.stage
+           (let c = Xquery.Engine.compile "count((//a | //b) except //b)" in
+            let ctx = Xquery.Value.Node wide in
+            fun () ->
+              ignore (Xquery.Engine.execute ~fast_eval:false ~context_item:ctx c)));
+      Test.make ~name:"union_fast"
+        (Staged.stage
+           (let c = Xquery.Engine.compile "count((//a | //b) except //b)" in
+            let ctx = Xquery.Value.Node wide in
+            fun () -> ignore (Xquery.Engine.execute ~fast_eval:true ~context_item:ctx c)));
+      Test.make ~name:"exists_seed"
+        (Staged.stage
+           (let c = Xquery.Engine.compile "exists(//needle)" in
+            let ctx = Xquery.Value.Node deep in
+            fun () ->
+              ignore (Xquery.Engine.execute ~fast_eval:false ~context_item:ctx c)));
+      Test.make ~name:"exists_fast"
+        (Staged.stage
+           (let c = Xquery.Engine.compile "exists(//needle)" in
+            let ctx = Xquery.Value.Node deep in
+            fun () -> ignore (Xquery.Engine.execute ~fast_eval:true ~context_item:ctx c)));
+    ]
+
+(* ---------------------------------------------------------------- *)
+
+let experiments =
+  [
+    ("t1t2", t1_t2);
+    ("e1", e1);
+    ("e2", e2);
+    ("e3", e3);
+    ("e4", e4);
+    ("e5", e5);
+    ("e6", e6);
+    ("e7", e7);
+    ("e8", e8);
+    ("e9", e9);
+    ("a1", a1);
+    ("a2", a2);
+    ("a3", a3);
+    ("a4", a4);
+  ]
 
 let () =
   Printf.printf "Lopsided Little Languages - benchmark harness%s\n"
     (if quick then " (quick mode)" else "");
-  t1_t2 ();
-  e1 ();
-  e2 ();
-  e3 ();
-  e4 ();
-  e5 ();
-  e6 ();
-  e7 ();
-  e8 ();
-  a1 ();
-  a2 ();
-  a3 ();
-  a4 ();
+  let selected =
+    match only with
+    | None -> experiments
+    | Some name -> List.filter (fun (n, _) -> n = name) experiments
+  in
+  if selected = [] then begin
+    Printf.eprintf "bench: unknown experiment %s (known: %s)\n"
+      (Option.value only ~default:"")
+      (String.concat " " (List.map fst experiments));
+    exit 2
+  end;
+  List.iter (fun (_, f) -> f ()) selected;
+  if json && !e9_results <> [] then e9_write_json "BENCH_eval.json";
   print_newline ()

@@ -7,7 +7,7 @@
 
 open Cmdliner
 
-let run_query expr file input galax typed no_optimize explain =
+let run_query expr file input galax typed no_optimize explain time =
   let source =
     match (expr, file) with
     | Some e, None -> Ok e
@@ -40,9 +40,11 @@ let run_query expr file input galax typed no_optimize explain =
         (match compiled.Xquery.Engine.opt_stats with
         | Some st ->
           Printf.printf
-            "(: optimizer: %d lets eliminated, %d traces eliminated, %d constants folded :)\n"
+            "(: optimizer: %d lets eliminated, %d traces eliminated, %d constants \
+             folded, %d count rewrites, %d paths hoisted :)\n"
             st.Xquery.Optimizer.lets_eliminated st.Xquery.Optimizer.traces_eliminated
-            st.Xquery.Optimizer.constants_folded
+            st.Xquery.Optimizer.constants_folded st.Xquery.Optimizer.count_cmp_rewrites
+            st.Xquery.Optimizer.paths_hoisted
         | None -> print_endline "(: optimizer: off :)");
         0
       | exception Xquery.Errors.Error { code; message } ->
@@ -50,14 +52,39 @@ let run_query expr file input galax typed no_optimize explain =
         2
     end
     else
+    (* Phase timings for --time: parse and optimize measured separately
+       (Engine.compile fuses them), then execution. *)
+    let timed cell f =
+      let t0 = Unix.gettimeofday () in
+      let v = f () in
+      cell := Unix.gettimeofday () -. t0;
+      v
+    in
+    let parse_s = ref 0. and opt_s = ref 0. and eval_s = ref 0. in
     match
-      Xquery.Engine.eval_query ~compat ~typed_mode:typed ~optimize:(not no_optimize)
-        ?context_item source
+      let program = timed parse_s (fun () -> Xquery.Parser.parse_program source) in
+      let program, opt_stats =
+        if no_optimize then (program, None)
+        else
+          timed opt_s (fun () ->
+              let p, st =
+                Xquery.Optimizer.optimize_program
+                  ~treat_trace_as_pure:compat.Xquery.Context.treat_trace_as_pure program
+              in
+              (p, Some st))
+      in
+      let compiled =
+        { Xquery.Engine.program; compat; typed_mode = typed; opt_stats }
+      in
+      timed eval_s (fun () -> Xquery.Engine.execute ?context_item compiled)
     with
     | result ->
       List.iter
         (fun item -> print_endline (Xquery.Value.item_to_string item))
         result;
+      if time then
+        Printf.eprintf "xq: parse %.3f ms, optimize %.3f ms, eval %.3f ms\n"
+          (!parse_s *. 1000.) (!opt_s *. 1000.) (!eval_s *. 1000.);
       0
     | exception Xquery.Errors.Error { code; message } ->
       Printf.eprintf "xq: %s: %s\n" code message;
@@ -96,10 +123,17 @@ let explain =
     value & flag
     & info [ "explain" ] ~doc:"Print the (optimized) program instead of running it.")
 
+let time =
+  Arg.(
+    value & flag
+    & info [ "time" ]
+        ~doc:"Print parse/optimize/eval phase timings to stderr after the result.")
+
 let cmd =
   let doc = "run XQuery queries with the Lopsided engine" in
   Cmd.v
     (Cmd.info "xq" ~doc)
-    Term.(const run_query $ expr $ file $ input $ galax $ typed $ no_optimize $ explain)
+    Term.(
+      const run_query $ expr $ file $ input $ galax $ typed $ no_optimize $ explain $ time)
 
 let () = exit (Cmd.eval' cmd)

@@ -110,6 +110,10 @@ type counters = {
   query_hits : int;
   query_misses : int;
   evictions : int;
+  opt_lets_eliminated : int;
+  opt_constants_folded : int;
+  opt_count_rewrites : int;
+  opt_paths_hoisted : int;
   template_s : float;
   model_s : float;
   generate_s : float;
@@ -136,6 +140,9 @@ type t = {
   mutable batches : int;
   mutable steals : int;
   totals : phase_totals;
+  opt_totals : Xquery.Optimizer.stats;
+      (* optimizer pass hits, accumulated on query-cache misses: what the
+         rewriter actually did to the queries this service compiled *)
 }
 
 let create ?(config = default_config) () =
@@ -153,6 +160,7 @@ let create ?(config = default_config) () =
     steals = 0;
     totals =
       { acc_template_s = 0.; acc_model_s = 0.; acc_generate_s = 0.; acc_serialize_s = 0. };
+    opt_totals = Xquery.Optimizer.new_stats ();
   }
 
 let config t = t.config
@@ -191,8 +199,32 @@ let model_of_source t = function
       (Printf.sprintf "model:%s:%s" (Awb.Metamodel.name metamodel) (digest xml))
       (fun () -> Awb.Xml_io.import_string metamodel xml)
 
+(* Fold one freshly compiled program's optimizer stats into the service
+   totals. Called from inside a [cached] compute, so no lock is held. *)
+let record_opt_stats t (compiled : Xquery.Engine.compiled) =
+  match compiled.Xquery.Engine.opt_stats with
+  | None -> ()
+  | Some (s : Xquery.Optimizer.stats) ->
+    with_lock t (fun () ->
+        let o = t.opt_totals in
+        o.Xquery.Optimizer.lets_eliminated <-
+          o.Xquery.Optimizer.lets_eliminated + s.Xquery.Optimizer.lets_eliminated;
+        o.Xquery.Optimizer.traces_eliminated <-
+          o.Xquery.Optimizer.traces_eliminated + s.Xquery.Optimizer.traces_eliminated;
+        o.Xquery.Optimizer.constants_folded <-
+          o.Xquery.Optimizer.constants_folded + s.Xquery.Optimizer.constants_folded;
+        o.Xquery.Optimizer.count_cmp_rewrites <-
+          o.Xquery.Optimizer.count_cmp_rewrites + s.Xquery.Optimizer.count_cmp_rewrites;
+        o.Xquery.Optimizer.paths_hoisted <-
+          o.Xquery.Optimizer.paths_hoisted + s.Xquery.Optimizer.paths_hoisted)
+
 let compile_query t src =
-  try Ok (cached t t.queries ("xq:" ^ digest src) (fun () -> Xquery.Engine.compile src))
+  try
+    Ok
+      (cached t t.queries ("xq:" ^ digest src) (fun () ->
+           let c = Xquery.Engine.compile src in
+           record_opt_stats t c;
+           c))
   with Xquery.Errors.Error _ as e -> Error (Printexc.to_string e)
 
 (* The xq engine's dispatch core, compiled once and cached like any
@@ -200,7 +232,10 @@ let compile_query t src =
 let xq_core t =
   cached t t.queries
     ("xq:" ^ digest Docgen.Xq_engine.query_source)
-    (fun () -> Docgen.Xq_engine.compile ())
+    (fun () ->
+      let c = Docgen.Xq_engine.compile () in
+      record_opt_stats t c;
+      c)
 
 let clear_caches t =
   with_lock t (fun () ->
@@ -398,6 +433,10 @@ let counters t : counters =
         query_misses = Lru.misses t.queries;
         evictions =
           Lru.evictions t.templates + Lru.evictions t.models + Lru.evictions t.queries;
+        opt_lets_eliminated = t.opt_totals.Xquery.Optimizer.lets_eliminated;
+        opt_constants_folded = t.opt_totals.Xquery.Optimizer.constants_folded;
+        opt_count_rewrites = t.opt_totals.Xquery.Optimizer.count_cmp_rewrites;
+        opt_paths_hoisted = t.opt_totals.Xquery.Optimizer.paths_hoisted;
         template_s = t.totals.acc_template_s;
         model_s = t.totals.acc_model_s;
         generate_s = t.totals.acc_generate_s;
@@ -415,6 +454,11 @@ let reset_counters t =
       Lru.reset_counters t.templates;
       Lru.reset_counters t.models;
       Lru.reset_counters t.queries;
+      t.opt_totals.Xquery.Optimizer.lets_eliminated <- 0;
+      t.opt_totals.Xquery.Optimizer.traces_eliminated <- 0;
+      t.opt_totals.Xquery.Optimizer.constants_folded <- 0;
+      t.opt_totals.Xquery.Optimizer.count_cmp_rewrites <- 0;
+      t.opt_totals.Xquery.Optimizer.paths_hoisted <- 0;
       t.totals.acc_template_s <- 0.;
       t.totals.acc_model_s <- 0.;
       t.totals.acc_generate_s <- 0.;
@@ -428,8 +472,11 @@ let pp_counters fmt (c : counters) =
      model cache: %d hits / %d misses@,\
      query cache: %d hits / %d misses@,\
      evictions: %d@,\
+     optimizer: %d lets eliminated, %d constants folded, %d count rewrites, %d paths \
+     hoisted@,\
      phase totals: template %.3f ms, model %.3f ms, generate %.3f ms, serialize %.3f ms@]"
     c.requests c.succeeded c.failed c.deadline_failures c.batches c.steals c.template_hits
     c.template_misses c.model_hits c.model_misses c.query_hits c.query_misses c.evictions
+    c.opt_lets_eliminated c.opt_constants_folded c.opt_count_rewrites c.opt_paths_hoisted
     (c.template_s *. 1000.) (c.model_s *. 1000.) (c.generate_s *. 1000.)
     (c.serialize_s *. 1000.)

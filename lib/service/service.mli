@@ -122,6 +122,13 @@ type counters = {
   query_hits : int;
   query_misses : int;
   evictions : int;  (** summed over the three caches *)
+  opt_lets_eliminated : int;
+      (** optimizer pass hits, accumulated when a query-cache miss
+          compiles a program (cache hits re-use the optimized program and
+          add nothing) *)
+  opt_constants_folded : int;
+  opt_count_rewrites : int;  (** [count(e) > 0] → exists/empty rewrites *)
+  opt_paths_hoisted : int;  (** loop-invariant paths lifted out of FLWORs *)
   template_s : float;  (** accumulated per-phase wall time, seconds *)
   model_s : float;
   generate_s : float;

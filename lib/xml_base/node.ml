@@ -9,6 +9,11 @@ type kind =
 type t = {
   id : int;
   mutable parent : t option;
+  mutable ord : int;
+      (* cached pre-order position within the tree; valid only while the
+         tree root's [ord_valid] is set *)
+  mutable ord_valid : bool;
+      (* meaningful on roots only: the numbering below is current *)
   body : body;
 }
 
@@ -27,13 +32,24 @@ let counter = Atomic.make 0
 
 let fresh_id () = Atomic.fetch_and_add counter 1 + 1
 
-let mk body = { id = fresh_id (); parent = None; body }
+let mk body = { id = fresh_id (); parent = None; ord = 0; ord_valid = false; body }
+
+let rec root n = match n.parent with None -> n | Some p -> root p
+
+(* Any structural change makes the tree's cached pre-order numbering
+   stale. The flag lives on the root; climbing there is O(depth) with no
+   allocation, negligible next to the mutation itself. *)
+let invalidate_order n = (root n).ord_valid <- false
 
 let adopt parent child =
   match child.parent with
   | Some _ ->
     invalid_arg "Xml_base.Node: node already has a parent (detach or copy it first)"
-  | None -> child.parent <- Some parent
+  | None ->
+    child.parent <- Some parent;
+    (* The child may carry a stale root flag from a life as its own tree. *)
+    child.ord_valid <- false;
+    invalidate_order parent
 
 let document kids =
   let d = mk (Bdoc { dkids = kids }) in
@@ -80,8 +96,6 @@ let pi_target n =
   | _ -> invalid_arg "Xml_base.Node.pi_target: not a processing instruction"
 
 let parent n = n.parent
-
-let rec root n = match n.parent with None -> n | Some p -> root p
 
 let children n =
   match n.body with
@@ -144,10 +158,53 @@ let following_siblings n =
 let preceding_siblings n =
   match sibling_split n with Some (_, before, _) -> List.rev before | None -> []
 
-(* Document order: compare root paths. The path records, at each tree level,
-   the position of the step child; attributes of an element sort after the
-   element itself and before its children, so an attribute's position is
-   encoded as (-1, attr index) against children at (child index, 0). *)
+(* ------------------------------------------------------------------ *)
+(* Document order                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Fast path: a lazily computed pre-order numbering per tree. Each node
+   caches its position ([ord]); the root's [ord_valid] says whether the
+   numbering is current. Mutations flip the flag; the next comparison or
+   key request renumbers the whole tree once, O(n), making every
+   subsequent comparison O(1). Attributes are numbered right after their
+   owner element and before its children — the order the path-based
+   comparison below encodes. *)
+let renumber r =
+  let next = ref 0 in
+  let rec go n =
+    n.ord <- !next;
+    incr next;
+    List.iter
+      (fun a ->
+        a.ord <- !next;
+        incr next)
+      (attributes n);
+    List.iter go (children n)
+  in
+  go r;
+  r.ord_valid <- true
+
+let doc_order_key n =
+  let r = root n in
+  if not r.ord_valid then renumber r;
+  (r.id, n.ord)
+
+let compare_document_order a b =
+  if a.id = b.id then 0
+  else
+    let ra = root a and rb = root b in
+    if not (same ra rb) then compare ra.id rb.id
+    else begin
+      if not ra.ord_valid then renumber ra;
+      compare a.ord b.ord
+    end
+
+(* Reference path: compare root paths. Kept as the seed-semantics slow
+   comparator for benchmarking and as the property-test oracle. The path
+   records, at each tree level, the position of the step child;
+   attributes of an element sort after the element itself and before its
+   children, so an attribute's position is encoded as (0, attr index)
+   against children at (1, child index). *)
 let path_to_root n =
   let index_in lst x =
     let rec go i = function
@@ -172,7 +229,7 @@ let path_to_root n =
   in
   go [] n
 
-let compare_document_order a b =
+let compare_document_order_via_paths a b =
   if same a b then 0
   else
     let ra, pa = path_to_root a in
@@ -190,14 +247,21 @@ let compare_document_order a b =
       in
       cmp pa pb
 
+(* Detach for replacement: the node becomes a root of its own tree, so
+   its stale root flag must be cleared alongside the parent link. *)
+let unlink k =
+  k.parent <- None;
+  k.ord_valid <- false
+
 let set_children n kids =
+  invalidate_order n;
   match n.body with
   | Bdoc d ->
-    List.iter (fun k -> k.parent <- None) d.dkids;
+    List.iter unlink d.dkids;
     List.iter (adopt n) kids;
     d.dkids <- kids
   | Belem e ->
-    List.iter (fun k -> k.parent <- None) e.ekids;
+    List.iter unlink e.ekids;
     List.iter (adopt n) kids;
     e.ekids <- kids
   | Battr _ | Btext _ | Bcomment _ | Bpi _ ->
@@ -246,8 +310,9 @@ let detach n =
     | Battr _ -> (
       match p.body with
       | Belem e ->
+        invalidate_order p;
         e.eattrs <- List.filter (fun a -> not (same a n)) e.eattrs;
-        n.parent <- None
+        unlink n
       | _ -> invalid_arg "Xml_base.Node.detach: attribute of a non-element")
     | _ -> remove_child p n)
 
@@ -268,12 +333,13 @@ let set_attribute n aname avalue =
 let remove_attribute n aname =
   match n.body with
   | Belem e ->
+    invalidate_order n;
     e.eattrs <-
       List.filter
         (fun a ->
           match a.body with
           | Battr r when r.aname = aname ->
-            a.parent <- None;
+            unlink a;
             false
           | _ -> true)
         e.eattrs

@@ -43,7 +43,21 @@ val same : t -> t -> bool
 val compare_document_order : t -> t -> int
 (** Total order: within one tree, document order (attributes come after
     their owner element and before its children, in attribute list order);
-    across trees, ordered by the roots' creation ids. *)
+    across trees, ordered by the roots' creation ids. Amortized O(1): the
+    comparison reads a cached pre-order key, renumbering the tree lazily
+    after structural mutations. *)
+
+val doc_order_key : t -> int * int
+(** [(root id, pre-order position)] — sorting node lists by this key is
+    exactly document order, and key equality is node identity. The key is
+    computed lazily per tree and invalidated by structural mutation, so it
+    is only stable until the next mutation of the node's tree. *)
+
+val compare_document_order_via_paths : t -> t -> int
+(** The reference comparator: walks root paths on every call (O(depth ×
+    fan-out) per comparison, no caching). Same total order as
+    {!compare_document_order}; kept for benchmarking and as the
+    property-test oracle for the cached keys. *)
 
 (** {1 Accessors} *)
 

@@ -44,6 +44,10 @@ and env = {
   mutable trace_count : int;
   mutable doc_resolver : string -> Xml_base.Node.t option;
   mutable global_vars : Value.sequence StringMap.t;
+  mutable fast_eval : bool;
+      (* true: the evaluator may use the cached-key/lazy fast paths; false
+         pins every operation to the seed algorithms (benchmark baseline,
+         property-test oracle) *)
 }
 
 and dyn = {
@@ -54,6 +58,8 @@ and dyn = {
   ctx_size : int;
 }
 
+let fast_eval_default = ref true
+
 let make_env ?(compat = default_compat) ?(typed_mode = false) () =
   {
     functions = Hashtbl.create 97;
@@ -63,6 +69,7 @@ let make_env ?(compat = default_compat) ?(typed_mode = false) () =
     trace_count = 0;
     doc_resolver = (fun _ -> None);
     global_vars = StringMap.empty;
+    fast_eval = !fast_eval_default;
   }
 
 let make_dyn env = { env; vars = StringMap.empty; ctx_item = None; ctx_pos = 0; ctx_size = 0 }

@@ -19,16 +19,17 @@ let compile ?(compat = Context.default_compat) ?(typed_mode = false) ?(optimize 
     { program; compat; typed_mode; opt_stats = Some stats }
   else { program; compat; typed_mode; opt_stats = None }
 
-let execute ?context_item ?(vars = []) ?trace_out ?doc_resolver compiled =
+let execute ?context_item ?(vars = []) ?trace_out ?doc_resolver ?fast_eval compiled =
   let env = Context.make_env ~compat:compiled.compat ~typed_mode:compiled.typed_mode () in
   Functions.register_all env;
   (match trace_out with Some f -> env.Context.trace_out <- f | None -> ());
   (match doc_resolver with Some f -> env.Context.doc_resolver <- f | None -> ());
+  (match fast_eval with Some b -> env.Context.fast_eval <- b | None -> ());
   Eval.run_program env ?context_item ~vars compiled.program
 
 let eval_query ?compat ?typed_mode ?optimize ?static_check ?context_item ?vars ?trace_out
-    ?doc_resolver src =
-  execute ?context_item ?vars ?trace_out ?doc_resolver
+    ?doc_resolver ?fast_eval src =
+  execute ?context_item ?vars ?trace_out ?doc_resolver ?fast_eval
     (compile ?compat ?typed_mode ?optimize ?static_check src)
 
 let query_doc ?vars doc src =

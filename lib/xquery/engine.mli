@@ -27,11 +27,14 @@ val execute :
   ?vars:(string * Value.sequence) list ->
   ?trace_out:(string -> unit) ->
   ?doc_resolver:(string -> Xml_base.Node.t option) ->
+  ?fast_eval:bool ->
   compiled ->
   Value.sequence
 (** Run a compiled query. [vars] are bound as external global variables;
     [trace_out] receives fn:trace output (default stderr); [doc_resolver]
-    backs fn:doc. *)
+    backs fn:doc. [fast_eval] overrides {!Context.fast_eval_default} for
+    this run: [false] pins the evaluator to the seed algorithms
+    (benchmark baseline, property-test oracle). *)
 
 val eval_query :
   ?compat:Context.compat ->
@@ -42,6 +45,7 @@ val eval_query :
   ?vars:(string * Value.sequence) list ->
   ?trace_out:(string -> unit) ->
   ?doc_resolver:(string -> Xml_base.Node.t option) ->
+  ?fast_eval:bool ->
   string ->
   Value.sequence
 (** One-shot compile + execute. *)

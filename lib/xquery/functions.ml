@@ -387,22 +387,66 @@ let fn_exists _dyn args = of_bool (List.hd args <> [])
 
 let is_nan_atomic = function A_double f -> Float.is_nan f | _ -> false
 
-let fn_distinct_values _dyn args =
-  let seen = ref [] in
-  let same a b =
-    (is_nan_atomic a && is_nan_atomic b)
-    || (match general_compare_atoms a b with Some 0 -> true | _ -> false)
+(* Hash keys for distinct-values, valid only within one homogeneous
+   comparison class: across classes general_compare_atoms is not
+   transitive (untyped "1" equals both the integer 1 and the string "1",
+   which are not equal to each other), so hashing would conflate or split
+   values the pairwise scan distinguishes. *)
+type dv_key = K_num of int64 | K_str of string | K_bool of bool
+
+let dv_class = function
+  | A_int _ | A_double _ -> `Num
+  | A_string _ | A_untyped _ -> `Str
+  | A_bool _ -> `Bool
+
+let dv_key = function
+  | (A_int _ | A_double _) as a ->
+    let f = double_of_atomic a in
+    (* -0.0 = 0.0 and all NaNs are one value for fn:distinct-values. *)
+    let f = if f = 0.0 then 0.0 else if Float.is_nan f then Float.nan else f in
+    K_num (Int64.bits_of_float f)
+  | A_string s | A_untyped s -> K_str s
+  | A_bool b -> K_bool b
+
+let fn_distinct_values dyn args =
+  let atoms = atomize (List.hd args) in
+  let homogeneous =
+    match atoms with
+    | [] -> true
+    | a :: rest ->
+      let c = dv_class a in
+      List.for_all (fun b -> dv_class b = c) rest
   in
-  let keep a =
-    if List.exists (same a) !seen then false
-    else begin
-      seen := a :: !seen;
-      true
-    end
-  in
-  List.filter_map
-    (fun a -> if keep a then Some (Atomic a) else None)
-    (atomize (List.hd args))
+  if dyn.Context.env.Context.fast_eval && homogeneous then begin
+    (* One comparison class: equality coincides with key equality, so a
+       hash set gives O(n) in place of the seed's O(n²) pairwise scan.
+       First occurrence wins, as in the seed. *)
+    let tbl = Hashtbl.create (2 * List.length atoms + 1) in
+    List.filter_map
+      (fun a ->
+        let k = dv_key a in
+        if Hashtbl.mem tbl k then None
+        else begin
+          Hashtbl.replace tbl k ();
+          Some (Atomic a)
+        end)
+      atoms
+  end
+  else begin
+    let seen = ref [] in
+    let same a b =
+      (is_nan_atomic a && is_nan_atomic b)
+      || (match general_compare_atoms a b with Some 0 -> true | _ -> false)
+    in
+    let keep a =
+      if List.exists (same a) !seen then false
+      else begin
+        seen := a :: !seen;
+        true
+      end
+    in
+    List.filter_map (fun a -> if keep a then Some (Atomic a) else None) atoms
+  end
 
 let fn_reverse _dyn args = List.rev (List.hd args)
 

@@ -10,9 +10,18 @@ type stats = {
   mutable lets_eliminated : int;
   mutable traces_eliminated : int;
   mutable constants_folded : int;
+  mutable count_cmp_rewrites : int;
+  mutable paths_hoisted : int;
 }
 
-let new_stats () = { lets_eliminated = 0; traces_eliminated = 0; constants_folded = 0 }
+let new_stats () =
+  {
+    lets_eliminated = 0;
+    traces_eliminated = 0;
+    constants_folded = 0;
+    count_cmp_rewrites = 0;
+    paths_hoisted = 0;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Free variables                                                      *)
@@ -128,6 +137,134 @@ let is_trace_call = function
   | _ -> false
 
 (* ------------------------------------------------------------------ *)
+(* count() comparison rewriting                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* count(e) compared against a literal integer only asks whether e is
+   empty: rewrite to exists/empty so the evaluator's lazy layer can stop
+   at the first item instead of materializing and counting everything.
+   count returns a singleton, so the existential general comparison and
+   the value comparison coincide here. *)
+let rewrite_count_cmp stats op a b =
+  let count_arg = function
+    | E_call (name, [ arg ]) when Context.normalize_fname name = "count" -> Some arg
+    | _ -> None
+  in
+  let hit fname arg =
+    stats.count_cmp_rewrites <- stats.count_cmp_rewrites + 1;
+    Some (E_call (fname, [ arg ]))
+  in
+  match (count_arg a, b) with
+  | Some arg, E_int n -> (
+    match (op, n) with
+    | (Gt, 0) | (Ge, 1) | (Ne, 0) -> hit "exists" arg
+    | (Eq, 0) | (Lt, 1) | (Le, 0) -> hit "empty" arg
+    | _ -> None)
+  | _ -> (
+    match (a, count_arg b) with
+    | E_int n, Some arg -> (
+      match (n, op) with
+      | (0, Lt) | (1, Le) | (0, Ne) -> hit "exists" arg
+      | (0, Eq) | (1, Gt) | (0, Ge) -> hit "empty" arg
+      | _ -> None)
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Loop-invariant path hoisting                                        *)
+(* ------------------------------------------------------------------ *)
+
+let hoist_counter = ref 0
+
+let binder_names_of_clauses clauses =
+  List.concat_map
+    (function
+      | For { var; pos_var; _ } -> var :: Option.to_list pos_var
+      | Let { var; _ } -> [ var ]
+      | Where _ -> [])
+    clauses
+
+(* Replace maximal pure E_path subexpressions whose free variables avoid
+   [bound] with fresh variables, recording the hoisted expressions in
+   [acc] (deduplicated structurally, so two uses of the same path share
+   one binding). The traversal only looks at positions whose context item
+   equals the FLWOR's own: it descends into path/filter left-hand sides
+   but never into a path's right-hand side or a predicate, where the
+   focus varies per item. *)
+let rec hoist_in acc ~treat_trace_as_pure ~bound (e : expr) : expr =
+  let h = hoist_in acc ~treat_trace_as_pure ~bound in
+  let invariant e =
+    pure ~treat_trace_as_pure e
+    && List.for_all (fun v -> not (List.mem v bound)) (free_vars e [])
+  in
+  match e with
+  | E_path (a, b) when invariant e -> (
+    match List.find_opt (fun (e', _) -> equal_expr e e') !acc with
+    | Some (_, var) -> E_var var
+    | None ->
+      incr hoist_counter;
+      let var = Printf.sprintf "hoisted#%d" !hoist_counter in
+      acc := (E_path (a, b), var) :: !acc;
+      E_var var)
+  | E_int _ | E_double _ | E_string _ | E_var _ | E_context_item | E_root | E_step _ -> e
+  | E_path (a, b) -> E_path (h a, b)
+  | E_filter (a, b) -> E_filter (h a, b)
+  | E_seq es -> E_seq (List.map h es)
+  | E_range (a, b) -> E_range (h a, h b)
+  | E_arith (op, a, b) -> E_arith (op, h a, h b)
+  | E_neg a -> E_neg (h a)
+  | E_general_cmp (op, a, b) -> E_general_cmp (op, h a, h b)
+  | E_value_cmp (op, a, b) -> E_value_cmp (op, h a, h b)
+  | E_node_cmp (op, a, b) -> E_node_cmp (op, h a, h b)
+  | E_and (a, b) -> E_and (h a, h b)
+  | E_or (a, b) -> E_or (h a, h b)
+  | E_set_op (op, a, b) -> E_set_op (op, h a, h b)
+  | E_if (c, t, f) -> E_if (h c, h t, h f)
+  | E_call (name, args) -> E_call (name, List.map h args)
+  | E_cast (t, a) -> E_cast (t, h a)
+  | E_castable (t, a) -> E_castable (t, h a)
+  | E_instance_of (a, ty) -> E_instance_of (h a, ty)
+  | E_treat (a, ty) -> E_treat (h a, ty)
+  | E_text a -> E_text (h a)
+  | E_comment_c a -> E_comment_c (h a)
+  | E_doc content -> E_doc (List.map h content)
+  | E_elem (name, content) -> E_elem (hoist_name acc ~treat_trace_as_pure ~bound name, List.map h content)
+  | E_attr (name, content) -> E_attr (hoist_name acc ~treat_trace_as_pure ~bound name, List.map h content)
+  | E_quantified (q, bindings, body) ->
+    let bindings = List.map (fun (v, e) -> (v, h e)) bindings in
+    let bound = List.map fst bindings @ bound in
+    E_quantified (q, bindings, hoist_in acc ~treat_trace_as_pure ~bound body)
+  | E_typeswitch { operand; cases; default_var; default } ->
+    let operand = h operand in
+    let cases =
+      List.map
+        (fun c ->
+          let bound = Option.to_list c.case_var @ bound in
+          { c with case_return = hoist_in acc ~treat_trace_as_pure ~bound c.case_return })
+        cases
+    in
+    let default =
+      hoist_in acc ~treat_trace_as_pure ~bound:(Option.to_list default_var @ bound) default
+    in
+    E_typeswitch { operand; cases; default_var; default }
+  | E_flwor { clauses; order_by; return } ->
+    let inner_bound = binder_names_of_clauses clauses @ bound in
+    let hi = hoist_in acc ~treat_trace_as_pure ~bound:inner_bound in
+    let clauses =
+      List.map
+        (function
+          | For f -> For { f with source = hi f.source }
+          | Let l -> Let { l with value = hi l.value }
+          | Where cond -> Where (hi cond))
+        clauses
+    in
+    let order_by = List.map (fun s -> { s with key = hi s.key }) order_by in
+    E_flwor { clauses; order_by; return = hi return }
+
+and hoist_name acc ~treat_trace_as_pure ~bound = function
+  | Static_name _ as n -> n
+  | Computed_name e -> Computed_name (hoist_in acc ~treat_trace_as_pure ~bound e)
+
+(* ------------------------------------------------------------------ *)
 (* Rewriting                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -159,7 +296,11 @@ let rec rewrite stats ~treat_trace_as_pure (e : expr) : expr =
       stats.constants_folded <- stats.constants_folded + 1;
       E_int (-n)
     | a -> E_neg a)
-  | E_general_cmp (op, a, b) -> E_general_cmp (op, r a, r b)
+  | E_general_cmp (op, a, b) -> (
+    let a = r a and b = r b in
+    match rewrite_count_cmp stats op a b with
+    | Some e -> e
+    | None -> E_general_cmp (op, a, b))
   | E_value_cmp (op, a, b) -> (
     let a = r a and b = r b in
     match (a, b) with
@@ -170,7 +311,10 @@ let rec rewrite stats ~treat_trace_as_pure (e : expr) : expr =
         match op with Eq -> c = 0 | Ne -> c <> 0 | Lt -> c < 0 | Le -> c <= 0 | Gt -> c > 0 | Ge -> c >= 0
       in
       E_call ((if holds then "true" else "false"), [])
-    | _ -> E_value_cmp (op, a, b))
+    | _ -> (
+      match rewrite_count_cmp stats op a b with
+      | Some e -> e
+      | None -> E_value_cmp (op, a, b)))
   | E_node_cmp (op, a, b) -> E_node_cmp (op, r a, r b)
   | E_and (a, b) -> E_and (r a, r b)
   | E_or (a, b) -> E_or (r a, r b)
@@ -239,6 +383,38 @@ let rec rewrite stats ~treat_trace_as_pure (e : expr) : expr =
       | c :: rest -> c :: prune rest
     in
     let clauses = prune clauses in
+    (* Loop-invariant path hoisting: a pure path in the return or a where
+       condition that reads none of the FLWOR's own variables computes
+       the same node set on every binding tuple. Evaluate it once, in a
+       let prepended to the clause list. (Divergence from the naive
+       evaluation order, in Galax's spirit: the path is evaluated even
+       when the loop turns out to be empty.) *)
+    let clauses, return =
+      if not (List.exists (function For _ -> true | _ -> false) clauses) then
+        (clauses, return)
+      else begin
+        let bound = binder_names_of_clauses clauses in
+        let acc = ref [] in
+        let return = hoist_in acc ~treat_trace_as_pure ~bound return in
+        let clauses =
+          List.map
+            (function
+              | Where cond -> Where (hoist_in acc ~treat_trace_as_pure ~bound cond)
+              | c -> c)
+            clauses
+        in
+        match !acc with
+        | [] -> (clauses, return)
+        | hoisted ->
+          stats.paths_hoisted <- stats.paths_hoisted + List.length hoisted;
+          let lets =
+            List.rev_map
+              (fun (e, var) -> Let { var; var_type = None; value = e })
+              hoisted
+          in
+          (lets @ clauses, return)
+      end
+    in
     (* A FLWOR with no clauses left is just its return expression (order
        by over a single binding tuple is a no-op). *)
     if clauses = [] then return else E_flwor { clauses; order_by; return }

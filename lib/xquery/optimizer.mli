@@ -1,16 +1,22 @@
 (** The rewriting optimizer: constant folding, if-simplification, static
-    sequence flattening, and dead-let elimination.
+    sequence flattening, dead-let elimination, count-comparison →
+    exists/empty rewriting, and loop-invariant path hoisting out of
+    FLWOR bodies.
 
     [treat_trace_as_pure] reproduces the 2004 Galax behaviour the paper's
     debugging section documents: a dead [let $dummy := trace(...)] is
     eliminated, and the tracing silently disappears with it. The [stats]
-    record what was removed, so harnesses can show exactly how many
-    traces were lost. *)
+    record what was removed or rewritten, so harnesses can show exactly
+    how many traces were lost and which fast-path rewrites fired. *)
 
 type stats = {
   mutable lets_eliminated : int;
   mutable traces_eliminated : int;
   mutable constants_folded : int;
+  mutable count_cmp_rewrites : int;
+      (** [count(e) > 0]-style comparisons turned into exists/empty *)
+  mutable paths_hoisted : int;
+      (** loop-invariant paths lifted out of FLWOR bodies *)
 }
 
 val new_stats : unit -> stats

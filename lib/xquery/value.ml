@@ -23,6 +23,9 @@ let seq = List.concat
 let atomize s =
   List.map (function Atomic a -> a | Node n -> A_untyped (N.string_value n)) s
 
+let atomize_seq (s : item Seq.t) : atomic Seq.t =
+  Seq.map (function Atomic a -> a | Node n -> A_untyped (N.string_value n)) s
+
 (* Canonical lexical forms. Doubles print like XPath: integral values
    without a fractional part, NaN/INF spelled the XSD way. *)
 let string_of_double f =
@@ -198,14 +201,54 @@ let all_nodes s =
   in
   go [] s
 
+(* Sort by the cached (root id, pre-order) key: the key is fetched once
+   per node (amortized O(1) after a lazy renumbering), the sort compares
+   integer pairs, and key equality is node identity, so dedup is a single
+   adjacent-unique pass. O(n log n) total. *)
 let document_order ns =
-  let sorted = List.sort N.compare_document_order ns in
+  match ns with
+  | [] | [ _ ] -> ns
+  | _ ->
+    let keyed = List.map (fun n -> (N.doc_order_key n, n)) ns in
+    let sorted =
+      List.sort (fun ((ka : int * int), _) (kb, _) -> compare ka kb) keyed
+    in
+    let rec dedup = function
+      | ((ka : int * int), _) :: (((kb, _) :: _) as rest) when ka = kb -> dedup rest
+      | (_, n) :: rest -> n :: dedup rest
+      | [] -> []
+    in
+    dedup sorted
+
+(* The seed algorithm: path-walking comparator on every comparison and a
+   [N.same]-based dedup. Kept as the slow path the benchmarks and the
+   property-test oracle run against. *)
+let document_order_seed ns =
+  let sorted = List.sort N.compare_document_order_via_paths ns in
   let rec dedup = function
     | a :: b :: rest when N.same a b -> dedup (b :: rest)
     | a :: rest -> a :: dedup rest
     | [] -> []
   in
   dedup sorted
+
+(* Lazy-sequence judgements: the pipelined evaluator probes at most two
+   items instead of materializing the operand. Mirrors
+   [effective_boolean_value] case for case. *)
+let effective_boolean_value_seq (s : item Seq.t) =
+  match s () with
+  | Seq.Nil -> false
+  | Seq.Cons (Node _, _) -> true
+  | Seq.Cons ((Atomic _ as first), rest) -> (
+    match rest () with
+    | Seq.Nil -> effective_boolean_value [ first ]
+    | Seq.Cons _ ->
+      Errors.raise_error Errors.forg0006
+        "effective boolean value of a multi-item atomic sequence")
+
+let atomize_item = function
+  | Atomic a -> a
+  | Node n -> A_untyped (N.string_value n)
 
 let item_to_string = function
   | Atomic a -> string_of_atomic a

@@ -40,6 +40,11 @@ val atomize : sequence -> atomic list
 (** Nodes are replaced by their typed value: untypedAtomic of the string
     value (we run schema-less, as the paper's project did). *)
 
+val atomize_seq : item Seq.t -> atomic Seq.t
+(** Lazy {!atomize}: one item forced per element demanded. *)
+
+val atomize_item : item -> atomic
+
 val atomize_one : string -> sequence -> atomic
 (** Atomize and require exactly one atomic item; the string names the
     operation for the XPTY0004 message. *)
@@ -63,6 +68,10 @@ val effective_boolean_value : sequence -> bool
 (** () is false; a sequence whose first item is a node is true; singleton
     boolean/string/untyped/numeric by the usual rules;
     @raise Errors.Error FORG0006 on other sequences. *)
+
+val effective_boolean_value_seq : item Seq.t -> bool
+(** Same judgement over a lazy sequence: forces at most two items, so a
+    pipelined producer (an axis walk, a FLWOR) stops early. *)
 
 val string_value : sequence -> string
 (** fn:string applied to at most one item; [""] for empty.
@@ -91,7 +100,14 @@ val all_nodes : sequence -> Xml_base.Node.t list option
 (** [Some nodes] when every item is a node. *)
 
 val document_order : Xml_base.Node.t list -> Xml_base.Node.t list
-(** Sort into document order and remove duplicate identities. *)
+(** Sort into document order and remove duplicate identities. O(n log n):
+    sorts by the cached {!Xml_base.Node.doc_order_key} and dedups with a
+    single adjacent-unique pass. *)
+
+val document_order_seed : Xml_base.Node.t list -> Xml_base.Node.t list
+(** The seed implementation (path-walking comparator on every
+    comparison). Same result as {!document_order}; kept as the slow path
+    for benchmarks and the property-test oracle. *)
 
 (** {1 Display} *)
 
