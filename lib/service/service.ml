@@ -8,7 +8,11 @@
    to generation work, and the lock doubles as the happens-before edge
    that publishes a tree parsed by one domain to every other. Cached
    values are read-only by construction — the engines copy template
-   nodes, never mutate them — so cross-domain sharing is safe.
+   nodes, never mutate them — so cross-domain sharing is safe. The one
+   piece of node state written on the read path, the lazily built
+   document-order numbering, is precomputed below before a tree enters
+   the cache (and Node.renumber's atomic valid flag keeps even a lazy
+   rebuild publication-safe), so queries over a shared tree never race.
 
    Batches fan out over Pool (work-stealing across OCaml 5 domains).
    Each request is error-isolated: parse failures, generation failures,
@@ -190,7 +194,12 @@ let template_of_source t = function
   | Template_node n -> n
   | Template_xml xml ->
     cached t t.templates ("tpl:" ^ digest xml) (fun () ->
-        Xml_base.Parser.strip_whitespace (Xml_base.Parser.parse_string xml))
+        let tpl = Xml_base.Parser.strip_whitespace (Xml_base.Parser.parse_string xml) in
+        (* Number the tree before it is published: every domain that
+           queries the shared template then finds the document-order
+           cache warm and the read path stays write-free. *)
+        N.prepare_document_order tpl;
+        tpl)
 
 let model_of_source t = function
   | Model_value m -> m

@@ -12,8 +12,16 @@ type t = {
   mutable ord : int;
       (* cached pre-order position within the tree; valid only while the
          tree root's [ord_valid] is set *)
-  mutable ord_valid : bool;
-      (* meaningful on roots only: the numbering below is current *)
+  ord_valid : bool Atomic.t;
+      (* meaningful on roots only: the numbering below is current. Atomic
+         because trees are shared read-only across OCaml 5 domains (the
+         service layer's artifact caches) while the numbering itself is
+         computed lazily: the store of [true] after the [ord] writes in
+         [renumber] is the release that publishes them, and the load in
+         [doc_order_key]/[compare_document_order] is the matching
+         acquire. Concurrent renumbers of the same unmutated tree write
+         identical values, so racing readers still observe correct
+         positions. *)
   body : body;
 }
 
@@ -32,14 +40,15 @@ let counter = Atomic.make 0
 
 let fresh_id () = Atomic.fetch_and_add counter 1 + 1
 
-let mk body = { id = fresh_id (); parent = None; ord = 0; ord_valid = false; body }
+let mk body =
+  { id = fresh_id (); parent = None; ord = 0; ord_valid = Atomic.make false; body }
 
 let rec root n = match n.parent with None -> n | Some p -> root p
 
 (* Any structural change makes the tree's cached pre-order numbering
    stale. The flag lives on the root; climbing there is O(depth) with no
    allocation, negligible next to the mutation itself. *)
-let invalidate_order n = (root n).ord_valid <- false
+let invalidate_order n = Atomic.set (root n).ord_valid false
 
 let adopt parent child =
   match child.parent with
@@ -48,7 +57,7 @@ let adopt parent child =
   | None ->
     child.parent <- Some parent;
     (* The child may carry a stale root flag from a life as its own tree. *)
-    child.ord_valid <- false;
+    Atomic.set child.ord_valid false;
     invalidate_order parent
 
 let document kids =
@@ -168,7 +177,12 @@ let preceding_siblings n =
    key request renumbers the whole tree once, O(n), making every
    subsequent comparison O(1). Attributes are numbered right after their
    owner element and before its children — the order the path-based
-   comparison below encodes. *)
+   comparison below encodes.
+
+   Concurrency: the final [Atomic.set] publishes the plain [ord] writes
+   to any domain whose [Atomic.get] observes [true] (see the field
+   comment on [ord_valid]). Mutating a tree concurrently with reads is a
+   race as it always was — shared trees must stay read-only. *)
 let renumber r =
   let next = ref 0 in
   let rec go n =
@@ -182,11 +196,15 @@ let renumber r =
     List.iter go (children n)
   in
   go r;
-  r.ord_valid <- true
+  Atomic.set r.ord_valid true
+
+let prepare_document_order n =
+  let r = root n in
+  if not (Atomic.get r.ord_valid) then renumber r
 
 let doc_order_key n =
   let r = root n in
-  if not r.ord_valid then renumber r;
+  if not (Atomic.get r.ord_valid) then renumber r;
   (r.id, n.ord)
 
 let compare_document_order a b =
@@ -195,7 +213,7 @@ let compare_document_order a b =
     let ra = root a and rb = root b in
     if not (same ra rb) then compare ra.id rb.id
     else begin
-      if not ra.ord_valid then renumber ra;
+      if not (Atomic.get ra.ord_valid) then renumber ra;
       compare a.ord b.ord
     end
 
@@ -251,7 +269,7 @@ let compare_document_order_via_paths a b =
    its stale root flag must be cleared alongside the parent link. *)
 let unlink k =
   k.parent <- None;
-  k.ord_valid <- false
+  Atomic.set k.ord_valid false
 
 let set_children n kids =
   invalidate_order n;

@@ -53,6 +53,14 @@ val doc_order_key : t -> int * int
     computed lazily per tree and invalidated by structural mutation, so it
     is only stable until the next mutation of the node's tree. *)
 
+val prepare_document_order : t -> unit
+(** Eagerly compute the cached document-order numbering for [t]'s whole
+    tree (a no-op when already current). Call before publishing a tree
+    that multiple domains will query read-only: readers then find the
+    numbering warm instead of each lazily rebuilding it. Lazy rebuilds
+    are still safe — the valid flag is an atomic whose store publishes
+    the numbering — but eager preparation avoids the duplicated work. *)
+
 val compare_document_order_via_paths : t -> t -> int
 (** The reference comparator: walks root paths on every call (O(depth ×
     fan-out) per comparison, no caching). Same total order as

@@ -288,12 +288,47 @@ let rec uses_position_or_last (e : expr) : bool =
     || List.exists (fun s -> u s.key) order_by
     || u return
 
+(* Syntactic guarantee that every item [e] can ever produce is a node.
+   Two decisions hang off this: whether the lazy layer's skipped per-step
+   dedup is unobservable through EBV (over nodes, EBV is an emptiness
+   test, so duplicates cannot turn a value into a FORG0006), and whether
+   a predicate streamed by [eval_lazy] is always an EBV predicate — a
+   node-only predicate can never evaluate to the numeric singleton that
+   would make it positional. Conservative: [false] means "don't know". *)
+let rec yields_nodes_only (e : expr) : bool =
+  match e with
+  | E_step _ | E_root | E_set_op _
+  | E_elem _ | E_attr _ | E_text _ | E_doc _ | E_comment_c _ ->
+    true
+  | E_path (_, b) | E_filter (b, _) -> yields_nodes_only b
+  | E_seq es -> List.for_all yields_nodes_only es
+  | E_if (_, t, f) -> yields_nodes_only t && yields_nodes_only f
+  | E_flwor { return; _ } -> yields_nodes_only return
+  | _ -> false
+
+(* Is the lazy stream for [e] guaranteed to give the same EBV as the
+   eager evaluator? The lazy pipeline skips the per-step document-order
+   dedup, so a path whose final step atomizes duplicate intermediate
+   nodes (//a//b/name() over nested <a>s) can present two equal atomics
+   where the eager evaluator saw one — raising FORG0006 instead of
+   returning a value. Node-only streams are immune, and ranges stream
+   exactly the items the eager evaluator would build. Everything else
+   takes the eager path. *)
+let rec ebv_lazy_safe (e : expr) : bool =
+  match e with
+  | E_range _ -> true
+  | E_if (_, t, f) -> ebv_lazy_safe t && ebv_lazy_safe f
+  | _ -> yields_nodes_only e
+
 (* Routing an expression through the lazy layer costs a closure per
    combinator per item, which only pays for itself when short-circuiting
    can skip real work. [lazy_pays] is the cheap syntactic test for that:
    subtree walks, numeric ranges and FLWOR pipelines can be cut short
    mid-stream; child/attribute steps over already-materialized lists
-   cannot, and for those the eager evaluator's plain lists win. *)
+   cannot, and for those the eager evaluator's plain lists win. It must
+   only say yes when [eval_lazy] genuinely streams — a filter is
+   streamable exactly when its predicate is a pure EBV test (node-only,
+   no position()/last()), the same guard [eval_lazy] applies. *)
 let rec lazy_pays (e : expr) : bool =
   match e with
   | E_step ((Descendant | Descendant_or_self), _) -> true
@@ -301,7 +336,8 @@ let rec lazy_pays (e : expr) : bool =
   | E_path (a, b) | E_seq [ a; b ] -> lazy_pays a || lazy_pays b
   | E_seq es -> List.exists lazy_pays es
   | E_if (_, t, f) -> lazy_pays t || lazy_pays f
-  | E_filter (b, _) -> lazy_pays b
+  | E_filter (b, pred) ->
+    lazy_pays b && yields_nodes_only pred && not (uses_position_or_last pred)
   | E_range _ | E_flwor _ -> true
   | _ -> false
 
@@ -692,21 +728,27 @@ and eval_call dyn name arg_exprs =
     err Errors.xpst0017 "unknown function %s/%d" name arity
 
 (* Effective boolean value of an expression: through the lazy layer when
-   the environment allows it (at most two items forced), else by
-   materializing — the seed behaviour. *)
+   the environment allows it (at most two items forced) AND the stream is
+   guaranteed to agree with the eager EBV ([ebv_lazy_safe] — streams that
+   can surface duplicate atomics must materialize), else by materializing
+   — the seed behaviour. *)
 and ebv_expr dyn e =
-  if dyn.Context.env.Context.fast_eval && lazy_pays e then
+  if dyn.Context.env.Context.fast_eval && lazy_pays e && ebv_lazy_safe e then
     effective_boolean_value_seq (eval_lazy dyn e)
   else effective_boolean_value (eval dyn e)
 
 (* The lazy sequence layer. [eval_lazy dyn e] produces the items of [e]
    on demand; forcing the whole thing agrees with [eval] up to document
    order and duplicates on path results, so it is only used where neither
-   is observable: EBV, fn:exists/fn:empty, quantifier sources, and the
-   left side of an existential general comparison. Laziness also means a
-   short-circuiting consumer can skip errors the eager evaluator would
-   have raised from later items (including the XPTY0018 mixed-path-result
-   check) — the evaluation-order latitude XQuery explicitly grants. *)
+   is observable: emptiness probes (fn:exists/fn:empty), quantifier
+   sources and the left side of an existential general comparison (both
+   insensitive to order and multiplicity), and EBV — where multiplicity
+   IS observable for atomic items (two equal atomics raise FORG0006 where
+   one is a value), so [ebv_expr] additionally requires [ebv_lazy_safe]
+   before streaming. Laziness also means a short-circuiting consumer can
+   skip errors the eager evaluator would have raised from later items
+   (including the XPTY0018 mixed-path-result check) — the
+   evaluation-order latitude XQuery explicitly grants. *)
 and eval_lazy (dyn : Context.dyn) (e : expr) : item Seq.t =
   match e with
   | E_seq es -> Seq.concat_map (fun e -> eval_lazy dyn e) (List.to_seq es)
@@ -724,6 +766,20 @@ and eval_lazy (dyn : Context.dyn) (e : expr) : item Seq.t =
         | Node _ -> eval_lazy (Context.with_context dyn item 1 1) e2
         | Atomic _ -> err Errors.xpty0019 "a path step was applied to a non-node")
       (eval_lazy dyn e1)
+  | E_filter (base, pred)
+    when yields_nodes_only pred && not (uses_position_or_last pred) ->
+    (* A node-only predicate is a pure EBV (emptiness) test: it can never
+       produce the numeric singleton that positional selection keys on,
+       and by the position/last guard it cannot observe the focus
+       position or size either — so items stream through one at a time
+       with a dummy focus. Anything else (numeric literals, atomizing
+       predicates) falls to the materializing arm below, and [lazy_pays]
+       mirrors this guard so callers don't route such filters here. *)
+    Seq.filter
+      (fun item ->
+        let d = Context.with_context dyn item 1 1 in
+        ebv_expr d pred)
+      (eval_lazy dyn base)
   | E_range (e1, e2) -> (
     match (atomize (eval dyn e1), atomize (eval dyn e2)) with
     | [], _ | _, [] -> Seq.empty

@@ -392,14 +392,26 @@ let is_nan_atomic = function A_double f -> Float.is_nan f | _ -> false
    transitive (untyped "1" equals both the integer 1 and the string "1",
    which are not equal to each other), so hashing would conflate or split
    values the pairwise scan distinguishes. *)
-type dv_key = K_num of int64 | K_str of string | K_bool of bool
+type dv_key = K_num of int64 | K_int of int | K_str of string | K_bool of bool
 
 let dv_class = function
   | A_int _ | A_double _ -> `Num
   | A_string _ | A_untyped _ -> `Str
   | A_bool _ -> `Bool
 
+(* Ints with |n| ≤ 2^53 convert to double exactly; beyond that the
+   conversion conflates neighbours, while the pairwise scan compares
+   int/int exactly. *)
+let dv_int_exact n = n >= -(1 lsl 53) && n <= 1 lsl 53
+
 let dv_key = function
+  (* A big integer keeps its exact value as the key: the pairwise scan
+     compares int/int exactly, so two ints that only collide after
+     rounding to double must stay distinct. The fast path below only
+     hashes such ints when the sequence holds no doubles, so the split
+     key space (K_int vs K_num) can never separate values the scan's
+     int/double double-conversion comparison would merge. *)
+  | A_int n when not (dv_int_exact n) -> K_int n
   | (A_int _ | A_double _) as a ->
     let f = double_of_atomic a in
     (* -0.0 = 0.0 and all NaNs are one value for fn:distinct-values. *)
@@ -417,7 +429,19 @@ let fn_distinct_values dyn args =
       let c = dv_class a in
       List.for_all (fun b -> dv_class b = c) rest
   in
-  if dyn.Context.env.Context.fast_eval && homogeneous then begin
+  (* Within the numeric class the scan's int/double comparison goes
+     through double conversion, which the bit-pattern key mirrors only
+     for exactly representable ints; doubles mixed with bigger ints keep
+     the scan. *)
+  let hashable =
+    homogeneous
+    && (match atoms with
+       | a :: _ when dv_class a = `Num ->
+         List.for_all (function A_int n -> dv_int_exact n | _ -> true) atoms
+         || not (List.exists (function A_double _ -> true | _ -> false) atoms)
+       | _ -> true)
+  in
+  if dyn.Context.env.Context.fast_eval && hashable then begin
     (* One comparison class: equality coincides with key equality, so a
        hash set gives O(n) in place of the seed's O(n²) pairwise scan.
        First occurrence wins, as in the seed. *)

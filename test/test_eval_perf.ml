@@ -61,6 +61,8 @@ let gen_query : string QCheck.arbitrary =
       [
         "//a"; "//b"; "//c"; "//a//b"; "//b/c"; "/root/a"; "//a/@v"; "//b/@v";
         "//*/@v"; "//a/text()";
+        (* node-only EBV predicates: the lazy layer streams these *)
+        "//a[b]"; "//a[@v]"; "//a//b[c]";
       ]
   in
   let nodeset =
@@ -213,6 +215,27 @@ let test_doc_order_keys_mutation () =
   N.remove_attribute root "id";
   check_order_agrees "after remove_attribute" doc
 
+(* Four domains sort the same freshly built — hence unnumbered — tree:
+   each must observe the same correct order even though they race to
+   build the lazy pre-order numbering (the renumber publication goes
+   through the atomic valid flag). *)
+let test_doc_order_concurrent_domains () =
+  let leaf i = N.element ~attrs:[ N.attribute "v" (string_of_int i) ] "leaf" in
+  let sec i =
+    N.element ~children:(List.init 20 (fun j -> leaf ((100 * i) + j))) "sec"
+  in
+  let doc = N.document [ N.element ~children:(List.init 50 sec) "root" ] in
+  let ns = all_nodes doc in
+  let expected = List.map N.id (List.sort N.compare_document_order_via_paths ns) in
+  let sort () = List.map N.id (List.sort N.compare_document_order ns) in
+  let workers = List.init 4 (fun _ -> Domain.spawn sort) in
+  List.iteri
+    (fun i d ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "domain %d agrees with the path oracle" i)
+        expected (Domain.join d))
+    workers
+
 let test_doc_order_cross_tree () =
   let d1 = build_mutation_doc () and d2 = build_mutation_doc () in
   let a = List.hd (N.children d1) and b = List.hd (N.children d2) in
@@ -222,6 +245,75 @@ let test_doc_order_cross_tree () =
   let ba = sign (N.compare_document_order b a) in
   Alcotest.(check int) "cross-tree antisymmetric" (-ab) ba;
   Alcotest.(check bool) "cross-tree decided" true (ab <> 0)
+
+(* ------------------------------------------------------------------ *)
+(* Fast-path/seed agreement on reviewed edge cases                    *)
+(* ------------------------------------------------------------------ *)
+
+let eval_str ~fast doc q =
+  V.to_display_string (E.eval_query ~fast_eval:fast ~context_item:(V.Node doc) q)
+
+(* Errors count as observable outcomes: the fast path must raise exactly
+   when the seed raises. *)
+let check_fast_matches_seed doc q =
+  let show fast =
+    try eval_str ~fast doc q
+    with Xquery.Errors.Error _ as e -> "raised " ^ Printexc.to_string e
+  in
+  Alcotest.(check string) q (show false) (show true)
+
+let test_lazy_ebv_duplicate_atomics () =
+  (* (//a//b) reaches the single <b> through both nested <a>s; the seed
+     dedups the parenthesized node set before /name() atomizes it, so
+     its EBV sees one atomic — an undeduped lazy stream would see two
+     and raise FORG0006. The fast path must materialize atomizing
+     operands and agree with the seed (including on the unparenthesized
+     forms, where duplicate atomics make BOTH paths raise). *)
+  let doc = Xml_base.Parser.parse_string "<root><a><a><b>x</b></a></a></root>" in
+  List.iter (check_fast_matches_seed doc)
+    [
+      "boolean((//a//b)/name())";
+      "not((//a//b)/name())";
+      "boolean(//a//b/name())";
+      "not(//a//b/name())";
+      "boolean(//a//b/text())";
+      "boolean(//a//b)";
+      "exists(//a//b[ancestor::a])";
+      "some $x in //a//b satisfies $x = \"x\"";
+    ];
+  Alcotest.(check string) "atomizing path EBV" "true"
+    (eval_str ~fast:true doc "boolean((//a//b)/name())")
+
+let test_lazy_filter_streams_correctly () =
+  let doc =
+    Xml_base.Parser.parse_string
+      "<root><a><a><b><c/></b></a></a><a v=\"1\"/><a><d/></a></root>"
+  in
+  List.iter (check_fast_matches_seed doc)
+    [
+      "exists(//a[b])";
+      "empty(//a[b])";
+      "exists(//a[@v])";
+      "exists(//a//b[c])";
+      "count(//a[b])";
+      (* positional predicates must NOT stream: stream order/multiplicity
+         differs from the eager deduped base *)
+      "exists((//a//b)[2])";
+      "count((//a//b)[1])";
+    ]
+
+let test_distinct_values_large_ints () =
+  let doc = Xml_base.Parser.parse_string "<r/>" in
+  let q = "distinct-values((9007199254740993, 9007199254740992, 9007199254740993))" in
+  check_fast_matches_seed doc q;
+  (* 2^53 and 2^53+1 collapse to the same double; as ints they must stay
+     distinct, exactly as the seed's int/int comparison keeps them. *)
+  Alcotest.(check string) "big ints stay distinct"
+    "9007199254740993 9007199254740992" (eval_str ~fast:true doc q);
+  (* doubles mixed with non-representable ints fall back to the scan *)
+  check_fast_matches_seed doc
+    "distinct-values((9007199254740993, 9007199254740992.0))";
+  check_fast_matches_seed doc "distinct-values((1, 1.0, 2, \"s\"))"
 
 (* ------------------------------------------------------------------ *)
 (* Optimizer rewrites                                                 *)
@@ -280,6 +372,17 @@ let suite =
           test_doc_order_keys_mutation;
         Alcotest.test_case "cross-tree comparisons stay consistent" `Quick
           test_doc_order_cross_tree;
+        Alcotest.test_case "concurrent domains agree on one shared tree" `Quick
+          test_doc_order_concurrent_domains;
+      ] );
+    ( "eval.fast-path-edge-cases",
+      [
+        Alcotest.test_case "EBV of atomizing paths with duplicate nodes" `Quick
+          test_lazy_ebv_duplicate_atomics;
+        Alcotest.test_case "streamed filters agree with eager filters" `Quick
+          test_lazy_filter_streams_correctly;
+        Alcotest.test_case "distinct-values keeps large ints exact" `Quick
+          test_distinct_values_large_ints;
       ] );
     ( "eval.optimizer-rewrites",
       [
