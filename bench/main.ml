@@ -36,10 +36,11 @@ let section title =
 (* Helpers                                                           *)
 (* ---------------------------------------------------------------- *)
 
+(* Monotonic wall time: NTP slews must not show up as speedups. *)
 let time_ms f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   let r = f () in
-  (r, (Unix.gettimeofday () -. t0) *. 1000.)
+  (r, (Clock.now () -. t0) *. 1000.)
 
 (* Best-of-k wall time in ms. *)
 let best_ms ?(k = 3) f =
@@ -732,6 +733,15 @@ let e9_values_doc groups per_group =
   in
   N.document [ N.element ~children:(List.init groups group) "root" ]
 
+(* The docgen-core workload shared by E9's toc row and the governance-
+   overhead smoke below. *)
+let e9_docgen_tpl =
+  "<document><toc><for nodes=\"type:User\"><entry><label/></entry></for></toc>\
+   <for nodes=\"type:User\"><section><heading><label/></heading>\
+   <if><test><has-prop name=\"superuser\"/></test><then><p>superuser</p></then>\
+   <else><p><property name=\"firstName\"/></p></else></if>\
+   </section></for></document>"
+
 let e9 () =
   section "E9 - evaluator fast path: doc-order keys, hash set ops, lazy sequences";
   Printf.printf "  %-24s %12s %12s %10s\n" "query" "seed ms" "fast ms" "speedup";
@@ -770,14 +780,7 @@ let e9 () =
     N.iter (fun _ -> incr n) (Awb.Xml_io.export model);
     !n
   in
-  let tpl =
-    template
-      "<document><toc><for nodes=\"type:User\"><entry><label/></entry></for></toc>\
-       <for nodes=\"type:User\"><section><heading><label/></heading>\
-       <if><test><has-prop name=\"superuser\"/></test><then><p>superuser</p></then>\
-       <else><p><property name=\"firstName\"/></p></else></if>\
-       </section></for></document>"
-  in
+  let tpl = template e9_docgen_tpl in
   let compiled_core = Docgen.Xq_engine.compile () in
   let with_default b f =
     let old = !Xquery.Context.fast_eval_default in
@@ -824,6 +827,62 @@ let e9 () =
     ]
 
 (* ---------------------------------------------------------------- *)
+(* GOV: resource-governance overhead smoke                           *)
+(* ---------------------------------------------------------------- *)
+
+(* Budgets must cost nothing until they trip. This runs the E9 docgen
+   core under generous limits — every budget finite, so the amortized
+   checks (and the node-allocation accounting they gate) all execute,
+   but nothing trips — against the ungoverned run. The statistic is the
+   median of paired governed/ungoverned ratios: each pair runs back to
+   back (with a minor GC in front of each side), so scheduler jitter
+   and heap drift hit both sides alike and cancel in the ratio. Exits
+   nonzero past the 5% overhead budget so CI catches a regression in
+   the tick path. *)
+let gov () =
+  section "GOV - resource-governance overhead (E9 docgen core, generous budgets)";
+  let model = Awb.Synth.generate_of_size ~seed:21 (if quick then 600 else 1200) in
+  let tpl = template e9_docgen_tpl in
+  let compiled_core = Docgen.Xq_engine.compile () in
+  let gen ?limits () =
+    Xml_base.Serialize.to_string
+      (Docgen.Xq_engine.generate_spec ~compiled:compiled_core ?limits model ~template:tpl)
+        .Spec.document
+  in
+  let generous () =
+    Xquery.Context.make_limits ~fuel:1_000_000_000 ~max_depth:1_000_000
+      ~max_nodes:100_000_000
+      ~deadline_ns:(Clock.now_ns () + Clock.ns_of_s 600.) ()
+  in
+  (* Budgets that don't trip must not change the output either. (Also
+     serves as warm-up: first runs pay page faults and heap growth that
+     would otherwise land on whichever side runs first.) *)
+  assert (gen () = gen ~limits:(generous ()) ());
+  assert (gen ~limits:(generous ()) () = gen ());
+  let timed f =
+    Gc.minor ();
+    snd (time_ms (fun () -> ignore (f ())))
+  in
+  let pairs = 15 in
+  let ratios =
+    List.init pairs (fun _ ->
+        let tf = timed (fun () -> gen ()) in
+        let tg = timed (fun () -> gen ~limits:(generous ()) ()) in
+        (tg /. tf, tf, tg))
+  in
+  let sorted = List.sort compare ratios in
+  let median, tf, tg = List.nth sorted (pairs / 2) in
+  let overhead = (median -. 1.) *. 100. in
+  Printf.printf
+    "  median of %d paired runs: ungoverned %.3f ms, governed %.3f ms, overhead %+.2f%%\n"
+    pairs tf tg overhead;
+  if overhead > 5. then begin
+    Printf.eprintf "bench: governed docgen-core overhead %.2f%% exceeds the 5%% budget\n"
+      overhead;
+    exit 1
+  end
+
+(* ---------------------------------------------------------------- *)
 
 let experiments =
   [
@@ -837,6 +896,7 @@ let experiments =
     ("e7", e7);
     ("e8", e8);
     ("e9", e9);
+    ("gov", gov);
     ("a1", a1);
     ("a2", a2);
     ("a3", a3);

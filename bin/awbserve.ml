@@ -38,7 +38,7 @@ let load_model sample model_file =
   | Some _, Some _ -> Error "choose one of --sample or --model"
 
 let run templates_dir sample model_file engine domains repeat deadline_ms cache_capacity
-    out_dir stats =
+    fuel max_depth max_nodes retries quarantine_after out_dir stats =
   let fail m =
     prerr_endline ("awbserve: " ^ m);
     exit 1
@@ -57,9 +57,15 @@ let run templates_dir sample model_file engine domains repeat deadline_ms cache_
     Service.create
       ~config:
         {
+          Service.default_config with
           Service.domains;
           cache_capacity;
           default_deadline = Option.map (fun ms -> ms /. 1000.) deadline_ms;
+          fuel;
+          max_depth;
+          max_nodes;
+          retries;
+          quarantine_after;
         }
       ()
   in
@@ -153,6 +159,38 @@ let cache_capacity =
     value & opt int 128
     & info [ "cache" ] ~docv:"N" ~doc:"Artifact cache capacity (0 disables caching).")
 
+let fuel =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fuel" ] ~docv:"N"
+        ~doc:"Evaluator step budget per generation attempt (resource:fuel on trip).")
+
+let max_depth =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-depth" ] ~docv:"N" ~doc:"User-function recursion depth budget.")
+
+let max_nodes =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-nodes" ] ~docv:"N" ~doc:"Constructed-node budget per attempt.")
+
+let retries =
+  Arg.(
+    value & opt int Service.default_config.Service.retries
+    & info [ "retries" ] ~docv:"N" ~doc:"Extra attempts for declared-transient failures.")
+
+let quarantine_after =
+  Arg.(
+    value & opt int 0
+    & info [ "quarantine-after" ] ~docv:"N"
+        ~doc:
+          "Quarantine a template after $(docv) consecutive generation failures (0 \
+           disables).")
+
 let out_dir =
   Arg.(
     value
@@ -167,6 +205,7 @@ let cmd =
     (Cmd.info "awbserve" ~doc)
     Term.(
       const run $ templates_dir $ sample $ model_file $ engine $ domains $ repeat
-      $ deadline_ms $ cache_capacity $ out_dir $ stats)
+      $ deadline_ms $ cache_capacity $ fuel $ max_depth $ max_nodes $ retries
+      $ quarantine_after $ out_dir $ stats)
 
 let () = exit (Cmd.eval' cmd)

@@ -7,7 +7,8 @@
 
 open Cmdliner
 
-let run_query expr file input galax typed no_optimize explain time =
+let run_query expr file input galax typed no_optimize explain time fuel max_depth
+    max_nodes deadline =
   let source =
     match (expr, file) with
     | Some e, None -> Ok e
@@ -61,6 +62,16 @@ let run_query expr file input galax typed no_optimize explain time =
       v
     in
     let parse_s = ref 0. and opt_s = ref 0. and eval_s = ref 0. in
+    let limits =
+      match (fuel, max_depth, max_nodes, deadline) with
+      | None, None, None, None -> None
+      | _ ->
+        Some
+          (Xquery.Context.make_limits ?fuel ?max_depth ?max_nodes
+             ?deadline_ns:
+               (Option.map (fun s -> Clock.now_ns () + Clock.ns_of_s s) deadline)
+             ())
+    in
     match
       let program = timed parse_s (fun () -> Xquery.Parser.parse_program source) in
       let program, opt_stats =
@@ -76,7 +87,7 @@ let run_query expr file input galax typed no_optimize explain time =
       let compiled =
         { Xquery.Engine.program; compat; typed_mode = typed; opt_stats }
       in
-      timed eval_s (fun () -> Xquery.Engine.execute ?context_item compiled)
+      timed eval_s (fun () -> Xquery.Engine.execute ?context_item ?limits compiled)
     with
     | result ->
       List.iter
@@ -89,6 +100,11 @@ let run_query expr file input galax typed no_optimize explain time =
     | exception Xquery.Errors.Error { code; message } ->
       Printf.eprintf "xq: %s: %s\n" code message;
       2
+    | exception Xquery.Errors.Resource_exhausted { resource; limit; used } ->
+      Printf.eprintf "xq: %s: %s\n"
+        (Xquery.Errors.resource_code resource)
+        (Xquery.Errors.resource_message resource ~limit ~used);
+      3
     | exception Xml_base.Parser.Parse_error { line; col; message } ->
       Printf.eprintf "xq: input XML, line %d col %d: %s\n" line col message;
       2)
@@ -129,11 +145,42 @@ let time =
     & info [ "time" ]
         ~doc:"Print parse/optimize/eval phase timings to stderr after the result.")
 
+let fuel =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fuel" ] ~docv:"STEPS"
+        ~doc:"Abort evaluation after $(docv) evaluation steps (resource:fuel).")
+
+let max_depth =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-depth" ] ~docv:"N"
+        ~doc:"Abort when user-function recursion exceeds $(docv) frames (resource:depth).")
+
+let max_nodes =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-nodes" ] ~docv:"N"
+        ~doc:"Abort after constructing $(docv) XML nodes (resource:nodes).")
+
+let deadline =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Abort evaluation $(docv) seconds after start, measured on the monotonic \
+           clock (resource:deadline).")
+
 let cmd =
   let doc = "run XQuery queries with the Lopsided engine" in
   Cmd.v
     (Cmd.info "xq" ~doc)
     Term.(
-      const run_query $ expr $ file $ input $ galax $ typed $ no_optimize $ explain $ time)
+      const run_query $ expr $ file $ input $ galax $ typed $ no_optimize $ explain $ time
+      $ fuel $ max_depth $ max_nodes $ deadline)
 
 let () = exit (Cmd.eval' cmd)

@@ -107,7 +107,7 @@ let compile mm (q : Ast.t) =
   in
   String.concat "\n" (List.rev bindings) ^ Printf.sprintf "\nreturn $s%d" last
 
-let eval_on_export ?focus model ~export_root q =
+let eval_on_export ?focus ?limits ?fast_eval model ~export_root q =
   let src = compile (M.metamodel model) q in
   let focus_seq =
     match focus with
@@ -123,7 +123,7 @@ let eval_on_export ?focus model ~export_root q =
       |> Xquery.Value.of_nodes
   in
   let result =
-    Xquery.Engine.eval_query
+    Xquery.Engine.eval_query ?limits ?fast_eval
       ~vars:[ ("model", Xquery.Value.of_node export_root); ("focus", focus_seq) ]
       src
   in
@@ -140,6 +140,7 @@ let export_root model =
   let doc = Awb.Xml_io.export model in
   List.hd (Xml_base.Node.children doc)
 
-let eval ?focus model q = eval_on_export ?focus model ~export_root:(export_root model) q
+let eval ?focus ?limits ?fast_eval model q =
+  eval_on_export ?focus ?limits ?fast_eval model ~export_root:(export_root model) q
 
 let eval_string ?focus model text = eval ?focus model (Parser.parse text)

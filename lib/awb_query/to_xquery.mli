@@ -13,15 +13,25 @@ val compile : Awb.Metamodel.t -> Ast.t -> string
 
 val eval_on_export :
   ?focus:Awb.Model.node ->
+  ?limits:Xquery.Context.limits ->
+  ?fast_eval:bool ->
   Awb.Model.t ->
   export_root:Xml_base.Node.t ->
   Ast.t ->
   Awb.Model.node list
 (** Evaluate against a previously exported model (the [awb-model]
     element), avoiding re-export cost; results are mapped back to the
-    model's nodes by id. *)
+    model's nodes by id. [limits] attaches resource budgets to the
+    underlying XQuery run ({!Xquery.Errors.Resource_exhausted} on a
+    trip); [fast_eval] pins or enables the engine fast paths. *)
 
-val eval : ?focus:Awb.Model.node -> Awb.Model.t -> Ast.t -> Awb.Model.node list
+val eval :
+  ?focus:Awb.Model.node ->
+  ?limits:Xquery.Context.limits ->
+  ?fast_eval:bool ->
+  Awb.Model.t ->
+  Ast.t ->
+  Awb.Model.node list
 (** Exports the model, then {!eval_on_export}. *)
 
 val eval_string :

@@ -1,0 +1,6 @@
+external monotonic_ns : unit -> int64 = "lopsided_clock_monotonic_ns"
+
+let now_ns () = Int64.to_int (monotonic_ns ())
+let now () = Int64.to_float (monotonic_ns ()) *. 1e-9
+let ns_of_s s = int_of_float (s *. 1e9)
+let s_of_ns ns = float_of_int ns *. 1e-9

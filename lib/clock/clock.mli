@@ -1,0 +1,22 @@
+(** Monotonic time for deadline and latency math.
+
+    [Unix.gettimeofday] is wall-clock time: an NTP step or a manual clock
+    change moves it, silently stretching or collapsing every in-flight
+    deadline. Everything in this repo that measures durations or enforces
+    deadlines goes through this module instead, which reads
+    [CLOCK_MONOTONIC]. The absolute value is meaningless (origin is
+    unspecified, typically boot); only differences are. *)
+
+val now_ns : unit -> int
+(** Current monotonic time in nanoseconds. On 64-bit platforms an [int]
+    holds ~292 years of nanoseconds, so overflow is not a practical
+    concern. *)
+
+val now : unit -> float
+(** Current monotonic time in seconds (same clock as {!now_ns}). *)
+
+val ns_of_s : float -> int
+(** Convert a duration in seconds to nanoseconds. *)
+
+val s_of_ns : int -> float
+(** Convert a duration in nanoseconds to seconds. *)

@@ -1,0 +1,16 @@
+#include <time.h>
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/fail.h>
+
+/* Monotonic wall-clock in nanoseconds. CLOCK_MONOTONIC is immune to NTP
+   steps and settimeofday, which is exactly what deadline math needs. */
+CAMLprim value lopsided_clock_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) != 0)
+    caml_failwith("clock_gettime(CLOCK_MONOTONIC) failed");
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + ts.tv_nsec);
+}

@@ -37,7 +37,9 @@ end
 
 module Xq : Engine_intf.S = struct
   let name = "xq"
-  let generate ?backend model ~template = Xq_engine.generate_spec ?backend model ~template
+
+  let generate ?backend ?limits ?fast_eval model ~template =
+    Xq_engine.generate_spec ?backend ?limits ?fast_eval model ~template
 end
 
 let engine_module : engine -> (module Engine_intf.S) = function
@@ -45,15 +47,17 @@ let engine_module : engine -> (module Engine_intf.S) = function
   | `Functional -> (module Functional)
   | `Xq -> (module Xq)
 
-let generate ?backend ?(engine : engine = `Host) model ~template =
+let generate ?backend ?limits ?fast_eval ?(engine : engine = `Host) model ~template =
   let (module E : Engine_intf.S) = engine_module engine in
-  E.generate ?backend model ~template
+  E.generate ?backend ?limits ?fast_eval model ~template
 
-let generate_with_streams ?backend ?(engine : engine = `Host) model ~template =
+let generate_with_streams ?backend ?limits ?fast_eval ?(engine : engine = `Host) model
+    ~template =
   match engine with
-  | `Host -> Host_engine.generate_with_streams ?backend model ~template
-  | `Functional -> Functional_engine.generate_with_streams ?backend model ~template
+  | `Host -> Host_engine.generate_with_streams ?backend ?limits ?fast_eval model ~template
+  | `Functional ->
+    Functional_engine.generate_with_streams ?backend ?limits ?fast_eval model ~template
   | `Xq ->
-    let result = Xq_engine.generate_spec ?backend model ~template in
+    let result = Xq_engine.generate_spec ?backend ?limits ?fast_eval model ~template in
     ( Spec.wrap_streams ~document:result.Spec.document ~problems:result.Spec.problems,
       result.Spec.stats )

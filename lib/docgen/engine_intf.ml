@@ -26,12 +26,20 @@ let kind_of_string : string -> (kind, string) result = function
 (** What every engine must provide: a name for diagnostics and the
     uniform generation entry point. [backend] selects the calculus query
     backend where the engine has one; the [`Xq] engine embeds its own
-    queries and ignores it. *)
+    queries and ignores it. [limits] attaches resource budgets (fuel,
+    recursion depth, node allocation, monotonic deadline) to the run: a
+    budget trip ends generation with a [<generation-failed>] document
+    carrying the trip's [resource:*] code, plus a [problems] entry — it
+    never escapes as an exception. [fast_eval] pins ([false]) or enables
+    ([true]) the XQuery evaluator's fast paths where the engine runs
+    queries through it. *)
 module type S = sig
   val name : string
 
   val generate :
     ?backend:Spec.query_backend ->
+    ?limits:Xquery.Context.limits ->
+    ?fast_eval:bool ->
     Awb.Model.t ->
     template:Xml_base.Node.t ->
     Spec.result

@@ -22,6 +22,7 @@ open Spec
 type ctx = {
   model : Awb.Model.t;
   queries : Queries.t;
+  limits : Xquery.Context.limits; (* ticked once per directive *)
   focus : Awb.Model.node option;
   path : string list; (* reversed; innermost first *)
   depth : int; (* section nesting *)
@@ -167,6 +168,11 @@ let rec eval_condition ctx (cond : N.t) : (bool, N.t list) Either.t =
 (* ------------------------------------------------------------------ *)
 
 let rec gen ctx (tpl : N.t) : N.t list =
+  (* One budget tick per template node: mid-walk preemption for deadlines
+     and fuel, not just phase boundaries. The one deliberate crack in the
+     no-exceptions architecture — a budget trip is not a generation error
+     the error-value convention should swallow. *)
+  Xquery.Context.tick ctx.limits;
   match N.kind tpl with
   | N.Text -> [ N.text (N.string_value tpl) ]
   | N.Comment -> [ N.comment (N.string_value tpl) ]
@@ -550,49 +556,61 @@ let marker_problems root used_root =
       else Some (Printf.sprintf "marker table %s was defined but %s never appears" name phrase))
     defined
 
-let generate ?(backend = Xquery_queries) model ~template =
+let generate ?(backend = Xquery_queries) ?limits ?fast_eval model ~template =
   let stats = new_stats () in
-  let queries = Queries.make backend model stats in
+  let limits =
+    match limits with Some l -> l | None -> Xquery.Context.unlimited ()
+  in
+  let queries = Queries.make ~limits ?fast_eval backend model stats in
   let validation_problems =
     List.map
       (fun w -> Format.asprintf "%a" Awb.Validate.pp_warning w)
       (Awb.Validate.check model)
   in
-  let ctx = { model; queries; focus = None; path = []; depth = 0; stats } in
+  let ctx = { model; queries; limits; focus = None; path = []; depth = 0; stats } in
   stats.phases <- 1;
-  let phase1 = gen ctx (template_root template) in
-  if is_error ctx phase1 then
-    {
-      document =
-        generation_failed ~message:(error_message phase1)
-          ~location:
-            (match phase1 with
-            | [ e ] -> (
-              match N.child_element e "location" with
-              | Some l -> N.string_value l
-              | None -> "")
-            | _ -> "");
-      problems = validation_problems;
-      stats;
-    }
-  else
-    match phase1 with
-    | [ root1 ] ->
-      let problems = validation_problems @ marker_problems root1 root1 in
-      let root2 = phase_omissions ctx root1 in
-      let root3 = phase_toc ctx root2 in
-      let root4 = phase_markers ctx root3 in
-      let root5 = phase_strip_internal ctx root4 in
-      { document = root5; problems; stats }
-    | _ ->
+  match
+    (* Fail an already-blown budget before any generation work. *)
+    Xquery.Context.check limits;
+    gen ctx (template_root template)
+  with
+  | exception Xquery.Errors.Resource_exhausted { resource; limit; used } ->
+    let document, problem = resource_failure resource ~limit ~used in
+    { document; problems = validation_problems @ [ problem ]; stats }
+  | phase1 ->
+    if is_error ctx phase1 then
       {
         document =
-          generation_failed ~message:"template did not produce a single root element"
-            ~location:"";
+          generation_failed ~message:(error_message phase1)
+            ~location:
+              (match phase1 with
+              | [ e ] -> (
+                match N.child_element e "location" with
+                | Some l -> N.string_value l
+                | None -> "")
+              | _ -> "")
+            ();
         problems = validation_problems;
         stats;
       }
+    else (
+      match phase1 with
+      | [ root1 ] ->
+        let problems = validation_problems @ marker_problems root1 root1 in
+        let root2 = phase_omissions ctx root1 in
+        let root3 = phase_toc ctx root2 in
+        let root4 = phase_markers ctx root3 in
+        let root5 = phase_strip_internal ctx root4 in
+        { document = root5; problems; stats }
+      | _ ->
+        {
+          document =
+            generation_failed ~message:"template did not produce a single root element"
+              ~location:"" ();
+          problems = validation_problems;
+          stats;
+        })
 
-let generate_with_streams ?backend model ~template =
-  let result = generate ?backend model ~template in
+let generate_with_streams ?backend ?limits ?fast_eval model ~template =
+  let result = generate ?backend ?limits ?fast_eval model ~template in
   (wrap_streams ~document:result.document ~problems:result.problems, result.stats)

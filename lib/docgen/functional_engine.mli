@@ -10,16 +10,23 @@
 
 val generate :
   ?backend:Spec.query_backend ->
+  ?limits:Xquery.Context.limits ->
+  ?fast_eval:bool ->
   Awb.Model.t ->
   template:Xml_base.Node.t ->
   Spec.result
 (** Generate a document. [backend] defaults to {!Spec.Xquery_queries} —
     the configuration the paper's project actually ran. On a generation
     error the result document is a [<generation-failed>] element carrying
-    the message and directive location. *)
+    the message and directive location. [limits] budgets the run (one
+    tick per template directive plus the queries' own accounting); a trip
+    returns a [<generation-failed>] document with the [resource:*] code
+    and a [problems] entry. *)
 
 val generate_with_streams :
   ?backend:Spec.query_backend ->
+  ?limits:Xquery.Context.limits ->
+  ?fast_eval:bool ->
   Awb.Model.t ->
   template:Xml_base.Node.t ->
   Xml_base.Node.t * Spec.stats

@@ -23,6 +23,7 @@ exception
 type state = {
   model : Awb.Model.t;
   queries : Queries.t;
+  limits : Xquery.Context.limits; (* ticked once per directive *)
   stats : stats;
   visited : (string, unit) Hashtbl.t;
   mutable toc : (int * string) ref list;
@@ -148,6 +149,9 @@ let rec eval_condition state ctx (cond : N.t) =
 (* ------------------------------------------------------------------ *)
 
 let rec gen state ctx (tpl : N.t) : N.t list =
+  (* One budget tick per template node: mid-walk preemption for deadlines
+     and fuel, not just phase boundaries. *)
+  Xquery.Context.tick state.limits;
   match N.kind tpl with
   | N.Text -> [ N.text (N.string_value tpl) ]
   | N.Comment -> [ N.comment (N.string_value tpl) ]
@@ -361,13 +365,17 @@ let template_root template =
   | N.Document -> List.hd (N.child_elements template)
   | _ -> template
 
-let generate ?(backend = Native_queries) model ~template =
+let generate ?(backend = Native_queries) ?limits ?fast_eval model ~template =
   let stats = new_stats () in
-  let queries = Queries.make backend model stats in
+  let limits =
+    match limits with Some l -> l | None -> Xquery.Context.unlimited ()
+  in
+  let queries = Queries.make ~limits ?fast_eval backend model stats in
   let state =
     {
       model;
       queries;
+      limits;
       stats;
       visited = Hashtbl.create 64;
       toc = [];
@@ -383,7 +391,13 @@ let generate ?(backend = Native_queries) model ~template =
   let ctx = { focus = None; path = []; depth = 0 } in
   stats.phases <- 1;
   (* "Not checking for errors except at the highest level." *)
-  match gen state ctx (template_root template) with
+  match
+    (* An already-blown budget (typically an expired deadline) must fail
+       before any generation work, not after the amortized tick interval
+       happens to elapse. *)
+    Xquery.Context.check limits;
+    gen state ctx (template_root template)
+  with
   | [ root ] ->
     patch_placeholders state root;
     patch_markers state root;
@@ -392,13 +406,20 @@ let generate ?(backend = Native_queries) model ~template =
     {
       document =
         generation_failed ~message:"template did not produce a single root element"
-          ~location:"";
+          ~location:"" ();
       problems = validation_problems;
       stats;
     }
   | exception Gen_trouble { message; location; focus = _ } ->
-    { document = generation_failed ~message ~location; problems = validation_problems; stats }
+    {
+      document = generation_failed ~message ~location ();
+      problems = validation_problems;
+      stats;
+    }
+  | exception Xquery.Errors.Resource_exhausted { resource; limit; used } ->
+    let document, problem = resource_failure resource ~limit ~used in
+    { document; problems = validation_problems @ [ problem ]; stats }
 
-let generate_with_streams ?backend model ~template =
-  let result = generate ?backend model ~template in
+let generate_with_streams ?backend ?limits ?fast_eval model ~template =
+  let result = generate ?backend ?limits ?fast_eval model ~template in
   (wrap_streams ~document:result.document ~problems:result.problems, result.stats)

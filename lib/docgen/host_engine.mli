@@ -15,14 +15,21 @@ exception
 
 val generate :
   ?backend:Spec.query_backend ->
+  ?limits:Xquery.Context.limits ->
+  ?fast_eval:bool ->
   Awb.Model.t ->
   template:Xml_base.Node.t ->
   Spec.result
 (** Generate a document. [backend] defaults to {!Spec.Native_queries} —
-    the rewrite ran its queries natively. *)
+    the rewrite ran its queries natively. [limits] budgets the run (one
+    tick per template directive plus the queries' own accounting); a trip
+    returns a [<generation-failed>] document with the [resource:*] code
+    and a [problems] entry. *)
 
 val generate_with_streams :
   ?backend:Spec.query_backend ->
+  ?limits:Xquery.Context.limits ->
+  ?fast_eval:bool ->
   Awb.Model.t ->
   template:Xml_base.Node.t ->
   Xml_base.Node.t * Spec.stats

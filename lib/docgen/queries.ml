@@ -8,16 +8,18 @@ type t = {
   backend : Spec.query_backend;
   export_root : Xml_base.Node.t option; (* prepared once for the XQuery backend *)
   stats : Spec.stats;
+  limits : Xquery.Context.limits option; (* threaded into XQuery-backend runs *)
+  fast_eval : bool option;
 }
 
-let make backend model stats =
+let make ?limits ?fast_eval backend model stats =
   let export_root =
     match backend with
     | Spec.Native_queries -> None
     | Spec.Xquery_queries ->
       Some (List.hd (Xml_base.Node.children (Awb.Xml_io.export model)))
   in
-  { model; backend; export_root; stats }
+  { model; backend; export_root; stats; limits; fast_eval }
 
 let parse src =
   match Awb_query.Parser.parse src with
@@ -26,8 +28,13 @@ let parse src =
 
 let run t ?focus (q : Awb_query.Ast.t) : Awb.Model.node list =
   t.stats.Spec.queries_run <- t.stats.Spec.queries_run + 1;
+  (* The native backend never enters the XQuery evaluator, so its budget
+     accounting happens here: one step per query keeps a runaway template
+     loop (a query per iteration) under the same fuel/deadline regime. *)
+  (match t.limits with Some l -> Xquery.Context.tick l | None -> ());
   match t.backend with
   | Spec.Native_queries -> Awb_query.Native.eval ?focus t.model q
   | Spec.Xquery_queries ->
     let export_root = Option.get t.export_root in
-    Awb_query.To_xquery.eval_on_export ?focus t.model ~export_root q
+    Awb_query.To_xquery.eval_on_export ?focus ?limits:t.limits ?fast_eval:t.fast_eval
+      t.model ~export_root q

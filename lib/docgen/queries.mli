@@ -6,9 +6,18 @@
 
 type t
 
-val make : Spec.query_backend -> Awb.Model.t -> Spec.stats -> t
+val make :
+  ?limits:Xquery.Context.limits ->
+  ?fast_eval:bool ->
+  Spec.query_backend ->
+  Awb.Model.t ->
+  Spec.stats ->
+  t
 (** For the XQuery backend this exports the model once up front. Every
-    {!run} bumps [stats.queries_run]. *)
+    {!run} bumps [stats.queries_run]. [limits] threads resource budgets
+    into every query this handle runs (both backends charge it;
+    XQuery-backend runs enforce it inside the evaluator too);
+    [fast_eval] pins or enables the engine fast paths. *)
 
 val parse : string -> (Awb_query.Ast.t, string) result
 val run : t -> ?focus:Awb.Model.node -> Awb_query.Ast.t -> Awb.Model.node list

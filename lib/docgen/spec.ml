@@ -183,12 +183,23 @@ let wrap_streams ~document ~problems =
           ~children:(List.map (fun p -> N.element "problem" ~children:[ N.text p ]) problems);
       ]
 
-let generation_failed ~message ~location =
+let generation_failed ?(code = "") ~message ~location () =
   N.element "generation-failed"
     ~children:
-      [
-        N.element "message" ~children:[ N.text message ];
-        N.element "location" ~children:[ N.text location ];
-      ]
+      ((if code = "" then [] else [ N.element "code" ~children:[ N.text code ] ])
+      @ [
+          N.element "message" ~children:[ N.text message ];
+          N.element "location" ~children:[ N.text location ];
+        ])
+
+(* A resource-budget trip, in the engines' error-value shape: the
+   structured code rides in a <code> child so the service can rebuild the
+   taxonomy from the document, and the trip also lands in [problems] so
+   plain callers see it without digging. *)
+let resource_failure (r : Xquery.Errors.resource) ~limit ~used =
+  let code = Xquery.Errors.resource_code r in
+  let message = Xquery.Errors.resource_message r ~limit ~used in
+  let document = generation_failed ~code ~message ~location:"" () in
+  (document, Printf.sprintf "resource budget tripped (%s): %s" code message)
 
 let path_to_string path = String.concat "/" (List.rev path)

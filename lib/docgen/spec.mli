@@ -54,9 +54,17 @@ val marker_phrase : string -> string
 val wrap_streams : document:Xml_base.Node.t -> problems:string list -> Xml_base.Node.t
 (** The single-output-stream wrapper; split with {!Streams.split}. *)
 
-val generation_failed : message:string -> location:string -> Xml_base.Node.t
-(** The [<generation-failed>] document every engine produces on a fatal
-    generation error. *)
+val generation_failed :
+  ?code:string -> message:string -> location:string -> unit -> Xml_base.Node.t
+(** The [<generation-failed>] error document every engine returns on
+    failure. [code], when non-empty, is carried in a [<code>] child —
+    used for resource-budget trips (["resource:fuel"], ...) so callers
+    can recover the structured taxonomy from the document. *)
+
+val resource_failure :
+  Xquery.Errors.resource -> limit:int -> used:int -> Xml_base.Node.t * string
+(** A budget trip as a [<generation-failed>] document (with its
+    [resource:*] code) paired with the [problems] entry describing it. *)
 
 val path_to_string : string list -> string
 (** Render a reversed directive path ("innermost first") as a location. *)

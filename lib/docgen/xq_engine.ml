@@ -113,7 +113,7 @@ type result = { document : N.t option; error : string option }
    instead of re-parsing ~90 lines of XQuery per document. *)
 let compile () = Xquery.Engine.compile query_source
 
-let generate_compiled compiled model ~template =
+let generate_compiled ?limits ?fast_eval compiled model ~template =
   let mm = Awb.Model.metamodel model in
   let export = Awb.Xml_io.export model in
   let model_root = List.hd (N.children export) in
@@ -124,7 +124,7 @@ let generate_compiled compiled model ~template =
     | _ -> template
   in
   let result =
-    Xquery.Engine.execute
+    Xquery.Engine.execute ?limits ?fast_eval
       ~vars:
         [
           ("model", Xquery.Value.of_node model_root);
@@ -148,29 +148,34 @@ let generate_compiled compiled model ~template =
   | [], [ doc ] -> { document = Some doc; error = None }
   | [], _ -> { document = None; error = Some "template did not produce a single element" }
 
-let generate model ~template = generate_compiled (compile ()) model ~template
+let generate ?limits ?fast_eval model ~template =
+  generate_compiled ?limits ?fast_eval (compile ()) model ~template
 
 (* Adapter to the engine-uniform result shape (Engine_intf.S). The xq
    core embeds its own queries, so [backend] is accepted and ignored;
    a generation error becomes the same <generation-failed> document the
-   other two engines produce. *)
-let generate_spec ?backend:_ ?compiled model ~template : Spec.result =
+   other two engines produce, and a resource-budget trip inside the
+   evaluator the same <generation-failed> + problems entry as the other
+   engines'. *)
+let generate_spec ?backend:_ ?compiled ?limits ?fast_eval model ~template : Spec.result =
   let stats = Spec.new_stats () in
   stats.Spec.phases <- 1;
   stats.Spec.queries_run <- 1;
-  let r =
+  match
     match compiled with
-    | Some c -> generate_compiled c model ~template
-    | None -> generate model ~template
-  in
-  match r with
+    | Some c -> generate_compiled ?limits ?fast_eval c model ~template
+    | None -> generate ?limits ?fast_eval model ~template
+  with
+  | exception Xquery.Errors.Resource_exhausted { resource; limit; used } ->
+    let document, problem = Spec.resource_failure resource ~limit ~used in
+    { Spec.document; problems = [ problem ]; stats }
   | { document = Some doc; _ } -> { Spec.document = doc; problems = []; stats }
   | { document = None; error } ->
     {
       Spec.document =
         Spec.generation_failed
           ~message:(Option.value ~default:"generation failed" error)
-          ~location:"";
+          ~location:"" ();
       problems = [];
       stats;
     }

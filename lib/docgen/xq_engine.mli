@@ -17,20 +17,37 @@ type result = { document : Xml_base.Node.t option; error : string option }
 val compile : unit -> Xquery.Engine.compiled
 (** Compile {!query_source} once for reuse across many generations. *)
 
-val generate : Awb.Model.t -> template:Xml_base.Node.t -> result
+val generate :
+  ?limits:Xquery.Context.limits ->
+  ?fast_eval:bool ->
+  Awb.Model.t ->
+  template:Xml_base.Node.t ->
+  result
 (** One-shot: {!compile} then {!generate_compiled}. *)
 
 val generate_compiled :
-  Xquery.Engine.compiled -> Awb.Model.t -> template:Xml_base.Node.t -> result
-(** Run a previously compiled dispatch core. *)
+  ?limits:Xquery.Context.limits ->
+  ?fast_eval:bool ->
+  Xquery.Engine.compiled ->
+  Awb.Model.t ->
+  template:Xml_base.Node.t ->
+  result
+(** Run a previously compiled dispatch core. [limits] budgets the XQuery
+    run; a trip raises {!Xquery.Errors.Resource_exhausted} (use
+    {!generate_spec} to have it mapped to a [<generation-failed>]
+    document instead). *)
 
 val generate_spec :
   ?backend:Spec.query_backend ->
   ?compiled:Xquery.Engine.compiled ->
+  ?limits:Xquery.Context.limits ->
+  ?fast_eval:bool ->
   Awb.Model.t ->
   template:Xml_base.Node.t ->
   Spec.result
 (** {!Engine_intf.S}-shaped adapter. [backend] is accepted for interface
     uniformity and ignored (the xq core embeds its own queries); an
     error surfaces as a [<generation-failed>] document, like the other
-    engines. Pass [compiled] to skip recompiling the core. *)
+    engines, and a resource-budget trip as the same document with its
+    [resource:*] code plus a [problems] entry. Pass [compiled] to skip
+    recompiling the core. *)

@@ -1,0 +1,66 @@
+(* Deterministic fault injection for the service layer.
+
+   Production fault tolerance is untestable if the faults themselves are
+   flaky, so every injection decision here is a pure function of
+   (seed, fault kind, request key, attempt number): the same seeded
+   config replays the same faults in the same places, run after run,
+   regardless of domain scheduling. The decision hash is Digest (MD5) —
+   not for security, just for a cheap, stable, well-mixed 128 bits.
+
+   Injection does not fake outcomes; it tightens real budgets. A
+   "deadline overrun" forces the request's monotonic deadline into the
+   past so the evaluator's own amortized check trips it; a "fuel
+   exhaustion" collapses the step budget to a sliver. The code paths
+   exercised are exactly the production ones. Only the two failure modes
+   with no budget to tighten — transient generation failures and
+   fast-path internal faults — are raised directly, as the exceptions
+   below. *)
+
+type kind = Deadline | Fuel | Transient | Fast_path
+
+let kind_name = function
+  | Deadline -> "deadline"
+  | Fuel -> "fuel"
+  | Transient -> "transient"
+  | Fast_path -> "fast-path"
+
+type config = {
+  seed : int;
+  deadline_rate : float;
+  fuel_rate : float;
+  transient_rate : float;
+  transient_attempts : int;
+  fast_fault_rate : float;
+}
+
+let none =
+  {
+    seed = 0;
+    deadline_rate = 0.;
+    fuel_rate = 0.;
+    transient_rate = 0.;
+    transient_attempts = 2;
+    fast_fault_rate = 0.;
+  }
+
+exception Transient of string
+exception Fast_path_fault of string
+
+let rate config = function
+  | Deadline -> config.deadline_rate
+  | Fuel -> config.fuel_rate
+  | Transient -> config.transient_rate
+  | Fast_path -> config.fast_fault_rate
+
+(* 28 bits of the digest as a uniform draw in [0, 1). *)
+let draw config kind ~key ~attempt =
+  let h =
+    Digest.to_hex
+      (Digest.string
+         (Printf.sprintf "%d|%s|%s|%d" config.seed (kind_name kind) key attempt))
+  in
+  float_of_int (int_of_string ("0x" ^ String.sub h 0 7)) /. float_of_int 0x10000000
+
+let fires config kind ~key ~attempt =
+  let r = rate config kind in
+  if r <= 0. then false else r >= 1. || draw config kind ~key ~attempt < r

@@ -1,0 +1,46 @@
+(** Deterministic fault injection for the service layer.
+
+    Every injection decision is a pure function of (seed, kind, request
+    key, attempt): a seeded config replays identically across runs and
+    domain schedules. Budget faults (deadline, fuel) are injected by
+    tightening the request's real limits so the evaluator's own checks
+    trip them; only {!Transient} and {!Fast_path_fault} — which have no
+    budget to tighten — are raised directly. *)
+
+(** Which failure mode to simulate. *)
+type kind =
+  | Deadline  (** force the request's monotonic deadline into the past *)
+  | Fuel  (** collapse the step budget to a sliver *)
+  | Transient  (** a retryable generation failure (succeeds after
+                   [transient_attempts] tries) *)
+  | Fast_path  (** an internal fault in the fast evaluator; the service
+                   degrades to the seed evaluator *)
+
+type config = {
+  seed : int;  (** replay seed; same seed, same faults *)
+  deadline_rate : float;  (** per-request probability in [0, 1] *)
+  fuel_rate : float;
+  transient_rate : float;
+  transient_attempts : int;
+      (** attempts on which a selected transient keeps firing; the next
+          attempt succeeds, so [retries >= transient_attempts] recovers *)
+  fast_fault_rate : float;
+}
+
+val none : config
+(** All rates zero — injection disabled. [seed = 0],
+    [transient_attempts = 2]. *)
+
+exception Transient of string
+(** A declared-transient generation failure; the service retries it with
+    backoff. *)
+
+exception Fast_path_fault of string
+(** An internal fast-evaluator fault; the service re-runs the attempt on
+    the seed evaluator. *)
+
+val fires : config -> kind -> key:string -> attempt:int -> bool
+(** Whether this fault fires for (key, attempt) — deterministic in the
+    config seed. *)
+
+val kind_name : kind -> string

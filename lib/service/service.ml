@@ -17,10 +17,23 @@
    Batches fan out over Pool (work-stealing across OCaml 5 domains).
    Each request is error-isolated: parse failures, generation failures,
    blown deadlines, and stray exceptions all land in that request's
-   response, never in its neighbours'. *)
+   response, never in its neighbours'.
+
+   Requests are resource-governed. A request deadline is wired into the
+   evaluator's own budget machinery (Xquery.Context.limits) so a runaway
+   query is preempted mid-walk, not merely noticed at the next phase
+   boundary; fuel / recursion-depth / node-allocation budgets from the
+   config ride along in the same limits record. Failures get three
+   layers of containment: declared-transient failures retry with
+   exponential backoff, fast-evaluator faults degrade to one seed-
+   evaluator re-run, and a template whose generation keeps failing is
+   quarantined (content-hash circuit breaker) for a cooldown rather than
+   allowed to burn budget on every batch. The Fault module injects all
+   four failure modes deterministically for tests. *)
 
 module Lru = Lru
 module Pool = Pool
+module Fault = Fault
 module N = Xml_base.Node
 module Spec = Docgen.Spec
 
@@ -55,19 +68,26 @@ let request ?(engine = `Host) ?backend ?deadline ~id ~template ~model () =
 type error =
   | Template_error of string
   | Model_error of string
-  | Generation_failed of { message : string; location : string }
+  | Generation_failed of { code : string; message : string; location : string }
+  | Resource_exhausted of { resource : Xquery.Errors.resource; message : string }
   | Deadline_exceeded of { elapsed_s : float; deadline_s : float }
+  | Quarantined of { template : string; retry_after_s : float }
   | Internal_error of string
 
 let error_to_string = function
   | Template_error m -> "template error: " ^ m
   | Model_error m -> "model error: " ^ m
-  | Generation_failed { message; location } ->
-    if location = "" then "generation failed: " ^ message
-    else Printf.sprintf "generation failed at %s: %s" location message
+  | Generation_failed { code; message; location } ->
+    let code = if code = "" then "" else Printf.sprintf " [%s]" code in
+    if location = "" then Printf.sprintf "generation failed%s: %s" code message
+    else Printf.sprintf "generation failed%s at %s: %s" code location message
+  | Resource_exhausted { resource; message } ->
+    Printf.sprintf "%s: %s" (Xquery.Errors.resource_code resource) message
   | Deadline_exceeded { elapsed_s; deadline_s } ->
     Printf.sprintf "deadline exceeded: %.1f ms elapsed against a %.1f ms budget"
       (elapsed_s *. 1000.) (deadline_s *. 1000.)
+  | Quarantined { template; retry_after_s } ->
+    Printf.sprintf "template %s quarantined; retry in %.1f s" template retry_after_s
   | Internal_error m -> "internal error: " ^ m
 
 type timings = {
@@ -96,15 +116,42 @@ type config = {
   domains : int; (* default width of run_batch *)
   cache_capacity : int; (* entries per artifact cache; 0 disables caching *)
   default_deadline : float option; (* seconds; a per-request deadline wins *)
+  fuel : int option; (* evaluator step budget per attempt *)
+  max_depth : int option; (* user-function recursion depth *)
+  max_nodes : int option; (* constructed-node budget per attempt *)
+  retries : int; (* extra attempts for declared-transient failures *)
+  backoff_s : float; (* base of the exponential retry backoff *)
+  quarantine_after : int; (* consecutive failures that trip the breaker; 0 disables *)
+  quarantine_cooldown_s : float; (* how long a tripped template stays out *)
+  fault : Fault.config option; (* deterministic fault injection; None in production *)
 }
 
-let default_config = { domains = 1; cache_capacity = 128; default_deadline = None }
+let default_config =
+  {
+    domains = 1;
+    cache_capacity = 128;
+    default_deadline = None;
+    fuel = None;
+    max_depth = None;
+    max_nodes = None;
+    retries = 2;
+    backoff_s = 0.001;
+    quarantine_after = 0;
+    quarantine_cooldown_s = 30.;
+    fault = None;
+  }
 
 type counters = {
   requests : int;
   succeeded : int;
   failed : int;
   deadline_failures : int;
+  resource_failures : int;
+  retries : int;
+  fast_fallbacks : int;
+  quarantine_trips : int;
+  quarantine_rejections : int;
+  quarantine_releases : int;
   batches : int;
   steals : int;
   template_hits : int;
@@ -131,16 +178,29 @@ type phase_totals = {
   mutable acc_serialize_s : float;
 }
 
+(* Per-template circuit-breaker state, keyed by template content hash.
+   [streak] counts consecutive generation failures; once it reaches
+   [quarantine_after] the template sits out until the monotonic instant
+   [until]. All access is under the service mutex. *)
+type breaker = { mutable streak : int; mutable until : float }
+
 type t = {
   config : config;
   mutex : Mutex.t;
   templates : N.t Lru.t;
   models : Awb.Model.t Lru.t;
   queries : Xquery.Engine.compiled Lru.t;
+  quarantine : (string, breaker) Hashtbl.t;
   mutable requests : int;
   mutable succeeded : int;
   mutable failed : int;
   mutable deadline_failures : int;
+  mutable resource_failures : int;
+  mutable retries : int;
+  mutable fast_fallbacks : int;
+  mutable quarantine_trips : int;
+  mutable quarantine_rejections : int;
+  mutable quarantine_releases : int;
   mutable batches : int;
   mutable steals : int;
   totals : phase_totals;
@@ -156,10 +216,17 @@ let create ?(config = default_config) () =
     templates = Lru.create ~capacity:config.cache_capacity;
     models = Lru.create ~capacity:config.cache_capacity;
     queries = Lru.create ~capacity:config.cache_capacity;
+    quarantine = Hashtbl.create 16;
     requests = 0;
     succeeded = 0;
     failed = 0;
     deadline_failures = 0;
+    resource_failures = 0;
+    retries = 0;
+    fast_fallbacks = 0;
+    quarantine_trips = 0;
+    quarantine_rejections = 0;
+    quarantine_releases = 0;
     batches = 0;
     steals = 0;
     totals =
@@ -258,9 +325,14 @@ let clear_caches t =
 
 exception Fail of error
 
-let now () = Unix.gettimeofday ()
+(* Monotonic seconds. Deadlines measured against the wall clock jump
+   with NTP slews; these never go backwards. *)
+let now () = Clock.now ()
 
-let generation_failure (result : Spec.result) =
+(* Engines never raise budget exceptions across their API: a trip comes
+   back as a <generation-failed> document whose <code> child carries the
+   resource:* taxonomy. Rebuild the structured error from it here. *)
+let generation_failure ~t0 ~deadline (result : Spec.result) =
   if N.is_element result.Spec.document && N.name result.Spec.document = "generation-failed"
   then
     let get child =
@@ -268,13 +340,94 @@ let generation_failure (result : Spec.result) =
       | Some c -> N.string_value c
       | None -> ""
     in
-    Some (Generation_failed { message = get "message"; location = get "location" })
+    let code = get "code" in
+    match Xquery.Errors.resource_of_code code with
+    | Some Xquery.Errors.Deadline ->
+      Some
+        (Deadline_exceeded
+           { elapsed_s = now () -. t0; deadline_s = Option.value deadline ~default:0. })
+    | Some resource -> Some (Resource_exhausted { resource; message = get "message" })
+    | None ->
+      Some (Generation_failed { code; message = get "message"; location = get "location" })
   else None
 
+(* ------------------------------------------------------------------ *)
+(* Quarantine (per-template circuit breaker)                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Quarantine is content-hash keyed, so it applies to Template_xml
+   sources (the cached, repeat-traffic case the breaker exists for);
+   pre-parsed Template_node requests bypass it like they bypass the
+   cache. *)
+let quarantine_key = function
+  | Template_xml xml -> Some (digest xml)
+  | Template_node _ -> None
+
+(* Gate a request on its template's breaker. Raises [Fail (Quarantined ...)]
+   while the cooldown runs; the first request after the cooldown closes
+   the breaker again (counted as a release) and proceeds. *)
+let quarantine_check t key =
+  match key with
+  | None -> ()
+  | Some key ->
+    if t.config.quarantine_after > 0 then
+      with_lock t (fun () ->
+          match Hashtbl.find_opt t.quarantine key with
+          | Some b when b.streak >= t.config.quarantine_after ->
+            let remaining = b.until -. now () in
+            if remaining > 0. then begin
+              t.quarantine_rejections <- t.quarantine_rejections + 1;
+              raise (Fail (Quarantined { template = key; retry_after_s = remaining }))
+            end
+            else begin
+              b.streak <- 0;
+              t.quarantine_releases <- t.quarantine_releases + 1
+            end
+          | _ -> ())
+
+(* Generation-phase failures advance the breaker; a success closes it.
+   Input-side failures (bad template XML, bad model) don't count — they
+   never reach generation, so they say nothing about the template's
+   behaviour under budget. *)
+let quarantine_note t key result =
+  match key with
+  | None -> ()
+  | Some key ->
+    if t.config.quarantine_after > 0 then
+      with_lock t (fun () ->
+          let counts =
+            match result with
+            | Ok _ | Error (Template_error _ | Model_error _ | Quarantined _) -> false
+            | Error
+                ( Generation_failed _ | Resource_exhausted _ | Deadline_exceeded _
+                | Internal_error _ ) ->
+              true
+          in
+          match (Hashtbl.find_opt t.quarantine key, counts, result) with
+          | None, false, _ -> ()
+          | Some b, false, Ok _ -> b.streak <- 0
+          | Some _, false, _ -> ()
+          | entry, true, _ ->
+            let b =
+              match entry with
+              | Some b -> b
+              | None ->
+                let b = { streak = 0; until = 0. } in
+                Hashtbl.replace t.quarantine key b;
+                b
+            in
+            b.streak <- b.streak + 1;
+            if b.streak = t.config.quarantine_after then begin
+              b.until <- now () +. t.config.quarantine_cooldown_s;
+              t.quarantine_trips <- t.quarantine_trips + 1
+            end)
+
 (* One request, start-to-finish, on whichever domain picked it up. [t0]
-   is the submission time the deadline counts from; checks run at every
-   phase boundary (generation is not preempted mid-walk — a deadline
-   blown inside a phase surfaces at the next boundary). *)
+   is the (monotonic) submission time the deadline counts from. The
+   deadline is enforced twice over: checks at every phase boundary here,
+   and — the part that matters for runaway queries — the same absolute
+   instant wired into the evaluator's own limits, so generation is
+   preempted mid-walk by the amortized budget check. *)
 let execute t ~t0 (req : request) : response * timings =
   let deadline =
     match req.deadline with Some _ as d -> d | None -> t.config.default_deadline
@@ -286,6 +439,38 @@ let execute t ~t0 (req : request) : response * timings =
       if elapsed_s > d then raise (Fail (Deadline_exceeded { elapsed_s; deadline_s = d }))
     | None -> ()
   in
+  (* Fault-injection selections: pure functions of (seed, request id),
+     fixed before the attempt loop so a replay is bit-for-bit identical
+     no matter which domain runs the request. *)
+  let inj kind =
+    match t.config.fault with
+    | Some f -> Fault.fires f kind ~key:req.id ~attempt:0
+    | None -> false
+  in
+  let inj_deadline = inj Fault.Deadline
+  and inj_fuel = inj Fault.Fuel
+  and inj_transient = inj Fault.Transient
+  and inj_fast = inj Fault.Fast_path in
+  let transient_attempts =
+    match t.config.fault with Some f -> f.Fault.transient_attempts | None -> 0
+  in
+  (* Fresh budgets per attempt — a retry must not inherit the fuel its
+     predecessor burned. The deadline stays absolute across attempts:
+     the caller's patience does not reset with ours. *)
+  let limits_for () =
+    let deadline_ns =
+      if inj_deadline then Some (Clock.now_ns ()) (* already behind us *)
+      else Option.map (fun d -> int_of_float ((t0 +. d) *. 1e9)) deadline
+    in
+    let fuel = if inj_fuel then Some 64 else t.config.fuel in
+    match (fuel, t.config.max_depth, t.config.max_nodes, deadline_ns) with
+    | None, None, None, None -> None
+    | _ ->
+      Some
+        (Xquery.Context.make_limits ?fuel ?max_depth:t.config.max_depth
+           ?max_nodes:t.config.max_nodes ?deadline_ns ())
+  in
+  let qkey = quarantine_key req.template in
   let tpl_s = ref 0. and model_s = ref 0. and gen_s = ref 0. and ser_s = ref 0. in
   let timed cell mk_error f =
     check_deadline ();
@@ -304,6 +489,7 @@ let execute t ~t0 (req : request) : response * timings =
   let started = now () in
   let result =
     try
+      quarantine_check t qkey;
       let template =
         timed tpl_s (fun m -> Template_error m) (fun () -> template_of_source t req.template)
       in
@@ -312,20 +498,56 @@ let execute t ~t0 (req : request) : response * timings =
       in
       let gen =
         timed gen_s
-          (fun m -> Generation_failed { message = m; location = "" })
+          (fun m -> Generation_failed { code = ""; message = m; location = "" })
           (fun () ->
-            try
+            let run_once ~fast_eval =
+              let limits = limits_for () in
               match req.engine with
               | `Xq ->
                 Docgen.Xq_engine.generate_spec ?backend:req.backend ~compiled:(xq_core t)
-                  model ~template
+                  ?limits ?fast_eval model ~template
               | (`Host | `Functional) as engine ->
-                Docgen.generate ?backend:req.backend ~engine model ~template
-            with Xquery.Errors.Error _ as e ->
-              raise
-                (Fail (Generation_failed { message = Printexc.to_string e; location = "" })))
+                Docgen.generate ?backend:req.backend ~engine ?limits ?fast_eval model
+                  ~template
+            in
+            (* The attempt loop: transient failures retry with
+               exponential backoff (bounded by config.retries); a fast-
+               evaluator fault gets exactly one re-run on the seed
+               evaluator. Budget trips come back as documents, not
+               exceptions, so they fall straight through. *)
+            let rec attempt n ~on_seed =
+              check_deadline ();
+              match
+                if inj_transient && n < transient_attempts then
+                  raise (Fault.Transient "injected transient generation failure");
+                if inj_fast && not on_seed then
+                  raise (Fault.Fast_path_fault "injected fast-path fault");
+                run_once ~fast_eval:(if on_seed then Some false else None)
+              with
+              | result -> result
+              | exception (Fail _ as e) -> raise e
+              | exception Xquery.Errors.Error { code; message } ->
+                raise (Fail (Generation_failed { code; message; location = "" }))
+              | exception Fault.Transient _ when n < t.config.retries ->
+                with_lock t (fun () -> t.retries <- t.retries + 1);
+                Unix.sleepf (t.config.backoff_s *. (2. ** float_of_int n));
+                attempt (n + 1) ~on_seed
+              | exception Fault.Transient msg ->
+                raise
+                  (Fail
+                     (Generation_failed
+                        { code = "transient"; message = msg; location = "" }))
+              | exception _ when not on_seed ->
+                (* Graceful degradation: an internal fault while the
+                   fast evaluator is eligible gets one re-run pinned to
+                   the seed evaluator before the request is failed. *)
+                with_lock t (fun () -> t.fast_fallbacks <- t.fast_fallbacks + 1);
+                attempt n ~on_seed:true
+              | exception Fault.Fast_path_fault msg -> raise (Fail (Internal_error msg))
+            in
+            attempt 0 ~on_seed:false)
       in
-      match generation_failure gen with
+      match generation_failure ~t0 ~deadline gen with
       | Some err -> Error err
       | None ->
         let document =
@@ -354,6 +576,7 @@ let execute t ~t0 (req : request) : response * timings =
     | Fail e -> Error e
     | e -> Error (Internal_error (Printexc.to_string e))
   in
+  quarantine_note t qkey result;
   let timings =
     {
       template_s = !tpl_s;
@@ -377,6 +600,9 @@ let record t (responses : (response * timings) list) =
           | Error (Deadline_exceeded _) ->
             t.failed <- t.failed + 1;
             t.deadline_failures <- t.deadline_failures + 1
+          | Error (Resource_exhausted _) ->
+            t.failed <- t.failed + 1;
+            t.resource_failures <- t.resource_failures + 1
           | Error _ -> t.failed <- t.failed + 1);
           t.totals.acc_template_s <- t.totals.acc_template_s +. tm.template_s;
           t.totals.acc_model_s <- t.totals.acc_model_s +. tm.model_s;
@@ -432,6 +658,12 @@ let counters t : counters =
         succeeded = t.succeeded;
         failed = t.failed;
         deadline_failures = t.deadline_failures;
+        resource_failures = t.resource_failures;
+        retries = t.retries;
+        fast_fallbacks = t.fast_fallbacks;
+        quarantine_trips = t.quarantine_trips;
+        quarantine_rejections = t.quarantine_rejections;
+        quarantine_releases = t.quarantine_releases;
         batches = t.batches;
         steals = t.steals;
         template_hits = Lru.hits t.templates;
@@ -458,6 +690,12 @@ let reset_counters t =
       t.succeeded <- 0;
       t.failed <- 0;
       t.deadline_failures <- 0;
+      t.resource_failures <- 0;
+      t.retries <- 0;
+      t.fast_fallbacks <- 0;
+      t.quarantine_trips <- 0;
+      t.quarantine_rejections <- 0;
+      t.quarantine_releases <- 0;
       t.batches <- 0;
       t.steals <- 0;
       Lru.reset_counters t.templates;
@@ -475,7 +713,9 @@ let reset_counters t =
 
 let pp_counters fmt (c : counters) =
   Format.fprintf fmt
-    "@[<v>requests: %d (%d ok, %d failed, %d deadline)@,\
+    "@[<v>requests: %d (%d ok, %d failed, %d deadline, %d resource)@,\
+     resilience: %d retries, %d fast fallbacks, quarantine %d trips / %d rejections / %d \
+     releases@,\
      batches: %d (steals: %d)@,\
      template cache: %d hits / %d misses@,\
      model cache: %d hits / %d misses@,\
@@ -484,7 +724,9 @@ let pp_counters fmt (c : counters) =
      optimizer: %d lets eliminated, %d constants folded, %d count rewrites, %d paths \
      hoisted@,\
      phase totals: template %.3f ms, model %.3f ms, generate %.3f ms, serialize %.3f ms@]"
-    c.requests c.succeeded c.failed c.deadline_failures c.batches c.steals c.template_hits
+    c.requests c.succeeded c.failed c.deadline_failures c.resource_failures c.retries
+    c.fast_fallbacks c.quarantine_trips c.quarantine_rejections c.quarantine_releases
+    c.batches c.steals c.template_hits
     c.template_misses c.model_hits c.model_misses c.query_hits c.query_misses c.evictions
     c.opt_lets_eliminated c.opt_constants_folded c.opt_count_rewrites c.opt_paths_hoisted
     (c.template_s *. 1000.) (c.model_s *. 1000.) (c.generate_s *. 1000.)

@@ -7,13 +7,26 @@
     fan-out over OCaml 5 domains with work stealing ({!Pool}); per-request
     deadlines; and an error-isolating result type so one failing template
     cannot take down a batch. Counters expose cache behaviour and
-    per-phase timings to the bench harness (experiment E8). *)
+    per-phase timings to the bench harness (experiment E8).
+
+    Requests are resource-governed: the request deadline (and any
+    configured fuel / recursion-depth / node budgets) is wired into the
+    evaluator's own {!Xquery.Context.limits}, so a runaway query is
+    preempted mid-walk on both evaluators, not just noticed between
+    phases. Declared-transient failures retry with exponential backoff,
+    fast-evaluator faults degrade to one seed-evaluator re-run, and a
+    template that keeps failing is quarantined behind a content-hash
+    circuit breaker for a cooldown. {!Fault} injects all four failure
+    modes deterministically. *)
 
 module Lru = Lru
 (** The size-bounded LRU the caches are built on. *)
 
 module Pool = Pool
 (** The work-stealing domain pool batches run on. *)
+
+module Fault = Fault
+(** Deterministic fault injection (tests and chaos drills). *)
 
 (** {1 Requests} *)
 
@@ -52,9 +65,18 @@ val request :
 type error =
   | Template_error of string  (** template failed to parse *)
   | Model_error of string  (** model XML failed to parse or import *)
-  | Generation_failed of { message : string; location : string }
-      (** the engine reported a generation error *)
+  | Generation_failed of { code : string; message : string; location : string }
+      (** the engine reported a generation error; [code] is the
+          structured error code (["err:XPTY0004"], ["transient"], ...)
+          when one exists, [""] otherwise *)
+  | Resource_exhausted of { resource : Xquery.Errors.resource; message : string }
+      (** a fuel / depth / node / stack / memory budget tripped
+          mid-generation (deadline trips surface as
+          {!Deadline_exceeded}) *)
   | Deadline_exceeded of { elapsed_s : float; deadline_s : float }
+  | Quarantined of { template : string; retry_after_s : float }
+      (** the template's circuit breaker is open; [template] is its
+          content hash *)
   | Internal_error of string  (** anything else; never kills the batch *)
 
 val error_to_string : error -> string
@@ -83,10 +105,26 @@ type config = {
   domains : int;  (** default width of {!run_batch}; 1 = serial *)
   cache_capacity : int;  (** entries per artifact cache; 0 disables caching *)
   default_deadline : float option;  (** seconds; a per-request deadline wins *)
+  fuel : int option;  (** evaluator step budget per generation attempt *)
+  max_depth : int option;  (** user-function recursion depth budget *)
+  max_nodes : int option;  (** constructed-node budget per attempt *)
+  retries : int;  (** extra attempts for declared-transient failures *)
+  backoff_s : float;
+      (** base of the exponential backoff between retries:
+          [backoff_s * 2^attempt] seconds *)
+  quarantine_after : int;
+      (** consecutive generation failures that open a template's circuit
+          breaker; 0 disables quarantine *)
+  quarantine_cooldown_s : float;
+      (** how long an open breaker rejects the template before the next
+          request closes it again *)
+  fault : Fault.config option;  (** deterministic fault injection; [None] in production *)
 }
 
 val default_config : config
-(** [{ domains = 1; cache_capacity = 128; default_deadline = None }] *)
+(** Domains 1, cache capacity 128, no deadline, unlimited budgets,
+    2 retries with 1 ms base backoff, quarantine disabled, no fault
+    injection. *)
 
 type t
 
@@ -113,6 +151,12 @@ type counters = {
   succeeded : int;
   failed : int;
   deadline_failures : int;
+  resource_failures : int;  (** non-deadline budget trips *)
+  retries : int;  (** transient-failure retries performed *)
+  fast_fallbacks : int;  (** fast-evaluator faults degraded to the seed evaluator *)
+  quarantine_trips : int;  (** circuit breakers opened *)
+  quarantine_rejections : int;  (** requests refused while a breaker was open *)
+  quarantine_releases : int;  (** breakers closed again after cooldown *)
   batches : int;
   steals : int;  (** work-stealing steals across all batches *)
   template_hits : int;

@@ -27,6 +27,93 @@ let default_compat =
 let galax_compat =
   { galax_messages = true; duplicate_attributes = Keep_both; treat_trace_as_pure = true }
 
+(* ------------------------------------------------------------------ *)
+(* Resource limits                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* One mutable record per evaluation, threaded via [env]. The hot-path
+   cost is [tick]: one decrement and one comparison per evaluation step.
+   Everything slow (deadline clock read, fuel accounting) runs only when
+   the credit counter underflows, every [check_interval] steps. [max_int]
+   in any budget field means "unlimited". *)
+
+type limits = {
+  mutable credit : int; (* steps left until the next slow check *)
+  mutable batch : int; (* steps granted at the last refill *)
+  mutable spent : int; (* steps accounted for at the last slow check *)
+  fuel : int; (* total step budget *)
+  mutable depth : int; (* current user-function call depth *)
+  max_depth : int;
+  mutable nodes : int; (* nodes charged so far *)
+  max_nodes : int;
+  deadline_ns : int; (* absolute monotonic deadline, Clock.now_ns scale *)
+}
+
+let check_interval = 1024
+
+let refill l =
+  let remaining = l.fuel - l.spent in
+  let batch = if remaining < check_interval then max 1 remaining else check_interval in
+  l.batch <- batch;
+  l.credit <- batch
+
+let slow_check l =
+  l.spent <- l.spent + (l.batch - l.credit);
+  if l.spent > l.fuel then Errors.exhaust Errors.Fuel ~limit:l.fuel ~used:l.spent;
+  if l.deadline_ns <> max_int then begin
+    let now = Clock.now_ns () in
+    if now > l.deadline_ns then Errors.exhaust Errors.Deadline ~limit:l.deadline_ns ~used:now
+  end;
+  refill l
+
+let tick l =
+  l.credit <- l.credit - 1;
+  if l.credit <= 0 then slow_check l
+
+let charge l n =
+  if n > 0 then begin
+    l.credit <- l.credit - n;
+    if l.credit <= 0 then slow_check l
+  end
+
+let check l = slow_check l
+
+let enter_call l =
+  l.depth <- l.depth + 1;
+  if l.depth > l.max_depth then Errors.exhaust Errors.Depth ~limit:l.max_depth ~used:l.depth
+
+let exit_call l = l.depth <- l.depth - 1
+
+let charge_nodes l n =
+  if l.max_nodes <> max_int && n > 0 then begin
+    l.nodes <- l.nodes + n;
+    if l.nodes > l.max_nodes then
+      Errors.exhaust Errors.Nodes ~limit:l.max_nodes ~used:l.nodes
+  end
+
+let make_limits ?(fuel = max_int) ?(max_depth = max_int) ?(max_nodes = max_int)
+    ?(deadline_ns = max_int) () =
+  let l =
+    {
+      credit = 0;
+      batch = 0;
+      spent = 0;
+      fuel;
+      depth = 0;
+      max_depth;
+      nodes = 0;
+      max_nodes;
+      deadline_ns;
+    }
+  in
+  refill l;
+  l
+
+let unlimited () = make_limits ()
+let is_unlimited l =
+  l.fuel = max_int && l.max_depth = max_int && l.max_nodes = max_int
+  && l.deadline_ns = max_int
+
 type func =
   | Builtin of (dyn -> Value.sequence list -> Value.sequence)
   | User of {
@@ -48,6 +135,9 @@ and env = {
       (* true: the evaluator may use the cached-key/lazy fast paths; false
          pins every operation to the seed algorithms (benchmark baseline,
          property-test oracle) *)
+  mutable limits : limits;
+      (* resource budgets for this evaluation; fresh unlimited record per
+         env so concurrent evaluations never share counters *)
 }
 
 and dyn = {
@@ -60,7 +150,7 @@ and dyn = {
 
 let fast_eval_default = ref true
 
-let make_env ?(compat = default_compat) ?(typed_mode = false) () =
+let make_env ?(compat = default_compat) ?(typed_mode = false) ?limits () =
   {
     functions = Hashtbl.create 97;
     compat;
@@ -70,6 +160,7 @@ let make_env ?(compat = default_compat) ?(typed_mode = false) () =
     doc_resolver = (fun _ -> None);
     global_vars = StringMap.empty;
     fast_eval = !fast_eval_default;
+    limits = (match limits with Some l -> l | None -> unlimited ());
   }
 
 let make_dyn env = { env; vars = StringMap.empty; ctx_item = None; ctx_pos = 0; ctx_size = 0 }

@@ -22,6 +22,60 @@ type compat = {
 val default_compat : compat
 val galax_compat : compat
 
+(** {1 Resource limits}
+
+    One mutable budget record per evaluation, threaded via [env.limits].
+    The hot-path cost is {!tick}: a decrement and a comparison. Slow
+    checks (fuel accounting, monotonic deadline read) run every ~1k
+    steps. [max_int] in a budget field means unlimited. *)
+
+type limits = {
+  mutable credit : int;  (** steps left until the next slow check *)
+  mutable batch : int;  (** steps granted at the last refill *)
+  mutable spent : int;  (** steps accounted for at the last slow check *)
+  fuel : int;  (** total step budget *)
+  mutable depth : int;  (** current user-function call depth *)
+  max_depth : int;
+  mutable nodes : int;  (** nodes charged so far *)
+  max_nodes : int;
+  deadline_ns : int;  (** absolute monotonic deadline, {!Clock.now_ns} scale *)
+}
+
+val make_limits :
+  ?fuel:int -> ?max_depth:int -> ?max_nodes:int -> ?deadline_ns:int -> unit -> limits
+(** Fresh budget record. [deadline_ns] is an {e absolute} monotonic
+    timestamp (compare [Clock.now_ns () + budget]). Omitted budgets are
+    unlimited. *)
+
+val unlimited : unit -> limits
+(** Fresh record with every budget unlimited. *)
+
+val is_unlimited : limits -> bool
+
+val tick : limits -> unit
+(** Charge one evaluation step.
+    @raise Errors.Resource_exhausted when a budget trips. *)
+
+val charge : limits -> int -> unit
+(** Charge [n] evaluation steps at once (bulk operations: range
+    materialization, long axis walks).
+    @raise Errors.Resource_exhausted when a budget trips. *)
+
+val check : limits -> unit
+(** Force a slow check now (fuel + deadline), regardless of credit. Used
+    at evaluation entry so an already-expired deadline trips before any
+    work happens. @raise Errors.Resource_exhausted *)
+
+val enter_call : limits -> unit
+(** Enter a user-function call. @raise Errors.Resource_exhausted when
+    [max_depth] is exceeded. *)
+
+val exit_call : limits -> unit
+
+val charge_nodes : limits -> int -> unit
+(** Charge [n] constructed nodes against the allocation budget. Free when
+    [max_nodes] is unlimited. @raise Errors.Resource_exhausted *)
+
 type func =
   | Builtin of (dyn -> Value.sequence list -> Value.sequence)
   | User of {
@@ -42,6 +96,9 @@ and env = {
       (** true: the evaluator may use the cached-key/lazy fast paths;
           false pins every operation to the seed algorithms (benchmark
           baseline, property-test oracle) *)
+  mutable limits : limits;
+      (** resource budgets for this evaluation; a fresh unlimited record
+          per env, so concurrent evaluations never share counters *)
 }
 
 and dyn = {
@@ -57,7 +114,7 @@ val fast_eval_default : bool ref
     (default [true]). Lets embedders — the docgen service, the benchmarks
     — flip whole runs without threading a parameter everywhere. *)
 
-val make_env : ?compat:compat -> ?typed_mode:bool -> unit -> env
+val make_env : ?compat:compat -> ?typed_mode:bool -> ?limits:limits -> unit -> env
 val make_dyn : env -> dyn
 val bind_var : dyn -> string -> Value.sequence -> dyn
 val lookup_var : dyn -> string -> Value.sequence option

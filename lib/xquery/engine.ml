@@ -19,17 +19,26 @@ let compile ?(compat = Context.default_compat) ?(typed_mode = false) ?(optimize 
     { program; compat; typed_mode; opt_stats = Some stats }
   else { program; compat; typed_mode; opt_stats = None }
 
-let execute ?context_item ?(vars = []) ?trace_out ?doc_resolver ?fast_eval compiled =
-  let env = Context.make_env ~compat:compiled.compat ~typed_mode:compiled.typed_mode () in
+let execute ?context_item ?(vars = []) ?trace_out ?doc_resolver ?fast_eval ?limits
+    compiled =
+  let env =
+    Context.make_env ~compat:compiled.compat ~typed_mode:compiled.typed_mode ?limits ()
+  in
   Functions.register_all env;
   (match trace_out with Some f -> env.Context.trace_out <- f | None -> ());
   (match doc_resolver with Some f -> env.Context.doc_resolver <- f | None -> ());
   (match fast_eval with Some b -> env.Context.fast_eval <- b | None -> ());
-  Eval.run_program env ?context_item ~vars compiled.program
+  (* The runtime's own exhaustion signals join the resource taxonomy here:
+     an unbounded recursion that beats the fuel counter to the stack limit
+     still surfaces as a structured budget trip, not a stringly
+     Printexc.to_string. *)
+  try Eval.run_program env ?context_item ~vars compiled.program with
+  | Stack_overflow -> Errors.exhaust Errors.Stack ~limit:0 ~used:0
+  | Out_of_memory -> Errors.exhaust Errors.Memory ~limit:0 ~used:0
 
 let eval_query ?compat ?typed_mode ?optimize ?static_check ?context_item ?vars ?trace_out
-    ?doc_resolver ?fast_eval src =
-  execute ?context_item ?vars ?trace_out ?doc_resolver ?fast_eval
+    ?doc_resolver ?fast_eval ?limits src =
+  execute ?context_item ?vars ?trace_out ?doc_resolver ?fast_eval ?limits
     (compile ?compat ?typed_mode ?optimize ?static_check src)
 
 let query_doc ?vars doc src =

@@ -28,13 +28,19 @@ val execute :
   ?trace_out:(string -> unit) ->
   ?doc_resolver:(string -> Xml_base.Node.t option) ->
   ?fast_eval:bool ->
+  ?limits:Context.limits ->
   compiled ->
   Value.sequence
 (** Run a compiled query. [vars] are bound as external global variables;
     [trace_out] receives fn:trace output (default stderr); [doc_resolver]
     backs fn:doc. [fast_eval] overrides {!Context.fast_eval_default} for
     this run: [false] pins the evaluator to the seed algorithms
-    (benchmark baseline, property-test oracle). *)
+    (benchmark baseline, property-test oracle). [limits] attaches
+    resource budgets (fuel, recursion depth, node allocation, monotonic
+    deadline) to this run — pass a {e fresh} record per run; the
+    evaluator mutates it. Budget trips raise
+    {!Errors.Resource_exhausted}; [Stack_overflow]/[Out_of_memory]
+    escaping the evaluator are mapped into the same exception here. *)
 
 val eval_query :
   ?compat:Context.compat ->
@@ -46,6 +52,7 @@ val eval_query :
   ?trace_out:(string -> unit) ->
   ?doc_resolver:(string -> Xml_base.Node.t option) ->
   ?fast_eval:bool ->
+  ?limits:Context.limits ->
   string ->
   Value.sequence
 (** One-shot compile + execute. *)

@@ -3,7 +3,49 @@ exception Error of { code : string; message : string }
 let raise_error code fmt =
   Format.kasprintf (fun message -> raise (Error { code = "err:" ^ code; message })) fmt
 
-let code_of = function Error { code; _ } -> Some code | _ -> None
+type resource = Fuel | Depth | Nodes | Deadline | Stack | Memory
+
+exception Resource_exhausted of { resource : resource; limit : int; used : int }
+
+let resource_name = function
+  | Fuel -> "fuel"
+  | Depth -> "depth"
+  | Nodes -> "nodes"
+  | Deadline -> "deadline"
+  | Stack -> "stack"
+  | Memory -> "memory"
+
+let resource_code r = "resource:" ^ resource_name r
+
+let resource_of_code = function
+  | "resource:fuel" -> Some Fuel
+  | "resource:depth" -> Some Depth
+  | "resource:nodes" -> Some Nodes
+  | "resource:deadline" -> Some Deadline
+  | "resource:stack" -> Some Stack
+  | "resource:memory" -> Some Memory
+  | _ -> None
+
+let resource_message resource ~limit ~used =
+  match resource with
+  | Fuel -> Printf.sprintf "evaluation fuel exhausted (%d steps, limit %d)" used limit
+  | Depth ->
+    Printf.sprintf "user-function recursion too deep (depth %d, limit %d)" used limit
+  | Nodes ->
+    Printf.sprintf "node allocation budget exhausted (%d nodes, limit %d)" used limit
+  | Deadline ->
+    Printf.sprintf "deadline exceeded mid-evaluation (%.1f ms past deadline)"
+      (float_of_int (used - limit) /. 1e6)
+  | Stack -> "evaluation overflowed the stack"
+  | Memory -> "evaluation ran out of memory"
+
+let exhaust resource ~limit ~used =
+  raise (Resource_exhausted { resource; limit; used })
+
+let code_of = function
+  | Error { code; _ } -> Some code
+  | Resource_exhausted { resource; _ } -> Some (resource_code resource)
+  | _ -> None
 
 let xpst0003 = "XPST0003"
 let xpst0008 = "XPST0008"

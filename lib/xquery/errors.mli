@@ -9,8 +9,42 @@ val raise_error : string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
 (** [raise_error "XPTY0004" fmt ...] raises {!Error} with the code
     prefixed by ["err:"]. *)
 
+(** {1 Resource exhaustion}
+
+    Raised when evaluation trips a budget from {!Context.limits}. Unlike
+    {!Error}, these do not mean the query is wrong — only that it could
+    not be completed within the resources granted. [Stack] and [Memory]
+    are the runtime's own exhaustion signals ([Stack_overflow],
+    [Out_of_memory]) mapped into the same taxonomy at the engine
+    boundary. *)
+
+type resource = Fuel | Depth | Nodes | Deadline | Stack | Memory
+
+exception Resource_exhausted of { resource : resource; limit : int; used : int }
+(** [limit] and [used] are in the resource's own unit: evaluation steps
+    for [Fuel], call depth for [Depth], allocated nodes for [Nodes], and
+    absolute monotonic nanoseconds for [Deadline]. For [Stack]/[Memory]
+    both are 0 (the runtime does not report its own limits). *)
+
+val exhaust : resource -> limit:int -> used:int -> 'a
+(** Raise {!Resource_exhausted}. *)
+
+val resource_name : resource -> string
+(** Lowercase name: ["fuel"], ["depth"], ... *)
+
+val resource_code : resource -> string
+(** Structured code, e.g. ["resource:fuel"] — same namespace position as
+    the ["err:*"] codes of {!Error}. *)
+
+val resource_of_code : string -> resource option
+(** Inverse of {!resource_code}. *)
+
+val resource_message : resource -> limit:int -> used:int -> string
+(** Human-readable one-liner for a budget trip. *)
+
 val code_of : exn -> string option
-(** The error code if the exception is an XQuery {!Error}. *)
+(** The error code if the exception is an XQuery {!Error} or
+    {!Resource_exhausted}. *)
 
 (** Commonly used codes, so call sites cannot typo them. *)
 

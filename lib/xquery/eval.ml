@@ -173,7 +173,19 @@ let content_nodes_of_sequence (s : sequence) : N.t list =
    attributes of the element; an attribute node after other content is an
    error (XQTY0024); duplicate names follow the compat policy. All nodes
    are copied — construction never captures existing nodes. *)
+(* Charge constructed content against the node-allocation budget. The
+   constructors below deep-copy every content node, so the real allocation
+   is the total subtree size; counting it is O(size), the same order as
+   the copy itself. Free when the budget is unlimited. *)
+let charge_content (limits : Context.limits) (content : N.t list) =
+  if limits.Context.max_nodes <> max_int then begin
+    let count = ref 0 in
+    List.iter (fun n -> N.iter (fun _ -> incr count) n) content;
+    Context.charge_nodes limits !count
+  end
+
 let assemble_element (env : Context.env) name (content : N.t list) : N.t =
+  charge_content env.Context.limits content;
   (* Attributes accumulate reversed (cons, not append) and are flipped
      once at the end — O(n) for n attributes instead of O(n²). *)
   let rattrs = ref [] in
@@ -346,6 +358,9 @@ let rec lazy_pays (e : expr) : bool =
 (* ------------------------------------------------------------------ *)
 
 let rec eval (dyn : Context.dyn) (e : expr) : sequence =
+  (* One budget tick per evaluation step: a decrement and a compare on
+     the hot path; fuel/deadline accounting runs every ~1k steps. *)
+  Context.tick dyn.Context.env.Context.limits;
   match e with
   | E_int n -> of_int n
   | E_double f -> of_double f
@@ -361,7 +376,19 @@ let rec eval (dyn : Context.dyn) (e : expr) : sequence =
     | [], _ | _, [] -> []
     | [ a ], [ b ] ->
       let lo = cast_to_int a and hi = cast_to_int b in
-      if lo > hi then [] else List.init (hi - lo + 1) (fun i -> Atomic (A_int (lo + i)))
+      if lo > hi then []
+      else begin
+        (* Tick per item rather than charging hi-lo+1 up front: the
+           fuel accounting is the same, but a deadline can preempt the
+           materialization itself instead of waiting out a multi-second
+           allocation of a huge range. *)
+        let limits = dyn.Context.env.Context.limits in
+        List.init
+          (hi - lo + 1)
+          (fun i ->
+            Context.tick limits;
+            Atomic (A_int (lo + i)))
+      end
     | _ -> err Errors.xpty0004 "'to' requires singleton operands")
   | E_arith (op, e1, e2) -> (
     match (atomize (eval dyn e1), atomize (eval dyn e2)) with
@@ -556,6 +583,7 @@ let rec eval (dyn : Context.dyn) (e : expr) : sequence =
     in
     (* Wrap via a scratch element to reuse folding (attributes are illegal
        at document top level). *)
+    charge_content dyn.Context.env.Context.limits content_nodes;
     let kids =
       List.map
         (fun n ->
@@ -697,6 +725,8 @@ and eval_call dyn name arg_exprs =
     | _ -> f dyn (List.map (eval dyn) arg_exprs))
   | Some (Context.User { uparams; ureturn; ubody }) ->
     let args = List.map (eval dyn) arg_exprs in
+    let limits = dyn.Context.env.Context.limits in
+    Context.enter_call limits;
     let typed = dyn.env.typed_mode in
     let body_dyn =
       List.fold_left2
@@ -718,6 +748,9 @@ and eval_call dyn name arg_exprs =
         uparams args
     in
     let result = eval body_dyn ubody in
+    (* No unwind on exception: a budget trip aborts the whole evaluation
+       and the limits record dies with the env. *)
+    Context.exit_call limits;
     (if typed then
        match ureturn with
        | Some ty when not (Stype.matches result ty) ->
@@ -754,8 +787,16 @@ and eval_lazy (dyn : Context.dyn) (e : expr) : item Seq.t =
   | E_seq es -> Seq.concat_map (fun e -> eval_lazy dyn e) (List.to_seq es)
   | E_if (c, t, f) -> if ebv_expr dyn c then eval_lazy dyn t else eval_lazy dyn f
   | E_step (axis, test) ->
+    (* The lazy walk does O(1) work per demanded node and can be driven
+       unboundedly by a streaming consumer, so each delivered node pays a
+       tick here — the eager arm's per-[eval] tick never runs. *)
+    let limits = dyn.Context.env.Context.limits in
     let n = Context.context_node dyn in
-    Seq.map (fun n -> Node n) (Seq.filter (node_test_matches test) (axis_seq axis n))
+    Seq.map
+      (fun n ->
+        Context.tick limits;
+        Node n)
+      (Seq.filter (node_test_matches test) (axis_seq axis n))
   | E_path (e1, e2) when not (uses_position_or_last e2) ->
     (* Streams nodes as the axes deliver them — unordered and
        un-deduplicated relative to [eval]'s sorted result, which the
@@ -785,8 +826,12 @@ and eval_lazy (dyn : Context.dyn) (e : expr) : item Seq.t =
     | [], _ | _, [] -> Seq.empty
     | [ a ], [ b ] ->
       let lo = cast_to_int a and hi = cast_to_int b in
+      let limits = dyn.Context.env.Context.limits in
       if lo > hi then Seq.empty
-      else Seq.init (hi - lo + 1) (fun i -> Atomic (A_int (lo + i)))
+      else
+        Seq.init (hi - lo + 1) (fun i ->
+            Context.tick limits;
+            Atomic (A_int (lo + i)))
     | _ -> err Errors.xpty0004 "'to' requires singleton operands")
   | E_flwor { clauses; order_by = []; return } ->
     (* An unordered FLWOR pipelines: each binding tuple flows through the
@@ -854,6 +899,9 @@ let register_prolog (env : Context.env) (prolog : prolog_decl list) =
     prolog
 
 let run_program (env : Context.env) ?context_item ?(vars = []) (prog : program) : sequence =
+  (* Force one slow check up front so an already-expired deadline trips
+     before any work, however small the program. *)
+  Context.check env.Context.limits;
   register_prolog env prog.prolog;
   let base_dyn =
     let d = Context.make_dyn env in

@@ -7,6 +7,14 @@ open Value
 
 let err = Errors.raise_error
 
+(* Builtins that build output proportional to their input in one call —
+   string concatenation, tokenizing, codepoint expansion — charge fuel
+   for that work here; the per-[eval] tick alone would let a doubling
+   recursion grow strings exponentially on a linear step count. The /64
+   scales bytes to roughly "evaluation steps". *)
+let charge_bytes (dyn : Context.dyn) n =
+  Context.charge dyn.Context.env.Context.limits ((n / 64) + 1)
+
 let one_string name = function
   | [] -> ""
   | [ it ] -> (
@@ -139,14 +147,18 @@ let fn_count _dyn args = of_int (List.length (List.hd args))
 
 let fn_string dyn args = of_string (one_string "fn:string" (ctx_or_arg dyn args))
 
-let fn_concat _dyn args =
-  of_string (String.concat "" (List.map (one_string "fn:concat") args))
+let fn_concat dyn args =
+  let s = String.concat "" (List.map (one_string "fn:concat") args) in
+  charge_bytes dyn (String.length s);
+  of_string s
 
-let fn_string_join _dyn args =
+let fn_string_join dyn args =
   match args with
   | [ items; sep ] ->
     let sep = one_string "fn:string-join" sep in
-    of_string (String.concat sep (List.map string_of_atomic (atomize items)))
+    let s = String.concat sep (List.map string_of_atomic (atomize items)) in
+    charge_bytes dyn (String.length s);
+    of_string s
   | _ -> assert false
 
 let fn_substring _dyn args =
@@ -275,8 +287,10 @@ let fn_substring_after _dyn args =
       | None -> of_string "")
   | _ -> assert false
 
-let fn_string_to_codepoints _dyn args =
+let fn_string_to_codepoints dyn args =
   let s = one_string "fn:string-to-codepoints" (List.hd args) in
+  (* One item per byte: charge like a range materialization. *)
+  Context.charge dyn.Context.env.Context.limits (String.length s);
   List.init (String.length s) (fun i -> Atomic (A_int (Char.code s.[i])))
 
 let fn_codepoints_to_string _dyn args =
@@ -310,11 +324,12 @@ let fn_matches _dyn args =
   let input, pattern, flags = regex_args "fn:matches" args in
   of_bool (Re.execp (compile_regex "fn:matches" pattern flags) input)
 
-let fn_replace _dyn args =
+let fn_replace dyn args =
   match args with
   | input :: pattern :: repl :: rest ->
     let name = "fn:replace" in
     let input = one_string name input in
+    charge_bytes dyn (String.length input);
     let pattern = one_string name pattern in
     let repl = one_string name repl in
     let flags = match rest with [ f ] -> one_string name f | _ -> "" in
@@ -348,8 +363,9 @@ let fn_replace _dyn args =
 
 (* XPath tokenize keeps empty fields (",a,," has four tokens); scan for
    non-empty matches manually so adjacent separators yield empties. *)
-let fn_tokenize _dyn args =
+let fn_tokenize dyn args =
   let input, pattern, flags = regex_args "fn:tokenize" args in
+  charge_bytes dyn (String.length input);
   let re = compile_regex "fn:tokenize" pattern flags in
   if input = "" then []
   else begin

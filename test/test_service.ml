@@ -59,7 +59,8 @@ let test_lru_replace_and_zero_capacity () =
 
 let svc ?(domains = 1) ?(capacity = 32) () =
   Service.create
-    ~config:{ Service.domains; cache_capacity = capacity; default_deadline = None }
+    ~config:
+      { Service.default_config with Service.domains; cache_capacity = capacity }
     ()
 
 let req ?engine ?deadline ~id tpl =
@@ -145,7 +146,7 @@ let test_deadline_expiry_is_typed () =
 let test_default_deadline_from_config () =
   let t =
     Service.create
-      ~config:{ Service.domains = 1; cache_capacity = 8; default_deadline = Some 0. }
+      ~config:{ Service.default_config with Service.default_deadline = Some 0. }
       ()
   in
   match (Service.run t (req ~id:"late" users_tpl)).Service.result with
@@ -175,6 +176,209 @@ let test_error_isolation_in_batch () =
         (Astring.String.is_infix ~affix:"should have a property version" message)
     | _ -> Alcotest.fail "generation failure not typed as Generation_failed")
   | rs -> Alcotest.failf "expected 4 responses, got %d" (List.length rs)
+
+(* ------------------------------------------------------------------ *)
+(* Resource governance and fault injection                             *)
+(* ------------------------------------------------------------------ *)
+
+let gov_svc ?(domains = 1) ?deadline ?fuel ?(retries = 2) ?(quarantine_after = 0)
+    ?(cooldown = 30.) ?fault () =
+  Service.create
+    ~config:
+      {
+        Service.default_config with
+        Service.domains;
+        default_deadline = deadline;
+        fuel;
+        retries;
+        backoff_s = 0.0005;
+        quarantine_after;
+        quarantine_cooldown_s = cooldown;
+        fault;
+      }
+    ()
+
+let fault ?(seed = 42) ?(deadline_rate = 0.) ?(fuel_rate = 0.) ?(transient_rate = 0.)
+    ?(transient_attempts = 2) ?(fast_fault_rate = 0.) () =
+  {
+    Service.Fault.seed;
+    deadline_rate;
+    fuel_rate;
+    transient_rate;
+    transient_attempts;
+    fast_fault_rate;
+  }
+
+(* Templates whose generation would run for hours unpreempted: nested
+   for-loops multiply the model's node fan-out a dozen times over. One
+   per template dialect (the host/functional engines speak the AWB query
+   language, the xq dispatch core its own nodes= spec). *)
+let runaway_host_tpl =
+  let rec go n =
+    if n = 0 then "<p><label/></p>"
+    else "<for nodes=\"start type(User); sort-by label\">" ^ go (n - 1) ^ "</for>"
+  in
+  "<document>" ^ go 12 ^ "</document>"
+
+let runaway_xq_tpl =
+  let rec go n = if n = 0 then "<x/>" else "<for nodes=\"all\">" ^ go (n - 1) ^ "</for>" in
+  "<document>" ^ go 8 ^ "</document>"
+
+(* The acceptance scenario: a runaway query under a 50 ms deadline is
+   preempted mid-generation — inside the evaluator, not at a phase
+   boundary it never reaches — on both template dialects, in bounded
+   time, while a well-behaved request in the same batch completes. *)
+let test_midquery_deadline_preemption () =
+  let t = gov_svc ~domains:2 ~deadline:0.05 () in
+  let t0 = Unix.gettimeofday () in
+  let rs =
+    Service.run_batch t
+      [
+        req ~engine:`Xq ~id:"runaway-xq" runaway_xq_tpl;
+        req ~id:"ok" users_tpl;
+        req ~id:"runaway-host" runaway_host_tpl;
+      ]
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  check bool_t "preempted in bounded time" true (elapsed < 5.);
+  (match rs with
+  | [ rxq; rok; rhost ] ->
+    ignore (ok_exn rok);
+    List.iter
+      (fun (r : Service.response) ->
+        match r.Service.result with
+        | Error (Service.Deadline_exceeded { deadline_s; _ }) ->
+          check (Alcotest.float 1e-9) "deadline echoed" 0.05 deadline_s
+        | Error e ->
+          Alcotest.failf "%s: wrong error %s" r.Service.request_id
+            (Service.error_to_string e)
+        | Ok _ -> Alcotest.failf "%s: runaway completed?" r.Service.request_id)
+      [ rxq; rhost ]
+  | rs -> Alcotest.failf "expected 3 responses, got %d" (List.length rs));
+  check int_t "both counted as deadline failures" 2
+    (Service.counters t).Service.deadline_failures
+
+let test_transient_retry_recovers () =
+  (* transient_attempts = 2: the injected fault fires on attempts 0 and
+     1, so 2 retries recover the request. *)
+  let t = gov_svc ~retries:2 ~fault:(fault ~transient_rate:1.0 ~transient_attempts:2 ()) () in
+  ignore (ok_exn (Service.run t (req ~id:"flaky" users_tpl)));
+  let c = Service.counters t in
+  check int_t "two retries performed" 2 c.Service.retries;
+  check int_t "request succeeded" 1 c.Service.succeeded
+
+let test_transient_exhausts_retries () =
+  let t = gov_svc ~retries:1 ~fault:(fault ~transient_rate:1.0 ~transient_attempts:5 ()) () in
+  (match (Service.run t (req ~id:"doomed" users_tpl)).Service.result with
+  | Error (Service.Generation_failed { code; _ }) ->
+    check string_t "structured transient code" "transient" code
+  | Error e -> Alcotest.failf "wrong error: %s" (Service.error_to_string e)
+  | Ok _ -> Alcotest.fail "expected failure after retry budget");
+  check int_t "one retry performed" 1 (Service.counters t).Service.retries
+
+let xq_users_tpl = "<document><for nodes=\"type:User\"><li><label/></li></for></document>"
+
+let test_fast_fault_degrades_to_seed () =
+  let t = gov_svc ~fault:(fault ~fast_fault_rate:1.0 ()) () in
+  ignore (ok_exn (Service.run t (req ~engine:`Xq ~id:"fastfault" xq_users_tpl)));
+  let c = Service.counters t in
+  check int_t "one fallback to the seed evaluator" 1 c.Service.fast_fallbacks;
+  check int_t "request succeeded anyway" 1 c.Service.succeeded
+
+let test_injected_fuel_exhaustion () =
+  let t = gov_svc ~fault:(fault ~fuel_rate:1.0 ()) () in
+  (match (Service.run t (req ~engine:`Xq ~id:"starved" xq_users_tpl)).Service.result with
+  | Error (Service.Resource_exhausted { resource = Xquery.Errors.Fuel; _ }) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Service.error_to_string e)
+  | Ok _ -> Alcotest.fail "expected fuel exhaustion");
+  check int_t "counted as resource failure" 1 (Service.counters t).Service.resource_failures
+
+let test_injected_deadline_overrun () =
+  let t = gov_svc ~fault:(fault ~deadline_rate:1.0 ()) () in
+  (match (Service.run t (req ~id:"overrun" users_tpl)).Service.result with
+  | Error (Service.Deadline_exceeded _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Service.error_to_string e)
+  | Ok _ -> Alcotest.fail "expected deadline overrun");
+  check int_t "counted as deadline failure" 1 (Service.counters t).Service.deadline_failures
+
+(* Same seed, same faults: the injector must be schedule-independent. *)
+let test_fault_injection_deterministic () =
+  let outcome () =
+    let t = gov_svc ~retries:0 ~fault:(fault ~seed:7 ~transient_rate:0.5 ()) () in
+    List.map
+      (fun i ->
+        match
+          (Service.run t (req ~id:(Printf.sprintf "r%d" i) users_tpl)).Service.result
+        with
+        | Ok _ -> true
+        | Error _ -> false)
+      [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+  in
+  check (Alcotest.list bool_t) "same seed, same fault pattern" (outcome ()) (outcome ());
+  check bool_t "a 0.5 rate both fires and spares across 8 requests" true
+    (let o = outcome () in
+     List.mem true o && List.mem false o)
+
+let test_quarantine_trip_and_release () =
+  let t = gov_svc ~quarantine_after:2 ~cooldown:0.05 () in
+  let fail_once id =
+    match (Service.run t (req ~id failing_tpl)).Service.result with
+    | Error (Service.Generation_failed _) -> ()
+    | r ->
+      Alcotest.failf "%s: expected Generation_failed, got %s" id
+        (match r with Ok _ -> "Ok" | Error e -> Service.error_to_string e)
+  in
+  fail_once "f1";
+  fail_once "f2" (* second consecutive failure trips the breaker *);
+  (match (Service.run t (req ~id:"f3" failing_tpl)).Service.result with
+  | Error (Service.Quarantined { retry_after_s; _ }) ->
+    check bool_t "cooldown echoed" true (retry_after_s > 0.)
+  | r ->
+    Alcotest.failf "expected Quarantined, got %s"
+      (match r with Ok _ -> "Ok" | Error e -> Service.error_to_string e));
+  (* Other templates are untouched by the open breaker. *)
+  ignore (ok_exn (Service.run t (req ~id:"good" users_tpl)));
+  Unix.sleepf 0.06;
+  (* Past the cooldown the breaker closes and the template runs again. *)
+  fail_once "f4";
+  let c = Service.counters t in
+  check int_t "one trip" 1 c.Service.quarantine_trips;
+  check int_t "one rejection" 1 c.Service.quarantine_rejections;
+  check int_t "one release" 1 c.Service.quarantine_releases
+
+(* A quarantined template must not block other domains' work: a batch
+   mixing rejected and healthy requests completes with the healthy ones
+   untouched. *)
+let test_quarantine_isolated_across_domains () =
+  let t = gov_svc ~domains:4 ~quarantine_after:2 ~cooldown:30. () in
+  List.iter
+    (fun id -> ignore (Service.run t (req ~id failing_tpl)))
+    [ "trip1"; "trip2" ];
+  let rs =
+    Service.run_batch t
+      [
+        req ~id:"bad1" failing_tpl;
+        req ~id:"good1" users_tpl;
+        req ~id:"bad2" failing_tpl;
+        req ~engine:`Xq ~id:"good2"
+          "<document><for nodes=\"type:User\"><li><label/></li></for></document>";
+        req ~id:"bad3" failing_tpl;
+        req ~id:"good3" report_tpl;
+      ]
+  in
+  List.iter
+    (fun (r : Service.response) ->
+      let is_bad =
+        Astring.String.is_prefix ~affix:"bad" r.Service.request_id
+      in
+      match r.Service.result with
+      | Error (Service.Quarantined _) when is_bad -> ()
+      | Ok _ when not is_bad -> ()
+      | Ok _ -> Alcotest.failf "%s: quarantined template ran" r.Service.request_id
+      | Error e ->
+        Alcotest.failf "%s: %s" r.Service.request_id (Service.error_to_string e))
+    rs;
+  check int_t "three rejections" 3 (Service.counters t).Service.quarantine_rejections
 
 (* ------------------------------------------------------------------ *)
 (* The serial-vs-parallel oracle                                       *)
@@ -293,6 +497,25 @@ let suite =
         Alcotest.test_case "deadline expiry is typed" `Quick test_deadline_expiry_is_typed;
         Alcotest.test_case "config default deadline" `Quick test_default_deadline_from_config;
         Alcotest.test_case "batch isolates errors" `Quick test_error_isolation_in_batch;
+      ] );
+    ( "service.governance",
+      [
+        Alcotest.test_case "mid-query deadline preemption" `Quick
+          test_midquery_deadline_preemption;
+        Alcotest.test_case "transient retry recovers" `Quick test_transient_retry_recovers;
+        Alcotest.test_case "transient exhausts retries" `Quick
+          test_transient_exhausts_retries;
+        Alcotest.test_case "fast fault degrades to seed" `Quick
+          test_fast_fault_degrades_to_seed;
+        Alcotest.test_case "injected fuel exhaustion" `Quick test_injected_fuel_exhaustion;
+        Alcotest.test_case "injected deadline overrun" `Quick
+          test_injected_deadline_overrun;
+        Alcotest.test_case "fault injection is deterministic" `Quick
+          test_fault_injection_deterministic;
+        Alcotest.test_case "quarantine trips and releases" `Quick
+          test_quarantine_trip_and_release;
+        Alcotest.test_case "quarantine isolated across domains" `Quick
+          test_quarantine_isolated_across_domains;
       ] );
     ( "service.parallel",
       [
