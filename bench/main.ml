@@ -883,6 +883,232 @@ let gov () =
   end
 
 (* ---------------------------------------------------------------- *)
+(* OVERLOAD: the HTTP front end at 0.5x / 1x / 4x capacity           *)
+(* ---------------------------------------------------------------- *)
+
+(* The claim under test: explicit load shedding keeps goodput flat when
+   offered load is a multiple of capacity. An in-process server is
+   calibrated closed-loop (benign requests, saturated workers) to find
+   its capacity, then driven open-loop at 0.5x, 1x, and 4x with a seeded
+   90/10 benign/hostile template mix — hostile requests are runaway
+   generations that burn their 50 ms deadline before dying. Without the
+   bounded queue, 4x load would show up as unbounded queueing delay and
+   collapsing goodput; with it, the excess is refused at the door with
+   503s and the admitted requests keep finishing. Results land in
+   BENCH_server.json; past a tolerance, the 4x-vs-1x goodput ratio is a
+   CI failure. *)
+
+(* Benign work is deliberately non-trivial (a report with per-node
+   follow/distinct queries): server capacity must sit well below what
+   the bench's client threads can offer, or 4x load would be
+   unreachable. *)
+let overload_benign_tpl =
+  "<document><table-of-contents/><for nodes=\"start type(User); sort-by label\">\
+   <section><heading><label/></heading>\
+   <p><value-of query=\"start focus; follow uses; distinct; sort-by label\"/></p>\
+   </section></for></document>"
+
+let overload_hostile_tpl =
+  let rec go n =
+    if n = 0 then "<p><label/></p>"
+    else "<for nodes=\"start type(User); sort-by label\">" ^ go (n - 1) ^ "</for>"
+  in
+  "<document>" ^ go 12 ^ "</document>"
+
+(* A one-shot HTTP exchange; returns (status, latency_ms). Status 0
+   means the connection died unanswered. *)
+let overload_request ~port ~headers body =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let t0 = Clock.now () in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let data =
+        Printf.sprintf "POST /generate HTTP/1.1\r\nHost: bench\r\n%sContent-Length: %d\r\n\r\n%s"
+          (String.concat ""
+             (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) headers))
+          (String.length body) body
+      in
+      let bytes = Bytes.of_string data in
+      let rec send off =
+        if off < Bytes.length bytes then
+          send (off + Unix.write fd bytes off (Bytes.length bytes - off))
+      in
+      send 0;
+      let buf = Buffer.create 256 in
+      let chunk = Bytes.create 4096 in
+      let rec recv () =
+        let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+        if n > 0 then begin
+          Buffer.add_subbytes buf chunk 0 n;
+          recv ()
+        end
+      in
+      (try recv () with Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ());
+      let raw = Buffer.contents buf in
+      let status =
+        if String.length raw >= 12 then
+          Option.value ~default:0 (int_of_string_opt (String.sub raw 9 3))
+        else 0
+      in
+      (status, (Clock.now () -. t0) *. 1000.))
+
+let overload_percentile sorted p =
+  match sorted with
+  | [] -> 0.
+  | l -> List.nth l (min (List.length l - 1) (int_of_float (p *. float_of_int (List.length l))))
+
+let overload () =
+  section "OVERLOAD - HTTP front end: goodput under 0.5x / 1x / 4x offered load";
+  let svc = Service.create () in
+  let model = Awb.Synth.generate_of_size ~seed:33 (if quick then 400 else 700) in
+  let config =
+    {
+      Server.default_config with
+      Server.max_inflight = 2;
+      queue_cap = 16;
+      drain_deadline_s = 2.;
+      model = Some (Service.Model_value model);
+    }
+  in
+  let srv = Server.create ~config svc in
+  Server.start srv;
+  let port = Server.port srv in
+  Fun.protect ~finally:(fun () -> if not (Server.stopped srv) then Server.drain srv)
+  @@ fun () ->
+  (* Calibration: saturate the workers closed-loop with benign traffic
+     from as many client threads as there are workers, so capacity
+     reflects real parallel service rate (caches warm after the first
+     round). *)
+  let calibrate () =
+    ignore (overload_request ~port ~headers:[] overload_benign_tpl);
+    let per_thread = if quick then 15 else 40 in
+    let t0 = Clock.now () in
+    let threads =
+      List.init config.Server.max_inflight (fun _ ->
+          Thread.create
+            (fun () ->
+              for _ = 1 to per_thread do
+                ignore (overload_request ~port ~headers:[] overload_benign_tpl)
+              done)
+            ())
+    in
+    List.iter Thread.join threads;
+    float_of_int (config.Server.max_inflight * per_thread) /. (Clock.now () -. t0)
+  in
+  let capacity = calibrate () in
+  Printf.printf "  calibrated capacity: %.1f req/s (%d workers, queue %d)\n" capacity
+    config.Server.max_inflight config.Server.queue_cap;
+  (* One open-loop level: [nthreads] senders each fire on a fixed
+     schedule derived from the target rate; a sender that falls behind
+     (blocked on an admitted slow request) skips ahead rather than
+     bunching, so offered load stays honest. 10% of requests, chosen by
+     a seeded PRNG, are hostile runaways under a 50 ms deadline. *)
+  let drive ~label ~rate =
+    let duration_s = if quick then 1.5 else 4. in
+    (* Enough senders that even with every queue slot occupied (admitted
+       requests block their sender for queue-wait + service time) the
+       remainder can keep offering load — sheds return in microseconds,
+       so spare threads recycle fast. *)
+    let nthreads = 32 in
+    let interval = float_of_int nthreads /. rate in
+    let accepted_before = Server.Metrics.accepted (Server.metrics srv) in
+    let shed_before = Server.Metrics.shed (Server.metrics srv) in
+    let t_start = Clock.now () in
+    let t_end = t_start +. duration_s in
+    let results = Array.make nthreads [] in
+    let threads =
+      List.init nthreads (fun i ->
+          Thread.create
+            (fun () ->
+              let rng = Random.State.make [| 97; i |] in
+              let next = ref (t_start +. (float_of_int i *. interval /. float_of_int nthreads)) in
+              while !next < t_end do
+                let d = !next -. Clock.now () in
+                if d > 0. then Thread.delay d;
+                let hostile = Random.State.float rng 1.0 < 0.10 in
+                let status, lat_ms =
+                  if hostile then
+                    overload_request ~port
+                      ~headers:[ ("X-Deadline-Ms", "50") ]
+                      overload_hostile_tpl
+                  else overload_request ~port ~headers:[] overload_benign_tpl
+                in
+                results.(i) <- (hostile, status, lat_ms) :: results.(i);
+                let now = Clock.now () in
+                (* Skip missed slots instead of bunching them. *)
+                next := !next +. (Float.max 1. (Float.ceil ((now -. !next) /. interval)) *. interval)
+              done)
+            ())
+    in
+    List.iter Thread.join threads;
+    let elapsed = Clock.now () -. t_start in
+    let all = Array.to_list results |> List.concat in
+    let sent = List.length all in
+    let count f = List.length (List.filter f all) in
+    let ok = count (fun (_, s, _) -> s = 200) in
+    let shed = count (fun (_, s, _) -> s = 503) in
+    let hostile_died = count (fun (h, s, _) -> h && s = 504) in
+    let unanswered = count (fun (_, s, _) -> s = 0) in
+    let ok_lat =
+      List.filter_map (fun (_, s, l) -> if s = 200 then Some l else None) all
+      |> List.sort compare
+    in
+    let p50 = overload_percentile ok_lat 0.50 and p99 = overload_percentile ok_lat 0.99 in
+    let goodput = float_of_int ok /. elapsed in
+    let shed_frac = if sent = 0 then 0. else float_of_int shed /. float_of_int sent in
+    Printf.printf
+      "  %-5s offered %7.1f rps  sent %5d  ok %5d  shed %5d (%4.1f%%)  hostile-504 %4d  \
+       goodput %7.1f rps  p50 %6.1f ms  p99 %7.1f ms\n"
+      label rate sent ok shed (shed_frac *. 100.) hostile_died goodput p50 p99;
+    (* Client-observed statuses and server counters must agree on the
+       overload story. *)
+    assert (unanswered = 0);
+    assert (Server.Metrics.shed (Server.metrics srv) - shed_before >= shed);
+    ignore accepted_before;
+    (label, rate, sent, ok, shed, hostile_died, shed_frac, goodput, p50, p99)
+  in
+  let r_half = drive ~label:"0.5x" ~rate:(0.5 *. capacity) in
+  let r_one = drive ~label:"1x" ~rate:capacity in
+  let r_four = drive ~label:"4x" ~rate:(4. *. capacity) in
+  Server.drain srv;
+  let goodput_of (_, _, _, _, _, _, _, g, _, _) = g in
+  let ratio = goodput_of r_four /. Float.max 1e-9 (goodput_of r_one) in
+  Printf.printf "  4x/1x goodput ratio: %.2f (shed total %d, drained clean)\n" ratio
+    (Server.Metrics.shed (Server.metrics srv));
+  if json then begin
+    let oc = open_out "BENCH_server.json" in
+    Printf.fprintf oc
+      "{\n  \"bench\": \"overload\",\n  \"quick\": %b,\n  \"capacity_rps\": %.1f,\n\
+      \  \"goodput_ratio_4x_1x\": %.3f,\n  \"levels\": [\n" quick capacity ratio;
+    output_string oc
+      (String.concat ",\n"
+         (List.map
+            (fun (label, rate, sent, ok, shed, hostile_died, shed_frac, goodput, p50, p99) ->
+              Printf.sprintf
+                "    {\"level\": \"%s\", \"offered_rps\": %.1f, \"sent\": %d, \"ok\": %d, \
+                 \"shed\": %d, \"hostile_504\": %d, \"shed_fraction\": %.3f, \
+                 \"goodput_rps\": %.1f, \"p50_ms\": %.2f, \"p99_ms\": %.2f}"
+                label rate sent ok shed hostile_died shed_frac goodput p50 p99)
+            [ r_half; r_one; r_four ]));
+    output_string oc "\n  ]\n}\n";
+    close_out oc;
+    Printf.printf "  wrote BENCH_server.json\n"
+  end;
+  (* The resilience gate. Quick mode (CI smoke on shared runners) gets a
+     loose bound — the property being guarded is "no collapse", not the
+     exact ratio. *)
+  let floor = if quick then 0.5 else 0.9 in
+  if ratio < floor then begin
+    Printf.eprintf
+      "bench: goodput at 4x offered load is %.2fx the 1x goodput (floor %.2f) — \
+       shedding failed to protect capacity\n"
+      ratio floor;
+    exit 1
+  end
+
+(* ---------------------------------------------------------------- *)
 
 let experiments =
   [
@@ -897,6 +1123,7 @@ let experiments =
     ("e8", e8);
     ("e9", e9);
     ("gov", gov);
+    ("overload", overload);
     ("a1", a1);
     ("a2", a2);
     ("a3", a3);

@@ -1,11 +1,14 @@
 (* awbserve — drive the document-generation service over a directory of
-   template files.
+   template files, either as a one-shot batch (the default) or as an
+   overload-resilient HTTP server ([awbserve serve]).
 
    Examples:
      dune exec bin/awbserve.exe -- --templates examples/ --sample banking
      dune exec bin/awbserve.exe -- -T tpls/ --model m.xml --domains 4 --repeat 8 --stats
      dune exec bin/awbserve.exe -- -T tpls/ --sample glass --engine functional \
-       --deadline 250 --out generated/ *)
+       --deadline 250 --out generated/
+     dune exec bin/awbserve.exe -- serve --port 8080 --max-inflight 4 \
+       --queue-cap 64 --rate 50 --drain-deadline 5 *)
 
 open Cmdliner
 
@@ -37,12 +40,29 @@ let load_model sample model_file =
   | None, None -> Ok (Service.Model_value (Awb.Samples.banking_model ()))
   | Some _, Some _ -> Error "choose one of --sample or --model"
 
+let fail m =
+  prerr_endline ("awbserve: " ^ m);
+  exit 1
+
+let fault_config fault_seed crash_rate deadline_rate transient_rate =
+  match (fault_seed, crash_rate, deadline_rate, transient_rate) with
+  | None, 0., 0., 0. -> None
+  | seed, crash_rate, deadline_rate, transient_rate ->
+    Some
+      {
+        Service.Fault.none with
+        Service.Fault.seed = Option.value seed ~default:0;
+        crash_rate;
+        deadline_rate;
+        transient_rate;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Batch mode (the default command)                                    *)
+(* ------------------------------------------------------------------ *)
+
 let run templates_dir sample model_file engine domains repeat deadline_ms cache_capacity
-    fuel max_depth max_nodes retries quarantine_after out_dir stats =
-  let fail m =
-    prerr_endline ("awbserve: " ^ m);
-    exit 1
-  in
+    fuel max_depth max_nodes retries quarantine_after out_dir stats metrics =
   let engine =
     match Docgen.engine_of_string engine with Ok e -> e | Error m -> fail m
   in
@@ -81,9 +101,11 @@ let run templates_dir sample model_file engine domains repeat deadline_ms cache_
           templates)
       (List.init (max 1 repeat) (fun i -> i + 1))
   in
-  let t0 = Unix.gettimeofday () in
+  (* Monotonic clock: batch timing must not jump with NTP/wall-clock
+     adjustments. *)
+  let t0 = Clock.now () in
   let responses = Service.run_batch svc requests in
-  let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  let elapsed_ms = (Clock.now () -. t0) *. 1000. in
   (match out_dir with
   | None -> ()
   | Some dir ->
@@ -118,7 +140,71 @@ let run templates_dir sample model_file engine domains repeat deadline_ms cache_
     (List.length responses) (List.length ok) (List.length failed) elapsed_ms domains
     (if domains = 1 then "" else "s");
   if stats then Format.printf "%a@." Service.pp_counters (Service.counters svc);
+  if metrics then print_string (Service.counters_to_prometheus (Service.counters svc));
   if failed = [] then 0 else 1
+
+(* ------------------------------------------------------------------ *)
+(* Serve mode                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let serve host port max_inflight queue_cap rate burst deadline_ms drain_deadline
+    sample model_file engine cache_capacity fuel max_depth max_nodes retries
+    quarantine_after fault_seed crash_rate deadline_rate transient_rate =
+  let engine =
+    match Docgen.engine_of_string engine with Ok e -> e | Error m -> fail m
+  in
+  let model = match load_model sample model_file with Ok m -> m | Error m -> fail m in
+  let fault = fault_config fault_seed crash_rate deadline_rate transient_rate in
+  let svc =
+    Service.create
+      ~config:
+        {
+          Service.default_config with
+          Service.cache_capacity;
+          fuel;
+          max_depth;
+          max_nodes;
+          retries;
+          quarantine_after;
+          fault;
+        }
+      ()
+  in
+  let server =
+    Server.create
+      ~config:
+        {
+          Server.default_config with
+          Server.host;
+          port;
+          max_inflight;
+          queue_cap;
+          rate;
+          burst;
+          default_deadline_s = Option.map (fun ms -> ms /. 1000.) deadline_ms;
+          drain_deadline_s = drain_deadline;
+          default_engine = engine;
+          model = Some model;
+          fault;
+        }
+      svc
+  in
+  Server.install_sigterm server;
+  Server.start server;
+  Printf.printf "awbserve: listening on %s:%d (%d workers, queue %d%s)\n%!" host
+    (Server.port server) max_inflight queue_cap
+    (if rate > 0. then Printf.sprintf ", %.1f req/s per client" rate else "");
+  (* Blocks until SIGTERM (or a remote drain) completes; exit 0 is the
+     contract a process supervisor keys on. *)
+  Server.await server;
+  Printf.printf "awbserve: drained (%d in-flight completed, %d queued flushed)\n%!"
+    (Service.counters svc).Service.requests
+    (Server.Metrics.drained (Server.metrics server));
+  0
+
+(* ------------------------------------------------------------------ *)
+(* Terms                                                               *)
+(* ------------------------------------------------------------------ *)
 
 let templates_dir =
   Arg.(
@@ -199,13 +285,95 @@ let out_dir =
 
 let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print service counters.")
 
+let metrics =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print service counters in Prometheus text format after the batch.")
+
+(* serve-only flags *)
+
+let host =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"Bind address.")
+
+let port =
+  Arg.(
+    value & opt int 8080
+    & info [ "port" ] ~docv:"PORT" ~doc:"Listen port (0 picks an ephemeral port).")
+
+let max_inflight =
+  Arg.(
+    value & opt int Server.default_config.Server.max_inflight
+    & info [ "max-inflight" ] ~docv:"N" ~doc:"Worker domains executing requests.")
+
+let queue_cap =
+  Arg.(
+    value & opt int Server.default_config.Server.queue_cap
+    & info [ "queue-cap" ] ~docv:"N"
+        ~doc:"Admission queue capacity; requests beyond it are shed with 503.")
+
+let rate =
+  Arg.(
+    value & opt float 0.
+    & info [ "rate" ] ~docv:"R"
+        ~doc:"Per-client token-bucket refill, requests/second (0 disables).")
+
+let burst =
+  Arg.(
+    value & opt float Server.default_config.Server.burst
+    & info [ "burst" ] ~docv:"B" ~doc:"Per-client token-bucket size.")
+
+let drain_deadline =
+  Arg.(
+    value & opt float Server.default_config.Server.drain_deadline_s
+    & info [ "drain-deadline" ] ~docv:"S"
+        ~doc:"Seconds in-flight requests may run after SIGTERM before their \
+              evaluator deadlines are tightened to now.")
+
+let fault_seed =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fault-seed" ] ~docv:"SEED" ~doc:"Deterministic fault-injection seed.")
+
+let crash_rate =
+  Arg.(
+    value & opt float 0.
+    & info [ "fault-crash-rate" ] ~docv:"P"
+        ~doc:"Probability a request kills its worker domain (supervisor restarts it).")
+
+let deadline_rate =
+  Arg.(
+    value & opt float 0.
+    & info [ "fault-deadline-rate" ] ~docv:"P"
+        ~doc:"Probability a request's deadline is forced into the past.")
+
+let transient_rate =
+  Arg.(
+    value & opt float 0.
+    & info [ "fault-transient-rate" ] ~docv:"P"
+        ~doc:"Probability of a declared-transient failure (retried with backoff).")
+
+let batch_term =
+  Term.(
+    const run $ templates_dir $ sample $ model_file $ engine $ domains $ repeat
+    $ deadline_ms $ cache_capacity $ fuel $ max_depth $ max_nodes $ retries
+    $ quarantine_after $ out_dir $ stats $ metrics)
+
+let serve_cmd =
+  let doc = "serve document generation over HTTP with admission control and drain" in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const serve $ host $ port $ max_inflight $ queue_cap $ rate $ burst $ deadline_ms
+      $ drain_deadline $ sample $ model_file $ engine $ cache_capacity $ fuel
+      $ max_depth $ max_nodes $ retries $ quarantine_after $ fault_seed $ crash_rate
+      $ deadline_rate $ transient_rate)
+
 let cmd =
   let doc = "serve batches of document generations from AWB models" in
-  Cmd.v
-    (Cmd.info "awbserve" ~doc)
-    Term.(
-      const run $ templates_dir $ sample $ model_file $ engine $ domains $ repeat
-      $ deadline_ms $ cache_capacity $ fuel $ max_depth $ max_nodes $ retries
-      $ quarantine_after $ out_dir $ stats)
+  Cmd.group ~default:batch_term (Cmd.info "awbserve" ~doc) [ serve_cmd ]
 
 let () = exit (Cmd.eval' cmd)

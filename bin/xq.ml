@@ -55,10 +55,12 @@ let run_query expr file input galax typed no_optimize explain time fuel max_dept
     else
     (* Phase timings for --time: parse and optimize measured separately
        (Engine.compile fuses them), then execution. *)
+    (* Monotonic clock: phase timings must not jump with wall-clock
+       adjustments. *)
     let timed cell f =
-      let t0 = Unix.gettimeofday () in
+      let t0 = Clock.now () in
       let v = f () in
-      cell := Unix.gettimeofday () -. t0;
+      cell := Clock.now () -. t0;
       v
     in
     let parse_s = ref 0. and opt_s = ref 0. and eval_s = ref 0. in

@@ -1,0 +1,64 @@
+(* The bounded queue between the acceptor and the worker domains.
+
+   Plain mutex + condition variable: pushes are non-blocking (a full
+   queue is the caller's cue to shed), pops block. Closing wakes every
+   blocked popper; poppers drain the remaining items before seeing
+   None, so close alone never drops accepted work — drain uses [flush]
+   first when it wants the queued-but-unstarted requests back to answer
+   them 503. *)
+
+type 'a t = {
+  capacity : int;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  items : 'a Queue.t;
+  mutable is_closed : bool;
+}
+
+let create ~capacity =
+  {
+    capacity = max 1 capacity;
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    items = Queue.create ();
+    is_closed = false;
+  }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let push t x =
+  with_lock t (fun () ->
+      if t.is_closed || Queue.length t.items >= t.capacity then `Shed
+      else begin
+        Queue.add x t.items;
+        Condition.signal t.nonempty;
+        `Accepted
+      end)
+
+let pop t =
+  with_lock t (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty t.items) then Some (Queue.pop t.items)
+        else if t.is_closed then None
+        else begin
+          Condition.wait t.nonempty t.mutex;
+          wait ()
+        end
+      in
+      wait ())
+
+let close t =
+  with_lock t (fun () ->
+      t.is_closed <- true;
+      Condition.broadcast t.nonempty)
+
+let flush t =
+  with_lock t (fun () ->
+      let out = List.of_seq (Queue.to_seq t.items) in
+      Queue.clear t.items;
+      out)
+
+let depth t = with_lock t (fun () -> Queue.length t.items)
+let closed t = with_lock t (fun () -> t.is_closed)

@@ -1,0 +1,34 @@
+(** The bounded in-flight queue between the acceptor and the workers.
+
+    This is where load shedding becomes explicit: {!push} never blocks
+    and never grows the queue past its capacity — a full queue answers
+    [`Shed]` immediately and the acceptor turns that into
+    [503 + Retry-After]. Without the bound, overload shows up as
+    unbounded queueing delay (every request "accepted", none finishing
+    in time); with it, excess load is refused at the door and the
+    requests that are admitted see bounded latency. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity] is clamped to at least 1. *)
+
+val push : 'a t -> 'a -> [ `Accepted | `Shed ]
+(** Non-blocking. [`Shed] when the queue is at capacity or closed. *)
+
+val pop : 'a t -> 'a option
+(** Block until an item is available ([Some]) or the queue is closed and
+    empty ([None], the worker's signal to exit). *)
+
+val close : 'a t -> unit
+(** No further pushes are accepted; blocked and future {!pop}s drain
+    what remains, then return [None]. *)
+
+val flush : 'a t -> 'a list
+(** Atomically remove and return everything queued but not yet popped
+    (drain answers these with 503). Oldest first. *)
+
+val depth : 'a t -> int
+(** Current queue depth (gauge). *)
+
+val closed : 'a t -> bool

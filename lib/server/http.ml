@@ -1,0 +1,247 @@
+(* Minimal HTTP/1.1 over raw Unix file descriptors.
+
+   The server speaks a deliberately small dialect: one request per
+   connection, Content-Length bodies only (no chunked uploads), response
+   always Connection: close. What it is NOT casual about is hostile
+   input: headers and bodies have hard byte caps, reads honour the
+   socket's receive timeout (so a slow-loris sender is cut off by the
+   kernel, not waited on forever), and every malformed shape lands in
+   Bad_request rather than an exception salad. *)
+
+type request = {
+  meth : string;
+  path : string;
+  query : (string * string) list;
+  headers : (string * string) list;
+  body : string;
+}
+
+exception Bad_request of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad_request m)) fmt
+
+let header req name =
+  let name = String.lowercase_ascii name in
+  List.assoc_opt name req.headers
+
+let query_param req name = List.assoc_opt name req.query
+
+(* ------------------------------------------------------------------ *)
+(* Percent decoding                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let hex_val c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> bad "invalid percent escape"
+
+let percent_decode ?(plus_is_space = false) s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '%' when !i + 2 < n ->
+      Buffer.add_char b (Char.chr ((hex_val s.[!i + 1] * 16) + hex_val s.[!i + 2]));
+      i := !i + 2
+    | '%' -> bad "truncated percent escape"
+    | '+' when plus_is_space -> Buffer.add_char b ' '
+    | c -> Buffer.add_char b c);
+    incr i
+  done;
+  Buffer.contents b
+
+let parse_query s =
+  if s = "" then []
+  else
+    String.split_on_char '&' s
+    |> List.filter_map (fun kv ->
+           if kv = "" then None
+           else
+             match String.index_opt kv '=' with
+             | None -> Some (percent_decode ~plus_is_space:true kv, "")
+             | Some i ->
+               Some
+                 ( percent_decode ~plus_is_space:true (String.sub kv 0 i),
+                   percent_decode ~plus_is_space:true
+                     (String.sub kv (i + 1) (String.length kv - i - 1)) ))
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Pull bytes until the header terminator, never holding more than
+   [max_header_bytes] of headers. Returns (head, leftover-body-bytes) —
+   recv may overshoot into the body. *)
+let read_head ~max_header_bytes fd =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 2048 in
+  (* [scanned] is the prefix already known terminator-free; each pass
+     resumes a few bytes before it so a \r\n\r\n split across reads is
+     still found. *)
+  let scanned = ref 0 in
+  let rec loop () =
+    let s = Buffer.contents buf in
+    let n = String.length s in
+    let found = ref (-1) in
+    let i = ref (max 0 (!scanned - 3)) in
+    while !found < 0 && !i + 3 < n do
+      if s.[!i] = '\r' && s.[!i + 1] = '\n' && s.[!i + 2] = '\r' && s.[!i + 3] = '\n'
+      then found := !i
+      else incr i
+    done;
+    scanned := n;
+    if !found >= 0 then begin
+      let i = !found in
+      (* The cap applies to the head itself, found or not — but only to
+         the head: body bytes that rode along in the same read don't
+         count against it. *)
+      if i > max_header_bytes then bad "request head exceeds %d bytes" max_header_bytes;
+      Some (String.sub s 0 i, String.sub s (i + 4) (n - i - 4))
+    end
+    else begin
+      if n > max_header_bytes then bad "request head exceeds %d bytes" max_header_bytes;
+      let r = Unix.recv fd chunk 0 (Bytes.length chunk) [] in
+      if r = 0 then if n = 0 then None else bad "connection closed mid-headers"
+      else begin
+        Buffer.add_subbytes buf chunk 0 r;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let read_exact fd ~already ~len =
+  let b = Bytes.create len in
+  let have = min len (String.length already) in
+  Bytes.blit_string already 0 b 0 have;
+  let rec go off =
+    if off >= len then ()
+    else
+      let n = Unix.recv fd b off (len - off) [] in
+      if n = 0 then bad "connection closed mid-body" else go (off + n)
+  in
+  go have;
+  if String.length already > len then bad "bytes beyond declared Content-Length";
+  Bytes.to_string b
+
+let parse_request_line line =
+  match String.split_on_char ' ' line with
+  | [ meth; target; version ] ->
+    if version <> "HTTP/1.1" && version <> "HTTP/1.0" then
+      bad "unsupported version %s" version;
+    let path, query =
+      match String.index_opt target '?' with
+      | None -> (target, [])
+      | Some i ->
+        ( String.sub target 0 i,
+          parse_query (String.sub target (i + 1) (String.length target - i - 1)) )
+    in
+    (String.uppercase_ascii meth, percent_decode path, query)
+  | _ -> bad "malformed request line"
+
+let parse_header_line line =
+  match String.index_opt line ':' with
+  | None -> bad "malformed header line"
+  | Some i ->
+    ( String.lowercase_ascii (String.sub line 0 i),
+      String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+
+let read_request ?(max_header_bytes = 8192) ?(max_body_bytes = 4 * 1024 * 1024) fd =
+  match read_head ~max_header_bytes fd with
+  | None -> None
+  | Some (head, leftover) ->
+    let lines =
+      String.split_on_char '\n' head
+      |> List.map (fun l ->
+             let n = String.length l in
+             if n > 0 && l.[n - 1] = '\r' then String.sub l 0 (n - 1) else l)
+    in
+    (match lines with
+    | [] -> bad "empty request"
+    | request_line :: header_lines ->
+      let meth, path, query = parse_request_line request_line in
+      let headers =
+        List.filter_map
+          (fun l -> if l = "" then None else Some (parse_header_line l))
+          header_lines
+      in
+      if List.mem_assoc "transfer-encoding" headers then
+        bad "chunked request bodies are not supported";
+      let body =
+        match List.assoc_opt "content-length" headers with
+        | None ->
+          if leftover <> "" then bad "body bytes without Content-Length";
+          ""
+        | Some v -> (
+          match int_of_string_opt (String.trim v) with
+          | None -> bad "malformed Content-Length"
+          | Some len when len < 0 -> bad "malformed Content-Length"
+          | Some len when len > max_body_bytes ->
+            bad "body of %d bytes exceeds the %d-byte limit" len max_body_bytes
+          | Some len -> read_exact fd ~already:leftover ~len)
+      in
+      Some { meth; path; query; headers; body })
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let reason_phrase = function
+  | 200 -> "OK"
+  | 204 -> "No Content"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 413 -> "Payload Too Large"
+  | 422 -> "Unprocessable Entity"
+  | 429 -> "Too Many Requests"
+  | 500 -> "Internal Server Error"
+  | 501 -> "Not Implemented"
+  | 503 -> "Service Unavailable"
+  | 504 -> "Gateway Timeout"
+  | _ -> "Unknown"
+
+let write_response fd ~status ?(headers = []) ~body () =
+  let b = Buffer.create (String.length body + 256) in
+  Buffer.add_string b (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (reason_phrase status));
+  List.iter (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v)) headers;
+  Buffer.add_string b (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
+  Buffer.add_string b "Connection: close\r\n\r\n";
+  Buffer.add_string b body;
+  let bytes = Buffer.to_bytes b in
+  (* Best effort: the client may be gone, or too slow for the send
+     timeout. Either way the connection is about to close; there is
+     nobody to report the failure to. *)
+  let rec send off =
+    if off < Bytes.length bytes then
+      let n = Unix.write fd bytes off (Bytes.length bytes - off) in
+      if n > 0 then send (off + n)
+  in
+  try send 0 with Unix.Unix_error _ | Sys_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* JSON helpers                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let error_body ~code ~message ~request_id =
+  Printf.sprintf "{\"error\":{\"code\":\"%s\",\"message\":\"%s\"},\"request_id\":\"%s\"}\n"
+    (json_escape code) (json_escape message) (json_escape request_id)

@@ -1,0 +1,55 @@
+(** Minimal HTTP/1.1 on raw [Unix] file descriptors.
+
+    Just enough protocol for the front end — request line, headers, a
+    [Content-Length] body, and one response per connection (the server
+    always answers [Connection: close]) — with the robustness limits
+    that matter under hostile traffic: hard caps on header and body
+    size, and reads that honour the socket receive timeout so a
+    slow-loris client costs a bounded slice of the acceptor, never a
+    hung connection. *)
+
+type request = {
+  meth : string;  (** uppercased: ["GET"], ["POST"], ... *)
+  path : string;  (** the path component, percent-decoded *)
+  query : (string * string) list;  (** decoded query parameters, in order *)
+  headers : (string * string) list;  (** names lowercased, values trimmed *)
+  body : string;
+}
+
+exception Bad_request of string
+(** The bytes on the wire don't parse as an acceptable request (or blow
+    a size cap). The caller answers 400 (413 for body-cap trips are
+    folded in here too, with a message saying so). *)
+
+val header : request -> string -> string option
+(** Case-insensitive header lookup. *)
+
+val query_param : request -> string -> string option
+
+val read_request :
+  ?max_header_bytes:int -> ?max_body_bytes:int -> Unix.file_descr -> request option
+(** Read and parse one request. [None] on a clean EOF before any bytes
+    (client connected and left). Raises {!Bad_request} on malformed or
+    oversized input, and lets [Unix.Unix_error] from a receive timeout
+    propagate (the caller treats it as a dead client). Defaults:
+    8 KiB headers, 4 MiB body. *)
+
+val reason_phrase : int -> string
+
+val write_response :
+  Unix.file_descr ->
+  status:int ->
+  ?headers:(string * string) list ->
+  body:string ->
+  unit ->
+  unit
+(** Serialize one response with [Content-Length] and
+    [Connection: close], best-effort: write errors (client already gone)
+    are swallowed — there is nobody left to tell. *)
+
+val json_escape : string -> string
+(** Escape a string for inclusion inside a JSON string literal. *)
+
+val error_body : code:string -> message:string -> request_id:string -> string
+(** The structured JSON error document every non-2xx generation answer
+    carries: [{"error":{"code":...,"message":...},"request_id":...}]. *)

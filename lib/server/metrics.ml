@@ -1,0 +1,119 @@
+(* Server counters and the shed-rate window.
+
+   Counters are Atomic.t so the acceptor thread, every worker domain,
+   and the supervisor can bump them without a lock. The shed-rate
+   window is coarser machinery: admission outcomes (accepted vs shed)
+   are bucketed into fixed windows of [window_s]; the fraction reported
+   is from the most recently *completed* window, so the signal is a
+   stable number that flips /readyz rather than a per-request flicker.
+   The window state is tiny and mutated under its own mutex. *)
+
+type t = {
+  accepted : int Atomic.t;
+  shed : int Atomic.t;
+  rate_limited : int Atomic.t;
+  quarantine_429 : int Atomic.t;
+  drained : int Atomic.t;
+  worker_restarts : int Atomic.t;
+  bad_requests : int Atomic.t;
+  window_s : float;
+  wmutex : Mutex.t;
+  mutable wstart : float;  (* monotonic start of the current window *)
+  mutable wtotal : int;  (* admission decisions this window *)
+  mutable wshed : int;
+  mutable prev_fraction : float;  (* shed fraction of the last full window *)
+}
+
+let create ?(window_s = 2.) () =
+  {
+    accepted = Atomic.make 0;
+    shed = Atomic.make 0;
+    rate_limited = Atomic.make 0;
+    quarantine_429 = Atomic.make 0;
+    drained = Atomic.make 0;
+    worker_restarts = Atomic.make 0;
+    bad_requests = Atomic.make 0;
+    window_s;
+    wmutex = Mutex.create ();
+    wstart = Clock.now ();
+    wtotal = 0;
+    wshed = 0;
+    prev_fraction = 0.;
+  }
+
+let with_window t f =
+  Mutex.lock t.wmutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.wmutex) f
+
+(* Roll the window forward if it has expired. A gap with no decisions
+   at all decays the reported fraction to zero — silence is health. *)
+let roll t ~now =
+  if now -. t.wstart >= t.window_s then begin
+    t.prev_fraction <-
+      (if now -. t.wstart >= 2. *. t.window_s then 0.
+       else if t.wtotal = 0 then 0.
+       else float_of_int t.wshed /. float_of_int t.wtotal);
+    t.wstart <- now;
+    t.wtotal <- 0;
+    t.wshed <- 0
+  end
+
+let note_decision t ~shed =
+  let now = Clock.now () in
+  with_window t (fun () ->
+      roll t ~now;
+      t.wtotal <- t.wtotal + 1;
+      if shed then t.wshed <- t.wshed + 1)
+
+let incr_accepted t =
+  Atomic.incr t.accepted;
+  note_decision t ~shed:false
+
+let incr_shed t =
+  Atomic.incr t.shed;
+  note_decision t ~shed:true
+
+let incr_rate_limited t = Atomic.incr t.rate_limited
+let incr_quarantine_429 t = Atomic.incr t.quarantine_429
+let incr_drained t = Atomic.incr t.drained
+let incr_worker_restarts t = Atomic.incr t.worker_restarts
+let incr_bad_requests t = Atomic.incr t.bad_requests
+
+let accepted t = Atomic.get t.accepted
+let shed t = Atomic.get t.shed
+let rate_limited t = Atomic.get t.rate_limited
+let quarantine_429 t = Atomic.get t.quarantine_429
+let drained t = Atomic.get t.drained
+let worker_restarts t = Atomic.get t.worker_restarts
+let bad_requests t = Atomic.get t.bad_requests
+
+let shed_fraction t ~now = with_window t (fun () -> roll t ~now; t.prev_fraction)
+
+let to_prometheus t ~queue_depth ~inflight ~ready =
+  let b = Buffer.create 2048 in
+  let sample ?(typ = "counter") name help value =
+    Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name help);
+    Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name typ);
+    Buffer.add_string b (Printf.sprintf "%s %d\n" name value)
+  in
+  sample "lopsided_server_accepted_total" "Requests admitted to the in-flight queue."
+    (accepted t);
+  sample "lopsided_server_shed_total" "Requests answered 503 because the queue was full."
+    (shed t);
+  sample "lopsided_server_rate_limited_total"
+    "Requests answered 429 by the per-client token bucket." (rate_limited t);
+  sample "lopsided_server_quarantined_total"
+    "Requests answered 429 at admission because their template was quarantined."
+    (quarantine_429 t);
+  sample "lopsided_server_drained_total"
+    "Queued requests flushed with 503 during graceful drain." (drained t);
+  sample "lopsided_server_worker_restarts_total"
+    "Worker domains restarted by the supervisor after a crash." (worker_restarts t);
+  sample "lopsided_server_bad_requests_total" "Requests rejected by the HTTP parser."
+    (bad_requests t);
+  sample ~typ:"gauge" "lopsided_server_queue_depth" "Requests queued but not yet started."
+    queue_depth;
+  sample ~typ:"gauge" "lopsided_server_inflight" "Requests currently being generated."
+    inflight;
+  sample ~typ:"gauge" "lopsided_server_ready" "1 when /readyz answers 200." (if ready then 1 else 0);
+  Buffer.contents b

@@ -1,0 +1,55 @@
+(** Server-side counters: what the front end did with traffic before
+    (or instead of) handing it to the service.
+
+    All counters are atomics — the acceptor, the workers, and the
+    supervisor all write concurrently. The shed-rate window feeds the
+    readiness endpoint: when the fraction of admission decisions that
+    were sheds crosses a threshold over the last window, [/readyz]
+    reports not-ready so a load balancer steers new traffic away while
+    the instance digests its queue. *)
+
+type t
+
+val create : ?window_s:float -> unit -> t
+(** [window_s] is the shed-rate observation window (default 2 s). *)
+
+(** {1 Counters} *)
+
+(** [incr_accepted] — requests admitted to the queue. *)
+val incr_accepted : t -> unit
+
+(** [incr_shed] — 503s for a full queue (or drain flush). *)
+val incr_shed : t -> unit
+
+(** [incr_rate_limited] — 429s from the token bucket. *)
+val incr_rate_limited : t -> unit
+
+(** [incr_quarantine_429] — 429s from the admission-time breaker check. *)
+val incr_quarantine_429 : t -> unit
+
+(** [incr_drained] — queued requests flushed with 503 during drain. *)
+val incr_drained : t -> unit
+
+val incr_worker_restarts : t -> unit
+
+(** [incr_bad_requests] — 400s from the parser. *)
+val incr_bad_requests : t -> unit
+
+val accepted : t -> int
+val shed : t -> int
+val rate_limited : t -> int
+val quarantine_429 : t -> int
+val drained : t -> int
+val worker_restarts : t -> int
+val bad_requests : t -> int
+
+(** {1 Shed-rate window} *)
+
+val shed_fraction : t -> now:float -> float
+(** Fraction of admission decisions in the most recent completed window
+    that were sheds; 0 when the window saw no decisions. *)
+
+val to_prometheus : t -> queue_depth:int -> inflight:int -> ready:bool -> string
+(** Prometheus text exposition of every server counter plus the
+    [queue_depth] and [inflight] gauges and the readiness flag, named
+    [lopsided_server_*]. *)

@@ -1,0 +1,536 @@
+(* The HTTP front end: admission control first, work second.
+
+   Thread/domain layout:
+
+     acceptor (systhread) — accept, parse, admit. Everything that can
+       be answered without generation work (health, readiness, metrics,
+       rate-limit 429s, quarantine 429s, queue-full 503s) is answered
+       right here and the connection closed. Admitted jobs go into the
+       bounded queue.
+     workers (OCaml domains, max_inflight of them) — pop, generate via
+       Service.run, answer. A worker that dies (the injected Crash
+       fault, or a genuine bug) is noticed and replaced by the
+       supervisor; the process survives.
+     supervisor (systhread) — polls worker slots, joins finished
+       domains, respawns crashed ones, counts restarts.
+
+   Overload never queues invisibly: the queue has a hard capacity and
+   everything beyond it is refused with 503 + Retry-After the moment it
+   arrives. Sheds are cheap (no parse of the template, no worker, no
+   service call), which is what keeps goodput flat when offered load is
+   a multiple of capacity.
+
+   Graceful drain (SIGTERM or Server.drain): flip readiness, refuse new
+   work, 503 the queued-but-unstarted, tighten every in-flight
+   evaluation's deadline through Service.preempt_inflight so overruns
+   die with a structured resource:deadline, then join everything and
+   close the listener. *)
+
+module Fault = Service.Fault
+
+type config = {
+  host : string;
+  port : int;
+  max_inflight : int;
+  queue_cap : int;
+  rate : float;
+  burst : float;
+  default_deadline_s : float option;
+  drain_deadline_s : float;
+  shed_unready_threshold : float;
+  io_timeout_s : float;
+  max_body_bytes : int;
+  default_engine : Docgen.engine;
+  model : Service.model_source option;
+  fault : Fault.config option;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    max_inflight = 4;
+    queue_cap = 64;
+    rate = 0.;
+    burst = 8.;
+    default_deadline_s = None;
+    drain_deadline_s = 5.;
+    shed_unready_threshold = 0.9;
+    io_timeout_s = 2.;
+    max_body_bytes = 4 * 1024 * 1024;
+    default_engine = `Host;
+    model = None;
+    fault = None;
+  }
+
+type job = {
+  jfd : Unix.file_descr;
+  jreq : Http.request;
+  jid : string;
+  jarrival : float; (* Clock.now at admission; queue wait counts against the deadline *)
+}
+
+(* One worker domain's lifecycle, owned by the supervisor. [finished]
+   is the worker's last write before its domain terminates; [crashed]
+   distinguishes a death from a clean queue-closed exit; [retired] is
+   set by the supervisor once the domain is joined and no replacement
+   was spawned. *)
+type slot = {
+  mutable domain : unit Domain.t option;
+  finished : bool Atomic.t;
+  crashed : bool Atomic.t;
+  retired : bool Atomic.t;
+}
+
+type t = {
+  config : config;
+  svc : Service.t;
+  model : Service.model_source;
+  metrics : Metrics.t;
+  bucket : Token_bucket.t;
+  queue : job Admission.t;
+  busy : int Atomic.t; (* jobs a worker is currently handling *)
+  reqno : int Atomic.t;
+  sigterm : bool Atomic.t;
+  drain_started : bool Atomic.t;
+  is_draining : bool Atomic.t;
+  drain_deadline_ns : int Atomic.t; (* 0 = not draining *)
+  stop_accept : bool Atomic.t;
+  stop_supervisor : bool Atomic.t;
+  is_stopped : bool Atomic.t;
+  slots : slot array;
+  mutable listen_fd : Unix.file_descr option;
+  mutable actual_port : int;
+  mutable acceptor : Thread.t option;
+  mutable supervisor : Thread.t option;
+}
+
+let create ?(config = default_config) svc =
+  {
+    config;
+    svc;
+    model =
+      (match config.model with
+      | Some m -> m
+      | None -> Service.Model_value (Awb.Samples.banking_model ()));
+    metrics = Metrics.create ();
+    bucket = Token_bucket.create ~rate:config.rate ~burst:config.burst;
+    queue = Admission.create ~capacity:config.queue_cap;
+    busy = Atomic.make 0;
+    reqno = Atomic.make 0;
+    sigterm = Atomic.make false;
+    drain_started = Atomic.make false;
+    is_draining = Atomic.make false;
+    drain_deadline_ns = Atomic.make 0;
+    stop_accept = Atomic.make false;
+    stop_supervisor = Atomic.make false;
+    is_stopped = Atomic.make false;
+    slots =
+      Array.init (max 1 config.max_inflight) (fun _ ->
+          {
+            domain = None;
+            finished = Atomic.make false;
+            crashed = Atomic.make false;
+            retired = Atomic.make false;
+          });
+    listen_fd = None;
+    actual_port = 0;
+    acceptor = None;
+    supervisor = None;
+  }
+
+let config t = t.config
+let port t = t.actual_port
+let draining t = Atomic.get t.is_draining
+let stopped t = Atomic.get t.is_stopped
+let metrics t = t.metrics
+let service t = t.svc
+let queue_depth t = Admission.depth t.queue
+let inflight t = Atomic.get t.busy
+
+let ready t =
+  (not (Atomic.get t.is_draining))
+  && (not (Atomic.get t.is_stopped))
+  && Metrics.shed_fraction t.metrics ~now:(Clock.now ())
+     < t.config.shed_unready_threshold
+
+let metrics_body t =
+  Service.counters_to_prometheus (Service.counters t.svc)
+  ^ Metrics.to_prometheus t.metrics ~queue_depth:(queue_depth t) ~inflight:(inflight t)
+      ~ready:(ready t)
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let respond_error fd ~request_id ~status ?(headers = []) ~code ~message () =
+  Http.write_response fd ~status
+    ~headers:(("Content-Type", "application/json") :: headers)
+    ~body:(Http.error_body ~code ~message ~request_id)
+    ()
+
+let retry_after s = [ ("Retry-After", string_of_int (max 1 (int_of_float (Float.ceil s)))) ]
+
+(* The Service error taxonomy, mapped onto HTTP. Resource trips keep
+   their resource:* code in the JSON body so a client can tell a fuel
+   trip from a deadline from a quarantine without parsing prose. *)
+let http_of_error (e : Service.error) =
+  match e with
+  | Service.Template_error m -> (400, "bad-template", m, [])
+  | Service.Model_error m -> (400, "bad-model", m, [])
+  | Service.Generation_failed { code; message; location } ->
+    let message = if location = "" then message else message ^ " at " ^ location in
+    (422, (if code = "" then "generation-failed" else code), message, [])
+  | Service.Resource_exhausted { resource; message } ->
+    (422, Xquery.Errors.resource_code resource, message, [])
+  | Service.Deadline_exceeded { elapsed_s; deadline_s } ->
+    ( 504,
+      "resource:deadline",
+      Printf.sprintf "deadline exceeded: %.1f ms elapsed against a %.1f ms budget"
+        (elapsed_s *. 1000.) (deadline_s *. 1000.),
+      [] )
+  | Service.Quarantined { template; retry_after_s } ->
+    ( 429,
+      "quarantined",
+      Printf.sprintf "template %s is quarantined" template,
+      retry_after retry_after_s )
+  | Service.Internal_error m -> (500, "internal", m, [])
+
+(* ------------------------------------------------------------------ *)
+(* Workers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let parse_deadline_ms req =
+  match Http.header req "x-deadline-ms" with
+  | None -> Ok None
+  | Some v -> (
+    match float_of_string_opt (String.trim v) with
+    | Some ms when ms > 0. -> Ok (Some (ms /. 1000.))
+    | _ -> Error "malformed X-Deadline-Ms header")
+
+let parse_engine t req =
+  let name =
+    match (Http.query_param req "engine", Http.header req "x-engine") with
+    | Some q, _ -> Some q
+    | None, h -> h
+  in
+  match name with
+  | None -> Ok t.config.default_engine
+  | Some n -> Docgen.engine_of_string n
+
+(* Serve one admitted job. Always closes the connection; catches its own
+   failures into a 500. The one exception deliberately let through is
+   Fault.Crashed — that is the injected worker death the supervisor
+   test needs to be real. *)
+let handle_job t (job : job) =
+  (match t.config.fault with
+  | Some f when Fault.fires f Fault.Crash ~key:job.jid ~attempt:0 ->
+    close_quiet job.jfd;
+    raise (Fault.Crashed ("injected worker crash on " ^ job.jid))
+  | _ -> ());
+  Fun.protect
+    ~finally:(fun () -> close_quiet job.jfd)
+    (fun () ->
+      try
+        let fd = job.jfd in
+        match (parse_deadline_ms job.jreq, parse_engine t job.jreq) with
+        | Error m, _ | _, Error m ->
+          respond_error fd ~request_id:job.jid ~status:400 ~code:"bad-request" ~message:m ()
+        | Ok client_deadline, Ok engine -> (
+          (* The deadline the client asked for covers queue wait: a
+             request that spent its whole budget queued answers 504
+             without burning a generation. Drain tightens further. *)
+          let deadline =
+            let base =
+              match client_deadline with
+              | Some _ as d -> d
+              | None -> t.config.default_deadline_s
+            in
+            let base =
+              Option.map (fun d -> d -. (Clock.now () -. job.jarrival)) base
+            in
+            let drain_ns = Atomic.get t.drain_deadline_ns in
+            if drain_ns = 0 then base
+            else
+              let remaining = Clock.s_of_ns (drain_ns - Clock.now_ns ()) in
+              Some (match base with None -> remaining | Some d -> Float.min d remaining)
+          in
+          match deadline with
+          | Some d when d <= 0. ->
+            respond_error fd ~request_id:job.jid ~status:504 ~code:"resource:deadline"
+              ~message:"deadline expired while queued" ()
+          | _ -> (
+            let sreq =
+              Service.request ~engine ?deadline ~id:job.jid
+                ~template:(Service.Template_xml job.jreq.Http.body) ~model:t.model ()
+            in
+            let resp = Service.run t.svc sreq in
+            match resp.Service.result with
+            | Ok out ->
+              let headers =
+                ("Content-Type", "application/xml")
+                :: ("X-Engine", Docgen.engine_name out.Service.engine_used)
+                ::
+                (match out.Service.problems with
+                | [] -> []
+                | ps -> [ ("X-Problems", string_of_int (List.length ps)) ])
+              in
+              Http.write_response fd ~status:200 ~headers ~body:out.Service.document ()
+            | Error e ->
+              let status, code, message, headers = http_of_error e in
+              respond_error fd ~request_id:job.jid ~status ~headers ~code ~message ()))
+      with
+      | Fault.Crashed _ as e -> raise e
+      | e ->
+        respond_error job.jfd ~request_id:job.jid ~status:500 ~code:"internal"
+          ~message:(Printexc.to_string e) ())
+
+let rec worker_loop t =
+  match Admission.pop t.queue with
+  | None -> ()
+  | Some job ->
+    Atomic.incr t.busy;
+    let result =
+      try
+        handle_job t job;
+        None
+      with e -> Some e
+    in
+    Atomic.decr t.busy;
+    (match result with
+    | None -> ()
+    | Some (Fault.Crashed _ as e) -> raise e
+    | Some _ -> () (* handle_job already answered 500; keep serving *));
+    worker_loop t
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let spawn_worker t slot =
+  Atomic.set slot.finished false;
+  Atomic.set slot.crashed false;
+  Atomic.set slot.retired false;
+  slot.domain <-
+    Some
+      (Domain.spawn (fun () ->
+           (try worker_loop t with _ -> Atomic.set slot.crashed true);
+           Atomic.set slot.finished true))
+
+(* Poll the slots: join domains that have terminated, respawn crashed
+   ones (unless the queue is closed — drain wants workers gone). The
+   finished flag is the worker's last write, so Domain.join here returns
+   promptly. *)
+let supervisor_loop t =
+  let all_retired () = Array.for_all (fun s -> Atomic.get s.retired) t.slots in
+  while not ((Atomic.get t.stop_supervisor && all_retired ()) || (Admission.closed t.queue && all_retired ()))
+  do
+    Thread.delay 0.01;
+    Array.iter
+      (fun slot ->
+        match slot.domain with
+        | Some d when Atomic.get slot.finished ->
+          Domain.join d;
+          slot.domain <- None;
+          if Atomic.get slot.crashed && not (Admission.closed t.queue) then begin
+            Metrics.incr_worker_restarts t.metrics;
+            spawn_worker t slot
+          end
+          else Atomic.set slot.retired true
+        | _ -> ())
+      t.slots
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Admission and routing (the acceptor)                                *)
+(* ------------------------------------------------------------------ *)
+
+let peer_key = function
+  | Unix.ADDR_INET (addr, _) -> Unix.string_of_inet_addr addr
+  | Unix.ADDR_UNIX path -> path
+
+let fresh_id t req =
+  match Http.header req "x-request-id" with
+  | Some id when id <> "" -> id
+  | _ -> Printf.sprintf "r%d" (Atomic.fetch_and_add t.reqno 1)
+
+let route t fd peer (req : Http.request) =
+  match (req.Http.meth, req.Http.path) with
+  | "GET", "/healthz" ->
+    (* Liveness: answers 200 as long as the process serves at all,
+       including during drain. *)
+    Http.write_response fd ~status:200
+      ~headers:[ ("Content-Type", "text/plain") ]
+      ~body:"ok\n" ();
+    close_quiet fd
+  | "GET", "/readyz" ->
+    let is_ready = ready t in
+    Http.write_response fd
+      ~status:(if is_ready then 200 else 503)
+      ~headers:[ ("Content-Type", "text/plain") ]
+      ~body:(if is_ready then "ready\n" else if draining t then "draining\n" else "shedding\n")
+      ();
+    close_quiet fd
+  | "GET", "/metrics" ->
+    Http.write_response fd ~status:200
+      ~headers:[ ("Content-Type", "text/plain; version=0.0.4") ]
+      ~body:(metrics_body t) ();
+    close_quiet fd
+  | "POST", "/generate" ->
+    let id = fresh_id t req in
+    if Atomic.get t.is_draining then begin
+      Metrics.incr_shed t.metrics;
+      respond_error fd ~request_id:id ~status:503 ~headers:(retry_after 1.)
+        ~code:"draining" ~message:"server is draining" ();
+      close_quiet fd
+    end
+    else if not (Token_bucket.admit t.bucket ~key:peer ~now:(Clock.now ())) then begin
+      Metrics.incr_rate_limited t.metrics;
+      respond_error fd ~request_id:id ~status:429
+        ~headers:(retry_after (Token_bucket.retry_after_s t.bucket))
+        ~code:"rate-limited"
+        ~message:(Printf.sprintf "client %s exceeds %.1f requests/s" peer t.config.rate)
+        ();
+      close_quiet fd
+    end
+    else begin
+      match Service.quarantine_remaining t.svc ~template_xml:req.Http.body with
+      | Some remaining ->
+        (* Admission-time breaker check: the known-bad template never
+           costs a queue slot or a worker. *)
+        Metrics.incr_quarantine_429 t.metrics;
+        respond_error fd ~request_id:id ~status:429 ~headers:(retry_after remaining)
+          ~code:"quarantined"
+          ~message:
+            (Printf.sprintf "template is quarantined for another %.1f s" remaining)
+          ();
+        close_quiet fd
+      | None -> (
+        match
+          Admission.push t.queue { jfd = fd; jreq = req; jid = id; jarrival = Clock.now () }
+        with
+        | `Accepted -> Metrics.incr_accepted t.metrics
+        | `Shed ->
+          Metrics.incr_shed t.metrics;
+          respond_error fd ~request_id:id ~status:503 ~headers:(retry_after 1.)
+            ~code:"overloaded"
+            ~message:
+              (Printf.sprintf "admission queue full (%d waiting)" t.config.queue_cap)
+            ();
+          close_quiet fd)
+    end
+  | _, "/healthz" | _, "/readyz" | _, "/metrics" ->
+    Http.write_response fd ~status:405 ~body:"" ();
+    close_quiet fd
+  | _, "/generate" ->
+    Http.write_response fd ~status:405 ~headers:[ ("Allow", "POST") ] ~body:"" ();
+    close_quiet fd
+  | _ ->
+    respond_error fd ~request_id:"-" ~status:404 ~code:"not-found"
+      ~message:(req.Http.meth ^ " " ^ req.Http.path) ();
+    close_quiet fd
+
+let handle_conn t fd addr =
+  match
+    Http.read_request ~max_body_bytes:t.config.max_body_bytes fd
+  with
+  | exception Http.Bad_request m ->
+    Metrics.incr_bad_requests t.metrics;
+    respond_error fd ~request_id:"-" ~status:400 ~code:"bad-request" ~message:m ();
+    close_quiet fd
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _) ->
+    (* The receive timeout fired: a slow-loris or dead client. Cut it
+       off with a clean 408 rather than leaving the connection hung. *)
+    Metrics.incr_bad_requests t.metrics;
+    Http.write_response fd ~status:408 ~body:"" ();
+    close_quiet fd
+  | exception Unix.Unix_error _ -> close_quiet fd
+  | None -> close_quiet fd
+  | Some req -> route t fd (peer_key addr) req
+
+(* Trigger-once drain used by both SIGTERM and the public drain. *)
+let rec drain_now t =
+  if Atomic.compare_and_set t.drain_started false true then begin
+    Atomic.set t.is_draining true;
+    let deadline_ns = Clock.now_ns () + Clock.ns_of_s t.config.drain_deadline_s in
+    Atomic.set t.drain_deadline_ns deadline_ns;
+    (* Everything queued but unstarted is refused now — the client gets
+       a crisp 503 instead of a response that would arrive after the
+       process is gone. *)
+    let pending = Admission.flush t.queue in
+    List.iter
+      (fun job ->
+        Metrics.incr_drained t.metrics;
+        respond_error job.jfd ~request_id:job.jid ~status:503 ~headers:(retry_after 1.)
+          ~code:"draining" ~message:"server is draining; request was not started" ();
+        close_quiet job.jfd)
+      pending;
+    Admission.close t.queue;
+    (* In-flight work gets the drain window, enforced by the evaluator
+       itself: overruns die with resource:deadline, answered as 504. *)
+    ignore (Service.preempt_inflight t.svc ~deadline_ns);
+    (* Workers exit once the (closed) queue is empty; the supervisor
+       joins and retires them, then exits itself. *)
+    (match t.supervisor with Some th -> Thread.join th | None -> ());
+    Atomic.set t.stop_supervisor true;
+    Atomic.set t.stop_accept true;
+    (match t.acceptor with Some th -> Thread.join th | None -> ());
+    (match t.listen_fd with
+    | Some fd ->
+      t.listen_fd <- None;
+      close_quiet fd
+    | None -> ());
+    Atomic.set t.is_stopped true
+  end
+  else await t
+
+and await t = while not (Atomic.get t.is_stopped) do Thread.delay 0.01 done
+
+let drain = drain_now
+
+let accept_loop t fd =
+  while not (Atomic.get t.stop_accept) do
+    if Atomic.get t.sigterm && not (Atomic.get t.drain_started) then
+      (* Drain on its own thread so the acceptor keeps answering
+         health checks and shedding /generate while in-flight work
+         finishes. *)
+      ignore (Thread.create (fun () -> drain_now t) ());
+    match Unix.accept ~cloexec:true fd with
+    | exception
+        Unix.Unix_error
+          ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT | Unix.EINTR), _, _) ->
+      ()
+    | exception Unix.Unix_error _ -> if Atomic.get t.stop_accept then () else Thread.delay 0.01
+    | conn, addr ->
+      (try
+         Unix.setsockopt_float conn Unix.SO_RCVTIMEO t.config.io_timeout_s;
+         Unix.setsockopt_float conn Unix.SO_SNDTIMEO t.config.io_timeout_s
+       with Unix.Unix_error _ -> ());
+      handle_conn t conn addr
+  done
+
+let start t =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string t.config.host, t.config.port));
+  Unix.listen fd 128;
+  (* The accept timeout doubles as the poll interval for the stop and
+     SIGTERM flags. *)
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.05 with Unix.Unix_error _ -> ());
+  (match Unix.getsockname fd with
+  | Unix.ADDR_INET (_, p) -> t.actual_port <- p
+  | _ -> ());
+  t.listen_fd <- Some fd;
+  Array.iter (fun slot -> spawn_worker t slot) t.slots;
+  t.supervisor <- Some (Thread.create (fun () -> supervisor_loop t) ());
+  t.acceptor <- Some (Thread.create (fun () -> accept_loop t fd) ())
+
+let install_sigterm t =
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> Atomic.set t.sigterm true))
+
+module Http = Http
+module Token_bucket = Token_bucket
+module Admission = Admission
+module Metrics = Metrics

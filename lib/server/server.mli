@@ -1,0 +1,103 @@
+(** The overload-resilient HTTP/1.1 front end over the {!Service} layer.
+
+    Dependency-free: plain [Unix] sockets, OCaml domains for workers,
+    one acceptor thread. Overload behaviour is the design center, not an
+    afterthought:
+
+    - {b Admission control.} Every [POST /generate] passes a per-client
+      token bucket (429 + [Retry-After] when a peer floods), then an
+      admission-time quarantine check (429 without costing a worker when
+      the template's circuit breaker is open), then a fixed-capacity
+      queue. A full queue answers [503 + Retry-After] immediately —
+      latency for admitted requests stays bounded instead of collapsing
+      for everyone.
+    - {b Governance end-to-end.} The [X-Deadline-Ms] header (or the
+      configured default) becomes the evaluator's own deadline, covering
+      queue wait; resource errors come back as structured JSON bodies
+      carrying the [resource:*] code (422/504).
+    - {b Lifecycle.} [SIGTERM] (or {!drain}) stops admitting, answers
+      queued requests 503, tightens every in-flight evaluation's
+      deadline to the drain deadline via {!Service.preempt_inflight},
+      and exits cleanly. A crashed worker domain is restarted by the
+      supervisor ([worker_restarts] counter) instead of taking the
+      process down. [/healthz] is liveness; [/readyz] flips during drain
+      and when the windowed shed rate crosses a threshold; [/metrics] is
+      Prometheus text. *)
+
+module Http = Http
+module Token_bucket = Token_bucket
+module Admission = Admission
+module Metrics = Metrics
+
+type config = {
+  host : string;  (** bind address, default ["127.0.0.1"] *)
+  port : int;  (** 0 picks an ephemeral port (see {!port}) *)
+  max_inflight : int;  (** worker domains executing requests *)
+  queue_cap : int;  (** admission queue capacity; beyond it, shed *)
+  rate : float;  (** per-peer token-bucket refill, requests/s; 0 disables *)
+  burst : float;  (** per-peer bucket size *)
+  default_deadline_s : float option;
+      (** generation deadline when the client sends no [X-Deadline-Ms] *)
+  drain_deadline_s : float;
+      (** how long {!drain} lets in-flight requests finish before their
+          deadlines are tightened to "now" *)
+  shed_unready_threshold : float;
+      (** [/readyz] flips to 503 when the shed fraction over the metrics
+          window reaches this *)
+  io_timeout_s : float;  (** socket receive/send timeout per connection *)
+  max_body_bytes : int;
+  default_engine : Docgen.engine;
+  model : Service.model_source option;
+      (** the model requests generate against; [None] = banking sample *)
+  fault : Service.Fault.config option;
+      (** server-side fault injection; only the [Crash] kind is read
+          here (the service's own config covers the rest) *)
+}
+
+val default_config : config
+(** Loopback, ephemeral port, 4 workers, queue 64, rate limiting off,
+    no default deadline, 5 s drain, readyz threshold 0.9, 2 s socket
+    timeouts, 4 MiB bodies, host engine, banking model, no faults. *)
+
+type t
+
+val create : ?config:config -> Service.t -> t
+val config : t -> config
+
+val start : t -> unit
+(** Bind, listen, spawn the workers, the supervisor, and the acceptor;
+    returns once the server is accepting. *)
+
+val port : t -> int
+(** The bound port (useful with [port = 0]). *)
+
+val ready : t -> bool
+(** What [/readyz] reports: not draining, shed rate under threshold. *)
+
+val draining : t -> bool
+
+val drain : t -> unit
+(** Graceful drain: stop admitting work (readyz flips immediately),
+    answer everything queued-but-unstarted with 503, let in-flight
+    requests run up to [drain_deadline_s] (their evaluator deadlines are
+    tightened, so overruns die with a structured [resource:deadline]),
+    then stop every thread and close the listener. Idempotent; blocks
+    until the server is fully stopped. *)
+
+val stopped : t -> bool
+
+val await : t -> unit
+(** Block until the server has fully stopped (i.e. a drain completed). *)
+
+val install_sigterm : t -> unit
+(** Route [SIGTERM] to {!drain}: the handler sets a flag, the acceptor
+    notices within its poll interval and drains on a separate thread.
+    Call at most once per process; the handler owns the signal. *)
+
+val metrics : t -> Metrics.t
+val service : t -> Service.t
+val queue_depth : t -> int
+val inflight : t -> int
+
+val metrics_body : t -> string
+(** The full [/metrics] payload: service exposition + server exposition. *)

@@ -1,0 +1,71 @@
+(* Token buckets per peer address.
+
+   The accept loop asks [admit] once per /generate request. Buckets are
+   small mutable records in one hashtable behind a mutex — admission is
+   a handful of float ops, contention is only ever the accept loop vs a
+   test thread. A hostile or misconfigured swarm of distinct addresses
+   can't balloon the table: every [prune_every] admissions, buckets that
+   have been idle long enough to refill completely (i.e., whose state is
+   indistinguishable from a fresh bucket) are dropped. *)
+
+type bucket = { mutable tokens : float; mutable last : float }
+
+type t = {
+  rate : float;
+  burst : float;
+  mutex : Mutex.t;
+  buckets : (string, bucket) Hashtbl.t;
+  mutable admissions : int; (* admit calls since the last prune *)
+}
+
+let prune_every = 1024
+
+let create ~rate ~burst =
+  { rate; burst = Float.max burst 1.; mutex = Mutex.create (); buckets = Hashtbl.create 64; admissions = 0 }
+
+let prune_locked t ~now =
+  let idle_cutoff = t.burst /. t.rate in
+  let dead =
+    Hashtbl.fold
+      (fun key b acc -> if now -. b.last >= idle_cutoff then key :: acc else acc)
+      t.buckets []
+  in
+  List.iter (Hashtbl.remove t.buckets) dead
+
+let admit t ~key ~now =
+  if t.rate <= 0. then true
+  else begin
+    Mutex.lock t.mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.mutex)
+      (fun () ->
+        t.admissions <- t.admissions + 1;
+        if t.admissions >= prune_every then begin
+          t.admissions <- 0;
+          prune_locked t ~now
+        end;
+        let b =
+          match Hashtbl.find_opt t.buckets key with
+          | Some b ->
+            b.tokens <- Float.min t.burst (b.tokens +. ((now -. b.last) *. t.rate));
+            b.last <- now;
+            b
+          | None ->
+            let b = { tokens = t.burst; last = now } in
+            Hashtbl.add t.buckets key b;
+            b
+        in
+        if b.tokens >= 1. then begin
+          b.tokens <- b.tokens -. 1.;
+          true
+        end
+        else false)
+  end
+
+let retry_after_s t = if t.rate <= 0. then 0. else Float.max 0.001 (1. /. t.rate)
+
+let size t =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () -> Hashtbl.length t.buckets)

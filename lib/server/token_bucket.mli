@@ -1,0 +1,25 @@
+(** Per-client token-bucket rate limiting, keyed by peer address.
+
+    Each key owns a bucket holding up to [burst] tokens that refills at
+    [rate] tokens/second; admitting a request spends one token. An empty
+    bucket means the caller answers 429 and the request never costs a
+    queue slot. The table self-prunes: buckets idle long enough to have
+    refilled completely are dropped, so address churn can't grow memory
+    without bound. *)
+
+type t
+
+val create : rate:float -> burst:float -> t
+(** [rate <= 0.] disables limiting — {!admit} always answers [true]. *)
+
+val admit : t -> key:string -> now:float -> bool
+(** Spend one token from [key]'s bucket if one is available. [now] is
+    monotonic seconds ({!Clock.now}); passing it in keeps the bucket
+    testable without sleeping. *)
+
+val retry_after_s : t -> float
+(** How long until an empty bucket holds a whole token again — the
+    [Retry-After] value for a 429. *)
+
+val size : t -> int
+(** Live buckets (post-prune); exposed for tests. *)

@@ -16,13 +16,14 @@
    fast-path internal faults — are raised directly, as the exceptions
    below. *)
 
-type kind = Deadline | Fuel | Transient | Fast_path
+type kind = Deadline | Fuel | Transient | Fast_path | Crash
 
 let kind_name = function
   | Deadline -> "deadline"
   | Fuel -> "fuel"
   | Transient -> "transient"
   | Fast_path -> "fast-path"
+  | Crash -> "crash"
 
 type config = {
   seed : int;
@@ -31,6 +32,7 @@ type config = {
   transient_rate : float;
   transient_attempts : int;
   fast_fault_rate : float;
+  crash_rate : float;
 }
 
 let none =
@@ -41,26 +43,32 @@ let none =
     transient_rate = 0.;
     transient_attempts = 2;
     fast_fault_rate = 0.;
+    crash_rate = 0.;
   }
 
 exception Transient of string
 exception Fast_path_fault of string
+exception Crashed of string
 
 let rate config = function
   | Deadline -> config.deadline_rate
   | Fuel -> config.fuel_rate
   | Transient -> config.transient_rate
   | Fast_path -> config.fast_fault_rate
+  | Crash -> config.crash_rate
 
-(* 28 bits of the digest as a uniform draw in [0, 1). *)
-let draw config kind ~key ~attempt =
+(* 28 bits of a digest as a uniform draw in [0, 1). *)
+let uniform ~seed ~tag ~key ~attempt =
   let h =
-    Digest.to_hex
-      (Digest.string
-         (Printf.sprintf "%d|%s|%s|%d" config.seed (kind_name kind) key attempt))
+    Digest.to_hex (Digest.string (Printf.sprintf "%d|%s|%s|%d" seed tag key attempt))
   in
   float_of_int (int_of_string ("0x" ^ String.sub h 0 7)) /. float_of_int 0x10000000
+
+let draw config kind ~key ~attempt =
+  uniform ~seed:config.seed ~tag:(kind_name kind) ~key ~attempt
 
 let fires config kind ~key ~attempt =
   let r = rate config kind in
   if r <= 0. then false else r >= 1. || draw config kind ~key ~attempt < r
+
+let jitter ~seed ~key ~attempt = uniform ~seed ~tag:"jitter" ~key ~attempt

@@ -15,6 +15,9 @@ type kind =
                    [transient_attempts] tries) *)
   | Fast_path  (** an internal fault in the fast evaluator; the service
                    degrades to the seed evaluator *)
+  | Crash  (** kill the worker handling the request (HTTP server layer:
+               the exception escapes the handler and takes the worker
+               domain down; the supervisor restarts it) *)
 
 type config = {
   seed : int;  (** replay seed; same seed, same faults *)
@@ -25,6 +28,7 @@ type config = {
       (** attempts on which a selected transient keeps firing; the next
           attempt succeeds, so [retries >= transient_attempts] recovers *)
   fast_fault_rate : float;
+  crash_rate : float;
 }
 
 val none : config
@@ -39,8 +43,18 @@ exception Fast_path_fault of string
 (** An internal fast-evaluator fault; the service re-runs the attempt on
     the seed evaluator. *)
 
+exception Crashed of string
+(** A simulated worker crash. Deliberately NOT handled by the service's
+    request isolation: the server layer lets it escape so the worker
+    domain genuinely dies and the supervisor path is exercised. *)
+
 val fires : config -> kind -> key:string -> attempt:int -> bool
 (** Whether this fault fires for (key, attempt) — deterministic in the
     config seed. *)
+
+val jitter : seed:int -> key:string -> attempt:int -> float
+(** A deterministic uniform draw in [0, 1) for retry-backoff jitter:
+    pure in (seed, key, attempt), independent of the {!fires} streams,
+    so seeded governance tests replay byte-identically. *)
 
 val kind_name : kind -> string

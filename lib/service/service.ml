@@ -121,6 +121,7 @@ type config = {
   max_nodes : int option; (* constructed-node budget per attempt *)
   retries : int; (* extra attempts for declared-transient failures *)
   backoff_s : float; (* base of the exponential retry backoff *)
+  backoff_cap_s : float; (* ceiling of one backoff sleep, jitter included *)
   quarantine_after : int; (* consecutive failures that trip the breaker; 0 disables *)
   quarantine_cooldown_s : float; (* how long a tripped template stays out *)
   fault : Fault.config option; (* deterministic fault injection; None in production *)
@@ -136,6 +137,7 @@ let default_config =
     max_nodes = None;
     retries = 2;
     backoff_s = 0.001;
+    backoff_cap_s = 0.25;
     quarantine_after = 0;
     quarantine_cooldown_s = 30.;
     fault = None;
@@ -191,6 +193,11 @@ type t = {
   models : Awb.Model.t Lru.t;
   queries : Xquery.Engine.compiled Lru.t;
   quarantine : (string, breaker) Hashtbl.t;
+  inflight : (int, Xquery.Context.limits) Hashtbl.t;
+      (* the limits record of every generation attempt currently running,
+         keyed by a fresh token; lets [preempt_inflight] (the server's
+         graceful drain) tighten deadlines on work already in progress *)
+  mutable inflight_next : int;
   mutable requests : int;
   mutable succeeded : int;
   mutable failed : int;
@@ -217,6 +224,8 @@ let create ?(config = default_config) () =
     models = Lru.create ~capacity:config.cache_capacity;
     queries = Lru.create ~capacity:config.cache_capacity;
     quarantine = Hashtbl.create 16;
+    inflight = Hashtbl.create 16;
+    inflight_next = 0;
     requests = 0;
     succeeded = 0;
     failed = 0;
@@ -385,6 +394,25 @@ let quarantine_check t key =
             end
           | _ -> ())
 
+(* Front-end pre-check: how long an XML template's breaker stays open,
+   without running anything. Lets the HTTP server answer 429 at
+   admission time, before the request ever costs a queue slot or a
+   worker. A rejection here is counted like one from the normal path. *)
+let quarantine_remaining t ~template_xml =
+  if t.config.quarantine_after <= 0 then None
+  else
+    let key = digest template_xml in
+    with_lock t (fun () ->
+        match Hashtbl.find_opt t.quarantine key with
+        | Some b when b.streak >= t.config.quarantine_after ->
+          let remaining = b.until -. now () in
+          if remaining > 0. then begin
+            t.quarantine_rejections <- t.quarantine_rejections + 1;
+            Some remaining
+          end
+          else None
+        | _ -> None)
+
 (* Generation-phase failures advance the breaker; a success closes it.
    Input-side failures (bad template XML, bad model) don't count — they
    never reach generation, so they say nothing about the template's
@@ -456,19 +484,18 @@ let execute t ~t0 (req : request) : response * timings =
   in
   (* Fresh budgets per attempt — a retry must not inherit the fuel its
      predecessor burned. The deadline stays absolute across attempts:
-     the caller's patience does not reset with ours. *)
+     the caller's patience does not reset with ours. Always a concrete
+     record (unlimited fields when unconfigured): every attempt is
+     registered in the in-flight table so [preempt_inflight] can reach
+     it, budgets or not. *)
   let limits_for () =
     let deadline_ns =
       if inj_deadline then Some (Clock.now_ns ()) (* already behind us *)
       else Option.map (fun d -> int_of_float ((t0 +. d) *. 1e9)) deadline
     in
     let fuel = if inj_fuel then Some 64 else t.config.fuel in
-    match (fuel, t.config.max_depth, t.config.max_nodes, deadline_ns) with
-    | None, None, None, None -> None
-    | _ ->
-      Some
-        (Xquery.Context.make_limits ?fuel ?max_depth:t.config.max_depth
-           ?max_nodes:t.config.max_nodes ?deadline_ns ())
+    Xquery.Context.make_limits ?fuel ?max_depth:t.config.max_depth
+      ?max_nodes:t.config.max_nodes ?deadline_ns ()
   in
   let qkey = quarantine_key req.template in
   let tpl_s = ref 0. and model_s = ref 0. and gen_s = ref 0. and ser_s = ref 0. in
@@ -502,13 +529,23 @@ let execute t ~t0 (req : request) : response * timings =
           (fun () ->
             let run_once ~fast_eval =
               let limits = limits_for () in
-              match req.engine with
-              | `Xq ->
-                Docgen.Xq_engine.generate_spec ?backend:req.backend ~compiled:(xq_core t)
-                  ?limits ?fast_eval model ~template
-              | (`Host | `Functional) as engine ->
-                Docgen.generate ?backend:req.backend ~engine ?limits ?fast_eval model
-                  ~template
+              let token =
+                with_lock t (fun () ->
+                    let id = t.inflight_next in
+                    t.inflight_next <- id + 1;
+                    Hashtbl.replace t.inflight id limits;
+                    id)
+              in
+              Fun.protect
+                ~finally:(fun () -> with_lock t (fun () -> Hashtbl.remove t.inflight token))
+                (fun () ->
+                  match req.engine with
+                  | `Xq ->
+                    Docgen.Xq_engine.generate_spec ?backend:req.backend
+                      ~compiled:(xq_core t) ~limits ?fast_eval model ~template
+                  | (`Host | `Functional) as engine ->
+                    Docgen.generate ?backend:req.backend ~engine ~limits ?fast_eval model
+                      ~template)
             in
             (* The attempt loop: transient failures retry with
                exponential backoff (bounded by config.retries); a fast-
@@ -530,7 +567,21 @@ let execute t ~t0 (req : request) : response * timings =
                 raise (Fail (Generation_failed { code; message; location = "" }))
               | exception Fault.Transient _ when n < t.config.retries ->
                 with_lock t (fun () -> t.retries <- t.retries + 1);
-                Unix.sleepf (t.config.backoff_s *. (2. ** float_of_int n));
+                (* Capped exponential backoff with decorrelated jitter.
+                   Pure exponential backoff synchronizes: every request
+                   that failed in the same burst retries at the same
+                   instant and the herd thunders again. The jitter draw
+                   is a pure function of (fault seed, request id,
+                   attempt), so different requests desynchronize while a
+                   seeded governance test still replays byte-for-byte. *)
+                let ceiling = Float.min t.config.backoff_cap_s
+                    (t.config.backoff_s *. (2. ** float_of_int n))
+                in
+                let seed =
+                  match t.config.fault with Some f -> f.Fault.seed | None -> 0
+                in
+                let u = Fault.jitter ~seed ~key:req.id ~attempt:n in
+                Unix.sleepf (ceiling *. (0.5 +. (0.5 *. u)));
                 attempt (n + 1) ~on_seed
               | exception Fault.Transient msg ->
                 raise
@@ -648,6 +699,31 @@ let run_batch ?domains t (reqs : request list) : response list =
   List.map fst pairs
 
 (* ------------------------------------------------------------------ *)
+(* Drain hook                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Tighten every in-flight generation's deadline to at most
+   [deadline_ns]. The write is a plain int store into a limits record a
+   worker domain is reading: the evaluator's slow check (every ~1k
+   steps) picks it up, so the evaluation trips resource:deadline within
+   one check interval and surfaces as a structured Deadline_exceeded.
+   This is the server's graceful-drain abort path; it never cancels
+   anything outright, it only moves the moment the evaluator's own
+   governance preempts the work. *)
+let preempt_inflight t ~deadline_ns =
+  with_lock t (fun () ->
+      Hashtbl.fold
+        (fun _ (l : Xquery.Context.limits) n ->
+          if l.Xquery.Context.deadline_ns > deadline_ns then begin
+            l.Xquery.Context.deadline_ns <- deadline_ns;
+            n + 1
+          end
+          else n)
+        t.inflight 0)
+
+let inflight_count t = with_lock t (fun () -> Hashtbl.length t.inflight)
+
+(* ------------------------------------------------------------------ *)
 (* Counters                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -710,6 +786,68 @@ let reset_counters t =
       t.totals.acc_model_s <- 0.;
       t.totals.acc_generate_s <- 0.;
       t.totals.acc_serialize_s <- 0.)
+
+(* Prometheus text exposition (version 0.0.4): "# HELP", "# TYPE", then
+   one sample per line. Shared by the HTTP server's /metrics endpoint
+   and awbserve --metrics; test_server scrapes and re-parses every line
+   it emits. *)
+let counters_to_prometheus (c : counters) =
+  let b = Buffer.create 4096 in
+  let sample ?(typ = "counter") name help value =
+    Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name help);
+    Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name typ);
+    Buffer.add_string b (Printf.sprintf "%s %s\n" name value)
+  in
+  let int_sample name help v = sample name help (string_of_int v) in
+  let seconds name help v = sample name help (Printf.sprintf "%.6f" v) in
+  int_sample "lopsided_service_requests_total" "Requests the service has finished." c.requests;
+  int_sample "lopsided_service_succeeded_total" "Requests that produced a document." c.succeeded;
+  int_sample "lopsided_service_failed_total" "Requests that ended in an error." c.failed;
+  int_sample "lopsided_service_deadline_failures_total"
+    "Requests preempted by their deadline." c.deadline_failures;
+  int_sample "lopsided_service_resource_failures_total"
+    "Requests stopped by a non-deadline resource budget." c.resource_failures;
+  int_sample "lopsided_service_retries_total" "Transient-failure retries performed."
+    c.retries;
+  int_sample "lopsided_service_fast_fallbacks_total"
+    "Fast-evaluator faults degraded to the seed evaluator." c.fast_fallbacks;
+  int_sample "lopsided_service_quarantine_trips_total" "Template circuit breakers opened."
+    c.quarantine_trips;
+  int_sample "lopsided_service_quarantine_rejections_total"
+    "Requests refused while a breaker was open." c.quarantine_rejections;
+  int_sample "lopsided_service_quarantine_releases_total"
+    "Breakers closed again after cooldown." c.quarantine_releases;
+  int_sample "lopsided_service_batches_total" "Batches served." c.batches;
+  int_sample "lopsided_service_steals_total" "Work-stealing steals across batches." c.steals;
+  int_sample "lopsided_service_template_cache_hits_total" "Template cache hits."
+    c.template_hits;
+  int_sample "lopsided_service_template_cache_misses_total" "Template cache misses."
+    c.template_misses;
+  int_sample "lopsided_service_model_cache_hits_total" "Model cache hits." c.model_hits;
+  int_sample "lopsided_service_model_cache_misses_total" "Model cache misses."
+    c.model_misses;
+  int_sample "lopsided_service_query_cache_hits_total" "Compiled-query cache hits."
+    c.query_hits;
+  int_sample "lopsided_service_query_cache_misses_total" "Compiled-query cache misses."
+    c.query_misses;
+  int_sample "lopsided_service_cache_evictions_total" "Evictions summed over the caches."
+    c.evictions;
+  int_sample "lopsided_service_opt_lets_eliminated_total" "Optimizer: lets eliminated."
+    c.opt_lets_eliminated;
+  int_sample "lopsided_service_opt_constants_folded_total" "Optimizer: constants folded."
+    c.opt_constants_folded;
+  int_sample "lopsided_service_opt_count_rewrites_total"
+    "Optimizer: count comparisons rewritten." c.opt_count_rewrites;
+  int_sample "lopsided_service_opt_paths_hoisted_total"
+    "Optimizer: loop-invariant paths hoisted." c.opt_paths_hoisted;
+  seconds "lopsided_service_template_seconds_total" "Time spent parsing templates."
+    c.template_s;
+  seconds "lopsided_service_model_seconds_total" "Time spent importing models." c.model_s;
+  seconds "lopsided_service_generate_seconds_total" "Time spent generating documents."
+    c.generate_s;
+  seconds "lopsided_service_serialize_seconds_total" "Time spent serializing documents."
+    c.serialize_s;
+  Buffer.contents b
 
 let pp_counters fmt (c : counters) =
   Format.fprintf fmt

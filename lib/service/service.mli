@@ -110,8 +110,11 @@ type config = {
   max_nodes : int option;  (** constructed-node budget per attempt *)
   retries : int;  (** extra attempts for declared-transient failures *)
   backoff_s : float;
-      (** base of the exponential backoff between retries:
-          [backoff_s * 2^attempt] seconds *)
+      (** base of the exponential backoff between retries; one sleep is
+          [min (backoff_s * 2^attempt) backoff_cap_s], scaled by a
+          deterministic decorrelated jitter in [0.5, 1] so bursts of
+          failures don't retry in lockstep *)
+  backoff_cap_s : float;  (** ceiling of a single backoff sleep, seconds *)
   quarantine_after : int;
       (** consecutive generation failures that open a template's circuit
           breaker; 0 disables quarantine *)
@@ -123,8 +126,8 @@ type config = {
 
 val default_config : config
 (** Domains 1, cache capacity 128, no deadline, unlimited budgets,
-    2 retries with 1 ms base backoff, quarantine disabled, no fault
-    injection. *)
+    2 retries with 1 ms base backoff capped at 250 ms, quarantine
+    disabled, no fault injection. *)
 
 type t
 
@@ -143,6 +146,32 @@ val run_batch : ?domains:int -> t -> request list -> response list
 val compile_query : t -> string -> (Xquery.Engine.compiled, string) result
 (** Compile an XQuery program through the artifact cache: repeated
     compilations of the same source are served from memory. *)
+
+(** {1 Drain hook}
+
+    Every generation attempt registers its {!Xquery.Context.limits}
+    record while it runs. A draining front end (the HTTP server on
+    SIGTERM) uses {!preempt_inflight} to tighten all of their deadlines
+    at once: each running evaluation then trips [resource:deadline] at
+    its next amortized check and surfaces a structured
+    {!error.Deadline_exceeded}, instead of being killed mid-mutation. *)
+
+val preempt_inflight : t -> deadline_ns:int -> int
+(** Tighten every in-flight evaluation's deadline to at most
+    [deadline_ns] (absolute, {!Clock.now_ns} scale). Returns how many
+    evaluations were tightened; already-tighter deadlines are left
+    alone. *)
+
+val inflight_count : t -> int
+(** Generation attempts currently running (gauge). *)
+
+val quarantine_remaining : t -> template_xml:string -> float option
+(** [Some seconds] while [template_xml]'s circuit breaker is open — the
+    remaining cooldown — or [None] when the template may run. A [Some]
+    answer counts as a quarantine rejection, like the in-request check:
+    the HTTP front end uses this to answer [429] at admission time
+    without spending a queue slot or a worker on a known-bad template.
+    Does not close an expired breaker (the next real request does). *)
 
 (** {1 Introspection} *)
 
@@ -183,3 +212,10 @@ val counters : t -> counters
 val reset_counters : t -> unit
 val clear_caches : t -> unit
 val pp_counters : Format.formatter -> counters -> unit
+
+val counters_to_prometheus : counters -> string
+(** Prometheus text exposition (format 0.0.4) of every counter: a
+    [# HELP] line, a [# TYPE] line, and one sample per metric, named
+    [lopsided_service_*]. Served by the HTTP server's [/metrics] (which
+    appends its own [lopsided_server_*] family) and printed by
+    [awbserve --metrics]. *)

@@ -46,7 +46,14 @@ type limits = {
   max_depth : int;
   mutable nodes : int; (* nodes charged so far *)
   max_nodes : int;
-  deadline_ns : int; (* absolute monotonic deadline, Clock.now_ns scale *)
+  mutable deadline_ns : int;
+      (* absolute monotonic deadline, Clock.now_ns scale. Mutable so an
+         embedder (the HTTP server's graceful drain) can tighten it on a
+         running evaluation from another domain; the slow check reads it
+         every ~1k steps, so a cross-domain write lands within one check
+         interval. Plain-int writes don't tear under the OCaml memory
+         model, and monotonic tightening means a stale read only delays
+         the trip by one interval. *)
 }
 
 let check_interval = 1024

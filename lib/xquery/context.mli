@@ -38,7 +38,11 @@ type limits = {
   max_depth : int;
   mutable nodes : int;  (** nodes charged so far *)
   max_nodes : int;
-  deadline_ns : int;  (** absolute monotonic deadline, {!Clock.now_ns} scale *)
+  mutable deadline_ns : int;
+      (** absolute monotonic deadline, {!Clock.now_ns} scale; mutable so
+          an embedder can tighten a running evaluation's deadline (the
+          server's graceful drain) — writes are picked up at the next
+          slow check, within ~1k steps *)
 }
 
 val make_limits :

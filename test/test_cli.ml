@@ -124,7 +124,8 @@ let test_awbserve () =
   let r =
     run_cli
       (Printf.sprintf
-         "../bin/awbserve.exe -T %s --sample banking --repeat 2 --domains 2 --stats"
+         "../bin/awbserve.exe -T %s --sample banking --repeat 2 --domains 2 --stats \
+          --metrics"
          (Filename.quote dir))
   in
   Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
@@ -134,7 +135,9 @@ let test_awbserve () =
   check int_t "exit" 1 r.code;
   check bool_t "good template ok" true (Astring.String.is_infix ~affix:"ok   users.1" r.out);
   check bool_t "bad template isolated" true (Astring.String.is_infix ~affix:"FAIL broken.2" r.out);
-  check bool_t "cache counters shown" true (Astring.String.is_infix ~affix:"template cache" r.out)
+  check bool_t "cache counters shown" true (Astring.String.is_infix ~affix:"template cache" r.out);
+  check bool_t "prometheus metrics shown" true
+    (Astring.String.is_infix ~affix:"lopsided_service_requests_total" r.out)
 
 let test_xqsh_scripted () =
   skip_unless_available ();

@@ -1,0 +1,599 @@
+(* The HTTP front end: parser hostility, admission-control units (token
+   bucket, bounded queue), the Prometheus expositions, and loopback
+   end-to-end coverage of the overload and lifecycle paths — shed 503s,
+   rate-limit and quarantine 429s, deadline 504s, graceful drain (flush
+   queued, finish in-flight, flip /readyz), SIGTERM, and a supervisor
+   restart after an injected worker crash. *)
+
+let check = Alcotest.check
+let string_t = Alcotest.string
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let users_tpl =
+  "<document><ol><for nodes=\"start type(User); sort-by label\"><li><label/></li></for></ol>\
+   </document>"
+
+let failing_tpl =
+  "<document><for nodes=\"start type(Document); sort-by label\">\
+   <p><required-property name=\"version\"/></p></for></document>"
+
+(* Generation would run for hours unpreempted; with a deadline it is a
+   request of a controllable duration. *)
+let runaway_tpl =
+  let rec go n =
+    if n = 0 then "<p><label/></p>"
+    else "<for nodes=\"start type(User); sort-by label\">" ^ go (n - 1) ^ "</for>"
+  in
+  "<document>" ^ go 12 ^ "</document>"
+
+(* ------------------------------------------------------------------ *)
+(* A tiny HTTP client (blocking, one request per connection)           *)
+(* ------------------------------------------------------------------ *)
+
+type reply = { status : int; rheaders : (string * string) list; rbody : string }
+
+(* status 0 = the server closed the connection without answering (the
+   worker-crash path). *)
+let parse_reply raw =
+  if raw = "" then { status = 0; rheaders = []; rbody = "" }
+  else
+    match Astring.String.cut ~sep:"\r\n\r\n" raw with
+    | None -> Alcotest.failf "unterminated response head: %S" raw
+    | Some (head, body) -> (
+      match String.split_on_char '\r' head |> List.map (fun l -> Astring.String.trim l) with
+      | status_line :: header_lines ->
+        let status =
+          try int_of_string (String.sub status_line 9 3)
+          with _ -> Alcotest.failf "bad status line: %S" status_line
+        in
+        let rheaders =
+          List.filter_map
+            (fun l ->
+              match Astring.String.cut ~sep:":" l with
+              | Some (k, v) ->
+                Some (String.lowercase_ascii (String.trim k), String.trim v)
+              | None -> None)
+            header_lines
+        in
+        { status; rheaders; rbody = body }
+      | [] -> Alcotest.failf "empty response: %S" raw)
+
+let request ?(headers = []) ~port meth path body =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let data =
+        Printf.sprintf "%s %s HTTP/1.1\r\nHost: t\r\n%sContent-Length: %d\r\n\r\n%s" meth
+          path
+          (String.concat ""
+             (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) headers))
+          (String.length body) body
+      in
+      let bytes = Bytes.of_string data in
+      let rec send off =
+        if off < Bytes.length bytes then
+          send (off + Unix.write fd bytes off (Bytes.length bytes - off))
+      in
+      send 0;
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 4096 in
+      let rec recv () =
+        let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+        if n > 0 then begin
+          Buffer.add_subbytes buf chunk 0 n;
+          recv ()
+        end
+      in
+      (try recv () with Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ());
+      parse_reply (Buffer.contents buf))
+
+let rheader reply name = List.assoc_opt (String.lowercase_ascii name) reply.rheaders
+
+(* ------------------------------------------------------------------ *)
+(* Server fixtures                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let with_server ?(config = Server.default_config) ?svc_config f =
+  let svc = Service.create ?config:svc_config () in
+  let srv = Server.create ~config svc in
+  Server.start srv;
+  Fun.protect
+    ~finally:(fun () -> if not (Server.stopped srv) then Server.drain srv)
+    (fun () -> f srv (Server.port srv))
+
+let in_thread f =
+  let result = ref (Error (Failure "thread did not run")) in
+  let th = Thread.create (fun () -> result := try Ok (f ()) with e -> Error e) () in
+  (th, result)
+
+let join_result (th, result) =
+  Thread.join th;
+  match !result with Ok v -> v | Error e -> raise e
+
+(* ------------------------------------------------------------------ *)
+(* HTTP parser units                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Feed the parser through a socketpair so the test exercises the same
+   recv path the server uses. [writes] lets a request arrive in several
+   chunks — the header terminator split across reads is a regression
+   case for the incremental scan. *)
+let parse_via_socketpair writes =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) [ a; b ])
+    (fun () ->
+      let writer =
+        Thread.create
+          (fun () ->
+            try
+              List.iter
+                (fun s ->
+                  ignore (Unix.write_substring a s 0 (String.length s));
+                  Thread.delay 0.005)
+                writes;
+              Unix.shutdown a Unix.SHUTDOWN_SEND
+            with Unix.Unix_error _ -> ())
+          ()
+      in
+      (* Join the writer even when the parser raises: letting the thread
+         outlive the test would have it write into a recycled fd owned
+         by the next test's socketpair. *)
+      let req = try Ok (Server.Http.read_request b) with e -> Error e in
+      Thread.join writer;
+      match req with Ok r -> r | Error e -> raise e)
+
+let test_http_parse_basics () =
+  match
+    parse_via_socketpair
+      [ "POST /generate?engine=xq&x=a%20b HTTP/1.1\r\nHost: t\r\nX-Deadline-Ms: 250\r\n\
+         Content-Length: 5\r\n\r\nhello" ]
+  with
+  | None -> Alcotest.fail "no request parsed"
+  | Some req ->
+    check string_t "method" "POST" req.Server.Http.meth;
+    check string_t "path" "/generate" req.Server.Http.path;
+    check (Alcotest.option string_t) "query decoded" (Some "a b")
+      (Server.Http.query_param req "x");
+    check (Alcotest.option string_t) "engine param" (Some "xq")
+      (Server.Http.query_param req "engine");
+    check (Alcotest.option string_t) "header case-folded" (Some "250")
+      (Server.Http.header req "X-DEADLINE-MS");
+    check string_t "body" "hello" req.Server.Http.body
+
+let test_http_parse_split_terminator () =
+  (* \r\n\r\n arrives across two reads; body rides with the second. *)
+  match
+    parse_via_socketpair
+      [ "GET /healthz HTTP/1.1\r\nHost: t\r"; "\n\r\nleftover-must-error" ]
+  with
+  | exception Server.Http.Bad_request _ -> ()
+  | _ -> Alcotest.fail "body bytes without Content-Length accepted"
+
+let test_http_parse_split_clean () =
+  match parse_via_socketpair [ "GET /metrics HTTP/1.1\r\nHost: t\r"; "\n\r\n" ] with
+  | None -> Alcotest.fail "no request parsed"
+  | Some req ->
+    check string_t "path" "/metrics" req.Server.Http.path;
+    check string_t "empty body" "" req.Server.Http.body
+
+let test_http_parse_rejections () =
+  let expect_bad label writes =
+    match parse_via_socketpair writes with
+    | exception Server.Http.Bad_request _ -> ()
+    | _ -> Alcotest.failf "%s accepted" label
+  in
+  expect_bad "chunked"
+    [ "POST /g HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n" ];
+  expect_bad "negative length" [ "POST /g HTTP/1.1\r\nContent-Length: -4\r\n\r\n" ];
+  expect_bad "malformed length" [ "POST /g HTTP/1.1\r\nContent-Length: ten\r\n\r\n" ];
+  expect_bad "bad request line" [ "POST/g HTTP/1.1\r\n\r\n" ];
+  expect_bad "ancient version" [ "GET /g HTTP/0.9\r\n\r\n" ];
+  expect_bad "oversized head"
+    [ "GET /g HTTP/1.1\r\nX-Pad: " ^ String.make 10000 'a' ^ "\r\n\r\n" ];
+  (* Clean EOF before any bytes is not an error — it's a client that
+     connected and left. *)
+  match parse_via_socketpair [] with
+  | None -> ()
+  | Some _ -> Alcotest.fail "empty connection produced a request"
+
+(* ------------------------------------------------------------------ *)
+(* Token bucket and admission queue units                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_token_bucket () =
+  let tb = Server.Token_bucket.create ~rate:1. ~burst:2. in
+  check bool_t "burst 1" true (Server.Token_bucket.admit tb ~key:"a" ~now:0.);
+  check bool_t "burst 2" true (Server.Token_bucket.admit tb ~key:"a" ~now:0.);
+  check bool_t "empty" false (Server.Token_bucket.admit tb ~key:"a" ~now:0.);
+  (* Another client's bucket is untouched. *)
+  check bool_t "other key" true (Server.Token_bucket.admit tb ~key:"b" ~now:0.);
+  (* One second refills one token — exactly one more admission. *)
+  check bool_t "refilled" true (Server.Token_bucket.admit tb ~key:"a" ~now:1.);
+  check bool_t "only one token" false (Server.Token_bucket.admit tb ~key:"a" ~now:1.);
+  check bool_t "retry-after positive" true (Server.Token_bucket.retry_after_s tb > 0.);
+  (* rate <= 0 disables limiting entirely. *)
+  let off = Server.Token_bucket.create ~rate:0. ~burst:1. in
+  for _ = 1 to 100 do
+    check bool_t "disabled admits" true (Server.Token_bucket.admit off ~key:"a" ~now:0.)
+  done
+
+let test_token_bucket_prunes () =
+  let tb = Server.Token_bucket.create ~rate:10. ~burst:1. in
+  for i = 1 to 2000 do
+    ignore (Server.Token_bucket.admit tb ~key:(string_of_int i) ~now:(float_of_int i))
+  done;
+  (* Early keys have long since refilled; the prune pass must have
+     dropped them rather than retaining one bucket per address ever
+     seen. *)
+  check bool_t "table bounded" true (Server.Token_bucket.size tb < 2000)
+
+let test_admission_queue () =
+  let q = Server.Admission.create ~capacity:2 in
+  check bool_t "push 1" true (Server.Admission.push q 1 = `Accepted);
+  check bool_t "push 2" true (Server.Admission.push q 2 = `Accepted);
+  check bool_t "push 3 shed" true (Server.Admission.push q 3 = `Shed);
+  check int_t "depth" 2 (Server.Admission.depth q);
+  check (Alcotest.option int_t) "fifo" (Some 1) (Server.Admission.pop q);
+  Server.Admission.close q;
+  check bool_t "push after close shed" true (Server.Admission.push q 4 = `Shed);
+  (* A closed queue still drains what it holds, then signals exit. *)
+  check (Alcotest.option int_t) "drains" (Some 2) (Server.Admission.pop q);
+  check (Alcotest.option int_t) "closed+empty" None (Server.Admission.pop q);
+  let q2 = Server.Admission.create ~capacity:4 in
+  List.iter (fun i -> ignore (Server.Admission.push q2 i)) [ 1; 2; 3 ];
+  check (Alcotest.list int_t) "flush oldest first" [ 1; 2; 3 ] (Server.Admission.flush q2);
+  check int_t "flushed empty" 0 (Server.Admission.depth q2)
+
+let test_admission_pop_blocks_until_push () =
+  let q = Server.Admission.create ~capacity:2 in
+  let popper = in_thread (fun () -> Server.Admission.pop q) in
+  Thread.delay 0.02;
+  ignore (Server.Admission.push q 7);
+  check (Alcotest.option int_t) "blocked pop woken" (Some 7) (join_result popper)
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus expositions: scrape and re-parse every line              *)
+(* ------------------------------------------------------------------ *)
+
+(* A minimal exposition-format parser: every line must be a HELP, a
+   TYPE, or a sample; every sample must have been preceded by its HELP
+   and TYPE; every value must parse as a float. *)
+let reparse_prometheus label text =
+  let helped = Hashtbl.create 16 and typed = Hashtbl.create 16 in
+  let samples = ref 0 in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         if line = "" then ()
+         else if Astring.String.is_prefix ~affix:"# HELP " line then begin
+           match String.split_on_char ' ' line with
+           | "#" :: "HELP" :: name :: _ :: _ -> Hashtbl.replace helped name ()
+           | _ -> Alcotest.failf "%s: malformed HELP line %S" label line
+         end
+         else if Astring.String.is_prefix ~affix:"# TYPE " line then begin
+           match String.split_on_char ' ' line with
+           | [ "#"; "TYPE"; name; ("counter" | "gauge") ] -> Hashtbl.replace typed name ()
+           | _ -> Alcotest.failf "%s: malformed TYPE line %S" label line
+         end
+         else
+           match String.split_on_char ' ' line with
+           | [ name; value ] ->
+             if not (Hashtbl.mem helped name) then
+               Alcotest.failf "%s: sample %s has no HELP" label name;
+             if not (Hashtbl.mem typed name) then
+               Alcotest.failf "%s: sample %s has no TYPE" label name;
+             (match float_of_string_opt value with
+             | Some _ -> incr samples
+             | None -> Alcotest.failf "%s: unparseable value %S for %s" label value name)
+           | _ -> Alcotest.failf "%s: unparseable line %S" label line);
+  !samples
+
+let test_prometheus_reparse () =
+  let svc = Service.create () in
+  (* Touch a few counters so the exposition carries non-zero values. *)
+  ignore
+    (Service.run svc
+       (Service.request ~id:"m1"
+          ~template:(Service.Template_xml users_tpl)
+          ~model:(Service.Model_value (Awb.Samples.banking_model ()))
+          ()));
+  let service_text = Service.counters_to_prometheus (Service.counters svc) in
+  let n = reparse_prometheus "service" service_text in
+  check bool_t "service exposition has samples" true (n >= 10);
+  check bool_t "requests counter present" true
+    (Astring.String.is_infix ~affix:"\nlopsided_service_requests_total 1\n"
+       ("\n" ^ service_text));
+  let m = Server.Metrics.create () in
+  Server.Metrics.incr_accepted m;
+  Server.Metrics.incr_shed m;
+  Server.Metrics.incr_worker_restarts m;
+  let server_text = Server.Metrics.to_prometheus m ~queue_depth:3 ~inflight:2 ~ready:true in
+  let n = reparse_prometheus "server" server_text in
+  check bool_t "server exposition has samples" true (n >= 10);
+  check bool_t "queue depth gauge present" true
+    (Astring.String.is_infix ~affix:"\nlopsided_server_queue_depth 3\n"
+       ("\n" ^ server_text))
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end over loopback                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_e2e_generate_and_routing () =
+  with_server (fun srv port ->
+      let r = request ~port "POST" "/generate" users_tpl in
+      check int_t "generate ok" 200 r.status;
+      check (Alcotest.option string_t) "engine echoed" (Some "host") (rheader r "x-engine");
+      check bool_t "document body" true
+        (Astring.String.is_infix ~affix:"<li>alice</li>" r.rbody);
+      (* Engine selection via query parameter. *)
+      let r =
+        request ~port "POST" "/generate?engine=functional" users_tpl
+      in
+      check int_t "functional ok" 200 r.status;
+      check (Alcotest.option string_t) "functional echoed" (Some "functional")
+        (rheader r "x-engine");
+      (* Health endpoints. *)
+      check int_t "healthz" 200 (request ~port "GET" "/healthz" "").status;
+      let rz = request ~port "GET" "/readyz" "" in
+      check int_t "readyz" 200 rz.status;
+      check string_t "readyz body" "ready\n" rz.rbody;
+      let m = request ~port "GET" "/metrics" "" in
+      check int_t "metrics" 200 m.status;
+      ignore (reparse_prometheus "scrape" m.rbody);
+      check bool_t "both families exposed" true
+        (Astring.String.is_infix ~affix:"lopsided_service_requests_total" m.rbody
+        && Astring.String.is_infix ~affix:"lopsided_server_accepted_total" m.rbody);
+      (* Routing errors. *)
+      check int_t "404" 404 (request ~port "GET" "/nope" "").status;
+      check int_t "405 generate" 405 (request ~port "GET" "/generate" "").status;
+      check int_t "405 metrics" 405 (request ~port "POST" "/metrics" "x").status;
+      let bad =
+        request ~headers:[ ("X-Deadline-Ms", "soon") ] ~port "POST" "/generate" users_tpl
+      in
+      check int_t "malformed deadline is 400" 400 bad.status;
+      (* Template failures surface as structured JSON, not prose. *)
+      let failed = request ~port "POST" "/generate" failing_tpl in
+      check int_t "generation failure is 422" 422 failed.status;
+      check bool_t "error code in body" true
+        (Astring.String.is_infix ~affix:"\"request_id\"" failed.rbody);
+      let parse_fail = request ~port "POST" "/generate" "<oops" in
+      check int_t "template parse failure is 400" 400 parse_fail.status;
+      check bool_t "bad-template code" true
+        (Astring.String.is_infix ~affix:"bad-template" parse_fail.rbody);
+      check int_t "accepted counted" 5
+        (Server.Metrics.accepted (Server.metrics srv)))
+
+let test_e2e_deadline_504 () =
+  with_server (fun _srv port ->
+      let r =
+        request ~headers:[ ("X-Deadline-Ms", "50") ] ~port "POST" "/generate" runaway_tpl
+      in
+      check int_t "runaway under deadline is 504" 504 r.status;
+      check bool_t "resource:deadline code" true
+        (Astring.String.is_infix ~affix:"resource:deadline" r.rbody))
+
+let test_e2e_rate_limit () =
+  with_server
+    ~config:{ Server.default_config with Server.rate = 0.001; burst = 1. }
+    (fun srv port ->
+      let first = request ~port "POST" "/generate" users_tpl in
+      check int_t "first admitted" 200 first.status;
+      let second = request ~port "POST" "/generate" users_tpl in
+      check int_t "second rate-limited" 429 second.status;
+      check bool_t "rate-limited code" true
+        (Astring.String.is_infix ~affix:"rate-limited" second.rbody);
+      check bool_t "retry-after present" true (rheader second "retry-after" <> None);
+      check int_t "counter" 1 (Server.Metrics.rate_limited (Server.metrics srv)))
+
+let test_e2e_quarantine_429_at_admission () =
+  with_server
+    ~svc_config:
+      {
+        Service.default_config with
+        Service.quarantine_after = 2;
+        quarantine_cooldown_s = 30.;
+      }
+    (fun srv port ->
+      (* Two consecutive failures trip the breaker... *)
+      check int_t "fail 1" 422 (request ~port "POST" "/generate" failing_tpl).status;
+      check int_t "fail 2" 422 (request ~port "POST" "/generate" failing_tpl).status;
+      (* ...after which the template is refused at admission: 429 with a
+         Retry-After, no queue slot, no worker. *)
+      let r = request ~port "POST" "/generate" failing_tpl in
+      check int_t "quarantined at the door" 429 r.status;
+      check bool_t "quarantined code" true
+        (Astring.String.is_infix ~affix:"quarantined" r.rbody);
+      check bool_t "retry-after present" true (rheader r "retry-after" <> None);
+      check int_t "answered by the acceptor" 1
+        (Server.Metrics.quarantine_429 (Server.metrics srv));
+      (* Only the two tripping failures reached the service. *)
+      check int_t "no third generation" 2 (Service.counters (Server.service srv)).Service.requests;
+      (* Other templates are unaffected. *)
+      check int_t "healthy template fine" 200
+        (request ~port "POST" "/generate" users_tpl).status)
+
+let test_e2e_shed_when_saturated () =
+  with_server
+    ~config:{ Server.default_config with Server.max_inflight = 1; queue_cap = 1 }
+    (fun srv port ->
+      (* One worker, one queue slot: six concurrent slow requests mean
+         at most two are admitted and the rest must be refused
+         immediately with 503. *)
+      let clients =
+        List.init 6 (fun i ->
+            in_thread (fun () ->
+                request
+                  ~headers:
+                    [ ("X-Deadline-Ms", "400"); ("X-Request-Id", "slow" ^ string_of_int i) ]
+                  ~port "POST" "/generate" runaway_tpl))
+      in
+      let replies = List.map join_result clients in
+      let by s = List.length (List.filter (fun r -> r.status = s) replies) in
+      check int_t "all answered" 6 (List.length replies);
+      check int_t "no unanswered connections" 0 (by 0);
+      check bool_t "some shed with 503" true (by 503 >= 1);
+      check bool_t "admitted ones ran into their deadline (504)" true (by 504 >= 1);
+      List.iter
+        (fun r ->
+          if r.status = 503 then begin
+            check bool_t "overloaded code" true
+              (Astring.String.is_infix ~affix:"overloaded" r.rbody);
+            check bool_t "503 carries retry-after" true (rheader r "retry-after" <> None)
+          end)
+        replies;
+      check bool_t "shed counter matches" true
+        (Server.Metrics.shed (Server.metrics srv) >= by 503))
+
+let test_e2e_drain_flushes_queued_and_flips_readyz () =
+  with_server
+    ~config:
+      { Server.default_config with Server.max_inflight = 1; queue_cap = 4; drain_deadline_s = 3. }
+    (fun srv port ->
+      (* Occupy the single worker with a ~600 ms request, then queue two
+         more behind it. *)
+      let slow =
+        in_thread (fun () ->
+            request ~headers:[ ("X-Deadline-Ms", "600") ] ~port "POST" "/generate"
+              runaway_tpl)
+      in
+      Thread.delay 0.15;
+      let queued =
+        List.init 2 (fun _ -> in_thread (fun () -> request ~port "POST" "/generate" users_tpl))
+      in
+      Thread.delay 0.15;
+      check int_t "ready before drain" 200 (request ~port "GET" "/readyz" "").status;
+      check int_t "queued behind the worker" 2 (Server.queue_depth srv);
+      (* Drain on its own thread: it blocks until in-flight work is
+         done, while the acceptor keeps answering health checks. *)
+      let drainer = in_thread (fun () -> Server.drain srv) in
+      Thread.delay 0.1;
+      check bool_t "draining" true (Server.draining srv);
+      let rz = request ~port "GET" "/readyz" "" in
+      check int_t "readyz flips during drain" 503 rz.status;
+      check string_t "readyz says draining" "draining\n" rz.rbody;
+      (* Liveness stays green while draining. *)
+      check int_t "healthz still 200" 200 (request ~port "GET" "/healthz" "").status;
+      (* New work is refused during drain. *)
+      let refused = request ~port "POST" "/generate" users_tpl in
+      check int_t "new work 503" 503 refused.status;
+      check bool_t "draining code" true
+        (Astring.String.is_infix ~affix:"draining" refused.rbody);
+      (* Queued-but-unstarted requests were flushed with 503 rather than
+         silently dropped. *)
+      List.iter
+        (fun c ->
+          let r = join_result c in
+          check int_t "queued flushed with 503" 503 r.status;
+          check bool_t "flush says draining" true
+            (Astring.String.is_infix ~affix:"draining" r.rbody))
+        queued;
+      (* The in-flight request completed (its own deadline fired inside
+         the drain window, answered as a structured 504 — not a dropped
+         connection). *)
+      let r = join_result slow in
+      check int_t "in-flight answered" 504 r.status;
+      join_result drainer;
+      check bool_t "stopped" true (Server.stopped srv);
+      check int_t "both queued counted as drained" 2
+        (Server.Metrics.drained (Server.metrics srv));
+      (* The listener is gone: a fresh connection must be refused. *)
+      (match request ~port "GET" "/healthz" "" with
+      | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> ()
+      | r -> Alcotest.failf "listener still answering after drain (status %d)" r.status);
+      (* Drain is idempotent. *)
+      Server.drain srv)
+
+let test_e2e_sigterm_during_quarantine_cooldown () =
+  with_server
+    ~svc_config:
+      {
+        Service.default_config with
+        Service.quarantine_after = 1;
+        quarantine_cooldown_s = 30.;
+      }
+    (fun srv port ->
+      check int_t "trip the breaker" 422
+        (request ~port "POST" "/generate" failing_tpl).status;
+      check int_t "cooldown active" 429
+        (request ~port "POST" "/generate" failing_tpl).status;
+      (* SIGTERM mid-cooldown: the handler sets a flag, the acceptor
+         notices within its poll interval and starts the drain. The open
+         breaker must not wedge the shutdown. *)
+      Server.install_sigterm srv;
+      Unix.kill (Unix.getpid ()) Sys.sigterm;
+      Server.await srv;
+      check bool_t "stopped after SIGTERM" true (Server.stopped srv);
+      check bool_t "drained (readyz semantics)" false (Server.ready srv))
+
+let test_e2e_supervisor_restarts_crashed_worker () =
+  let fault =
+    { Service.Fault.none with Service.Fault.seed = 11; crash_rate = 0.5 }
+  in
+  (* Fault decisions are pure in (seed, kind, key): precompute a request
+     id that kills its worker and one that does not. *)
+  let fires key = Service.Fault.fires fault Service.Fault.Crash ~key ~attempt:0 in
+  let find want =
+    let rec go i =
+      let key = Printf.sprintf "req-%d" i in
+      if fires key = want then key else go (i + 1)
+    in
+    go 0
+  in
+  let crash_id = find true and ok_id = find false in
+  with_server
+    ~config:{ Server.default_config with Server.max_inflight = 1; fault = Some fault }
+    (fun srv port ->
+      (* The crashing request takes its worker domain down: the client
+         sees a closed connection, not a response. *)
+      let r = request ~headers:[ ("X-Request-Id", crash_id) ] ~port "POST" "/generate" users_tpl in
+      check int_t "crashed connection unanswered" 0 r.status;
+      (* The supervisor notices, joins the dead domain, and spawns a
+         replacement. *)
+      let rec await_restart tries =
+        if Server.Metrics.worker_restarts (Server.metrics srv) >= 1 then ()
+        else if tries = 0 then Alcotest.fail "supervisor never restarted the worker"
+        else begin
+          Thread.delay 0.02;
+          await_restart (tries - 1)
+        end
+      in
+      await_restart 100;
+      (* The replacement worker serves traffic. *)
+      let r = request ~headers:[ ("X-Request-Id", ok_id) ] ~port "POST" "/generate" users_tpl in
+      check int_t "replacement serves" 200 r.status;
+      check int_t "one restart counted" 1
+        (Server.Metrics.worker_restarts (Server.metrics srv)))
+
+let suite =
+  [
+    ( "server",
+      [
+        Alcotest.test_case "http parse basics" `Quick test_http_parse_basics;
+        Alcotest.test_case "http split terminator rejects stray body" `Quick
+          test_http_parse_split_terminator;
+        Alcotest.test_case "http split terminator clean" `Quick test_http_parse_split_clean;
+        Alcotest.test_case "http hostile inputs rejected" `Quick test_http_parse_rejections;
+        Alcotest.test_case "token bucket" `Quick test_token_bucket;
+        Alcotest.test_case "token bucket prunes idle keys" `Quick test_token_bucket_prunes;
+        Alcotest.test_case "admission queue bounds and flush" `Quick test_admission_queue;
+        Alcotest.test_case "admission pop blocks until push" `Quick
+          test_admission_pop_blocks_until_push;
+        Alcotest.test_case "prometheus expositions re-parse" `Quick test_prometheus_reparse;
+        Alcotest.test_case "e2e generate and routing" `Quick test_e2e_generate_and_routing;
+        Alcotest.test_case "e2e deadline header becomes 504" `Quick test_e2e_deadline_504;
+        Alcotest.test_case "e2e per-client rate limit" `Quick test_e2e_rate_limit;
+        Alcotest.test_case "e2e quarantine refused at admission" `Quick
+          test_e2e_quarantine_429_at_admission;
+        Alcotest.test_case "e2e saturated server sheds" `Quick test_e2e_shed_when_saturated;
+        Alcotest.test_case "e2e drain flushes queued, flips readyz" `Quick
+          test_e2e_drain_flushes_queued_and_flips_readyz;
+        Alcotest.test_case "e2e sigterm during quarantine cooldown" `Quick
+          test_e2e_sigterm_during_quarantine_cooldown;
+        Alcotest.test_case "e2e supervisor restarts crashed worker" `Quick
+          test_e2e_supervisor_restarts_crashed_worker;
+      ] );
+  ]

@@ -199,7 +199,7 @@ let gov_svc ?(domains = 1) ?deadline ?fuel ?(retries = 2) ?(quarantine_after = 0
     ()
 
 let fault ?(seed = 42) ?(deadline_rate = 0.) ?(fuel_rate = 0.) ?(transient_rate = 0.)
-    ?(transient_attempts = 2) ?(fast_fault_rate = 0.) () =
+    ?(transient_attempts = 2) ?(fast_fault_rate = 0.) ?(crash_rate = 0.) () =
   {
     Service.Fault.seed;
     deadline_rate;
@@ -207,6 +207,7 @@ let fault ?(seed = 42) ?(deadline_rate = 0.) ?(fuel_rate = 0.) ?(transient_rate 
     transient_rate;
     transient_attempts;
     fast_fault_rate;
+    crash_rate;
   }
 
 (* Templates whose generation would run for hours unpreempted: nested
