@@ -17,8 +17,18 @@ type request = {
 }
 
 exception Bad_request of string
+exception Timeout
 
 let bad fmt = Printf.ksprintf (fun m -> raise (Bad_request m)) fmt
+
+(* The socket receive timeout bounds each individual recv, but a client
+   trickling one byte per interval would still hold the reading thread
+   for timeout x bytes. [check_deadline] is consulted before every recv
+   so the whole request — head and body together — gets one total
+   budget. *)
+let check_deadline = function
+  | Some d when Clock.now_ns () > d -> raise Timeout
+  | _ -> ()
 
 let header req name =
   let name = String.lowercase_ascii name in
@@ -75,7 +85,7 @@ let parse_query s =
 (* Pull bytes until the header terminator, never holding more than
    [max_header_bytes] of headers. Returns (head, leftover-body-bytes) —
    recv may overshoot into the body. *)
-let read_head ~max_header_bytes fd =
+let read_head ~max_header_bytes ~deadline_ns fd =
   let buf = Buffer.create 512 in
   let chunk = Bytes.create 2048 in
   (* [scanned] is the prefix already known terminator-free; each pass
@@ -103,6 +113,7 @@ let read_head ~max_header_bytes fd =
     end
     else begin
       if n > max_header_bytes then bad "request head exceeds %d bytes" max_header_bytes;
+      check_deadline deadline_ns;
       let r = Unix.recv fd chunk 0 (Bytes.length chunk) [] in
       if r = 0 then if n = 0 then None else bad "connection closed mid-headers"
       else begin
@@ -113,15 +124,17 @@ let read_head ~max_header_bytes fd =
   in
   loop ()
 
-let read_exact fd ~already ~len =
+let read_exact fd ~deadline_ns ~already ~len =
   let b = Bytes.create len in
   let have = min len (String.length already) in
   Bytes.blit_string already 0 b 0 have;
   let rec go off =
     if off >= len then ()
-    else
+    else begin
+      check_deadline deadline_ns;
       let n = Unix.recv fd b off (len - off) [] in
       if n = 0 then bad "connection closed mid-body" else go (off + n)
+    end
   in
   go have;
   if String.length already > len then bad "bytes beyond declared Content-Length";
@@ -149,8 +162,9 @@ let parse_header_line line =
     ( String.lowercase_ascii (String.sub line 0 i),
       String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
 
-let read_request ?(max_header_bytes = 8192) ?(max_body_bytes = 4 * 1024 * 1024) fd =
-  match read_head ~max_header_bytes fd with
+let read_request ?(max_header_bytes = 8192) ?(max_body_bytes = 4 * 1024 * 1024)
+    ?deadline_ns fd =
+  match read_head ~max_header_bytes ~deadline_ns fd with
   | None -> None
   | Some (head, leftover) ->
     let lines =
@@ -176,12 +190,18 @@ let read_request ?(max_header_bytes = 8192) ?(max_body_bytes = 4 * 1024 * 1024) 
           if leftover <> "" then bad "body bytes without Content-Length";
           ""
         | Some v -> (
-          match int_of_string_opt (String.trim v) with
-          | None -> bad "malformed Content-Length"
-          | Some len when len < 0 -> bad "malformed Content-Length"
+          (* Strict HTTP grammar: decimal digits only. int_of_string_opt
+             alone would accept OCaml literals — "0x100", "0o17",
+             "1_000" — and a length any intermediary parses differently
+             is request smuggling waiting to happen. *)
+          let v = String.trim v in
+          if v = "" || not (String.for_all (function '0' .. '9' -> true | _ -> false) v)
+          then bad "malformed Content-Length";
+          match int_of_string_opt v with
+          | None -> bad "malformed Content-Length" (* digit overflow *)
           | Some len when len > max_body_bytes ->
             bad "body of %d bytes exceeds the %d-byte limit" len max_body_bytes
-          | Some len -> read_exact fd ~already:leftover ~len)
+          | Some len -> read_exact fd ~deadline_ns ~already:leftover ~len)
       in
       Some { meth; path; query; headers; body })
 

@@ -4,9 +4,10 @@
     [Content-Length] body, and one response per connection (the server
     always answers [Connection: close]) — with the robustness limits
     that matter under hostile traffic: hard caps on header and body
-    size, and reads that honour the socket receive timeout so a
-    slow-loris client costs a bounded slice of the acceptor, never a
-    hung connection. *)
+    size, reads that honour the socket receive timeout, and an optional
+    whole-request read deadline so a drip-feed client (1 byte per
+    interval, each recv just inside the socket timeout) costs a bounded
+    slice of the reading thread, never a hung connection. *)
 
 type request = {
   meth : string;  (** uppercased: ["GET"], ["POST"], ... *)
@@ -21,18 +22,29 @@ exception Bad_request of string
     a size cap). The caller answers 400 (413 for body-cap trips are
     folded in here too, with a message saying so). *)
 
+exception Timeout
+(** The [deadline_ns] budget passed to {!read_request} expired before a
+    full request arrived. The caller answers 408 and closes. *)
+
 val header : request -> string -> string option
 (** Case-insensitive header lookup. *)
 
 val query_param : request -> string -> string option
 
 val read_request :
-  ?max_header_bytes:int -> ?max_body_bytes:int -> Unix.file_descr -> request option
+  ?max_header_bytes:int ->
+  ?max_body_bytes:int ->
+  ?deadline_ns:int ->
+  Unix.file_descr ->
+  request option
 (** Read and parse one request. [None] on a clean EOF before any bytes
     (client connected and left). Raises {!Bad_request} on malformed or
-    oversized input, and lets [Unix.Unix_error] from a receive timeout
-    propagate (the caller treats it as a dead client). Defaults:
-    8 KiB headers, 4 MiB body. *)
+    oversized input, {!Timeout} when [deadline_ns] (absolute,
+    {!Clock.now_ns} scale; a total budget across every recv of head and
+    body) passes before the request is complete, and lets
+    [Unix.Unix_error] from a receive timeout propagate (the caller
+    treats it as a dead client). Defaults: 8 KiB headers, 4 MiB body,
+    no deadline. *)
 
 val reason_phrase : int -> string
 

@@ -2,11 +2,18 @@
 
    Thread/domain layout:
 
-     acceptor (systhread) — accept, parse, admit. Everything that can
-       be answered without generation work (health, readiness, metrics,
-       rate-limit 429s, quarantine 429s, queue-full 503s) is answered
-       right here and the connection closed. Admitted jobs go into the
-       bounded queue.
+     acceptor (systhread) — accept only. Accepted connections go into a
+       second bounded queue; when even that is full (every reader held
+       by a slow client) the connection is refused with 503 without
+       reading a byte. The acceptor never blocks on a client, so
+       admission decisions and the drain trigger stay responsive no
+       matter how traffic behaves.
+     readers (systhreads) — pop a connection, read and parse the
+       request under a whole-request deadline, then route. Everything
+       that can be answered without generation work (health, readiness,
+       metrics, rate-limit 429s, quarantine 429s, queue-full 503s) is
+       answered right here and the connection closed. Admitted jobs go
+       into the bounded job queue.
      workers (OCaml domains, max_inflight of them) — pop, generate via
        Service.run, answer. A worker that dies (the injected Crash
        fault, or a genuine bug) is noticed and replaced by the
@@ -89,6 +96,8 @@ type t = {
   metrics : Metrics.t;
   bucket : Token_bucket.t;
   queue : job Admission.t;
+  conns : (Unix.file_descr * Unix.sockaddr) Admission.t;
+      (* accepted-but-unread connections, feeding the reader pool *)
   busy : int Atomic.t; (* jobs a worker is currently handling *)
   reqno : int Atomic.t;
   sigterm : bool Atomic.t;
@@ -102,6 +111,7 @@ type t = {
   mutable listen_fd : Unix.file_descr option;
   mutable actual_port : int;
   mutable acceptor : Thread.t option;
+  mutable readers : Thread.t list;
   mutable supervisor : Thread.t option;
 }
 
@@ -116,6 +126,10 @@ let create ?(config = default_config) svc =
     metrics = Metrics.create ();
     bucket = Token_bucket.create ~rate:config.rate ~burst:config.burst;
     queue = Admission.create ~capacity:config.queue_cap;
+    (* Headroom beyond the job queue: health checks and requests bound
+       for a 429/503 also pass through here, and they cost microseconds
+       each once a reader picks them up. *)
+    conns = Admission.create ~capacity:(config.queue_cap + 64);
     busy = Atomic.make 0;
     reqno = Atomic.make 0;
     sigterm = Atomic.make false;
@@ -136,6 +150,7 @@ let create ?(config = default_config) svc =
     listen_fd = None;
     actual_port = 0;
     acceptor = None;
+    readers = [];
     supervisor = None;
   }
 
@@ -433,22 +448,44 @@ let route t fd peer (req : Http.request) =
     close_quiet fd
 
 let handle_conn t fd addr =
+  (* Whole-request budget: the per-recv socket timeout alone would let a
+     drip-feed client (1 byte per just-under-timeout interval) hold this
+     reader for timeout x bytes. Twice the io timeout is generous for a
+     legitimate client on the small bodies templates are, and bounds how
+     long one connection can occupy a reader. *)
+  let deadline_ns = Clock.now_ns () + Clock.ns_of_s (2. *. t.config.io_timeout_s) in
   match
-    Http.read_request ~max_body_bytes:t.config.max_body_bytes fd
+    Http.read_request ~max_body_bytes:t.config.max_body_bytes ~deadline_ns fd
   with
   | exception Http.Bad_request m ->
     Metrics.incr_bad_requests t.metrics;
     respond_error fd ~request_id:"-" ~status:400 ~code:"bad-request" ~message:m ();
     close_quiet fd
-  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _) ->
-    (* The receive timeout fired: a slow-loris or dead client. Cut it
-       off with a clean 408 rather than leaving the connection hung. *)
+  | exception
+      ( Http.Timeout
+      | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _) ) ->
+    (* The receive timeout or the whole-request deadline fired: a
+       slow-loris or dead client. Cut it off with a clean 408 rather
+       than leaving the connection hung. *)
     Metrics.incr_bad_requests t.metrics;
     Http.write_response fd ~status:408 ~body:"" ();
     close_quiet fd
   | exception Unix.Unix_error _ -> close_quiet fd
   | None -> close_quiet fd
   | Some req -> route t fd (peer_key addr) req
+
+(* The reader pool: everything that touches a client socket before
+   admission happens here, never on the acceptor. Sized past the worker
+   count so a handful of slow clients (each bounded by the read deadline
+   anyway) cannot starve health checks. *)
+let reader_count config = max 2 config.max_inflight
+
+let rec reader_loop t =
+  match Admission.pop t.conns with
+  | None -> ()
+  | Some (fd, addr) ->
+    (try handle_conn t fd addr with _ -> close_quiet fd);
+    reader_loop t
 
 (* Trigger-once drain used by both SIGTERM and the public drain. *)
 let rec drain_now t =
@@ -469,7 +506,11 @@ let rec drain_now t =
       pending;
     Admission.close t.queue;
     (* In-flight work gets the drain window, enforced by the evaluator
-       itself: overruns die with resource:deadline, answered as 504. *)
+       itself: overruns die with resource:deadline, answered as 504. The
+       preempt deadline is sticky inside Service, so an attempt that was
+       already dequeued but not yet registered when this runs is
+       tightened at registration — no evaluation slips past the drain
+       with an unbounded deadline. *)
     ignore (Service.preempt_inflight t.svc ~deadline_ns);
     (* Workers exit once the (closed) queue is empty; the supervisor
        joins and retires them, then exits itself. *)
@@ -477,6 +518,13 @@ let rec drain_now t =
     Atomic.set t.stop_supervisor true;
     Atomic.set t.stop_accept true;
     (match t.acceptor with Some th -> Thread.join th | None -> ());
+    (* Readers stayed up until here so /healthz and /readyz kept
+       answering during the drain. Closing their queue lets them finish
+       what they hold (generate is already refused with 503) and exit;
+       each is bounded by the whole-request read deadline. *)
+    Admission.close t.conns;
+    List.iter Thread.join t.readers;
+    t.readers <- [];
     (match t.listen_fd with
     | Some fd ->
       t.listen_fd <- None;
@@ -508,10 +556,25 @@ let accept_loop t fd =
          Unix.setsockopt_float conn Unix.SO_RCVTIMEO t.config.io_timeout_s;
          Unix.setsockopt_float conn Unix.SO_SNDTIMEO t.config.io_timeout_s
        with Unix.Unix_error _ -> ());
-      handle_conn t conn addr
+      (match Admission.push t.conns (conn, addr) with
+      | `Accepted -> ()
+      | `Shed ->
+        (* Every reader is held by a slow client and the backlog is
+           full: refuse without reading a byte. The tiny response fits
+           any socket buffer, so this write cannot block the acceptor. *)
+        Metrics.incr_shed t.metrics;
+        respond_error conn ~request_id:"-" ~status:503 ~headers:(retry_after 1.)
+          ~code:"overloaded" ~message:"connection backlog full" ();
+        close_quiet conn)
   done
 
 let start t =
+  (* A peer that disconnects before we answer — routine when overloaded
+     clients time out and hang up — turns the response write into
+     SIGPIPE, whose default action kills the process before any
+     exception handler runs. Ignored, the write fails with EPIPE, which
+     every write path here already swallows. *)
+  if not Sys.win32 then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt fd Unix.SO_REUSEADDR true;
   Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string t.config.host, t.config.port));
@@ -524,6 +587,8 @@ let start t =
   | _ -> ());
   t.listen_fd <- Some fd;
   Array.iter (fun slot -> spawn_worker t slot) t.slots;
+  t.readers <-
+    List.init (reader_count t.config) (fun _ -> Thread.create (fun () -> reader_loop t) ());
   t.supervisor <- Some (Thread.create (fun () -> supervisor_loop t) ());
   t.acceptor <- Some (Thread.create (fun () -> accept_loop t fd) ())
 

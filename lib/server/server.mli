@@ -1,8 +1,12 @@
 (** The overload-resilient HTTP/1.1 front end over the {!Service} layer.
 
     Dependency-free: plain [Unix] sockets, OCaml domains for workers,
-    one acceptor thread. Overload behaviour is the design center, not an
-    afterthought:
+    one acceptor thread plus a small reader pool. The acceptor never
+    reads from a client — accepted connections go through a bounded
+    queue to the readers, each of which parses under a whole-request
+    deadline — so a slow or drip-feeding client can never stall
+    admission, health checks, or the drain trigger. Overload behaviour
+    is the design center, not an afterthought:
 
     - {b Admission control.} Every [POST /generate] passes a per-client
       token bucket (429 + [Retry-After] when a peer floods), then an
@@ -65,8 +69,10 @@ val create : ?config:config -> Service.t -> t
 val config : t -> config
 
 val start : t -> unit
-(** Bind, listen, spawn the workers, the supervisor, and the acceptor;
-    returns once the server is accepting. *)
+(** Bind, listen, spawn the workers, the readers, the supervisor, and
+    the acceptor; returns once the server is accepting. Also ignores
+    [SIGPIPE] process-wide: a peer that hangs up before its response is
+    written must surface as a catchable [EPIPE], not a fatal signal. *)
 
 val port : t -> int
 (** The bound port (useful with [port = 0]). *)

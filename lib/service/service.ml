@@ -198,6 +198,12 @@ type t = {
          keyed by a fresh token; lets [preempt_inflight] (the server's
          graceful drain) tighten deadlines on work already in progress *)
   mutable inflight_next : int;
+  mutable preempt_ns : int;
+      (* sticky preemption deadline, 0 = none. Once [preempt_inflight]
+         has run, any attempt registered afterwards is tightened to this
+         at registration — without it, an attempt racing the preempt
+         sweep (popped from a queue before drain, registered after)
+         would keep an unbounded deadline and stall the drain. *)
   mutable requests : int;
   mutable succeeded : int;
   mutable failed : int;
@@ -226,6 +232,7 @@ let create ?(config = default_config) () =
     quarantine = Hashtbl.create 16;
     inflight = Hashtbl.create 16;
     inflight_next = 0;
+    preempt_ns = 0;
     requests = 0;
     succeeded = 0;
     failed = 0;
@@ -531,6 +538,10 @@ let execute t ~t0 (req : request) : response * timings =
               let limits = limits_for () in
               let token =
                 with_lock t (fun () ->
+                    if
+                      t.preempt_ns <> 0
+                      && limits.Xquery.Context.deadline_ns > t.preempt_ns
+                    then limits.Xquery.Context.deadline_ns <- t.preempt_ns;
                     let id = t.inflight_next in
                     t.inflight_next <- id + 1;
                     Hashtbl.replace t.inflight id limits;
@@ -712,6 +723,12 @@ let run_batch ?domains t (reqs : request list) : response list =
    governance preempts the work. *)
 let preempt_inflight t ~deadline_ns =
   with_lock t (fun () ->
+      (* Sticky: attempts that register after this call (they may already
+         have been dequeued by a server worker) are tightened at
+         registration, closing the race between the sweep below and a
+         concurrent [run]. Repeated calls keep the tightest deadline. *)
+      t.preempt_ns <-
+        (if t.preempt_ns = 0 then deadline_ns else min t.preempt_ns deadline_ns);
       Hashtbl.fold
         (fun _ (l : Xquery.Context.limits) n ->
           if l.Xquery.Context.deadline_ns > deadline_ns then begin

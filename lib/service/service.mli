@@ -160,7 +160,11 @@ val preempt_inflight : t -> deadline_ns:int -> int
 (** Tighten every in-flight evaluation's deadline to at most
     [deadline_ns] (absolute, {!Clock.now_ns} scale). Returns how many
     evaluations were tightened; already-tighter deadlines are left
-    alone. *)
+    alone. The deadline is {e sticky}: attempts that register after this
+    call — including ones already dequeued by a server worker when the
+    drain began — are tightened at registration, so no evaluation can
+    slip past a drain with an unbounded deadline. Repeated calls keep
+    the tightest deadline given so far. *)
 
 val inflight_count : t -> int
 (** Generation attempts currently running (gauge). *)

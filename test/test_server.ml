@@ -191,6 +191,14 @@ let test_http_parse_rejections () =
     [ "POST /g HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n" ];
   expect_bad "negative length" [ "POST /g HTTP/1.1\r\nContent-Length: -4\r\n\r\n" ];
   expect_bad "malformed length" [ "POST /g HTTP/1.1\r\nContent-Length: ten\r\n\r\n" ];
+  (* int_of_string_opt accepts OCaml literal syntax; the HTTP grammar is
+     decimal digits only, and a length an intermediary reads differently
+     is a smuggling vector. *)
+  expect_bad "hex length" [ "POST /g HTTP/1.1\r\nContent-Length: 0x10\r\n\r\nbody-bytes-here!" ];
+  expect_bad "octal length" [ "POST /g HTTP/1.1\r\nContent-Length: 0o17\r\n\r\nbody-bytes-here" ];
+  expect_bad "underscored length" [ "POST /g HTTP/1.1\r\nContent-Length: 1_6\r\n\r\nbody-bytes-here!" ];
+  expect_bad "signed length" [ "POST /g HTTP/1.1\r\nContent-Length: +5\r\n\r\nhello" ];
+  expect_bad "empty length" [ "POST /g HTTP/1.1\r\nContent-Length: \r\n\r\n" ];
   expect_bad "bad request line" [ "POST/g HTTP/1.1\r\n\r\n" ];
   expect_bad "ancient version" [ "GET /g HTTP/0.9\r\n\r\n" ];
   expect_bad "oversized head"
@@ -200,6 +208,37 @@ let test_http_parse_rejections () =
   match parse_via_socketpair [] with
   | None -> ()
   | Some _ -> Alcotest.fail "empty connection produced a request"
+
+(* The whole-request read deadline: a drip-feed client whose every recv
+   lands inside the socket timeout must still be cut off once the total
+   budget is spent — that is what keeps one hostile connection from
+   holding a reader thread for timeout x bytes. *)
+let test_http_read_deadline_cuts_drip_feed () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) [ a; b ])
+    (fun () ->
+      let writer =
+        Thread.create
+          (fun () ->
+            try
+              (* Two chunks, neither completing the head, the pause
+                 between them longer than the read deadline. *)
+              ignore (Unix.write_substring a "GET /healthz HTTP/1.1\r\n" 0 23);
+              Thread.delay 0.25;
+              ignore (Unix.write_substring a "X-Drip: 1\r\n" 0 11)
+            with Unix.Unix_error _ -> ())
+          ()
+      in
+      let deadline_ns = Clock.now_ns () + Clock.ns_of_s 0.1 in
+      (match Server.Http.read_request ~deadline_ns b with
+      | exception Server.Http.Timeout -> ()
+      | exception e ->
+        Thread.join writer;
+        raise e
+      | _ -> Alcotest.fail "drip-fed request outlived its read deadline");
+      Thread.join writer)
 
 (* ------------------------------------------------------------------ *)
 (* Token bucket and admission queue units                              *)
@@ -375,6 +414,46 @@ let test_e2e_deadline_504 () =
       check int_t "runaway under deadline is 504" 504 r.status;
       check bool_t "resource:deadline code" true
         (Astring.String.is_infix ~affix:"resource:deadline" r.rbody))
+
+(* An impatient client that hangs up before its response is written —
+   routine under overload — must cost nothing but an EPIPE. Before
+   SIGPIPE was ignored, the response write to the dead socket delivered
+   a fatal signal and took the whole process down (this very test
+   process, here). SO_LINGER 0 makes the close an immediate RST, so the
+   server's write is guaranteed to hit a dead connection. *)
+let test_e2e_client_hangup_no_sigpipe () =
+  with_server (fun _srv port ->
+      (* Deterministic EPIPE first: Server.start ignored SIGPIPE
+         process-wide, so writing a response to a peer that is already
+         gone (closed AF_UNIX peer fails the very first write) must be
+         a swallowed EPIPE, not a fatal signal delivered to this test
+         process. *)
+      let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.close b;
+      Server.Http.write_response a ~status:200 ~body:(String.make 4096 'x') ();
+      Unix.close a;
+      let hangup () =
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        let data =
+          Printf.sprintf
+            "POST /generate HTTP/1.1\r\nHost: t\r\nX-Deadline-Ms: 80\r\n\
+             Content-Length: %d\r\n\r\n%s"
+            (String.length runaway_tpl) runaway_tpl
+        in
+        ignore (Unix.write_substring fd data 0 (String.length data));
+        Unix.setsockopt_optint fd Unix.SO_LINGER (Some 0);
+        Unix.close fd
+      in
+      hangup ();
+      hangup ();
+      (* Let the 80 ms deadlines fire and the 504 writes hit the dead
+         sockets. *)
+      Thread.delay 0.5;
+      check int_t "process survived the hangups" 200
+        (request ~port "GET" "/healthz" "").status;
+      check int_t "still serving generations" 200
+        (request ~port "POST" "/generate" users_tpl).status)
 
 let test_e2e_rate_limit () =
   with_server
@@ -577,6 +656,8 @@ let suite =
           test_http_parse_split_terminator;
         Alcotest.test_case "http split terminator clean" `Quick test_http_parse_split_clean;
         Alcotest.test_case "http hostile inputs rejected" `Quick test_http_parse_rejections;
+        Alcotest.test_case "http read deadline cuts drip feed" `Quick
+          test_http_read_deadline_cuts_drip_feed;
         Alcotest.test_case "token bucket" `Quick test_token_bucket;
         Alcotest.test_case "token bucket prunes idle keys" `Quick test_token_bucket_prunes;
         Alcotest.test_case "admission queue bounds and flush" `Quick test_admission_queue;
@@ -585,6 +666,8 @@ let suite =
         Alcotest.test_case "prometheus expositions re-parse" `Quick test_prometheus_reparse;
         Alcotest.test_case "e2e generate and routing" `Quick test_e2e_generate_and_routing;
         Alcotest.test_case "e2e deadline header becomes 504" `Quick test_e2e_deadline_504;
+        Alcotest.test_case "e2e client hangup survives (no SIGPIPE)" `Quick
+          test_e2e_client_hangup_no_sigpipe;
         Alcotest.test_case "e2e per-client rate limit" `Quick test_e2e_rate_limit;
         Alcotest.test_case "e2e quarantine refused at admission" `Quick
           test_e2e_quarantine_429_at_admission;

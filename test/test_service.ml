@@ -259,6 +259,30 @@ let test_midquery_deadline_preemption () =
   check int_t "both counted as deadline failures" 2
     (Service.counters t).Service.deadline_failures
 
+(* The drain race: preempt_inflight runs BEFORE the request registers —
+   the server's drain can fire while a worker holds a job it has popped
+   but not yet started. The preempt deadline must stick and bound the
+   later attempt; without stickiness this runaway (no client deadline,
+   no default) would run essentially forever and wedge the drain. *)
+let test_preempt_deadline_is_sticky () =
+  let t = gov_svc ~retries:0 () in
+  ignore
+    (Service.preempt_inflight t ~deadline_ns:(Clock.now_ns () + Clock.ns_of_s 0.05));
+  let t0 = Unix.gettimeofday () in
+  (match (Service.run t (req ~id:"late-arrival" runaway_host_tpl)).Service.result with
+  | Error (Service.Deadline_exceeded _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Service.error_to_string e)
+  | Ok _ -> Alcotest.fail "runaway completed past a sticky preempt deadline");
+  check bool_t "bounded by the sticky deadline" true (Unix.gettimeofday () -. t0 < 5.);
+  (* Repeated preempts keep the tightest deadline: a later, looser drain
+     request must not loosen the bound. *)
+  ignore
+    (Service.preempt_inflight t ~deadline_ns:(Clock.now_ns () + Clock.ns_of_s 60.));
+  match (Service.run t (req ~id:"still-bounded" runaway_host_tpl)).Service.result with
+  | Error (Service.Deadline_exceeded _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Service.error_to_string e)
+  | Ok _ -> Alcotest.fail "loosening preempt deadline was accepted"
+
 let test_transient_retry_recovers () =
   (* transient_attempts = 2: the injected fault fires on attempts 0 and
      1, so 2 retries recover the request. *)
@@ -503,6 +527,8 @@ let suite =
       [
         Alcotest.test_case "mid-query deadline preemption" `Quick
           test_midquery_deadline_preemption;
+        Alcotest.test_case "preempt deadline is sticky" `Quick
+          test_preempt_deadline_is_sticky;
         Alcotest.test_case "transient retry recovers" `Quick test_transient_retry_recovers;
         Alcotest.test_case "transient exhausts retries" `Quick
           test_transient_exhausts_retries;
