@@ -915,8 +915,9 @@ let overload_hostile_tpl =
   in
   "<document>" ^ go 12 ^ "</document>"
 
-(* A one-shot HTTP exchange; returns (status, latency_ms). Status 0
-   means the connection died unanswered. *)
+(* A one-shot HTTP exchange; returns (status, x_degraded, latency_ms).
+   Status 0 means the connection died unanswered; x_degraded is the
+   [X-Degraded] response header ("stale" / "skeleton") when present. *)
 let overload_request ~port ~headers body =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect
@@ -952,12 +953,53 @@ let overload_request ~port ~headers body =
           Option.value ~default:0 (int_of_string_opt (String.sub raw 9 3))
         else 0
       in
-      (status, (Clock.now () -. t0) *. 1000.))
+      let degraded =
+        let find_sub ?(start = 0) sub s =
+          let ls = String.length s and lsub = String.length sub in
+          let rec go i =
+            if i + lsub > ls then None
+            else if String.sub s i lsub = sub then Some i
+            else go (i + 1)
+          in
+          go start
+        in
+        let head =
+          match find_sub "\r\n\r\n" raw with
+          | Some i -> String.lowercase_ascii (String.sub raw 0 i)
+          | None -> ""
+        in
+        match find_sub "\r\nx-degraded: " head with
+        | None -> None
+        | Some i ->
+          let start = i + String.length "\r\nx-degraded: " in
+          let stop =
+            match find_sub ~start "\r" head with
+            | Some j -> j
+            | None -> String.length head
+          in
+          Some (String.sub head start (stop - start))
+      in
+      (status, degraded, (Clock.now () -. t0) *. 1000.))
 
 let overload_percentile sorted p =
   match sorted with
   | [] -> 0.
   | l -> List.nth l (min (List.length l - 1) (int_of_float (p *. float_of_int (List.length l))))
+
+type overload_level = {
+  ol_label : string;
+  ol_rate : float;
+  ol_sent : int;
+  ol_ok : int;
+  ol_stale : int;
+  ol_skeleton : int;
+  ol_shed : int;
+  ol_hostile_died : int;
+  ol_shed_frac : float;
+  ol_goodput : float;
+  ol_p50 : float;
+  ol_p99 : float;
+}
 
 let overload () =
   section "OVERLOAD - HTTP front end: goodput under 0.5x / 1x / 4x offered load";
@@ -1005,7 +1047,7 @@ let overload () =
      (blocked on an admitted slow request) skips ahead rather than
      bunching, so offered load stays honest. 10% of requests, chosen by
      a seeded PRNG, are hostile runaways under a 50 ms deadline. *)
-  let drive ~label ~rate =
+  let drive ~srv ~port ~label ~rate =
     let duration_s = if quick then 1.5 else 4. in
     (* Enough senders that even with every queue slot occupied (admitted
        requests block their sender for queue-wait + service time) the
@@ -1028,14 +1070,14 @@ let overload () =
                 let d = !next -. Clock.now () in
                 if d > 0. then Thread.delay d;
                 let hostile = Random.State.float rng 1.0 < 0.10 in
-                let status, lat_ms =
+                let status, tag, lat_ms =
                   if hostile then
                     overload_request ~port
                       ~headers:[ ("X-Deadline-Ms", "50") ]
                       overload_hostile_tpl
                   else overload_request ~port ~headers:[] overload_benign_tpl
                 in
-                results.(i) <- (hostile, status, lat_ms) :: results.(i);
+                results.(i) <- (hostile, status, tag, lat_ms) :: results.(i);
                 let now = Clock.now () in
                 (* Skip missed slots instead of bunching them. *)
                 next := !next +. (Float.max 1. (Float.ceil ((now -. !next) /. interval)) *. interval)
@@ -1047,52 +1089,110 @@ let overload () =
     let all = Array.to_list results |> List.concat in
     let sent = List.length all in
     let count f = List.length (List.filter f all) in
-    let ok = count (fun (_, s, _) -> s = 200) in
-    let shed = count (fun (_, s, _) -> s = 503) in
-    let hostile_died = count (fun (h, s, _) -> h && s = 504) in
-    let unanswered = count (fun (_, s, _) -> s = 0) in
+    let ok = count (fun (_, s, _, _) -> s = 200) in
+    let ok_stale = count (fun (_, s, t, _) -> s = 200 && t = Some "stale") in
+    let ok_skeleton = count (fun (_, s, t, _) -> s = 200 && t = Some "skeleton") in
+    let shed = count (fun (_, s, _, _) -> s = 503) in
+    let hostile_died = count (fun (h, s, _, _) -> h && s = 504) in
+    let unanswered = count (fun (_, s, _, _) -> s = 0) in
     let ok_lat =
-      List.filter_map (fun (_, s, l) -> if s = 200 then Some l else None) all
+      List.filter_map (fun (_, s, _, l) -> if s = 200 then Some l else None) all
       |> List.sort compare
     in
     let p50 = overload_percentile ok_lat 0.50 and p99 = overload_percentile ok_lat 0.99 in
     let goodput = float_of_int ok /. elapsed in
     let shed_frac = if sent = 0 then 0. else float_of_int shed /. float_of_int sent in
     Printf.printf
-      "  %-5s offered %7.1f rps  sent %5d  ok %5d  shed %5d (%4.1f%%)  hostile-504 %4d  \
-       goodput %7.1f rps  p50 %6.1f ms  p99 %7.1f ms\n"
-      label rate sent ok shed (shed_frac *. 100.) hostile_died goodput p50 p99;
+      "  %-5s offered %7.1f rps  sent %5d  ok %5d (stale %d, skel %d)  shed %5d (%4.1f%%)  \
+       hostile-504 %4d  goodput %7.1f rps  p50 %6.1f ms  p99 %7.1f ms\n"
+      label rate sent ok ok_stale ok_skeleton shed (shed_frac *. 100.) hostile_died goodput p50
+      p99;
     (* Client-observed statuses and server counters must agree on the
        overload story. *)
     assert (unanswered = 0);
     assert (Server.Metrics.shed (Server.metrics srv) - shed_before >= shed);
     ignore accepted_before;
-    (label, rate, sent, ok, shed, hostile_died, shed_frac, goodput, p50, p99)
+    {
+      ol_label = label;
+      ol_rate = rate;
+      ol_sent = sent;
+      ol_ok = ok;
+      ol_stale = ok_stale;
+      ol_skeleton = ok_skeleton;
+      ol_shed = shed;
+      ol_hostile_died = hostile_died;
+      ol_shed_frac = shed_frac;
+      ol_goodput = goodput;
+      ol_p50 = p50;
+      ol_p99 = p99;
+    }
   in
-  let r_half = drive ~label:"0.5x" ~rate:(0.5 *. capacity) in
-  let r_one = drive ~label:"1x" ~rate:capacity in
-  let r_four = drive ~label:"4x" ~rate:(4. *. capacity) in
+  let r_half = drive ~srv ~port ~label:"0.5x" ~rate:(0.5 *. capacity) in
+  let r_one = drive ~srv ~port ~label:"1x" ~rate:capacity in
+  let r_four = drive ~srv ~port ~label:"4x" ~rate:(4. *. capacity) in
   Server.drain srv;
-  let goodput_of (_, _, _, _, _, _, _, g, _, _) = g in
-  let ratio = goodput_of r_four /. Float.max 1e-9 (goodput_of r_one) in
+  let ratio = r_four.ol_goodput /. Float.max 1e-9 r_one.ol_goodput in
   Printf.printf "  4x/1x goodput ratio: %.2f (shed total %d, drained clean)\n" ratio
     (Server.Metrics.shed (Server.metrics srv));
+  (* Brownout arm: same capacity knobs, but with the brownout controller
+     on and a result cache big enough to hold the benign template. Under
+     the same 4x storm the server should keep answering usefully — fresh,
+     stale, or skeleton 2xx — instead of shedding the excess. The long
+     [down_consecutive] keeps it from flapping back to Normal mid-storm. *)
+  let svc_b =
+    Service.create
+      ~config:{ Service.default_config with Service.result_cache_cap = 512 }
+      ()
+  in
+  let config_b =
+    {
+      config with
+      Server.brownout =
+        Some
+          {
+            Server.Brownout.default_config with
+            Server.Brownout.eval_interval_s = 0.05;
+            down_consecutive = 60;
+          };
+    }
+  in
+  let srv_b = Server.create ~config:config_b svc_b in
+  Server.start srv_b;
+  let port_b = Server.port srv_b in
+  let r_brown =
+    Fun.protect
+      ~finally:(fun () -> if not (Server.stopped srv_b) then Server.drain srv_b)
+      (fun () ->
+        (* Warm the result cache while the controller is still Normal so
+           the storm has something stale to serve. *)
+        ignore (overload_request ~port:port_b ~headers:[] overload_benign_tpl);
+        let r = drive ~srv:srv_b ~port:port_b ~label:"4x+b" ~rate:(4. *. capacity) in
+        Server.drain srv_b;
+        r)
+  in
+  let useful_ratio = r_brown.ol_goodput /. Float.max 1e-9 r_four.ol_goodput in
+  Printf.printf
+    "  brownout 4x: useful %7.1f rps (full %d, stale %d, skeleton %d) — %.2fx the shed-only \
+     4x goodput\n"
+    r_brown.ol_goodput
+    (r_brown.ol_ok - r_brown.ol_stale - r_brown.ol_skeleton)
+    r_brown.ol_stale r_brown.ol_skeleton useful_ratio;
   if json then begin
+    let level_json r =
+      Printf.sprintf
+        "    {\"level\": \"%s\", \"offered_rps\": %.1f, \"sent\": %d, \"ok\": %d, \
+         \"ok_stale\": %d, \"ok_skeleton\": %d, \"shed\": %d, \"hostile_504\": %d, \
+         \"shed_fraction\": %.3f, \"goodput_rps\": %.1f, \"p50_ms\": %.2f, \"p99_ms\": %.2f}"
+        r.ol_label r.ol_rate r.ol_sent r.ol_ok r.ol_stale r.ol_skeleton r.ol_shed
+        r.ol_hostile_died r.ol_shed_frac r.ol_goodput r.ol_p50 r.ol_p99
+    in
     let oc = open_out "BENCH_server.json" in
     Printf.fprintf oc
       "{\n  \"bench\": \"overload\",\n  \"quick\": %b,\n  \"capacity_rps\": %.1f,\n\
-      \  \"goodput_ratio_4x_1x\": %.3f,\n  \"levels\": [\n" quick capacity ratio;
-    output_string oc
-      (String.concat ",\n"
-         (List.map
-            (fun (label, rate, sent, ok, shed, hostile_died, shed_frac, goodput, p50, p99) ->
-              Printf.sprintf
-                "    {\"level\": \"%s\", \"offered_rps\": %.1f, \"sent\": %d, \"ok\": %d, \
-                 \"shed\": %d, \"hostile_504\": %d, \"shed_fraction\": %.3f, \
-                 \"goodput_rps\": %.1f, \"p50_ms\": %.2f, \"p99_ms\": %.2f}"
-                label rate sent ok shed hostile_died shed_frac goodput p50 p99)
-            [ r_half; r_one; r_four ]));
-    output_string oc "\n  ]\n}\n";
+      \  \"goodput_ratio_4x_1x\": %.3f,\n  \"useful_ratio_brownout_vs_shed_only\": %.3f,\n\
+      \  \"levels\": [\n" quick capacity ratio useful_ratio;
+    output_string oc (String.concat ",\n" (List.map level_json [ r_half; r_one; r_four ]));
+    Printf.fprintf oc "\n  ],\n  \"brownout\": [\n%s\n  ]\n}\n" (level_json r_brown);
     close_out oc;
     Printf.printf "  wrote BENCH_server.json\n"
   end;
@@ -1105,6 +1205,16 @@ let overload () =
       "bench: goodput at 4x offered load is %.2fx the 1x goodput (floor %.2f) — \
        shedding failed to protect capacity\n"
       ratio floor;
+    exit 1
+  end;
+  (* The brownout gate: graceful degradation must at least double the
+     useful-response rate over shed-only admission at the same load. *)
+  let bfloor = if quick then 1.5 else 2.0 in
+  if useful_ratio < bfloor then begin
+    Printf.eprintf
+      "bench: brownout useful-response rate at 4x is %.2fx the shed-only baseline (floor \
+       %.2f) — degradation failed to convert sheds into useful answers\n"
+      useful_ratio bfloor;
     exit 1
   end
 

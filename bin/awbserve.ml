@@ -147,20 +147,29 @@ let run templates_dir sample model_file engine domains repeat deadline_ms cache_
 (* Serve mode                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let serve host port max_inflight queue_cap rate burst deadline_ms drain_deadline
-    sample model_file engine cache_capacity fuel max_depth max_nodes retries
-    quarantine_after fault_seed crash_rate deadline_rate transient_rate =
+let serve host port max_inflight queue_cap tenant_cap rate burst deadline_ms
+    drain_deadline brownout result_cache_cap sample model_file engine cache_capacity
+    fuel max_depth max_nodes retries quarantine_after fault_seed crash_rate
+    deadline_rate transient_rate =
   let engine =
     match Docgen.engine_of_string engine with Ok e -> e | Error m -> fail m
   in
   let model = match load_model sample model_file with Ok m -> m | Error m -> fail m in
   let fault = fault_config fault_seed crash_rate deadline_rate transient_rate in
+  (* The result cache exists for brownout's stale-while-revalidate: on
+     by default exactly when --brownout is, overridable either way. *)
+  let result_cache_cap =
+    match result_cache_cap with
+    | Some n -> n
+    | None -> if brownout then 256 else 0
+  in
   let svc =
     Service.create
       ~config:
         {
           Service.default_config with
           Service.cache_capacity;
+          result_cache_cap;
           fuel;
           max_depth;
           max_nodes;
@@ -179,6 +188,7 @@ let serve host port max_inflight queue_cap rate burst deadline_ms drain_deadline
           port;
           max_inflight;
           queue_cap;
+          tenant_cap = Option.value tenant_cap ~default:Server.default_config.Server.tenant_cap;
           rate;
           burst;
           default_deadline_s = Option.map (fun ms -> ms /. 1000.) deadline_ms;
@@ -186,14 +196,16 @@ let serve host port max_inflight queue_cap rate burst deadline_ms drain_deadline
           default_engine = engine;
           model = Some model;
           fault;
+          brownout = (if brownout then Some Server.Brownout.default_config else None);
         }
       svc
   in
   Server.install_sigterm server;
   Server.start server;
-  Printf.printf "awbserve: listening on %s:%d (%d workers, queue %d%s)\n%!" host
+  Printf.printf "awbserve: listening on %s:%d (%d workers, queue %d%s%s)\n%!" host
     (Server.port server) max_inflight queue_cap
-    (if rate > 0. then Printf.sprintf ", %.1f req/s per client" rate else "");
+    (if rate > 0. then Printf.sprintf ", %.1f req/s per client" rate else "")
+    (if brownout then ", brownout on" else "");
   (* Blocks until SIGTERM (or a remote drain) completes; exit 0 is the
      contract a process supervisor keys on. *)
   Server.await server;
@@ -314,6 +326,34 @@ let queue_cap =
     & info [ "queue-cap" ] ~docv:"N"
         ~doc:"Admission queue capacity; requests beyond it are shed with 503.")
 
+let tenant_cap =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "tenant-cap" ] ~docv:"N"
+        ~doc:
+          "Per-tenant bulkhead within the admission queue (tenant = X-Tenant header, \
+           else client address); a tenant past its cap gets 429 while other tenants \
+           keep their queue space. Default: no bulkhead.")
+
+let brownout =
+  Arg.(
+    value & flag
+    & info [ "brownout" ]
+        ~doc:
+          "Enable the graceful-degradation controller: under sustained load the \
+           server steps Normal -> Degraded -> Critical, serving stale cached results \
+           and skeleton documents instead of shedding everything.")
+
+let result_cache_cap =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "result-cache-cap" ] ~docv:"N"
+        ~doc:
+          "Completed-generation cache capacity for stale-while-revalidate (0 \
+           disables). Default: 256 with --brownout, 0 without.")
+
 let rate =
   Arg.(
     value & opt float 0.
@@ -367,10 +407,10 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(
-      const serve $ host $ port $ max_inflight $ queue_cap $ rate $ burst $ deadline_ms
-      $ drain_deadline $ sample $ model_file $ engine $ cache_capacity $ fuel
-      $ max_depth $ max_nodes $ retries $ quarantine_after $ fault_seed $ crash_rate
-      $ deadline_rate $ transient_rate)
+      const serve $ host $ port $ max_inflight $ queue_cap $ tenant_cap $ rate $ burst
+      $ deadline_ms $ drain_deadline $ brownout $ result_cache_cap $ sample
+      $ model_file $ engine $ cache_capacity $ fuel $ max_depth $ max_nodes $ retries
+      $ quarantine_after $ fault_seed $ crash_rate $ deadline_rate $ transient_rate)
 
 let cmd =
   let doc = "serve batches of document generations from AWB models" in

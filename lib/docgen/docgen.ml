@@ -38,8 +38,8 @@ end
 module Xq : Engine_intf.S = struct
   let name = "xq"
 
-  let generate ?backend ?limits ?fast_eval model ~template =
-    Xq_engine.generate_spec ?backend ?limits ?fast_eval model ~template
+  let generate ?backend ?limits ?fast_eval ?level model ~template =
+    Xq_engine.generate_spec ?backend ?limits ?fast_eval ?level model ~template
 end
 
 let engine_module : engine -> (module Engine_intf.S) = function
@@ -47,9 +47,10 @@ let engine_module : engine -> (module Engine_intf.S) = function
   | `Functional -> (module Functional)
   | `Xq -> (module Xq)
 
-let generate ?backend ?limits ?fast_eval ?(engine : engine = `Host) model ~template =
+let generate ?backend ?limits ?fast_eval ?level ?(engine : engine = `Host) model
+    ~template =
   let (module E : Engine_intf.S) = engine_module engine in
-  E.generate ?backend ?limits ?fast_eval model ~template
+  E.generate ?backend ?limits ?fast_eval ?level model ~template
 
 let generate_with_streams ?backend ?limits ?fast_eval ?(engine : engine = `Host) model
     ~template =

@@ -32,7 +32,10 @@ let kind_of_string : string -> (kind, string) result = function
     carrying the trip's [resource:*] code, plus a [problems] entry — it
     never escapes as an exception. [fast_eval] pins ([false]) or enables
     ([true]) the XQuery evaluator's fast paths where the engine runs
-    queries through it. *)
+    queries through it. [level] selects the degradation level:
+    [Spec.Skeleton] skips the optional enrichment phases (TOC/omissions
+    regeneration, marker patching) so a brownout can trade completeness
+    for latency; engines without those phases accept and ignore it. *)
 module type S = sig
   val name : string
 
@@ -40,6 +43,7 @@ module type S = sig
     ?backend:Spec.query_backend ->
     ?limits:Xquery.Context.limits ->
     ?fast_eval:bool ->
+    ?level:Spec.level ->
     Awb.Model.t ->
     template:Xml_base.Node.t ->
     Spec.result

@@ -23,6 +23,7 @@ type ctx = {
   model : Awb.Model.t;
   queries : Queries.t;
   limits : Xquery.Context.limits; (* ticked once per directive *)
+  level : level;
   focus : Awb.Model.node option;
   path : string list; (* reversed; innermost first *)
   depth : int; (* section nesting *)
@@ -190,7 +191,9 @@ let rec gen ctx (tpl : N.t) : N.t list =
     | "count-of" -> gen_count_of ctx tpl
     | "with-single" -> gen_with_single ctx tpl
     | "section" -> gen_section ctx tpl
-    | "table-of-contents" -> [ N.element "TOC-PLACEHOLDER" ]
+    | "table-of-contents" ->
+      if ctx.level = Skeleton then [ render_toc_skeleton () ]
+      else [ N.element "TOC-PLACEHOLDER" ]
     | "table-of-omissions" -> gen_omissions_placeholder ctx tpl
     | "grid-table" -> gen_grid ctx tpl
     | "marker-table" -> gen_marker_table ctx tpl
@@ -231,7 +234,9 @@ and gen_for ctx tpl =
           if is_error ctx body then body
           else
             let tail = iterate rest in
-            if is_error ctx tail then tail else (visited_marker n :: body) @ tail
+            if is_error ctx tail then tail
+            else if ctx.level = Skeleton then body @ tail
+            else (visited_marker n :: body) @ tail
       in
       iterate nodes)
 
@@ -332,7 +337,9 @@ and gen_with_single ctx tpl =
     | [ n ] ->
       ctx.stats.visited_count <- ctx.stats.visited_count + 1;
       let body = gen_list { ctx with focus = Some n } (N.children tpl) in
-      if is_error ctx body then body else visited_marker n :: body
+      if is_error ctx body then body
+      else if ctx.level = Skeleton then body
+      else visited_marker n :: body
     | others -> [ make_error ctx (msg_exactly_one ty (List.length others)) ])
 
 and gen_section ctx tpl =
@@ -363,19 +370,21 @@ and gen_section ctx tpl =
           | N.Attribute | N.Comment | N.Processing_instruction -> ""
         in
         let heading_text = String.concat "" (List.map visible_text heading_out) in
-        [
-          toc_marker ctx.depth heading_text;
+        let div =
           N.element "div"
             ~attrs:[ N.attribute "class" "section" ]
             ~children:
-              (N.element (Printf.sprintf "h%d" level) ~children:heading_out :: body);
-        ])
+              (N.element (Printf.sprintf "h%d" level) ~children:heading_out :: body)
+        in
+        if ctx.level = Skeleton then [ div ]
+        else [ toc_marker ctx.depth heading_text; div ])
 
 and gen_omissions_placeholder ctx tpl =
   match required_attr ctx tpl "types" with
   | Either.Right e -> e
   | Either.Left types ->
-    [ N.element "OMISSIONS-PLACEHOLDER" ~attrs:[ N.attribute "types" types ] ]
+    if ctx.level = Skeleton then [ render_omissions_skeleton () ]
+    else [ N.element "OMISSIONS-PLACEHOLDER" ~attrs:[ N.attribute "types" types ] ]
 
 and gen_grid ctx tpl =
   match (required_attr ctx tpl "rows", required_attr ctx tpl "cols", required_attr ctx tpl "rel") with
@@ -399,19 +408,27 @@ and gen_marker_table ctx tpl =
   | _, _, _, Either.Right e ->
     e
   | Either.Left name, Either.Left rows_src, Either.Left cols_src, Either.Left rel -> (
-    match (parse_query ctx rows_src, parse_query ctx cols_src) with
-    | Either.Right e, _ | _, Either.Right e -> e
-    | Either.Left rows_q, Either.Left cols_q ->
-      let rows = Queries.run ctx.queries ?focus:ctx.focus rows_q in
-      let cols = Queries.run ctx.queries ?focus:ctx.focus cols_q in
-      [
-        internal_data
-          [
-            N.element "MARKER-TABLE"
-              ~attrs:[ N.attribute "name" name ]
-              ~children:[ build_grid_all_at_once ctx.model rel rows cols ];
-          ];
-      ])
+    (* Skeleton: attributes are still validated (same errors as the host
+       engine) but no table is built — the patch phase that would splice
+       it is exactly what the skeleton sheds. *)
+    if ctx.level = Skeleton then begin
+      ignore (name, rows_src, cols_src, rel);
+      []
+    end
+    else
+      match (parse_query ctx rows_src, parse_query ctx cols_src) with
+      | Either.Right e, _ | _, Either.Right e -> e
+      | Either.Left rows_q, Either.Left cols_q ->
+        let rows = Queries.run ctx.queries ?focus:ctx.focus rows_q in
+        let cols = Queries.run ctx.queries ?focus:ctx.focus cols_q in
+        [
+          internal_data
+            [
+              N.element "MARKER-TABLE"
+                ~attrs:[ N.attribute "name" name ]
+                ~children:[ build_grid_all_at_once ctx.model rel rows cols ];
+            ];
+        ])
 
 (* ------------------------------------------------------------------ *)
 (* Phases 2..5: whole-document copies                                  *)
@@ -556,7 +573,7 @@ let marker_problems root used_root =
       else Some (Printf.sprintf "marker table %s was defined but %s never appears" name phrase))
     defined
 
-let generate ?(backend = Xquery_queries) ?limits ?fast_eval model ~template =
+let generate ?(backend = Xquery_queries) ?limits ?fast_eval ?(level = Full) model ~template =
   let stats = new_stats () in
   let limits =
     match limits with Some l -> l | None -> Xquery.Context.unlimited ()
@@ -567,7 +584,9 @@ let generate ?(backend = Xquery_queries) ?limits ?fast_eval model ~template =
       (fun w -> Format.asprintf "%a" Awb.Validate.pp_warning w)
       (Awb.Validate.check model)
   in
-  let ctx = { model; queries; limits; focus = None; path = []; depth = 0; stats } in
+  let ctx =
+    { model; queries; limits; level; focus = None; path = []; depth = 0; stats }
+  in
   stats.phases <- 1;
   match
     (* Fail an already-blown budget before any generation work. *)
@@ -595,6 +614,11 @@ let generate ?(backend = Xquery_queries) ?limits ?fast_eval model ~template =
       }
     else (
       match phase1 with
+      | [ root1 ] when level = Skeleton ->
+        (* The walk already dropped skeleton stubs in place and emitted
+           no INTERNAL-DATA: phases 2..5 — the whole-document copies the
+           paper calls "fairly inefficient" — are exactly what we shed. *)
+        { document = root1; problems = validation_problems; stats }
       | [ root1 ] ->
         let problems = validation_problems @ marker_problems root1 root1 in
         let root2 = phase_omissions ctx root1 in

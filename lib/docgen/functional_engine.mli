@@ -12,6 +12,7 @@ val generate :
   ?backend:Spec.query_backend ->
   ?limits:Xquery.Context.limits ->
   ?fast_eval:bool ->
+  ?level:Spec.level ->
   Awb.Model.t ->
   template:Xml_base.Node.t ->
   Spec.result
@@ -21,7 +22,9 @@ val generate :
     the message and directive location. [limits] budgets the run (one
     tick per template directive plus the queries' own accounting); a trip
     returns a [<generation-failed>] document with the [resource:*] code
-    and a [problems] entry. *)
+    and a [problems] entry. [level = Skeleton] emits no [<INTERNAL-DATA>]
+    and skips phases 2..5 entirely — the whole-document copies are the
+    cost being shed — producing the same skeleton as the host engine. *)
 
 val generate_with_streams :
   ?backend:Spec.query_backend ->

@@ -24,6 +24,7 @@ type state = {
   model : Awb.Model.t;
   queries : Queries.t;
   limits : Xquery.Context.limits; (* ticked once per directive *)
+  level : level;
   stats : stats;
   visited : (string, unit) Hashtbl.t;
   mutable toc : (int * string) ref list;
@@ -250,10 +251,13 @@ let rec gen state ctx (tpl : N.t) : N.t list =
           ~attrs:[ N.attribute "class" "section" ]
           ~children:(N.element (Printf.sprintf "h%d" level) ~children:heading_out :: body);
       ]
-    | "table-of-contents" -> [ N.element "TOC-PLACEHOLDER" ]
+    | "table-of-contents" ->
+      if state.level = Skeleton then [ render_toc_skeleton () ]
+      else [ N.element "TOC-PLACEHOLDER" ]
     | "table-of-omissions" ->
       let types = required_attr state ctx tpl "types" in
-      [ N.element "OMISSIONS-PLACEHOLDER" ~attrs:[ N.attribute "types" types ] ]
+      if state.level = Skeleton then [ render_omissions_skeleton () ]
+      else [ N.element "OMISSIONS-PLACEHOLDER" ~attrs:[ N.attribute "types" types ] ]
     | "grid-table" ->
       let rows_src = required_attr state ctx tpl "rows" in
       let cols_src = required_attr state ctx tpl "cols" in
@@ -266,9 +270,15 @@ let rec gen state ctx (tpl : N.t) : N.t list =
       let rows_src = required_attr state ctx tpl "rows" in
       let cols_src = required_attr state ctx tpl "cols" in
       let rel = required_attr state ctx tpl "rel" in
-      let rows = Queries.run state.queries ?focus:ctx.focus (parse_query state ctx rows_src) in
-      let cols = Queries.run state.queries ?focus:ctx.focus (parse_query state ctx cols_src) in
-      state.markers <- (name, build_grid_skeleton_and_fill state.model rel rows cols) :: state.markers;
+      if state.level = Skeleton then
+        (* No marker patch pass will run: leave the phrase in the text
+           and skip building the table at all. *)
+        ignore (name, rows_src, cols_src, rel)
+      else begin
+        let rows = Queries.run state.queries ?focus:ctx.focus (parse_query state ctx rows_src) in
+        let cols = Queries.run state.queries ?focus:ctx.focus (parse_query state ctx cols_src) in
+        state.markers <- (name, build_grid_skeleton_and_fill state.model rel rows cols) :: state.markers
+      end;
       []
     | _ ->
       let kids = gen_list state ctx (N.children tpl) in
@@ -365,7 +375,7 @@ let template_root template =
   | N.Document -> List.hd (N.child_elements template)
   | _ -> template
 
-let generate ?(backend = Native_queries) ?limits ?fast_eval model ~template =
+let generate ?(backend = Native_queries) ?limits ?fast_eval ?(level = Full) model ~template =
   let stats = new_stats () in
   let limits =
     match limits with Some l -> l | None -> Xquery.Context.unlimited ()
@@ -376,6 +386,7 @@ let generate ?(backend = Native_queries) ?limits ?fast_eval model ~template =
       model;
       queries;
       limits;
+      level;
       stats;
       visited = Hashtbl.create 64;
       toc = [];
@@ -399,8 +410,12 @@ let generate ?(backend = Native_queries) ?limits ?fast_eval model ~template =
     gen state ctx (template_root template)
   with
   | [ root ] ->
-    patch_placeholders state root;
-    patch_markers state root;
+    (* A skeleton run ends at the walk: stubs are already in place, the
+       "very modest second phase" is exactly what we shed. *)
+    if level = Full then begin
+      patch_placeholders state root;
+      patch_markers state root
+    end;
     { document = root; problems = validation_problems @ List.rev state.problems; stats }
   | _ ->
     {

@@ -17,6 +17,7 @@ val generate :
   ?backend:Spec.query_backend ->
   ?limits:Xquery.Context.limits ->
   ?fast_eval:bool ->
+  ?level:Spec.level ->
   Awb.Model.t ->
   template:Xml_base.Node.t ->
   Spec.result
@@ -24,7 +25,9 @@ val generate :
     the rewrite ran its queries natively. [limits] budgets the run (one
     tick per template directive plus the queries' own accounting); a trip
     returns a [<generation-failed>] document with the [resource:*] code
-    and a [problems] entry. *)
+    and a [problems] entry. [level = Skeleton] stops after the generation
+    walk: TOC/omissions placeholders render as degraded stubs and the
+    in-place patch pass never runs. *)
 
 val generate_with_streams :
   ?backend:Spec.query_backend ->

@@ -46,6 +46,18 @@ let directive_names =
 
 type query_backend = Native_queries | Xquery_queries
 
+(* Degradation level. [Full] runs every phase. [Skeleton] is the
+   brownout answer: the single generation walk only, with the optional
+   enrichment phases — TOC/omissions regeneration and the marker patch
+   pass, exactly the whole-document copies the paper shows dominating
+   the functional engine's cost — skipped. Placeholders render as empty
+   stub divs (below) so a skeleton is still a valid document, and both
+   engines must produce byte-identical skeletons just as they do full
+   documents. *)
+type level = Full | Skeleton
+
+let level_name = function Full -> "full" | Skeleton -> "skeleton"
+
 (* ------------------------------------------------------------------ *)
 (* Instrumentation                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -116,6 +128,14 @@ let render_toc entries =
   N.element "div"
     ~attrs:[ N.attribute "class" "table-of-contents" ]
     ~children:[ N.element "ol" ~children:(List.map item entries) ]
+
+(* The degraded stand-ins a Skeleton run drops in place of the real
+   tables: structurally valid, visibly marked, and cheap. *)
+let render_toc_skeleton () =
+  N.element "div" ~attrs:[ N.attribute "class" "table-of-contents degraded" ]
+
+let render_omissions_skeleton () =
+  N.element "div" ~attrs:[ N.attribute "class" "table-of-omissions degraded" ]
 
 (* Omissions: nodes of the given types never visited, sorted by label. *)
 let render_omissions model ~visited ~types =

@@ -9,6 +9,16 @@ val directive_names : string list
 
 type query_backend = Native_queries | Xquery_queries
 
+type level = Full | Skeleton
+(** Degradation level. [Full] runs every phase. [Skeleton] runs the
+    generation walk only: TOC/omissions regeneration and the marker
+    patch pass — the whole-document enrichment phases — are skipped,
+    and their placeholders render as the degraded stubs below. All
+    engines must produce byte-identical skeletons, same as full runs. *)
+
+val level_name : level -> string
+(** ["full"] / ["skeleton"]. *)
+
 (** {1 Instrumentation} *)
 
 type stats = {
@@ -43,6 +53,13 @@ val render_toc : (int * string) list -> Xml_base.Node.t
 val render_omissions :
   Awb.Model.t -> visited:(string -> bool) -> types:string list -> Xml_base.Node.t
 (** Omissions: nodes of the given types never visited, sorted by label. *)
+
+val render_toc_skeleton : unit -> Xml_base.Node.t
+(** The empty stub a [Skeleton] run drops where the TOC would go. *)
+
+val render_omissions_skeleton : unit -> Xml_base.Node.t
+(** The empty stub a [Skeleton] run drops where the omissions table
+    would go. *)
 
 val grid_cell : Awb.Model.t -> string -> Awb.Model.node -> Awb.Model.node -> string
 (** Grid-table cell text: how many [rel] relation instances connect row

@@ -157,7 +157,8 @@ let generate ?limits ?fast_eval model ~template =
    other two engines produce, and a resource-budget trip inside the
    evaluator the same <generation-failed> + problems entry as the other
    engines'. *)
-let generate_spec ?backend:_ ?compiled ?limits ?fast_eval model ~template : Spec.result =
+let generate_spec ?backend:_ ?compiled ?limits ?fast_eval ?level:_ model ~template :
+    Spec.result =
   let stats = Spec.new_stats () in
   stats.Spec.phases <- 1;
   stats.Spec.queries_run <- 1;

@@ -42,11 +42,14 @@ val generate_spec :
   ?compiled:Xquery.Engine.compiled ->
   ?limits:Xquery.Context.limits ->
   ?fast_eval:bool ->
+  ?level:Spec.level ->
   Awb.Model.t ->
   template:Xml_base.Node.t ->
   Spec.result
 (** {!Engine_intf.S}-shaped adapter. [backend] is accepted for interface
-    uniformity and ignored (the xq core embeds its own queries); an
+    uniformity and ignored (the xq core embeds its own queries), and so
+    is [level] — the dispatch core has no enrichment phases to shed, its
+    full output already is the skeleton-grade document; an
     error surfaces as a [<generation-failed>] document, like the other
     engines, and a resource-budget trip as the same document with its
     [resource:*] code plus a [problems] entry. Pass [compiled] to skip

@@ -1,0 +1,165 @@
+(* The brownout controller: a three-mode load governor with hysteresis.
+
+   The server feeds it a composite load signal — the max of admission-
+   queue occupancy, the windowed shed fraction, and p95 service time
+   against a target — and it steps Normal -> Degraded -> Critical and
+   back. Two defenses against flapping: separate enter/exit thresholds
+   (a mode entered at 0.75 is not left until the signal falls to 0.35),
+   and consecutive-observation counts (one spiky sample moves nothing).
+
+   Everything is driven by explicit [now] values from the monotonic
+   clock, and the signal can be overridden wholesale (the Fault
+   load_signal hook), so tests walk the whole mode ladder with zero
+   sleeps and zero real load. *)
+
+type mode = Normal | Degraded | Critical
+
+let mode_name = function
+  | Normal -> "normal"
+  | Degraded -> "degraded"
+  | Critical -> "critical"
+
+let mode_index = function Normal -> 0 | Degraded -> 1 | Critical -> 2
+
+type config = {
+  degraded_enter : float;
+  degraded_exit : float;
+  critical_enter : float;
+  critical_exit : float;
+  up_consecutive : int;
+  down_consecutive : int;
+  eval_interval_s : float;
+  p95_target_s : float;
+}
+
+let default_config =
+  {
+    degraded_enter = 0.75;
+    degraded_exit = 0.35;
+    critical_enter = 0.92;
+    critical_exit = 0.6;
+    up_consecutive = 2;
+    down_consecutive = 8;
+    eval_interval_s = 0.2;
+    p95_target_s = 1.0;
+  }
+
+type t = {
+  config : config;
+  mutex : Mutex.t;
+  mutable mode : mode;
+  mutable up_streak : int;
+  mutable down_streak : int;
+  mutable last_eval : float; (* monotonic; neg_infinity = never *)
+  mutable p95_ewma_s : float;
+  mutable sampled_since_eval : bool;
+  mutable transitions : int;
+}
+
+let create config =
+  {
+    config;
+    mutex = Mutex.create ();
+    mode = Normal;
+    up_streak = 0;
+    down_streak = 0;
+    last_eval = neg_infinity;
+    p95_ewma_s = 0.;
+    sampled_since_eval = false;
+    transitions = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let mode t = with_lock t (fun () -> t.mode)
+let transitions t = with_lock t (fun () -> t.transitions)
+
+(* Asymmetric EWMA as a p95 stand-in: jump fast when a sample exceeds
+   the estimate (bad news should register within a few requests), decay
+   slowly otherwise. With rise 0.3 / decay 0.05 the estimate sits near
+   the upper tail of the recent service-time distribution — a cheap p95
+   approximation that needs no histogram and no clock reads beyond the
+   sample itself. *)
+let observe_service_time t dt_s =
+  with_lock t (fun () ->
+      let q = t.p95_ewma_s in
+      let alpha = if dt_s > q then 0.3 else 0.05 in
+      t.p95_ewma_s <- q +. (alpha *. (dt_s -. q));
+      t.sampled_since_eval <- true)
+
+let p95_estimate_s t = with_lock t (fun () -> t.p95_ewma_s)
+
+(* One controller step. Rate-limited by eval_interval_s (<= 0 evaluates
+   every call — what the deterministic tests use); between evaluations
+   the current mode is simply reported. *)
+let note t ?override ~queue_occupancy ~shed_fraction ~now () =
+  with_lock t (fun () ->
+      if
+        t.config.eval_interval_s > 0.
+        && now -. t.last_eval < t.config.eval_interval_s
+      then t.mode
+      else begin
+        t.last_eval <- now;
+        (* An evaluation window with no completed work carries no
+           evidence of slowness, and a frozen estimate would hold the
+           controller above its exit threshold forever once traffic
+           stops (stale hits and sheds never reach a worker). Decay it
+           toward zero — gradually, so a brief completion gap under
+           heavy queueing does not erase a real signal. *)
+        if not t.sampled_since_eval then t.p95_ewma_s <- t.p95_ewma_s *. 0.8;
+        t.sampled_since_eval <- false;
+        let signal =
+          match override with
+          | Some x -> x
+          | None ->
+            Float.max queue_occupancy
+              (Float.max shed_fraction
+                 (if t.config.p95_target_s > 0. then
+                    t.p95_ewma_s /. t.config.p95_target_s
+                  else 0.))
+        in
+        let switch m =
+          t.mode <- m;
+          t.transitions <- t.transitions + 1;
+          t.up_streak <- 0;
+          t.down_streak <- 0
+        in
+        (* Worse-than-enter observations feed the up streak, better-than-
+           exit observations the down streak; anything in the hysteresis
+           band resets both (the mode is holding). *)
+        (match t.mode with
+        | Normal ->
+          if signal >= t.config.degraded_enter then begin
+            t.up_streak <- t.up_streak + 1;
+            t.down_streak <- 0;
+            if t.up_streak >= t.config.up_consecutive then switch Degraded
+          end
+          else begin
+            t.up_streak <- 0;
+            t.down_streak <- 0
+          end
+        | Degraded ->
+          if signal >= t.config.critical_enter then begin
+            t.up_streak <- t.up_streak + 1;
+            t.down_streak <- 0;
+            if t.up_streak >= t.config.up_consecutive then switch Critical
+          end
+          else if signal <= t.config.degraded_exit then begin
+            t.down_streak <- t.down_streak + 1;
+            t.up_streak <- 0;
+            if t.down_streak >= t.config.down_consecutive then switch Normal
+          end
+          else begin
+            t.up_streak <- 0;
+            t.down_streak <- 0
+          end
+        | Critical ->
+          if signal <= t.config.critical_exit then begin
+            t.down_streak <- t.down_streak + 1;
+            if t.down_streak >= t.config.down_consecutive then switch Degraded
+          end
+          else t.down_streak <- 0);
+        t.mode
+      end)

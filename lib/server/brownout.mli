@@ -1,0 +1,72 @@
+(** The brownout controller: steps the server through
+    [Normal -> Degraded -> Critical] on a composite load signal, with
+    hysteresis against flapping.
+
+    The signal is the max of admission-queue occupancy, the windowed
+    shed fraction, and the p95 service-time estimate over its target —
+    all in [0, 1]-ish units where 1 means "saturated". Two anti-flap
+    mechanisms: enter thresholds sit well above exit thresholds, and a
+    transition needs several consecutive qualifying observations.
+
+    Deterministic by construction: every evaluation takes an explicit
+    monotonic [now], and the whole signal can be overridden (the
+    {!Service.Fault} [load_signal] hook) so tests force any transition
+    sequence without sleeping or generating load. *)
+
+type mode = Normal | Degraded | Critical
+
+val mode_name : mode -> string
+(** ["normal"] / ["degraded"] / ["critical"] — the [X-Service-Mode]
+    header values. *)
+
+val mode_index : mode -> int
+(** 0 / 1 / 2 — the [/metrics] gauge value. *)
+
+type config = {
+  degraded_enter : float;  (** signal at or above this pushes toward Degraded *)
+  degraded_exit : float;  (** signal at or below this pulls Degraded back to Normal *)
+  critical_enter : float;
+  critical_exit : float;
+  up_consecutive : int;  (** qualifying observations needed to escalate *)
+  down_consecutive : int;  (** qualifying observations needed to recover *)
+  eval_interval_s : float;
+      (** minimum spacing between controller steps; [<= 0] evaluates on
+          every call (deterministic tests) *)
+  p95_target_s : float;  (** service time treated as "signal = 1.0" *)
+}
+
+val default_config : config
+(** Enter Degraded at 0.75, exit at 0.35; enter Critical at 0.92, exit
+    at 0.6; 2 observations up, 8 down; 200 ms evaluation spacing; 1 s
+    p95 target. *)
+
+type t
+
+val create : config -> t
+(** Starts in [Normal]. *)
+
+val mode : t -> mode
+(** The current mode, without evaluating. *)
+
+val transitions : t -> int
+(** Mode changes since creation. *)
+
+val observe_service_time : t -> float -> unit
+(** Feed one completed request's service time (seconds). Maintains an
+    asymmetric EWMA (fast rise, slow decay) used as the p95 estimate in
+    the composite signal. *)
+
+val p95_estimate_s : t -> float
+
+val note :
+  t ->
+  ?override:float ->
+  queue_occupancy:float ->
+  shed_fraction:float ->
+  now:float ->
+  unit ->
+  mode
+(** One controller step at monotonic time [now] (rate-limited by
+    [eval_interval_s]); returns the possibly-updated mode. [override],
+    when given, replaces the computed composite signal entirely — the
+    deterministic-test hook. *)

@@ -1,0 +1,159 @@
+(* Weighted fair queueing for admission, keyed by tenant.
+
+   PR 4's admission queue was one global FIFO: a single flooding tenant
+   filled it and everyone else's requests became 503s. Here each tenant
+   gets its own FIFO of pending items plus a bulkhead cap, and the
+   dequeue side interleaves tenants by virtual finish time — the
+   classic WFQ construction:
+
+     vtime(item) = max(vnow, tenant.last_vtime) + 1/weight
+     pop         = the item with the smallest (vtime, seq)
+
+   A tenant enqueueing alone advances its own last_vtime, so a burst
+   from one tenant queues behind its own earlier work while a newly
+   arriving tenant starts at vnow and is served within one "turn" —
+   that's the fairness. With a single tenant the (vtime, seq) order
+   collapses to arrival order, so PR-4 behaviour (strict FIFO) is
+   preserved exactly.
+
+   Two distinct rejections: [`Queue_full] (the global capacity is
+   exhausted — a 503, the server as a whole is saturated) and
+   [`Tenant_full] (this tenant hit its bulkhead — a 429, *their*
+   problem, everyone else is fine).
+
+   Same concurrency shape as Admission: one mutex + condvar, blocking
+   [pop], [close] wakes everyone. *)
+
+type 'a entry = { item : 'a; vtime : float; seq : int }
+
+type 'a tenant_state = {
+  items : 'a entry Queue.t;
+  mutable last_vtime : float;
+  weight : float;
+}
+
+type 'a t = {
+  capacity : int; (* global, across tenants *)
+  tenant_cap : int; (* per-tenant bulkhead *)
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  tenants : (string, 'a tenant_state) Hashtbl.t;
+  mutable vnow : float; (* virtual time of the last pop *)
+  mutable seq : int; (* global arrival counter (vtime tie-break) *)
+  mutable depth : int;
+  mutable closed : bool;
+}
+
+let create ~capacity ~tenant_cap =
+  let capacity = max 1 capacity in
+  {
+    capacity;
+    tenant_cap = min capacity (max 1 tenant_cap);
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    tenants = Hashtbl.create 16;
+    vnow = 0.;
+    seq = 0;
+    depth = 0;
+    closed = false;
+  }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let push t ~tenant ?(weight = 1.) item =
+  with_lock t (fun () ->
+      if t.closed then `Shed `Queue_full
+      else if t.depth >= t.capacity then `Shed `Queue_full
+      else begin
+        let state =
+          match Hashtbl.find_opt t.tenants tenant with
+          | Some s -> s
+          | None ->
+            let s =
+              { items = Queue.create (); last_vtime = 0.; weight = Float.max 1e-6 weight }
+            in
+            Hashtbl.replace t.tenants tenant s;
+            s
+        in
+        if Queue.length state.items >= t.tenant_cap then `Shed `Tenant_full
+        else begin
+          let vtime =
+            Float.max t.vnow state.last_vtime +. (1. /. state.weight)
+          in
+          state.last_vtime <- vtime;
+          let seq = t.seq in
+          t.seq <- seq + 1;
+          Queue.push { item; vtime; seq } state.items;
+          t.depth <- t.depth + 1;
+          Condition.signal t.nonempty;
+          `Accepted
+        end
+      end)
+
+(* The tenant whose head entry has the smallest (vtime, seq). Linear in
+   the number of tenants with queued work — admission queues are small
+   (tens of entries) and tenant counts smaller, so a heap would be
+   ceremony without payoff here. *)
+let best_tenant t =
+  Hashtbl.fold
+    (fun name state best ->
+      match Queue.peek_opt state.items with
+      | None -> best
+      | Some head -> (
+        match best with
+        | Some (_, _, bh) when (bh.vtime, bh.seq) <= (head.vtime, head.seq) -> best
+        | _ -> Some (name, state, head)))
+    t.tenants None
+
+let rec pop t =
+  with_lock t (fun () ->
+      match best_tenant t with
+      | Some (name, state, head) ->
+        ignore (Queue.pop state.items);
+        t.depth <- t.depth - 1;
+        t.vnow <- Float.max t.vnow head.vtime;
+        (* Dropping an idle tenant's state is safe: last_vtime <= vnow
+           by construction, so re-creation at vnow loses nothing. *)
+        if Queue.is_empty state.items then Hashtbl.remove t.tenants name;
+        `Item head.item
+      | None -> if t.closed then `Closed else `Wait)
+  |> function
+  | `Item x -> Some x
+  | `Closed -> None
+  | `Wait ->
+    with_lock t (fun () ->
+        if not t.closed && best_tenant t = None then Condition.wait t.nonempty t.mutex);
+    pop t
+
+let close t =
+  with_lock t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+(* Everything still queued, in the order pop would have served it.
+   Leaves the queue empty (drain answers each item itself). *)
+let flush t =
+  with_lock t (fun () ->
+      let all =
+        Hashtbl.fold
+          (fun _ state acc -> Queue.fold (fun acc e -> e :: acc) acc state.items)
+          t.tenants []
+      in
+      Hashtbl.reset t.tenants;
+      t.depth <- 0;
+      let sorted =
+        List.sort (fun a b -> compare (a.vtime, a.seq) (b.vtime, b.seq)) all
+      in
+      List.map (fun e -> e.item) sorted)
+
+let depth t = with_lock t (fun () -> t.depth)
+
+let tenant_depth t tenant =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.tenants tenant with
+      | Some s -> Queue.length s.items
+      | None -> 0)
+
+let closed t = with_lock t (fun () -> t.closed)

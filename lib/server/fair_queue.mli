@@ -1,0 +1,48 @@
+(** Weighted fair queueing for admission, keyed by tenant.
+
+    Each tenant gets its own FIFO plus a bulkhead cap; the dequeue side
+    interleaves tenants by virtual finish time
+    ([max(vnow, tenant_last) + 1/weight], ties broken by arrival), so a
+    flooding tenant queues behind its own earlier work while everyone
+    else is served within their fair share. With a single tenant the
+    order is exactly arrival order — the PR-4 global FIFO, preserved.
+
+    Rejections distinguish {e whose} problem it is: [`Queue_full] means
+    the server as a whole is saturated (503), [`Tenant_full] means this
+    tenant hit its own bulkhead (429 — their flood, their refusals).
+
+    Thread-safe; [pop] blocks; [close] wakes every popper. *)
+
+type 'a t
+
+val create : capacity:int -> tenant_cap:int -> 'a t
+(** [capacity] is the global bound, [tenant_cap] the per-tenant
+    bulkhead; both are clamped to at least 1, and [tenant_cap] to at
+    most [capacity]. *)
+
+val push :
+  'a t ->
+  tenant:string ->
+  ?weight:float ->
+  'a ->
+  [ `Accepted | `Shed of [ `Queue_full | `Tenant_full ] ]
+(** Enqueue under [tenant]. [weight] (default 1) scales the tenant's
+    share: a tenant at weight 0.25 is served a quarter as often under
+    contention — the background-refresh lane. The weight is fixed by the
+    tenant's first queued item and applies while it has work queued. A
+    closed queue sheds [`Queue_full]. *)
+
+val pop : 'a t -> 'a option
+(** Blocking: the queued item with the smallest virtual finish time, or
+    [None] once the queue is closed and drained of nothing — closed
+    queues report [None] immediately. *)
+
+val close : 'a t -> unit
+
+val flush : 'a t -> 'a list
+(** Remove and return everything queued, in the order {!pop} would have
+    served it. *)
+
+val depth : 'a t -> int
+val tenant_depth : 'a t -> string -> int
+val closed : 'a t -> bool

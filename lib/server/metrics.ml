@@ -8,6 +8,14 @@
    stable number that flips /readyz rather than a per-request flicker.
    The window state is tiny and mutated under its own mutex. *)
 
+(* Cap on distinct tenant label values in /metrics: a flood of
+   never-seen-again tenant keys (e.g. one per client port) must not grow
+   the exposition without bound. Past the cap, traffic lands on the
+   "_other" bucket. *)
+let max_tracked_tenants = 64
+
+type tenant_counts = { mutable t_served : int; mutable t_shed : int }
+
 type t = {
   accepted : int Atomic.t;
   shed : int Atomic.t;
@@ -16,15 +24,25 @@ type t = {
   drained : int Atomic.t;
   worker_restarts : int Atomic.t;
   bad_requests : int Atomic.t;
+  stale_served : int Atomic.t;
+  skeletons : int Atomic.t;
+  refreshes : int Atomic.t;
+  tenant_rejected : int Atomic.t;
   window_s : float;
   wmutex : Mutex.t;
   mutable wstart : float;  (* monotonic start of the current window *)
   mutable wtotal : int;  (* admission decisions this window *)
   mutable wshed : int;
   mutable prev_fraction : float;  (* shed fraction of the last full window *)
+  mutable cstart : float;  (* completion-rate window (same cadence) *)
+  mutable ccount : int;  (* completions this window *)
+  mutable crate : float;  (* completions/s of the last full window *)
+  tmutex : Mutex.t;
+  tenants : (string, tenant_counts) Hashtbl.t;
 }
 
 let create ?(window_s = 2.) () =
+  let now = Clock.now () in
   {
     accepted = Atomic.make 0;
     shed = Atomic.make 0;
@@ -33,12 +51,21 @@ let create ?(window_s = 2.) () =
     drained = Atomic.make 0;
     worker_restarts = Atomic.make 0;
     bad_requests = Atomic.make 0;
+    stale_served = Atomic.make 0;
+    skeletons = Atomic.make 0;
+    refreshes = Atomic.make 0;
+    tenant_rejected = Atomic.make 0;
     window_s;
     wmutex = Mutex.create ();
-    wstart = Clock.now ();
+    wstart = now;
     wtotal = 0;
     wshed = 0;
     prev_fraction = 0.;
+    cstart = now;
+    ccount = 0;
+    crate = 0.;
+    tmutex = Mutex.create ();
+    tenants = Hashtbl.create 16;
   }
 
 let with_window t f =
@@ -78,6 +105,10 @@ let incr_quarantine_429 t = Atomic.incr t.quarantine_429
 let incr_drained t = Atomic.incr t.drained
 let incr_worker_restarts t = Atomic.incr t.worker_restarts
 let incr_bad_requests t = Atomic.incr t.bad_requests
+let incr_stale_served t = Atomic.incr t.stale_served
+let incr_skeletons t = Atomic.incr t.skeletons
+let incr_refreshes t = Atomic.incr t.refreshes
+let incr_tenant_rejected t = Atomic.incr t.tenant_rejected
 
 let accepted t = Atomic.get t.accepted
 let shed t = Atomic.get t.shed
@@ -86,14 +117,107 @@ let quarantine_429 t = Atomic.get t.quarantine_429
 let drained t = Atomic.get t.drained
 let worker_restarts t = Atomic.get t.worker_restarts
 let bad_requests t = Atomic.get t.bad_requests
+let stale_served t = Atomic.get t.stale_served
+let skeletons t = Atomic.get t.skeletons
+let refreshes t = Atomic.get t.refreshes
+let tenant_rejected t = Atomic.get t.tenant_rejected
 
 let shed_fraction t ~now = with_window t (fun () -> roll t ~now; t.prev_fraction)
 
-let to_prometheus t ~queue_depth ~inflight ~ready =
+(* ------------------------------------------------------------------ *)
+(* Completion rate and the derived Retry-After                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Same windowing as the shed fraction: the rate reported is from the
+   most recently completed window, decaying to zero after two silent
+   windows. All arithmetic takes an explicit [now] so the estimate is
+   unit-testable with synthetic timestamps. *)
+let roll_completions t ~now =
+  if now -. t.cstart >= t.window_s then begin
+    t.crate <-
+      (if now -. t.cstart >= 2. *. t.window_s then 0.
+       else float_of_int t.ccount /. t.window_s);
+    t.cstart <- now;
+    t.ccount <- 0
+  end
+
+let note_completion t ~now =
+  with_window t (fun () ->
+      roll_completions t ~now;
+      t.ccount <- t.ccount + 1)
+
+let completion_rate t ~now =
+  with_window t (fun () ->
+      roll_completions t ~now;
+      t.crate)
+
+(* Estimated seconds until the queue drains at the recent completion
+   rate, clamped to [1, 30]. With no recent completions (cold start, or
+   the workers are all wedged on runaways) there is no basis for an
+   estimate; answer the old flat 1 s rather than a fiction. *)
+let retry_after_estimate_s t ~queue_depth ~now =
+  let rate = completion_rate t ~now in
+  if rate <= 0. then 1.
+  else Float.min 30. (Float.max 1. (float_of_int queue_depth /. rate))
+
+(* ------------------------------------------------------------------ *)
+(* Per-tenant serve/shed counters                                      *)
+(* ------------------------------------------------------------------ *)
+
+let note_tenant t ~tenant ~outcome =
+  Mutex.lock t.tmutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.tmutex)
+    (fun () ->
+      let c =
+        match Hashtbl.find_opt t.tenants tenant with
+        | Some c -> c
+        | None ->
+          let key =
+            if Hashtbl.length t.tenants >= max_tracked_tenants then "_other"
+            else tenant
+          in
+          (match Hashtbl.find_opt t.tenants key with
+          | Some c -> c
+          | None ->
+            let c = { t_served = 0; t_shed = 0 } in
+            Hashtbl.replace t.tenants key c;
+            c)
+      in
+      match outcome with
+      | `Served -> c.t_served <- c.t_served + 1
+      | `Shed -> c.t_shed <- c.t_shed + 1)
+
+let tenant_counts t =
+  Mutex.lock t.tmutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.tmutex)
+    (fun () ->
+      Hashtbl.fold (fun k c acc -> (k, c.t_served, c.t_shed) :: acc) t.tenants []
+      |> List.sort compare)
+
+(* Prometheus text exposition 0.0.4 label-value escaping: backslash,
+   double quote and newline must be escaped inside the quotes. *)
+let escape_label_value s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_prometheus t ?(mode = 0) ~queue_depth ~inflight ~ready () =
   let b = Buffer.create 2048 in
-  let sample ?(typ = "counter") name help value =
+  let header ?(typ = "counter") name help =
     Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name help);
-    Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name typ);
+    Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name typ)
+  in
+  let sample ?typ name help value =
+    header ?typ name help;
     Buffer.add_string b (Printf.sprintf "%s %d\n" name value)
   in
   sample "lopsided_server_accepted_total" "Requests admitted to the in-flight queue."
@@ -111,9 +235,41 @@ let to_prometheus t ~queue_depth ~inflight ~ready =
     "Worker domains restarted by the supervisor after a crash." (worker_restarts t);
   sample "lopsided_server_bad_requests_total" "Requests rejected by the HTTP parser."
     (bad_requests t);
+  sample "lopsided_server_stale_served_total"
+    "Requests answered from the result cache past freshness (Warning: 110)."
+    (stale_served t);
+  sample "lopsided_server_skeletons_total"
+    "Requests answered with a skeleton-level generation under brownout."
+    (skeletons t);
+  sample "lopsided_server_refreshes_total"
+    "Background stale-while-revalidate refresh jobs enqueued." (refreshes t);
+  sample "lopsided_server_tenant_rejected_total"
+    "Requests answered 429 because their tenant's bulkhead was full."
+    (tenant_rejected t);
+  sample ~typ:"gauge" "lopsided_server_mode"
+    "Brownout mode: 0 normal, 1 degraded, 2 critical." mode;
   sample ~typ:"gauge" "lopsided_server_queue_depth" "Requests queued but not yet started."
     queue_depth;
   sample ~typ:"gauge" "lopsided_server_inflight" "Requests currently being generated."
     inflight;
   sample ~typ:"gauge" "lopsided_server_ready" "1 when /readyz answers 200." (if ready then 1 else 0);
+  (match tenant_counts t with
+  | [] -> ()
+  | tenants ->
+    header "lopsided_server_tenant_served_total"
+      "Requests admitted, by tenant.";
+    List.iter
+      (fun (name, served, _) ->
+        Buffer.add_string b
+          (Printf.sprintf "lopsided_server_tenant_served_total{tenant=\"%s\"} %d\n"
+             (escape_label_value name) served))
+      tenants;
+    header "lopsided_server_tenant_shed_total"
+      "Requests rejected at admission, by tenant.";
+    List.iter
+      (fun (name, _, shed) ->
+        Buffer.add_string b
+          (Printf.sprintf "lopsided_server_tenant_shed_total{tenant=\"%s\"} %d\n"
+             (escape_label_value name) shed))
+      tenants);
   Buffer.contents b

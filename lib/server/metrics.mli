@@ -35,6 +35,18 @@ val incr_worker_restarts : t -> unit
 (** [incr_bad_requests] — 400s from the parser. *)
 val incr_bad_requests : t -> unit
 
+(** [incr_stale_served] — stale result-cache hits served under brownout. *)
+val incr_stale_served : t -> unit
+
+(** [incr_skeletons] — skeleton-level generations served under brownout. *)
+val incr_skeletons : t -> unit
+
+(** [incr_refreshes] — background stale-while-revalidate jobs enqueued. *)
+val incr_refreshes : t -> unit
+
+(** [incr_tenant_rejected] — 429s from a full per-tenant bulkhead. *)
+val incr_tenant_rejected : t -> unit
+
 val accepted : t -> int
 val shed : t -> int
 val rate_limited : t -> int
@@ -42,6 +54,10 @@ val quarantine_429 : t -> int
 val drained : t -> int
 val worker_restarts : t -> int
 val bad_requests : t -> int
+val stale_served : t -> int
+val skeletons : t -> int
+val refreshes : t -> int
+val tenant_rejected : t -> int
 
 (** {1 Shed-rate window} *)
 
@@ -49,7 +65,35 @@ val shed_fraction : t -> now:float -> float
 (** Fraction of admission decisions in the most recent completed window
     that were sheds; 0 when the window saw no decisions. *)
 
-val to_prometheus : t -> queue_depth:int -> inflight:int -> ready:bool -> string
+(** {1 Completion rate and Retry-After} *)
+
+val note_completion : t -> now:float -> unit
+(** Record one finished generation at monotonic [now]; feeds the
+    completion-rate window. *)
+
+val completion_rate : t -> now:float -> float
+(** Completions per second over the most recent completed window; decays
+    to 0 after two windows of silence. *)
+
+val retry_after_estimate_s : t -> queue_depth:int -> now:float -> float
+(** Estimated seconds for the queue to drain at the recent completion
+    rate, clamped to [[1, 30]]; 1 when no completion rate is known. *)
+
+(** {1 Per-tenant counters} *)
+
+val note_tenant : t -> tenant:string -> outcome:[ `Served | `Shed ] -> unit
+(** Count one admission outcome against [tenant]. At most
+    {!max_tracked_tenants} distinct labels are kept; past that the
+    traffic lands on ["_other"]. *)
+
+val tenant_counts : t -> (string * int * int) list
+(** [(tenant, served, shed)] triples, sorted by tenant. *)
+
+val max_tracked_tenants : int
+
+val to_prometheus :
+  t -> ?mode:int -> queue_depth:int -> inflight:int -> ready:bool -> unit -> string
 (** Prometheus text exposition of every server counter plus the
-    [queue_depth] and [inflight] gauges and the readiness flag, named
-    [lopsided_server_*]. *)
+    [queue_depth], [inflight], brownout [mode] (default 0) and readiness
+    gauges, named [lopsided_server_*]; per-tenant counters are emitted
+    as [{tenant="..."}]-labeled samples with label values escaped. *)

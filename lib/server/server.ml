@@ -40,6 +40,7 @@ type config = {
   port : int;
   max_inflight : int;
   queue_cap : int;
+  tenant_cap : int;
   rate : float;
   burst : float;
   default_deadline_s : float option;
@@ -50,6 +51,7 @@ type config = {
   default_engine : Docgen.engine;
   model : Service.model_source option;
   fault : Fault.config option;
+  brownout : Brownout.config option;
 }
 
 let default_config =
@@ -58,6 +60,9 @@ let default_config =
     port = 0;
     max_inflight = 4;
     queue_cap = 64;
+    (* Clamped to queue_cap by Fair_queue: the default is "no per-tenant
+       bulkhead", i.e. exactly the PR-4 single global FIFO bound. *)
+    tenant_cap = max_int;
     rate = 0.;
     burst = 8.;
     default_deadline_s = None;
@@ -68,13 +73,24 @@ let default_config =
     default_engine = `Host;
     model = None;
     fault = None;
+    brownout = None;
   }
 
+(* The pseudo-tenant that stale-while-revalidate refresh jobs queue
+   under. Low weight: under contention the fair queue serves it a
+   quarter as often as a unit-weight tenant, so refreshes never crowd
+   out interactive work. *)
+let refresh_tenant = "~refresh"
+
 type job = {
-  jfd : Unix.file_descr;
+  jfd : Unix.file_descr option;
+      (* None = background refresh: regenerate and let the service's
+         result cache absorb the output; no client is waiting. *)
   jreq : Http.request;
   jid : string;
   jarrival : float; (* Clock.now at admission; queue wait counts against the deadline *)
+  jtenant : string;
+  jlevel : Docgen.Spec.level;
 }
 
 (* One worker domain's lifecycle, owned by the supervisor. [finished]
@@ -95,7 +111,8 @@ type t = {
   model : Service.model_source;
   metrics : Metrics.t;
   bucket : Token_bucket.t;
-  queue : job Admission.t;
+  brownout : Brownout.t option;
+  queue : job Fair_queue.t;
   conns : (Unix.file_descr * Unix.sockaddr) Admission.t;
       (* accepted-but-unread connections, feeding the reader pool *)
   busy : int Atomic.t; (* jobs a worker is currently handling *)
@@ -125,7 +142,8 @@ let create ?(config = default_config) svc =
       | None -> Service.Model_value (Awb.Samples.banking_model ()));
     metrics = Metrics.create ();
     bucket = Token_bucket.create ~rate:config.rate ~burst:config.burst;
-    queue = Admission.create ~capacity:config.queue_cap;
+    brownout = Option.map Brownout.create config.brownout;
+    queue = Fair_queue.create ~capacity:config.queue_cap ~tenant_cap:config.tenant_cap;
     (* Headroom beyond the job queue: health checks and requests bound
        for a 429/503 also pass through here, and they cost microseconds
        each once a reader picks them up. *)
@@ -160,7 +178,7 @@ let draining t = Atomic.get t.is_draining
 let stopped t = Atomic.get t.is_stopped
 let metrics t = t.metrics
 let service t = t.svc
-let queue_depth t = Admission.depth t.queue
+let queue_depth t = Fair_queue.depth t.queue
 let inflight t = Atomic.get t.busy
 
 let ready t =
@@ -169,10 +187,33 @@ let ready t =
   && Metrics.shed_fraction t.metrics ~now:(Clock.now ())
      < t.config.shed_unready_threshold
 
+(* One brownout controller step, fed the live signals (or the Fault
+   load_signal override, which is how tests force transitions). Brownout
+   off means permanently Normal. Called from /generate routing and from
+   /metrics — scraping alone is enough to observe recovery. *)
+let mode t =
+  match t.brownout with
+  | None -> Brownout.Normal
+  | Some b ->
+    let override =
+      match t.config.fault with Some f -> f.Fault.load_signal | None -> None
+    in
+    Brownout.note b ?override
+      ~queue_occupancy:
+        (float_of_int (queue_depth t) /. float_of_int (max 1 t.config.queue_cap))
+      ~shed_fraction:(Metrics.shed_fraction t.metrics ~now:(Clock.now ()))
+      ~now:(Clock.now ()) ()
+
+(* The mode as last evaluated, for response headers: reading it must not
+   step the controller (header emission is not an observation). *)
+let current_mode t =
+  match t.brownout with None -> Brownout.Normal | Some b -> Brownout.mode b
+
 let metrics_body t =
+  let m = mode t in
   Service.counters_to_prometheus (Service.counters t.svc)
-  ^ Metrics.to_prometheus t.metrics ~queue_depth:(queue_depth t) ~inflight:(inflight t)
-      ~ready:(ready t)
+  ^ Metrics.to_prometheus t.metrics ~mode:(Brownout.mode_index m)
+      ~queue_depth:(queue_depth t) ~inflight:(inflight t) ~ready:(ready t) ()
 
 (* ------------------------------------------------------------------ *)
 (* Responses                                                           *)
@@ -180,13 +221,28 @@ let metrics_body t =
 
 let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
-let respond_error fd ~request_id ~status ?(headers = []) ~code ~message () =
+(* Every response carries the request id (the client's own X-Request-Id
+   echoed back, or the generated one) and the service mode, so a client
+   can correlate logs and notice degradation without scraping /metrics. *)
+let std_headers t ~request_id headers =
+  ("X-Request-Id", request_id)
+  :: ("X-Service-Mode", Brownout.mode_name (current_mode t))
+  :: headers
+
+let respond_error t fd ~request_id ~status ?(headers = []) ~code ~message () =
   Http.write_response fd ~status
-    ~headers:(("Content-Type", "application/json") :: headers)
+    ~headers:(std_headers t ~request_id (("Content-Type", "application/json") :: headers))
     ~body:(Http.error_body ~code ~message ~request_id)
     ()
 
 let retry_after s = [ ("Retry-After", string_of_int (max 1 (int_of_float (Float.ceil s)))) ]
+
+(* The shed-path Retry-After: how long the queue should take to drain at
+   the recent completion rate, clamped to [1, 30] s. *)
+let retry_after_derived t =
+  retry_after
+    (Metrics.retry_after_estimate_s t.metrics ~queue_depth:(queue_depth t)
+       ~now:(Clock.now ()))
 
 (* The Service error taxonomy, mapped onto HTTP. Resource trips keep
    their resource:* code in the JSON body so a client can tell a fuel
@@ -235,24 +291,35 @@ let parse_engine t req =
   | None -> Ok t.config.default_engine
   | Some n -> Docgen.engine_of_string n
 
+(* A background stale-while-revalidate refresh: regenerate at Full
+   level and let the service's result cache absorb the output. No
+   client socket; failures are silent (the stale entry stays until a
+   later refresh succeeds or it is evicted). *)
+let handle_refresh t (job : job) =
+  match parse_engine t job.jreq with
+  | Error _ -> ()
+  | Ok engine -> (
+    let sreq =
+      Service.request ~engine
+        ?deadline:t.config.default_deadline_s
+        ~id:job.jid
+        ~template:(Service.Template_xml job.jreq.Http.body) ~model:t.model ()
+    in
+    try ignore (Service.run t.svc sreq) with Fault.Crashed _ as e -> raise e | _ -> ())
+
 (* Serve one admitted job. Always closes the connection; catches its own
    failures into a 500. The one exception deliberately let through is
    Fault.Crashed — that is the injected worker death the supervisor
    test needs to be real. *)
-let handle_job t (job : job) =
-  (match t.config.fault with
-  | Some f when Fault.fires f Fault.Crash ~key:job.jid ~attempt:0 ->
-    close_quiet job.jfd;
-    raise (Fault.Crashed ("injected worker crash on " ^ job.jid))
-  | _ -> ());
+let handle_client t (job : job) fd =
   Fun.protect
-    ~finally:(fun () -> close_quiet job.jfd)
+    ~finally:(fun () -> close_quiet fd)
     (fun () ->
       try
-        let fd = job.jfd in
         match (parse_deadline_ms job.jreq, parse_engine t job.jreq) with
         | Error m, _ | _, Error m ->
-          respond_error fd ~request_id:job.jid ~status:400 ~code:"bad-request" ~message:m ()
+          respond_error t fd ~request_id:job.jid ~status:400 ~code:"bad-request"
+            ~message:m ()
         | Ok client_deadline, Ok engine -> (
           (* The deadline the client asked for covers queue wait: a
              request that spent its whole budget queued answers 504
@@ -274,46 +341,67 @@ let handle_job t (job : job) =
           in
           match deadline with
           | Some d when d <= 0. ->
-            respond_error fd ~request_id:job.jid ~status:504 ~code:"resource:deadline"
+            respond_error t fd ~request_id:job.jid ~status:504 ~code:"resource:deadline"
               ~message:"deadline expired while queued" ()
           | _ -> (
             let sreq =
-              Service.request ~engine ?deadline ~id:job.jid
+              Service.request ~engine ?deadline ~level:job.jlevel ~id:job.jid
                 ~template:(Service.Template_xml job.jreq.Http.body) ~model:t.model ()
             in
             let resp = Service.run t.svc sreq in
             match resp.Service.result with
             | Ok out ->
+              if job.jlevel = Docgen.Spec.Skeleton then
+                Metrics.incr_skeletons t.metrics;
               let headers =
-                ("Content-Type", "application/xml")
-                :: ("X-Engine", Docgen.engine_name out.Service.engine_used)
-                ::
-                (match out.Service.problems with
-                | [] -> []
-                | ps -> [ ("X-Problems", string_of_int (List.length ps)) ])
+                std_headers t ~request_id:job.jid
+                  (("Content-Type", "application/xml")
+                  :: ("X-Engine", Docgen.engine_name out.Service.engine_used)
+                  ::
+                  (if job.jlevel = Docgen.Spec.Skeleton then
+                     [ ("X-Degraded", "skeleton") ]
+                   else [])
+                  @
+                  match out.Service.problems with
+                  | [] -> []
+                  | ps -> [ ("X-Problems", string_of_int (List.length ps)) ])
               in
               Http.write_response fd ~status:200 ~headers ~body:out.Service.document ()
             | Error e ->
               let status, code, message, headers = http_of_error e in
-              respond_error fd ~request_id:job.jid ~status ~headers ~code ~message ()))
+              respond_error t fd ~request_id:job.jid ~status ~headers ~code ~message ()))
       with
       | Fault.Crashed _ as e -> raise e
       | e ->
-        respond_error job.jfd ~request_id:job.jid ~status:500 ~code:"internal"
+        respond_error t fd ~request_id:job.jid ~status:500 ~code:"internal"
           ~message:(Printexc.to_string e) ())
 
+let handle_job t (job : job) =
+  (match t.config.fault with
+  | Some f when Fault.fires f Fault.Crash ~key:job.jid ~attempt:0 ->
+    (match job.jfd with Some fd -> close_quiet fd | None -> ());
+    raise (Fault.Crashed ("injected worker crash on " ^ job.jid))
+  | _ -> ());
+  match job.jfd with
+  | None -> handle_refresh t job
+  | Some fd -> handle_client t job fd
+
 let rec worker_loop t =
-  match Admission.pop t.queue with
+  match Fair_queue.pop t.queue with
   | None -> ()
   | Some job ->
     Atomic.incr t.busy;
+    let t0 = Clock.now () in
     let result =
       try
         handle_job t job;
         None
       with e -> Some e
     in
+    let t1 = Clock.now () in
     Atomic.decr t.busy;
+    Metrics.note_completion t.metrics ~now:t1;
+    Option.iter (fun b -> Brownout.observe_service_time b (t1 -. t0)) t.brownout;
     (match result with
     | None -> ()
     | Some (Fault.Crashed _ as e) -> raise e
@@ -340,7 +428,7 @@ let spawn_worker t slot =
    promptly. *)
 let supervisor_loop t =
   let all_retired () = Array.for_all (fun s -> Atomic.get s.retired) t.slots in
-  while not ((Atomic.get t.stop_supervisor && all_retired ()) || (Admission.closed t.queue && all_retired ()))
+  while not ((Atomic.get t.stop_supervisor && all_retired ()) || (Fair_queue.closed t.queue && all_retired ()))
   do
     Thread.delay 0.01;
     Array.iter
@@ -349,7 +437,7 @@ let supervisor_loop t =
         | Some d when Atomic.get slot.finished ->
           Domain.join d;
           slot.domain <- None;
-          if Atomic.get slot.crashed && not (Admission.closed t.queue) then begin
+          if Atomic.get slot.crashed && not (Fair_queue.closed t.queue) then begin
             Metrics.incr_worker_restarts t.metrics;
             spawn_worker t slot
           end
@@ -371,39 +459,97 @@ let fresh_id t req =
   | Some id when id <> "" -> id
   | _ -> Printf.sprintf "r%d" (Atomic.fetch_and_add t.reqno 1)
 
+(* The tenant key for fair queueing: the X-Tenant header when present,
+   the peer address otherwise. *)
+let tenant_key peer req =
+  match Http.header req "x-tenant" with
+  | Some v when String.trim v <> "" -> String.trim v
+  | _ -> peer
+
+(* Try to answer from the result cache past freshness (stale-while-
+   revalidate). Returns true when the response was written; also
+   enqueues a low-priority background refresh for the entry, unless one
+   was claimed recently or the queue has no room (the stale answer
+   stands either way). *)
+let try_serve_stale t fd ~id ~tenant (req : Http.request) =
+  match parse_engine t req with
+  | Error _ -> false (* the worker path owns the 400 *)
+  | Ok engine -> (
+    let sreq =
+      Service.request ~engine ~id ~template:(Service.Template_xml req.Http.body)
+        ~model:t.model ()
+    in
+    match Service.lookup_result t.svc sreq with
+    | None -> false
+    | Some (out, age_s) ->
+      Metrics.incr_stale_served t.metrics;
+      Metrics.note_tenant t.metrics ~tenant ~outcome:`Served;
+      let headers =
+        std_headers t ~request_id:id
+          [
+            ("Content-Type", "application/xml");
+            ("X-Engine", Docgen.engine_name out.Service.engine_used);
+            ("X-Degraded", "stale");
+            ("Age", string_of_int (max 0 (int_of_float age_s)));
+            ("Warning", "110 - \"Response is Stale\"");
+          ]
+      in
+      Http.write_response fd ~status:200 ~headers ~body:out.Service.document ();
+      if Service.claim_refresh t.svc sreq then begin
+        let refresh =
+          {
+            jfd = None;
+            jreq = req;
+            jid = id ^ ".refresh";
+            jarrival = Clock.now ();
+            jtenant = refresh_tenant;
+            jlevel = Docgen.Spec.Full;
+          }
+        in
+        match Fair_queue.push t.queue ~tenant:refresh_tenant ~weight:0.25 refresh with
+        | `Accepted -> Metrics.incr_refreshes t.metrics
+        | `Shed _ -> ()
+      end;
+      true)
+
 let route t fd peer (req : Http.request) =
   match (req.Http.meth, req.Http.path) with
   | "GET", "/healthz" ->
     (* Liveness: answers 200 as long as the process serves at all,
        including during drain. *)
     Http.write_response fd ~status:200
-      ~headers:[ ("Content-Type", "text/plain") ]
+      ~headers:(std_headers t ~request_id:(fresh_id t req) [ ("Content-Type", "text/plain") ])
       ~body:"ok\n" ();
     close_quiet fd
   | "GET", "/readyz" ->
     let is_ready = ready t in
     Http.write_response fd
       ~status:(if is_ready then 200 else 503)
-      ~headers:[ ("Content-Type", "text/plain") ]
+      ~headers:(std_headers t ~request_id:(fresh_id t req) [ ("Content-Type", "text/plain") ])
       ~body:(if is_ready then "ready\n" else if draining t then "draining\n" else "shedding\n")
       ();
     close_quiet fd
   | "GET", "/metrics" ->
+    let body = metrics_body t in
     Http.write_response fd ~status:200
-      ~headers:[ ("Content-Type", "text/plain; version=0.0.4") ]
-      ~body:(metrics_body t) ();
+      ~headers:
+        (std_headers t ~request_id:(fresh_id t req)
+           [ ("Content-Type", "text/plain; version=0.0.4") ])
+      ~body ();
     close_quiet fd
   | "POST", "/generate" ->
     let id = fresh_id t req in
+    let tenant = tenant_key peer req in
+    let m = mode t in
     if Atomic.get t.is_draining then begin
       Metrics.incr_shed t.metrics;
-      respond_error fd ~request_id:id ~status:503 ~headers:(retry_after 1.)
+      respond_error t fd ~request_id:id ~status:503 ~headers:(retry_after 1.)
         ~code:"draining" ~message:"server is draining" ();
       close_quiet fd
     end
     else if not (Token_bucket.admit t.bucket ~key:peer ~now:(Clock.now ())) then begin
       Metrics.incr_rate_limited t.metrics;
-      respond_error fd ~request_id:id ~status:429
+      respond_error t fd ~request_id:id ~status:429
         ~headers:(retry_after (Token_bucket.retry_after_s t.bucket))
         ~code:"rate-limited"
         ~message:(Printf.sprintf "client %s exceeds %.1f requests/s" peer t.config.rate)
@@ -416,34 +562,81 @@ let route t fd peer (req : Http.request) =
         (* Admission-time breaker check: the known-bad template never
            costs a queue slot or a worker. *)
         Metrics.incr_quarantine_429 t.metrics;
-        respond_error fd ~request_id:id ~status:429 ~headers:(retry_after remaining)
+        respond_error t fd ~request_id:id ~status:429 ~headers:(retry_after remaining)
           ~code:"quarantined"
           ~message:
             (Printf.sprintf "template is quarantined for another %.1f s" remaining)
           ();
         close_quiet fd
-      | None -> (
-        match
-          Admission.push t.queue { jfd = fd; jreq = req; jid = id; jarrival = Clock.now () }
-        with
-        | `Accepted -> Metrics.incr_accepted t.metrics
-        | `Shed ->
+      | None ->
+        (* Brownout ladder. Degraded/Critical first try a stale cache
+           hit — an instant useful answer plus a background refresh.
+           On a miss, Degraded admits the job at Skeleton level (cheap
+           but useful), Critical stops admitting generation work
+           altogether. Normal is the PR-4 path unchanged. *)
+        let stale_served =
+          match m with
+          | Brownout.Normal -> false
+          | Brownout.Degraded | Brownout.Critical ->
+            try_serve_stale t fd ~id ~tenant req
+        in
+        if stale_served then close_quiet fd
+        else if m = Brownout.Critical then begin
           Metrics.incr_shed t.metrics;
-          respond_error fd ~request_id:id ~status:503 ~headers:(retry_after 1.)
-            ~code:"overloaded"
-            ~message:
-              (Printf.sprintf "admission queue full (%d waiting)" t.config.queue_cap)
+          Metrics.note_tenant t.metrics ~tenant ~outcome:`Shed;
+          respond_error t fd ~request_id:id ~status:503
+            ~headers:(retry_after_derived t) ~code:"overloaded"
+            ~message:"service is in critical brownout; only cached results are served"
             ();
-          close_quiet fd)
+          close_quiet fd
+        end
+        else begin
+          let jlevel =
+            if m = Brownout.Degraded then Docgen.Spec.Skeleton else Docgen.Spec.Full
+          in
+          let job =
+            { jfd = Some fd; jreq = req; jid = id; jarrival = Clock.now (); jtenant = tenant; jlevel }
+          in
+          match Fair_queue.push t.queue ~tenant job with
+          | `Accepted ->
+            Metrics.incr_accepted t.metrics;
+            Metrics.note_tenant t.metrics ~tenant ~outcome:`Served
+          | `Shed `Tenant_full ->
+            (* The flooding tenant's own bulkhead is full: their 429,
+               everyone else's queue space is untouched. *)
+            Metrics.incr_tenant_rejected t.metrics;
+            Metrics.note_tenant t.metrics ~tenant ~outcome:`Shed;
+            respond_error t fd ~request_id:id ~status:429
+              ~headers:(retry_after_derived t) ~code:"tenant-overloaded"
+              ~message:
+                (Printf.sprintf "tenant %s has %d requests queued (cap %d)" tenant
+                   (Fair_queue.tenant_depth t.queue tenant)
+                   (min t.config.queue_cap t.config.tenant_cap))
+              ();
+            close_quiet fd
+          | `Shed `Queue_full ->
+            Metrics.incr_shed t.metrics;
+            Metrics.note_tenant t.metrics ~tenant ~outcome:`Shed;
+            respond_error t fd ~request_id:id ~status:503
+              ~headers:(retry_after_derived t) ~code:"overloaded"
+              ~message:
+                (Printf.sprintf "admission queue full (%d waiting)" t.config.queue_cap)
+              ();
+            close_quiet fd
+        end
     end
   | _, "/healthz" | _, "/readyz" | _, "/metrics" ->
-    Http.write_response fd ~status:405 ~body:"" ();
+    Http.write_response fd ~status:405
+      ~headers:(std_headers t ~request_id:(fresh_id t req) [])
+      ~body:"" ();
     close_quiet fd
   | _, "/generate" ->
-    Http.write_response fd ~status:405 ~headers:[ ("Allow", "POST") ] ~body:"" ();
+    Http.write_response fd ~status:405
+      ~headers:(std_headers t ~request_id:(fresh_id t req) [ ("Allow", "POST") ])
+      ~body:"" ();
     close_quiet fd
   | _ ->
-    respond_error fd ~request_id:"-" ~status:404 ~code:"not-found"
+    respond_error t fd ~request_id:(fresh_id t req) ~status:404 ~code:"not-found"
       ~message:(req.Http.meth ^ " " ^ req.Http.path) ();
     close_quiet fd
 
@@ -459,7 +652,7 @@ let handle_conn t fd addr =
   with
   | exception Http.Bad_request m ->
     Metrics.incr_bad_requests t.metrics;
-    respond_error fd ~request_id:"-" ~status:400 ~code:"bad-request" ~message:m ();
+    respond_error t fd ~request_id:"-" ~status:400 ~code:"bad-request" ~message:m ();
     close_quiet fd
   | exception
       ( Http.Timeout
@@ -496,15 +689,18 @@ let rec drain_now t =
     (* Everything queued but unstarted is refused now — the client gets
        a crisp 503 instead of a response that would arrive after the
        process is gone. *)
-    let pending = Admission.flush t.queue in
+    let pending = Fair_queue.flush t.queue in
     List.iter
       (fun job ->
-        Metrics.incr_drained t.metrics;
-        respond_error job.jfd ~request_id:job.jid ~status:503 ~headers:(retry_after 1.)
-          ~code:"draining" ~message:"server is draining; request was not started" ();
-        close_quiet job.jfd)
+        match job.jfd with
+        | None -> () (* a background refresh owes nobody an answer *)
+        | Some fd ->
+          Metrics.incr_drained t.metrics;
+          respond_error t fd ~request_id:job.jid ~status:503 ~headers:(retry_after 1.)
+            ~code:"draining" ~message:"server is draining; request was not started" ();
+          close_quiet fd)
       pending;
-    Admission.close t.queue;
+    Fair_queue.close t.queue;
     (* In-flight work gets the drain window, enforced by the evaluator
        itself: overruns die with resource:deadline, answered as 504. The
        preempt deadline is sticky inside Service, so an attempt that was
@@ -563,7 +759,7 @@ let accept_loop t fd =
            full: refuse without reading a byte. The tiny response fits
            any socket buffer, so this write cannot block the acceptor. *)
         Metrics.incr_shed t.metrics;
-        respond_error conn ~request_id:"-" ~status:503 ~headers:(retry_after 1.)
+        respond_error t conn ~request_id:"-" ~status:503 ~headers:(retry_after 1.)
           ~code:"overloaded" ~message:"connection backlog full" ();
         close_quiet conn)
   done
@@ -599,3 +795,5 @@ module Http = Http
 module Token_bucket = Token_bucket
 module Admission = Admission
 module Metrics = Metrics
+module Brownout = Brownout
+module Fair_queue = Fair_queue

@@ -32,12 +32,20 @@ module Http = Http
 module Token_bucket = Token_bucket
 module Admission = Admission
 module Metrics = Metrics
+module Brownout = Brownout
+module Fair_queue = Fair_queue
 
 type config = {
   host : string;  (** bind address, default ["127.0.0.1"] *)
   port : int;  (** 0 picks an ephemeral port (see {!port}) *)
   max_inflight : int;  (** worker domains executing requests *)
   queue_cap : int;  (** admission queue capacity; beyond it, shed *)
+  tenant_cap : int;
+      (** per-tenant bulkhead within the admission queue (tenant =
+          [X-Tenant] header, else peer address); a tenant past its cap
+          gets its own 429s while other tenants keep their queue space.
+          Clamped to [queue_cap]; the default ([max_int]) disables the
+          bulkhead, i.e. the PR-4 single global FIFO. *)
   rate : float;  (** per-peer token-bucket refill, requests/s; 0 disables *)
   burst : float;  (** per-peer bucket size *)
   default_deadline_s : float option;
@@ -54,14 +62,23 @@ type config = {
   model : Service.model_source option;
       (** the model requests generate against; [None] = banking sample *)
   fault : Service.Fault.config option;
-      (** server-side fault injection; only the [Crash] kind is read
-          here (the service's own config covers the rest) *)
+      (** server-side fault injection; the [Crash] kind and the
+          [load_signal] brownout override are read here (the service's
+          own config covers the rest) *)
+  brownout : Brownout.config option;
+      (** graceful-degradation controller; [None] (the default)
+          disables brownout entirely — the server sheds exactly as
+          PR 4 did. When enabled, Degraded mode serves stale cache
+          hits ([Warning: 110], [X-Degraded: stale]) and generates
+          skeletons on misses ([X-Degraded: skeleton]); Critical mode
+          serves only cache hits and sheds the rest. *)
 }
 
 val default_config : config
-(** Loopback, ephemeral port, 4 workers, queue 64, rate limiting off,
-    no default deadline, 5 s drain, readyz threshold 0.9, 2 s socket
-    timeouts, 4 MiB bodies, host engine, banking model, no faults. *)
+(** Loopback, ephemeral port, 4 workers, queue 64, no tenant bulkhead,
+    rate limiting off, no default deadline, 5 s drain, readyz threshold
+    0.9, 2 s socket timeouts, 4 MiB bodies, host engine, banking model,
+    no faults, brownout off. *)
 
 type t
 
@@ -104,6 +121,16 @@ val metrics : t -> Metrics.t
 val service : t -> Service.t
 val queue_depth : t -> int
 val inflight : t -> int
+
+val mode : t -> Brownout.mode
+(** One brownout-controller step against the live load signals (or the
+    {!Service.Fault} [load_signal] override), returning the resulting
+    mode. [Normal] always when brownout is off. [/metrics] calls this
+    too, so scraping alone observes recovery. *)
+
+val current_mode : t -> Brownout.mode
+(** The mode as last evaluated, without stepping the controller — what
+    the [X-Service-Mode] response header reports. *)
 
 val metrics_body : t -> string
 (** The full [/metrics] payload: service exposition + server exposition. *)

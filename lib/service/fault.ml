@@ -33,6 +33,10 @@ type config = {
   transient_attempts : int;
   fast_fault_rate : float;
   crash_rate : float;
+  mutable load_signal : float option;
+      (* overrides the brownout controller's composite load signal; the
+         one mutable field, so tests can step a live server through mode
+         transitions deterministically *)
 }
 
 let none =
@@ -44,6 +48,7 @@ let none =
     transient_attempts = 2;
     fast_fault_rate = 0.;
     crash_rate = 0.;
+    load_signal = None;
   }
 
 exception Transient of string

@@ -29,11 +29,17 @@ type config = {
           attempt succeeds, so [retries >= transient_attempts] recovers *)
   fast_fault_rate : float;
   crash_rate : float;
+  mutable load_signal : float option;
+      (** when [Some x], the HTTP server's brownout controller uses [x]
+          as its composite load signal instead of the measured one.
+          Mutable so tests can step a {e live} server deterministically
+          through [Normal -> Degraded -> Critical -> Normal] without
+          generating real load or sleeping. *)
 }
 
 val none : config
-(** All rates zero — injection disabled. [seed = 0],
-    [transient_attempts = 2]. *)
+(** All rates zero, [load_signal = None] — injection disabled.
+    [seed = 0], [transient_attempts = 2]. *)
 
 exception Transient of string
 (** A declared-transient generation failure; the service retries it with

@@ -56,10 +56,12 @@ type request = {
   engine : Docgen.engine;
   backend : Spec.query_backend option;
   deadline : float option; (* seconds from submission *)
+  level : Spec.level; (* Full, or Skeleton under brownout *)
 }
 
-let request ?(engine = `Host) ?backend ?deadline ~id ~template ~model () =
-  { id; template; model; engine; backend; deadline }
+let request ?(engine = `Host) ?backend ?deadline ?(level = Spec.Full) ~id ~template
+    ~model () =
+  { id; template; model; engine; backend; deadline; level }
 
 (* ------------------------------------------------------------------ *)
 (* Responses                                                           *)
@@ -124,6 +126,8 @@ type config = {
   backoff_cap_s : float; (* ceiling of one backoff sleep, jitter included *)
   quarantine_after : int; (* consecutive failures that trip the breaker; 0 disables *)
   quarantine_cooldown_s : float; (* how long a tripped template stays out *)
+  result_cache_cap : int;
+      (* completed generations kept for stale-while-revalidate; 0 disables *)
   fault : Fault.config option; (* deterministic fault injection; None in production *)
 }
 
@@ -140,6 +144,7 @@ let default_config =
     backoff_cap_s = 0.25;
     quarantine_after = 0;
     quarantine_cooldown_s = 30.;
+    result_cache_cap = 0;
     fault = None;
   }
 
@@ -162,6 +167,9 @@ type counters = {
   model_misses : int;
   query_hits : int;
   query_misses : int;
+  result_hits : int;
+  result_misses : int;
+  result_stores : int;
   evictions : int;
   opt_lets_eliminated : int;
   opt_constants_folded : int;
@@ -186,12 +194,27 @@ type phase_totals = {
    [until]. All access is under the service mutex. *)
 type breaker = { mutable streak : int; mutable until : float }
 
+(* One stale-while-revalidate cache entry: a finished Full-level
+   generation, with the monotonic instant it was stored and the last
+   time a background refresh was claimed for it (so a storm of stale
+   hits enqueues one refresh, not thousands). *)
+type cached_result = {
+  output : output;
+  stored_ns : int;
+  mutable refresh_claimed_ns : int;
+}
+
 type t = {
   config : config;
   mutex : Mutex.t;
   templates : N.t Lru.t;
   models : Awb.Model.t Lru.t;
   queries : Xquery.Engine.compiled Lru.t;
+  results : cached_result Lru.t;
+  mutable value_model_keys : (Awb.Model.t * string) list;
+      (* identity keys for pre-built Model_value models (no content to
+         hash); bounded — beyond the cap such requests are just not
+         result-cached *)
   quarantine : (string, breaker) Hashtbl.t;
   inflight : (int, Xquery.Context.limits) Hashtbl.t;
       (* the limits record of every generation attempt currently running,
@@ -214,6 +237,9 @@ type t = {
   mutable quarantine_trips : int;
   mutable quarantine_rejections : int;
   mutable quarantine_releases : int;
+  mutable result_hits : int;
+  mutable result_misses : int;
+  mutable result_stores : int;
   mutable batches : int;
   mutable steals : int;
   totals : phase_totals;
@@ -229,6 +255,8 @@ let create ?(config = default_config) () =
     templates = Lru.create ~capacity:config.cache_capacity;
     models = Lru.create ~capacity:config.cache_capacity;
     queries = Lru.create ~capacity:config.cache_capacity;
+    results = Lru.create ~capacity:config.result_cache_cap;
+    value_model_keys = [];
     quarantine = Hashtbl.create 16;
     inflight = Hashtbl.create 16;
     inflight_next = 0;
@@ -243,6 +271,9 @@ let create ?(config = default_config) () =
     quarantine_trips = 0;
     quarantine_rejections = 0;
     quarantine_releases = 0;
+    result_hits = 0;
+    result_misses = 0;
+    result_stores = 0;
     batches = 0;
     steals = 0;
     totals =
@@ -333,7 +364,110 @@ let clear_caches t =
   with_lock t (fun () ->
       Lru.clear t.templates;
       Lru.clear t.models;
-      Lru.clear t.queries)
+      Lru.clear t.queries;
+      Lru.clear t.results)
+
+(* ------------------------------------------------------------------ *)
+(* Stale-while-revalidate result cache                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A finished generation is identified by everything that determines its
+   bytes: template content, model content, engine, and query backend.
+   Deadlines and budgets shape *whether* a run finishes, not what a
+   finished run produced, so they stay out of the key. *)
+
+let max_value_model_keys = 32
+
+let value_model_key t (m : Awb.Model.t) =
+  (* Caller holds the lock. Physical identity: a pre-built model has no
+     serialized content to hash, but the same value resubmitted is the
+     same model. *)
+  match List.find_opt (fun (m', _) -> m' == m) t.value_model_keys with
+  | Some (_, k) -> Some k
+  | None ->
+    if List.length t.value_model_keys >= max_value_model_keys then None
+    else begin
+      let k = Printf.sprintf "mv:%d" (List.length t.value_model_keys) in
+      t.value_model_keys <- (m, k) :: t.value_model_keys;
+      Some k
+    end
+
+let result_key t (req : request) =
+  (* Caller holds the lock (for the Model_value identity registry). *)
+  if t.config.result_cache_cap <= 0 then None
+  else
+    match req.template with
+    | Template_node _ -> None (* no content hash; mirrors the quarantine rule *)
+    | Template_xml xml -> (
+      let model_key =
+        match req.model with
+        | Model_xml { metamodel; xml } ->
+          Some (Printf.sprintf "mx:%s:%s" (Awb.Metamodel.name metamodel) (digest xml))
+        | Model_value m -> value_model_key t m
+      in
+      match model_key with
+      | None -> None
+      | Some mk ->
+        let backend =
+          match req.backend with
+          | None -> "-"
+          | Some Spec.Native_queries -> "native"
+          | Some Spec.Xquery_queries -> "xquery"
+        in
+        Some
+          (Printf.sprintf "res:%s:%s:%s:%s" (digest xml) mk
+             (Docgen.engine_name req.engine) backend))
+
+(* A stale hit: the cached output plus its age in seconds. Counted
+   against the service's own hit/miss counters, not the LRU's. *)
+let lookup_result t (req : request) =
+  with_lock t (fun () ->
+      match result_key t req with
+      | None -> None
+      | Some key -> (
+        match Lru.find t.results key with
+        | Some e ->
+          t.result_hits <- t.result_hits + 1;
+          Some (e.output, Clock.s_of_ns (Clock.now_ns () - e.stored_ns))
+        | None ->
+          t.result_misses <- t.result_misses + 1;
+          None))
+
+(* How long one background-refresh claim suppresses further claims for
+   the same entry. A successful refresh replaces the entry (resetting
+   the claim); a refresh that dies just lets the claim lapse. *)
+let refresh_claim_cooldown_s = 10.
+
+(* First-claim-wins dedup for background refreshes: true means the
+   caller should enqueue a refresh for this request, false means one is
+   already on its way (or there is nothing cached to refresh). *)
+let claim_refresh t (req : request) =
+  with_lock t (fun () ->
+      match result_key t req with
+      | None -> false
+      | Some key -> (
+        match Lru.find t.results key with
+        | None -> false
+        | Some e ->
+          let now_ns = Clock.now_ns () in
+          if now_ns - e.refresh_claimed_ns > Clock.ns_of_s refresh_claim_cooldown_s
+          then begin
+            e.refresh_claimed_ns <- now_ns;
+            true
+          end
+          else false))
+
+(* Only completed Full-level generations enter the cache: a skeleton is
+   an emergency answer, never something to re-serve as "the" document. *)
+let store_result t (req : request) (out : output) =
+  if req.level = Spec.Full then
+    with_lock t (fun () ->
+        match result_key t req with
+        | None -> ()
+        | Some key ->
+          t.result_stores <- t.result_stores + 1;
+          Lru.add t.results key
+            { output = out; stored_ns = Clock.now_ns (); refresh_claimed_ns = 0 })
 
 (* ------------------------------------------------------------------ *)
 (* Request execution                                                   *)
@@ -553,10 +687,11 @@ let execute t ~t0 (req : request) : response * timings =
                   match req.engine with
                   | `Xq ->
                     Docgen.Xq_engine.generate_spec ?backend:req.backend
-                      ~compiled:(xq_core t) ~limits ?fast_eval model ~template
+                      ~compiled:(xq_core t) ~limits ?fast_eval ~level:req.level model
+                      ~template
                   | (`Host | `Functional) as engine ->
-                    Docgen.generate ?backend:req.backend ~engine ~limits ?fast_eval model
-                      ~template)
+                    Docgen.generate ?backend:req.backend ~engine ~limits ?fast_eval
+                      ~level:req.level model ~template)
             in
             (* The attempt loop: transient failures retry with
                exponential backoff (bounded by config.retries); a fast-
@@ -639,6 +774,7 @@ let execute t ~t0 (req : request) : response * timings =
     | e -> Error (Internal_error (Printexc.to_string e))
   in
   quarantine_note t qkey result;
+  (match result with Ok out -> store_result t req out | Error _ -> ());
   let timings =
     {
       template_s = !tpl_s;
@@ -765,8 +901,12 @@ let counters t : counters =
         model_misses = Lru.misses t.models;
         query_hits = Lru.hits t.queries;
         query_misses = Lru.misses t.queries;
+        result_hits = t.result_hits;
+        result_misses = t.result_misses;
+        result_stores = t.result_stores;
         evictions =
-          Lru.evictions t.templates + Lru.evictions t.models + Lru.evictions t.queries;
+          Lru.evictions t.templates + Lru.evictions t.models + Lru.evictions t.queries
+          + Lru.evictions t.results;
         opt_lets_eliminated = t.opt_totals.Xquery.Optimizer.lets_eliminated;
         opt_constants_folded = t.opt_totals.Xquery.Optimizer.constants_folded;
         opt_count_rewrites = t.opt_totals.Xquery.Optimizer.count_cmp_rewrites;
@@ -789,11 +929,15 @@ let reset_counters t =
       t.quarantine_trips <- 0;
       t.quarantine_rejections <- 0;
       t.quarantine_releases <- 0;
+      t.result_hits <- 0;
+      t.result_misses <- 0;
+      t.result_stores <- 0;
       t.batches <- 0;
       t.steals <- 0;
       Lru.reset_counters t.templates;
       Lru.reset_counters t.models;
       Lru.reset_counters t.queries;
+      Lru.reset_counters t.results;
       t.opt_totals.Xquery.Optimizer.lets_eliminated <- 0;
       t.opt_totals.Xquery.Optimizer.traces_eliminated <- 0;
       t.opt_totals.Xquery.Optimizer.constants_folded <- 0;
@@ -804,6 +948,15 @@ let reset_counters t =
       t.totals.acc_generate_s <- 0.;
       t.totals.acc_serialize_s <- 0.)
 
+(* Prometheus metric names admit only [a-zA-Z0-9_:]; anything else in a
+   name would corrupt the whole exposition for every scraper. Applied to
+   every name emitted below, so a future counter with a hostile name
+   degrades to underscores instead of breaking /metrics. *)
+let sanitize_metric_name name =
+  String.map
+    (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':') as c -> c | _ -> '_')
+    name
+
 (* Prometheus text exposition (version 0.0.4): "# HELP", "# TYPE", then
    one sample per line. Shared by the HTTP server's /metrics endpoint
    and awbserve --metrics; test_server scrapes and re-parses every line
@@ -811,6 +964,7 @@ let reset_counters t =
 let counters_to_prometheus (c : counters) =
   let b = Buffer.create 4096 in
   let sample ?(typ = "counter") name help value =
+    let name = sanitize_metric_name name in
     Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name help);
     Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name typ);
     Buffer.add_string b (Printf.sprintf "%s %s\n" name value)
@@ -847,6 +1001,12 @@ let counters_to_prometheus (c : counters) =
     c.query_hits;
   int_sample "lopsided_service_query_cache_misses_total" "Compiled-query cache misses."
     c.query_misses;
+  int_sample "lopsided_service_result_cache_hits_total"
+    "Stale-while-revalidate result cache hits." c.result_hits;
+  int_sample "lopsided_service_result_cache_misses_total"
+    "Stale-while-revalidate result cache misses." c.result_misses;
+  int_sample "lopsided_service_result_cache_stores_total"
+    "Completed generations stored in the result cache." c.result_stores;
   int_sample "lopsided_service_cache_evictions_total" "Evictions summed over the caches."
     c.evictions;
   int_sample "lopsided_service_opt_lets_eliminated_total" "Optimizer: lets eliminated."
@@ -875,6 +1035,7 @@ let pp_counters fmt (c : counters) =
      template cache: %d hits / %d misses@,\
      model cache: %d hits / %d misses@,\
      query cache: %d hits / %d misses@,\
+     result cache: %d hits / %d misses / %d stores@,\
      evictions: %d@,\
      optimizer: %d lets eliminated, %d constants folded, %d count rewrites, %d paths \
      hoisted@,\
@@ -882,7 +1043,8 @@ let pp_counters fmt (c : counters) =
     c.requests c.succeeded c.failed c.deadline_failures c.resource_failures c.retries
     c.fast_fallbacks c.quarantine_trips c.quarantine_rejections c.quarantine_releases
     c.batches c.steals c.template_hits
-    c.template_misses c.model_hits c.model_misses c.query_hits c.query_misses c.evictions
+    c.template_misses c.model_hits c.model_misses c.query_hits c.query_misses
+    c.result_hits c.result_misses c.result_stores c.evictions
     c.opt_lets_eliminated c.opt_constants_folded c.opt_count_rewrites c.opt_paths_hoisted
     (c.template_s *. 1000.) (c.model_s *. 1000.) (c.generate_s *. 1000.)
     (c.serialize_s *. 1000.)

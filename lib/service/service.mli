@@ -47,18 +47,23 @@ type request = {
   engine : Docgen.engine;
   backend : Docgen.Spec.query_backend option;
   deadline : float option;  (** seconds from submission; overrides the config *)
+  level : Docgen.Spec.level;
+      (** degradation level handed to the engine; [Skeleton] skips the
+          enrichment phases (brownout mode) *)
 }
 
 val request :
   ?engine:Docgen.engine ->
   ?backend:Docgen.Spec.query_backend ->
   ?deadline:float ->
+  ?level:Docgen.Spec.level ->
   id:string ->
   template:template_source ->
   model:model_source ->
   unit ->
   request
-(** Convenience constructor; [engine] defaults to [`Host]. *)
+(** Convenience constructor; [engine] defaults to [`Host], [level] to
+    [Full]. *)
 
 (** {1 Responses} *)
 
@@ -121,13 +126,16 @@ type config = {
   quarantine_cooldown_s : float;
       (** how long an open breaker rejects the template before the next
           request closes it again *)
+  result_cache_cap : int;
+      (** completed generations kept for stale-while-revalidate serving
+          (see {!lookup_result}); 0 disables the result cache *)
   fault : Fault.config option;  (** deterministic fault injection; [None] in production *)
 }
 
 val default_config : config
 (** Domains 1, cache capacity 128, no deadline, unlimited budgets,
     2 retries with 1 ms base backoff capped at 250 ms, quarantine
-    disabled, no fault injection. *)
+    disabled, result cache disabled, no fault injection. *)
 
 type t
 
@@ -177,6 +185,28 @@ val quarantine_remaining : t -> template_xml:string -> float option
     without spending a queue slot or a worker on a known-bad template.
     Does not close an expired breaker (the next real request does). *)
 
+(** {1 Stale-while-revalidate result cache}
+
+    When [config.result_cache_cap > 0], every completed Full-level
+    generation of an XML-sourced (template, model, engine, backend)
+    combination is cached by content hash. A degraded front end can then
+    answer a repeat request instantly from the cache — stale, but a real
+    document — while a background refresh regenerates it. Skeleton
+    results and pre-parsed [Template_node] requests are never cached. *)
+
+val lookup_result : t -> request -> (output * float) option
+(** The cached output for this request's (template, model, engine,
+    backend) key, with its age in seconds — or [None] on a miss (or when
+    the cache is disabled). Counts a result-cache hit or miss. *)
+
+val claim_refresh : t -> request -> bool
+(** First-claim-wins dedup for background refreshes: [true] means the
+    caller should enqueue a low-priority regeneration for this request;
+    [false] means a refresh was already claimed recently (or nothing is
+    cached under the key). A successful regeneration through {!run}
+    replaces the entry and resets the claim; claims also lapse on their
+    own after a cooldown so a dead refresher cannot wedge the entry. *)
+
 (** {1 Introspection} *)
 
 type counters = {
@@ -198,7 +228,10 @@ type counters = {
   model_misses : int;
   query_hits : int;
   query_misses : int;
-  evictions : int;  (** summed over the three caches *)
+  result_hits : int;  (** stale-while-revalidate result cache hits *)
+  result_misses : int;
+  result_stores : int;  (** completed generations stored in the result cache *)
+  evictions : int;  (** summed over the four caches *)
   opt_lets_eliminated : int;
       (** optimizer pass hits, accumulated when a query-cache miss
           compiles a program (cache hits re-use the optimized program and
@@ -220,6 +253,12 @@ val pp_counters : Format.formatter -> counters -> unit
 val counters_to_prometheus : counters -> string
 (** Prometheus text exposition (format 0.0.4) of every counter: a
     [# HELP] line, a [# TYPE] line, and one sample per metric, named
-    [lopsided_service_*]. Served by the HTTP server's [/metrics] (which
-    appends its own [lopsided_server_*] family) and printed by
+    [lopsided_service_*]. Every emitted name passes through
+    {!sanitize_metric_name}. Served by the HTTP server's [/metrics]
+    (which appends its own [lopsided_server_*] family) and printed by
     [awbserve --metrics]. *)
+
+val sanitize_metric_name : string -> string
+(** Map every character outside [[a-zA-Z0-9_:]] to ['_'] — one hostile
+    metric name must degrade to underscores, not corrupt the whole
+    exposition for every scraper. *)

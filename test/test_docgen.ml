@@ -436,6 +436,55 @@ let test_xq_engine_error_convention () =
   | Some m -> check string_t "error message" "label needs a focus" (N.string_value m)
   | None -> Alcotest.fail "generation-failed without a message"
 
+(* ------------------------------------------------------------------ *)
+(* Degradation levels (Skeleton: enrichment phases skipped)            *)
+(* ------------------------------------------------------------------ *)
+
+(* One template exercising every enrichment directive: toc, omissions,
+   and a marker table with its paste-in marker. *)
+let skeleton_tpl =
+  "<document><table-of-contents/><section><heading>Servers</heading>\
+   <ol><for nodes=\"start type(Server); sort-by label\"><li><label/></li></for></ol>\
+   </section><table-of-omissions types=\"Server\"/>\
+   <marker-table name=\"T1\" rows=\"start type(Server); sort-by label\" \
+   cols=\"start type(Program); sort-by label\" rel=\"runs\"/>\
+   <p>T1-GOES-HERE</p></document>"
+
+let test_skeleton_skips_enrichment () =
+  let full = Docgen.generate ~engine:`Host banking ~template:(template skeleton_tpl) in
+  let skel =
+    Docgen.generate ~engine:`Host ~level:Spec.Skeleton banking
+      ~template:(template skeleton_tpl)
+  in
+  let fs = doc_string full and ss = doc_string skel in
+  let has affix s = Astring.String.is_infix ~affix s in
+  check bool_t "skeleton differs from full" true (fs <> ss);
+  (* Enrichment is stubbed, not computed... *)
+  check bool_t "toc stubbed" true (has "class=\"table-of-contents degraded\"" ss);
+  check bool_t "no toc entries" false (has "toc-depth-0" ss);
+  check bool_t "omissions stubbed" true (has "table-of-omissions degraded" ss);
+  check bool_t "marker table not built" false (has "<table class=\"awb-table\"" ss);
+  check bool_t "marker text left in place" true (has "T1-GOES-HERE" ss);
+  (* ...while the core content is still fully generated. *)
+  check bool_t "body rows still generated" true (has "<li>app-cluster-01</li>" ss);
+  check bool_t "full output had the real toc" true (has "toc-depth-0" fs);
+  check bool_t "full output pasted the table" false (has "T1-GOES-HERE" fs)
+
+let test_skeleton_engines_agree () =
+  let h =
+    Docgen.generate ~engine:`Host ~level:Spec.Skeleton banking
+      ~template:(template skeleton_tpl)
+  in
+  let f =
+    Docgen.generate ~engine:`Functional ~level:Spec.Skeleton banking
+      ~template:(template skeleton_tpl)
+  in
+  check string_t "skeleton engines agree byte-for-byte" (doc_string h) (doc_string f);
+  (* Skeleton strips the functional engine down to its generation walk:
+     no marker phases, no whole-document copies. *)
+  check int_t "functional skeleton is single-phase" 1 f.Spec.stats.Spec.phases;
+  check int_t "no inter-phase copies" 0 f.Spec.stats.Spec.nodes_copied
+
 let suite =
   [
     ( "docgen.directives",
@@ -469,6 +518,11 @@ let suite =
         Alcotest.test_case "engines agree on banking" `Quick test_engines_agree;
         Alcotest.test_case "engines agree on glass catalog" `Quick test_engines_agree_on_glass;
         Alcotest.test_case "query backend invisible" `Quick test_backend_choice_is_invisible;
+      ] );
+    ( "docgen.degradation",
+      [
+        Alcotest.test_case "skeleton skips enrichment" `Quick test_skeleton_skips_enrichment;
+        Alcotest.test_case "skeleton engines agree" `Quick test_skeleton_engines_agree;
       ] );
     ("docgen.streams", [ Alcotest.test_case "split" `Quick test_streams_split ]);
     ( "docgen.xquery-core",

@@ -301,16 +301,27 @@ let test_admission_pop_blocks_until_push () =
 
 (* A minimal exposition-format parser: every line must be a HELP, a
    TYPE, or a sample; every sample must have been preceded by its HELP
-   and TYPE; every value must parse as a float. *)
+   and TYPE; every metric name must use only legal characters; every
+   value must parse as a float. Samples may carry a {label="..."} set
+   between the name and the value. *)
 let reparse_prometheus label text =
   let helped = Hashtbl.create 16 and typed = Hashtbl.create 16 in
   let samples = ref 0 in
+  let legal_name n =
+    n <> ""
+    && String.for_all
+         (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+         n
+  in
   String.split_on_char '\n' text
   |> List.iter (fun line ->
          if line = "" then ()
          else if Astring.String.is_prefix ~affix:"# HELP " line then begin
            match String.split_on_char ' ' line with
-           | "#" :: "HELP" :: name :: _ :: _ -> Hashtbl.replace helped name ()
+           | "#" :: "HELP" :: name :: _ :: _ ->
+             if not (legal_name name) then
+               Alcotest.failf "%s: illegal metric name %S" label name;
+             Hashtbl.replace helped name ()
            | _ -> Alcotest.failf "%s: malformed HELP line %S" label line
          end
          else if Astring.String.is_prefix ~affix:"# TYPE " line then begin
@@ -319,16 +330,30 @@ let reparse_prometheus label text =
            | _ -> Alcotest.failf "%s: malformed TYPE line %S" label line
          end
          else
-           match String.split_on_char ' ' line with
-           | [ name; value ] ->
+           (* NAME[{labels}] VALUE. A quoted label value may itself
+              contain spaces, so split at the *last* space. *)
+           match String.rindex_opt line ' ' with
+           | None -> Alcotest.failf "%s: unparseable line %S" label line
+           | Some i ->
+             let name_part = String.sub line 0 i in
+             let value = String.sub line (i + 1) (String.length line - i - 1) in
+             let name =
+               match String.index_opt name_part '{' with
+               | None -> name_part
+               | Some j ->
+                 if name_part.[String.length name_part - 1] <> '}' then
+                   Alcotest.failf "%s: unterminated label set in %S" label line;
+                 String.sub name_part 0 j
+             in
+             if not (legal_name name) then
+               Alcotest.failf "%s: illegal metric name %S in %S" label name line;
              if not (Hashtbl.mem helped name) then
                Alcotest.failf "%s: sample %s has no HELP" label name;
              if not (Hashtbl.mem typed name) then
                Alcotest.failf "%s: sample %s has no TYPE" label name;
              (match float_of_string_opt value with
              | Some _ -> incr samples
-             | None -> Alcotest.failf "%s: unparseable value %S for %s" label value name)
-           | _ -> Alcotest.failf "%s: unparseable line %S" label line);
+             | None -> Alcotest.failf "%s: unparseable value %S for %s" label value name));
   !samples
 
 let test_prometheus_reparse () =
@@ -350,12 +375,215 @@ let test_prometheus_reparse () =
   Server.Metrics.incr_accepted m;
   Server.Metrics.incr_shed m;
   Server.Metrics.incr_worker_restarts m;
-  let server_text = Server.Metrics.to_prometheus m ~queue_depth:3 ~inflight:2 ~ready:true in
+  let server_text =
+    Server.Metrics.to_prometheus m ~queue_depth:3 ~inflight:2 ~ready:true ()
+  in
   let n = reparse_prometheus "server" server_text in
   check bool_t "server exposition has samples" true (n >= 10);
   check bool_t "queue depth gauge present" true
     (Astring.String.is_infix ~affix:"\nlopsided_server_queue_depth 3\n"
-       ("\n" ^ server_text))
+       ("\n" ^ server_text));
+  check bool_t "mode gauge present" true
+    (Astring.String.is_infix ~affix:"\nlopsided_server_mode 0\n" ("\n" ^ server_text))
+
+(* Counter names are sanitized to the Prometheus grammar, and hostile
+   tenant label values are escaped — the exposition must survive a
+   strict re-parse whatever strings reach it. *)
+let test_prometheus_hostile_names () =
+  check string_t "sanitized" "lopsided_bad_name_0:ok_"
+    (Service.sanitize_metric_name "lopsided bad-name\n0:ok!");
+  check string_t "clean name untouched" "lopsided_service_requests_total"
+    (Service.sanitize_metric_name "lopsided_service_requests_total");
+  let m = Server.Metrics.create () in
+  Server.Metrics.note_tenant m ~tenant:"evil\"quote\\back\nnewline and spaces"
+    ~outcome:`Served;
+  Server.Metrics.note_tenant m ~tenant:"evil\"quote\\back\nnewline and spaces"
+    ~outcome:`Shed;
+  let text = Server.Metrics.to_prometheus m ~queue_depth:0 ~inflight:0 ~ready:true () in
+  ignore (reparse_prometheus "hostile tenant" text);
+  check bool_t "label escaped" true
+    (Astring.String.is_infix ~affix:"tenant=\"evil\\\"quote\\\\back\\nnewline and spaces\""
+       text)
+
+(* ------------------------------------------------------------------ *)
+(* Brownout controller units (no sleeps: explicit now + override)      *)
+(* ------------------------------------------------------------------ *)
+
+let test_brownout_transitions () =
+  let open Server.Brownout in
+  let c =
+    { default_config with up_consecutive = 2; down_consecutive = 2; eval_interval_s = 0. }
+  in
+  let b = create c in
+  let mode_t =
+    Alcotest.testable (fun ppf m -> Format.pp_print_string ppf (mode_name m)) ( = )
+  in
+  let step s = note b ~override:s ~queue_occupancy:0. ~shed_fraction:0. ~now:0. () in
+  check mode_t "starts normal" Normal (mode b);
+  (* Escalation needs consecutive qualifying observations. *)
+  check mode_t "one high sample holds" Normal (step 0.8);
+  check mode_t "two go degraded" Degraded (step 0.8);
+  (* Hysteresis band: between exit (0.35) and enter (0.75) nothing
+     moves, however long it lasts. *)
+  for _ = 1 to 10 do
+    check mode_t "hysteresis holds degraded" Degraded (step 0.5)
+  done;
+  (* A single dip below exit does not recover either. *)
+  check mode_t "one low sample holds" Degraded (step 0.2);
+  check mode_t "band resets the down streak" Degraded (step 0.5);
+  check mode_t "streak must be consecutive" Degraded (step 0.2);
+  check mode_t "two consecutive recover" Normal (step 0.2);
+  (* Up the whole ladder and back down. *)
+  ignore (step 0.8);
+  ignore (step 0.8);
+  check mode_t "degraded again" Degraded (mode b);
+  check mode_t "one critical sample holds" Degraded (step 0.95);
+  check mode_t "two go critical" Critical (step 0.95);
+  check mode_t "above critical exit holds" Critical (step 0.7);
+  ignore (step 0.5);
+  check mode_t "critical recovers to degraded, not normal" Degraded (step 0.5);
+  ignore (step 0.1);
+  check mode_t "and on down to normal" Normal (step 0.1);
+  check int_t "every transition counted" 6 (transitions b)
+
+let test_brownout_eval_interval_and_signal () =
+  let open Server.Brownout in
+  (* Rate limiting: evaluations inside the interval are skipped. *)
+  let b =
+    create
+      { default_config with up_consecutive = 1; down_consecutive = 1; eval_interval_s = 10. }
+  in
+  let step ~now s = note b ~override:s ~queue_occupancy:0. ~shed_fraction:0. ~now () in
+  check bool_t "first eval runs" true (step ~now:0. 0.9 = Degraded);
+  check bool_t "inside interval skipped" true (step ~now:5. 0.1 = Degraded);
+  check bool_t "after interval runs" true (step ~now:11. 0.1 = Normal);
+  (* The composite signal takes the max of its inputs; the p95 EWMA
+     rises fast on a slow sample. *)
+  let b2 = create { default_config with up_consecutive = 1; eval_interval_s = 0. } in
+  check bool_t "occupancy alone escalates" true
+    (note b2 ~queue_occupancy:0.9 ~shed_fraction:0. ~now:0. () = Degraded);
+  let b3 = create { default_config with up_consecutive = 1; eval_interval_s = 0. } in
+  for _ = 1 to 20 do
+    observe_service_time b3 2.0
+  done;
+  check bool_t "p95 estimate rose" true (p95_estimate_s b3 > 1.5);
+  check bool_t "slow p95 alone escalates" true
+    (note b3 ~queue_occupancy:0. ~shed_fraction:0. ~now:0. () = Degraded)
+
+(* ------------------------------------------------------------------ *)
+(* Fair queue units                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* With a single tenant the fair queue must be indistinguishable from
+   the PR-4 FIFO: a deterministic pseudo-random interleaving of pushes
+   and pops is compared against a reference Queue. *)
+let test_fair_queue_single_tenant_fifo () =
+  let q = Server.Fair_queue.create ~capacity:1000 ~tenant_cap:1000 in
+  let reference = Queue.create () in
+  let seed = ref 42 in
+  let rand bound =
+    seed := ((!seed * 1103515245) + 12345) land 0x3FFFFFFF;
+    !seed mod bound
+  in
+  let next = ref 0 in
+  for _ = 1 to 500 do
+    if rand 3 < 2 || Queue.is_empty reference then begin
+      let v = !next in
+      incr next;
+      check bool_t "push accepted" true
+        (Server.Fair_queue.push q ~tenant:"only" v = `Accepted);
+      Queue.push v reference
+    end
+    else begin
+      let expected = Queue.pop reference in
+      check (Alcotest.option int_t) "pop order is FIFO" (Some expected)
+        (Server.Fair_queue.pop q)
+    end
+  done;
+  while not (Queue.is_empty reference) do
+    check (Alcotest.option int_t) "drain order is FIFO" (Some (Queue.pop reference))
+      (Server.Fair_queue.pop q)
+  done;
+  check int_t "drained" 0 (Server.Fair_queue.depth q)
+
+let test_fair_queue_interleaves_tenants () =
+  let q = Server.Fair_queue.create ~capacity:100 ~tenant_cap:100 in
+  (* A flood from one tenant, then two requests from another. *)
+  for i = 0 to 9 do
+    ignore (Server.Fair_queue.push q ~tenant:"flood" (1000 + i))
+  done;
+  ignore (Server.Fair_queue.push q ~tenant:"quiet" 1);
+  ignore (Server.Fair_queue.push q ~tenant:"quiet" 2);
+  let order = List.init 12 (fun _ -> Option.get (Server.Fair_queue.pop q)) in
+  let pos v =
+    let rec go i = function
+      | [] -> Alcotest.failf "value %d never popped" v
+      | x :: _ when x = v -> i
+      | _ :: tl -> go (i + 1) tl
+    in
+    go 0 order
+  in
+  (* Fair interleaving: the quiet tenant's requests are served within
+     its fair share — near the front — not behind the whole flood. *)
+  check bool_t "quiet #1 served early" true (pos 1 <= 3);
+  check bool_t "quiet #2 served early" true (pos 2 <= 5);
+  (* The flood itself still comes out in its own arrival order. *)
+  let flood_order = List.filter (fun v -> v >= 1000) order in
+  check (Alcotest.list int_t) "flood stays FIFO within itself"
+    (List.init 10 (fun i -> 1000 + i))
+    flood_order
+
+let test_fair_queue_bulkheads () =
+  let q = Server.Fair_queue.create ~capacity:10 ~tenant_cap:3 in
+  let push tenant v = Server.Fair_queue.push q ~tenant v in
+  check bool_t "n1" true (push "noisy" 1 = `Accepted);
+  check bool_t "n2" true (push "noisy" 2 = `Accepted);
+  check bool_t "n3" true (push "noisy" 3 = `Accepted);
+  (* The flooding tenant hits its own bulkhead... *)
+  check bool_t "n4 tenant-shed" true (push "noisy" 4 = `Shed `Tenant_full);
+  (* ...while another tenant still has queue space. *)
+  check bool_t "other admitted" true (push "calm" 5 = `Accepted);
+  check int_t "tenant depth" 3 (Server.Fair_queue.tenant_depth q "noisy");
+  (* Global capacity still binds everyone. *)
+  let q2 = Server.Fair_queue.create ~capacity:2 ~tenant_cap:2 in
+  ignore (Server.Fair_queue.push q2 ~tenant:"a" 1);
+  ignore (Server.Fair_queue.push q2 ~tenant:"b" 2);
+  check bool_t "global full" true
+    (Server.Fair_queue.push q2 ~tenant:"c" 3 = `Shed `Queue_full);
+  (* Popping frees the tenant slot. *)
+  ignore (Server.Fair_queue.pop q);
+  ignore (Server.Fair_queue.pop q);
+  ignore (Server.Fair_queue.pop q);
+  check bool_t "slot freed after pops" true (push "noisy" 6 = `Accepted)
+
+(* ------------------------------------------------------------------ *)
+(* Derived Retry-After                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_retry_after_estimate () =
+  let m = Server.Metrics.create () in
+  (* window_s = 2 *)
+  let float_t = Alcotest.float 1e-9 in
+  let base = Clock.now () in
+  (* No completions yet: no basis for an estimate, fall back to 1 s. *)
+  check float_t "cold start" 1.
+    (Server.Metrics.retry_after_estimate_s m ~queue_depth:50 ~now:base);
+  (* 20 completions inside the first window; the roll at base+2.1 makes
+     the rate 10/s. *)
+  for _ = 1 to 20 do
+    Server.Metrics.note_completion m ~now:(base +. 0.1)
+  done;
+  check float_t "rate from completed window" 10.
+    (Server.Metrics.completion_rate m ~now:(base +. 2.1));
+  check float_t "depth/rate" 5.
+    (Server.Metrics.retry_after_estimate_s m ~queue_depth:50 ~now:(base +. 2.2));
+  check float_t "clamped high" 30.
+    (Server.Metrics.retry_after_estimate_s m ~queue_depth:100_000 ~now:(base +. 2.2));
+  check float_t "clamped low" 1.
+    (Server.Metrics.retry_after_estimate_s m ~queue_depth:0 ~now:(base +. 2.2));
+  (* Two silent windows decay the rate — and the estimate falls back. *)
+  check float_t "decayed to cold" 1.
+    (Server.Metrics.retry_after_estimate_s m ~queue_depth:50 ~now:(base +. 10.))
 
 (* ------------------------------------------------------------------ *)
 (* End-to-end over loopback                                            *)
@@ -366,8 +594,24 @@ let test_e2e_generate_and_routing () =
       let r = request ~port "POST" "/generate" users_tpl in
       check int_t "generate ok" 200 r.status;
       check (Alcotest.option string_t) "engine echoed" (Some "host") (rheader r "x-engine");
+      check bool_t "request id generated" true (rheader r "x-request-id" <> None);
+      check (Alcotest.option string_t) "service mode header" (Some "normal")
+        (rheader r "x-service-mode");
       check bool_t "document body" true
         (Astring.String.is_infix ~affix:"<li>alice</li>" r.rbody);
+      (* A client-supplied X-Request-Id is echoed on every response —
+         successes, errors, even the 404. *)
+      let tagged =
+        request ~headers:[ ("X-Request-Id", "trace-me-7") ] ~port "POST" "/generate"
+          users_tpl
+      in
+      check (Alcotest.option string_t) "client id echoed on 200" (Some "trace-me-7")
+        (rheader tagged "x-request-id");
+      let nf = request ~headers:[ ("X-Request-Id", "trace-404") ] ~port "GET" "/nope" "" in
+      check (Alcotest.option string_t) "client id echoed on 404" (Some "trace-404")
+        (rheader nf "x-request-id");
+      check bool_t "healthz carries request id" true
+        (rheader (request ~port "GET" "/healthz" "") "x-request-id" <> None);
       (* Engine selection via query parameter. *)
       let r =
         request ~port "POST" "/generate?engine=functional" users_tpl
@@ -403,7 +647,7 @@ let test_e2e_generate_and_routing () =
       check int_t "template parse failure is 400" 400 parse_fail.status;
       check bool_t "bad-template code" true
         (Astring.String.is_infix ~affix:"bad-template" parse_fail.rbody);
-      check int_t "accepted counted" 5
+      check int_t "accepted counted" 6
         (Server.Metrics.accepted (Server.metrics srv)))
 
 let test_e2e_deadline_504 () =
@@ -647,6 +891,186 @@ let test_e2e_supervisor_restarts_crashed_worker () =
       check int_t "one restart counted" 1
         (Server.Metrics.worker_restarts (Server.metrics srv)))
 
+(* ------------------------------------------------------------------ *)
+(* Brownout end-to-end: walk the whole mode ladder deterministically   *)
+(* ------------------------------------------------------------------ *)
+
+(* A template whose Skeleton rendering is visibly different: the TOC
+   comes back as the degraded stub div instead of a computed list. *)
+let toc_tpl =
+  "<document><table-of-contents/><section><heading>Users</heading>\
+   <ol><for nodes=\"start type(User); sort-by label\"><li><label/></li></for></ol>\
+   </section></document>"
+
+let toc_tpl2 =
+  "<document><table-of-contents/><section><heading>Accounts</heading>\
+   <p>static</p></section></document>"
+
+(* The Fault load_signal override replaces the brownout controller's
+   composite signal wholesale; with up/down_consecutive = 1 and no
+   evaluation spacing, every request steps the controller exactly once.
+   No sleeps, no generated load — the walk is fully deterministic. *)
+let test_e2e_brownout_mode_walk () =
+  let fault = { Service.Fault.none with Service.Fault.seed = 3 } in
+  let bconfig =
+    {
+      Server.Brownout.default_config with
+      Server.Brownout.up_consecutive = 1;
+      down_consecutive = 1;
+      eval_interval_s = 0.;
+    }
+  in
+  with_server
+    ~config:
+      {
+        Server.default_config with
+        Server.fault = Some fault;
+        brownout = Some bconfig;
+      }
+    ~svc_config:{ Service.default_config with Service.result_cache_cap = 16 }
+    (fun srv port ->
+      (* Normal: a full generation, which also populates the result
+         cache. *)
+      let full = request ~port "POST" "/generate" toc_tpl in
+      check int_t "normal 200" 200 full.status;
+      check (Alcotest.option string_t) "normal mode header" (Some "normal")
+        (rheader full "x-service-mode");
+      check bool_t "full toc computed" true
+        (Astring.String.is_infix ~affix:"toc-depth-0" full.rbody);
+      check (Alcotest.option string_t) "not degraded" None (rheader full "x-degraded");
+      (* Force the signal high: the next request steps the controller to
+         Degraded and is answered stale from the result cache. *)
+      fault.Service.Fault.load_signal <- Some 0.8;
+      let stale = request ~port "POST" "/generate" toc_tpl in
+      check int_t "stale 200" 200 stale.status;
+      check (Alcotest.option string_t) "stale marked" (Some "stale")
+        (rheader stale "x-degraded");
+      check (Alcotest.option string_t) "warning 110" (Some "110 - \"Response is Stale\"")
+        (rheader stale "warning");
+      check (Alcotest.option string_t) "degraded mode header" (Some "degraded")
+        (rheader stale "x-service-mode");
+      check string_t "stale body is the cached full document" full.rbody stale.rbody;
+      (* Degraded + cache miss: generated as a skeleton, not shed. *)
+      let skel = request ~port "POST" "/generate" toc_tpl2 in
+      check int_t "skeleton 200" 200 skel.status;
+      check (Alcotest.option string_t) "skeleton marked" (Some "skeleton")
+        (rheader skel "x-degraded");
+      check bool_t "toc stubbed, not computed" true
+        (Astring.String.is_infix ~affix:"table-of-contents degraded" skel.rbody);
+      check bool_t "no toc entries" false
+        (Astring.String.is_infix ~affix:"toc-depth-0" skel.rbody);
+      (* Critical: cache hits still serve, misses are refused. *)
+      fault.Service.Fault.load_signal <- Some 0.99;
+      let crit_hit = request ~port "POST" "/generate" toc_tpl in
+      check int_t "critical still serves cached" 200 crit_hit.status;
+      check (Alcotest.option string_t) "critical mode header" (Some "critical")
+        (rheader crit_hit "x-service-mode");
+      let crit_miss =
+        request ~port "POST" "/generate"
+          "<document><p>never seen before</p></document>"
+      in
+      check int_t "critical miss refused" 503 crit_miss.status;
+      check bool_t "critical miss carries retry-after" true
+        (rheader crit_miss "retry-after" <> None);
+      (* Recovery: a low signal walks Critical -> Degraded -> Normal,
+         one step per request. *)
+      fault.Service.Fault.load_signal <- Some 0.0;
+      ignore (request ~port "POST" "/generate" users_tpl);
+      check bool_t "one step down from critical" true
+        (Server.current_mode srv = Server.Brownout.Degraded);
+      let recovered = request ~port "POST" "/generate" users_tpl in
+      check bool_t "second step reaches normal" true
+        (Server.current_mode srv = Server.Brownout.Normal);
+      check int_t "recovered 200" 200 recovered.status;
+      (* The brownout counters saw it all. *)
+      check bool_t "stale serves counted" true
+        (Server.Metrics.stale_served (Server.metrics srv) >= 2);
+      check bool_t "skeletons counted" true
+        (Server.Metrics.skeletons (Server.metrics srv) >= 1);
+      check bool_t "refresh enqueued for the stale hit" true
+        (Server.Metrics.refreshes (Server.metrics srv) >= 1);
+      (* /metrics exports the mode gauge (0 again after recovery). *)
+      let m = request ~port "GET" "/metrics" "" in
+      ignore (reparse_prometheus "brownout scrape" m.rbody);
+      check bool_t "mode gauge normal again" true
+        (Astring.String.is_infix ~affix:"\nlopsided_server_mode 0\n" ("\n" ^ m.rbody)))
+
+(* With brownout off (the default), the load-signal override must be
+   inert: the server sheds exactly as PR 4 did. *)
+let test_e2e_brownout_off_is_inert () =
+  let fault = { Service.Fault.none with Service.Fault.seed = 3 } in
+  fault.Service.Fault.load_signal <- Some 0.99;
+  with_server
+    ~config:{ Server.default_config with Server.fault = Some fault }
+    (fun srv port ->
+      let r = request ~port "POST" "/generate" users_tpl in
+      check int_t "served normally" 200 r.status;
+      check (Alcotest.option string_t) "mode stays normal" (Some "normal")
+        (rheader r "x-service-mode");
+      check bool_t "controller never engaged" true
+        (Server.current_mode srv = Server.Brownout.Normal))
+
+(* ------------------------------------------------------------------ *)
+(* Per-tenant bulkheads end-to-end                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_e2e_tenant_bulkhead () =
+  with_server
+    ~config:
+      {
+        Server.default_config with
+        Server.max_inflight = 1;
+        queue_cap = 8;
+        tenant_cap = 2;
+      }
+    (fun srv port ->
+      (* Occupy the single worker so the queue actually holds. *)
+      let slow =
+        in_thread (fun () ->
+            request
+              ~headers:[ ("X-Deadline-Ms", "500"); ("X-Tenant", "noisy") ]
+              ~port "POST" "/generate" runaway_tpl)
+      in
+      Thread.delay 0.15;
+      (* The noisy tenant floods: only tenant_cap of these can queue;
+         the rest get 429 — their own bulkhead, not a global 503. *)
+      let noisy =
+        List.init 5 (fun _ ->
+            in_thread (fun () ->
+                request
+                  ~headers:[ ("X-Deadline-Ms", "500"); ("X-Tenant", "noisy") ]
+                  ~port "POST" "/generate" runaway_tpl))
+      in
+      Thread.delay 0.25;
+      (* A quiet tenant still has queue space while the flood rages. *)
+      let quiet =
+        request ~headers:[ ("X-Tenant", "quiet") ] ~port "POST" "/generate" users_tpl
+      in
+      check int_t "quiet tenant served" 200 quiet.status;
+      let replies = List.map join_result noisy in
+      let tenant_429 =
+        List.filter
+          (fun r ->
+            r.status = 429 && Astring.String.is_infix ~affix:"tenant-overloaded" r.rbody)
+          replies
+      in
+      check bool_t "flooding tenant got its own 429s" true (List.length tenant_429 >= 3);
+      List.iter
+        (fun r -> check bool_t "429 carries retry-after" true (rheader r "retry-after" <> None))
+        tenant_429;
+      ignore (join_result slow);
+      check bool_t "tenant rejections counted" true
+        (Server.Metrics.tenant_rejected (Server.metrics srv) >= 3);
+      (* The per-tenant counters reach /metrics as labeled samples. *)
+      let m = request ~port "GET" "/metrics" "" in
+      ignore (reparse_prometheus "tenant scrape" m.rbody);
+      check bool_t "noisy tenant labeled" true
+        (Astring.String.is_infix ~affix:"lopsided_server_tenant_shed_total{tenant=\"noisy\"}"
+           m.rbody);
+      check bool_t "quiet tenant labeled" true
+        (Astring.String.is_infix
+           ~affix:"lopsided_server_tenant_served_total{tenant=\"quiet\"}" m.rbody))
+
 let suite =
   [
     ( "server",
@@ -664,6 +1088,19 @@ let suite =
         Alcotest.test_case "admission pop blocks until push" `Quick
           test_admission_pop_blocks_until_push;
         Alcotest.test_case "prometheus expositions re-parse" `Quick test_prometheus_reparse;
+        Alcotest.test_case "prometheus hostile names sanitized" `Quick
+          test_prometheus_hostile_names;
+        Alcotest.test_case "brownout transitions and hysteresis" `Quick
+          test_brownout_transitions;
+        Alcotest.test_case "brownout eval interval and signals" `Quick
+          test_brownout_eval_interval_and_signal;
+        Alcotest.test_case "fair queue single tenant is FIFO" `Quick
+          test_fair_queue_single_tenant_fifo;
+        Alcotest.test_case "fair queue interleaves tenants" `Quick
+          test_fair_queue_interleaves_tenants;
+        Alcotest.test_case "fair queue bulkheads" `Quick test_fair_queue_bulkheads;
+        Alcotest.test_case "retry-after from drain estimate" `Quick
+          test_retry_after_estimate;
         Alcotest.test_case "e2e generate and routing" `Quick test_e2e_generate_and_routing;
         Alcotest.test_case "e2e deadline header becomes 504" `Quick test_e2e_deadline_504;
         Alcotest.test_case "e2e client hangup survives (no SIGPIPE)" `Quick
@@ -678,5 +1115,10 @@ let suite =
           test_e2e_sigterm_during_quarantine_cooldown;
         Alcotest.test_case "e2e supervisor restarts crashed worker" `Quick
           test_e2e_supervisor_restarts_crashed_worker;
+        Alcotest.test_case "e2e brownout mode walk (stale, skeleton, critical)" `Quick
+          test_e2e_brownout_mode_walk;
+        Alcotest.test_case "e2e brownout off is inert" `Quick
+          test_e2e_brownout_off_is_inert;
+        Alcotest.test_case "e2e per-tenant bulkhead" `Quick test_e2e_tenant_bulkhead;
       ] );
   ]

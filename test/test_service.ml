@@ -208,6 +208,7 @@ let fault ?(seed = 42) ?(deadline_rate = 0.) ?(fuel_rate = 0.) ?(transient_rate 
     transient_attempts;
     fast_fault_rate;
     crash_rate;
+    load_signal = None;
   }
 
 (* Templates whose generation would run for hours unpreempted: nested
@@ -502,6 +503,93 @@ let test_engine_dispatch_agreement () =
         (Docgen.engine_of_string (Docgen.engine_name e) = Ok e))
     Docgen.all_engines
 
+(* ------------------------------------------------------------------ *)
+(* Result cache (stale-while-revalidate support)                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_result_cache_store_and_lookup () =
+  let t =
+    Service.create
+      ~config:{ Service.default_config with Service.result_cache_cap = 8 }
+      ()
+  in
+  let r = req ~id:"first" users_tpl in
+  (* Before any generation: a miss. *)
+  check bool_t "empty cache misses" true (Service.lookup_result t r = None);
+  let out = ok_exn (Service.run t r) in
+  (* A completed Full-level generation is cached; the lookup returns the
+     same bytes plus a non-negative age. *)
+  (match Service.lookup_result t (req ~id:"other-id" users_tpl) with
+  | None -> Alcotest.fail "completed generation was not cached"
+  | Some (cached, age_s) ->
+    check string_t "cached document identical" out.Service.document
+      cached.Service.document;
+    check bool_t "age non-negative" true (age_s >= 0.));
+  (* The key covers the engine: another engine's result is a miss. *)
+  check bool_t "different engine misses" true
+    (Service.lookup_result t (req ~engine:`Functional ~id:"x" users_tpl) = None);
+  (* And the template bytes. *)
+  check bool_t "different template misses" true
+    (Service.lookup_result t
+       (req ~id:"y" "<document><p>other</p></document>")
+    = None);
+  (* Failures are never cached. *)
+  let bad =
+    "<document><for nodes=\"start type(Document); sort-by label\">\
+     <p><required-property name=\"version\"/></p></for></document>"
+  in
+  (match (Service.run t (req ~id:"fails" bad)).Service.result with
+  | Ok _ -> Alcotest.fail "expected the required-property template to fail"
+  | Error _ -> ());
+  check bool_t "failure not cached" true (Service.lookup_result t (req ~id:"z" bad) = None);
+  let c = Service.counters t in
+  check bool_t "stores counted" true (c.Service.result_stores >= 1);
+  check bool_t "hits counted" true (c.Service.result_hits >= 1);
+  check bool_t "misses counted" true (c.Service.result_misses >= 3)
+
+let test_result_cache_refresh_claim () =
+  let t =
+    Service.create
+      ~config:{ Service.default_config with Service.result_cache_cap = 8 }
+      ()
+  in
+  let r = req ~id:"r1" users_tpl in
+  (* Nothing cached: nothing to refresh. *)
+  check bool_t "no entry, no claim" false (Service.claim_refresh t r);
+  ignore (ok_exn (Service.run t r));
+  (* First claim wins; duplicates inside the cooldown are refused, so a
+     burst of stale hits enqueues one background refresh, not dozens. *)
+  check bool_t "first claim wins" true (Service.claim_refresh t r);
+  check bool_t "duplicate claim refused" false (Service.claim_refresh t r);
+  (* A successful re-generation stores afresh and resets the claim. *)
+  ignore (ok_exn (Service.run t (req ~id:"r2" users_tpl)));
+  check bool_t "claim reset by store" true (Service.claim_refresh t r)
+
+let test_result_cache_disabled_by_default () =
+  let t = svc () in
+  let r = req ~id:"d1" users_tpl in
+  ignore (ok_exn (Service.run t r));
+  check bool_t "cap 0 stores nothing" true (Service.lookup_result t r = None);
+  check int_t "no stores counted" 0 (Service.counters t).Service.result_stores
+
+let test_request_level_reaches_engine () =
+  let t = svc () in
+  let toc_tpl =
+    "<document><table-of-contents/><section><heading>Users</heading>\
+     <p>body</p></section></document>"
+  in
+  let full = ok_exn (Service.run t (req ~id:"lvl-full" toc_tpl)) in
+  let skel_req =
+    Service.request ~level:Docgen.Spec.Skeleton ~id:"lvl-skel"
+      ~template:(Service.Template_xml toc_tpl)
+      ~model:(Service.Model_value banking) ()
+  in
+  let skel = ok_exn (Service.run t skel_req) in
+  check bool_t "full computed the toc" true
+    (Astring.String.is_infix ~affix:"toc-depth-0" full.Service.document);
+  check bool_t "skeleton stubbed the toc" true
+    (Astring.String.is_infix ~affix:"table-of-contents degraded" skel.Service.document)
+
 let suite =
   [
     ( "service.lru",
@@ -551,6 +639,14 @@ let suite =
         Alcotest.test_case "pool executes each task once" `Quick
           test_pool_runs_everything_once;
         Alcotest.test_case "pool isolates exceptions" `Quick test_pool_isolates_exceptions;
+      ] );
+    ( "service.result-cache",
+      [
+        Alcotest.test_case "store and lookup" `Quick test_result_cache_store_and_lookup;
+        Alcotest.test_case "refresh claim dedup" `Quick test_result_cache_refresh_claim;
+        Alcotest.test_case "disabled by default" `Quick test_result_cache_disabled_by_default;
+        Alcotest.test_case "request level reaches the engine" `Quick
+          test_request_level_reaches_engine;
       ] );
     ( "service.api",
       [
