@@ -660,15 +660,17 @@ let a4 () =
 (* E9: the evaluator fast path                                       *)
 (* ---------------------------------------------------------------- *)
 
-(* Slow (seed algorithms, ~fast_eval:false) vs fast on the same compiled
-   query, with the display string as the identity oracle. Results feed
-   the --json emitter so the perf trajectory is recorded per PR. *)
-let e9_results : (string * float * float) list ref = ref []
+(* Three arms on the same compiled query — seed algorithms, the fast
+   interpreter, and the compiled plan executor — with the display string
+   as the identity oracle. Results feed the --json emitter so the perf
+   trajectory is recorded per PR. *)
+let e9_results : (string * float * float * float) list ref = ref []
 
-let e9_record name slow fast =
-  e9_results := (name, slow, fast) :: !e9_results;
-  Printf.printf "  %-24s %12.3f %12.3f %9.1fx\n" name slow fast
+let e9_record name slow fast plan =
+  e9_results := (name, slow, fast, plan) :: !e9_results;
+  Printf.printf "  %-24s %12.3f %12.3f %12.3f %9.1fx %9.1fx\n" name slow fast plan
     (slow /. Float.max 1e-9 fast)
+    (slow /. Float.max 1e-9 plan)
 
 let e9_write_json path =
   let oc = open_out path in
@@ -677,12 +679,14 @@ let e9_write_json path =
   output_string oc
     (String.concat ",\n"
        (List.rev_map
-          (fun (name, slow, fast) ->
+          (fun (name, slow, fast, plan) ->
             Printf.sprintf
               "    {\"name\": \"%s\", \"slow_ms\": %.3f, \"fast_ms\": %.3f, \
-               \"speedup\": %.2f}"
+               \"speedup\": %.2f, \"plan_ms\": %.3f, \"plan_speedup\": %.2f}"
               name slow fast
-              (slow /. Float.max 1e-9 fast))
+              (slow /. Float.max 1e-9 fast)
+              plan
+              (slow /. Float.max 1e-9 plan))
           !e9_results));
   output_string oc "\n  ]\n}\n";
   close_out oc;
@@ -743,23 +747,32 @@ let e9_docgen_tpl =
    </section></for></document>"
 
 let e9 () =
-  section "E9 - evaluator fast path: doc-order keys, hash set ops, lazy sequences";
-  Printf.printf "  %-24s %12s %12s %10s\n" "query" "seed ms" "fast ms" "speedup";
+  section "E9 - evaluator fast path: doc-order keys, hash set ops, compiled plans";
+  Printf.printf "  %-24s %12s %12s %12s %10s %10s\n" "query" "seed ms" "fast ms" "plan ms"
+    "fast x" "plan x";
   let bench ?(k = 2) name q doc =
     let compiled = Xquery.Engine.compile q in
-    let ctx = Xquery.Value.Node doc in
-    let r_slow = ref [] and r_fast = ref [] in
+    let opts mode =
+      Xquery.Engine.Exec_opts.make ~mode ~context_item:(Xquery.Value.Node doc) ()
+    in
+    let r_slow = ref [] and r_fast = ref [] and r_plan = ref [] in
     let slow =
       best_ms ~k (fun () ->
-          r_slow := Xquery.Engine.execute ~fast_eval:false ~context_item:ctx compiled)
+          r_slow := Xquery.Engine.run ~opts:(opts Xquery.Engine.Exec_opts.Seed) compiled)
     in
     let fast =
       best_ms ~k (fun () ->
-          r_fast := Xquery.Engine.execute ~fast_eval:true ~context_item:ctx compiled)
+          r_fast := Xquery.Engine.run ~opts:(opts Xquery.Engine.Exec_opts.Fast) compiled)
+    in
+    let plan =
+      best_ms ~k (fun () ->
+          r_plan := Xquery.Engine.run ~opts:(opts Xquery.Engine.Exec_opts.Plan) compiled)
     in
     assert (
       Xquery.Value.to_display_string !r_slow = Xquery.Value.to_display_string !r_fast);
-    e9_record name slow fast
+    assert (
+      Xquery.Value.to_display_string !r_slow = Xquery.Value.to_display_string !r_plan);
+    e9_record name slow fast plan
   in
   let deep = e9_deep_doc (if quick then 300 else 1500) in
   let wide = e9_wide_doc (if quick then 60 else 150) (if quick then 8 else 10) in
@@ -772,8 +785,8 @@ let e9 () =
   bench "distinct_values" "count(distinct-values(//item/@v))" values;
   bench "some_satisfies" "some $v in //item/@v satisfies $v = 'needle'" values;
   (* TOC generation through the pure-XQuery docgen engine on a large
-     exported model; the whole run flips through the env default so every
-     environment the engine creates inherits the setting. *)
+     exported model; the execution mode rides the options record into
+     every environment the engine creates. *)
   let model = Awb.Synth.generate_of_size ~seed:21 (if quick then 120 else 1850) in
   let export_nodes =
     let n = ref 0 in
@@ -782,22 +795,20 @@ let e9 () =
   in
   let tpl = template e9_docgen_tpl in
   let compiled_core = Docgen.Xq_engine.compile () in
-  let with_default b f =
-    let old = !Xquery.Context.fast_eval_default in
-    Xquery.Context.fast_eval_default := b;
-    Fun.protect ~finally:(fun () -> Xquery.Context.fast_eval_default := old) f
+  let toc mode =
+    Xml_base.Serialize.to_string
+      (Docgen.Xq_engine.generate_spec ~compiled:compiled_core
+         ~opts:(Xquery.Engine.Exec_opts.make ~mode ())
+         model ~template:tpl)
+        .Spec.document
   in
-  let toc b =
-    with_default b (fun () ->
-        Xml_base.Serialize.to_string
-          (Docgen.Xq_engine.generate_spec ~compiled:compiled_core model ~template:tpl)
-            .Spec.document)
-  in
-  let r_slow = ref "" and r_fast = ref "" in
-  let t_slow = best_ms ~k:1 (fun () -> r_slow := toc false) in
-  let t_fast = best_ms ~k:1 (fun () -> r_fast := toc true) in
+  let r_slow = ref "" and r_fast = ref "" and r_plan = ref "" in
+  let t_slow = best_ms ~k:1 (fun () -> r_slow := toc Xquery.Engine.Exec_opts.Seed) in
+  let t_fast = best_ms ~k:1 (fun () -> r_fast := toc Xquery.Engine.Exec_opts.Fast) in
+  let t_plan = best_ms ~k:1 (fun () -> r_plan := toc Xquery.Engine.Exec_opts.Plan) in
   assert (!r_slow = !r_fast);
-  e9_record "toc_generation" t_slow t_fast;
+  assert (!r_slow = !r_plan);
+  e9_record "toc_generation" t_slow t_fast t_plan;
   Printf.printf "  (toc model: %d model nodes, %d exported XML nodes)\n"
     (M.node_count model) export_nodes;
   run_bechamel_group ~name:"e9_eval_fast_path"
@@ -846,7 +857,9 @@ let gov () =
   let compiled_core = Docgen.Xq_engine.compile () in
   let gen ?limits () =
     Xml_base.Serialize.to_string
-      (Docgen.Xq_engine.generate_spec ~compiled:compiled_core ?limits model ~template:tpl)
+      (Docgen.Xq_engine.generate_spec ~compiled:compiled_core
+         ~opts:(Xquery.Engine.Exec_opts.make ?limits ())
+         model ~template:tpl)
         .Spec.document
   in
   let generous () =

@@ -3,12 +3,13 @@
    Examples:
      dune exec bin/xq.exe -- -e 'for $i in 1 to 5 return $i * $i'
      dune exec bin/xq.exe -- -e 'count(//book)' --input library.xml
-     dune exec bin/xq.exe -- --file query.xq --input doc.xml --galax *)
+     dune exec bin/xq.exe -- --file query.xq --input doc.xml --galax
+     dune exec bin/xq.exe -- -e '//section/title' -i doc.xml --plan --explain *)
 
 open Cmdliner
 
-let run_query expr file input galax typed no_optimize explain time fuel max_depth
-    max_nodes deadline =
+let run_query expr file input galax typed no_optimize mode plan_flag explain time fuel
+    max_depth max_nodes deadline =
   let source =
     match (expr, file) with
     | Some e, None -> Ok e
@@ -21,11 +22,15 @@ let run_query expr file input galax typed no_optimize explain time fuel max_dept
       with Sys_error m -> Error m)
     | _ -> Error "provide exactly one of -e EXPR or --file QUERY.xq"
   in
-  match source with
-  | Error m ->
+  let mode =
+    if plan_flag then Ok Xquery.Engine.Exec_opts.Plan
+    else Xquery.Engine.Exec_opts.mode_of_string mode
+  in
+  match (source, mode) with
+  | Error m, _ | _, Error m ->
     prerr_endline ("xq: " ^ m);
     1
-  | Ok source -> (
+  | Ok source, Ok mode -> (
     let compat =
       if galax then Xquery.Context.galax_compat else Xquery.Context.default_compat
     in
@@ -37,16 +42,7 @@ let run_query expr file input galax typed no_optimize explain time fuel max_dept
     if explain then begin
       match Xquery.Engine.compile ~compat ~optimize:(not no_optimize) source with
       | compiled ->
-        print_endline (Xquery.Unparse.program compiled.Xquery.Engine.program);
-        (match compiled.Xquery.Engine.opt_stats with
-        | Some st ->
-          Printf.printf
-            "(: optimizer: %d lets eliminated, %d traces eliminated, %d constants \
-             folded, %d count rewrites, %d paths hoisted :)\n"
-            st.Xquery.Optimizer.lets_eliminated st.Xquery.Optimizer.traces_eliminated
-            st.Xquery.Optimizer.constants_folded st.Xquery.Optimizer.count_cmp_rewrites
-            st.Xquery.Optimizer.paths_hoisted
-        | None -> print_endline "(: optimizer: off :)");
+        print_string (Xquery.Engine.explain compiled ~mode);
         0
       | exception Xquery.Errors.Error { code; message } ->
         Printf.eprintf "xq: %s: %s\n" code message;
@@ -54,7 +50,9 @@ let run_query expr file input galax typed no_optimize explain time fuel max_dept
     end
     else
     (* Phase timings for --time: parse and optimize measured separately
-       (Engine.compile fuses them), then execution. *)
+       (Engine.compile fuses them), then plan compilation — forced
+       explicitly so a plan-cache hit shows up as ~0 compile time — and
+       finally execution on its own. *)
     (* Monotonic clock: phase timings must not jump with wall-clock
        adjustments. *)
     let timed cell f =
@@ -63,7 +61,7 @@ let run_query expr file input galax typed no_optimize explain time fuel max_dept
       cell := Clock.now () -. t0;
       v
     in
-    let parse_s = ref 0. and opt_s = ref 0. and eval_s = ref 0. in
+    let parse_s = ref 0. and opt_s = ref 0. and compile_s = ref 0. and eval_s = ref 0. in
     let limits =
       match (fuel, max_depth, max_nodes, deadline) with
       | None, None, None, None -> None
@@ -87,17 +85,22 @@ let run_query expr file input galax typed no_optimize explain time fuel max_dept
               (p, Some st))
       in
       let compiled =
-        { Xquery.Engine.program; compat; typed_mode = typed; opt_stats }
+        Xquery.Engine.make_compiled ?opt_stats ~compat ~typed_mode:typed program
       in
-      timed eval_s (fun () -> Xquery.Engine.execute ?context_item ?limits compiled)
+      (if mode = Xquery.Engine.Exec_opts.Plan then
+         timed compile_s (fun () -> ignore (Xquery.Engine.plan_of compiled)));
+      let opts = Xquery.Engine.Exec_opts.make ~mode ?limits ?context_item () in
+      timed eval_s (fun () -> Xquery.Engine.run ~opts compiled)
     with
     | result ->
       List.iter
         (fun item -> print_endline (Xquery.Value.item_to_string item))
         result;
       if time then
-        Printf.eprintf "xq: parse %.3f ms, optimize %.3f ms, eval %.3f ms\n"
-          (!parse_s *. 1000.) (!opt_s *. 1000.) (!eval_s *. 1000.);
+        Printf.eprintf
+          "xq: parse %.3f ms, optimize %.3f ms, compile %.3f ms, execute %.3f ms (%s)\n"
+          (!parse_s *. 1000.) (!opt_s *. 1000.) (!compile_s *. 1000.) (!eval_s *. 1000.)
+          (Xquery.Engine.Exec_opts.mode_name mode);
       0
     | exception Xquery.Errors.Error { code; message } ->
       Printf.eprintf "xq: %s: %s\n" code message;
@@ -136,16 +139,34 @@ let typed = Arg.(value & flag & info [ "typed" ] ~doc:"Enforce sequence-type ann
 let no_optimize =
   Arg.(value & flag & info [ "no-optimize" ] ~doc:"Skip the optimizer entirely.")
 
+let mode =
+  Arg.(
+    value & opt string "fast"
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:
+          "Execution mode: $(b,seed) (reference algorithms), $(b,fast) (cached-key \
+           interpreter), or $(b,plan) (compile to the physical plan).")
+
+let plan_flag =
+  Arg.(
+    value & flag
+    & info [ "plan" ] ~doc:"Shorthand for $(b,--mode plan): run the compiled plan.")
+
 let explain =
   Arg.(
     value & flag
-    & info [ "explain" ] ~doc:"Print the (optimized) program instead of running it.")
+    & info [ "explain" ]
+        ~doc:
+          "Print what would run instead of running it: the optimized program, or with \
+           $(b,--plan) the rendered physical plan.")
 
 let time =
   Arg.(
     value & flag
     & info [ "time" ]
-        ~doc:"Print parse/optimize/eval phase timings to stderr after the result.")
+        ~doc:
+          "Print parse/optimize/compile/execute phase timings to stderr after the \
+           result (compile is plan lowering; ~0 on a plan-cache hit).")
 
 let fuel =
   Arg.(
@@ -182,7 +203,7 @@ let cmd =
   Cmd.v
     (Cmd.info "xq" ~doc)
     Term.(
-      const run_query $ expr $ file $ input $ galax $ typed $ no_optimize $ explain $ time
-      $ fuel $ max_depth $ max_nodes $ deadline)
+      const run_query $ expr $ file $ input $ galax $ typed $ no_optimize $ mode
+      $ plan_flag $ explain $ time $ fuel $ max_depth $ max_nodes $ deadline)
 
 let () = exit (Cmd.eval' cmd)

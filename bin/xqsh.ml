@@ -9,24 +9,30 @@
      xq> count(//book)
      4
      xq> :let cheap //book[number(price) < 20]
-     xq> :set galax on
+     xq> :set mode plan
      xq> :explain let $d := trace(1, 'x') return 2
+
+   Queries run through the Service layer, not the bare engine: repeated
+   queries hit the compiled-query (and plan) cache, budgets from the
+   service config apply, and :counters shows what the session cost.
 
    Also runs non-interactively: pipe a script into stdin. *)
 
 type session = {
+  service : Service.t;
   mutable context : Xquery.Value.item option;
   mutable vars : (string * Xquery.Value.sequence) list;
   mutable galax : bool;
   mutable typed : bool;
   mutable optimize : bool;
+  mutable mode : Xquery.Engine.Exec_opts.mode;
 }
 
 let compat s = if s.galax then Xquery.Context.galax_compat else Xquery.Context.default_compat
 
 let run_query s q =
-  Xquery.Engine.eval_query ~compat:(compat s) ~typed_mode:s.typed ~optimize:s.optimize
-    ?context_item:s.context ~vars:s.vars q
+  Service.run_query s.service ~compat:(compat s) ~typed_mode:s.typed
+    ~optimize:s.optimize ?context_item:s.context ~vars:s.vars ~mode:s.mode q
 
 let print_result result =
   match result with
@@ -42,10 +48,13 @@ let help () =
   :let NAME QUERY   bind $NAME to the query's result
   :vars             list bound variables
   :set galax|typed|optimize on|off
-  :explain QUERY    show the (optimized) program instead of running it
+  :set mode seed|fast|plan
+  :explain QUERY    show what would run: the optimized program, or the
+                    physical plan when the mode is plan
+  :counters         service counters for this session (caches, plans)
   :help             this text
   :quit             leave
-anything else is evaluated as a query.
+anything else is evaluated as a query (through the service layer).
 |}
 
 let handle_command s line =
@@ -68,11 +77,11 @@ let handle_command s line =
     true
   | ":let" :: name :: rest when rest <> [] ->
     let q = String.concat " " rest in
-    (try
-       let v = run_query s q in
-       s.vars <- (name, v) :: List.remove_assoc name s.vars;
-       Printf.printf "$%s bound to %d item(s)\n" name (List.length v)
-     with Xquery.Errors.Error { code; message } -> Printf.eprintf "%s: %s\n" code message);
+    (match run_query s q with
+    | Ok v ->
+      s.vars <- (name, v) :: List.remove_assoc name s.vars;
+      Printf.printf "$%s bound to %d item(s)\n" name (List.length v)
+    | Error e -> prerr_endline (Service.error_to_string e));
     true
   | [ ":vars" ] ->
     if s.vars = [] then print_endline "(no variables)"
@@ -93,25 +102,30 @@ let handle_command s line =
     s.optimize <- v = "on";
     Printf.printf "optimizer %s\n" (on_off s.optimize);
     true
+  | [ ":set"; "mode"; v ] ->
+    (match Xquery.Engine.Exec_opts.mode_of_string v with
+    | Ok m ->
+      s.mode <- m;
+      Printf.printf "mode %s\n" (Xquery.Engine.Exec_opts.mode_name m)
+    | Error m -> prerr_endline m);
+    true
+  | [ ":counters" ] ->
+    Format.printf "%a@." Service.pp_counters (Service.counters s.service);
+    true
   | ":explain" :: rest when rest <> [] ->
     let q = String.concat " " rest in
     (try
        let compiled = Xquery.Engine.compile ~compat:(compat s) ~optimize:s.optimize q in
-       print_endline (Xquery.Unparse.program compiled.Xquery.Engine.program);
-       match compiled.Xquery.Engine.opt_stats with
-       | Some st ->
-         Printf.printf "(: %d lets eliminated, %d traces eliminated, %d constants folded :)\n"
-           st.Xquery.Optimizer.lets_eliminated st.Xquery.Optimizer.traces_eliminated
-           st.Xquery.Optimizer.constants_folded
-       | None -> ()
+       print_string (Xquery.Engine.explain compiled ~mode:s.mode)
      with Xquery.Errors.Error { code; message } -> Printf.eprintf "%s: %s\n" code message);
     true
   | w :: _ when String.length w > 0 && w.[0] = ':' ->
     Printf.eprintf "unknown command %s (:help for help)\n" w;
     true
   | _ ->
-    (try print_result (run_query s line)
-     with Xquery.Errors.Error { code; message } -> Printf.eprintf "%s: %s\n" code message);
+    (match run_query s line with
+    | Ok v -> print_result v
+    | Error e -> prerr_endline (Service.error_to_string e));
     true
 
 let () =
@@ -120,7 +134,17 @@ let () =
     print_endline "Lopsided XQuery shell (:help for commands, :quit to leave)";
     print_string "xq> "
   end;
-  let s = { context = None; vars = []; galax = false; typed = false; optimize = true } in
+  let s =
+    {
+      service = Service.create ();
+      context = None;
+      vars = [];
+      galax = false;
+      typed = false;
+      optimize = true;
+      mode = Xquery.Engine.Exec_opts.Fast;
+    }
+  in
   let rec loop () =
     match input_line stdin with
     | exception End_of_file -> ()

@@ -1,39 +1,46 @@
 (* xsltproc — apply an XSLT-lite stylesheet to an XML document.
 
+   Transforms go through the Service layer: the stylesheet is compiled
+   through the service's content-hash-keyed cache, so repeated
+   invocations in one process (and the error taxonomy) match what the
+   HTTP front end would serve.
+
    Example:
      dune exec bin/xsltproc.exe -- --stylesheet split.xsl --input streams.xml *)
 
 open Cmdliner
 
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
 let run stylesheet_file input_file pretty =
-  match
-    ( Xml_base.Parser.parse_file stylesheet_file,
-      Xml_base.Parser.parse_file input_file )
-  with
+  match (read_file stylesheet_file, Xml_base.Parser.parse_file input_file) with
   | exception Xml_base.Parser.Parse_error { line; col; message } ->
     Printf.eprintf "xsltproc: line %d col %d: %s\n" line col message;
     1
   | exception Sys_error m ->
     prerr_endline ("xsltproc: " ^ m);
     1
-  | sheet_doc, source -> (
-    match Xslt.compile sheet_doc with
-    | exception Xslt.Error m ->
+  | stylesheet_xml, source -> (
+    let service = Service.create () in
+    match Service.apply_stylesheet service ~stylesheet_xml source with
+    | Ok results ->
+      List.iter
+        (fun n ->
+          print_endline
+            (if pretty then Xml_base.Serialize.to_pretty_string n
+             else Xml_base.Serialize.to_string n))
+        results;
+      0
+    | Error (Service.Template_error m) ->
       prerr_endline ("xsltproc: stylesheet: " ^ m);
       1
-    | sheet -> (
-      match Xslt.apply sheet source with
-      | exception Xslt.Error m ->
-        prerr_endline ("xsltproc: " ^ m);
-        2
-      | results ->
-        List.iter
-          (fun n ->
-            print_endline
-              (if pretty then Xml_base.Serialize.to_pretty_string n
-               else Xml_base.Serialize.to_string n))
-          results;
-        0))
+    | Error e ->
+      prerr_endline ("xsltproc: " ^ Service.error_to_string e);
+      2)
 
 let stylesheet_file =
   Arg.(

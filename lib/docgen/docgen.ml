@@ -27,19 +27,29 @@ let engine_of_string = Engine_intf.kind_of_string
 
 module Host : Engine_intf.S = struct
   let name = "host"
-  let generate = Host_engine.generate
+
+  let generate ?backend ~opts model ~template =
+    Host_engine.generate ?backend
+      ?limits:opts.Xquery.Engine.Exec_opts.limits
+      ~fast_eval:(Engine_intf.fast_eval_of_opts opts)
+      ~level:(Engine_intf.spec_level_of_opts opts) model ~template
 end
 
 module Functional : Engine_intf.S = struct
   let name = "functional"
-  let generate = Functional_engine.generate
+
+  let generate ?backend ~opts model ~template =
+    Functional_engine.generate ?backend
+      ?limits:opts.Xquery.Engine.Exec_opts.limits
+      ~fast_eval:(Engine_intf.fast_eval_of_opts opts)
+      ~level:(Engine_intf.spec_level_of_opts opts) model ~template
 end
 
 module Xq : Engine_intf.S = struct
   let name = "xq"
 
-  let generate ?backend ?limits ?fast_eval ?level model ~template =
-    Xq_engine.generate_spec ?backend ?limits ?fast_eval ?level model ~template
+  let generate ?backend ~opts model ~template =
+    Xq_engine.generate_spec ?backend ~opts model ~template
 end
 
 let engine_module : engine -> (module Engine_intf.S) = function
@@ -47,10 +57,20 @@ let engine_module : engine -> (module Engine_intf.S) = function
   | `Functional -> (module Functional)
   | `Xq -> (module Xq)
 
+(* The primary entry point: one options record, shared with the XQuery
+   engine itself, so an execution mode or worker pool chosen at the
+   service edge flows through docgen unchanged. *)
+let run ?backend ?(engine : engine = `Host) ~opts model ~template =
+  let (module E : Engine_intf.S) = engine_module engine in
+  E.generate ?backend ~opts model ~template
+
+(* Deprecated shim (kept one release): the labelled-argument entry point.
+   New code should build an [Exec_opts.t] and call [run]. *)
 let generate ?backend ?limits ?fast_eval ?level ?(engine : engine = `Host) model
     ~template =
-  let (module E : Engine_intf.S) = engine_module engine in
-  E.generate ?backend ?limits ?fast_eval ?level model ~template
+  run ?backend ~engine
+    ~opts:(Engine_intf.opts_of_legacy ?limits ?fast_eval ?level ())
+    model ~template
 
 let generate_with_streams ?backend ?limits ?fast_eval ?(engine : engine = `Host) model
     ~template =
@@ -59,6 +79,10 @@ let generate_with_streams ?backend ?limits ?fast_eval ?(engine : engine = `Host)
   | `Functional ->
     Functional_engine.generate_with_streams ?backend ?limits ?fast_eval model ~template
   | `Xq ->
-    let result = Xq_engine.generate_spec ?backend ?limits ?fast_eval model ~template in
+    let result =
+      Xq_engine.generate_spec ?backend
+        ~opts:(Engine_intf.opts_of_legacy ?limits ?fast_eval ())
+        model ~template
+    in
     ( Spec.wrap_streams ~document:result.Spec.document ~problems:result.Spec.problems,
       result.Spec.stats )

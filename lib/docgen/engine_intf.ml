@@ -26,25 +26,52 @@ let kind_of_string : string -> (kind, string) result = function
 (** What every engine must provide: a name for diagnostics and the
     uniform generation entry point. [backend] selects the calculus query
     backend where the engine has one; the [`Xq] engine embeds its own
-    queries and ignores it. [limits] attaches resource budgets (fuel,
-    recursion depth, node allocation, monotonic deadline) to the run: a
-    budget trip ends generation with a [<generation-failed>] document
-    carrying the trip's [resource:*] code, plus a [problems] entry — it
-    never escapes as an exception. [fast_eval] pins ([false]) or enables
-    ([true]) the XQuery evaluator's fast paths where the engine runs
-    queries through it. [level] selects the degradation level:
-    [Spec.Skeleton] skips the optional enrichment phases (TOC/omissions
-    regeneration, marker patching) so a brownout can trade completeness
-    for latency; engines without those phases accept and ignore it. *)
+    queries and ignores it. Everything else about the run — execution
+    mode, resource budgets, degradation level, a worker pool for
+    data-parallel plan fragments — arrives in the one
+    {!Xquery.Engine.Exec_opts.t} record shared with the XQuery engine
+    itself. A budget trip ends generation with a [<generation-failed>]
+    document carrying the trip's [resource:*] code, plus a [problems]
+    entry — it never escapes as an exception. [Exec_opts.Skeleton] skips
+    the optional enrichment phases (TOC/omissions regeneration, marker
+    patching) so a brownout can trade completeness for latency; engines
+    without those phases accept and ignore it. Engines that do not run
+    queries through the XQuery engine map [Seed] to their reference
+    algorithms and any other mode to their fast paths. *)
 module type S = sig
   val name : string
 
   val generate :
     ?backend:Spec.query_backend ->
-    ?limits:Xquery.Context.limits ->
-    ?fast_eval:bool ->
-    ?level:Spec.level ->
+    opts:Xquery.Engine.Exec_opts.t ->
     Awb.Model.t ->
     template:Xml_base.Node.t ->
     Spec.result
 end
+
+(* Translation helpers for engines that still speak the older
+   limits/fast_eval/level vocabulary internally. *)
+
+let fast_eval_of_opts (opts : Xquery.Engine.Exec_opts.t) =
+  match opts.Xquery.Engine.Exec_opts.mode with
+  | Xquery.Engine.Exec_opts.Seed -> false
+  | Xquery.Engine.Exec_opts.Fast | Xquery.Engine.Exec_opts.Plan -> true
+
+let spec_level_of_opts (opts : Xquery.Engine.Exec_opts.t) =
+  match opts.Xquery.Engine.Exec_opts.level with
+  | Xquery.Engine.Exec_opts.Full -> Spec.Full
+  | Xquery.Engine.Exec_opts.Skeleton -> Spec.Skeleton
+
+let opts_of_legacy ?limits ?fast_eval ?level () =
+  let mode =
+    match fast_eval with
+    | Some true -> Xquery.Engine.Exec_opts.Fast
+    | Some false -> Xquery.Engine.Exec_opts.Seed
+    | None -> Xquery.Engine.Exec_opts.ambient_mode ()
+  in
+  let level =
+    match level with
+    | Some Spec.Skeleton -> Xquery.Engine.Exec_opts.Skeleton
+    | Some Spec.Full | None -> Xquery.Engine.Exec_opts.Full
+  in
+  Xquery.Engine.Exec_opts.make ~mode ?limits ~level ()

@@ -113,7 +113,7 @@ type result = { document : N.t option; error : string option }
    instead of re-parsing ~90 lines of XQuery per document. *)
 let compile () = Xquery.Engine.compile query_source
 
-let generate_compiled ?limits ?fast_eval compiled model ~template =
+let generate_compiled ~(opts : Xquery.Engine.Exec_opts.t) compiled model ~template =
   let mm = Awb.Model.metamodel model in
   let export = Awb.Xml_io.export model in
   let model_root = List.hd (N.children export) in
@@ -123,16 +123,19 @@ let generate_compiled ?limits ?fast_eval compiled model ~template =
     | N.Document -> List.hd (N.child_elements template)
     | _ -> template
   in
-  let result =
-    Xquery.Engine.execute ?limits ?fast_eval
-      ~vars:
+  let opts =
+    {
+      opts with
+      Xquery.Engine.Exec_opts.vars =
         [
           ("model", Xquery.Value.of_node model_root);
           ("mm", Xquery.Value.of_node mm_root);
           ("template", Xquery.Value.of_node template_root);
         ]
-      compiled
+        @ opts.Xquery.Engine.Exec_opts.vars;
+    }
   in
+  let result = Xquery.Engine.run ~opts compiled in
   (* The footnote problem, live: the only way to know the generation
      failed is to look for <error> elements in the value. *)
   let nodes =
@@ -149,23 +152,25 @@ let generate_compiled ?limits ?fast_eval compiled model ~template =
   | [], _ -> { document = None; error = Some "template did not produce a single element" }
 
 let generate ?limits ?fast_eval model ~template =
-  generate_compiled ?limits ?fast_eval (compile ()) model ~template
+  generate_compiled
+    ~opts:(Engine_intf.opts_of_legacy ?limits ?fast_eval ())
+    (compile ()) model ~template
 
 (* Adapter to the engine-uniform result shape (Engine_intf.S). The xq
    core embeds its own queries, so [backend] is accepted and ignored;
    a generation error becomes the same <generation-failed> document the
    other two engines produce, and a resource-budget trip inside the
    evaluator the same <generation-failed> + problems entry as the other
-   engines'. *)
-let generate_spec ?backend:_ ?compiled ?limits ?fast_eval ?level:_ model ~template :
-    Spec.result =
+   engines'. The [opts] level is likewise ignored — the dispatch core has
+   no enrichment phases to shed. *)
+let generate_spec ?backend:_ ?compiled ~(opts : Xquery.Engine.Exec_opts.t) model
+    ~template : Spec.result =
   let stats = Spec.new_stats () in
   stats.Spec.phases <- 1;
   stats.Spec.queries_run <- 1;
   match
-    match compiled with
-    | Some c -> generate_compiled ?limits ?fast_eval c model ~template
-    | None -> generate ?limits ?fast_eval model ~template
+    let c = match compiled with Some c -> c | None -> compile () in
+    generate_compiled ~opts c model ~template
   with
   | exception Xquery.Errors.Resource_exhausted { resource; limit; used } ->
     let document, problem = Spec.resource_failure resource ~limit ~used in

@@ -23,26 +23,25 @@ val generate :
   Awb.Model.t ->
   template:Xml_base.Node.t ->
   result
-(** One-shot: {!compile} then {!generate_compiled}. *)
+(** One-shot legacy shim: {!compile} then {!generate_compiled} with the
+    options the old labelled arguments translate to. *)
 
 val generate_compiled :
-  ?limits:Xquery.Context.limits ->
-  ?fast_eval:bool ->
+  opts:Xquery.Engine.Exec_opts.t ->
   Xquery.Engine.compiled ->
   Awb.Model.t ->
   template:Xml_base.Node.t ->
   result
-(** Run a previously compiled dispatch core. [limits] budgets the XQuery
-    run; a trip raises {!Xquery.Errors.Resource_exhausted} (use
+(** Run a previously compiled dispatch core under [opts] — mode, limits,
+    and worker pool all flow straight into {!Xquery.Engine.run}. A budget
+    trip raises {!Xquery.Errors.Resource_exhausted} (use
     {!generate_spec} to have it mapped to a [<generation-failed>]
     document instead). *)
 
 val generate_spec :
   ?backend:Spec.query_backend ->
   ?compiled:Xquery.Engine.compiled ->
-  ?limits:Xquery.Context.limits ->
-  ?fast_eval:bool ->
-  ?level:Spec.level ->
+  opts:Xquery.Engine.Exec_opts.t ->
   Awb.Model.t ->
   template:Xml_base.Node.t ->
   Spec.result

@@ -116,6 +116,10 @@ type response = { request_id : string; result : (output, error) result }
 
 type config = {
   domains : int; (* default width of run_batch *)
+  mode : Xquery.Engine.Exec_opts.mode;
+      (* execution mode for XQuery-backed work: Fast (default) or Plan
+         (compile-to-plan executor); Seed pins the reference algorithms.
+         A fast-path fault still degrades the failing request to Seed. *)
   cache_capacity : int; (* entries per artifact cache; 0 disables caching *)
   default_deadline : float option; (* seconds; a per-request deadline wins *)
   fuel : int option; (* evaluator step budget per attempt *)
@@ -134,6 +138,7 @@ type config = {
 let default_config =
   {
     domains = 1;
+    mode = Xquery.Engine.Exec_opts.Fast;
     cache_capacity = 128;
     default_deadline = None;
     fuel = None;
@@ -167,9 +172,15 @@ type counters = {
   model_misses : int;
   query_hits : int;
   query_misses : int;
+  stylesheet_hits : int;
+  stylesheet_misses : int;
   result_hits : int;
   result_misses : int;
   result_stores : int;
+  plan_compiles : int;
+  plan_hits : int;
+  plan_execs : int;
+  plan_parallel_fragments : int;
   evictions : int;
   opt_lets_eliminated : int;
   opt_constants_folded : int;
@@ -210,6 +221,7 @@ type t = {
   templates : N.t Lru.t;
   models : Awb.Model.t Lru.t;
   queries : Xquery.Engine.compiled Lru.t;
+  stylesheets : Xslt.stylesheet Lru.t;
   results : cached_result Lru.t;
   mutable value_model_keys : (Awb.Model.t * string) list;
       (* identity keys for pre-built Model_value models (no content to
@@ -240,6 +252,10 @@ type t = {
   mutable result_hits : int;
   mutable result_misses : int;
   mutable result_stores : int;
+  mutable plan_compiles : int;
+  mutable plan_hits : int;
+  mutable plan_execs : int;
+  mutable plan_parallel_fragments : int;
   mutable batches : int;
   mutable steals : int;
   totals : phase_totals;
@@ -255,6 +271,7 @@ let create ?(config = default_config) () =
     templates = Lru.create ~capacity:config.cache_capacity;
     models = Lru.create ~capacity:config.cache_capacity;
     queries = Lru.create ~capacity:config.cache_capacity;
+    stylesheets = Lru.create ~capacity:config.cache_capacity;
     results = Lru.create ~capacity:config.result_cache_cap;
     value_model_keys = [];
     quarantine = Hashtbl.create 16;
@@ -274,6 +291,10 @@ let create ?(config = default_config) () =
     result_hits = 0;
     result_misses = 0;
     result_stores = 0;
+    plan_compiles = 0;
+    plan_hits = 0;
+    plan_execs = 0;
+    plan_parallel_fragments = 0;
     batches = 0;
     steals = 0;
     totals =
@@ -365,7 +386,30 @@ let clear_caches t =
       Lru.clear t.templates;
       Lru.clear t.models;
       Lru.clear t.queries;
+      Lru.clear t.stylesheets;
       Lru.clear t.results)
+
+(* Worker pool for the plan executor's data-parallel fragments: wired up
+   only when the service owns more than one domain and the work runs in
+   Plan mode. The executor decides per-fragment whether the loop is safe
+   and big enough to split; each invocation here is one such fragment. *)
+let plan_pool t ~mode =
+  if t.config.domains > 1 && mode = Xquery.Engine.Exec_opts.Plan then
+    Some
+      (fun (tasks : (unit -> unit) array) ->
+        with_lock t (fun () ->
+            t.plan_parallel_fragments <- t.plan_parallel_fragments + 1);
+        ignore (Pool.run ~domains:t.config.domains tasks))
+  else None
+
+(* Plan-cache accounting for one Plan-mode run of [compiled]: the plan is
+   memoized on the compiled record, so "already lowered" is a cache hit
+   in the same sense as the artifact LRUs. *)
+let note_plan_run t compiled =
+  with_lock t (fun () ->
+      if Xquery.Engine.plan_cached compiled then t.plan_hits <- t.plan_hits + 1
+      else t.plan_compiles <- t.plan_compiles + 1;
+      t.plan_execs <- t.plan_execs + 1)
 
 (* ------------------------------------------------------------------ *)
 (* Stale-while-revalidate result cache                                 *)
@@ -681,17 +725,35 @@ let execute t ~t0 (req : request) : response * timings =
                     Hashtbl.replace t.inflight id limits;
                     id)
               in
+              (* The seed re-run pins Seed; otherwise the config mode
+                 decides (Fast by default, Plan for the compiled
+                 executor). *)
+              let mode =
+                match fast_eval with
+                | Some false -> Xquery.Engine.Exec_opts.Seed
+                | Some true -> Xquery.Engine.Exec_opts.Fast
+                | None -> t.config.mode
+              in
+              let level =
+                match req.level with
+                | Spec.Full -> Xquery.Engine.Exec_opts.Full
+                | Spec.Skeleton -> Xquery.Engine.Exec_opts.Skeleton
+              in
+              let opts =
+                Xquery.Engine.Exec_opts.make ~mode ~limits ~level
+                  ?pool:(plan_pool t ~mode) ()
+              in
               Fun.protect
                 ~finally:(fun () -> with_lock t (fun () -> Hashtbl.remove t.inflight token))
                 (fun () ->
                   match req.engine with
                   | `Xq ->
-                    Docgen.Xq_engine.generate_spec ?backend:req.backend
-                      ~compiled:(xq_core t) ~limits ?fast_eval ~level:req.level model
-                      ~template
+                    let core = xq_core t in
+                    if mode = Xquery.Engine.Exec_opts.Plan then note_plan_run t core;
+                    Docgen.Xq_engine.generate_spec ?backend:req.backend ~compiled:core
+                      ~opts model ~template
                   | (`Host | `Functional) as engine ->
-                    Docgen.generate ?backend:req.backend ~engine ~limits ?fast_eval
-                      ~level:req.level model ~template)
+                    Docgen.run ?backend:req.backend ~engine ~opts model ~template)
             in
             (* The attempt loop: transient failures retry with
                exponential backoff (bounded by config.retries); a fast-
@@ -846,6 +908,161 @@ let run_batch ?domains t (reqs : request list) : response list =
   List.map fst pairs
 
 (* ------------------------------------------------------------------ *)
+(* Bare XQuery execution (the shell's path into the service)           *)
+(* ------------------------------------------------------------------ *)
+
+(* One-shot XQuery execution with the same machinery document requests
+   get: compiled-query cache, resource governance with in-flight
+   registration, per-query quarantine, and one seed-evaluator re-run on
+   an internal fault. *)
+let run_query t ?(compat = Xquery.Context.default_compat) ?(typed_mode = false)
+    ?(optimize = true) ?context_item ?(vars = []) ?mode src :
+    (Xquery.Value.sequence, error) result =
+  let mode = Option.value mode ~default:t.config.mode in
+  let t0 = now () in
+  let qkey = Some ("q:" ^ digest src) in
+  let deadline = t.config.default_deadline in
+  let classify = function
+    | Fail e -> e
+    | Xquery.Errors.Error { code; message } ->
+      Generation_failed { code; message; location = "" }
+    | Xquery.Errors.Resource_exhausted { resource = Xquery.Errors.Deadline; _ } ->
+      Deadline_exceeded
+        { elapsed_s = now () -. t0; deadline_s = Option.value deadline ~default:0. }
+    | Xquery.Errors.Resource_exhausted { resource; limit; used } ->
+      Resource_exhausted
+        { resource; message = Xquery.Errors.resource_message resource ~limit ~used }
+    | e -> Internal_error (Printexc.to_string e)
+  in
+  let deterministic = function
+    | Fail _ | Xquery.Errors.Error _ | Xquery.Errors.Resource_exhausted _ -> true
+    | _ -> false
+  in
+  let result =
+    try
+      quarantine_check t qkey;
+      let compiled =
+        (* The cache key carries every flag that changes what [compile]
+           produces, so a galax-compat program never answers a
+           default-compat request. *)
+        let key =
+          Printf.sprintf "xq:%d:%b:%b:%s" (Hashtbl.hash compat) typed_mode optimize
+            (digest src)
+        in
+        cached t t.queries key (fun () ->
+            let c = Xquery.Engine.compile ~compat ~typed_mode ~optimize src in
+            record_opt_stats t c;
+            c)
+      in
+      let run_attempt mode =
+        let limits =
+          Xquery.Context.make_limits ?fuel:t.config.fuel ?max_depth:t.config.max_depth
+            ?max_nodes:t.config.max_nodes
+            ?deadline_ns:
+              (Option.map (fun d -> int_of_float ((t0 +. d) *. 1e9)) deadline)
+            ()
+        in
+        let token =
+          with_lock t (fun () ->
+              if t.preempt_ns <> 0 && limits.Xquery.Context.deadline_ns > t.preempt_ns
+              then limits.Xquery.Context.deadline_ns <- t.preempt_ns;
+              let id = t.inflight_next in
+              t.inflight_next <- id + 1;
+              Hashtbl.replace t.inflight id limits;
+              id)
+        in
+        Fun.protect
+          ~finally:(fun () -> with_lock t (fun () -> Hashtbl.remove t.inflight token))
+          (fun () ->
+            if mode = Xquery.Engine.Exec_opts.Plan then note_plan_run t compiled;
+            let opts =
+              Xquery.Engine.Exec_opts.make ~mode ~limits ?context_item ~vars
+                ?pool:(plan_pool t ~mode) ()
+            in
+            Xquery.Engine.run ~opts compiled)
+      in
+      match run_attempt mode with
+      | v -> Ok v
+      | exception e when deterministic e -> Error (classify e)
+      | exception _ when mode <> Xquery.Engine.Exec_opts.Seed ->
+        (* Same degradation as document generation: one re-run pinned to
+           the seed evaluator before the query is failed. *)
+        with_lock t (fun () -> t.fast_fallbacks <- t.fast_fallbacks + 1);
+        (match run_attempt Xquery.Engine.Exec_opts.Seed with
+        | v -> Ok v
+        | exception e -> Error (classify e))
+      | exception e -> Error (classify e)
+    with
+    | Fail e -> Error e
+    | e -> Error (classify e)
+  in
+  quarantine_note t qkey result;
+  with_lock t (fun () ->
+      t.requests <- t.requests + 1;
+      match result with
+      | Ok _ -> t.succeeded <- t.succeeded + 1
+      | Error (Deadline_exceeded _) ->
+        t.failed <- t.failed + 1;
+        t.deadline_failures <- t.deadline_failures + 1
+      | Error (Resource_exhausted _) ->
+        t.failed <- t.failed + 1;
+        t.resource_failures <- t.resource_failures + 1
+      | Error _ -> t.failed <- t.failed + 1);
+  result
+
+(* ------------------------------------------------------------------ *)
+(* XSLT stylesheets                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let compile_stylesheet t xml =
+  try
+    Ok
+      (cached t t.stylesheets ("xsl:" ^ digest xml) (fun () ->
+           Xslt.compile (Xml_base.Parser.parse_string xml)))
+  with
+  | Xslt.Error m -> Error (Template_error m)
+  | Xml_base.Parser.Parse_error { line; col; message } ->
+    Error (Template_error (Printf.sprintf "line %d col %d: %s" line col message))
+
+(* Apply a stylesheet (compiled through the cache) to a source tree.
+   Quarantine is keyed by stylesheet content hash, and the configured
+   default deadline is enforced coarsely — checked after the transform —
+   since the XSLT engine has no mid-walk budget hook of its own. *)
+let apply_stylesheet t ~stylesheet_xml source =
+  let qkey = Some ("xsl:" ^ digest stylesheet_xml) in
+  let t0 = now () in
+  let result =
+    try
+      quarantine_check t qkey;
+      match compile_stylesheet t stylesheet_xml with
+      | Error e -> Error e
+      | Ok sheet -> (
+        match Xslt.apply sheet source with
+        | nodes -> Ok nodes
+        | exception Xslt.Error m ->
+          Error (Generation_failed { code = ""; message = m; location = "" })
+        | exception Xquery.Errors.Error { code; message } ->
+          Error (Generation_failed { code; message; location = "" }))
+    with Fail e -> Error e
+  in
+  let result =
+    match (result, t.config.default_deadline) with
+    | Ok _, Some d when now () -. t0 > d ->
+      Error (Deadline_exceeded { elapsed_s = now () -. t0; deadline_s = d })
+    | r, _ -> r
+  in
+  quarantine_note t qkey result;
+  with_lock t (fun () ->
+      t.requests <- t.requests + 1;
+      match result with
+      | Ok _ -> t.succeeded <- t.succeeded + 1
+      | Error (Deadline_exceeded _) ->
+        t.failed <- t.failed + 1;
+        t.deadline_failures <- t.deadline_failures + 1
+      | Error _ -> t.failed <- t.failed + 1);
+  result
+
+(* ------------------------------------------------------------------ *)
 (* Drain hook                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -901,12 +1118,18 @@ let counters t : counters =
         model_misses = Lru.misses t.models;
         query_hits = Lru.hits t.queries;
         query_misses = Lru.misses t.queries;
+        stylesheet_hits = Lru.hits t.stylesheets;
+        stylesheet_misses = Lru.misses t.stylesheets;
         result_hits = t.result_hits;
         result_misses = t.result_misses;
         result_stores = t.result_stores;
+        plan_compiles = t.plan_compiles;
+        plan_hits = t.plan_hits;
+        plan_execs = t.plan_execs;
+        plan_parallel_fragments = t.plan_parallel_fragments;
         evictions =
           Lru.evictions t.templates + Lru.evictions t.models + Lru.evictions t.queries
-          + Lru.evictions t.results;
+          + Lru.evictions t.stylesheets + Lru.evictions t.results;
         opt_lets_eliminated = t.opt_totals.Xquery.Optimizer.lets_eliminated;
         opt_constants_folded = t.opt_totals.Xquery.Optimizer.constants_folded;
         opt_count_rewrites = t.opt_totals.Xquery.Optimizer.count_cmp_rewrites;
@@ -932,11 +1155,16 @@ let reset_counters t =
       t.result_hits <- 0;
       t.result_misses <- 0;
       t.result_stores <- 0;
+      t.plan_compiles <- 0;
+      t.plan_hits <- 0;
+      t.plan_execs <- 0;
+      t.plan_parallel_fragments <- 0;
       t.batches <- 0;
       t.steals <- 0;
       Lru.reset_counters t.templates;
       Lru.reset_counters t.models;
       Lru.reset_counters t.queries;
+      Lru.reset_counters t.stylesheets;
       Lru.reset_counters t.results;
       t.opt_totals.Xquery.Optimizer.lets_eliminated <- 0;
       t.opt_totals.Xquery.Optimizer.traces_eliminated <- 0;
@@ -1001,6 +1229,17 @@ let counters_to_prometheus (c : counters) =
     c.query_hits;
   int_sample "lopsided_service_query_cache_misses_total" "Compiled-query cache misses."
     c.query_misses;
+  int_sample "lopsided_service_stylesheet_cache_hits_total" "Compiled-stylesheet cache hits."
+    c.stylesheet_hits;
+  int_sample "lopsided_service_stylesheet_cache_misses_total"
+    "Compiled-stylesheet cache misses." c.stylesheet_misses;
+  int_sample "lopsided_service_plan_compiles_total"
+    "Physical plans lowered (plan-cache misses)." c.plan_compiles;
+  int_sample "lopsided_service_plan_hits_total"
+    "Plan-mode runs served by an already-lowered plan." c.plan_hits;
+  int_sample "lopsided_service_plan_execs_total" "Plan-executor runs started." c.plan_execs;
+  int_sample "lopsided_service_plan_parallel_fragments_total"
+    "Plan loop fragments fanned across domains." c.plan_parallel_fragments;
   int_sample "lopsided_service_result_cache_hits_total"
     "Stale-while-revalidate result cache hits." c.result_hits;
   int_sample "lopsided_service_result_cache_misses_total"
@@ -1035,7 +1274,9 @@ let pp_counters fmt (c : counters) =
      template cache: %d hits / %d misses@,\
      model cache: %d hits / %d misses@,\
      query cache: %d hits / %d misses@,\
+     stylesheet cache: %d hits / %d misses@,\
      result cache: %d hits / %d misses / %d stores@,\
+     plans: %d compiled, %d cache hits, %d runs, %d parallel fragments@,\
      evictions: %d@,\
      optimizer: %d lets eliminated, %d constants folded, %d count rewrites, %d paths \
      hoisted@,\
@@ -1044,7 +1285,9 @@ let pp_counters fmt (c : counters) =
     c.fast_fallbacks c.quarantine_trips c.quarantine_rejections c.quarantine_releases
     c.batches c.steals c.template_hits
     c.template_misses c.model_hits c.model_misses c.query_hits c.query_misses
-    c.result_hits c.result_misses c.result_stores c.evictions
+    c.stylesheet_hits c.stylesheet_misses
+    c.result_hits c.result_misses c.result_stores
+    c.plan_compiles c.plan_hits c.plan_execs c.plan_parallel_fragments c.evictions
     c.opt_lets_eliminated c.opt_constants_folded c.opt_count_rewrites c.opt_paths_hoisted
     (c.template_s *. 1000.) (c.model_s *. 1000.) (c.generate_s *. 1000.)
     (c.serialize_s *. 1000.)

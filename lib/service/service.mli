@@ -108,6 +108,13 @@ type response = { request_id : string; result : (output, error) result }
 
 type config = {
   domains : int;  (** default width of {!run_batch}; 1 = serial *)
+  mode : Xquery.Engine.Exec_opts.mode;
+      (** execution mode for XQuery-backed work: [Fast] (default) or
+          [Plan] for the compile-to-plan executor; [Seed] pins the
+          reference algorithms. With [Plan] and [domains > 1], large
+          plan loop fragments fan out across the domain pool. A
+          fast-path fault still degrades the failing request to one
+          [Seed] re-run, whatever the configured mode. *)
   cache_capacity : int;  (** entries per artifact cache; 0 disables caching *)
   default_deadline : float option;  (** seconds; a per-request deadline wins *)
   fuel : int option;  (** evaluator step budget per generation attempt *)
@@ -154,6 +161,40 @@ val run_batch : ?domains:int -> t -> request list -> response list
 val compile_query : t -> string -> (Xquery.Engine.compiled, string) result
 (** Compile an XQuery program through the artifact cache: repeated
     compilations of the same source are served from memory. *)
+
+val run_query :
+  t ->
+  ?compat:Xquery.Context.compat ->
+  ?typed_mode:bool ->
+  ?optimize:bool ->
+  ?context_item:Xquery.Value.item ->
+  ?vars:(string * Xquery.Value.sequence) list ->
+  ?mode:Xquery.Engine.Exec_opts.mode ->
+  string ->
+  (Xquery.Value.sequence, error) result
+(** Run a bare XQuery query with the service's full machinery: the
+    compiled-query cache (keyed by source hash {e and} the compile
+    flags), the configured resource budgets and deadline wired into the
+    evaluator, in-flight registration (so {!preempt_inflight} reaches
+    it), per-query-hash quarantine, and one seed-evaluator re-run on an
+    internal fault. [mode] overrides the configured execution mode for
+    this call; [Plan] runs count against the [plan_*] counters. This is
+    the shell's ([xqsh]) path into the engine. *)
+
+(** {1 XSLT stylesheets} *)
+
+val compile_stylesheet : t -> string -> (Xslt.stylesheet, error) result
+(** Compile a stylesheet through its own content-hash-keyed artifact
+    cache. Parse and compilation failures come back as
+    [Template_error]. *)
+
+val apply_stylesheet :
+  t -> stylesheet_xml:string -> Xml_base.Node.t -> (Xml_base.Node.t list, error) result
+(** Compile (through the cache) and apply a stylesheet to a source tree.
+    Quarantine applies per stylesheet content hash; the configured
+    default deadline is enforced coarsely (checked after the transform —
+    the XSLT engine has no mid-walk budget hook). This is [xsltproc]'s
+    path into the transform engine. *)
 
 (** {1 Drain hook}
 
@@ -228,10 +269,17 @@ type counters = {
   model_misses : int;
   query_hits : int;
   query_misses : int;
+  stylesheet_hits : int;  (** compiled-stylesheet cache hits *)
+  stylesheet_misses : int;
   result_hits : int;  (** stale-while-revalidate result cache hits *)
   result_misses : int;
   result_stores : int;  (** completed generations stored in the result cache *)
-  evictions : int;  (** summed over the four caches *)
+  plan_compiles : int;  (** physical plans lowered (plan-cache misses) *)
+  plan_hits : int;  (** Plan-mode runs served by an already-lowered plan *)
+  plan_execs : int;  (** plan-executor runs started *)
+  plan_parallel_fragments : int;
+      (** plan loop fragments fanned out across the domain pool *)
+  evictions : int;  (** summed over the five caches *)
   opt_lets_eliminated : int;
       (** optimizer pass hits, accumulated when a query-cache miss
           compiles a program (cache hits re-use the optimized program and

@@ -1,9 +1,62 @@
+module Exec_opts = struct
+  type mode = Seed | Fast | Plan
+  type level = Full | Skeleton
+
+  type t = {
+    mode : mode;
+    limits : Context.limits option;
+    level : level;
+    explain : bool;
+    context_item : Value.item option;
+    vars : (string * Value.sequence) list;
+    trace_out : (string -> unit) option;
+    doc_resolver : (string -> Xml_base.Node.t option) option;
+    pool : ((unit -> unit) array -> unit) option;
+  }
+
+  let default =
+    {
+      mode = Fast;
+      limits = None;
+      level = Full;
+      explain = false;
+      context_item = None;
+      vars = [];
+      trace_out = None;
+      doc_resolver = None;
+      pool = None;
+    }
+
+  let make ?(mode = Fast) ?limits ?(level = Full) ?(explain = false) ?context_item
+      ?(vars = []) ?trace_out ?doc_resolver ?pool () =
+    { mode; limits; level; explain; context_item; vars; trace_out; doc_resolver; pool }
+
+  let mode_name = function Seed -> "seed" | Fast -> "fast" | Plan -> "plan"
+
+  let mode_of_string = function
+    | "seed" -> Ok Seed
+    | "fast" -> Ok Fast
+    | "plan" -> Ok Plan
+    | s -> Error (Printf.sprintf "unknown mode %S (expected seed|fast|plan)" s)
+
+  (* The mode the legacy [?fast_eval] entry points resolve to when the
+     caller passed nothing: the ambient default flag, read at call time
+     so scoped flips of [Context.fast_eval_default] keep working. *)
+  let ambient_mode () = if !Context.fast_eval_default then Fast else Seed
+end
+
 type compiled = {
   program : Ast.program;
   compat : Context.compat;
   typed_mode : bool;
   opt_stats : Optimizer.stats option;
+  mutable plan : Plan.program option;
+      (* memoized lowering; depends only on [program], so racing
+         domain-local compilations at worst duplicate work *)
 }
+
+let make_compiled ?opt_stats ~compat ~typed_mode program =
+  { program; compat; typed_mode; opt_stats; plan = None }
 
 let compile ?(compat = Context.default_compat) ?(typed_mode = false) ?(optimize = true)
     ?static_check src =
@@ -16,25 +69,97 @@ let compile ?(compat = Context.default_compat) ?(typed_mode = false) ?(optimize 
       Optimizer.optimize_program ~treat_trace_as_pure:compat.Context.treat_trace_as_pure
         program
     in
-    { program; compat; typed_mode; opt_stats = Some stats }
-  else { program; compat; typed_mode; opt_stats = None }
+    make_compiled ~opt_stats:stats ~compat ~typed_mode program
+  else make_compiled ~compat ~typed_mode program
 
-let execute ?context_item ?(vars = []) ?trace_out ?doc_resolver ?fast_eval ?limits
-    compiled =
+let plan_cached compiled = compiled.plan <> None
+
+let plan_of compiled =
+  match compiled.plan with
+  | Some p -> p
+  | None ->
+    let p = Compile.compile_program compiled.program in
+    compiled.plan <- Some p;
+    p
+
+let explain compiled ~(mode : Exec_opts.mode) =
+  let b = Buffer.create 1024 in
+  (match compiled.opt_stats with
+  | Some s ->
+    Buffer.add_string b
+      (Printf.sprintf
+         "(: optimizer: %d lets eliminated, %d traces eliminated, %d constants folded, \
+          %d count rewrites, %d paths hoisted :)\n"
+         s.Optimizer.lets_eliminated s.Optimizer.traces_eliminated
+         s.Optimizer.constants_folded s.Optimizer.count_cmp_rewrites
+         s.Optimizer.paths_hoisted)
+  | None -> Buffer.add_string b "(: optimizer: off :)\n");
+  (match mode with
+  | Exec_opts.Plan -> Buffer.add_string b (Plan.render_program (plan_of compiled))
+  | Exec_opts.Seed | Exec_opts.Fast ->
+    Buffer.add_string b (Unparse.program compiled.program));
+  Buffer.contents b
+
+(* The unified entry point: one options record, three execution modes. *)
+let run ?(opts = Exec_opts.default) compiled =
   let env =
-    Context.make_env ~compat:compiled.compat ~typed_mode:compiled.typed_mode ?limits ()
+    Context.make_env ~compat:compiled.compat ~typed_mode:compiled.typed_mode
+      ?limits:opts.Exec_opts.limits ()
   in
-  Functions.register_all env;
-  (match trace_out with Some f -> env.Context.trace_out <- f | None -> ());
-  (match doc_resolver with Some f -> env.Context.doc_resolver <- f | None -> ());
-  (match fast_eval with Some b -> env.Context.fast_eval <- b | None -> ());
+  (match opts.Exec_opts.trace_out with Some f -> env.Context.trace_out <- f | None -> ());
+  (match opts.Exec_opts.doc_resolver with
+  | Some f -> env.Context.doc_resolver <- f
+  | None -> ());
   (* The runtime's own exhaustion signals join the resource taxonomy here:
      an unbounded recursion that beats the fuel counter to the stack limit
      still surfaces as a structured budget trip, not a stringly
      Printexc.to_string. *)
-  try Eval.run_program env ?context_item ~vars compiled.program with
+  try
+    match opts.Exec_opts.mode with
+    | Exec_opts.Plan ->
+      (* Plan-resolved builtins that branch on [fast_eval] (set algebra,
+         distinct-values) may use the fast, result-identical algorithms. *)
+      env.Context.fast_eval <- true;
+      let plan = plan_of compiled in
+      Plan_exec.run env ?context_item:opts.Exec_opts.context_item
+        ~vars:opts.Exec_opts.vars ?pool:opts.Exec_opts.pool plan
+    | (Exec_opts.Seed | Exec_opts.Fast) as m ->
+      env.Context.fast_eval <- (m = Exec_opts.Fast);
+      Functions.register_all env;
+      Eval.run_program env ?context_item:opts.Exec_opts.context_item
+        ~vars:opts.Exec_opts.vars compiled.program
+  with
   | Stack_overflow -> Errors.exhaust Errors.Stack ~limit:0 ~used:0
   | Out_of_memory -> Errors.exhaust Errors.Memory ~limit:0 ~used:0
+
+(* ------------------------------------------------------------------ *)
+(* Deprecated shims (one release): the labelled-argument entry points.  *)
+(* New code should build an [Exec_opts.t] and call [run].               *)
+(* ------------------------------------------------------------------ *)
+
+let opts_of_legacy ?context_item ?(vars = []) ?trace_out ?doc_resolver ?fast_eval ?limits
+    () =
+  let mode =
+    match fast_eval with
+    | Some true -> Exec_opts.Fast
+    | Some false -> Exec_opts.Seed
+    | None -> Exec_opts.ambient_mode ()
+  in
+  {
+    Exec_opts.default with
+    Exec_opts.mode;
+    limits;
+    context_item;
+    vars;
+    trace_out;
+    doc_resolver;
+  }
+
+let execute ?context_item ?vars ?trace_out ?doc_resolver ?fast_eval ?limits compiled =
+  run
+    ~opts:
+      (opts_of_legacy ?context_item ?vars ?trace_out ?doc_resolver ?fast_eval ?limits ())
+    compiled
 
 let eval_query ?compat ?typed_mode ?optimize ?static_check ?context_item ?vars ?trace_out
     ?doc_resolver ?fast_eval ?limits src =

@@ -1,11 +1,77 @@
-(** The public face of the XQuery engine: compile and run queries. *)
+(** The public face of the XQuery engine: compile and run queries.
+
+    Execution goes through one request shape, {!Exec_opts.t}, and one
+    entry point, {!run}. The old labelled-argument entry points
+    ({!execute}, {!eval_query}) remain as deprecated shims for one
+    release and forward to {!run}. *)
+
+module Exec_opts : sig
+  (** How to execute: [Seed] pins every operation to the reference
+      algorithms (benchmark baseline, property-test oracle); [Fast] is
+      the PR-2 cached-key/lazy interpreter; [Plan] compiles to the
+      physical plan and runs the plan executor. *)
+  type mode = Seed | Fast | Plan
+
+  (** Degradation level, threaded to the docgen layer: [Skeleton] asks
+      generators for the cheap outline-only document. *)
+  type level = Full | Skeleton
+
+  type t = {
+    mode : mode;
+    limits : Context.limits option;
+        (** resource budgets — pass a {e fresh} record per run *)
+    level : level;
+    explain : bool;  (** callers may render the chosen plan/AST *)
+    context_item : Value.item option;
+    vars : (string * Value.sequence) list;
+    trace_out : (string -> unit) option;
+    doc_resolver : (string -> Xml_base.Node.t option) option;
+    pool : ((unit -> unit) array -> unit) option;
+        (** runs task arrays for data-parallel plan fragments; [None]
+            keeps execution sequential *)
+  }
+
+  val default : t
+  (** [Fast], no limits, [Full], no context item or bindings. *)
+
+  val make :
+    ?mode:mode ->
+    ?limits:Context.limits ->
+    ?level:level ->
+    ?explain:bool ->
+    ?context_item:Value.item ->
+    ?vars:(string * Value.sequence) list ->
+    ?trace_out:(string -> unit) ->
+    ?doc_resolver:(string -> Xml_base.Node.t option) ->
+    ?pool:((unit -> unit) array -> unit) ->
+    unit ->
+    t
+
+  val mode_name : mode -> string
+  val mode_of_string : string -> (mode, string) result
+
+  val ambient_mode : unit -> mode
+  (** [Fast] or [Seed] per {!Context.fast_eval_default}, read at call
+      time — what the legacy [?fast_eval] shims resolve to when the
+      caller passed nothing. *)
+end
 
 type compiled = {
   program : Ast.program;
   compat : Context.compat;
   typed_mode : bool;
-  opt_stats : Optimizer.stats option; (** present when optimization ran *)
+  opt_stats : Optimizer.stats option;  (** present when optimization ran *)
+  mutable plan : Plan.program option;
+      (** lazily-memoized physical plan; use {!plan_of} *)
 }
+
+val make_compiled :
+  ?opt_stats:Optimizer.stats ->
+  compat:Context.compat ->
+  typed_mode:bool ->
+  Ast.program ->
+  compiled
+(** Wrap an already-parsed program (no plan yet). *)
 
 val compile :
   ?compat:Context.compat ->
@@ -22,6 +88,26 @@ val compile :
     as externally-bound variables. @raise Errors.Error on syntax or
     static errors. *)
 
+val run : ?opts:Exec_opts.t -> compiled -> Value.sequence
+(** Execute with the given options (default {!Exec_opts.default}).
+    [Plan] mode lowers the program on first use and memoizes the plan on
+    the [compiled] record, so repeated runs (service cache hits) skip
+    compilation. Budget trips raise {!Errors.Resource_exhausted};
+    [Stack_overflow]/[Out_of_memory] escaping execution are mapped into
+    the same exception here. *)
+
+val plan_of : compiled -> Plan.program
+(** The memoized physical plan, lowering on first call. *)
+
+val plan_cached : compiled -> bool
+(** Whether {!plan_of} has already run — the service layer uses this to
+    count plan-cache hits without forcing a compile. *)
+
+val explain : compiled -> mode:Exec_opts.mode -> string
+(** Human-readable account of what would run: the optimizer's rewrite
+    stats, then the rendered physical plan ([Plan] mode) or the
+    optimized source ([Seed]/[Fast]). *)
+
 val execute :
   ?context_item:Value.item ->
   ?vars:(string * Value.sequence) list ->
@@ -31,16 +117,8 @@ val execute :
   ?limits:Context.limits ->
   compiled ->
   Value.sequence
-(** Run a compiled query. [vars] are bound as external global variables;
-    [trace_out] receives fn:trace output (default stderr); [doc_resolver]
-    backs fn:doc. [fast_eval] overrides {!Context.fast_eval_default} for
-    this run: [false] pins the evaluator to the seed algorithms
-    (benchmark baseline, property-test oracle). [limits] attaches
-    resource budgets (fuel, recursion depth, node allocation, monotonic
-    deadline) to this run — pass a {e fresh} record per run; the
-    evaluator mutates it. Budget trips raise
-    {!Errors.Resource_exhausted}; [Stack_overflow]/[Out_of_memory]
-    escaping the evaluator are mapped into the same exception here. *)
+(** Deprecated shim for {!run} (kept one release): [fast_eval] maps to
+    [Seed]/[Fast] mode, defaulting to {!Exec_opts.ambient_mode}. *)
 
 val eval_query :
   ?compat:Context.compat ->
@@ -55,7 +133,7 @@ val eval_query :
   ?limits:Context.limits ->
   string ->
   Value.sequence
-(** One-shot compile + execute. *)
+(** Deprecated shim: one-shot compile + execute. *)
 
 val query_doc :
   ?vars:(string * Value.sequence) list -> Xml_base.Node.t -> string -> Value.sequence

@@ -30,3 +30,24 @@ val node_test_matches : Ast.node_test -> Xml_base.Node.t -> bool
 val content_nodes_of_sequence : Value.sequence -> Xml_base.Node.t list
 (** Element-constructor content normalization: runs of adjacent atomics
     become single space-joined text nodes. *)
+
+val assemble_element : Context.env -> string -> Xml_base.Node.t list -> Xml_base.Node.t
+(** Build an element from normalized content nodes, applying the
+    attribute folding rules (leading attributes, XQTY0024, the compat
+    duplicate policy) and charging the node budget. Shared by the plan
+    executor so construction semantics exist in exactly one place. *)
+
+val charge_content : Context.limits -> Xml_base.Node.t list -> unit
+(** Charge constructed content subtrees against the node budget (no-op
+    when unlimited). *)
+
+val arith : Ast.arith -> Value.atomic -> Value.atomic -> Value.sequence
+(** Binary arithmetic on atomics with the numeric promotion and
+    division-by-zero rules. *)
+
+val apply_cast : Ast.cast_target -> Value.atomic -> Value.sequence
+
+val atomic_pair_test :
+  [ `General | `Value ] -> Ast.cmp -> Value.atomic -> Value.atomic -> bool
+(** One comparison test with the NaN and incomparable-type rules; the
+    existential wrapping is the caller's. *)

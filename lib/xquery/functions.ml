@@ -741,3 +741,17 @@ let register_all (env : Context.env) =
   for arity = 2 to 16 do
     Context.register_function env "concat" arity (Context.Builtin fn_concat)
   done
+
+(* Compile-time resolution for the plan compiler: map a call site to the
+   builtin's closure once, instead of a hash lookup per execution. *)
+let table =
+  lazy
+    (let tbl = Hashtbl.create 128 in
+     List.iter (fun (name, arity, f) -> Hashtbl.replace tbl (name, arity) f) registry;
+     for arity = 2 to 16 do
+       Hashtbl.replace tbl ("concat", arity) fn_concat
+     done;
+     tbl)
+
+let find name arity =
+  Hashtbl.find_opt (Lazy.force table) (Context.normalize_fname name, arity)

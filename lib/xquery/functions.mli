@@ -12,3 +12,9 @@ val registry :
 val register_all : Context.env -> unit
 (** Install the registry (plus variadic [fn:concat]) into an
     environment. *)
+
+val find :
+  string -> int -> (Context.dyn -> Value.sequence list -> Value.sequence) option
+(** Resolve a builtin by (possibly [fn:]-prefixed) name and arity,
+    including the variadic [fn:concat] range. Used by the plan compiler
+    to bind call sites at compile time. *)

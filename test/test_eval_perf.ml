@@ -1,9 +1,10 @@
 (* The evaluator fast path (doc-order keys, hash node-set algebra, lazy
-   early-exit sequences) must be an optimization, not a dialect: on any
-   query it accepts, it has to produce byte-identical output to the seed
-   algorithms. The randomized oracle here runs every (document, query)
-   pair three ways — optimized + fast, optimized + seed, unoptimized +
-   seed — and requires the same display string from all three.
+   early-exit sequences) and the compiled plan executor must both be
+   optimizations, not dialects: on any query they accept, they have to
+   produce byte-identical output to the seed algorithms. The randomized
+   oracle here runs every (document, query) pair four ways — optimized +
+   fast, optimized + seed, unoptimized + seed, and the compiled plan —
+   and requires the same display string from all four.
 
    The query grammar is deliberately restricted to non-raising
    constructs: every generated query is valid on every generated
@@ -139,20 +140,30 @@ let run ~optimize ~fast doc q =
     (E.eval_query ~optimize ~fast_eval:fast
        ~context_item:(V.Node doc) q)
 
+let run_plan doc q =
+  V.to_display_string
+    (E.run
+       ~opts:(E.Exec_opts.make ~mode:E.Exec_opts.Plan ~context_item:(V.Node doc) ())
+       (E.compile q))
+
 let prop_fast_matches_seed =
-  QCheck.Test.make ~name:"random queries: fast path = seed path = unoptimized"
+  QCheck.Test.make ~name:"random queries: plan = fast path = seed path = unoptimized"
     ~count:500
     (QCheck.pair gen_doc gen_query)
     (fun (doc, q) ->
       let fast = run ~optimize:true ~fast:true doc q in
       let seed = run ~optimize:true ~fast:false doc q in
       let raw = run ~optimize:false ~fast:false doc q in
+      let plan = run_plan doc q in
       if fast <> seed then
         QCheck.Test.fail_reportf "fast/seed disagree on %s:\n  fast: %s\n  seed: %s" q
           fast seed
       else if seed <> raw then
         QCheck.Test.fail_reportf "optimizer changed %s:\n  opt: %s\n  raw: %s" q seed
           raw
+      else if plan <> seed then
+        QCheck.Test.fail_reportf "plan/seed disagree on %s:\n  plan: %s\n  seed: %s" q
+          plan seed
       else true)
 
 (* ------------------------------------------------------------------ *)
@@ -253,14 +264,20 @@ let test_doc_order_cross_tree () =
 let eval_str ~fast doc q =
   V.to_display_string (E.eval_query ~fast_eval:fast ~context_item:(V.Node doc) q)
 
-(* Errors count as observable outcomes: the fast path must raise exactly
-   when the seed raises. *)
+(* Errors count as observable outcomes: the fast path and the plan
+   executor must raise exactly when the seed raises, with the same code
+   and message. *)
 let check_fast_matches_seed doc q =
   let show fast =
     try eval_str ~fast doc q
     with Xquery.Errors.Error _ as e -> "raised " ^ Printexc.to_string e
   in
-  Alcotest.(check string) q (show false) (show true)
+  let show_plan () =
+    try run_plan doc q
+    with Xquery.Errors.Error _ as e -> "raised " ^ Printexc.to_string e
+  in
+  Alcotest.(check string) q (show false) (show true);
+  Alcotest.(check string) (q ^ " [plan]") (show false) (show_plan ())
 
 let test_lazy_ebv_duplicate_atomics () =
   (* (//a//b) reaches the single <b> through both nested <a>s; the seed
