@@ -928,9 +928,46 @@ let overload_hostile_tpl =
   in
   "<document>" ^ go 12 ^ "</document>"
 
+let find_sub ?(start = 0) sub s =
+  let ls = String.length s and lsub = String.length sub in
+  let rec go i =
+    if i + lsub > ls then None
+    else if String.sub s i lsub = sub then Some i
+    else go (i + 1)
+  in
+  go start
+
+(* A lowercased header value out of a lowercased head block. *)
+let header_value head name =
+  let marker = "\r\n" ^ name ^ ": " in
+  match find_sub marker head with
+  | None -> None
+  | Some i ->
+    let start = i + String.length marker in
+    let stop =
+      match find_sub ~start "\r" head with Some j -> j | None -> String.length head
+    in
+    Some (String.sub head start (stop - start))
+
+let http_degraded head = header_value head "x-degraded"
+
+let send_all fd data =
+  let bytes = Bytes.of_string data in
+  let rec go off =
+    if off < Bytes.length bytes then go (off + Unix.write fd bytes off (Bytes.length bytes - off))
+  in
+  go 0
+
+let post_data ~headers body =
+  Printf.sprintf "POST /generate HTTP/1.1\r\nHost: bench\r\n%sContent-Length: %d\r\n\r\n%s"
+    (String.concat "" (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) headers))
+    (String.length body) body
+
 (* A one-shot HTTP exchange; returns (status, x_degraded, latency_ms).
    Status 0 means the connection died unanswered; x_degraded is the
-   [X-Degraded] response header ("stale" / "skeleton") when present. *)
+   [X-Degraded] response header ("stale" / "skeleton") when present.
+   Sends [Connection: close] so the exchange stays one-per-connection
+   even against a keep-alive server. *)
 let overload_request ~port ~headers body =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect
@@ -938,18 +975,7 @@ let overload_request ~port ~headers body =
     (fun () ->
       let t0 = Clock.now () in
       Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-      let data =
-        Printf.sprintf "POST /generate HTTP/1.1\r\nHost: bench\r\n%sContent-Length: %d\r\n\r\n%s"
-          (String.concat ""
-             (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) headers))
-          (String.length body) body
-      in
-      let bytes = Bytes.of_string data in
-      let rec send off =
-        if off < Bytes.length bytes then
-          send (off + Unix.write fd bytes off (Bytes.length bytes - off))
-      in
-      send 0;
+      send_all fd (post_data ~headers:(("Connection", "close") :: headers) body);
       let buf = Buffer.create 256 in
       let chunk = Bytes.create 4096 in
       let rec recv () =
@@ -967,32 +993,72 @@ let overload_request ~port ~headers body =
         else 0
       in
       let degraded =
-        let find_sub ?(start = 0) sub s =
-          let ls = String.length s and lsub = String.length sub in
-          let rec go i =
-            if i + lsub > ls then None
-            else if String.sub s i lsub = sub then Some i
-            else go (i + 1)
-          in
-          go start
-        in
-        let head =
-          match find_sub "\r\n\r\n" raw with
-          | Some i -> String.lowercase_ascii (String.sub raw 0 i)
-          | None -> ""
-        in
-        match find_sub "\r\nx-degraded: " head with
+        match find_sub "\r\n\r\n" raw with
+        | Some i -> http_degraded (String.lowercase_ascii (String.sub raw 0 i))
         | None -> None
-        | Some i ->
-          let start = i + String.length "\r\nx-degraded: " in
-          let stop =
-            match find_sub ~start "\r" head with
-            | Some j -> j
-            | None -> String.length head
-          in
-          Some (String.sub head start (stop - start))
       in
       (status, degraded, (Clock.now () -. t0) *. 1000.))
+
+(* ---- persistent-connection client ---------------------------------- *)
+
+(* Responses are read by Content-Length instead of to-EOF, so one socket
+   carries many requests (the keep-alive path the server grew in PR 7). *)
+type ka_conn = { kfd : Unix.file_descr; mutable kpending : string }
+
+exception Ka_dead
+
+let ka_connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  { kfd = fd; kpending = "" }
+
+let ka_close c = try Unix.close c.kfd with Unix.Unix_error _ -> ()
+
+(* One request/response on a persistent connection; returns
+   (status, x_degraded, latency_ms, server_closed). Raises [Ka_dead] on
+   EOF or reset mid-exchange (a reconnect is the caller's call). *)
+let ka_exchange c ~headers body =
+  let t0 = Clock.now () in
+  send_all c.kfd (post_data ~headers body);
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf c.kpending;
+  c.kpending <- "";
+  let chunk = Bytes.create 8192 in
+  let fill () =
+    let n =
+      try Unix.read c.kfd chunk 0 (Bytes.length chunk)
+      with Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> 0
+    in
+    if n = 0 then raise Ka_dead;
+    Buffer.add_subbytes buf chunk 0 n
+  in
+  let rec head_end () =
+    match find_sub "\r\n\r\n" (Buffer.contents buf) with
+    | Some i -> i
+    | None ->
+      fill ();
+      head_end ()
+  in
+  let he = head_end () in
+  let head = String.lowercase_ascii (String.sub (Buffer.contents buf) 0 he) in
+  let clen =
+    match header_value head "content-length" with
+    | None -> 0
+    | Some v -> Option.value ~default:0 (int_of_string_opt (String.trim v))
+  in
+  let total = he + 4 + clen in
+  while Buffer.length buf < total do
+    fill ()
+  done;
+  let raw = Buffer.contents buf in
+  c.kpending <- String.sub raw total (String.length raw - total);
+  let status =
+    if String.length raw >= 12 then
+      Option.value ~default:0 (int_of_string_opt (String.sub raw 9 3))
+    else 0
+  in
+  let closed = header_value head "connection" = Some "close" in
+  (status, http_degraded head, (Clock.now () -. t0) *. 1000., closed)
 
 let overload_percentile sorted p =
   match sorted with
@@ -1025,6 +1091,9 @@ let overload () =
       queue_cap = 16;
       drain_deadline_s = 2.;
       model = Some (Service.Model_value model);
+      (* Keep-alive on: the fresh-connection arms opt out per request
+         with [Connection: close], the 1x+ka arm reuses connections. *)
+      keepalive = true;
     }
   in
   let srv = Server.create ~config svc in
@@ -1060,7 +1129,7 @@ let overload () =
      (blocked on an admitted slow request) skips ahead rather than
      bunching, so offered load stays honest. 10% of requests, chosen by
      a seeded PRNG, are hostile runaways under a 50 ms deadline. *)
-  let drive ~srv ~port ~label ~rate =
+  let drive ?(keepalive = false) ~srv ~port ~label ~rate () =
     let duration_s = if quick then 1.5 else 4. in
     (* Enough senders that even with every queue slot occupied (admitted
        requests block their sender for queue-wait + service time) the
@@ -1078,6 +1147,40 @@ let overload () =
           Thread.create
             (fun () ->
               let rng = Random.State.make [| 97; i |] in
+              let conn = ref None in
+              let drop_conn () =
+                (match !conn with Some c -> ka_close c | None -> ());
+                conn := None
+              in
+              (* Persistent mode: one connection per sender, reconnected
+                 when the server closes it (max-requests cap, drain) or
+                 it dies; one retry over a fresh connection before the
+                 exchange counts as unanswered. *)
+              let exchange ~headers body =
+                if not keepalive then overload_request ~port ~headers body
+                else begin
+                  let attempt () =
+                    let c =
+                      match !conn with
+                      | Some c -> c
+                      | None ->
+                        let c = ka_connect port in
+                        conn := Some c;
+                        c
+                    in
+                    let status, tag, lat_ms, closed = ka_exchange c ~headers body in
+                    if closed then drop_conn ();
+                    (status, tag, lat_ms)
+                  in
+                  try attempt ()
+                  with Ka_dead | Unix.Unix_error _ -> (
+                    drop_conn ();
+                    try attempt ()
+                    with Ka_dead | Unix.Unix_error _ ->
+                      drop_conn ();
+                      (0, None, 0.))
+                end
+              in
               let next = ref (t_start +. (float_of_int i *. interval /. float_of_int nthreads)) in
               while !next < t_end do
                 let d = !next -. Clock.now () in
@@ -1085,16 +1188,15 @@ let overload () =
                 let hostile = Random.State.float rng 1.0 < 0.10 in
                 let status, tag, lat_ms =
                   if hostile then
-                    overload_request ~port
-                      ~headers:[ ("X-Deadline-Ms", "50") ]
-                      overload_hostile_tpl
-                  else overload_request ~port ~headers:[] overload_benign_tpl
+                    exchange ~headers:[ ("X-Deadline-Ms", "50") ] overload_hostile_tpl
+                  else exchange ~headers:[] overload_benign_tpl
                 in
                 results.(i) <- (hostile, status, tag, lat_ms) :: results.(i);
                 let now = Clock.now () in
                 (* Skip missed slots instead of bunching them. *)
                 next := !next +. (Float.max 1. (Float.ceil ((now -. !next) /. interval)) *. interval)
-              done)
+              done;
+              drop_conn ())
             ())
     in
     List.iter Thread.join threads;
@@ -1140,13 +1242,19 @@ let overload () =
       ol_p99 = p99;
     }
   in
-  let r_half = drive ~srv ~port ~label:"0.5x" ~rate:(0.5 *. capacity) in
-  let r_one = drive ~srv ~port ~label:"1x" ~rate:capacity in
-  let r_four = drive ~srv ~port ~label:"4x" ~rate:(4. *. capacity) in
+  let r_half = drive ~srv ~port ~label:"0.5x" ~rate:(0.5 *. capacity) () in
+  let r_one = drive ~srv ~port ~label:"1x" ~rate:capacity () in
+  let r_four = drive ~srv ~port ~label:"4x" ~rate:(4. *. capacity) () in
+  (* Same server, same 1x load, but every sender holds one persistent
+     connection: the keep-alive serving path under the same storm mix. *)
+  let r_ka = drive ~keepalive:true ~srv ~port ~label:"1x+ka" ~rate:capacity () in
+  let ka_reused = Server.Metrics.keepalive_reused (Server.metrics srv) in
   Server.drain srv;
   let ratio = r_four.ol_goodput /. Float.max 1e-9 r_one.ol_goodput in
   Printf.printf "  4x/1x goodput ratio: %.2f (shed total %d, drained clean)\n" ratio
     (Server.Metrics.shed (Server.metrics srv));
+  Printf.printf "  1x keep-alive: goodput %7.1f rps  p50 %6.1f ms (fresh-conn 1x p50 %6.1f ms), %d requests on reused connections\n"
+    r_ka.ol_goodput r_ka.ol_p50 r_one.ol_p50 ka_reused;
   (* Brownout arm: same capacity knobs, but with the brownout controller
      on and a result cache big enough to hold the benign template. Under
      the same 4x storm the server should keep answering usefully — fresh,
@@ -1179,7 +1287,7 @@ let overload () =
         (* Warm the result cache while the controller is still Normal so
            the storm has something stale to serve. *)
         ignore (overload_request ~port:port_b ~headers:[] overload_benign_tpl);
-        let r = drive ~srv:srv_b ~port:port_b ~label:"4x+b" ~rate:(4. *. capacity) in
+        let r = drive ~srv:srv_b ~port:port_b ~label:"4x+b" ~rate:(4. *. capacity) () in
         Server.drain srv_b;
         r)
   in
@@ -1205,7 +1313,8 @@ let overload () =
       \  \"goodput_ratio_4x_1x\": %.3f,\n  \"useful_ratio_brownout_vs_shed_only\": %.3f,\n\
       \  \"levels\": [\n" quick capacity ratio useful_ratio;
     output_string oc (String.concat ",\n" (List.map level_json [ r_half; r_one; r_four ]));
-    Printf.fprintf oc "\n  ],\n  \"brownout\": [\n%s\n  ]\n}\n" (level_json r_brown);
+    Printf.fprintf oc "\n  ],\n  \"brownout\": [\n%s\n  ],\n  \"keepalive\": [\n%s\n  ]\n}\n"
+      (level_json r_brown) (level_json r_ka);
     close_out oc;
     Printf.printf "  wrote BENCH_server.json\n"
   end;
@@ -1229,6 +1338,327 @@ let overload () =
        %.2f) — degradation failed to convert sheds into useful answers\n"
       useful_ratio bfloor;
     exit 1
+  end;
+  (* The keep-alive arm must sustain the same 1x load over persistent
+     connections (a loose floor: the property is "the keep-alive path
+     carries production load", not a latency claim — that gate lives in
+     the serving experiment where connection setup is measurable). *)
+  let kfloor = 0.7 in
+  if r_ka.ol_goodput < kfloor *. r_one.ol_goodput then begin
+    Printf.eprintf
+      "bench: keep-alive goodput at 1x is %.1f rps against %.1f rps fresh-connection \
+       (floor %.2fx) — persistent connections lost throughput\n"
+      r_ka.ol_goodput r_one.ol_goodput kfloor;
+    exit 1
+  end;
+  if ka_reused = 0 then begin
+    Printf.eprintf "bench: keep-alive arm reused no connections — keep-alive is not engaging\n";
+    exit 1
+  end
+
+(* ---------------------------------------------------------------- *)
+
+(* SERVING: the two PR-7 serving-path claims.
+
+   Keep-alive arm: on light requests (warm caches, sub-millisecond
+   generation) per-request connection setup is a measurable share of
+   latency, so a persistent connection must cut p50 against
+   fresh-connection-per-request on the same server.
+
+   Shard arm: capacity scaling from cache locality, not cores. Requests
+   carry their model inline (composite bodies), the working set of
+   distinct models exceeds one backend's artifact cache, and requests
+   cycle through it — LRU's worst case, every request an import. Four
+   shards partition the same working set so each backend's slice fits
+   its cache and nearly every request is a hit. The 4-shard/1-shard
+   capacity ratio is gated at 3x — on a single-core runner only cache
+   locality, never parallelism, can deliver that. *)
+
+let serving_tpl =
+  "<document><for nodes=\"start type(User); sort-by label\"><p><label/></p></for></document>"
+
+(* The shard arm's template targets the one SystemBeingDesigned node:
+   generation is a cheap scan, so per-request cost is dominated by the
+   model import — exactly the work the shard-local caches absorb. A
+   generation-heavy template would flatten the hit/miss difference the
+   capacity gate depends on. *)
+let shard_tpl =
+  "<document><for nodes=\"start type(SystemBeingDesigned)\"><p><label/></p></for></document>"
+
+let serving_percentile sorted_arr p =
+  if Array.length sorted_arr = 0 then 0.
+  else
+    sorted_arr.(min (Array.length sorted_arr - 1)
+                  (int_of_float (p *. float_of_int (Array.length sorted_arr))))
+
+let serving () =
+  section "SERVING - keep-alive connection reuse and consistent-hash sharding";
+  (* --- keep-alive arm ------------------------------------------------ *)
+  let svc = Service.create () in
+  let srv =
+    Server.create
+      ~config:{ Server.default_config with Server.max_inflight = 2; keepalive = true }
+      svc
+  in
+  Server.start srv;
+  let port = Server.port srv in
+  let n = if quick then 400 else 2000 in
+  let fresh_p50, fresh_rps, ka_p50, ka_rps =
+    Fun.protect
+      ~finally:(fun () -> if not (Server.stopped srv) then Server.drain srv)
+      (fun () ->
+        (* Warm every cache so both arms measure the wire, not the first
+           compile/import. *)
+        for _ = 1 to 5 do
+          ignore (overload_request ~port ~headers:[] serving_tpl)
+        done;
+        let run exchange =
+          let lats = Array.make n 0. in
+          let t0 = Clock.now () in
+          for i = 0 to n - 1 do
+            let status, lat_ms = exchange () in
+            if status <> 200 then failwith (Printf.sprintf "serving: status %d" status);
+            lats.(i) <- lat_ms
+          done;
+          let elapsed = Clock.now () -. t0 in
+          Array.sort compare lats;
+          (serving_percentile lats 0.50, float_of_int n /. elapsed)
+        in
+        let fresh_p50, fresh_rps =
+          run (fun () ->
+              let c = ka_connect port in
+              Fun.protect
+                ~finally:(fun () -> ka_close c)
+                (fun () ->
+                  let status, _, lat_ms, _ =
+                    ka_exchange c ~headers:[ ("Connection", "close") ] serving_tpl
+                  in
+                  (status, lat_ms)))
+        in
+        let conn = ref (ka_connect port) in
+        let ka_p50, ka_rps =
+          run (fun () ->
+              let status, _, lat_ms, closed = ka_exchange !conn ~headers:[] serving_tpl in
+              (* The max-requests-per-connection cap closes the
+                 connection politely mid-run; reconnect and keep going. *)
+              if closed then begin
+                ka_close !conn;
+                conn := ka_connect port
+              end;
+              (status, lat_ms))
+        in
+        ka_close !conn;
+        (fresh_p50, fresh_rps, ka_p50, ka_rps))
+  in
+  Printf.printf
+    "  keep-alive (light requests, n=%d): fresh-conn p50 %.3f ms (%.0f rps)  persistent \
+     p50 %.3f ms (%.0f rps)\n"
+    n fresh_p50 fresh_rps ka_p50 ka_rps;
+  (* --- shard arm ----------------------------------------------------- *)
+  let wset = if quick then 24 else 48 in
+  (* Per-shard artifact cache: must hold a 4-way slice of the working
+     set (~wset/4 models, plus the template's compiled artifacts, plus
+     consistent-hash imbalance) but not the whole set — the single shard
+     has to cycle and miss while each of the four fits its slice. *)
+  let ccap = if quick then 16 else 32 in
+  (* Edge-heavy models: relations dominate the XML, so the import a
+     cache miss pays is large while the node scan generation performs on
+     every request stays small. That asymmetry — import ≫ serve — is
+     what makes shard-local cache locality measurable as capacity. *)
+  let shard_shape =
+    {
+      Awb.Synth.users = (if quick then 40 else 60);
+      systems = 8;
+      programs = 12;
+      documents = 6;
+      likes_per_user = (if quick then 60 else 80);
+      uses_per_user = 20;
+    }
+  in
+  let bodies =
+    Array.init wset (fun i ->
+        let m = Awb.Synth.generate ~seed:(1000 + i) shard_shape in
+        Server.Composite.build ~template:shard_tpl ~model:(Awb.Xml_io.export_string m))
+  in
+  let run_cluster nshards =
+    let cluster =
+      Server.Shard.start
+        ~config:
+          {
+            Server.Shard.default_cluster_config with
+            Server.Shard.shards = nshards;
+            cache_capacity = ccap;
+            result_cache_cap = 0;
+          }
+        ()
+    in
+    let svc = Service.create () in
+    let srv =
+      Server.create
+        ~config:
+          {
+            Server.default_config with
+            Server.max_inflight = 1;
+            queue_cap = 64;
+            keepalive = true;
+          }
+        ~cluster svc
+    in
+    Server.start srv;
+    let port = Server.port srv in
+    Fun.protect
+      ~finally:(fun () -> if not (Server.stopped srv) then Server.drain srv)
+      (fun () ->
+        let nclients = 4 in
+        let duration_s = if quick then 2.5 else 4. in
+        let counts = Array.make nclients 0 in
+        (* Closed-loop: each client cycles its slice of the working set
+           over one persistent connection. One warm pass, then a timed
+           window. The clock is checked after every request, not every
+           pass — at tens of milliseconds per miss a pass-granular check
+           would overshoot the window by a whole slice. *)
+        let client j timed =
+          let conn = ref (ka_connect port) in
+          let fire i =
+            let status, _, _, closed = ka_exchange !conn ~headers:[] bodies.(i) in
+            if status <> 200 then failwith (Printf.sprintf "serving/shard: status %d" status);
+            if closed then begin
+              ka_close !conn;
+              conn := ka_connect port
+            end
+          in
+          let slice = ref [] in
+          for i = wset - 1 downto 0 do
+            if i mod nclients = j then slice := i :: !slice
+          done;
+          Fun.protect
+            ~finally:(fun () -> ka_close !conn)
+            (fun () ->
+              List.iter fire !slice;
+              match timed with
+              | None -> ()
+              | Some t_end ->
+                let stop = ref false in
+                while not !stop do
+                  List.iter
+                    (fun i ->
+                      if not !stop then begin
+                        fire i;
+                        counts.(j) <- counts.(j) + 1;
+                        if Clock.now () >= t_end then stop := true
+                      end)
+                    !slice
+                done)
+        in
+        let warm = List.init nclients (fun j -> Thread.create (fun () -> client j None) ()) in
+        List.iter Thread.join warm;
+        let t0 = Clock.now () in
+        let t_end = t0 +. duration_s in
+        let threads =
+          List.init nclients (fun j -> Thread.create (fun () -> client j (Some t_end)) ())
+        in
+        List.iter Thread.join threads;
+        let elapsed = Clock.now () -. t0 in
+        let total = Array.fold_left ( + ) 0 counts in
+        (* Aggregate the shards' model-cache counters out of the
+           exposition — the mechanism under test is hit-rate locality,
+           so show it. *)
+        let sum_counter name =
+          String.split_on_char '\n' (Server.metrics_body srv)
+          |> List.fold_left
+               (fun acc line ->
+                 if String.length line > String.length name
+                    && String.sub line 0 (String.length name) = name
+                 then
+                   match String.rindex_opt line ' ' with
+                   | None -> acc
+                   | Some i ->
+                     acc
+                     + (int_of_float
+                          (Option.value ~default:0.
+                             (float_of_string_opt
+                                (String.sub line (i + 1) (String.length line - i - 1)))))
+                 else acc)
+               0
+        in
+        let hits = sum_counter "lopsided_service_model_cache_hits_total" in
+        let misses = sum_counter "lopsided_service_model_cache_misses_total" in
+        Server.drain srv;
+        (float_of_int total /. elapsed, hits, misses))
+  in
+  let rps1, h1, m1 = run_cluster 1 in
+  Printf.printf
+    "  1 shard:  %7.1f rps (working set %d models, per-shard cache %d; model cache %d \
+     hits / %d misses)\n"
+    rps1 wset ccap h1 m1;
+  let rps4, h4, m4 = run_cluster 4 in
+  let ratio = rps4 /. Float.max 1e-9 rps1 in
+  Printf.printf "  4 shards: %7.1f rps — %.2fx the single shard (model cache %d hits / %d misses)\n"
+    rps4 ratio h4 m4;
+  if json then begin
+    (* Merge a "shard" block into BENCH_server.json without disturbing
+       what the overload experiment wrote (no JSON library here: the
+       file is cut before a previous shard block / the closing brace and
+       re-terminated). *)
+    let path = "BENCH_server.json" in
+    let base =
+      if Sys.file_exists path then begin
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      end
+      else "{\n  \"bench\": \"overload\"\n}\n"
+    in
+    let head =
+      match find_sub ",\n  \"shard\":" base with
+      | Some i -> String.sub base 0 i
+      | None -> (
+        match String.rindex_opt base '}' with
+        | None -> "{\n  \"bench\": \"overload\""
+        | Some j ->
+          let rec back k =
+            if k > 0 && (match base.[k - 1] with '\n' | ' ' | '\t' | '\r' -> true | _ -> false)
+            then back (k - 1)
+            else k
+          in
+          String.sub base 0 (back j))
+    in
+    let block =
+      Printf.sprintf
+        "{\n\
+        \    \"keepalive_light\": {\"n\": %d, \"fresh_p50_ms\": %.3f, \"fresh_rps\": %.1f, \
+         \"persistent_p50_ms\": %.3f, \"persistent_rps\": %.1f},\n\
+        \    \"working_set_models\": %d,\n\
+        \    \"model_xml_bytes\": %d,\n\
+        \    \"per_shard_cache\": %d,\n\
+        \    \"shards1_rps\": %.1f,\n\
+        \    \"shards4_rps\": %.1f,\n\
+        \    \"capacity_ratio_4s_1s\": %.3f\n\
+        \  }"
+        n fresh_p50 fresh_rps ka_p50 ka_rps wset (String.length bodies.(0)) ccap rps1
+        rps4 ratio
+    in
+    let oc = open_out path in
+    output_string oc (head ^ ",\n  \"shard\": " ^ block ^ "\n}\n");
+    close_out oc;
+    Printf.printf "  merged shard block into BENCH_server.json\n"
+  end;
+  (* Gates. Keep-alive must reduce p50 on light requests; sharding must
+     at least triple single-shard capacity. *)
+  if ka_p50 > fresh_p50 then begin
+    Printf.eprintf
+      "bench: persistent-connection p50 %.3f ms did not beat fresh-connection p50 %.3f ms\n"
+      ka_p50 fresh_p50;
+    exit 1
+  end;
+  let sfloor = 3.0 in
+  if ratio < sfloor then begin
+    Printf.eprintf
+      "bench: 4-shard capacity is %.2fx the single shard (floor %.2fx) — shard-local \
+       caches are not partitioning the working set\n"
+      ratio sfloor;
+    exit 1
   end
 
 (* ---------------------------------------------------------------- *)
@@ -1247,6 +1677,7 @@ let experiments =
     ("e9", e9);
     ("gov", gov);
     ("overload", overload);
+    ("serving", serving);
     ("a1", a1);
     ("a2", a2);
     ("a3", a3);
@@ -1254,6 +1685,9 @@ let experiments =
   ]
 
 let () =
+  (* The serving experiment spawns shard backends by re-exec'ing this
+     binary; when this IS such a backend, serve frames and exit. *)
+  Server.Shard.maybe_run_backend ();
   Printf.printf "Lopsided Little Languages - benchmark harness%s\n"
     (if quick then " (quick mode)" else "");
   let selected =

@@ -150,7 +150,7 @@ let run templates_dir sample model_file engine domains repeat deadline_ms cache_
 let serve host port max_inflight queue_cap tenant_cap rate burst deadline_ms
     drain_deadline brownout result_cache_cap sample model_file engine cache_capacity
     fuel max_depth max_nodes retries quarantine_after fault_seed crash_rate
-    deadline_rate transient_rate =
+    deadline_rate transient_rate keepalive idle_timeout max_conn_requests shards =
   let engine =
     match Docgen.engine_of_string engine with Ok e -> e | Error m -> fail m
   in
@@ -179,6 +179,31 @@ let serve host port max_inflight queue_cap tenant_cap rate burst deadline_ms
         }
       ()
   in
+  (* Sharded mode: the backends own the generation caches, so they get
+     the configured cache sizes and the fallback model spec; the front's
+     local service still answers stale-cache lookups. *)
+  let cluster =
+    if shards <= 0 then None
+    else begin
+      let model_spec =
+        match (sample, model_file) with
+        | Some s, None -> s
+        | None, Some path -> "file:" ^ path
+        | _ -> "banking"
+      in
+      Some
+        (Server.Shard.start
+           ~config:
+             {
+               Server.Shard.default_cluster_config with
+               Server.Shard.shards;
+               cache_capacity;
+               result_cache_cap;
+               model_spec;
+             }
+           ())
+    end
+  in
   let server =
     Server.create
       ~config:
@@ -197,15 +222,23 @@ let serve host port max_inflight queue_cap tenant_cap rate burst deadline_ms
           model = Some model;
           fault;
           brownout = (if brownout then Some Server.Brownout.default_config else None);
+          keepalive;
+          idle_timeout_s = idle_timeout;
+          max_conn_requests;
         }
-      svc
+      ?cluster svc
   in
   Server.install_sigterm server;
+  Server.install_sighup server;
   Server.start server;
-  Printf.printf "awbserve: listening on %s:%d (%d workers, queue %d%s%s)\n%!" host
+  Printf.printf "awbserve: listening on %s:%d (%d workers, queue %d%s%s%s%s)\n%!" host
     (Server.port server) max_inflight queue_cap
     (if rate > 0. then Printf.sprintf ", %.1f req/s per client" rate else "")
-    (if brownout then ", brownout on" else "");
+    (if brownout then ", brownout on" else "")
+    (if keepalive then ", keep-alive on" else "")
+    (match cluster with
+    | None -> ""
+    | Some c -> Printf.sprintf ", %d shards" (Server.Shard.shard_count c));
   (* Blocks until SIGTERM (or a remote drain) completes; exit 0 is the
      contract a process supervisor keys on. *)
   Server.await server;
@@ -396,6 +429,41 @@ let transient_rate =
     & info [ "fault-transient-rate" ] ~docv:"P"
         ~doc:"Probability of a declared-transient failure (retried with backoff).")
 
+let keepalive =
+  Arg.(
+    value & flag
+    & info [ "keepalive" ]
+        ~doc:
+          "Persistent HTTP/1.1 connections: per-connection request loop, pipelining, \
+           pooled parse buffers, idle-connection timeout. Off by default (one \
+           request per connection).")
+
+let idle_timeout =
+  Arg.(
+    value & opt float 5.
+    & info [ "idle-timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Close a keep-alive connection after $(docv) with no request on it. Only \
+           meaningful with $(b,--keepalive).")
+
+let max_conn_requests =
+  Arg.(
+    value & opt int 1000
+    & info [ "max-conn-requests" ] ~docv:"N"
+        ~doc:
+          "Serve at most $(docv) requests on one keep-alive connection, then answer \
+           with Connection: close. Bounds per-connection resource drift.")
+
+let shards =
+  Arg.(
+    value & opt int 0
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Run $(docv) backend worker processes and consistent-hash route generate \
+           bodies to them over Unix-domain sockets, so each backend's caches stay \
+           warm on its slice of the key space. SIGHUP rolls the backends one at a \
+           time (zero-downtime reload). 0 (the default) serves in-process.")
+
 let batch_term =
   Term.(
     const run $ templates_dir $ sample $ model_file $ engine $ domains $ repeat
@@ -410,10 +478,16 @@ let serve_cmd =
       const serve $ host $ port $ max_inflight $ queue_cap $ tenant_cap $ rate $ burst
       $ deadline_ms $ drain_deadline $ brownout $ result_cache_cap $ sample
       $ model_file $ engine $ cache_capacity $ fuel $ max_depth $ max_nodes $ retries
-      $ quarantine_after $ fault_seed $ crash_rate $ deadline_rate $ transient_rate)
+      $ quarantine_after $ fault_seed $ crash_rate $ deadline_rate $ transient_rate
+      $ keepalive $ idle_timeout $ max_conn_requests $ shards)
 
 let cmd =
   let doc = "serve batches of document generations from AWB models" in
   Cmd.group ~default:batch_term (Cmd.info "awbserve" ~doc) [ serve_cmd ]
 
-let () = exit (Cmd.eval' cmd)
+let () =
+  (* When exec'd as a shard backend this serves frames and exits —
+     before any argument parsing, so backend argv stays an internal
+     contract rather than part of the CLI. *)
+  Server.Shard.maybe_run_backend ();
+  exit (Cmd.eval' cmd)

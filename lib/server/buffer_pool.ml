@@ -1,0 +1,82 @@
+(* A pool of reusable Buffer.t values.
+
+   Keep-alive turns the per-request parse and serialize buffers from
+   throwaway allocations into connection-lifetime scratch space: a
+   buffer is checked out when a connection is accepted, cleared (not
+   reallocated) between the requests it serves, and returned when the
+   connection closes. The pool is a plain mutex-guarded stack — checkout
+   is a pop, checkin a push — with two safety valves: buffers that grew
+   past [max_buffer_bytes] are dropped instead of hoarded (one 4 MiB
+   response must not pin 4 MiB forever), and the idle stack is capped at
+   [max_idle] so a burst of ten thousand connections doesn't leave ten
+   thousand buffers behind. *)
+
+type t = {
+  initial_size : int;
+  max_idle : int;
+  max_buffer_bytes : int;
+  mutex : Mutex.t;
+  mutable idle : Buffer.t list;
+  mutable idle_count : int;
+  created : int Atomic.t;
+  reused : int Atomic.t;
+}
+
+let create ?(initial_size = 4096) ?(max_idle = 256) ?(max_buffer_bytes = 1 lsl 20) () =
+  {
+    initial_size;
+    max_idle;
+    max_buffer_bytes;
+    mutex = Mutex.create ();
+    idle = [];
+    idle_count = 0;
+    created = Atomic.make 0;
+    reused = Atomic.make 0;
+  }
+
+let checkout t =
+  Mutex.lock t.mutex;
+  let b =
+    match t.idle with
+    | b :: rest ->
+      t.idle <- rest;
+      t.idle_count <- t.idle_count - 1;
+      Some b
+    | [] -> None
+  in
+  Mutex.unlock t.mutex;
+  match b with
+  | Some b ->
+    Atomic.incr t.reused;
+    Buffer.clear b;
+    b
+  | None ->
+    Atomic.incr t.created;
+    Buffer.create t.initial_size
+
+let checkin t b =
+  (* Buffer.clear keeps the underlying bytes, which is the whole point —
+     but a buffer that ballooned serving one huge response is cheaper to
+     rebuild than to keep. *)
+  if Buffer.length b <= t.max_buffer_bytes then begin
+    Buffer.clear b;
+    Mutex.lock t.mutex;
+    if t.idle_count < t.max_idle then begin
+      t.idle <- b :: t.idle;
+      t.idle_count <- t.idle_count + 1
+    end;
+    Mutex.unlock t.mutex
+  end
+
+let with_buf t f =
+  let b = checkout t in
+  Fun.protect ~finally:(fun () -> checkin t b) (fun () -> f b)
+
+let created t = Atomic.get t.created
+let reused t = Atomic.get t.reused
+
+let idle t =
+  Mutex.lock t.mutex;
+  let n = t.idle_count in
+  Mutex.unlock t.mutex;
+  n

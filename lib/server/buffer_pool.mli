@@ -1,0 +1,33 @@
+(** Pool of reusable [Buffer.t] scratch buffers.
+
+    Connections check a buffer out on accept, clear it between the
+    requests they serve, and check it back in on close — so steady-state
+    keep-alive traffic parses and serializes with zero buffer
+    allocation. Thread-safe. *)
+
+type t
+
+val create : ?initial_size:int -> ?max_idle:int -> ?max_buffer_bytes:int -> unit -> t
+(** [create ()] makes an empty pool. [initial_size] (default 4096) sizes
+    freshly allocated buffers; at most [max_idle] (default 256) buffers
+    are kept idle; buffers that grew past [max_buffer_bytes] (default
+    1 MiB) are dropped on checkin rather than retained. *)
+
+val checkout : t -> Buffer.t
+(** Take a cleared buffer from the pool, allocating if none is idle. *)
+
+val checkin : t -> Buffer.t -> unit
+(** Return a buffer to the pool. Safe to drop (never checkin) a buffer
+    — the pool holds no reference to checked-out buffers. *)
+
+val with_buf : t -> (Buffer.t -> 'a) -> 'a
+(** [with_buf t f] checks out a buffer for the duration of [f]. *)
+
+val created : t -> int
+(** Buffers allocated because the pool was empty at checkout. *)
+
+val reused : t -> int
+(** Checkouts satisfied from the idle pool. *)
+
+val idle : t -> int
+(** Buffers currently idle in the pool. *)

@@ -1,12 +1,14 @@
 (* Minimal HTTP/1.1 over raw Unix file descriptors.
 
-   The server speaks a deliberately small dialect: one request per
-   connection, Content-Length bodies only (no chunked uploads), response
-   always Connection: close. What it is NOT casual about is hostile
-   input: headers and bodies have hard byte caps, reads honour the
-   socket's receive timeout (so a slow-loris sender is cut off by the
-   kernel, not waited on forever), and every malformed shape lands in
-   Bad_request rather than an exception salad. *)
+   The server speaks a deliberately small dialect: Content-Length bodies
+   only (no chunked uploads), persistent connections with pipelined
+   request reading — recv may overshoot one request into the next, and
+   the overshoot is handed back to the caller as the head of the next
+   request rather than dropped or rejected. What it is NOT casual about
+   is hostile input: headers and bodies have hard byte caps, reads
+   honour the socket's receive timeout (so a slow-loris sender is cut
+   off by the kernel, not waited on forever), and every malformed shape
+   lands in Bad_request rather than an exception salad. *)
 
 type request = {
   meth : string;
@@ -14,6 +16,7 @@ type request = {
   query : (string * string) list;
   headers : (string * string) list;
   body : string;
+  version : string;
 }
 
 exception Bad_request of string
@@ -35,6 +38,17 @@ let header req name =
   List.assoc_opt name req.headers
 
 let query_param req name = List.assoc_opt name req.query
+
+let wants_keep_alive req =
+  (* HTTP/1.1 defaults to persistent; 1.0 must opt in. Either way an
+     explicit Connection header wins. *)
+  match header req "connection" with
+  | Some v -> (
+    match String.lowercase_ascii (String.trim v) with
+    | "close" -> false
+    | "keep-alive" -> true
+    | _ -> req.version = "HTTP/1.1")
+  | None -> req.version = "HTTP/1.1"
 
 (* ------------------------------------------------------------------ *)
 (* Percent decoding                                                    *)
@@ -83,10 +97,15 @@ let parse_query s =
 (* ------------------------------------------------------------------ *)
 
 (* Pull bytes until the header terminator, never holding more than
-   [max_header_bytes] of headers. Returns (head, leftover-body-bytes) —
-   recv may overshoot into the body. *)
-let read_head ~max_header_bytes ~deadline_ns fd =
-  let buf = Buffer.create 512 in
+   [max_header_bytes] of headers. Returns (head, leftover) — leftover is
+   whatever rode along after the terminator: body bytes, and possibly
+   the start of the next pipelined request. [pending] seeds the scan
+   with bytes carried over from the previous request on this connection;
+   [buf] is the connection's pooled scratch buffer (cleared here, never
+   reallocated between requests). *)
+let read_head ~max_header_bytes ~deadline_ns ~pending ~buf fd =
+  let buf = match buf with Some b -> Buffer.clear b; b | None -> Buffer.create 512 in
+  Buffer.add_string buf pending;
   let chunk = Bytes.create 2048 in
   (* [scanned] is the prefix already known terminator-free; each pass
      resumes a few bytes before it so a \r\n\r\n split across reads is
@@ -124,7 +143,10 @@ let read_head ~max_header_bytes ~deadline_ns fd =
   in
   loop ()
 
-let read_exact fd ~deadline_ns ~already ~len =
+(* Read the body: [len] bytes, of which [already] may supply a prefix —
+   or more than [len], in which case the excess is the next pipelined
+   request and is returned as leftover. *)
+let read_body fd ~deadline_ns ~already ~len =
   let b = Bytes.create len in
   let have = min len (String.length already) in
   Bytes.blit_string already 0 b 0 have;
@@ -137,8 +159,14 @@ let read_exact fd ~deadline_ns ~already ~len =
     end
   in
   go have;
-  if String.length already > len then bad "bytes beyond declared Content-Length";
-  Bytes.to_string b
+  let leftover =
+    if String.length already > len then
+      String.sub already len (String.length already - len)
+    else ""
+  in
+  (* [b] is never touched again — unsafe_to_string spares a full-body
+     copy, which at megabyte bodies is real per-request GC pressure. *)
+  (Bytes.unsafe_to_string b, leftover)
 
 let parse_request_line line =
   match String.split_on_char ' ' line with
@@ -152,7 +180,7 @@ let parse_request_line line =
         ( String.sub target 0 i,
           parse_query (String.sub target (i + 1) (String.length target - i - 1)) )
     in
-    (String.uppercase_ascii meth, percent_decode path, query)
+    (String.uppercase_ascii meth, percent_decode path, query, version)
   | _ -> bad "malformed request line"
 
 let parse_header_line line =
@@ -163,8 +191,8 @@ let parse_header_line line =
       String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
 
 let read_request ?(max_header_bytes = 8192) ?(max_body_bytes = 4 * 1024 * 1024)
-    ?deadline_ns fd =
-  match read_head ~max_header_bytes ~deadline_ns fd with
+    ?deadline_ns ?(pending = "") ?buf fd =
+  match read_head ~max_header_bytes ~deadline_ns ~pending ~buf fd with
   | None -> None
   | Some (head, leftover) ->
     let lines =
@@ -176,7 +204,7 @@ let read_request ?(max_header_bytes = 8192) ?(max_body_bytes = 4 * 1024 * 1024)
     (match lines with
     | [] -> bad "empty request"
     | request_line :: header_lines ->
-      let meth, path, query = parse_request_line request_line in
+      let meth, path, query, version = parse_request_line request_line in
       let headers =
         List.filter_map
           (fun l -> if l = "" then None else Some (parse_header_line l))
@@ -184,11 +212,12 @@ let read_request ?(max_header_bytes = 8192) ?(max_body_bytes = 4 * 1024 * 1024)
       in
       if List.mem_assoc "transfer-encoding" headers then
         bad "chunked request bodies are not supported";
-      let body =
+      let body, leftover =
         match List.assoc_opt "content-length" headers with
         | None ->
-          if leftover <> "" then bad "body bytes without Content-Length";
-          ""
+          (* No body; anything beyond the head is the next pipelined
+             request, handed back to the caller. *)
+          ("", leftover)
         | Some v -> (
           (* Strict HTTP grammar: decimal digits only. int_of_string_opt
              alone would accept OCaml literals — "0x100", "0o17",
@@ -201,9 +230,9 @@ let read_request ?(max_header_bytes = 8192) ?(max_body_bytes = 4 * 1024 * 1024)
           | None -> bad "malformed Content-Length" (* digit overflow *)
           | Some len when len > max_body_bytes ->
             bad "body of %d bytes exceeds the %d-byte limit" len max_body_bytes
-          | Some len -> read_exact fd ~deadline_ns ~already:leftover ~len)
+          | Some len -> read_body fd ~deadline_ns ~already:leftover ~len)
       in
-      Some { meth; path; query; headers; body })
+      Some ({ meth; path; query; headers; body; version }, leftover))
 
 (* ------------------------------------------------------------------ *)
 (* Writing                                                             *)
@@ -221,21 +250,31 @@ let reason_phrase = function
   | 429 -> "Too Many Requests"
   | 500 -> "Internal Server Error"
   | 501 -> "Not Implemented"
+  | 502 -> "Bad Gateway"
   | 503 -> "Service Unavailable"
   | 504 -> "Gateway Timeout"
   | _ -> "Unknown"
 
-let write_response fd ~status ?(headers = []) ~body () =
-  let b = Buffer.create (String.length body + 256) in
+let write_response fd ~status ?(headers = []) ?(keep_alive = false) ?buf ~body () =
+  (* Head and body are serialized into one buffer and pushed with a
+     single write loop — the writev-equivalent: one syscall in the
+     common case instead of separate head/body sends, and no
+     head-arrives-body-lags window for the client to observe. *)
+  let b =
+    match buf with
+    | Some b -> Buffer.clear b; b
+    | None -> Buffer.create (String.length body + 256)
+  in
   Buffer.add_string b (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (reason_phrase status));
   List.iter (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v)) headers;
   Buffer.add_string b (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
-  Buffer.add_string b "Connection: close\r\n\r\n";
+  Buffer.add_string b
+    (if keep_alive then "Connection: keep-alive\r\n\r\n" else "Connection: close\r\n\r\n");
   Buffer.add_string b body;
   let bytes = Buffer.to_bytes b in
   (* Best effort: the client may be gone, or too slow for the send
-     timeout. Either way the connection is about to close; there is
-     nobody to report the failure to. *)
+     timeout. Either way there is nobody to report the failure to; a
+     keep-alive caller learns of the dead peer on the next read. *)
   let rec send off =
     if off < Bytes.length bytes then
       let n = Unix.write fd bytes off (Bytes.length bytes - off) in

@@ -1,10 +1,12 @@
 (** Minimal HTTP/1.1 on raw [Unix] file descriptors.
 
     Just enough protocol for the front end — request line, headers, a
-    [Content-Length] body, and one response per connection (the server
-    always answers [Connection: close]) — with the robustness limits
-    that matter under hostile traffic: hard caps on header and body
-    size, reads that honour the socket receive timeout, and an optional
+    [Content-Length] body — with persistent-connection support: reads
+    hand back any pipelined overshoot so the caller can parse the next
+    request without touching the socket, and responses can be written
+    [Connection: keep-alive]. Robustness limits that matter under
+    hostile traffic stay on: hard caps on header and body size, reads
+    that honour the socket receive timeout, and an optional
     whole-request read deadline so a drip-feed client (1 byte per
     interval, each recv just inside the socket timeout) costs a bounded
     slice of the reading thread, never a hung connection. *)
@@ -15,6 +17,7 @@ type request = {
   query : (string * string) list;  (** decoded query parameters, in order *)
   headers : (string * string) list;  (** names lowercased, values trimmed *)
   body : string;
+  version : string;  (** ["HTTP/1.1"] or ["HTTP/1.0"] *)
 }
 
 exception Bad_request of string
@@ -31,20 +34,34 @@ val header : request -> string -> string option
 
 val query_param : request -> string -> string option
 
+val wants_keep_alive : request -> bool
+(** The connection persistence the client asked for: HTTP/1.1 defaults
+    to keep-alive unless [Connection: close]; HTTP/1.0 defaults to close
+    unless [Connection: keep-alive]. The server may still close (cap
+    reached, draining) — this is the client's preference, not a
+    promise. *)
+
 val read_request :
   ?max_header_bytes:int ->
   ?max_body_bytes:int ->
   ?deadline_ns:int ->
+  ?pending:string ->
+  ?buf:Buffer.t ->
   Unix.file_descr ->
-  request option
-(** Read and parse one request. [None] on a clean EOF before any bytes
-    (client connected and left). Raises {!Bad_request} on malformed or
-    oversized input, {!Timeout} when [deadline_ns] (absolute,
-    {!Clock.now_ns} scale; a total budget across every recv of head and
-    body) passes before the request is complete, and lets
-    [Unix.Unix_error] from a receive timeout propagate (the caller
-    treats it as a dead client). Defaults: 8 KiB headers, 4 MiB body,
-    no deadline. *)
+  (request * string) option
+(** Read and parse one request. Returns the request plus any leftover
+    bytes that arrived beyond its body — the start of the next pipelined
+    request, which the caller must feed back as [pending] on its next
+    call instead of losing it. [buf] is a reusable scratch buffer for
+    head accumulation (cleared here; pooled by the connection so
+    steady-state keep-alive traffic allocates no buffers). [None] on a
+    clean EOF before any bytes (client connected and left, or keep-alive
+    idle close). Raises {!Bad_request} on malformed or oversized input,
+    {!Timeout} when [deadline_ns] (absolute, {!Clock.now_ns} scale; a
+    total budget across every recv of head and body) passes before the
+    request is complete, and lets [Unix.Unix_error] from a receive
+    timeout propagate (the caller treats it as a dead client).
+    Defaults: 8 KiB headers, 4 MiB body, no deadline, empty [pending]. *)
 
 val reason_phrase : int -> string
 
@@ -52,12 +69,18 @@ val write_response :
   Unix.file_descr ->
   status:int ->
   ?headers:(string * string) list ->
+  ?keep_alive:bool ->
+  ?buf:Buffer.t ->
   body:string ->
   unit ->
   unit
-(** Serialize one response with [Content-Length] and
-    [Connection: close], best-effort: write errors (client already gone)
-    are swallowed — there is nobody left to tell. *)
+(** Serialize one response with [Content-Length] and a [Connection]
+    header ([close] by default, [keep-alive] when [keep_alive] is true),
+    batched into a single write — head and body leave in one syscall in
+    the common case. [buf] is a reusable serialize buffer (cleared
+    here). Best-effort: write errors (client already gone) are
+    swallowed — a keep-alive caller learns of the dead peer on its next
+    read. *)
 
 val json_escape : string -> string
 (** Escape a string for inclusion inside a JSON string literal. *)

@@ -28,6 +28,7 @@ type t = {
   skeletons : int Atomic.t;
   refreshes : int Atomic.t;
   tenant_rejected : int Atomic.t;
+  keepalive_reused : int Atomic.t;
   window_s : float;
   wmutex : Mutex.t;
   mutable wstart : float;  (* monotonic start of the current window *)
@@ -55,6 +56,7 @@ let create ?(window_s = 2.) () =
     skeletons = Atomic.make 0;
     refreshes = Atomic.make 0;
     tenant_rejected = Atomic.make 0;
+    keepalive_reused = Atomic.make 0;
     window_s;
     wmutex = Mutex.create ();
     wstart = now;
@@ -109,6 +111,7 @@ let incr_stale_served t = Atomic.incr t.stale_served
 let incr_skeletons t = Atomic.incr t.skeletons
 let incr_refreshes t = Atomic.incr t.refreshes
 let incr_tenant_rejected t = Atomic.incr t.tenant_rejected
+let incr_keepalive_reused t = Atomic.incr t.keepalive_reused
 
 let accepted t = Atomic.get t.accepted
 let shed t = Atomic.get t.shed
@@ -121,6 +124,7 @@ let stale_served t = Atomic.get t.stale_served
 let skeletons t = Atomic.get t.skeletons
 let refreshes t = Atomic.get t.refreshes
 let tenant_rejected t = Atomic.get t.tenant_rejected
+let keepalive_reused t = Atomic.get t.keepalive_reused
 
 let shed_fraction t ~now = with_window t (fun () -> roll t ~now; t.prev_fraction)
 
@@ -246,6 +250,9 @@ let to_prometheus t ?(mode = 0) ~queue_depth ~inflight ~ready () =
   sample "lopsided_server_tenant_rejected_total"
     "Requests answered 429 because their tenant's bulkhead was full."
     (tenant_rejected t);
+  sample "lopsided_server_keepalive_reused_total"
+    "Requests served on an already-established keep-alive connection."
+    (keepalive_reused t);
   sample ~typ:"gauge" "lopsided_server_mode"
     "Brownout mode: 0 normal, 1 degraded, 2 critical." mode;
   sample ~typ:"gauge" "lopsided_server_queue_depth" "Requests queued but not yet started."

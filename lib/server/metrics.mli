@@ -47,6 +47,10 @@ val incr_refreshes : t -> unit
 (** [incr_tenant_rejected] — 429s from a full per-tenant bulkhead. *)
 val incr_tenant_rejected : t -> unit
 
+(** [incr_keepalive_reused] — requests served on a reused (keep-alive)
+    connection rather than a fresh accept. *)
+val incr_keepalive_reused : t -> unit
+
 val accepted : t -> int
 val shed : t -> int
 val rate_limited : t -> int
@@ -58,6 +62,7 @@ val stale_served : t -> int
 val skeletons : t -> int
 val refreshes : t -> int
 val tenant_rejected : t -> int
+val keepalive_reused : t -> int
 
 (** {1 Shed-rate window} *)
 

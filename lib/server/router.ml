@@ -1,0 +1,99 @@
+(* Consistent-hash ring over shard ids.
+
+   The point of sharding here is cache locality, not just load
+   spreading: the Service-layer template/model/plan/result caches are
+   per-process, so the same (template, model) key must keep landing on
+   the same backend for its caches to stay warm. A consistent-hash ring
+   with virtual nodes gives that, plus the two properties the cluster
+   machinery leans on: adding or removing one shard remaps only ~1/N of
+   the key space (the rest of the fleet's caches survive a topology
+   change), and failover is a deterministic walk to the next distinct
+   shard clockwise — every front thread agrees where a key goes when its
+   home shard is out, without coordination. *)
+
+type t = {
+  replicas : int;
+  (* sorted by point; each virtual node maps a ring position to a shard *)
+  ring : (int64 * int) array;
+  shards : int list;
+}
+
+(* FNV-1a, 64-bit, with a murmur-style avalanche finalizer. Bare FNV's
+   multiply only carries entropy upward, so strings that differ in their
+   last few characters — exactly what "shard-N/vnode-R" labels do —
+   land with nearly identical high bits, and ring position is decided by
+   the high bits. Without the finalizer each shard's vnodes clump into
+   one arc and the ring degenerates to N segments of arbitrary width.
+   Not a security boundary; just needs dispersion. *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let avalanche h =
+  let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+  let h = Int64.mul h 0xff51afd7ed558ccdL in
+  let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+  let h = Int64.mul h 0xc4ceb9fe1a85ec53L in
+  Int64.logxor h (Int64.shift_right_logical h 33)
+
+let hash64 s =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h fnv_prime)
+    s;
+  avalanche !h
+
+(* Int64 comparison as unsigned: ring points are raw 64-bit hashes. *)
+let ucompare (a : int64) (b : int64) =
+  Int64.unsigned_compare a b
+
+let create ?(replicas = 64) ids =
+  let ids = List.sort_uniq compare ids in
+  let points =
+    List.concat_map
+      (fun id ->
+        List.init replicas (fun r -> (hash64 (Printf.sprintf "shard-%d/vnode-%d" id r), id)))
+      ids
+  in
+  let ring = Array.of_list points in
+  Array.sort (fun (a, _) (b, _) -> ucompare a b) ring;
+  { replicas; ring; shards = ids }
+
+let shards t = t.shards
+
+(* First ring index at or clockwise-after [point] (wrapping). *)
+let successor t point =
+  let n = Array.length t.ring in
+  if n = 0 then invalid_arg "Router.route: empty ring";
+  (* binary search for the first point >= key *)
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let p, _ = t.ring.(mid) in
+    if ucompare p point < 0 then lo := mid + 1 else hi := mid
+  done;
+  if !lo = n then 0 else !lo
+
+let route t key =
+  let i = successor t (hash64 key) in
+  snd t.ring.(i)
+
+let route_excluding t ~exclude key =
+  let n = Array.length t.ring in
+  if n = 0 then None
+  else begin
+    let start = successor t (hash64 key) in
+    (* Walk clockwise until a non-excluded shard appears; bounded by the
+       ring size, and in practice by replicas x excluded shards. *)
+    let rec go i steps =
+      if steps >= n then None
+      else
+        let _, id = t.ring.((start + i) mod n) in
+        if exclude id then go (i + 1) (steps + 1) else Some id
+    in
+    go 0 0
+  end
+
+let add t id = create ~replicas:t.replicas (id :: t.shards)
+let remove t id = create ~replicas:t.replicas (List.filter (fun s -> s <> id) t.shards)

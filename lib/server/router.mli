@@ -1,0 +1,32 @@
+(** Consistent-hash ring mapping request keys to shard ids.
+
+    Virtual-node ring (FNV-1a 64): the same key always routes to the
+    same shard, adding or removing one shard remaps only ~1/N of keys
+    (the rest of the fleet's Service caches stay warm), and failover is
+    a deterministic clockwise walk every caller agrees on. Values are
+    immutable — topology changes build a new ring. *)
+
+type t
+
+val create : ?replicas:int -> int list -> t
+(** [create ids] builds a ring over the given shard ids with [replicas]
+    virtual nodes per shard (default 64). Duplicate ids are collapsed. *)
+
+val shards : t -> int list
+(** The shard ids on the ring, sorted ascending. *)
+
+val route : t -> string -> int
+(** The home shard for a key. Raises [Invalid_argument] on an empty
+    ring. *)
+
+val route_excluding : t -> exclude:(int -> bool) -> string -> int option
+(** The first shard clockwise from the key's ring position for which
+    [exclude] is false — the home shard when healthy, its successor when
+    not. [None] when every shard is excluded. *)
+
+val add : t -> int -> t
+val remove : t -> int -> t
+
+val hash64 : string -> int64
+(** The ring's hash, exposed for tests and for callers that want to
+    pre-hash keys. *)

@@ -12,14 +12,25 @@
        request under a whole-request deadline, then route. Everything
        that can be answered without generation work (health, readiness,
        metrics, rate-limit 429s, quarantine 429s, queue-full 503s) is
-       answered right here and the connection closed. Admitted jobs go
-       into the bounded job queue.
+       answered right here. Admitted jobs go into the bounded job queue.
      workers (OCaml domains, max_inflight of them) — pop, generate via
-       Service.run, answer. A worker that dies (the injected Crash
-       fault, or a genuine bug) is noticed and replaced by the
-       supervisor; the process survives.
+       Service.run (or forward to a shard backend in cluster mode),
+       answer. A worker that dies (the injected Crash fault, or a
+       genuine bug) is noticed and replaced by the supervisor; the
+       process survives.
      supervisor (systhread) — polls worker slots, joins finished
        domains, respawns crashed ones, counts restarts.
+     idle watcher (systhread, keep-alive only) — holds connections
+       between requests so readers never block on an idle socket;
+       readable connections go back to the reader queue, idle-timeout
+       expiries are closed.
+
+   Connections are persistent when keep-alive is enabled: each carries a
+   pooled parse/serialize buffer for its whole life (cleared between
+   requests, never reallocated), pipelined bytes that arrive beyond one
+   request's body are carried to the next parse, and ownership moves
+   reader -> worker -> (reader queue | idle watcher) so exactly one
+   thread touches a connection at a time.
 
    Overload never queues invisibly: the queue has a hard capacity and
    everything beyond it is refused with 503 + Retry-After the moment it
@@ -52,6 +63,9 @@ type config = {
   model : Service.model_source option;
   fault : Fault.config option;
   brownout : Brownout.config option;
+  keepalive : bool;
+  idle_timeout_s : float;
+  max_conn_requests : int;
 }
 
 let default_config =
@@ -74,6 +88,11 @@ let default_config =
     model = None;
     fault = None;
     brownout = None;
+    (* Off by default: one request per connection, exactly the PR-4/5
+       wire behaviour. Clients that read to EOF keep working. *)
+    keepalive = false;
+    idle_timeout_s = 5.;
+    max_conn_requests = 1000;
   }
 
 (* The pseudo-tenant that stale-while-revalidate refresh jobs queue
@@ -82,10 +101,24 @@ let default_config =
    out interactive work. *)
 let refresh_tenant = "~refresh"
 
+(* A live client connection. The buffer is checked out of the pool at
+   accept and travels with the connection until close; [cpending] is
+   pipelined overshoot from the last parse, already received but not yet
+   parsed. Ownership is exclusive: at any moment exactly one of the
+   reader queue, a worker, or the idle watcher holds the connection. *)
+type conn = {
+  cfd : Unix.file_descr;
+  cpeer : string;
+  cbuf : Buffer.t;
+  mutable cpending : string;
+  mutable cserved : int;  (* requests answered on this connection *)
+}
+
 type job = {
-  jfd : Unix.file_descr option;
+  jconn : conn option;
       (* None = background refresh: regenerate and let the service's
          result cache absorb the output; no client is waiting. *)
+  jka : bool;  (* keep the connection open after answering *)
   jreq : Http.request;
   jid : string;
   jarrival : float; (* Clock.now at admission; queue wait counts against the deadline *)
@@ -108,39 +141,51 @@ type slot = {
 type t = {
   config : config;
   svc : Service.t;
+  cluster : Shard.t option;
   model : Service.model_source;
   metrics : Metrics.t;
+  buffers : Buffer_pool.t;
   bucket : Token_bucket.t;
   brownout : Brownout.t option;
   queue : job Fair_queue.t;
-  conns : (Unix.file_descr * Unix.sockaddr) Admission.t;
-      (* accepted-but-unread connections, feeding the reader pool *)
+  conns : conn Admission.t;
+      (* connections with (possible) bytes to read, feeding the readers *)
   busy : int Atomic.t; (* jobs a worker is currently handling *)
   reqno : int Atomic.t;
   sigterm : bool Atomic.t;
+  sighup : bool Atomic.t;
   drain_started : bool Atomic.t;
   is_draining : bool Atomic.t;
   drain_deadline_ns : int Atomic.t; (* 0 = not draining *)
   stop_accept : bool Atomic.t;
   stop_supervisor : bool Atomic.t;
+  stop_watcher : bool Atomic.t;
   is_stopped : bool Atomic.t;
   slots : slot array;
+  idle_mutex : Mutex.t;
+  mutable idle_conns : (conn * float) list;  (* connection, expiry *)
+  idle_wake : Unix.file_descr * Unix.file_descr;
+      (* self-pipe: registering a connection (or stopping) wakes the
+         watcher out of its select immediately *)
   mutable listen_fd : Unix.file_descr option;
   mutable actual_port : int;
   mutable acceptor : Thread.t option;
   mutable readers : Thread.t list;
   mutable supervisor : Thread.t option;
+  mutable watcher : Thread.t option;
 }
 
-let create ?(config = default_config) svc =
+let create ?(config = default_config) ?cluster svc =
   {
     config;
     svc;
+    cluster;
     model =
       (match config.model with
       | Some m -> m
       | None -> Service.Model_value (Awb.Samples.banking_model ()));
     metrics = Metrics.create ();
+    buffers = Buffer_pool.create ();
     bucket = Token_bucket.create ~rate:config.rate ~burst:config.burst;
     brownout = Option.map Brownout.create config.brownout;
     queue = Fair_queue.create ~capacity:config.queue_cap ~tenant_cap:config.tenant_cap;
@@ -151,11 +196,13 @@ let create ?(config = default_config) svc =
     busy = Atomic.make 0;
     reqno = Atomic.make 0;
     sigterm = Atomic.make false;
+    sighup = Atomic.make false;
     drain_started = Atomic.make false;
     is_draining = Atomic.make false;
     drain_deadline_ns = Atomic.make 0;
     stop_accept = Atomic.make false;
     stop_supervisor = Atomic.make false;
+    stop_watcher = Atomic.make false;
     is_stopped = Atomic.make false;
     slots =
       Array.init (max 1 config.max_inflight) (fun _ ->
@@ -165,11 +212,18 @@ let create ?(config = default_config) svc =
             crashed = Atomic.make false;
             retired = Atomic.make false;
           });
+    idle_mutex = Mutex.create ();
+    idle_conns = [];
+    idle_wake =
+      (let r, w = Unix.pipe ~cloexec:true () in
+       Unix.set_nonblock w;
+       (r, w));
     listen_fd = None;
     actual_port = 0;
     acceptor = None;
     readers = [];
     supervisor = None;
+    watcher = None;
   }
 
 let config t = t.config
@@ -178,6 +232,7 @@ let draining t = Atomic.get t.is_draining
 let stopped t = Atomic.get t.is_stopped
 let metrics t = t.metrics
 let service t = t.svc
+let cluster t = t.cluster
 let queue_depth t = Fair_queue.depth t.queue
 let inflight t = Atomic.get t.busy
 
@@ -211,15 +266,147 @@ let current_mode t =
 
 let metrics_body t =
   let m = mode t in
+  let buffers =
+    Printf.sprintf
+      "# HELP lopsided_server_buffers_created_total Pool misses: buffers allocated.\n\
+       # TYPE lopsided_server_buffers_created_total counter\n\
+       lopsided_server_buffers_created_total %d\n\
+       # HELP lopsided_server_buffers_reused_total Pool hits: buffers reused.\n\
+       # TYPE lopsided_server_buffers_reused_total counter\n\
+       lopsided_server_buffers_reused_total %d\n"
+      (Buffer_pool.created t.buffers)
+      (Buffer_pool.reused t.buffers)
+  in
   Service.counters_to_prometheus (Service.counters t.svc)
   ^ Metrics.to_prometheus t.metrics ~mode:(Brownout.mode_index m)
       ~queue_depth:(queue_depth t) ~inflight:(inflight t) ~ready:(ready t) ()
+  ^ buffers
+  ^ (match t.cluster with None -> "" | Some c -> Shard.metrics c)
+
+(* ------------------------------------------------------------------ *)
+(* Connection lifecycle                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* The one place a connection dies: the socket closes and the buffer
+   goes back to the pool. Exclusive ownership makes double-close a
+   logic bug, not a runtime hazard. *)
+let close_conn t conn =
+  close_quiet conn.cfd;
+  Buffer_pool.checkin t.buffers conn.cbuf
+
+(* Wake the watcher out of its select: a byte down the self-pipe. The
+   pipe is non-blocking — a full pipe means wakeups are already queued,
+   so the failure needs no handling. *)
+let idle_wake t =
+  try ignore (Unix.write (snd t.idle_wake) (Bytes.make 1 '!') 0 1)
+  with Unix.Unix_error _ -> ()
+
+(* Park a connection with the idle watcher until bytes arrive or the
+   idle timeout expires. *)
+let idle_register t conn =
+  if Atomic.get t.stop_watcher || Atomic.get t.is_draining then close_conn t conn
+  else begin
+    let expiry = Clock.now () +. t.config.idle_timeout_s in
+    Mutex.lock t.idle_mutex;
+    t.idle_conns <- (conn, expiry) :: t.idle_conns;
+    Mutex.unlock t.idle_mutex;
+    idle_wake t
+  end
+
+(* After a response: recycle a keep-alive connection (already-received
+   pipelined bytes go straight back to the readers; an empty connection
+   parks with the idle watcher), close anything else. *)
+let finish_conn t conn ~ka =
+  conn.cserved <- conn.cserved + 1;
+  if ka && not (Atomic.get t.is_draining) then begin
+    if conn.cpending <> "" then begin
+      match Admission.push t.conns conn with
+      | `Accepted -> ()
+      | `Shed -> close_conn t conn
+    end
+    else idle_register t conn
+  end
+  else close_conn t conn
+
+(* The idle watcher: one select over every parked connection plus the
+   wake pipe, blocking until a socket turns readable, a park/stop pokes
+   the pipe, or the nearest idle expiry lapses. Readable connections
+   rejoin the reader queue immediately (the next request — or EOF — is
+   waiting), expired ones close. Event-driven on purpose: a polling loop
+   would put its tick interval into every sequential keep-alive client's
+   p50. *)
+let watcher_loop t =
+  let wake_r = fst t.idle_wake in
+  let take () =
+    Mutex.lock t.idle_mutex;
+    let l = t.idle_conns in
+    t.idle_conns <- [];
+    Mutex.unlock t.idle_mutex;
+    l
+  in
+  let drain_pipe () =
+    let junk = Bytes.create 64 in
+    let rec go () =
+      match Unix.read wake_r junk 0 64 with
+      | 64 -> go ()
+      | _ -> ()
+      | exception Unix.Unix_error _ -> ()
+    in
+    (* The pipe read blocks when the select woke for a socket, not the
+       pipe — check readability first. *)
+    match Unix.select [ wake_r ] [] [] 0. with
+    | [ _ ], _, _ -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  while not (Atomic.get t.stop_watcher) do
+    let items = take () in
+    let now = Clock.now () in
+    let timeout =
+      List.fold_left (fun acc (_, expiry) -> Float.min acc (expiry -. now)) 0.5 items
+      |> Float.max 0.001
+    in
+    let readable =
+      match Unix.select (wake_r :: List.map (fun (c, _) -> c.cfd) items) [] [] timeout with
+      | r, _, _ -> r
+      | exception (Unix.Unix_error _ | Invalid_argument _) ->
+        (* A bad descriptor poisons the whole select: hand everything
+           back to the readers, whose per-connection reads will sort the
+           live from the dead. *)
+        List.map (fun (c, _) -> c.cfd) items
+    in
+    drain_pipe ();
+    let now = Clock.now () in
+    let keep =
+      List.filter
+        (fun (c, expiry) ->
+          if List.memq c.cfd readable then begin
+            (match Admission.push t.conns c with
+            | `Accepted -> ()
+            | `Shed -> close_conn t c);
+            false
+          end
+          else if now > expiry then begin
+            close_conn t c;
+            false
+          end
+          else true)
+        items
+    in
+    if keep <> [] then begin
+      Mutex.lock t.idle_mutex;
+      t.idle_conns <- keep @ t.idle_conns;
+      Mutex.unlock t.idle_mutex
+    end
+  done;
+  (* Stopped (drain): whatever is still parked closes now. *)
+  List.iter (fun (c, _) -> close_conn t c) (take ())
 
 (* ------------------------------------------------------------------ *)
 (* Responses                                                           *)
 (* ------------------------------------------------------------------ *)
-
-let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
 (* Every response carries the request id (the client's own X-Request-Id
    echoed back, or the generated one) and the service mode, so a client
@@ -229,45 +416,28 @@ let std_headers t ~request_id headers =
   :: ("X-Service-Mode", Brownout.mode_name (current_mode t))
   :: headers
 
-let respond_error t fd ~request_id ~status ?(headers = []) ~code ~message () =
-  Http.write_response fd ~status
+let respond_error t fd ~request_id ~status ?(headers = []) ?(keep_alive = false) ?buf
+    ~code ~message () =
+  Http.write_response fd ~status ~keep_alive ?buf
     ~headers:(std_headers t ~request_id (("Content-Type", "application/json") :: headers))
     ~body:(Http.error_body ~code ~message ~request_id)
     ()
 
-let retry_after s = [ ("Retry-After", string_of_int (max 1 (int_of_float (Float.ceil s)))) ]
+let retry_after = Service_http.retry_after
 
 (* The shed-path Retry-After: how long the queue should take to drain at
-   the recent completion rate, clamped to [1, 30] s. *)
+   the recent completion rate, clamped to [1, 30] s. Used by the 503
+   shed paths and (since PR 7) the rate-limit 429s too — a flat
+   token-bucket constant told a throttled client to hammer again in one
+   second regardless of how deep the backlog actually was. *)
 let retry_after_derived t =
   retry_after
     (Metrics.retry_after_estimate_s t.metrics ~queue_depth:(queue_depth t)
        ~now:(Clock.now ()))
 
-(* The Service error taxonomy, mapped onto HTTP. Resource trips keep
-   their resource:* code in the JSON body so a client can tell a fuel
-   trip from a deadline from a quarantine without parsing prose. *)
-let http_of_error (e : Service.error) =
-  match e with
-  | Service.Template_error m -> (400, "bad-template", m, [])
-  | Service.Model_error m -> (400, "bad-model", m, [])
-  | Service.Generation_failed { code; message; location } ->
-    let message = if location = "" then message else message ^ " at " ^ location in
-    (422, (if code = "" then "generation-failed" else code), message, [])
-  | Service.Resource_exhausted { resource; message } ->
-    (422, Xquery.Errors.resource_code resource, message, [])
-  | Service.Deadline_exceeded { elapsed_s; deadline_s } ->
-    ( 504,
-      "resource:deadline",
-      Printf.sprintf "deadline exceeded: %.1f ms elapsed against a %.1f ms budget"
-        (elapsed_s *. 1000.) (deadline_s *. 1000.),
-      [] )
-  | Service.Quarantined { template; retry_after_s } ->
-    ( 429,
-      "quarantined",
-      Printf.sprintf "template %s is quarantined" template,
-      retry_after retry_after_s )
-  | Service.Internal_error m -> (500, "internal", m, [])
+(* The Service error taxonomy, mapped onto HTTP — shared with the shard
+   backends so both sides of the boundary answer identically. *)
+let http_of_error = Service_http.of_error
 
 (* ------------------------------------------------------------------ *)
 (* Workers                                                             *)
@@ -291,6 +461,19 @@ let parse_engine t req =
   | None -> Ok t.config.default_engine
   | Some n -> Docgen.engine_of_string n
 
+(* The service request for a body, resolving a composite body's inline
+   model (content-hash cached by the service) against the configured
+   fallback. *)
+let service_request t ~engine ?deadline ?level ~id body =
+  let template_xml, model_xml = Composite.split body in
+  let model =
+    match model_xml with
+    | Some xml -> Service.Model_xml { metamodel = Awb.Samples.it_architecture; xml }
+    | None -> t.model
+  in
+  Service.request ~engine ?deadline ?level ~id
+    ~template:(Service.Template_xml template_xml) ~model ()
+
 (* A background stale-while-revalidate refresh: regenerate at Full
    level and let the service's result cache absorb the output. No
    client socket; failures are silent (the stale entry stays until a
@@ -300,91 +483,111 @@ let handle_refresh t (job : job) =
   | Error _ -> ()
   | Ok engine -> (
     let sreq =
-      Service.request ~engine
-        ?deadline:t.config.default_deadline_s
-        ~id:job.jid
-        ~template:(Service.Template_xml job.jreq.Http.body) ~model:t.model ()
+      service_request t ~engine ?deadline:t.config.default_deadline_s ~id:job.jid
+        job.jreq.Http.body
     in
     try ignore (Service.run t.svc sreq) with Fault.Crashed _ as e -> raise e | _ -> ())
 
-(* Serve one admitted job. Always closes the connection; catches its own
-   failures into a 500. The one exception deliberately let through is
-   Fault.Crashed — that is the injected worker death the supervisor
-   test needs to be real. *)
-let handle_client t (job : job) fd =
-  Fun.protect
-    ~finally:(fun () -> close_quiet fd)
-    (fun () ->
-      try
-        match (parse_deadline_ms job.jreq, parse_engine t job.jreq) with
-        | Error m, _ | _, Error m ->
-          respond_error t fd ~request_id:job.jid ~status:400 ~code:"bad-request"
-            ~message:m ()
-        | Ok client_deadline, Ok engine -> (
-          (* The deadline the client asked for covers queue wait: a
-             request that spent its whole budget queued answers 504
-             without burning a generation. Drain tightens further. *)
-          let deadline =
-            let base =
-              match client_deadline with
-              | Some _ as d -> d
-              | None -> t.config.default_deadline_s
-            in
-            let base =
-              Option.map (fun d -> d -. (Clock.now () -. job.jarrival)) base
-            in
-            let drain_ns = Atomic.get t.drain_deadline_ns in
-            if drain_ns = 0 then base
-            else
-              let remaining = Clock.s_of_ns (drain_ns - Clock.now_ns ()) in
-              Some (match base with None -> remaining | Some d -> Float.min d remaining)
-          in
-          match deadline with
-          | Some d when d <= 0. ->
-            respond_error t fd ~request_id:job.jid ~status:504 ~code:"resource:deadline"
-              ~message:"deadline expired while queued" ()
-          | _ -> (
-            let sreq =
-              Service.request ~engine ?deadline ~level:job.jlevel ~id:job.jid
-                ~template:(Service.Template_xml job.jreq.Http.body) ~model:t.model ()
-            in
-            let resp = Service.run t.svc sreq in
-            match resp.Service.result with
-            | Ok out ->
-              if job.jlevel = Docgen.Spec.Skeleton then
-                Metrics.incr_skeletons t.metrics;
-              let headers =
-                std_headers t ~request_id:job.jid
-                  (("Content-Type", "application/xml")
-                  :: ("X-Engine", Docgen.engine_name out.Service.engine_used)
-                  ::
-                  (if job.jlevel = Docgen.Spec.Skeleton then
-                     [ ("X-Degraded", "skeleton") ]
-                   else [])
-                  @
-                  match out.Service.problems with
-                  | [] -> []
-                  | ps -> [ ("X-Problems", string_of_int (List.length ps)) ])
-              in
-              Http.write_response fd ~status:200 ~headers ~body:out.Service.document ()
-            | Error e ->
-              let status, code, message, headers = http_of_error e in
-              respond_error t fd ~request_id:job.jid ~status ~headers ~code ~message ()))
-      with
-      | Fault.Crashed _ as e -> raise e
-      | e ->
-        respond_error t fd ~request_id:job.jid ~status:500 ~code:"internal"
-          ~message:(Printexc.to_string e) ())
+(* Serve one admitted job, then recycle or close the connection. Catches
+   its own failures into a 500. The one exception deliberately let
+   through is Fault.Crashed — that is the injected worker death the
+   supervisor test needs to be real (the connection closes first so the
+   client sees a reset, not a hang). *)
+let handle_client t (job : job) conn =
+  let fd = conn.cfd in
+  let ka = job.jka && not (Atomic.get t.is_draining) in
+  (try
+     match (parse_deadline_ms job.jreq, parse_engine t job.jreq) with
+     | Error m, _ | _, Error m ->
+       respond_error t fd ~request_id:job.jid ~status:400 ~keep_alive:ka ~buf:conn.cbuf
+         ~code:"bad-request" ~message:m ()
+     | Ok client_deadline, Ok engine -> (
+       (* The deadline the client asked for covers queue wait: a
+          request that spent its whole budget queued answers 504
+          without burning a generation. Drain tightens further. *)
+       let deadline =
+         let base =
+           match client_deadline with
+           | Some _ as d -> d
+           | None -> t.config.default_deadline_s
+         in
+         let base = Option.map (fun d -> d -. (Clock.now () -. job.jarrival)) base in
+         let drain_ns = Atomic.get t.drain_deadline_ns in
+         if drain_ns = 0 then base
+         else
+           let remaining = Clock.s_of_ns (drain_ns - Clock.now_ns ()) in
+           Some (match base with None -> remaining | Some d -> Float.min d remaining)
+       in
+       match deadline with
+       | Some d when d <= 0. ->
+         respond_error t fd ~request_id:job.jid ~status:504 ~keep_alive:ka ~buf:conn.cbuf
+           ~code:"resource:deadline" ~message:"deadline expired while queued" ()
+       | _ -> (
+         match t.cluster with
+         | Some cluster ->
+           (* Sharded: forward the raw body — the routing key is its
+              content, exactly what the shard's caches key on. *)
+           let deadline_ms =
+             match deadline with
+             | None -> 0
+             | Some d -> max 1 (int_of_float (Float.ceil (d *. 1000.)))
+           in
+           let status, headers, body =
+             Shard.generate cluster ~id:job.jid
+               ~engine:(Docgen.engine_name engine) ~level:job.jlevel ~deadline_ms
+               ~body:job.jreq.Http.body
+           in
+           if job.jlevel = Docgen.Spec.Skeleton && status = 200 then
+             Metrics.incr_skeletons t.metrics;
+           Http.write_response fd ~status
+             ~headers:(std_headers t ~request_id:job.jid headers)
+             ~keep_alive:ka ~buf:conn.cbuf ~body ()
+         | None -> (
+           let sreq =
+             service_request t ~engine ?deadline ~level:job.jlevel ~id:job.jid
+               job.jreq.Http.body
+           in
+           let resp = Service.run t.svc sreq in
+           match resp.Service.result with
+           | Ok out ->
+             if job.jlevel = Docgen.Spec.Skeleton then Metrics.incr_skeletons t.metrics;
+             let headers =
+               std_headers t ~request_id:job.jid
+                 (("Content-Type", "application/xml")
+                 :: ("X-Engine", Docgen.engine_name out.Service.engine_used)
+                 ::
+                 (if job.jlevel = Docgen.Spec.Skeleton then
+                    [ ("X-Degraded", "skeleton") ]
+                  else [])
+                 @
+                 match out.Service.problems with
+                 | [] -> []
+                 | ps -> [ ("X-Problems", string_of_int (List.length ps)) ])
+             in
+             Http.write_response fd ~status:200 ~headers ~keep_alive:ka ~buf:conn.cbuf
+               ~body:out.Service.document ()
+           | Error e ->
+             let status, code, message, headers = http_of_error e in
+             respond_error t fd ~request_id:job.jid ~status ~headers ~keep_alive:ka
+               ~buf:conn.cbuf ~code ~message ())))
+   with
+   | Fault.Crashed _ as e ->
+     close_conn t conn;
+     raise e
+   | e ->
+     respond_error t fd ~request_id:job.jid ~status:500 ~keep_alive:ka ~buf:conn.cbuf
+       ~code:"internal" ~message:(Printexc.to_string e) ());
+  finish_conn t conn ~ka
 
 let handle_job t (job : job) =
   (match t.config.fault with
   | Some f when Fault.fires f Fault.Crash ~key:job.jid ~attempt:0 ->
-    (match job.jfd with Some fd -> close_quiet fd | None -> ());
+    (match job.jconn with Some conn -> close_conn t conn | None -> ());
     raise (Fault.Crashed ("injected worker crash on " ^ job.jid))
   | _ -> ());
-  match job.jfd with
+  match job.jconn with
   | None -> handle_refresh t job
-  | Some fd -> handle_client t job fd
+  | Some conn -> handle_client t job conn
 
 let rec worker_loop t =
   match Fair_queue.pop t.queue with
@@ -447,7 +650,7 @@ let supervisor_loop t =
   done
 
 (* ------------------------------------------------------------------ *)
-(* Admission and routing (the acceptor)                                *)
+(* Admission and routing (the readers)                                 *)
 (* ------------------------------------------------------------------ *)
 
 let peer_key = function
@@ -471,14 +674,11 @@ let tenant_key peer req =
    enqueues a low-priority background refresh for the entry, unless one
    was claimed recently or the queue has no room (the stale answer
    stands either way). *)
-let try_serve_stale t fd ~id ~tenant (req : Http.request) =
+let try_serve_stale t conn ~ka ~id ~tenant (req : Http.request) =
   match parse_engine t req with
   | Error _ -> false (* the worker path owns the 400 *)
   | Ok engine -> (
-    let sreq =
-      Service.request ~engine ~id ~template:(Service.Template_xml req.Http.body)
-        ~model:t.model ()
-    in
+    let sreq = service_request t ~engine ~id req.Http.body in
     match Service.lookup_result t.svc sreq with
     | None -> false
     | Some (out, age_s) ->
@@ -494,11 +694,13 @@ let try_serve_stale t fd ~id ~tenant (req : Http.request) =
             ("Warning", "110 - \"Response is Stale\"");
           ]
       in
-      Http.write_response fd ~status:200 ~headers ~body:out.Service.document ();
+      Http.write_response conn.cfd ~status:200 ~headers ~keep_alive:ka ~buf:conn.cbuf
+        ~body:out.Service.document ();
       if Service.claim_refresh t.svc sreq then begin
         let refresh =
           {
-            jfd = None;
+            jconn = None;
+            jka = false;
             jreq = req;
             jid = id ^ ".refresh";
             jarrival = Clock.now ();
@@ -512,49 +714,54 @@ let try_serve_stale t fd ~id ~tenant (req : Http.request) =
       end;
       true)
 
-let route t fd peer (req : Http.request) =
+(* Route one parsed request. Inline answers (health, metrics, every
+   refusal) are written here and the connection recycled or closed per
+   [ka]; admitted generate jobs hand the connection to a worker. *)
+let route t conn ~ka (req : Http.request) =
+  let fd = conn.cfd in
+  let inline_response ~status ?(headers = []) body =
+    Http.write_response fd ~status ~headers ~keep_alive:ka ~buf:conn.cbuf ~body ();
+    finish_conn t conn ~ka
+  in
   match (req.Http.meth, req.Http.path) with
   | "GET", "/healthz" ->
     (* Liveness: answers 200 as long as the process serves at all,
        including during drain. *)
-    Http.write_response fd ~status:200
+    inline_response ~status:200
       ~headers:(std_headers t ~request_id:(fresh_id t req) [ ("Content-Type", "text/plain") ])
-      ~body:"ok\n" ();
-    close_quiet fd
+      "ok\n"
   | "GET", "/readyz" ->
     let is_ready = ready t in
-    Http.write_response fd
+    inline_response
       ~status:(if is_ready then 200 else 503)
       ~headers:(std_headers t ~request_id:(fresh_id t req) [ ("Content-Type", "text/plain") ])
-      ~body:(if is_ready then "ready\n" else if draining t then "draining\n" else "shedding\n")
-      ();
-    close_quiet fd
+      (if is_ready then "ready\n" else if draining t then "draining\n" else "shedding\n")
   | "GET", "/metrics" ->
-    let body = metrics_body t in
-    Http.write_response fd ~status:200
+    inline_response ~status:200
       ~headers:
         (std_headers t ~request_id:(fresh_id t req)
            [ ("Content-Type", "text/plain; version=0.0.4") ])
-      ~body ();
-    close_quiet fd
+      (metrics_body t)
   | "POST", "/generate" ->
     let id = fresh_id t req in
-    let tenant = tenant_key peer req in
+    let tenant = tenant_key conn.cpeer req in
     let m = mode t in
     if Atomic.get t.is_draining then begin
       Metrics.incr_shed t.metrics;
       respond_error t fd ~request_id:id ~status:503 ~headers:(retry_after 1.)
-        ~code:"draining" ~message:"server is draining" ();
-      close_quiet fd
+        ~buf:conn.cbuf ~code:"draining" ~message:"server is draining" ();
+      close_conn t conn
     end
-    else if not (Token_bucket.admit t.bucket ~key:peer ~now:(Clock.now ())) then begin
+    else if not (Token_bucket.admit t.bucket ~key:conn.cpeer ~now:(Clock.now ())) then begin
       Metrics.incr_rate_limited t.metrics;
-      respond_error t fd ~request_id:id ~status:429
-        ~headers:(retry_after (Token_bucket.retry_after_s t.bucket))
-        ~code:"rate-limited"
-        ~message:(Printf.sprintf "client %s exceeds %.1f requests/s" peer t.config.rate)
+      (* Derived Retry-After (completion-rate EWMA over the queue), not
+         the token bucket's flat refill constant: when the server is
+         backed up, "come back in 1 s" just re-offers the flood. *)
+      respond_error t fd ~request_id:id ~status:429 ~headers:(retry_after_derived t)
+        ~keep_alive:ka ~buf:conn.cbuf ~code:"rate-limited"
+        ~message:(Printf.sprintf "client %s exceeds %.1f requests/s" conn.cpeer t.config.rate)
         ();
-      close_quiet fd
+      finish_conn t conn ~ka
     end
     else begin
       match Service.quarantine_remaining t.svc ~template_xml:req.Http.body with
@@ -563,11 +770,10 @@ let route t fd peer (req : Http.request) =
            costs a queue slot or a worker. *)
         Metrics.incr_quarantine_429 t.metrics;
         respond_error t fd ~request_id:id ~status:429 ~headers:(retry_after remaining)
-          ~code:"quarantined"
-          ~message:
-            (Printf.sprintf "template is quarantined for another %.1f s" remaining)
+          ~keep_alive:ka ~buf:conn.cbuf ~code:"quarantined"
+          ~message:(Printf.sprintf "template is quarantined for another %.1f s" remaining)
           ();
-        close_quiet fd
+        finish_conn t conn ~ka
       | None ->
         (* Brownout ladder. Degraded/Critical first try a stale cache
            hit — an instant useful answer plus a background refresh.
@@ -578,24 +784,32 @@ let route t fd peer (req : Http.request) =
           match m with
           | Brownout.Normal -> false
           | Brownout.Degraded | Brownout.Critical ->
-            try_serve_stale t fd ~id ~tenant req
+            try_serve_stale t conn ~ka ~id ~tenant req
         in
-        if stale_served then close_quiet fd
+        if stale_served then finish_conn t conn ~ka
         else if m = Brownout.Critical then begin
           Metrics.incr_shed t.metrics;
           Metrics.note_tenant t.metrics ~tenant ~outcome:`Shed;
-          respond_error t fd ~request_id:id ~status:503
-            ~headers:(retry_after_derived t) ~code:"overloaded"
+          respond_error t fd ~request_id:id ~status:503 ~headers:(retry_after_derived t)
+            ~keep_alive:ka ~buf:conn.cbuf ~code:"overloaded"
             ~message:"service is in critical brownout; only cached results are served"
             ();
-          close_quiet fd
+          finish_conn t conn ~ka
         end
         else begin
           let jlevel =
             if m = Brownout.Degraded then Docgen.Spec.Skeleton else Docgen.Spec.Full
           in
           let job =
-            { jfd = Some fd; jreq = req; jid = id; jarrival = Clock.now (); jtenant = tenant; jlevel }
+            {
+              jconn = Some conn;
+              jka = ka;
+              jreq = req;
+              jid = id;
+              jarrival = Clock.now ();
+              jtenant = tenant;
+              jlevel;
+            }
           in
           match Fair_queue.push t.queue ~tenant job with
           | `Accepted ->
@@ -607,53 +821,56 @@ let route t fd peer (req : Http.request) =
             Metrics.incr_tenant_rejected t.metrics;
             Metrics.note_tenant t.metrics ~tenant ~outcome:`Shed;
             respond_error t fd ~request_id:id ~status:429
-              ~headers:(retry_after_derived t) ~code:"tenant-overloaded"
+              ~headers:(retry_after_derived t) ~keep_alive:ka ~buf:conn.cbuf
+              ~code:"tenant-overloaded"
               ~message:
                 (Printf.sprintf "tenant %s has %d requests queued (cap %d)" tenant
                    (Fair_queue.tenant_depth t.queue tenant)
                    (min t.config.queue_cap t.config.tenant_cap))
               ();
-            close_quiet fd
+            finish_conn t conn ~ka
           | `Shed `Queue_full ->
             Metrics.incr_shed t.metrics;
             Metrics.note_tenant t.metrics ~tenant ~outcome:`Shed;
             respond_error t fd ~request_id:id ~status:503
-              ~headers:(retry_after_derived t) ~code:"overloaded"
+              ~headers:(retry_after_derived t) ~keep_alive:ka ~buf:conn.cbuf
+              ~code:"overloaded"
               ~message:
                 (Printf.sprintf "admission queue full (%d waiting)" t.config.queue_cap)
               ();
-            close_quiet fd
+            finish_conn t conn ~ka
         end
     end
   | _, "/healthz" | _, "/readyz" | _, "/metrics" ->
-    Http.write_response fd ~status:405
+    inline_response ~status:405
       ~headers:(std_headers t ~request_id:(fresh_id t req) [])
-      ~body:"" ();
-    close_quiet fd
+      ""
   | _, "/generate" ->
-    Http.write_response fd ~status:405
+    inline_response ~status:405
       ~headers:(std_headers t ~request_id:(fresh_id t req) [ ("Allow", "POST") ])
-      ~body:"" ();
-    close_quiet fd
+      ""
   | _ ->
-    respond_error t fd ~request_id:(fresh_id t req) ~status:404 ~code:"not-found"
-      ~message:(req.Http.meth ^ " " ^ req.Http.path) ();
-    close_quiet fd
+    respond_error t fd ~request_id:(fresh_id t req) ~status:404 ~keep_alive:ka
+      ~buf:conn.cbuf ~code:"not-found" ~message:(req.Http.meth ^ " " ^ req.Http.path) ();
+    finish_conn t conn ~ka
 
-let handle_conn t fd addr =
+let handle_conn t conn =
   (* Whole-request budget: the per-recv socket timeout alone would let a
      drip-feed client (1 byte per just-under-timeout interval) hold this
      reader for timeout x bytes. Twice the io timeout is generous for a
      legitimate client on the small bodies templates are, and bounds how
      long one connection can occupy a reader. *)
   let deadline_ns = Clock.now_ns () + Clock.ns_of_s (2. *. t.config.io_timeout_s) in
+  let pending = conn.cpending in
+  conn.cpending <- "";
   match
-    Http.read_request ~max_body_bytes:t.config.max_body_bytes ~deadline_ns fd
+    Http.read_request ~max_body_bytes:t.config.max_body_bytes ~deadline_ns ~pending
+      ~buf:conn.cbuf conn.cfd
   with
   | exception Http.Bad_request m ->
     Metrics.incr_bad_requests t.metrics;
-    respond_error t fd ~request_id:"-" ~status:400 ~code:"bad-request" ~message:m ();
-    close_quiet fd
+    respond_error t conn.cfd ~request_id:"-" ~status:400 ~code:"bad-request" ~message:m ();
+    close_conn t conn
   | exception
       ( Http.Timeout
       | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _) ) ->
@@ -661,11 +878,20 @@ let handle_conn t fd addr =
        slow-loris or dead client. Cut it off with a clean 408 rather
        than leaving the connection hung. *)
     Metrics.incr_bad_requests t.metrics;
-    Http.write_response fd ~status:408 ~body:"" ();
-    close_quiet fd
-  | exception Unix.Unix_error _ -> close_quiet fd
-  | None -> close_quiet fd
-  | Some req -> route t fd (peer_key addr) req
+    Http.write_response conn.cfd ~status:408 ~body:"" ();
+    close_conn t conn
+  | exception Unix.Unix_error _ -> close_conn t conn
+  | None -> close_conn t conn (* clean EOF: client done with the connection *)
+  | Some (req, leftover) ->
+    conn.cpending <- leftover;
+    if conn.cserved > 0 then Metrics.incr_keepalive_reused t.metrics;
+    let ka =
+      t.config.keepalive
+      && Http.wants_keep_alive req
+      && conn.cserved + 1 < t.config.max_conn_requests
+      && not (Atomic.get t.is_draining)
+    in
+    route t conn ~ka req
 
 (* The reader pool: everything that touches a client socket before
    admission happens here, never on the acceptor. Sized past the worker
@@ -676,8 +902,8 @@ let reader_count config = max 2 config.max_inflight
 let rec reader_loop t =
   match Admission.pop t.conns with
   | None -> ()
-  | Some (fd, addr) ->
-    (try handle_conn t fd addr with _ -> close_quiet fd);
+  | Some conn ->
+    (try handle_conn t conn with _ -> close_conn t conn);
     reader_loop t
 
 (* Trigger-once drain used by both SIGTERM and the public drain. *)
@@ -692,13 +918,14 @@ let rec drain_now t =
     let pending = Fair_queue.flush t.queue in
     List.iter
       (fun job ->
-        match job.jfd with
+        match job.jconn with
         | None -> () (* a background refresh owes nobody an answer *)
-        | Some fd ->
+        | Some conn ->
           Metrics.incr_drained t.metrics;
-          respond_error t fd ~request_id:job.jid ~status:503 ~headers:(retry_after 1.)
-            ~code:"draining" ~message:"server is draining; request was not started" ();
-          close_quiet fd)
+          respond_error t conn.cfd ~request_id:job.jid ~status:503
+            ~headers:(retry_after 1.) ~code:"draining"
+            ~message:"server is draining; request was not started" ();
+          close_conn t conn)
       pending;
     Fair_queue.close t.queue;
     (* In-flight work gets the drain window, enforced by the evaluator
@@ -721,11 +948,21 @@ let rec drain_now t =
     Admission.close t.conns;
     List.iter Thread.join t.readers;
     t.readers <- [];
+    (* Idle keep-alive connections get a clean close. *)
+    Atomic.set t.stop_watcher true;
+    idle_wake t;
+    (match t.watcher with Some th -> Thread.join th | None -> ());
+    t.watcher <- None;
+    close_quiet (fst t.idle_wake);
+    close_quiet (snd t.idle_wake);
     (match t.listen_fd with
     | Some fd ->
       t.listen_fd <- None;
       close_quiet fd
     | None -> ());
+    (* The shard cluster (if any) drains last: in-flight forwards are
+       done, so every backend exits as soon as it finishes its frame. *)
+    (match t.cluster with Some c -> Shard.shutdown c | None -> ());
     Atomic.set t.is_stopped true
   end
   else await t
@@ -734,6 +971,15 @@ and await t = while not (Atomic.get t.is_stopped) do Thread.delay 0.01 done
 
 let drain = drain_now
 
+(* SIGHUP: zero-downtime reload. Sharded mode rolls the backends one at
+   a time (fresh processes, cold caches, no dropped requests);
+   single-process mode clears the compiled-artifact caches and closes
+   every quarantine breaker in place. *)
+let reload t =
+  match t.cluster with
+  | Some c -> Shard.rolling_restart c
+  | None -> Service.reload t.svc
+
 let accept_loop t fd =
   while not (Atomic.get t.stop_accept) do
     if Atomic.get t.sigterm && not (Atomic.get t.drain_started) then
@@ -741,27 +987,38 @@ let accept_loop t fd =
          health checks and shedding /generate while in-flight work
          finishes. *)
       ignore (Thread.create (fun () -> drain_now t) ());
+    if Atomic.compare_and_set t.sighup true false then
+      ignore (Thread.create (fun () -> reload t) ());
     match Unix.accept ~cloexec:true fd with
     | exception
         Unix.Unix_error
           ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT | Unix.EINTR), _, _) ->
       ()
     | exception Unix.Unix_error _ -> if Atomic.get t.stop_accept then () else Thread.delay 0.01
-    | conn, addr ->
+    | fd', addr ->
       (try
-         Unix.setsockopt_float conn Unix.SO_RCVTIMEO t.config.io_timeout_s;
-         Unix.setsockopt_float conn Unix.SO_SNDTIMEO t.config.io_timeout_s
+         Unix.setsockopt_float fd' Unix.SO_RCVTIMEO t.config.io_timeout_s;
+         Unix.setsockopt_float fd' Unix.SO_SNDTIMEO t.config.io_timeout_s
        with Unix.Unix_error _ -> ());
-      (match Admission.push t.conns (conn, addr) with
+      let conn =
+        {
+          cfd = fd';
+          cpeer = peer_key addr;
+          cbuf = Buffer_pool.checkout t.buffers;
+          cpending = "";
+          cserved = 0;
+        }
+      in
+      (match Admission.push t.conns conn with
       | `Accepted -> ()
       | `Shed ->
         (* Every reader is held by a slow client and the backlog is
            full: refuse without reading a byte. The tiny response fits
            any socket buffer, so this write cannot block the acceptor. *)
         Metrics.incr_shed t.metrics;
-        respond_error t conn ~request_id:"-" ~status:503 ~headers:(retry_after 1.)
+        respond_error t fd' ~request_id:"-" ~status:503 ~headers:(retry_after 1.)
           ~code:"overloaded" ~message:"connection backlog full" ();
-        close_quiet conn)
+        close_conn t conn)
   done
 
 let start t =
@@ -786,10 +1043,16 @@ let start t =
   t.readers <-
     List.init (reader_count t.config) (fun _ -> Thread.create (fun () -> reader_loop t) ());
   t.supervisor <- Some (Thread.create (fun () -> supervisor_loop t) ());
+  if t.config.keepalive then
+    t.watcher <- Some (Thread.create (fun () -> watcher_loop t) ());
   t.acceptor <- Some (Thread.create (fun () -> accept_loop t fd) ())
 
 let install_sigterm t =
   Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> Atomic.set t.sigterm true))
+
+let install_sighup t =
+  if not Sys.win32 then
+    Sys.set_signal Sys.sighup (Sys.Signal_handle (fun _ -> Atomic.set t.sighup true))
 
 module Http = Http
 module Token_bucket = Token_bucket
@@ -797,3 +1060,8 @@ module Admission = Admission
 module Metrics = Metrics
 module Brownout = Brownout
 module Fair_queue = Fair_queue
+module Buffer_pool = Buffer_pool
+module Router = Router
+module Shard = Shard
+module Composite = Composite
+module Service_http = Service_http

@@ -19,6 +19,19 @@
       configured default) becomes the evaluator's own deadline, covering
       queue wait; resource errors come back as structured JSON bodies
       carrying the [resource:*] code (422/504).
+    - {b Connection efficiency.} With [keepalive] on, connections are
+      persistent HTTP/1.1: a per-connection request loop with pipelined
+      overshoot carried between parses, one pooled parse/serialize
+      buffer per connection (cleared, never reallocated), responses
+      written head+body in a single [write], and an idle watcher that
+      parks quiet connections so readers only ever touch sockets with
+      bytes. Off by default — one request per connection, exactly the
+      pre-PR-7 wire behaviour.
+    - {b Sharding.} Pass a {!Shard.t} cluster to {!create} and generate
+      bodies are consistent-hash routed to backend worker processes over
+      Unix-domain sockets, keeping each backend's Service caches warm on
+      its slice of the key space. [/metrics] aggregates the shard-labeled
+      expositions; drain shuts the cluster down; [SIGHUP] rolls it.
     - {b Lifecycle.} [SIGTERM] (or {!drain}) stops admitting, answers
       queued requests 503, tightens every in-flight evaluation's
       deadline to the drain deadline via {!Service.preempt_inflight},
@@ -34,6 +47,11 @@ module Admission = Admission
 module Metrics = Metrics
 module Brownout = Brownout
 module Fair_queue = Fair_queue
+module Buffer_pool = Buffer_pool
+module Router = Router
+module Shard = Shard
+module Composite = Composite
+module Service_http = Service_http
 
 type config = {
   host : string;  (** bind address, default ["127.0.0.1"] *)
@@ -60,7 +78,8 @@ type config = {
   max_body_bytes : int;
   default_engine : Docgen.engine;
   model : Service.model_source option;
-      (** the model requests generate against; [None] = banking sample *)
+      (** the model requests generate against when the body carries no
+          inline [<model>] section; [None] = banking sample *)
   fault : Service.Fault.config option;
       (** server-side fault injection; the [Crash] kind and the
           [load_signal] brownout override are read here (the service's
@@ -72,24 +91,41 @@ type config = {
           hits ([Warning: 110], [X-Degraded: stale]) and generates
           skeletons on misses ([X-Degraded: skeleton]); Critical mode
           serves only cache hits and sheds the rest. *)
+  keepalive : bool;
+      (** persistent HTTP/1.1 connections; off (one request per
+          connection) by default *)
+  idle_timeout_s : float;
+      (** keep-alive: close a connection parked this long between
+          requests *)
+  max_conn_requests : int;
+      (** keep-alive: answer at most this many requests per connection,
+          then [Connection: close] — bounds how long one client can pin
+          a pooled buffer *)
 }
 
 val default_config : config
 (** Loopback, ephemeral port, 4 workers, queue 64, no tenant bulkhead,
     rate limiting off, no default deadline, 5 s drain, readyz threshold
     0.9, 2 s socket timeouts, 4 MiB bodies, host engine, banking model,
-    no faults, brownout off. *)
+    no faults, brownout off, keep-alive off (5 s idle, 1000 requests
+    per connection when enabled). *)
 
 type t
 
-val create : ?config:config -> Service.t -> t
+val create : ?config:config -> ?cluster:Shard.t -> Service.t -> t
+(** With [?cluster], generate work is forwarded to the shard backends
+    (the local service still answers stale-cache lookups and brownout
+    checks); the server takes ownership — {!drain} shuts the cluster
+    down. *)
+
 val config : t -> config
 
 val start : t -> unit
-(** Bind, listen, spawn the workers, the readers, the supervisor, and
-    the acceptor; returns once the server is accepting. Also ignores
-    [SIGPIPE] process-wide: a peer that hangs up before its response is
-    written must surface as a catchable [EPIPE], not a fatal signal. *)
+(** Bind, listen, spawn the workers, the readers, the supervisor, the
+    idle watcher (keep-alive only), and the acceptor; returns once the
+    server is accepting. Also ignores [SIGPIPE] process-wide: a peer
+    that hangs up before its response is written must surface as a
+    catchable [EPIPE], not a fatal signal. *)
 
 val port : t -> int
 (** The bound port (useful with [port = 0]). *)
@@ -104,8 +140,9 @@ val drain : t -> unit
     answer everything queued-but-unstarted with 503, let in-flight
     requests run up to [drain_deadline_s] (their evaluator deadlines are
     tightened, so overruns die with a structured [resource:deadline]),
-    then stop every thread and close the listener. Idempotent; blocks
-    until the server is fully stopped. *)
+    close idle keep-alive connections, shut down the shard cluster if
+    one was attached, then stop every thread and close the listener.
+    Idempotent; blocks until the server is fully stopped. *)
 
 val stopped : t -> bool
 
@@ -117,8 +154,19 @@ val install_sigterm : t -> unit
     notices within its poll interval and drains on a separate thread.
     Call at most once per process; the handler owns the signal. *)
 
+val install_sighup : t -> unit
+(** Route [SIGHUP] to {!reload} the same way (flag, acceptor poll,
+    separate thread). *)
+
+val reload : t -> unit
+(** Zero-downtime reload. Sharded: {!Shard.rolling_restart} — backends
+    cycle one at a time with their key slice failing over, no dropped
+    requests. Single-process: {!Service.reload} — compiled-artifact
+    caches cleared, quarantine breakers closed. *)
+
 val metrics : t -> Metrics.t
 val service : t -> Service.t
+val cluster : t -> Shard.t option
 val queue_depth : t -> int
 val inflight : t -> int
 
@@ -133,4 +181,5 @@ val current_mode : t -> Brownout.mode
     the [X-Service-Mode] response header reports. *)
 
 val metrics_body : t -> string
-(** The full [/metrics] payload: service exposition + server exposition. *)
+(** The full [/metrics] payload: service exposition + server exposition
+    (+ the aggregated shard exposition in cluster mode). *)

@@ -1,0 +1,32 @@
+(* The Service error taxonomy mapped onto HTTP, shared by the
+   single-process front end (server.ml) and the shard backends
+   (shard.ml) so a client sees the same status, code, and headers for a
+   given failure whether it was generated locally or behind a shard
+   boundary. *)
+
+let retry_after s = [ ("Retry-After", string_of_int (max 1 (int_of_float (Float.ceil s)))) ]
+
+(* Resource trips keep their resource:* code in the JSON body so a
+   client can tell a fuel trip from a deadline from a quarantine without
+   parsing prose. *)
+let of_error (e : Service.error) =
+  match e with
+  | Service.Template_error m -> (400, "bad-template", m, [])
+  | Service.Model_error m -> (400, "bad-model", m, [])
+  | Service.Generation_failed { code; message; location } ->
+    let message = if location = "" then message else message ^ " at " ^ location in
+    (422, (if code = "" then "generation-failed" else code), message, [])
+  | Service.Resource_exhausted { resource; message } ->
+    (422, Xquery.Errors.resource_code resource, message, [])
+  | Service.Deadline_exceeded { elapsed_s; deadline_s } ->
+    ( 504,
+      "resource:deadline",
+      Printf.sprintf "deadline exceeded: %.1f ms elapsed against a %.1f ms budget"
+        (elapsed_s *. 1000.) (deadline_s *. 1000.),
+      [] )
+  | Service.Quarantined { template; retry_after_s } ->
+    ( 429,
+      "quarantined",
+      Printf.sprintf "template %s is quarantined" template,
+      retry_after retry_after_s )
+  | Service.Internal_error m -> (500, "internal", m, [])

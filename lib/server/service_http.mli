@@ -1,0 +1,9 @@
+(** {!Service.error} mapped onto HTTP, shared by the single-process
+    server and the shard backends so both sides of the shard boundary
+    answer a given failure identically. *)
+
+val retry_after : float -> (string * string) list
+(** A [Retry-After] header, seconds rounded up, at least 1. *)
+
+val of_error : Service.error -> int * string * string * (string * string) list
+(** [(status, code, message, extra_headers)]. *)

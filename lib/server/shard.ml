@@ -1,0 +1,823 @@
+(* Horizontal sharding: one front process, N backend worker processes.
+
+   The front consistent-hash routes each generate body (template +
+   model content — exactly what the Service layer's content-hash caches
+   key on) to a backend over a Unix-domain socket, so every shard's
+   template/model/plan/result caches stay warm on its slice of the key
+   space. Process boundaries, not threads: a backend that dies takes
+   only its own caches with it, the supervisor respawns it, and the
+   router fails the in-flight keys over to ring successors meanwhile.
+
+   Backends are spawned by fork+exec of the host binary itself
+   ([Sys.executable_name] with a [--shard-backend] argv marker and the
+   spec in an environment variable) — never by fork alone, which is not
+   survivable from a multi-domain, multi-thread OCaml front process.
+   Any binary that calls {!maybe_run_backend} first thing in main can
+   host a backend, so the server, the tests, and the bench all spawn
+   clusters without knowing each other's paths.
+
+   Wire protocol (length-prefixed binary, one frame per message):
+
+     frame    = u32 payload-length, payload
+     payload  = op byte, op-specific fields
+     'P' ping     -> 'P'
+     'M' metrics  -> 'M' + prometheus text (shard-labeled)
+     'D' drain    -> 'D' ack; backend finishes in-flight frames and exits 0
+     'G' generate = u8 level, u32 deadline-ms (0 = none),
+                    lp id, lp engine, lp body
+               -> 'G' + u16 status, u16 nheaders, (lp key, lp value)*, lp body
+
+   where lp s = u32 length + bytes. Strings cross the boundary verbatim;
+   there is nothing to escape and nothing to re-parse. *)
+
+let spec_env = "AWBSERVE_SHARD_SPEC"
+let backend_flag = "--shard-backend"
+
+(* ------------------------------------------------------------------ *)
+(* Frame encoding                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let add_u8 b n = Buffer.add_char b (Char.chr (n land 0xff))
+
+let add_u16 b n =
+  add_u8 b (n lsr 8);
+  add_u8 b n
+
+let add_u32 b n =
+  add_u16 b (n lsr 16);
+  add_u16 b n
+
+let add_lp b s =
+  add_u32 b (String.length s);
+  Buffer.add_string b s
+
+exception Protocol_error of string
+
+let perr fmt = Printf.ksprintf (fun m -> raise (Protocol_error m)) fmt
+
+let get_u8 s pos =
+  if !pos >= String.length s then perr "truncated frame";
+  let v = Char.code s.[!pos] in
+  incr pos;
+  v
+
+let get_u16 s pos =
+  let hi = get_u8 s pos in
+  (hi lsl 8) lor get_u8 s pos
+
+let get_u32 s pos =
+  let hi = get_u16 s pos in
+  (hi lsl 16) lor get_u16 s pos
+
+let get_lp s pos =
+  let n = get_u32 s pos in
+  if !pos + n > String.length s then perr "truncated string field";
+  let v = String.sub s !pos n in
+  pos := !pos + n;
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Socket IO                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let send_all fd s =
+  (* unsafe_of_string is sound here: write only reads the buffer, and
+     frames run to hundreds of kilobytes — a defensive copy per send is
+     measurable GC pressure on the per-request path. *)
+  let b = Bytes.unsafe_of_string s in
+  let rec go off =
+    if off < Bytes.length b then begin
+      let n = Unix.write fd b off (Bytes.length b - off) in
+      if n <= 0 then perr "short write";
+      go (off + n)
+    end
+  in
+  go 0
+
+let send_frame fd payload =
+  (* Header and payload go out as two writes rather than one
+     concatenated copy: UDS has no Nagle, and the reader length-prefixes
+     its recvs anyway, so the only effect of concatenation would be
+     duplicating the payload. *)
+  let hdr = Buffer.create 4 in
+  add_u32 hdr (String.length payload);
+  send_all fd (Buffer.contents hdr);
+  send_all fd payload
+
+(* Blocking exact read; EAGAIN from the socket timeout keeps retrying
+   only when [retry_again] says so (the backend uses it to poll its
+   drain flag between frames, never mid-frame). *)
+let recv_exact ?(retry_again = fun () -> true) fd n =
+  let b = Bytes.create n in
+  let rec go off =
+    if off >= n then Bytes.unsafe_to_string b
+    else
+      match Unix.recv fd b off (n - off) [] with
+      | 0 -> raise End_of_file
+      | r -> go (off + r)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+        when retry_again () ->
+        go off
+  in
+  go 0
+
+let max_frame_bytes = 64 * 1024 * 1024
+
+let recv_frame ?retry_again fd =
+  let len_s = recv_exact ?retry_again fd 4 in
+  let len = get_u32 len_s (ref 0) in
+  if len > max_frame_bytes then perr "frame of %d bytes exceeds the limit" len;
+  recv_exact ?retry_again fd len
+
+(* ------------------------------------------------------------------ *)
+(* Generate request / response payloads                                *)
+(* ------------------------------------------------------------------ *)
+
+let level_code = function Docgen.Spec.Full -> 0 | Docgen.Spec.Skeleton -> 1
+let level_of_code = function 1 -> Docgen.Spec.Skeleton | _ -> Docgen.Spec.Full
+
+let encode_generate ~id ~engine ~level ~deadline_ms ~body =
+  let b = Buffer.create (String.length body + 64) in
+  Buffer.add_char b 'G';
+  add_u8 b (level_code level);
+  add_u32 b deadline_ms;
+  add_lp b id;
+  add_lp b engine;
+  add_lp b body;
+  Buffer.contents b
+
+let encode_reply ~status ~headers ~body =
+  let b = Buffer.create (String.length body + 128) in
+  Buffer.add_char b 'G';
+  add_u16 b status;
+  add_u16 b (List.length headers);
+  List.iter
+    (fun (k, v) ->
+      add_lp b k;
+      add_lp b v)
+    headers;
+  add_lp b body;
+  Buffer.contents b
+
+let decode_reply payload =
+  let pos = ref 0 in
+  (match get_u8 payload pos with
+  | c when c = Char.code 'G' -> ()
+  | c -> perr "unexpected reply op %c" (Char.chr c));
+  let status = get_u16 payload pos in
+  let nheaders = get_u16 payload pos in
+  let headers =
+    List.init nheaders (fun _ ->
+        let k = get_lp payload pos in
+        let v = get_lp payload pos in
+        (k, v))
+  in
+  let body = get_lp payload pos in
+  (status, headers, body)
+
+(* ------------------------------------------------------------------ *)
+(* Backend spec (crosses the exec boundary via the environment)        *)
+(* ------------------------------------------------------------------ *)
+
+type spec = {
+  sp_socket : string;
+  sp_id : int;
+  sp_cache_capacity : int;
+  sp_result_cache_cap : int;
+  sp_model : string;  (* "banking" | "glass" | "file:<path>" *)
+}
+
+let spec_to_string sp =
+  String.concat "\n"
+    [
+      "sock=" ^ sp.sp_socket;
+      "id=" ^ string_of_int sp.sp_id;
+      "cache=" ^ string_of_int sp.sp_cache_capacity;
+      "result_cache=" ^ string_of_int sp.sp_result_cache_cap;
+      "model=" ^ sp.sp_model;
+    ]
+
+let spec_of_string s =
+  let kv =
+    String.split_on_char '\n' s
+    |> List.filter_map (fun line ->
+           match String.index_opt line '=' with
+           | None -> None
+           | Some i ->
+             Some
+               ( String.sub line 0 i,
+                 String.sub line (i + 1) (String.length line - i - 1) ))
+  in
+  let get k = try List.assoc k kv with Not_found -> failwith ("shard spec missing " ^ k) in
+  {
+    sp_socket = get "sock";
+    sp_id = int_of_string (get "id");
+    sp_cache_capacity = int_of_string (get "cache");
+    sp_result_cache_cap = int_of_string (get "result_cache");
+    sp_model = get "model";
+  }
+
+let model_of_spec = function
+  | "banking" -> Service.Model_value (Awb.Samples.banking_model ())
+  | "glass" -> Service.Model_value (Awb.Samples.glass_model ())
+  | s when String.length s > 5 && String.sub s 0 5 = "file:" ->
+    let path = String.sub s 5 (String.length s - 5) in
+    let ic = open_in_bin path in
+    let xml =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    Service.Model_xml { metamodel = Awb.Samples.it_architecture; xml }
+  | s -> failwith ("unknown shard model spec " ^ s)
+
+(* ------------------------------------------------------------------ *)
+(* Backend process                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Serve one generate frame against the shard-local service. The model
+   comes from the composite body when present (the cache-locality path)
+   and falls back to the spec's configured model. *)
+let backend_generate svc ~fallback_model payload pos =
+  let level = level_of_code (get_u8 payload pos) in
+  let deadline_ms = get_u32 payload pos in
+  let id = get_lp payload pos in
+  let engine_name = get_lp payload pos in
+  let body = get_lp payload pos in
+  match Docgen.engine_of_string engine_name with
+  | Error m ->
+    encode_reply ~status:400
+      ~headers:[ ("Content-Type", "application/json") ]
+      ~body:(Http.error_body ~code:"bad-request" ~message:m ~request_id:id)
+  | Ok engine -> (
+    let template_xml, model_xml = Composite.split body in
+    let model =
+      match model_xml with
+      | Some xml -> Service.Model_xml { metamodel = Awb.Samples.it_architecture; xml }
+      | None -> fallback_model
+    in
+    let deadline = if deadline_ms = 0 then None else Some (float_of_int deadline_ms /. 1000.) in
+    let sreq =
+      Service.request ~engine ?deadline ~level ~id
+        ~template:(Service.Template_xml template_xml) ~model ()
+    in
+    match (Service.run svc sreq).Service.result with
+    | Ok out ->
+      let headers =
+        ("Content-Type", "application/xml")
+        :: ("X-Engine", Docgen.engine_name out.Service.engine_used)
+        :: (if level = Docgen.Spec.Skeleton then [ ("X-Degraded", "skeleton") ] else [])
+        @
+        match out.Service.problems with
+        | [] -> []
+        | ps -> [ ("X-Problems", string_of_int (List.length ps)) ]
+      in
+      encode_reply ~status:200 ~headers ~body:out.Service.document
+    | Error e ->
+      let status, code, message, headers = Service_http.of_error e in
+      encode_reply ~status
+        ~headers:(("Content-Type", "application/json") :: headers)
+        ~body:(Http.error_body ~code ~message ~request_id:id)
+    | exception e ->
+      encode_reply ~status:500
+        ~headers:[ ("Content-Type", "application/json") ]
+        ~body:
+          (Http.error_body ~code:"internal" ~message:(Printexc.to_string e)
+             ~request_id:id))
+
+let backend_main sp =
+  if not Sys.win32 then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let drain = Atomic.make false in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> Atomic.set drain true));
+  let svc =
+    Service.create
+      ~config:
+        {
+          Service.default_config with
+          Service.cache_capacity = sp.sp_cache_capacity;
+          result_cache_cap = sp.sp_result_cache_cap;
+        }
+      ()
+  in
+  let fallback_model = model_of_spec sp.sp_model in
+  (try Unix.unlink sp.sp_socket with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX sp.sp_socket);
+  Unix.listen listen_fd 64;
+  (try Unix.setsockopt_float listen_fd Unix.SO_RCVTIMEO 0.05 with Unix.Unix_error _ -> ());
+  (* Frames currently being served; drain exits only once this is 0. *)
+  let inflight = Atomic.make 0 in
+  let threads_mutex = Mutex.create () in
+  let threads = ref [] in
+  (* One thread per front connection. Connections are persistent and
+     few (the front pools them), so the thread count stays bounded by
+     the front's concurrency; intra-shard parallelism is not the goal —
+     the shards themselves are the parallel axis. *)
+  let handle_conn fd =
+    (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.05 with Unix.Unix_error _ -> ());
+    let closing = ref false in
+    (try
+       while not !closing do
+         (* Between frames, EAGAIN is the drain poll; an idle draining
+            connection closes here. *)
+         match recv_frame ~retry_again:(fun () -> not (Atomic.get drain)) fd with
+         | exception (End_of_file | Unix.Unix_error _ | Protocol_error _) ->
+           closing := true
+         | payload ->
+           Atomic.incr inflight;
+           let reply =
+             Fun.protect
+               ~finally:(fun () -> Atomic.decr inflight)
+               (fun () ->
+                 let pos = ref 0 in
+                 match Char.chr (get_u8 payload pos) with
+                 | 'P' -> "P"
+                 | 'M' ->
+                   "M"
+                   ^ Service.counters_to_prometheus
+                       ~labels:[ ("shard", string_of_int sp.sp_id) ]
+                       (Service.counters svc)
+                 | 'D' ->
+                   Atomic.set drain true;
+                   closing := true;
+                   "D"
+                 | 'G' -> backend_generate svc ~fallback_model payload pos
+                 | c -> perr "unknown op %c" c)
+           in
+           (try send_frame fd reply with Protocol_error _ | Unix.Unix_error _ -> closing := true)
+       done
+     with _ -> ());
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  while not (Atomic.get drain) do
+    match Unix.accept ~cloexec:true listen_fd with
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT | Unix.EINTR), _, _)
+      ->
+      ()
+    | exception Unix.Unix_error _ -> if not (Atomic.get drain) then Thread.delay 0.01
+    | fd, _ ->
+      let th = Thread.create handle_conn fd in
+      Mutex.lock threads_mutex;
+      threads := th :: !threads;
+      Mutex.unlock threads_mutex
+  done;
+  (* Draining: no new connections; every conn thread exits at its next
+     between-frames poll, after finishing the frame it holds. *)
+  List.iter Thread.join !threads;
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.unlink sp.sp_socket with Unix.Unix_error _ -> ());
+  exit 0
+
+let maybe_run_backend () =
+  if Array.exists (fun a -> a = backend_flag) Sys.argv then begin
+    match Sys.getenv_opt spec_env with
+    | None ->
+      prerr_endline "shard backend: missing spec environment";
+      exit 2
+    | Some s -> backend_main (spec_of_string s)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The front-process cluster                                           *)
+(* ------------------------------------------------------------------ *)
+
+type cluster_config = {
+  shards : int;
+  replicas : int;  (* virtual nodes per shard on the ring *)
+  cache_capacity : int;  (* per-shard artifact cache entries *)
+  result_cache_cap : int;
+  model_spec : string;
+  socket_dir : string option;  (* default: a fresh directory under TMPDIR *)
+  probe_interval_s : float;
+  call_timeout_s : float;  (* response wait with no request deadline *)
+  drain_timeout_s : float;  (* rolling restart: wait for in-flight, then for exit *)
+}
+
+let default_cluster_config =
+  {
+    shards = 4;
+    replicas = 64;
+    cache_capacity = 128;
+    result_cache_cap = 0;
+    model_spec = "banking";
+    socket_dir = None;
+    probe_interval_s = 0.1;
+    call_timeout_s = 300.;
+    drain_timeout_s = 30.;
+  }
+
+type shard = {
+  sid : int;
+  spath : string;
+  mutable spid : int;
+  shealthy : bool Atomic.t;
+  sdraining : bool Atomic.t;
+  sinflight : int Atomic.t;
+  smutex : Mutex.t;
+  mutable sidle : Unix.file_descr list;  (* pooled connections *)
+}
+
+type t = {
+  cfg : cluster_config;
+  dir : string;
+  router : Router.t;
+  members : shard array;
+  failovers : int Atomic.t;
+  restarts : int Atomic.t;
+  reloads : int Atomic.t;
+  stop : bool Atomic.t;
+  mutable probe_thread : Thread.t option;
+}
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let with_pool_lock s f =
+  Mutex.lock s.smutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.smutex) f
+
+let pool_take s =
+  with_pool_lock s (fun () ->
+      match s.sidle with
+      | [] -> None
+      | fd :: rest ->
+        s.sidle <- rest;
+        Some fd)
+
+let pool_put s fd =
+  if Atomic.get s.shealthy then
+    with_pool_lock s (fun () -> s.sidle <- fd :: s.sidle)
+  else close_quiet fd
+
+let pool_clear s =
+  let fds = with_pool_lock s (fun () -> let l = s.sidle in s.sidle <- []; l) in
+  List.iter close_quiet fds
+
+let connect s ~timeout_s =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s;
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.
+   with Unix.Unix_error _ -> ());
+  match Unix.connect fd (Unix.ADDR_UNIX s.spath) with
+  | () -> fd
+  | exception e ->
+    close_quiet fd;
+    raise e
+
+(* One request/response exchange. A pooled connection may be stale
+   (backend restarted since it was pooled): on failure over a pooled
+   conn, retry once over a fresh one before declaring the shard down. *)
+let call t s payload ~timeout_s =
+  let exchange fd =
+    (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s with Unix.Unix_error _ -> ());
+    send_frame fd payload;
+    recv_frame fd
+  in
+  match pool_take s with
+  | Some fd -> (
+    match exchange fd with
+    | reply ->
+      pool_put s fd;
+      reply
+    | exception _ ->
+      close_quiet fd;
+      let fd = connect s ~timeout_s:(Float.min timeout_s t.cfg.call_timeout_s) in
+      (match exchange fd with
+      | reply ->
+        pool_put s fd;
+        reply
+      | exception e ->
+        close_quiet fd;
+        raise e))
+  | None -> (
+    let fd = connect s ~timeout_s in
+    match exchange fd with
+    | reply ->
+      pool_put s fd;
+      reply
+    | exception e ->
+      close_quiet fd;
+      raise e)
+
+let ping t s ~timeout_s =
+  match call t s "P" ~timeout_s with "P" -> true | _ -> false | exception _ -> false
+
+let spawn_backend t s =
+  let sp =
+    {
+      sp_socket = s.spath;
+      sp_id = s.sid;
+      sp_cache_capacity = t.cfg.cache_capacity;
+      sp_result_cache_cap = t.cfg.result_cache_cap;
+      sp_model = t.cfg.model_spec;
+    }
+  in
+  let exe = Sys.executable_name in
+  let env =
+    Array.append
+      (Array.of_list
+         (List.filter
+            (fun kv -> not (String.length kv > 18 && String.sub kv 0 18 = spec_env ^ "="))
+            (Array.to_list (Unix.environment ()))))
+      [| spec_env ^ "=" ^ spec_to_string sp |]
+  in
+  let pid =
+    Unix.create_process_env exe [| exe; backend_flag |] env Unix.stdin Unix.stdout
+      Unix.stderr
+  in
+  s.spid <- pid
+
+let wait_healthy t s ~timeout_s =
+  let deadline = Clock.now () +. timeout_s in
+  let rec go () =
+    if ping t s ~timeout_s:1. then begin
+      Atomic.set s.shealthy true;
+      true
+    end
+    else if Clock.now () > deadline then false
+    else begin
+      Thread.delay 0.02;
+      go ()
+    end
+  in
+  go ()
+
+(* Reap and respawn dead backends; re-probe unhealthy ones. Runs every
+   [probe_interval_s]; a shard being rolled (sdraining) is left alone —
+   rolling_restart owns its lifecycle. *)
+let probe_loop t =
+  while not (Atomic.get t.stop) do
+    Thread.delay t.cfg.probe_interval_s;
+    if not (Atomic.get t.stop) then
+      Array.iter
+        (fun s ->
+          if not (Atomic.get s.sdraining) then begin
+            (match Unix.waitpid [ Unix.WNOHANG ] s.spid with
+            | 0, _ -> ()
+            | _ ->
+              (* The backend died (crash, OOM, kill -9). Everything it
+                 held is gone; respawn and let the ring's failover cover
+                 its keys until it answers pings again. *)
+              Atomic.set s.shealthy false;
+              pool_clear s;
+              if not (Atomic.get t.stop) then begin
+                Atomic.incr t.restarts;
+                spawn_backend t s
+              end
+            | exception Unix.Unix_error _ -> ());
+            if not (Atomic.get s.shealthy) && ping t s ~timeout_s:1. then
+              Atomic.set s.shealthy true
+          end)
+        t.members
+  done
+
+let start ?(config = default_cluster_config) () =
+  (* The front writes to backend sockets that can die at any moment
+     (that's the whole failover story); a write to a killed backend must
+     surface as EPIPE, not terminate the process. Server.start also sets
+     this, but Shard.start must be safe standalone (tests, embedding). *)
+  if not Sys.win32 then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let dir =
+    match config.socket_dir with
+    | Some d ->
+      if not (Sys.file_exists d) then Unix.mkdir d 0o700;
+      d
+    | None ->
+      let d =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "awb-shards-%d" (Unix.getpid ()))
+      in
+      if not (Sys.file_exists d) then Unix.mkdir d 0o700;
+      d
+  in
+  let n = max 1 config.shards in
+  let members =
+    Array.init n (fun i ->
+        {
+          sid = i;
+          spath = Filename.concat dir (Printf.sprintf "shard-%d.sock" i);
+          spid = -1;
+          shealthy = Atomic.make false;
+          sdraining = Atomic.make false;
+          sinflight = Atomic.make 0;
+          smutex = Mutex.create ();
+          sidle = [];
+        })
+  in
+  let t =
+    {
+      cfg = config;
+      dir;
+      router = Router.create ~replicas:config.replicas (List.init n (fun i -> i));
+      members;
+      failovers = Atomic.make 0;
+      restarts = Atomic.make 0;
+      reloads = Atomic.make 0;
+      stop = Atomic.make false;
+      probe_thread = None;
+    }
+  in
+  Array.iter (fun s -> spawn_backend t s) members;
+  Array.iter
+    (fun s ->
+      if not (wait_healthy t s ~timeout_s:15.) then
+        failwith (Printf.sprintf "shard %d did not come up" s.sid))
+    members;
+  t.probe_thread <- Some (Thread.create (fun () -> probe_loop t) ());
+  t
+
+let shard_count t = Array.length t.members
+let failovers t = Atomic.get t.failovers
+let restarts t = Atomic.get t.restarts
+let reloads t = Atomic.get t.reloads
+let pids t = Array.map (fun s -> s.spid) t.members
+let healthy_count t =
+  Array.fold_left (fun acc s -> if Atomic.get s.shealthy then acc + 1 else acc) 0 t.members
+
+(* Route and forward one generate. Failover: a shard that errors
+   mid-exchange is marked unhealthy (the probe thread restores it) and
+   the request retries on the next ring successor — safe because
+   generation is read-only. The response is (status, headers, body),
+   ready for the front end to decorate and write. *)
+let generate t ~id ~engine ~level ~deadline_ms ~body =
+  let timeout_s =
+    if deadline_ms = 0 then t.cfg.call_timeout_s
+    else Float.min t.cfg.call_timeout_s ((float_of_int deadline_ms /. 1000.) +. 5.)
+  in
+  let payload = encode_generate ~id ~engine ~level ~deadline_ms ~body in
+  (* Route on the model section, digested: the ring must see the same
+     key for every request against the same model regardless of
+     template, and the FNV ring hash walks its input byte by byte in
+     boxed Int64 arithmetic — feeding it a raw multi-hundred-kilobyte
+     body costs milliseconds per request where a 16-byte MD5 is free. *)
+  let route_key =
+    match Composite.split body with
+    | _, Some model -> Digest.string model
+    | _, None -> body
+  in
+  let failed = Array.make (Array.length t.members) false in
+  let excluded sid =
+    failed.(sid)
+    || (not (Atomic.get t.members.(sid).shealthy))
+    || Atomic.get t.members.(sid).sdraining
+  in
+  let rec attempt tries =
+    match Router.route_excluding t.router ~exclude:excluded route_key with
+    | None ->
+      ( 503,
+        ("Content-Type", "application/json") :: Service_http.retry_after 1.,
+        Http.error_body ~code:"no-shards" ~message:"no healthy shard available"
+          ~request_id:id )
+    | Some sid -> (
+      let s = t.members.(sid) in
+      Atomic.incr s.sinflight;
+      let reply =
+        Fun.protect
+          ~finally:(fun () -> Atomic.decr s.sinflight)
+          (fun () -> try Ok (call t s payload ~timeout_s) with e -> Error e)
+      in
+      match reply with
+      | Ok reply -> decode_reply reply
+      | Error _ ->
+        Atomic.set s.shealthy false;
+        pool_clear s;
+        failed.(sid) <- true;
+        Atomic.incr t.failovers;
+        if tries + 1 >= Array.length t.members then
+          ( 503,
+            ("Content-Type", "application/json") :: Service_http.retry_after 1.,
+            Http.error_body ~code:"no-shards" ~message:"every shard failed"
+              ~request_id:id )
+        else attempt (tries + 1))
+  in
+  attempt 0
+
+(* Aggregated /metrics: each shard's exposition arrives already
+   shard-labeled on its sample lines; concatenating them repeats the
+   HELP/TYPE metadata, which is deduplicated here (first one wins). *)
+let dedup_metadata text =
+  let seen = Hashtbl.create 64 in
+  String.split_on_char '\n' text
+  |> List.filter (fun line ->
+         if String.length line > 0 && line.[0] = '#' then
+           if Hashtbl.mem seen line then false
+           else begin
+             Hashtbl.add seen line ();
+             true
+           end
+         else true)
+  |> String.concat "\n"
+
+let metrics t =
+  let parts =
+    Array.to_list t.members
+    |> List.filter_map (fun s ->
+           if not (Atomic.get s.shealthy) then None
+           else
+             match call t s "M" ~timeout_s:2. with
+             | reply when String.length reply > 0 && reply.[0] = 'M' ->
+               Some (String.sub reply 1 (String.length reply - 1))
+             | _ -> None
+             | exception _ -> None)
+  in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (dedup_metadata (String.concat "" parts));
+  Buffer.add_string b "# HELP lopsided_shard_healthy 1 when the shard answers pings.\n";
+  Buffer.add_string b "# TYPE lopsided_shard_healthy gauge\n";
+  Array.iter
+    (fun s ->
+      Buffer.add_string b
+        (Printf.sprintf "lopsided_shard_healthy{shard=\"%d\"} %d\n" s.sid
+           (if Atomic.get s.shealthy then 1 else 0)))
+    t.members;
+  let counter name help v =
+    Buffer.add_string b (Printf.sprintf "# HELP %s %s\n# TYPE %s counter\n%s %d\n" name help name name v)
+  in
+  counter "lopsided_shard_failovers_total"
+    "Generates re-routed to a ring successor after a shard failed." (failovers t);
+  counter "lopsided_shard_restarts_total"
+    "Backend processes respawned by the supervisor after dying." (restarts t);
+  counter "lopsided_shard_reloads_total"
+    "Backend processes cycled by a rolling restart." (reloads t);
+  Buffer.contents b
+
+let wait_exit ?(timeout_s = 10.) pid =
+  let deadline = Clock.now () +. timeout_s in
+  let rec go () =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ ->
+      if Clock.now () > deadline then false
+      else begin
+        Thread.delay 0.01;
+        go ()
+      end
+    | _ -> true
+    | exception Unix.Unix_error _ -> true
+  in
+  go ()
+
+let send_drain s =
+  (* Best effort over a fresh connection: pooled conns may be held by
+     in-flight exchanges on other threads. *)
+  match connect s ~timeout_s:2. with
+  | fd ->
+    (try
+       send_frame fd "D";
+       ignore (recv_frame fd)
+     with _ -> ());
+    close_quiet fd
+  | exception _ -> ()
+
+let kill_quiet pid signal = try Unix.kill pid signal with Unix.Unix_error _ -> ()
+
+let stop_backend t s =
+  send_drain s;
+  pool_clear s;
+  if not (wait_exit ~timeout_s:t.cfg.drain_timeout_s s.spid) then begin
+    kill_quiet s.spid Sys.sigterm;
+    if not (wait_exit ~timeout_s:2. s.spid) then begin
+      kill_quiet s.spid Sys.sigkill;
+      ignore (wait_exit ~timeout_s:2. s.spid)
+    end
+  end
+
+(* Zero-downtime reload: cycle one shard at a time. While a shard is
+   down its keys fail over to ring successors (~1/N of traffic sees a
+   cold cache, briefly); the rest of the fleet keeps its warm caches.
+   Each old process finishes its in-flight work before exiting: routing
+   stops first, then we wait for the front-side in-flight count to hit
+   zero, and the backend's own drain finishes any frame already on a
+   connection. *)
+let rolling_restart t =
+  Array.iter
+    (fun s ->
+      Atomic.set s.sdraining true;
+      (* New requests stopped routing here the instant sdraining went
+         true; wait for the ones already being exchanged. *)
+      let deadline = Clock.now () +. t.cfg.drain_timeout_s in
+      while Atomic.get s.sinflight > 0 && Clock.now () < deadline do
+        Thread.delay 0.01
+      done;
+      Atomic.set s.shealthy false;
+      stop_backend t s;
+      spawn_backend t s;
+      Atomic.incr t.reloads;
+      ignore (wait_healthy t s ~timeout_s:15.);
+      Atomic.set s.sdraining false)
+    t.members
+
+let shutdown t =
+  if Atomic.compare_and_set t.stop false true then begin
+    (match t.probe_thread with Some th -> Thread.join th | None -> ());
+    t.probe_thread <- None;
+    Array.iter
+      (fun s ->
+        Atomic.set s.sdraining true;
+        Atomic.set s.shealthy false;
+        stop_backend t s;
+        try Unix.unlink s.spath with Unix.Unix_error _ | Sys_error _ -> ())
+      t.members;
+    try Unix.rmdir t.dir with Unix.Unix_error _ | Sys_error _ -> ()
+  end

@@ -1,0 +1,97 @@
+(** Multi-process sharded serving: a front process consistent-hash
+    routes generate bodies to N backend worker processes over
+    Unix-domain sockets, so each backend's Service-layer caches stay
+    warm on its slice of the (template, model) key space.
+
+    Backends are spawned by fork+exec of the host binary with a
+    [--shard-backend] argv marker (never bare fork — the front is
+    multi-domain and multi-thread). Any executable that calls
+    {!maybe_run_backend} first thing in main can host a backend. The
+    wire protocol is length-prefixed binary frames: ping, metrics,
+    drain, and generate (level, deadline, id, engine, body →
+    status, headers, body). *)
+
+val maybe_run_backend : unit -> unit
+(** When the process was exec'd as a shard backend (the
+    [--shard-backend] argv marker is present), run the backend serve
+    loop and [exit 0] on drain — never returns in that case. A no-op
+    otherwise. Call before any argument parsing in every binary that
+    may spawn a cluster. *)
+
+(** {1 Cluster (front process side)} *)
+
+type cluster_config = {
+  shards : int;
+  replicas : int;  (** virtual nodes per shard on the consistent-hash ring *)
+  cache_capacity : int;  (** per-shard Service artifact-cache entries *)
+  result_cache_cap : int;  (** per-shard stale-while-revalidate cache *)
+  model_spec : string;
+      (** the backend's fallback model when a body carries none:
+          ["banking"], ["glass"], or ["file:<path>"] (imported with the
+          IT-architecture metamodel) *)
+  socket_dir : string option;
+      (** where the [shard-N.sock] files live; [None] = a fresh
+          directory under the system temp dir *)
+  probe_interval_s : float;  (** supervisor poll cadence *)
+  call_timeout_s : float;  (** response wait when a request has no deadline *)
+  drain_timeout_s : float;
+      (** rolling restart: max wait for in-flight work, then for exit *)
+}
+
+val default_cluster_config : cluster_config
+(** 4 shards, 64 replicas, cache 128, result cache off, banking model,
+    temp socket dir, 100 ms probes, 300 s call timeout, 30 s drain. *)
+
+type t
+
+val start : ?config:cluster_config -> unit -> t
+(** Spawn the backends, wait until every one answers pings, and start
+    the supervisor (reaps dead backends, respawns them, restores their
+    health once they ping again). Raises [Failure] if a backend never
+    comes up. *)
+
+val generate :
+  t ->
+  id:string ->
+  engine:string ->
+  level:Docgen.Spec.level ->
+  deadline_ms:int ->
+  body:string ->
+  int * (string * string) list * string
+(** Route the body to its home shard and forward; returns
+    [(status, headers, body)] for the front end to decorate and write.
+    [deadline_ms = 0] means no deadline. On a shard failure the request
+    fails over to ring successors (generation is read-only, so the
+    retry is safe); only when every shard is down does the client see a
+    [503 no-shards]. *)
+
+val metrics : t -> string
+(** Aggregated Prometheus exposition: every healthy shard's
+    shard-labeled service counters (HELP/TYPE deduplicated) plus
+    cluster-level health gauges and the failover/restart/reload
+    counters. *)
+
+val rolling_restart : t -> unit
+(** Zero-downtime reload: cycle shards one at a time — stop routing to
+    the shard, wait for its in-flight work, ask it to drain (it
+    finishes any frame it holds and exits 0), respawn, wait healthy,
+    resume routing. At most ~1/N of the key space fails over at any
+    moment; counted in {!reloads}. *)
+
+val shutdown : t -> unit
+(** Drain and reap every backend, stop the supervisor, remove the
+    socket files. Idempotent. *)
+
+val shard_count : t -> int
+val healthy_count : t -> int
+val failovers : t -> int
+(** Generates re-routed after a shard failure. *)
+
+val restarts : t -> int
+(** Backends respawned by the supervisor after dying. *)
+
+val reloads : t -> int
+(** Backends cycled by {!rolling_restart}. *)
+
+val pids : t -> int array
+(** Current backend process ids, by shard (tests kill these). *)

@@ -154,7 +154,8 @@ let test_http_parse_basics () =
          Content-Length: 5\r\n\r\nhello" ]
   with
   | None -> Alcotest.fail "no request parsed"
-  | Some req ->
+  | Some (req, leftover) ->
+    check string_t "no overshoot" "" leftover;
     check string_t "method" "POST" req.Server.Http.meth;
     check string_t "path" "/generate" req.Server.Http.path;
     check (Alcotest.option string_t) "query decoded" (Some "a b")
@@ -166,20 +167,26 @@ let test_http_parse_basics () =
     check string_t "body" "hello" req.Server.Http.body
 
 let test_http_parse_split_terminator () =
-  (* \r\n\r\n arrives across two reads; body rides with the second. *)
+  (* \r\n\r\n arrives across two reads; bytes past the request are a
+     pipelined next request carried out as overshoot, not an error.
+     (Pre-keep-alive this was rejected with 400 — and a second request
+     sharing the first's TCP segment was silently dropped.) *)
   match
     parse_via_socketpair
-      [ "GET /healthz HTTP/1.1\r\nHost: t\r"; "\n\r\nleftover-must-error" ]
+      [ "GET /healthz HTTP/1.1\r\nHost: t\r"; "\n\r\nGET /metrics HTTP/1.1\r\n\r\n" ]
   with
-  | exception Server.Http.Bad_request _ -> ()
-  | _ -> Alcotest.fail "body bytes without Content-Length accepted"
+  | None -> Alcotest.fail "no request parsed"
+  | Some (req, leftover) ->
+    check string_t "path" "/healthz" req.Server.Http.path;
+    check string_t "pipelined overshoot carried" "GET /metrics HTTP/1.1\r\n\r\n" leftover
 
 let test_http_parse_split_clean () =
   match parse_via_socketpair [ "GET /metrics HTTP/1.1\r\nHost: t\r"; "\n\r\n" ] with
   | None -> Alcotest.fail "no request parsed"
-  | Some req ->
+  | Some (req, leftover) ->
     check string_t "path" "/metrics" req.Server.Http.path;
-    check string_t "empty body" "" req.Server.Http.body
+    check string_t "empty body" "" req.Server.Http.body;
+    check string_t "no overshoot" "" leftover
 
 let test_http_parse_rejections () =
   let expect_bad label writes =
@@ -1071,6 +1078,199 @@ let test_e2e_tenant_bulkhead () =
         (Astring.String.is_infix
            ~affix:"lopsided_server_tenant_served_total{tenant=\"quiet\"}" m.rbody))
 
+(* ------------------------------------------------------------------ *)
+(* Keep-alive end-to-end                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A persistent-connection client: each exchange reads exactly one
+   response (head to the blank line, then Content-Length bytes) so the
+   socket survives for the next request — reading to EOF, as [request]
+   does, only works when the server closes per request. *)
+let pc_connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+let pc_send fd data =
+  let bytes = Bytes.of_string data in
+  let rec send off =
+    if off < Bytes.length bytes then
+      send (off + Unix.write fd bytes off (Bytes.length bytes - off))
+  in
+  send 0
+
+let pc_request ?(headers = []) meth path body =
+  Printf.sprintf "%s %s HTTP/1.1\r\nHost: t\r\n%sContent-Length: %d\r\n\r\n%s" meth path
+    (String.concat "" (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) headers))
+    (String.length body) body
+
+(* Reads one full response off [fd]; [pending] carries overshoot from a
+   previous read on the same socket. Returns (reply, pending'). *)
+let pc_read_response fd pending =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf !pending;
+  let chunk = Bytes.create 4096 in
+  let find_terminator () =
+    let s = Buffer.contents buf in
+    let n = String.length s in
+    let rec go i =
+      if i + 3 >= n then None
+      else if s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n'
+      then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let rec read_head () =
+    match find_terminator () with
+    | Some i -> i
+    | None ->
+      let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+      if n = 0 then Alcotest.fail "connection closed mid-response";
+      Buffer.add_subbytes buf chunk 0 n;
+      read_head ()
+  in
+  let head_end = read_head () in
+  let s = Buffer.contents buf in
+  let head = String.sub s 0 head_end in
+  let clen =
+    String.split_on_char '\n' head
+    |> List.fold_left
+         (fun acc line ->
+           let line = String.trim line in
+           match String.index_opt line ':' with
+           | Some i
+             when String.lowercase_ascii (String.sub line 0 i) = "content-length" ->
+             int_of_string (String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+           | _ -> acc)
+         0
+  in
+  let body_start = head_end + 4 in
+  let rec read_body () =
+    if Buffer.length buf < body_start + clen then begin
+      let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+      if n = 0 then Alcotest.fail "connection closed mid-body";
+      Buffer.add_subbytes buf chunk 0 n;
+      read_body ()
+    end
+  in
+  read_body ();
+  let s = Buffer.contents buf in
+  pending := String.sub s (body_start + clen) (String.length s - body_start - clen);
+  parse_reply (String.sub s 0 (body_start + clen))
+
+let ka_config =
+  { Server.default_config with Server.keepalive = true; idle_timeout_s = 5. }
+
+let test_e2e_keepalive_reuse () =
+  with_server ~config:ka_config (fun srv port ->
+      let fd = pc_connect port in
+      let pending = ref "" in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          pc_send fd (pc_request "POST" "/generate" users_tpl);
+          let r1 = pc_read_response fd pending in
+          check int_t "first 200" 200 r1.status;
+          check (Alcotest.option Alcotest.string) "keep-alive advertised"
+            (Some "keep-alive") (rheader r1 "connection");
+          pc_send fd (pc_request "GET" "/healthz" "");
+          let r2 = pc_read_response fd pending in
+          check int_t "second 200 on same socket" 200 r2.status;
+          check bool_t "reuse counted" true
+            (Server.Metrics.keepalive_reused (Server.metrics srv) >= 1)))
+
+let test_e2e_pipelined_same_segment () =
+  (* Both requests land in one TCP segment; the server must parse the
+     second out of the read-ahead instead of dropping it. *)
+  with_server ~config:ka_config (fun _srv port ->
+      let fd = pc_connect port in
+      let pending = ref "" in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          pc_send fd
+            (pc_request "POST" "/generate" users_tpl ^ pc_request "GET" "/healthz" "");
+          let r1 = pc_read_response fd pending in
+          let r2 = pc_read_response fd pending in
+          check int_t "pipelined first" 200 r1.status;
+          check int_t "pipelined second" 200 r2.status))
+
+let test_e2e_connection_close_honored () =
+  with_server ~config:ka_config (fun _srv port ->
+      let fd = pc_connect port in
+      let pending = ref "" in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          pc_send fd (pc_request ~headers:[ ("Connection", "close") ] "GET" "/healthz" "");
+          let r = pc_read_response fd pending in
+          check int_t "close request served" 200 r.status;
+          check (Alcotest.option Alcotest.string) "close echoed" (Some "close")
+            (rheader r "connection");
+          let b = Bytes.create 1 in
+          check int_t "server closed the socket" 0 (Unix.read fd b 0 1)))
+
+let test_e2e_idle_timeout_closes () =
+  with_server
+    ~config:{ ka_config with Server.idle_timeout_s = 0.15 }
+    (fun _srv port ->
+      let fd = pc_connect port in
+      let pending = ref "" in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          pc_send fd (pc_request "GET" "/healthz" "");
+          let r = pc_read_response fd pending in
+          check int_t "served before idling" 200 r.status;
+          (* Linger past the idle budget: the watcher must close us. *)
+          let b = Bytes.create 1 in
+          let deadline = Clock.now () +. 3. in
+          let rec wait_eof () =
+            match Unix.read fd b 0 1 with
+            | 0 -> ()
+            | _ -> if Clock.now () < deadline then wait_eof () else Alcotest.fail "no EOF"
+            | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ()
+          in
+          wait_eof ()))
+
+let test_e2e_max_conn_requests_cap () =
+  with_server
+    ~config:{ ka_config with Server.max_conn_requests = 2 }
+    (fun _srv port ->
+      let fd = pc_connect port in
+      let pending = ref "" in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          pc_send fd (pc_request "GET" "/healthz" "");
+          let r1 = pc_read_response fd pending in
+          check (Alcotest.option Alcotest.string) "first keeps alive" (Some "keep-alive")
+            (rheader r1 "connection");
+          pc_send fd (pc_request "GET" "/healthz" "");
+          let r2 = pc_read_response fd pending in
+          check (Alcotest.option Alcotest.string) "cap closes politely" (Some "close")
+            (rheader r2 "connection");
+          let b = Bytes.create 1 in
+          check int_t "socket closed at cap" 0 (Unix.read fd b 0 1)))
+
+let test_e2e_rate_limit_retry_after_derived () =
+  (* The 429's Retry-After must come from the drain-rate estimate —
+     bounded to its [1, 30] clamp — rather than any fixed constant. *)
+  with_server
+    ~config:{ Server.default_config with Server.rate = 1.; burst = 1. }
+    (fun _srv port ->
+      ignore (request ~port "POST" "/generate" users_tpl);
+      let r = request ~port "POST" "/generate" users_tpl in
+      check int_t "rate limited" 429 r.status;
+      match rheader r "retry-after" with
+      | None -> Alcotest.fail "429 without Retry-After"
+      | Some v -> (
+        match int_of_string_opt (String.trim v) with
+        | None -> Alcotest.failf "non-numeric Retry-After %S" v
+        | Some s ->
+          check bool_t "estimate within clamp" true (s >= 1 && s <= 30)))
+
 let suite =
   [
     ( "server",
@@ -1120,5 +1320,17 @@ let suite =
         Alcotest.test_case "e2e brownout off is inert" `Quick
           test_e2e_brownout_off_is_inert;
         Alcotest.test_case "e2e per-tenant bulkhead" `Quick test_e2e_tenant_bulkhead;
+        Alcotest.test_case "e2e keep-alive reuses the connection" `Quick
+          test_e2e_keepalive_reuse;
+        Alcotest.test_case "e2e pipelined requests in one segment" `Quick
+          test_e2e_pipelined_same_segment;
+        Alcotest.test_case "e2e Connection: close honored" `Quick
+          test_e2e_connection_close_honored;
+        Alcotest.test_case "e2e idle keep-alive connection reaped" `Quick
+          test_e2e_idle_timeout_closes;
+        Alcotest.test_case "e2e max requests per connection cap" `Quick
+          test_e2e_max_conn_requests_cap;
+        Alcotest.test_case "e2e 429 Retry-After from drain estimate" `Quick
+          test_e2e_rate_limit_retry_after_derived;
       ] );
   ]

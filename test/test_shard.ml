@@ -1,0 +1,186 @@
+(* Consistent-hash sharded serving: ring behavior as pure unit tests,
+   then live clusters — spawned by re-exec'ing this very test binary
+   (test_main calls [Server.Shard.maybe_run_backend] first thing) — for
+   failover and rolling-restart coverage. *)
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let bool_t = Alcotest.bool
+
+module Router = Server.Router
+module Shard = Server.Shard
+
+(* ------------------------------------------------------------------ *)
+(* Ring units                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let keys n = List.init n (fun i -> Printf.sprintf "key-%d-%d" i (i * 7919))
+
+let test_ring_deterministic () =
+  let r1 = Router.create [ 0; 1; 2; 3 ] in
+  let r2 = Router.create [ 3; 2; 1; 0 ] in
+  List.iter
+    (fun k -> check int_t "order-independent placement" (Router.route r1 k) (Router.route r2 k))
+    (keys 500)
+
+let test_ring_balance () =
+  let r = Router.create [ 0; 1; 2; 3 ] in
+  let counts = Array.make 4 0 in
+  List.iter (fun k -> counts.(Router.route r k) <- counts.(Router.route r k) + 1) (keys 2000);
+  Array.iteri
+    (fun i c ->
+      (* 2000 keys over 4 shards with 64 vnodes each: no shard should be
+         starved or hoarding. The bound is loose — it catches a broken
+         ring, not statistical wobble. *)
+      check bool_t (Printf.sprintf "shard %d within balance bounds (%d)" i c) true
+        (c > 200 && c < 1000))
+    counts
+
+let test_ring_stability_on_add () =
+  (* Adding a fifth shard to four must remap roughly 1/5 of keys — the
+     consistent-hash contract. Modulo hashing would remap ~4/5. *)
+  let before = Router.create [ 0; 1; 2; 3 ] in
+  let after = Router.add before 4 in
+  let ks = keys 2000 in
+  let moved =
+    List.fold_left
+      (fun acc k -> if Router.route before k <> Router.route after k then acc + 1 else acc)
+      0 ks
+  in
+  let frac = float_of_int moved /. float_of_int (List.length ks) in
+  check bool_t (Printf.sprintf "moved fraction %.3f ≤ 0.30" frac) true (frac <= 0.30);
+  check bool_t (Printf.sprintf "moved fraction %.3f > 0" frac) true (moved > 0)
+
+let test_ring_remove_only_moves_victims () =
+  (* Dropping a shard must not disturb keys homed elsewhere. *)
+  let before = Router.create [ 0; 1; 2; 3 ] in
+  let after = Router.remove before 2 in
+  List.iter
+    (fun k ->
+      let b = Router.route before k in
+      if b <> 2 then check int_t "non-victim key stays put" b (Router.route after k))
+    (keys 1000)
+
+let test_ring_route_excluding () =
+  let r = Router.create [ 0; 1; 2 ] in
+  List.iter
+    (fun k ->
+      let home = Router.route r k in
+      (match Router.route_excluding r ~exclude:(fun id -> id = home) k with
+      | None -> Alcotest.fail "two healthy shards left, got none"
+      | Some id -> check bool_t "failover avoids the dead shard" true (id <> home));
+      match Router.route_excluding r ~exclude:(fun _ -> true) k with
+      | None -> ()
+      | Some _ -> Alcotest.fail "all excluded must yield none")
+    (keys 100)
+
+(* ------------------------------------------------------------------ *)
+(* Live clusters                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let users_tpl =
+  "<document><for nodes=\"start type(User); sort-by label\"><p><label/></p></for></document>"
+
+let with_cluster ?(shards = 2) f =
+  let cluster =
+    Shard.start
+      ~config:{ Shard.default_cluster_config with Shard.shards; drain_timeout_s = 5. }
+      ()
+  in
+  Fun.protect ~finally:(fun () -> Shard.shutdown cluster) (fun () -> f cluster)
+
+let gen cluster body =
+  let status, _, _ =
+    Shard.generate cluster ~id:"t" ~engine:"host" ~level:Docgen.Spec.Full ~deadline_ms:0
+      ~body
+  in
+  status
+
+(* Distinct bodies so the ring spreads them over both shards. *)
+let bodies = List.init 8 (fun i -> Printf.sprintf "%s<!-- v%d -->" users_tpl i)
+
+let test_cluster_serves () =
+  with_cluster (fun cluster ->
+      check int_t "all shards healthy" 2 (Shard.healthy_count cluster);
+      List.iter (fun b -> check int_t "forwarded generate" 200 (gen cluster b)) bodies;
+      (* The aggregated exposition carries per-shard labels and health. *)
+      let m = Shard.metrics cluster in
+      check bool_t "shard-labeled samples" true
+        (Astring.String.is_infix ~affix:"shard=\"0\"" m
+        && Astring.String.is_infix ~affix:"shard=\"1\"" m);
+      check bool_t "health gauge present" true
+        (Astring.String.is_infix ~affix:"lopsided_shard_healthy" m))
+
+let test_cluster_failover_on_kill () =
+  with_cluster (fun cluster ->
+      List.iter (fun b -> check int_t "warm" 200 (gen cluster b)) bodies;
+      (* Kill one backend outright: requests homed there must fail over
+         to the survivor without any client-visible failure. *)
+      let victim = (Shard.pids cluster).(0) in
+      Unix.kill victim Sys.sigkill;
+      List.iter (fun b -> check int_t "served across the kill" 200 (gen cluster b)) bodies;
+      check bool_t "failovers counted" true (Shard.failovers cluster >= 1);
+      (* The probe loop reaps the corpse and respawns; give it a moment. *)
+      let deadline = Clock.now () +. 10. in
+      while Shard.restarts cluster < 1 && Clock.now () < deadline do
+        Thread.delay 0.05
+      done;
+      check bool_t "dead shard respawned" true (Shard.restarts cluster >= 1);
+      let deadline = Clock.now () +. 10. in
+      while Shard.healthy_count cluster < 2 && Clock.now () < deadline do
+        Thread.delay 0.05
+      done;
+      check int_t "back to full strength" 2 (Shard.healthy_count cluster);
+      check bool_t "respawn got a fresh pid" true ((Shard.pids cluster).(0) <> victim);
+      List.iter (fun b -> check int_t "served after respawn" 200 (gen cluster b)) bodies)
+
+let test_cluster_rolling_restart () =
+  with_cluster (fun cluster ->
+      List.iter (fun b -> check int_t "warm" 200 (gen cluster b)) bodies;
+      let before = Array.copy (Shard.pids cluster) in
+      (* Serve continuously while the roll replaces every backend. *)
+      let stop = Atomic.make false in
+      let failures = Atomic.make 0 in
+      let hammer =
+        Thread.create
+          (fun () ->
+            while not (Atomic.get stop) do
+              List.iter
+                (fun b -> if gen cluster b <> 200 then Atomic.incr failures)
+                bodies
+            done)
+          ()
+      in
+      Shard.rolling_restart cluster;
+      Atomic.set stop true;
+      Thread.join hammer;
+      check int_t "zero failed requests during the roll" 0 (Atomic.get failures);
+      check int_t "every shard reloaded" 2 (Shard.reloads cluster);
+      let after = Shard.pids cluster in
+      Array.iteri
+        (fun i pid ->
+          check bool_t (Printf.sprintf "shard %d replaced" i) true (pid <> before.(i)))
+        after;
+      List.iter (fun b -> check int_t "served after the roll" 200 (gen cluster b)) bodies)
+
+let suite =
+  [
+    ( "shard",
+      [
+        Alcotest.test_case "ring placement is order-independent" `Quick
+          test_ring_deterministic;
+        Alcotest.test_case "ring balances keys across shards" `Quick test_ring_balance;
+        Alcotest.test_case "adding a shard remaps ~1/N of keys" `Quick
+          test_ring_stability_on_add;
+        Alcotest.test_case "removing a shard moves only its keys" `Quick
+          test_ring_remove_only_moves_victims;
+        Alcotest.test_case "route_excluding skips dead shards" `Quick
+          test_ring_route_excluding;
+        Alcotest.test_case "live cluster forwards and labels metrics" `Quick
+          test_cluster_serves;
+        Alcotest.test_case "live failover on SIGKILL, then respawn" `Quick
+          test_cluster_failover_on_kill;
+        Alcotest.test_case "rolling restart is zero-downtime" `Quick
+          test_cluster_rolling_restart;
+      ] );
+  ]
