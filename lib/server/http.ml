@@ -272,15 +272,18 @@ let write_response fd ~status ?(headers = []) ?(keep_alive = false) ?buf ~body (
     (if keep_alive then "Connection: keep-alive\r\n\r\n" else "Connection: close\r\n\r\n");
   Buffer.add_string b body;
   let bytes = Buffer.to_bytes b in
-  (* Best effort: the client may be gone, or too slow for the send
-     timeout. Either way there is nobody to report the failure to; a
-     keep-alive caller learns of the dead peer on the next read. *)
+  (* Write errors never raise — the client may simply be gone — but a
+     short or failed write is reported as [false]: the connection's
+     byte stream is now truncated mid-response, and a keep-alive caller
+     that recycled it would serve the next response as the remainder of
+     this body. Callers must close on [false]. *)
   let rec send off =
-    if off < Bytes.length bytes then
+    if off >= Bytes.length bytes then true
+    else
       let n = Unix.write fd bytes off (Bytes.length bytes - off) in
-      if n > 0 then send (off + n)
+      if n <= 0 then false else send (off + n)
   in
-  try send 0 with Unix.Unix_error _ | Sys_error _ -> ()
+  try send 0 with Unix.Unix_error _ | Sys_error _ -> false
 
 (* ------------------------------------------------------------------ *)
 (* JSON helpers                                                        *)

@@ -73,14 +73,16 @@ val write_response :
   ?buf:Buffer.t ->
   body:string ->
   unit ->
-  unit
+  bool
 (** Serialize one response with [Content-Length] and a [Connection]
     header ([close] by default, [keep-alive] when [keep_alive] is true),
     batched into a single write — head and body leave in one syscall in
     the common case. [buf] is a reusable serialize buffer (cleared
-    here). Best-effort: write errors (client already gone) are
-    swallowed — a keep-alive caller learns of the dead peer on its next
-    read. *)
+    here). Write errors never raise (the client may simply be gone);
+    the result says whether the full response went out. [false] means
+    the stream is truncated mid-response — a keep-alive caller MUST
+    close the connection rather than recycle it, or the next response
+    would be read as the remainder of this one's body. *)
 
 val json_escape : string -> string
 (** Escape a string for inclusion inside a JSON string literal. *)

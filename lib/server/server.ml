@@ -164,6 +164,10 @@ type t = {
   slots : slot array;
   idle_mutex : Mutex.t;
   mutable idle_conns : (conn * float) list;  (* connection, expiry *)
+  mutable watcher_gone : bool;
+      (* guarded by idle_mutex: true once the watcher has done its
+         final sweep and will never look at idle_conns again — a
+         register after that must close the connection itself *)
   idle_wake : Unix.file_descr * Unix.file_descr;
       (* self-pipe: registering a connection (or stopping) wakes the
          watcher out of its select immediately *)
@@ -214,6 +218,7 @@ let create ?(config = default_config) ?cluster svc =
           });
     idle_mutex = Mutex.create ();
     idle_conns = [];
+    watcher_gone = false;
     idle_wake =
       (let r, w = Unix.pipe ~cloexec:true () in
        Unix.set_nonblock w;
@@ -304,15 +309,20 @@ let idle_wake t =
   with Unix.Unix_error _ -> ()
 
 (* Park a connection with the idle watcher until bytes arrive or the
-   idle timeout expires. *)
+   idle timeout expires. The watcher-gone check and the push happen
+   under the same mutex as the watcher's final sweep: a register racing
+   the stop either lands in that sweep (and is closed there) or
+   observes [watcher_gone] and closes here — never a parked connection
+   nobody will ever select on. *)
 let idle_register t conn =
-  if Atomic.get t.stop_watcher || Atomic.get t.is_draining then close_conn t conn
+  if Atomic.get t.is_draining then close_conn t conn
   else begin
     let expiry = Clock.now () +. t.config.idle_timeout_s in
     Mutex.lock t.idle_mutex;
-    t.idle_conns <- (conn, expiry) :: t.idle_conns;
+    let parked = not t.watcher_gone in
+    if parked then t.idle_conns <- (conn, expiry) :: t.idle_conns;
     Mutex.unlock t.idle_mutex;
-    idle_wake t
+    if parked then idle_wake t else close_conn t conn
   end
 
 (* After a response: recycle a keep-alive connection (already-received
@@ -361,25 +371,43 @@ let watcher_loop t =
     | _ -> ()
     | exception Unix.Unix_error _ -> ()
   in
+  (* Unix.select tops out a little above 1000 descriptors (FD_SETSIZE);
+     feeding it more raises Invalid_argument, which used to dump every
+     parked connection on the readers at once. Select over at most this
+     many per pass and only expiry-check the overflow; re-parking puts
+     the overflow ahead of the just-selected survivors, so every parked
+     connection rotates into a select within a pass or two (each pass
+     blocks at most 0.5 s). *)
+  let max_select = 1000 in
+  let rec split_at n = function
+    | [] -> ([], [])
+    | l when n <= 0 -> ([], l)
+    | x :: rest ->
+      let a, b = split_at (n - 1) rest in
+      (x :: a, b)
+  in
   while not (Atomic.get t.stop_watcher) do
     let items = take () in
+    let selected, overflow = split_at max_select items in
     let now = Clock.now () in
     let timeout =
       List.fold_left (fun acc (_, expiry) -> Float.min acc (expiry -. now)) 0.5 items
       |> Float.max 0.001
     in
     let readable =
-      match Unix.select (wake_r :: List.map (fun (c, _) -> c.cfd) items) [] [] timeout with
+      match
+        Unix.select (wake_r :: List.map (fun (c, _) -> c.cfd) selected) [] [] timeout
+      with
       | r, _, _ -> r
       | exception (Unix.Unix_error _ | Invalid_argument _) ->
         (* A bad descriptor poisons the whole select: hand everything
            back to the readers, whose per-connection reads will sort the
            live from the dead. *)
-        List.map (fun (c, _) -> c.cfd) items
+        List.map (fun (c, _) -> c.cfd) selected
     in
     drain_pipe ();
     let now = Clock.now () in
-    let keep =
+    let keep_selected =
       List.filter
         (fun (c, expiry) ->
           if List.memq c.cfd readable then begin
@@ -393,16 +421,34 @@ let watcher_loop t =
             false
           end
           else true)
-        items
+        selected
     in
+    let keep_overflow =
+      List.filter
+        (fun (c, expiry) ->
+          if now > expiry then begin
+            close_conn t c;
+            false
+          end
+          else true)
+        overflow
+    in
+    let keep = keep_overflow @ keep_selected in
     if keep <> [] then begin
       Mutex.lock t.idle_mutex;
       t.idle_conns <- keep @ t.idle_conns;
       Mutex.unlock t.idle_mutex
     end
   done;
-  (* Stopped (drain): whatever is still parked closes now. *)
-  List.iter (fun (c, _) -> close_conn t c) (take ())
+  (* Stopped (drain): mark the watcher gone and sweep, both under the
+     mutex idle_register pushes under, so a register racing the stop
+     either lands in this sweep or closes its own connection. *)
+  Mutex.lock t.idle_mutex;
+  t.watcher_gone <- true;
+  let parked = t.idle_conns in
+  t.idle_conns <- [];
+  Mutex.unlock t.idle_mutex;
+  List.iter (fun (c, _) -> close_conn t c) parked
 
 (* ------------------------------------------------------------------ *)
 (* Responses                                                           *)
@@ -416,6 +462,9 @@ let std_headers t ~request_id headers =
   :: ("X-Service-Mode", Brownout.mode_name (current_mode t))
   :: headers
 
+(* Like {!Http.write_response}, returns whether the full response went
+   out: [false] means the stream is truncated and a keep-alive caller
+   must close the connection, not recycle it. *)
 let respond_error t fd ~request_id ~status ?(headers = []) ?(keep_alive = false) ?buf
     ~code ~message () =
   Http.write_response fd ~status ~keep_alive ?buf
@@ -492,11 +541,14 @@ let handle_refresh t (job : job) =
    its own failures into a 500. The one exception deliberately let
    through is Fault.Crashed — that is the injected worker death the
    supervisor test needs to be real (the connection closes first so the
-   client sees a reset, not a hang). *)
+   client sees a reset, not a hang). A short or failed response write
+   forces the connection closed regardless of keep-alive: its stream is
+   truncated mid-response and cannot be recycled. *)
 let handle_client t (job : job) conn =
   let fd = conn.cfd in
   let ka = job.jka && not (Atomic.get t.is_draining) in
-  (try
+  let wrote_ok =
+    try
      match (parse_deadline_ms job.jreq, parse_engine t job.jreq) with
      | Error m, _ | _, Error m ->
        respond_error t fd ~request_id:job.jid ~status:400 ~keep_alive:ka ~buf:conn.cbuf
@@ -570,14 +622,15 @@ let handle_client t (job : job) conn =
              let status, code, message, headers = http_of_error e in
              respond_error t fd ~request_id:job.jid ~status ~headers ~keep_alive:ka
                ~buf:conn.cbuf ~code ~message ())))
-   with
-   | Fault.Crashed _ as e ->
-     close_conn t conn;
-     raise e
-   | e ->
-     respond_error t fd ~request_id:job.jid ~status:500 ~keep_alive:ka ~buf:conn.cbuf
-       ~code:"internal" ~message:(Printexc.to_string e) ());
-  finish_conn t conn ~ka
+    with
+    | Fault.Crashed _ as e ->
+      close_conn t conn;
+      raise e
+    | e ->
+      respond_error t fd ~request_id:job.jid ~status:500 ~keep_alive:ka ~buf:conn.cbuf
+        ~code:"internal" ~message:(Printexc.to_string e) ()
+  in
+  finish_conn t conn ~ka:(ka && wrote_ok)
 
 let handle_job t (job : job) =
   (match t.config.fault with
@@ -670,17 +723,18 @@ let tenant_key peer req =
   | _ -> peer
 
 (* Try to answer from the result cache past freshness (stale-while-
-   revalidate). Returns true when the response was written; also
-   enqueues a low-priority background refresh for the entry, unless one
-   was claimed recently or the queue has no room (the stale answer
-   stands either way). *)
+   revalidate). Returns [Some write_ok] when the response was written
+   ([write_ok] false = truncated, the caller must close); also enqueues
+   a low-priority background refresh for the entry, unless one was
+   claimed recently or the queue has no room (the stale answer stands
+   either way). *)
 let try_serve_stale t conn ~ka ~id ~tenant (req : Http.request) =
   match parse_engine t req with
-  | Error _ -> false (* the worker path owns the 400 *)
+  | Error _ -> None (* the worker path owns the 400 *)
   | Ok engine -> (
     let sreq = service_request t ~engine ~id req.Http.body in
     match Service.lookup_result t.svc sreq with
-    | None -> false
+    | None -> None
     | Some (out, age_s) ->
       Metrics.incr_stale_served t.metrics;
       Metrics.note_tenant t.metrics ~tenant ~outcome:`Served;
@@ -694,8 +748,10 @@ let try_serve_stale t conn ~ka ~id ~tenant (req : Http.request) =
             ("Warning", "110 - \"Response is Stale\"");
           ]
       in
-      Http.write_response conn.cfd ~status:200 ~headers ~keep_alive:ka ~buf:conn.cbuf
-        ~body:out.Service.document ();
+      let wok =
+        Http.write_response conn.cfd ~status:200 ~headers ~keep_alive:ka ~buf:conn.cbuf
+          ~body:out.Service.document ()
+      in
       if Service.claim_refresh t.svc sreq then begin
         let refresh =
           {
@@ -712,7 +768,7 @@ let try_serve_stale t conn ~ka ~id ~tenant (req : Http.request) =
         | `Accepted -> Metrics.incr_refreshes t.metrics
         | `Shed _ -> ()
       end;
-      true)
+      Some wok)
 
 (* Route one parsed request. Inline answers (health, metrics, every
    refusal) are written here and the connection recycled or closed per
@@ -720,8 +776,8 @@ let try_serve_stale t conn ~ka ~id ~tenant (req : Http.request) =
 let route t conn ~ka (req : Http.request) =
   let fd = conn.cfd in
   let inline_response ~status ?(headers = []) body =
-    Http.write_response fd ~status ~headers ~keep_alive:ka ~buf:conn.cbuf ~body ();
-    finish_conn t conn ~ka
+    let wok = Http.write_response fd ~status ~headers ~keep_alive:ka ~buf:conn.cbuf ~body () in
+    finish_conn t conn ~ka:(ka && wok)
   in
   match (req.Http.meth, req.Http.path) with
   | "GET", "/healthz" ->
@@ -748,8 +804,9 @@ let route t conn ~ka (req : Http.request) =
     let m = mode t in
     if Atomic.get t.is_draining then begin
       Metrics.incr_shed t.metrics;
-      respond_error t fd ~request_id:id ~status:503 ~headers:(retry_after 1.)
-        ~buf:conn.cbuf ~code:"draining" ~message:"server is draining" ();
+      ignore
+        (respond_error t fd ~request_id:id ~status:503 ~headers:(retry_after 1.)
+           ~buf:conn.cbuf ~code:"draining" ~message:"server is draining" ());
       close_conn t conn
     end
     else if not (Token_bucket.admit t.bucket ~key:conn.cpeer ~now:(Clock.now ())) then begin
@@ -757,11 +814,13 @@ let route t conn ~ka (req : Http.request) =
       (* Derived Retry-After (completion-rate EWMA over the queue), not
          the token bucket's flat refill constant: when the server is
          backed up, "come back in 1 s" just re-offers the flood. *)
-      respond_error t fd ~request_id:id ~status:429 ~headers:(retry_after_derived t)
-        ~keep_alive:ka ~buf:conn.cbuf ~code:"rate-limited"
-        ~message:(Printf.sprintf "client %s exceeds %.1f requests/s" conn.cpeer t.config.rate)
-        ();
-      finish_conn t conn ~ka
+      let wok =
+        respond_error t fd ~request_id:id ~status:429 ~headers:(retry_after_derived t)
+          ~keep_alive:ka ~buf:conn.cbuf ~code:"rate-limited"
+          ~message:(Printf.sprintf "client %s exceeds %.1f requests/s" conn.cpeer t.config.rate)
+          ()
+      in
+      finish_conn t conn ~ka:(ka && wok)
     end
     else begin
       match Service.quarantine_remaining t.svc ~template_xml:req.Http.body with
@@ -769,11 +828,13 @@ let route t conn ~ka (req : Http.request) =
         (* Admission-time breaker check: the known-bad template never
            costs a queue slot or a worker. *)
         Metrics.incr_quarantine_429 t.metrics;
-        respond_error t fd ~request_id:id ~status:429 ~headers:(retry_after remaining)
-          ~keep_alive:ka ~buf:conn.cbuf ~code:"quarantined"
-          ~message:(Printf.sprintf "template is quarantined for another %.1f s" remaining)
-          ();
-        finish_conn t conn ~ka
+        let wok =
+          respond_error t fd ~request_id:id ~status:429 ~headers:(retry_after remaining)
+            ~keep_alive:ka ~buf:conn.cbuf ~code:"quarantined"
+            ~message:(Printf.sprintf "template is quarantined for another %.1f s" remaining)
+            ()
+        in
+        finish_conn t conn ~ka:(ka && wok)
       | None ->
         (* Brownout ladder. Degraded/Critical first try a stale cache
            hit — an instant useful answer plus a background refresh.
@@ -782,21 +843,23 @@ let route t conn ~ka (req : Http.request) =
            altogether. Normal is the PR-4 path unchanged. *)
         let stale_served =
           match m with
-          | Brownout.Normal -> false
+          | Brownout.Normal -> None
           | Brownout.Degraded | Brownout.Critical ->
             try_serve_stale t conn ~ka ~id ~tenant req
         in
-        if stale_served then finish_conn t conn ~ka
-        else if m = Brownout.Critical then begin
+        match stale_served with
+        | Some wok -> finish_conn t conn ~ka:(ka && wok)
+        | None when m = Brownout.Critical ->
           Metrics.incr_shed t.metrics;
           Metrics.note_tenant t.metrics ~tenant ~outcome:`Shed;
-          respond_error t fd ~request_id:id ~status:503 ~headers:(retry_after_derived t)
-            ~keep_alive:ka ~buf:conn.cbuf ~code:"overloaded"
-            ~message:"service is in critical brownout; only cached results are served"
-            ();
-          finish_conn t conn ~ka
-        end
-        else begin
+          let wok =
+            respond_error t fd ~request_id:id ~status:503 ~headers:(retry_after_derived t)
+              ~keep_alive:ka ~buf:conn.cbuf ~code:"overloaded"
+              ~message:"service is in critical brownout; only cached results are served"
+              ()
+          in
+          finish_conn t conn ~ka:(ka && wok)
+        | None -> begin
           let jlevel =
             if m = Brownout.Degraded then Docgen.Spec.Skeleton else Docgen.Spec.Full
           in
@@ -820,25 +883,29 @@ let route t conn ~ka (req : Http.request) =
                everyone else's queue space is untouched. *)
             Metrics.incr_tenant_rejected t.metrics;
             Metrics.note_tenant t.metrics ~tenant ~outcome:`Shed;
-            respond_error t fd ~request_id:id ~status:429
-              ~headers:(retry_after_derived t) ~keep_alive:ka ~buf:conn.cbuf
-              ~code:"tenant-overloaded"
-              ~message:
-                (Printf.sprintf "tenant %s has %d requests queued (cap %d)" tenant
-                   (Fair_queue.tenant_depth t.queue tenant)
-                   (min t.config.queue_cap t.config.tenant_cap))
-              ();
-            finish_conn t conn ~ka
+            let wok =
+              respond_error t fd ~request_id:id ~status:429
+                ~headers:(retry_after_derived t) ~keep_alive:ka ~buf:conn.cbuf
+                ~code:"tenant-overloaded"
+                ~message:
+                  (Printf.sprintf "tenant %s has %d requests queued (cap %d)" tenant
+                     (Fair_queue.tenant_depth t.queue tenant)
+                     (min t.config.queue_cap t.config.tenant_cap))
+                ()
+            in
+            finish_conn t conn ~ka:(ka && wok)
           | `Shed `Queue_full ->
             Metrics.incr_shed t.metrics;
             Metrics.note_tenant t.metrics ~tenant ~outcome:`Shed;
-            respond_error t fd ~request_id:id ~status:503
-              ~headers:(retry_after_derived t) ~keep_alive:ka ~buf:conn.cbuf
-              ~code:"overloaded"
-              ~message:
-                (Printf.sprintf "admission queue full (%d waiting)" t.config.queue_cap)
-              ();
-            finish_conn t conn ~ka
+            let wok =
+              respond_error t fd ~request_id:id ~status:503
+                ~headers:(retry_after_derived t) ~keep_alive:ka ~buf:conn.cbuf
+                ~code:"overloaded"
+                ~message:
+                  (Printf.sprintf "admission queue full (%d waiting)" t.config.queue_cap)
+                ()
+            in
+            finish_conn t conn ~ka:(ka && wok)
         end
     end
   | _, "/healthz" | _, "/readyz" | _, "/metrics" ->
@@ -850,9 +917,11 @@ let route t conn ~ka (req : Http.request) =
       ~headers:(std_headers t ~request_id:(fresh_id t req) [ ("Allow", "POST") ])
       ""
   | _ ->
-    respond_error t fd ~request_id:(fresh_id t req) ~status:404 ~keep_alive:ka
-      ~buf:conn.cbuf ~code:"not-found" ~message:(req.Http.meth ^ " " ^ req.Http.path) ();
-    finish_conn t conn ~ka
+    let wok =
+      respond_error t fd ~request_id:(fresh_id t req) ~status:404 ~keep_alive:ka
+        ~buf:conn.cbuf ~code:"not-found" ~message:(req.Http.meth ^ " " ^ req.Http.path) ()
+    in
+    finish_conn t conn ~ka:(ka && wok)
 
 let handle_conn t conn =
   (* Whole-request budget: the per-recv socket timeout alone would let a
@@ -869,7 +938,8 @@ let handle_conn t conn =
   with
   | exception Http.Bad_request m ->
     Metrics.incr_bad_requests t.metrics;
-    respond_error t conn.cfd ~request_id:"-" ~status:400 ~code:"bad-request" ~message:m ();
+    ignore
+      (respond_error t conn.cfd ~request_id:"-" ~status:400 ~code:"bad-request" ~message:m ());
     close_conn t conn
   | exception
       ( Http.Timeout
@@ -878,7 +948,7 @@ let handle_conn t conn =
        slow-loris or dead client. Cut it off with a clean 408 rather
        than leaving the connection hung. *)
     Metrics.incr_bad_requests t.metrics;
-    Http.write_response conn.cfd ~status:408 ~body:"" ();
+    ignore (Http.write_response conn.cfd ~status:408 ~body:"" ());
     close_conn t conn
   | exception Unix.Unix_error _ -> close_conn t conn
   | None -> close_conn t conn (* clean EOF: client done with the connection *)
@@ -922,9 +992,10 @@ let rec drain_now t =
         | None -> () (* a background refresh owes nobody an answer *)
         | Some conn ->
           Metrics.incr_drained t.metrics;
-          respond_error t conn.cfd ~request_id:job.jid ~status:503
-            ~headers:(retry_after 1.) ~code:"draining"
-            ~message:"server is draining; request was not started" ();
+          ignore
+            (respond_error t conn.cfd ~request_id:job.jid ~status:503
+               ~headers:(retry_after 1.) ~code:"draining"
+               ~message:"server is draining; request was not started" ());
           close_conn t conn)
       pending;
     Fair_queue.close t.queue;
@@ -1016,8 +1087,9 @@ let accept_loop t fd =
            full: refuse without reading a byte. The tiny response fits
            any socket buffer, so this write cannot block the acceptor. *)
         Metrics.incr_shed t.metrics;
-        respond_error t fd' ~request_id:"-" ~status:503 ~headers:(retry_after 1.)
-          ~code:"overloaded" ~message:"connection backlog full" ();
+        ignore
+          (respond_error t fd' ~request_id:"-" ~status:503 ~headers:(retry_after 1.)
+             ~code:"overloaded" ~message:"connection backlog full" ());
         close_conn t conn)
   done
 

@@ -104,10 +104,13 @@ let send_frame fd payload =
   send_all fd (Buffer.contents hdr);
   send_all fd payload
 
-(* Blocking exact read; EAGAIN from the socket timeout keeps retrying
-   only when [retry_again] says so (the backend uses it to poll its
-   drain flag between frames, never mid-frame). *)
-let recv_exact ?(retry_again = fun () -> true) fd n =
+(* Blocking exact read. EAGAIN/EWOULDBLOCK from the socket receive
+   timeout raises by default — on the front side that timeout IS the
+   call deadline, and a wedged-but-alive backend must surface as a
+   failure (mark unhealthy, fail over), not block a worker domain
+   forever. [retry_again] opts back into retrying: the backend uses it
+   to poll its drain flag between frames. *)
+let recv_exact ?(retry_again = fun () -> false) fd n =
   let b = Bytes.create n in
   let rec go off =
     if off >= n then Bytes.unsafe_to_string b
@@ -515,12 +518,16 @@ let spawn_backend t s =
   in
   let exe = Sys.executable_name in
   let env =
+    (* Strip any inherited spec binding: duplicate entries would leave
+       getenv in the child answering with the stale (first) one. *)
+    let prefix = spec_env ^ "=" in
+    let plen = String.length prefix in
     Array.append
       (Array.of_list
          (List.filter
-            (fun kv -> not (String.length kv > 18 && String.sub kv 0 18 = spec_env ^ "="))
+            (fun kv -> not (String.length kv >= plen && String.sub kv 0 plen = prefix))
             (Array.to_list (Unix.environment ()))))
-      [| spec_env ^ "=" ^ spec_to_string sp |]
+      [| prefix ^ spec_to_string sp |]
   in
   let pid =
     Unix.create_process_env exe [| exe; backend_flag |] env Unix.stdin Unix.stdout

@@ -681,7 +681,7 @@ let test_e2e_client_hangup_no_sigpipe () =
          process. *)
       let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
       Unix.close b;
-      Server.Http.write_response a ~status:200 ~body:(String.make 4096 'x') ();
+      ignore (Server.Http.write_response a ~status:200 ~body:(String.make 4096 'x') ());
       Unix.close a;
       let hangup () =
         let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
