@@ -1663,6 +1663,297 @@ let serving () =
 
 (* ---------------------------------------------------------------- *)
 
+(* CHAOS: the resilience claim behind the fault-injection plane. A
+   seeded synthetic workload (diverse model sizes, mixed template and
+   search traffic — bench/workload.ml) is driven fault-free through a
+   4-shard cluster with the request recorder attached; the capture is
+   saved, reloaded, and replayed at 2x against a fresh cluster under a
+   seeded chaos schedule (delays, drops, truncations, CRC corruption,
+   duplicates, stalls) plus one SIGKILL'd backend mid-run, with
+   breakers and hedging active. Gates: the fault schedule is
+   byte-identical run-to-run, both phases pass the conservation
+   invariants, the chaos phase keeps >= 70% of the fault-free useful
+   rate, and every breaker returns to Closed once the supervisor
+   restores the killed shard. *)
+
+type chaos_ledger = {
+  ch_sent : int;
+  ch_ok : int;
+  ch_conn_errors : int;
+  ch_responses : int;
+  ch_statuses : (int * int) list;
+}
+
+(* Open-loop driver over Recorder entries: each fires at its recorded
+   offset (scaled by [speed]) on its own thread, so server pushback
+   shows up as refusals, never as a slowed-down workload. [on_mid]
+   runs once, as the midpoint entry is scheduled — the SIGKILL hook. *)
+let chaos_drive ~port ~speed ?(on_mid = fun () -> ()) entries =
+  let mu = Mutex.create () in
+  let responses = ref 0 and conn_errors = ref 0 in
+  let statuses = Hashtbl.create 8 in
+  let note st =
+    Mutex.lock mu;
+    if st = 0 then incr conn_errors
+    else begin
+      incr responses;
+      Hashtbl.replace statuses st (1 + Option.value ~default:0 (Hashtbl.find_opt statuses st))
+    end;
+    Mutex.unlock mu
+  in
+  let n = List.length entries in
+  let t0 = Clock.now () in
+  let threads =
+    List.mapi
+      (fun i (e : Server.Recorder.entry) ->
+        if i = n / 2 then on_mid ();
+        let due = t0 +. (e.e_ts /. speed) in
+        let d = due -. Clock.now () in
+        if d > 0. then Thread.delay d;
+        Thread.create
+          (fun () ->
+            let headers =
+              ("x-tenant", e.e_tenant)
+              ::
+              (if e.e_deadline_ms > 0 then
+                 [ ("x-deadline-ms", string_of_int e.e_deadline_ms) ]
+               else [])
+            in
+            let status, _, _ =
+              try overload_request ~port ~headers e.e_body
+              with Unix.Unix_error _ | Sys_error _ -> (0, None, 0.)
+            in
+            note status)
+          ())
+      entries
+  in
+  List.iter Thread.join threads;
+  {
+    ch_sent = n;
+    ch_ok = Option.value ~default:0 (Hashtbl.find_opt statuses 200);
+    ch_conn_errors = !conn_errors;
+    ch_responses = !responses;
+    ch_statuses = Hashtbl.fold (fun st c acc -> (st, c) :: acc) statuses [];
+  }
+
+(* One phase: a fresh 4-shard cluster + front, the workload driven
+   through it, invariants checked against the final exposition, and —
+   when the phase injected faults — a wait for every breaker to settle
+   back to Closed. *)
+let chaos_phase ~chaos ~hedge ~recorder ~kill ~speed ~warm entries =
+  let cluster =
+    Server.Shard.start
+      ~config:
+        {
+          Server.Shard.default_cluster_config with
+          Server.Shard.shards = 4;
+          cache_capacity = 32;
+          call_timeout_s = 3.;
+          chaos;
+          hedge;
+        }
+      ()
+  in
+  let svc = Service.create () in
+  let srv =
+    Server.create
+      ~config:
+        { Server.default_config with Server.max_inflight = 4; queue_cap = 128; recorder }
+      ~cluster svc
+  in
+  Server.start srv;
+  let port = Server.port srv in
+  Fun.protect
+    ~finally:(fun () -> if not (Server.stopped srv) then Server.drain srv)
+    (fun () ->
+      (* Cold imports are not the phenomenon under test: one request
+         per model warms its home shard (routing is by model digest, so
+         one suffices) before the clock starts. Under chaos a warm
+         request may itself be faulted — failover usually lands it, and
+         a miss just means one cold import inside the run. *)
+      List.iter
+        (fun body ->
+          ignore (try overload_request ~port ~headers:[] body with _ -> (0, None, 0.)))
+        warm;
+      let on_mid =
+        if kill then (fun () ->
+          try Unix.kill (Server.Shard.pids cluster).(0) Sys.sigkill
+          with Unix.Unix_error _ -> ())
+        else fun () -> ()
+      in
+      let led = chaos_drive ~port ~speed ~on_mid entries in
+      (* Give server-side connection teardown a beat so pooled buffers
+         are back before the books are audited. *)
+      Thread.delay 0.3;
+      let metrics_text = Server.metrics_body srv in
+      let ledger =
+        {
+          Server.Recorder.sent = led.ch_sent;
+          responses = led.ch_responses;
+          conn_errors = led.ch_conn_errors;
+          status_counts = led.ch_statuses;
+        }
+      in
+      let violations = Server.Recorder.check_invariants ~ledger ~metrics_text in
+      (* After the storm every breaker must find its way home: the
+         supervisor respawns the killed backend, the work probe passes,
+         record_success closes the circuit. *)
+      let settle_deadline = Clock.now () +. 15. in
+      let rec settle () =
+        if Array.for_all (fun c -> c = 0) (Server.Shard.breaker_states cluster) then true
+        else if Clock.now () > settle_deadline then false
+        else begin
+          Thread.delay 0.2;
+          settle ()
+        end
+      in
+      let breakers_closed = settle () in
+      let stats =
+        ( Server.Shard.failovers cluster,
+          Server.Shard.restarts cluster,
+          Server.Shard.hedges cluster,
+          Server.Shard.hedge_wins cluster )
+      in
+      Server.drain srv;
+      (led, violations, breakers_closed, stats))
+
+let chaos_exp () =
+  section "CHAOS - deterministic fault injection: record, replay, conserve";
+  let seed = 42 in
+  (* Determinism first: the reproducibility contract is that one seed
+     yields one byte-identical fault schedule, run after run. *)
+  let cfg = Server.Chaos.of_seed seed in
+  let plan = Server.Chaos.schedule cfg ~shard:2 500 in
+  if plan <> Server.Chaos.schedule cfg ~shard:2 500 then begin
+    Printf.eprintf "bench: chaos schedule is not deterministic for a fixed seed\n";
+    exit 1
+  end;
+  let faults =
+    List.filter (fun a -> a <> Server.Chaos.Pass) plan |> List.length
+  in
+  Printf.printf "  schedule(seed=%d, shard=2, n=500): %d faulted frames, reproducible\n"
+    seed faults;
+  let n = if quick then 80 else 240 in
+  (* Full mode mixes models up to 10^4 nodes; the offered rate is set so
+     the fault-free baseline is comfortably inside capacity (the point
+     of this experiment is fault tolerance, not overload — OVERLOAD and
+     BROWNOUT own that axis), leaving the 2x chaos replay a real but
+     survivable load. *)
+  let rate = if quick then 40. else 10. in
+  let entries = Workload.entries ~seed:11 ~quick ~n ~rate () in
+  let warm =
+    Workload.models ~seed:11 (Workload.default_sizes ~quick)
+    |> Array.to_list
+    |> List.map (fun m -> Server.Composite.build ~template:Workload.scan_tpl ~model:m)
+  in
+  (* Phase A: fault-free, recorder attached. *)
+  let recorder = Server.Recorder.create () in
+  let base, base_violations, _, _ =
+    chaos_phase ~chaos:None ~hedge:false ~recorder:(Some recorder) ~kill:false ~speed:1.
+      ~warm entries
+  in
+  let capture = "CHAOS_workload.rec" in
+  let recorded = Server.Recorder.save recorder capture in
+  Printf.printf "  fault-free: %d/%d ok, %d recorded to %s\n" base.ch_ok base.ch_sent
+    recorded capture;
+  let replayed = Server.Recorder.load capture in
+  if List.length replayed <> recorded then begin
+    Printf.eprintf "bench: capture round-trip lost entries (%d saved, %d loaded)\n"
+      recorded (List.length replayed);
+    exit 1
+  end;
+  (* Phase B: the same workload out of the capture file, at 2x, under
+     the seeded fault schedule, breakers and hedging on, one backend
+     SIGKILL'd mid-run. *)
+  let chaos, chaos_violations, breakers_closed, (failovers, restarts, hedges, hedge_wins)
+      =
+    chaos_phase ~chaos:(Some cfg) ~hedge:true ~recorder:None ~kill:true ~speed:2. ~warm
+      replayed
+  in
+  let rate_of l = float_of_int l.ch_ok /. float_of_int (max 1 l.ch_sent) in
+  let useful_ratio = rate_of chaos /. Float.max 1e-9 (rate_of base) in
+  Printf.printf
+    "  chaos (seed %d, 2x, 1 SIGKILL): %d/%d ok (%.2fx fault-free), %d conn errors, %d \
+     failovers, %d restarts, %d hedges (%d won), breakers %s\n"
+    seed chaos.ch_ok chaos.ch_sent useful_ratio chaos.ch_conn_errors failovers restarts
+    hedges hedge_wins
+    (if breakers_closed then "closed" else "STUCK OPEN");
+  if json then begin
+    let path = "BENCH_server.json" in
+    let base_json =
+      if Sys.file_exists path then begin
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      end
+      else "{\n  \"bench\": \"overload\"\n}\n"
+    in
+    let head =
+      match find_sub ",\n  \"chaos\":" base_json with
+      | Some i -> String.sub base_json 0 i
+      | None -> (
+        match String.rindex_opt base_json '}' with
+        | None -> "{\n  \"bench\": \"overload\""
+        | Some j ->
+          let rec back k =
+            if k > 0 && (match base_json.[k - 1] with '\n' | ' ' | '\t' | '\r' -> true | _ -> false)
+            then back (k - 1)
+            else k
+          in
+          String.sub base_json 0 (back j))
+    in
+    let block =
+      Printf.sprintf
+        "{\n\
+        \    \"seed\": %d,\n\
+        \    \"requests\": %d,\n\
+        \    \"recorded\": %d,\n\
+        \    \"ok_base\": %d,\n\
+        \    \"ok_chaos\": %d,\n\
+        \    \"useful_ratio\": %.3f,\n\
+        \    \"conn_errors_chaos\": %d,\n\
+        \    \"failovers\": %d,\n\
+        \    \"restarts\": %d,\n\
+        \    \"hedges\": %d,\n\
+        \    \"hedge_wins\": %d,\n\
+        \    \"invariant_violations\": %d,\n\
+        \    \"breakers_closed\": %b\n\
+        \  }"
+        seed n recorded base.ch_ok chaos.ch_ok useful_ratio chaos.ch_conn_errors
+        failovers restarts hedges hedge_wins
+        (List.length base_violations + List.length chaos_violations)
+        breakers_closed
+    in
+    let oc = open_out path in
+    output_string oc (head ^ ",\n  \"chaos\": " ^ block ^ "\n}\n");
+    close_out oc;
+    Printf.printf "  merged chaos block into BENCH_server.json\n"
+  end;
+  (* Gates. Conservation must hold in both phases; the chaos run must
+     keep >= 70% of the fault-free useful rate; breakers must close. *)
+  List.iter
+    (fun v -> Printf.eprintf "bench: fault-free invariant violation: %s\n" v)
+    base_violations;
+  List.iter
+    (fun v -> Printf.eprintf "bench: chaos invariant violation: %s\n" v)
+    chaos_violations;
+  if base_violations <> [] || chaos_violations <> [] then exit 1;
+  let floor = 0.7 in
+  if useful_ratio < floor then begin
+    Printf.eprintf
+      "bench: chaos useful-response rate is %.2fx the fault-free rate (floor %.2f) — \
+       failover/breakers/hedging failed to absorb the fault schedule\n"
+      useful_ratio floor;
+    exit 1
+  end;
+  if not breakers_closed then begin
+    Printf.eprintf "bench: a circuit breaker never returned to Closed after recovery\n";
+    exit 1
+  end
+
+(* ---------------------------------------------------------------- *)
+
 let experiments =
   [
     ("t1t2", t1_t2);
@@ -1678,6 +1969,7 @@ let experiments =
     ("gov", gov);
     ("overload", overload);
     ("serving", serving);
+    ("chaos", chaos_exp);
     ("a1", a1);
     ("a2", a2);
     ("a3", a3);

@@ -150,12 +150,15 @@ let run templates_dir sample model_file engine domains repeat deadline_ms cache_
 let serve host port max_inflight queue_cap tenant_cap rate burst deadline_ms
     drain_deadline brownout result_cache_cap sample model_file engine cache_capacity
     fuel max_depth max_nodes retries quarantine_after fault_seed crash_rate
-    deadline_rate transient_rate keepalive idle_timeout max_conn_requests shards =
+    deadline_rate transient_rate keepalive idle_timeout max_conn_requests shards
+    record chaos_seed hedge breaker_failures breaker_cooldown =
   let engine =
     match Docgen.engine_of_string engine with Ok e -> e | Error m -> fail m
   in
   let model = match load_model sample model_file with Ok m -> m | Error m -> fail m in
   let fault = fault_config fault_seed crash_rate deadline_rate transient_rate in
+  if chaos_seed <> None && shards <= 0 then
+    fail "--chaos injects faults on the shard transport; it needs --shards >= 1";
   (* The result cache exists for brownout's stale-while-revalidate: on
      by default exactly when --brownout is, overridable either way. *)
   let result_cache_cap =
@@ -200,10 +203,19 @@ let serve host port max_inflight queue_cap tenant_cap rate burst deadline_ms
                cache_capacity;
                result_cache_cap;
                model_spec;
+               chaos = Option.map Server.Chaos.of_seed chaos_seed;
+               breaker =
+                 {
+                   Server.Breaker.default_config with
+                   Server.Breaker.failure_threshold = breaker_failures;
+                   cooldown_s = breaker_cooldown;
+                 };
+               hedge;
              }
            ())
     end
   in
+  let recorder = Option.map (fun _ -> Server.Recorder.create ()) record in
   let server =
     Server.create
       ~config:
@@ -225,27 +237,239 @@ let serve host port max_inflight queue_cap tenant_cap rate burst deadline_ms
           keepalive;
           idle_timeout_s = idle_timeout;
           max_conn_requests;
+          recorder;
         }
       ?cluster svc
   in
   Server.install_sigterm server;
   Server.install_sighup server;
   Server.start server;
-  Printf.printf "awbserve: listening on %s:%d (%d workers, queue %d%s%s%s%s)\n%!" host
-    (Server.port server) max_inflight queue_cap
+  Printf.printf "awbserve: listening on %s:%d (%d workers, queue %d%s%s%s%s%s%s%s)\n%!"
+    host (Server.port server) max_inflight queue_cap
     (if rate > 0. then Printf.sprintf ", %.1f req/s per client" rate else "")
     (if brownout then ", brownout on" else "")
     (if keepalive then ", keep-alive on" else "")
     (match cluster with
     | None -> ""
-    | Some c -> Printf.sprintf ", %d shards" (Server.Shard.shard_count c));
+    | Some c -> Printf.sprintf ", %d shards" (Server.Shard.shard_count c))
+    (match chaos_seed with
+    | None -> ""
+    | Some s -> Printf.sprintf ", chaos seed %d" s)
+    (if hedge then ", hedging on" else "")
+    (if record <> None then ", recording" else "");
   (* Blocks until SIGTERM (or a remote drain) completes; exit 0 is the
      contract a process supervisor keys on. *)
   Server.await server;
   Printf.printf "awbserve: drained (%d in-flight completed, %d queued flushed)\n%!"
     (Service.counters svc).Service.requests
     (Server.Metrics.drained (Server.metrics server));
+  (match (record, recorder) with
+  | Some path, Some r ->
+    let n = Server.Recorder.save r path in
+    Printf.printf "awbserve: wrote %d recorded requests to %s (%d dropped by ring)\n%!" n
+      path (Server.Recorder.dropped r)
+  | _ -> ());
   0
+
+(* ------------------------------------------------------------------ *)
+(* Replay mode                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A minimal blocking HTTP client, one request per connection. The
+   replayer is open-loop — every recorded entry fires at its recorded
+   offset (divided by --speed) on its own thread, whether or not
+   earlier responses have come back — so server-side pushback shows up
+   as shed/timeout responses rather than as a slowed-down workload. *)
+let replay_request ~port (e : Server.Recorder.entry) =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let deadline_hdr =
+        if e.e_deadline_ms > 0 then Printf.sprintf "x-deadline-ms: %d\r\n" e.e_deadline_ms
+        else ""
+      in
+      let data =
+        Printf.sprintf
+          "%s %s HTTP/1.1\r\nHost: replay\r\nConnection: close\r\nx-tenant: \
+           %s\r\n%sContent-Length: %d\r\n\r\n%s"
+          e.e_meth e.e_path e.e_tenant deadline_hdr (String.length e.e_body) e.e_body
+      in
+      let bytes = Bytes.unsafe_of_string data in
+      let rec send off =
+        if off < Bytes.length bytes then
+          send (off + Unix.write fd bytes off (Bytes.length bytes - off))
+      in
+      send 0;
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 4096 in
+      let rec recv () =
+        let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+        if n > 0 then begin
+          Buffer.add_subbytes buf chunk 0 n;
+          recv ()
+        end
+      in
+      (try recv () with Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ());
+      let raw = Buffer.contents buf in
+      if String.length raw < 12 then None
+      else int_of_string_opt (String.sub raw 9 3))
+
+let replay file speed shards chaos_seed hedge sample model_file engine cache_capacity
+    max_inflight queue_cap =
+  if speed <= 0. then fail "--speed must be positive";
+  if chaos_seed <> None && shards <= 0 then
+    fail "--chaos injects faults on the shard transport; it needs --shards >= 1";
+  let entries =
+    match Server.Recorder.load file with
+    | [] -> fail (Printf.sprintf "capture file %s holds no requests" file)
+    | es -> es
+    | exception Server.Frame.Protocol_error m -> fail m
+    | exception Sys_error m -> fail m
+  in
+  let engine =
+    match Docgen.engine_of_string engine with Ok e -> e | Error m -> fail m
+  in
+  let model = match load_model sample model_file with Ok m -> m | Error m -> fail m in
+  let cluster =
+    if shards <= 0 then None
+    else
+      Some
+        (Server.Shard.start
+           ~config:
+             {
+               Server.Shard.default_cluster_config with
+               Server.Shard.shards;
+               cache_capacity;
+               model_spec =
+                 (match (sample, model_file) with
+                 | Some s, None -> s
+                 | None, Some path -> "file:" ^ path
+                 | _ -> "banking");
+               chaos = Option.map Server.Chaos.of_seed chaos_seed;
+               hedge;
+               (* A replay is a bounded run: a recorded request with no
+                  deadline must not ride the 300 s production default
+                  when a chaos drop eats its frame. *)
+               call_timeout_s = 10.;
+             }
+           ())
+  in
+  let svc = Service.create ~config:{ Service.default_config with Service.cache_capacity } () in
+  let server =
+    Server.create
+      ~config:
+        {
+          Server.default_config with
+          Server.port = 0;
+          max_inflight;
+          queue_cap;
+          default_engine = engine;
+          model = Some model;
+        }
+      ?cluster svc
+  in
+  Server.start server;
+  let port = Server.port server in
+  Printf.printf "awbserve: replaying %d requests at %.1fx against port %d (%s%s%s)\n%!"
+    (List.length entries) speed port
+    (if shards > 0 then Printf.sprintf "%d shards" shards else "in-process")
+    (match chaos_seed with
+    | None -> ""
+    | Some s -> Printf.sprintf ", chaos seed %d" s)
+    (if hedge then ", hedging" else "");
+  (* Client-side ledger: every request resolves exactly once, as a
+     status or as a connection error — the first invariant. *)
+  let mu = Mutex.create () in
+  let responses = ref 0 and conn_errors = ref 0 in
+  let statuses = Hashtbl.create 8 in
+  let note = function
+    | Some st ->
+      Mutex.lock mu;
+      incr responses;
+      Hashtbl.replace statuses st (1 + Option.value ~default:0 (Hashtbl.find_opt statuses st));
+      Mutex.unlock mu
+    | None ->
+      Mutex.lock mu;
+      incr conn_errors;
+      Mutex.unlock mu
+  in
+  let t0 = Clock.now () in
+  let threads =
+    List.map
+      (fun (e : Server.Recorder.entry) ->
+        let due = t0 +. (e.e_ts /. speed) in
+        let d = due -. Clock.now () in
+        if d > 0. then Thread.delay d;
+        Thread.create
+          (fun () ->
+            note (try replay_request ~port e with Unix.Unix_error _ | Sys_error _ -> None))
+          ())
+      entries
+  in
+  List.iter Thread.join threads;
+  (* Let server-side connection teardown finish checking pooled buffers
+     back in before the books are audited. *)
+  Thread.delay 0.3;
+  (* After the storm the breakers must find their way home: the
+     supervisor respawns any corpse, the work probe passes, success
+     closes the circuit. A breaker still open after the grace window is
+     a real defect, reported as an invariant violation below. *)
+  let breakers_settled =
+    match Server.cluster server with
+    | None -> true
+    | Some c ->
+      let deadline = Clock.now () +. 15. in
+      let rec go () =
+        if Array.for_all (fun s -> s = 0) (Server.Shard.breaker_states c) then true
+        else if Clock.now () > deadline then false
+        else begin
+          Thread.delay 0.2;
+          go ()
+        end
+      in
+      go ()
+  in
+  let metrics_text = Server.metrics_body server in
+  let cluster_report =
+    match Server.cluster server with
+    | None -> ""
+    | Some c ->
+      Printf.sprintf "replay: %d failovers, %d restarts, %d hedges (%d won), breakers [%s]\n"
+        (Server.Shard.failovers c) (Server.Shard.restarts c) (Server.Shard.hedges c)
+        (Server.Shard.hedge_wins c)
+        (String.concat "; "
+           (Array.to_list
+              (Array.map string_of_int (Server.Shard.breaker_states c))))
+  in
+  Server.drain server;
+  let ledger =
+    {
+      Server.Recorder.sent = List.length entries;
+      responses = !responses;
+      conn_errors = !conn_errors;
+      status_counts = Hashtbl.fold (fun st n acc -> (st, n) :: acc) statuses [];
+    }
+  in
+  let violations = Server.Recorder.check_invariants ~ledger ~metrics_text in
+  let violations =
+    if breakers_settled then violations
+    else violations @ [ "circuit breakers never returned to Closed after the run" ]
+  in
+  let ok = Option.value ~default:0 (Hashtbl.find_opt statuses 200) in
+  Printf.printf "replay: %d sent, %d responses (%d ok), %d connection errors\n"
+    ledger.Server.Recorder.sent !responses ok !conn_errors;
+  List.sort compare (Hashtbl.fold (fun st n acc -> (st, n) :: acc) statuses [])
+  |> List.iter (fun (st, n) -> Printf.printf "replay:   %3d x %d\n" st n);
+  print_string cluster_report;
+  match violations with
+  | [] ->
+    Printf.printf "replay: invariants clean\n";
+    0
+  | vs ->
+    List.iter (fun v -> Printf.eprintf "replay: invariant violation: %s\n" v) vs;
+    1
 
 (* ------------------------------------------------------------------ *)
 (* Terms                                                               *)
@@ -464,6 +688,81 @@ let shards =
            warm on its slice of the key space. SIGHUP rolls the backends one at a \
            time (zero-downtime reload). 0 (the default) serves in-process.")
 
+let record =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "record" ] ~docv:"FILE"
+        ~doc:
+          "Capture every admitted /generate request (method, path, tenant, deadline, \
+           body, monotonic timestamp) into a bounded ring and write it to $(docv) on \
+           drain, for $(b,awbserve replay).")
+
+let chaos_seed =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "chaos" ] ~docv:"SEED"
+        ~doc:
+          "Deterministic fault injection on the shard transport: delays, drops, \
+           truncations, CRC corruption, duplicates, and stalls, each a pure function \
+           of ($(docv), shard, frame sequence) — one seed replays one byte-identical \
+           fault schedule. Requires $(b,--shards).")
+
+let hedge =
+  Arg.(
+    value & flag
+    & info [ "hedge" ]
+        ~doc:
+          "Hedged requests: when a sharded generate is still in flight past the p95 \
+           latency estimate, re-issue it to the ring successor and use whichever \
+           response lands first. Cuts tail latency under stalls at the cost of \
+           duplicate work.")
+
+let breaker_failures =
+  Arg.(
+    value & opt int Server.Breaker.default_config.Server.Breaker.failure_threshold
+    & info [ "breaker-failures" ] ~docv:"N"
+        ~doc:
+          "Consecutive shard-call failures that trip that shard's circuit breaker \
+           open (routing then skips it until a half-open probe succeeds).")
+
+let breaker_cooldown =
+  Arg.(
+    value & opt float Server.Breaker.default_config.Server.Breaker.cooldown_s
+    & info [ "breaker-cooldown" ] ~docv:"S"
+        ~doc:"Seconds an open breaker dwells before admitting its half-open probe.")
+
+(* replay-only flags *)
+
+let capture_file =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Capture file written by $(b,serve --record).")
+
+let speed =
+  Arg.(
+    value & opt float 1.
+    & info [ "speed" ] ~docv:"X"
+        ~doc:"Replay at $(docv) times the recorded cadence (open loop).")
+
+let replay_shards =
+  Arg.(
+    value & opt int 0
+    & info [ "shards" ] ~docv:"N"
+        ~doc:"Back the replay server with $(docv) shard backends (0 = in-process).")
+
+let replay_max_inflight =
+  Arg.(
+    value & opt int Server.default_config.Server.max_inflight
+    & info [ "max-inflight" ] ~docv:"N" ~doc:"Worker domains executing requests.")
+
+let replay_queue_cap =
+  Arg.(
+    value & opt int Server.default_config.Server.queue_cap
+    & info [ "queue-cap" ] ~docv:"N" ~doc:"Admission queue capacity.")
+
 let batch_term =
   Term.(
     const run $ templates_dir $ sample $ model_file $ engine $ domains $ repeat
@@ -479,11 +778,24 @@ let serve_cmd =
       $ deadline_ms $ drain_deadline $ brownout $ result_cache_cap $ sample
       $ model_file $ engine $ cache_capacity $ fuel $ max_depth $ max_nodes $ retries
       $ quarantine_after $ fault_seed $ crash_rate $ deadline_rate $ transient_rate
-      $ keepalive $ idle_timeout $ max_conn_requests $ shards)
+      $ keepalive $ idle_timeout $ max_conn_requests $ shards $ record $ chaos_seed
+      $ hedge $ breaker_failures $ breaker_cooldown)
+
+let replay_cmd =
+  let doc =
+    "replay a recorded workload against a fresh server and check conservation \
+     invariants"
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc)
+    Term.(
+      const replay $ capture_file $ speed $ replay_shards $ chaos_seed $ hedge
+      $ sample $ model_file $ engine $ cache_capacity $ replay_max_inflight
+      $ replay_queue_cap)
 
 let cmd =
   let doc = "serve batches of document generations from AWB models" in
-  Cmd.group ~default:batch_term (Cmd.info "awbserve" ~doc) [ serve_cmd ]
+  Cmd.group ~default:batch_term (Cmd.info "awbserve" ~doc) [ serve_cmd; replay_cmd ]
 
 let () =
   (* When exec'd as a shard backend this serves frames and exits —

@@ -20,6 +20,7 @@ type t = {
   mutable idle_count : int;
   created : int Atomic.t;
   reused : int Atomic.t;
+  dropped : int Atomic.t;
 }
 
 let create ?(initial_size = 4096) ?(max_idle = 256) ?(max_buffer_bytes = 1 lsl 20) () =
@@ -32,6 +33,7 @@ let create ?(initial_size = 4096) ?(max_idle = 256) ?(max_buffer_bytes = 1 lsl 2
     idle_count = 0;
     created = Atomic.make 0;
     reused = Atomic.make 0;
+    dropped = Atomic.make 0;
   }
 
 let checkout t =
@@ -63,10 +65,15 @@ let checkin t b =
     Mutex.lock t.mutex;
     if t.idle_count < t.max_idle then begin
       t.idle <- b :: t.idle;
-      t.idle_count <- t.idle_count + 1
-    end;
-    Mutex.unlock t.mutex
+      t.idle_count <- t.idle_count + 1;
+      Mutex.unlock t.mutex
+    end
+    else begin
+      Mutex.unlock t.mutex;
+      Atomic.incr t.dropped
+    end
   end
+  else Atomic.incr t.dropped
 
 let with_buf t f =
   let b = checkout t in
@@ -74,6 +81,7 @@ let with_buf t f =
 
 let created t = Atomic.get t.created
 let reused t = Atomic.get t.reused
+let dropped t = Atomic.get t.dropped
 
 let idle t =
   Mutex.lock t.mutex;

@@ -31,3 +31,10 @@ val reused : t -> int
 
 val idle : t -> int
 (** Buffers currently idle in the pool. *)
+
+val dropped : t -> int
+(** Buffers released on checkin instead of retained (grew oversize, or
+    the idle cap was reached). With this counted, the pool's books
+    balance: after every checkout has been checked back in,
+    [created = idle + dropped] — the leak invariant the chaos
+    harness asserts after drain. *)

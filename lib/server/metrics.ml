@@ -29,6 +29,7 @@ type t = {
   refreshes : int Atomic.t;
   tenant_rejected : int Atomic.t;
   keepalive_reused : int Atomic.t;
+  recorded : int Atomic.t;
   window_s : float;
   wmutex : Mutex.t;
   mutable wstart : float;  (* monotonic start of the current window *)
@@ -57,6 +58,7 @@ let create ?(window_s = 2.) () =
     refreshes = Atomic.make 0;
     tenant_rejected = Atomic.make 0;
     keepalive_reused = Atomic.make 0;
+    recorded = Atomic.make 0;
     window_s;
     wmutex = Mutex.create ();
     wstart = now;
@@ -112,6 +114,7 @@ let incr_skeletons t = Atomic.incr t.skeletons
 let incr_refreshes t = Atomic.incr t.refreshes
 let incr_tenant_rejected t = Atomic.incr t.tenant_rejected
 let incr_keepalive_reused t = Atomic.incr t.keepalive_reused
+let incr_recorded t = Atomic.incr t.recorded
 
 let accepted t = Atomic.get t.accepted
 let shed t = Atomic.get t.shed
@@ -125,6 +128,7 @@ let skeletons t = Atomic.get t.skeletons
 let refreshes t = Atomic.get t.refreshes
 let tenant_rejected t = Atomic.get t.tenant_rejected
 let keepalive_reused t = Atomic.get t.keepalive_reused
+let recorded t = Atomic.get t.recorded
 
 let shed_fraction t ~now = with_window t (fun () -> roll t ~now; t.prev_fraction)
 
@@ -226,6 +230,8 @@ let to_prometheus t ?(mode = 0) ~queue_depth ~inflight ~ready () =
   in
   sample "lopsided_server_accepted_total" "Requests admitted to the in-flight queue."
     (accepted t);
+  sample "lopsided_server_recorded_total"
+    "Admitted requests captured into the replay ring (--record)." (recorded t);
   sample "lopsided_server_shed_total" "Requests answered 503 because the queue was full."
     (shed t);
   sample "lopsided_server_rate_limited_total"

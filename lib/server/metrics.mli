@@ -51,6 +51,9 @@ val incr_tenant_rejected : t -> unit
     connection rather than a fresh accept. *)
 val incr_keepalive_reused : t -> unit
 
+(** [incr_recorded] — admitted requests captured into the replay ring. *)
+val incr_recorded : t -> unit
+
 val accepted : t -> int
 val shed : t -> int
 val rate_limited : t -> int
@@ -63,6 +66,7 @@ val skeletons : t -> int
 val refreshes : t -> int
 val tenant_rejected : t -> int
 val keepalive_reused : t -> int
+val recorded : t -> int
 
 (** {1 Shed-rate window} *)
 

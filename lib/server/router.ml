@@ -95,5 +95,29 @@ let route_excluding t ~exclude key =
     go 0 0
   end
 
+(* The ordered failover/hedge chain for a key: the home shard first,
+   then each distinct successor clockwise — the walk [route_excluding]
+   performs under exclusion, made inspectable so tests, operators, and
+   the chaos harness can see where a key will land as shards fall. *)
+let failover_chain ?limit t key =
+  let n = Array.length t.ring in
+  if n = 0 then []
+  else begin
+    let limit = match limit with Some l -> l | None -> List.length t.shards in
+    let start = successor t (hash64 key) in
+    let seen = Hashtbl.create 8 in
+    let out = ref [] in
+    let i = ref 0 in
+    while !i < n && Hashtbl.length seen < limit do
+      let _, id = t.ring.((start + !i) mod n) in
+      if not (Hashtbl.mem seen id) then begin
+        Hashtbl.add seen id ();
+        out := id :: !out
+      end;
+      incr i
+    done;
+    List.rev !out
+  end
+
 let add t id = create ~replicas:t.replicas (id :: t.shards)
 let remove t id = create ~replicas:t.replicas (List.filter (fun s -> s <> id) t.shards)

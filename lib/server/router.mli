@@ -24,6 +24,11 @@ val route_excluding : t -> exclude:(int -> bool) -> string -> int option
     [exclude] is false — the home shard when healthy, its successor when
     not. [None] when every shard is excluded. *)
 
+val failover_chain : ?limit:int -> t -> string -> int list
+(** The key's distinct shards in ring-walk order — home first, then
+    each successor {!route_excluding} would fall to as shards are
+    excluded. At most [limit] entries (default: every shard). *)
+
 val add : t -> int -> t
 val remove : t -> int -> t
 

@@ -66,6 +66,9 @@ type config = {
   keepalive : bool;
   idle_timeout_s : float;
   max_conn_requests : int;
+  recorder : Recorder.t option;
+      (* when set, admitted /generate requests are captured into this
+         ring for later replay (awbserve --record) *)
 }
 
 let default_config =
@@ -93,6 +96,7 @@ let default_config =
     keepalive = false;
     idle_timeout_s = 5.;
     max_conn_requests = 1000;
+    recorder = None;
   }
 
 (* The pseudo-tenant that stale-while-revalidate refresh jobs queue
@@ -278,9 +282,17 @@ let metrics_body t =
        lopsided_server_buffers_created_total %d\n\
        # HELP lopsided_server_buffers_reused_total Pool hits: buffers reused.\n\
        # TYPE lopsided_server_buffers_reused_total counter\n\
-       lopsided_server_buffers_reused_total %d\n"
+       lopsided_server_buffers_reused_total %d\n\
+       # HELP lopsided_server_buffers_dropped_total Buffers released on checkin (oversize or idle cap).\n\
+       # TYPE lopsided_server_buffers_dropped_total counter\n\
+       lopsided_server_buffers_dropped_total %d\n\
+       # HELP lopsided_server_buffers_idle Buffers currently idle in the pool.\n\
+       # TYPE lopsided_server_buffers_idle gauge\n\
+       lopsided_server_buffers_idle %d\n"
       (Buffer_pool.created t.buffers)
       (Buffer_pool.reused t.buffers)
+      (Buffer_pool.dropped t.buffers)
+      (Buffer_pool.idle t.buffers)
   in
   Service.counters_to_prometheus (Service.counters t.svc)
   ^ Metrics.to_prometheus t.metrics ~mode:(Brownout.mode_index m)
@@ -877,7 +889,25 @@ let route t conn ~ka (req : Http.request) =
           match Fair_queue.push t.queue ~tenant job with
           | `Accepted ->
             Metrics.incr_accepted t.metrics;
-            Metrics.note_tenant t.metrics ~tenant ~outcome:`Served
+            Metrics.note_tenant t.metrics ~tenant ~outcome:`Served;
+            (match t.config.recorder with
+            | None -> ()
+            | Some r ->
+              (* Capture at admission: exactly the traffic that cost a
+                 queue slot, with the client's own deadline, so replay
+                 reproduces the admitted workload. *)
+              Metrics.incr_recorded t.metrics;
+              let deadline_ms =
+                match Http.header req "x-deadline-ms" with
+                | Some v ->
+                  (match float_of_string_opt (String.trim v) with
+                  | Some ms when ms > 0. -> int_of_float ms
+                  | _ -> 0)
+                | None -> 0
+              in
+              Recorder.record r
+                (Recorder.entry ~meth:req.Http.meth ~path:req.Http.path ~tenant
+                   ~deadline_ms ~body:req.Http.body ()))
           | `Shed `Tenant_full ->
             (* The flooding tenant's own bulkhead is full: their 429,
                everyone else's queue space is untouched. *)
@@ -1137,3 +1167,7 @@ module Router = Router
 module Shard = Shard
 module Composite = Composite
 module Service_http = Service_http
+module Frame = Frame
+module Chaos = Chaos
+module Breaker = Breaker
+module Recorder = Recorder

@@ -52,6 +52,10 @@ module Router = Router
 module Shard = Shard
 module Composite = Composite
 module Service_http = Service_http
+module Frame = Frame
+module Chaos = Chaos
+module Breaker = Breaker
+module Recorder = Recorder
 
 type config = {
   host : string;  (** bind address, default ["127.0.0.1"] *)
@@ -101,6 +105,10 @@ type config = {
       (** keep-alive: answer at most this many requests per connection,
           then [Connection: close] — bounds how long one client can pin
           a pooled buffer *)
+  recorder : Recorder.t option;
+      (** when set, every admitted [/generate] request is captured into
+          this ring (method, path, tenant, deadline, body, monotonic
+          timestamp) for later replay — the [--record] flag *)
 }
 
 val default_config : config

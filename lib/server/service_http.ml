@@ -6,6 +6,14 @@
 
 let retry_after s = [ ("Retry-After", string_of_int (max 1 (int_of_float (Float.ceil s)))) ]
 
+(* Whole-tier unavailability (no shard can take the request): 503 +
+   Retry-After + the structured JSON body, built here so the shard
+   front answers exactly like the single-process server would. *)
+let unavailable ~code ~message ~request_id ~retry_after_s =
+  ( 503,
+    ("Content-Type", "application/json") :: retry_after retry_after_s,
+    Http.error_body ~code ~message ~request_id )
+
 (* Resource trips keep their resource:* code in the JSON body so a
    client can tell a fuel trip from a deadline from a quarantine without
    parsing prose. *)

@@ -7,3 +7,13 @@ val retry_after : float -> (string * string) list
 
 val of_error : Service.error -> int * string * string * (string * string) list
 (** [(status, code, message, extra_headers)]. *)
+
+val unavailable :
+  code:string ->
+  message:string ->
+  request_id:string ->
+  retry_after_s:float ->
+  int * (string * string) list * string
+(** A complete 503 reply — status, headers ([Content-Type] +
+    [Retry-After]), structured JSON body — for "no shard can take
+    this" outcomes. *)

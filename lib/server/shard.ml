@@ -16,9 +16,9 @@
    host a backend, so the server, the tests, and the bench all spawn
    clusters without knowing each other's paths.
 
-   Wire protocol (length-prefixed binary, one frame per message):
+   Wire protocol: Frame's length-prefixed, CRC32-trailed binary frames
+   (see frame.ml for the framing itself), one per message:
 
-     frame    = u32 payload-length, payload
      payload  = op byte, op-specific fields
      'P' ping     -> 'P'
      'M' metrics  -> 'M' + prometheus text (shard-labeled)
@@ -26,111 +26,34 @@
      'G' generate = u8 level, u32 deadline-ms (0 = none),
                     lp id, lp engine, lp body
                -> 'G' + u16 status, u16 nheaders, (lp key, lp value)*, lp body
+     'N' nack     <- the peer's frame arrived with a bad CRC; carries a
+                     reason. Answered in place of desyncing the stream.
 
    where lp s = u32 length + bytes. Strings cross the boundary verbatim;
-   there is nothing to escape and nothing to re-parse. *)
+   there is nothing to escape and nothing to re-parse.
+
+   Resilience, front side: per-shard circuit breakers (Breaker) gate
+   routing before the ring walk, a deterministic chaos plane (Chaos)
+   can be interposed on data-plane frames, and optionally a hedge fires
+   the in-flight generate at the ring successor once the primary
+   overstays the p95-latency estimate. *)
 
 let spec_env = "AWBSERVE_SHARD_SPEC"
 let backend_flag = "--shard-backend"
 
-(* ------------------------------------------------------------------ *)
-(* Frame encoding                                                      *)
-(* ------------------------------------------------------------------ *)
+exception Protocol_error = Frame.Protocol_error
 
-let add_u8 b n = Buffer.add_char b (Char.chr (n land 0xff))
-
-let add_u16 b n =
-  add_u8 b (n lsr 8);
-  add_u8 b n
-
-let add_u32 b n =
-  add_u16 b (n lsr 16);
-  add_u16 b n
-
-let add_lp b s =
-  add_u32 b (String.length s);
-  Buffer.add_string b s
-
-exception Protocol_error of string
-
-let perr fmt = Printf.ksprintf (fun m -> raise (Protocol_error m)) fmt
-
-let get_u8 s pos =
-  if !pos >= String.length s then perr "truncated frame";
-  let v = Char.code s.[!pos] in
-  incr pos;
-  v
-
-let get_u16 s pos =
-  let hi = get_u8 s pos in
-  (hi lsl 8) lor get_u8 s pos
-
-let get_u32 s pos =
-  let hi = get_u16 s pos in
-  (hi lsl 16) lor get_u16 s pos
-
-let get_lp s pos =
-  let n = get_u32 s pos in
-  if !pos + n > String.length s then perr "truncated string field";
-  let v = String.sub s !pos n in
-  pos := !pos + n;
-  v
-
-(* ------------------------------------------------------------------ *)
-(* Socket IO                                                           *)
-(* ------------------------------------------------------------------ *)
-
-let send_all fd s =
-  (* unsafe_of_string is sound here: write only reads the buffer, and
-     frames run to hundreds of kilobytes — a defensive copy per send is
-     measurable GC pressure on the per-request path. *)
-  let b = Bytes.unsafe_of_string s in
-  let rec go off =
-    if off < Bytes.length b then begin
-      let n = Unix.write fd b off (Bytes.length b - off) in
-      if n <= 0 then perr "short write";
-      go (off + n)
-    end
-  in
-  go 0
-
-let send_frame fd payload =
-  (* Header and payload go out as two writes rather than one
-     concatenated copy: UDS has no Nagle, and the reader length-prefixes
-     its recvs anyway, so the only effect of concatenation would be
-     duplicating the payload. *)
-  let hdr = Buffer.create 4 in
-  add_u32 hdr (String.length payload);
-  send_all fd (Buffer.contents hdr);
-  send_all fd payload
-
-(* Blocking exact read. EAGAIN/EWOULDBLOCK from the socket receive
-   timeout raises by default — on the front side that timeout IS the
-   call deadline, and a wedged-but-alive backend must surface as a
-   failure (mark unhealthy, fail over), not block a worker domain
-   forever. [retry_again] opts back into retrying: the backend uses it
-   to poll its drain flag between frames. *)
-let recv_exact ?(retry_again = fun () -> false) fd n =
-  let b = Bytes.create n in
-  let rec go off =
-    if off >= n then Bytes.unsafe_to_string b
-    else
-      match Unix.recv fd b off (n - off) [] with
-      | 0 -> raise End_of_file
-      | r -> go (off + r)
-      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
-        when retry_again () ->
-        go off
-  in
-  go 0
-
-let max_frame_bytes = 64 * 1024 * 1024
-
-let recv_frame ?retry_again fd =
-  let len_s = recv_exact ?retry_again fd 4 in
-  let len = get_u32 len_s (ref 0) in
-  if len > max_frame_bytes then perr "frame of %d bytes exceeds the limit" len;
-  recv_exact ?retry_again fd len
+let perr = Frame.perr
+let add_u8 = Frame.add_u8
+let add_u16 = Frame.add_u16
+let add_u32 = Frame.add_u32
+let add_lp = Frame.add_lp
+let get_u8 = Frame.get_u8
+let get_u16 = Frame.get_u16
+let get_u32 = Frame.get_u32
+let get_lp = Frame.get_lp
+let send_frame = Frame.send_frame
+let recv_frame = Frame.recv_frame
 
 (* ------------------------------------------------------------------ *)
 (* Generate request / response payloads                                *)
@@ -326,6 +249,14 @@ let backend_main sp =
          match recv_frame ~retry_again:(fun () -> not (Atomic.get drain)) fd with
          | exception (End_of_file | Unix.Unix_error _ | Protocol_error _) ->
            closing := true
+         | exception Frame.Crc_mismatch ->
+           (* The frame arrived damaged but the length header framed the
+              read: the stream is still aligned. Answer a structured
+              nack so the front maps this to failover, instead of
+              closing and making corruption indistinguishable from a
+              crash. *)
+           (try send_frame fd (Frame.nack "bad frame crc")
+            with Protocol_error _ | Unix.Unix_error _ -> closing := true)
          | payload ->
            Atomic.incr inflight;
            let reply =
@@ -395,6 +326,10 @@ type cluster_config = {
   probe_interval_s : float;
   call_timeout_s : float;  (* response wait with no request deadline *)
   drain_timeout_s : float;  (* rolling restart: wait for in-flight, then for exit *)
+  chaos : Chaos.config option;  (* fault plane on data-plane frames *)
+  breaker : Breaker.config;  (* per-shard circuit breaker thresholds *)
+  hedge : bool;  (* re-issue slow generates to the ring successor *)
+  hedge_min_delay_s : float;  (* floor under the p95-EWMA hedge delay *)
 }
 
 let default_cluster_config =
@@ -408,6 +343,10 @@ let default_cluster_config =
     probe_interval_s = 0.1;
     call_timeout_s = 300.;
     drain_timeout_s = 30.;
+    chaos = None;
+    breaker = Breaker.default_config;
+    hedge = false;
+    hedge_min_delay_s = 0.05;
   }
 
 type shard = {
@@ -417,6 +356,8 @@ type shard = {
   shealthy : bool Atomic.t;
   sdraining : bool Atomic.t;
   sinflight : int Atomic.t;
+  sbreaker : Breaker.t;
+  schaos_seq : int Atomic.t;  (* data-plane frame counter for the chaos schedule *)
   smutex : Mutex.t;
   mutable sidle : Unix.file_descr list;  (* pooled connections *)
 }
@@ -429,6 +370,10 @@ type t = {
   failovers : int Atomic.t;
   restarts : int Atomic.t;
   reloads : int Atomic.t;
+  hedges : int Atomic.t;
+  hedge_wins : int Atomic.t;
+  unavailable : int Atomic.t;  (* 503s answered because no shard could take the request *)
+  p95_s : float Atomic.t;  (* EWMA p95 of successful call latency, drives the hedge delay *)
   stop : bool Atomic.t;
   mutable probe_thread : Thread.t option;
 }
@@ -468,14 +413,96 @@ let connect s ~timeout_s =
     close_quiet fd;
     raise e
 
-(* One request/response exchange. A pooled connection may be stale
-   (backend restarted since it was pooled): on failure over a pooled
-   conn, retry once over a fresh one before declaring the shard down. *)
-let call t s payload ~timeout_s =
-  let exchange fd =
-    (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s with Unix.Unix_error _ -> ());
+(* Send one data-plane frame under the chaos verdict for its sequence
+   number, and read the reply. Each fault is enacted on the real
+   socket: a dropped frame never leaves and the caller waits out its
+   receive timeout exactly as it would for a lost datagram; a truncated
+   frame leaves the backend holding a half-read (our close turns that
+   into EOF); a corrupted frame keeps its now-stale CRC trailer so the
+   backend's integrity check — not luck — catches it. *)
+let chaos_send_recv c s fd payload =
+  let seq = Atomic.fetch_and_add s.schaos_seq 1 in
+  match Chaos.decide c ~shard:s.sid ~seq with
+  | Chaos.Pass ->
     send_frame fd payload;
     recv_frame fd
+  | Chaos.Delay d ->
+    Thread.delay d;
+    send_frame fd payload;
+    recv_frame fd
+  | Chaos.Stall st ->
+    (* The frame hangs in flight: the backend sees it late, and a
+       hedge (or the caller's timeout) covers the gap meanwhile. *)
+    Thread.delay st;
+    send_frame fd payload;
+    recv_frame fd
+  | Chaos.Drop ->
+    (* Nothing is sent; the reply never comes. recv burns the socket
+       receive timeout and surfaces EAGAIN, like any silent loss. *)
+    recv_frame fd
+  | Chaos.Truncate ->
+    let wire = Frame.encode payload in
+    Frame.send_all fd (String.sub wire 0 (String.length wire / 2));
+    (* The rest never arrives. Raising here makes the caller close the
+       socket, so the backend's half-read ends in EOF, not a hang. *)
+    perr "chaos: frame truncated in flight"
+  | Chaos.Corrupt ->
+    let wire = Bytes.of_string (Frame.encode payload) in
+    let off =
+      Frame.payload_offset
+      + Chaos.corrupt_offset c ~shard:s.sid ~seq ~len:(String.length payload)
+    in
+    Bytes.set wire off (Char.chr (Char.code (Bytes.get wire off) lxor 0xff));
+    Frame.send_all fd (Bytes.unsafe_to_string wire);
+    recv_frame fd
+  | Chaos.Duplicate ->
+    (* At-least-once delivery: the backend serves the frame twice (its
+       replies queue in order on the connection); the duplicate's reply
+       is drained so the stream stays aligned and the caller still sees
+       exactly one response. *)
+    send_frame fd payload;
+    send_frame fd payload;
+    let reply = recv_frame fd in
+    (try ignore (recv_frame fd) with _ -> ());
+    reply
+
+(* One request/response exchange. A pooled connection may be stale
+   (backend restarted since it was pooled): on failure over a pooled
+   conn, retry once over a fresh one before declaring the shard down.
+   [chaos] opts the exchange into the fault plane — only data-plane
+   generates do; pings, metrics, drains, and health probes are exempt
+   so the supervisor's view stays truthful. A nack reply (the backend
+   detected a damaged frame) raises {!Frame.Nacked}: the exchange
+   protocol-succeeded but the payload was lost in flight, and the
+   connection is retired rather than recycled. *)
+let call ?(chaos = false) t s payload ~timeout_s =
+  let exchange fd =
+    (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s with Unix.Unix_error _ -> ());
+    let reply =
+      match t.cfg.chaos with
+      | Some c when chaos && Chaos.enabled c -> chaos_send_recv c s fd payload
+      | _ ->
+        send_frame fd payload;
+        recv_frame fd
+    in
+    match Frame.nack_reason reply with
+    | Some reason -> raise (Frame.Nacked reason)
+    | None -> reply
+  in
+  (* Only connection-staleness symptoms earn the in-call retry: a
+     pooled socket whose backend has since restarted fails with EOF or
+     a reset on first use, and a fresh connect genuinely fixes that.
+     Everything else — a nack, a damaged reply, a receive timeout —
+     happened on a live connection and must surface to the failover and
+     breaker layers, not be silently absorbed here (retrying a timeout
+     would also double the caller's wait). *)
+  let stale_conn = function
+    | End_of_file -> true
+    | Unix.Unix_error
+        ((Unix.EPIPE | Unix.ECONNRESET | Unix.ECONNREFUSED | Unix.ENOTCONN | Unix.EBADF), _, _)
+      ->
+      true
+    | _ -> false
   in
   match pool_take s with
   | Some fd -> (
@@ -483,7 +510,7 @@ let call t s payload ~timeout_s =
     | reply ->
       pool_put s fd;
       reply
-    | exception _ ->
+    | exception e when stale_conn e ->
       close_quiet fd;
       let fd = connect s ~timeout_s:(Float.min timeout_s t.cfg.call_timeout_s) in
       (match exchange fd with
@@ -492,7 +519,10 @@ let call t s payload ~timeout_s =
         reply
       | exception e ->
         close_quiet fd;
-        raise e))
+        raise e)
+    | exception e ->
+      close_quiet fd;
+      raise e)
   | None -> (
     let fd = connect s ~timeout_s in
     match exchange fd with
@@ -535,13 +565,37 @@ let spawn_backend t s =
   in
   s.spid <- pid
 
+(* The half-open work probe. Ping proves the backend's event loop is
+   alive; only a real (tiny) generate against its fallback model proves
+   the service underneath still does work. Health restoration requires
+   both — a process that answers pings but wedges on generation must
+   not flap back to healthy, take a slice of traffic, time it all out,
+   and go unhealthy again, over and over. *)
+let probe_template = "<document><p>shard probe</p></document>"
+
+let probe_generate t s =
+  let payload =
+    encode_generate ~id:"__probe__" ~engine:"host" ~level:Docgen.Spec.Full
+      ~deadline_ms:2000 ~body:probe_template
+  in
+  match decode_reply (call t s payload ~timeout_s:3.) with
+  | status, _, _ -> status < 500
+  | exception _ -> false
+
+let restore_health t s =
+  if ping t s ~timeout_s:1. && probe_generate t s then begin
+    Atomic.set s.shealthy true;
+    (* The successful work probe is exactly the breaker's half-open
+       admission test: close the circuit with it. *)
+    Breaker.record_success s.sbreaker;
+    true
+  end
+  else false
+
 let wait_healthy t s ~timeout_s =
   let deadline = Clock.now () +. timeout_s in
   let rec go () =
-    if ping t s ~timeout_s:1. then begin
-      Atomic.set s.shealthy true;
-      true
-    end
+    if restore_health t s then true
     else if Clock.now () > deadline then false
     else begin
       Thread.delay 0.02;
@@ -564,17 +618,19 @@ let probe_loop t =
             | 0, _ -> ()
             | _ ->
               (* The backend died (crash, OOM, kill -9). Everything it
-                 held is gone; respawn and let the ring's failover cover
-                 its keys until it answers pings again. *)
+                 held is gone; open the breaker outright (no need to
+                 count failures against a corpse), respawn, and let the
+                 ring's failover cover its keys until the work probe
+                 passes again. *)
               Atomic.set s.shealthy false;
+              Breaker.force_open s.sbreaker ~now:(Clock.now ());
               pool_clear s;
               if not (Atomic.get t.stop) then begin
                 Atomic.incr t.restarts;
                 spawn_backend t s
               end
             | exception Unix.Unix_error _ -> ());
-            if not (Atomic.get s.shealthy) && ping t s ~timeout_s:1. then
-              Atomic.set s.shealthy true
+            if not (Atomic.get s.shealthy) then ignore (restore_health t s)
           end)
         t.members
   done
@@ -609,6 +665,8 @@ let start ?(config = default_cluster_config) () =
           shealthy = Atomic.make false;
           sdraining = Atomic.make false;
           sinflight = Atomic.make 0;
+          sbreaker = Breaker.create ~config:config.breaker ();
+          schaos_seq = Atomic.make 0;
           smutex = Mutex.create ();
           sidle = [];
         })
@@ -622,6 +680,10 @@ let start ?(config = default_cluster_config) () =
       failovers = Atomic.make 0;
       restarts = Atomic.make 0;
       reloads = Atomic.make 0;
+      hedges = Atomic.make 0;
+      hedge_wins = Atomic.make 0;
+      unavailable = Atomic.make 0;
+      p95_s = Atomic.make (max 0.001 config.hedge_min_delay_s);
       stop = Atomic.make false;
       probe_thread = None;
     }
@@ -639,15 +701,127 @@ let shard_count t = Array.length t.members
 let failovers t = Atomic.get t.failovers
 let restarts t = Atomic.get t.restarts
 let reloads t = Atomic.get t.reloads
+let hedges t = Atomic.get t.hedges
+let hedge_wins t = Atomic.get t.hedge_wins
+let unavailable t = Atomic.get t.unavailable
+let breaker_states t = Array.map (fun s -> Breaker.state_code s.sbreaker) t.members
 let pids t = Array.map (fun s -> s.spid) t.members
 let healthy_count t =
   Array.fold_left (fun acc s -> if Atomic.get s.shealthy then acc + 1 else acc) 0 t.members
 
-(* Route and forward one generate. Failover: a shard that errors
-   mid-exchange is marked unhealthy (the probe thread restores it) and
-   the request retries on the next ring successor — safe because
-   generation is read-only. The response is (status, headers, body),
-   ready for the front end to decorate and write. *)
+let is_timeout_exn = function
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _) -> true
+  | _ -> false
+
+(* Frugal streaming p95: on each successful-call latency, step the
+   estimate up hard when the sample exceeds it and down softly when it
+   doesn't (19:1, the 95th-percentile balance point). Cheap, lock-free,
+   and good enough to aim a hedge delay — this is a trigger threshold,
+   not a reported statistic. *)
+let observe_latency t dt =
+  let rec go () =
+    let cur = Atomic.get t.p95_s in
+    let step = Float.max 0.0005 (cur *. 0.05) in
+    let next =
+      if dt > cur then cur +. (step *. 0.95) else Float.max 0.001 (cur -. (step *. 0.05))
+    in
+    if not (Atomic.compare_and_set t.p95_s cur next) then go ()
+  in
+  go ()
+
+(* One routed attempt against shard [sid], with breaker bookkeeping:
+   every outcome — including a hedge loser's — feeds the shard's
+   breaker, so the trip thresholds see the true failure stream. *)
+let attempt_call t sid payload ~timeout_s =
+  let s = t.members.(sid) in
+  Atomic.incr s.sinflight;
+  let t0 = Clock.now () in
+  let result =
+    Fun.protect
+      ~finally:(fun () -> Atomic.decr s.sinflight)
+      (fun () -> try Ok (call ~chaos:true t s payload ~timeout_s) with e -> Error e)
+  in
+  (match result with
+  | Ok _ ->
+    Breaker.record_success s.sbreaker;
+    observe_latency t (Clock.now () -. t0)
+  | Error e ->
+    Breaker.record_failure s.sbreaker ~timeout:(is_timeout_exn e) ~now:(Clock.now ()) ());
+  result
+
+(* Hedged attempt: first response wins. The primary gets the hedge
+   delay (p95 EWMA, floored at the configured minimum) to answer; past
+   that — or the moment it fails — the same payload goes to the ring
+   successor, and whichever attempt completes with Ok first is the
+   answer. The loser is not interrupted: its thread runs to its own
+   timeout, its outcome still feeds its shard's breaker, and its reply
+   is simply discarded ([hedges] counts fired hedges, [hedge_wins] the
+   ones whose reply was used). *)
+let hedged_call t sid ~route_key ~payload ~timeout_s ~excluded =
+  let mutex = Mutex.create () in
+  let results = ref [] in
+  let snapshot () =
+    Mutex.lock mutex;
+    let r = !results in
+    Mutex.unlock mutex;
+    r
+  in
+  let launch tag hid =
+    ignore
+      (Thread.create
+         (fun () ->
+           let r = attempt_call t hid payload ~timeout_s in
+           Mutex.lock mutex;
+           results := (tag, r) :: !results;
+           Mutex.unlock mutex)
+         ())
+  in
+  let launched = ref 1 in
+  launch `Primary sid;
+  let hedge_delay = Float.max t.cfg.hedge_min_delay_s (Atomic.get t.p95_s) in
+  let t0 = Clock.now () in
+  let hard_deadline = t0 +. timeout_s +. 1. in
+  while snapshot () = [] && Clock.now () -. t0 < hedge_delay do
+    Thread.delay 0.002
+  done;
+  (match snapshot () with
+  | (_, Ok _) :: _ -> () (* the primary answered inside the hedge delay *)
+  | _ -> (
+    match
+      Router.route_excluding t.router ~exclude:(fun i -> i = sid || excluded i) route_key
+    with
+    | Some hid when Breaker.try_probe t.members.(hid).sbreaker ~now:(Clock.now ()) ->
+      Atomic.incr t.hedges;
+      incr launched;
+      launch `Hedge hid
+    | _ -> () (* nowhere to hedge; ride the primary out *)))
+  ;
+  let rec settle () =
+    let r = snapshot () in
+    match List.find_opt (fun (_, res) -> Result.is_ok res) r with
+    | Some (tag, res) ->
+      if tag = `Hedge then Atomic.incr t.hedge_wins;
+      res
+    | None ->
+      if List.length r >= !launched then
+        match r with (_, e) :: _ -> e | [] -> assert false
+      else if Clock.now () > hard_deadline then
+        Error (Unix.Unix_error (Unix.ETIMEDOUT, "hedged_call", ""))
+      else begin
+        Thread.delay 0.002;
+        settle ()
+      end
+  in
+  settle ()
+
+(* Route and forward one generate. The breaker gates routing before the
+   ring walk (an Open shard is skipped without spending a request on
+   it; a Half-open shard admits exactly one probe). Failover: a shard
+   that errors mid-exchange is marked unhealthy (the probe thread
+   restores it after a successful work probe) and the request retries
+   on the next ring successor — safe because generation is read-only.
+   The response is (status, headers, body), ready for the front end to
+   decorate and write. *)
 let generate t ~id ~engine ~level ~deadline_ms ~body =
   let timeout_s =
     if deadline_ms = 0 then t.cfg.call_timeout_s
@@ -669,35 +843,41 @@ let generate t ~id ~engine ~level ~deadline_ms ~body =
     failed.(sid)
     || (not (Atomic.get t.members.(sid).shealthy))
     || Atomic.get t.members.(sid).sdraining
+    || Breaker.blocked t.members.(sid).sbreaker ~now:(Clock.now ())
+  in
+  let no_shards message =
+    (* Counted so end-of-run conservation can account for every 503 the
+       tier answered: these come from routing, not the admission queue. *)
+    Atomic.incr t.unavailable;
+    Service_http.unavailable ~code:"no-shards" ~message ~request_id:id ~retry_after_s:1.
   in
   let rec attempt tries =
-    match Router.route_excluding t.router ~exclude:excluded route_key with
-    | None ->
-      ( 503,
-        ("Content-Type", "application/json") :: Service_http.retry_after 1.,
-        Http.error_body ~code:"no-shards" ~message:"no healthy shard available"
-          ~request_id:id )
-    | Some sid -> (
-      let s = t.members.(sid) in
-      Atomic.incr s.sinflight;
-      let reply =
-        Fun.protect
-          ~finally:(fun () -> Atomic.decr s.sinflight)
-          (fun () -> try Ok (call t s payload ~timeout_s) with e -> Error e)
-      in
-      match reply with
-      | Ok reply -> decode_reply reply
-      | Error _ ->
-        Atomic.set s.shealthy false;
-        pool_clear s;
-        failed.(sid) <- true;
-        Atomic.incr t.failovers;
-        if tries + 1 >= Array.length t.members then
-          ( 503,
-            ("Content-Type", "application/json") :: Service_http.retry_after 1.,
-            Http.error_body ~code:"no-shards" ~message:"every shard failed"
-              ~request_id:id )
-        else attempt (tries + 1))
+    if tries >= Array.length t.members then no_shards "every shard failed"
+    else
+      match Router.route_excluding t.router ~exclude:excluded route_key with
+      | None -> no_shards "no healthy shard available"
+      | Some sid -> (
+        let s = t.members.(sid) in
+        if not (Breaker.try_probe s.sbreaker ~now:(Clock.now ())) then begin
+          (* Lost the half-open probe slot to a concurrent request:
+             leave the breaker alone and walk on. *)
+          failed.(sid) <- true;
+          attempt (tries + 1)
+        end
+        else
+          let result =
+            if t.cfg.hedge && Array.length t.members > 1 then
+              hedged_call t sid ~route_key ~payload ~timeout_s ~excluded
+            else attempt_call t sid payload ~timeout_s
+          in
+          match result with
+          | Ok reply -> decode_reply reply
+          | Error _ ->
+            Atomic.set s.shealthy false;
+            pool_clear s;
+            failed.(sid) <- true;
+            Atomic.incr t.failovers;
+            attempt (tries + 1))
   in
   attempt 0
 
@@ -731,13 +911,23 @@ let metrics t =
   in
   let b = Buffer.create 4096 in
   Buffer.add_string b (dedup_metadata (String.concat "" parts));
-  Buffer.add_string b "# HELP lopsided_shard_healthy 1 when the shard answers pings.\n";
+  Buffer.add_string b
+    "# HELP lopsided_shard_healthy 1 when the shard passes ping and work probes.\n";
   Buffer.add_string b "# TYPE lopsided_shard_healthy gauge\n";
   Array.iter
     (fun s ->
       Buffer.add_string b
         (Printf.sprintf "lopsided_shard_healthy{shard=\"%d\"} %d\n" s.sid
            (if Atomic.get s.shealthy then 1 else 0)))
+    t.members;
+  Buffer.add_string b
+    "# HELP lopsided_shard_breaker_state Circuit breaker: 0 closed, 1 open, 2 half-open.\n";
+  Buffer.add_string b "# TYPE lopsided_shard_breaker_state gauge\n";
+  Array.iter
+    (fun s ->
+      Buffer.add_string b
+        (Printf.sprintf "lopsided_shard_breaker_state{shard=\"%d\"} %d\n" s.sid
+           (Breaker.state_code s.sbreaker)))
     t.members;
   let counter name help v =
     Buffer.add_string b (Printf.sprintf "# HELP %s %s\n# TYPE %s counter\n%s %d\n" name help name name v)
@@ -748,6 +938,12 @@ let metrics t =
     "Backend processes respawned by the supervisor after dying." (restarts t);
   counter "lopsided_shard_reloads_total"
     "Backend processes cycled by a rolling restart." (reloads t);
+  counter "lopsided_shard_hedges_total"
+    "Hedge requests fired at a ring successor after the hedge delay." (hedges t);
+  counter "lopsided_shard_hedge_wins_total"
+    "Hedged generates whose hedge reply arrived first and was used." (hedge_wins t);
+  counter "lopsided_shard_unavailable_total"
+    "Generates answered 503 because no shard could take the request." (unavailable t);
   Buffer.contents b
 
 let wait_exit ?(timeout_s = 10.) pid =

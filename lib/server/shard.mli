@@ -36,19 +36,31 @@ type cluster_config = {
   call_timeout_s : float;  (** response wait when a request has no deadline *)
   drain_timeout_s : float;
       (** rolling restart: max wait for in-flight work, then for exit *)
+  chaos : Chaos.config option;
+      (** deterministic fault plane interposed on data-plane frames
+          (pings, metrics, drains, and health probes are exempt) *)
+  breaker : Breaker.config;  (** per-shard circuit breaker thresholds *)
+  hedge : bool;
+      (** after the hedge delay (p95-EWMA of call latency, floored at
+          [hedge_min_delay_s]), re-issue an in-flight generate to the
+          ring successor; first response wins *)
+  hedge_min_delay_s : float;
 }
 
 val default_cluster_config : cluster_config
 (** 4 shards, 64 replicas, cache 128, result cache off, banking model,
-    temp socket dir, 100 ms probes, 300 s call timeout, 30 s drain. *)
+    temp socket dir, 100 ms probes, 300 s call timeout, 30 s drain,
+    no chaos, default breaker, hedging off (50 ms floor). *)
 
 type t
 
 val start : ?config:cluster_config -> unit -> t
-(** Spawn the backends, wait until every one answers pings, and start
-    the supervisor (reaps dead backends, respawns them, restores their
-    health once they ping again). Raises [Failure] if a backend never
-    comes up. *)
+(** Spawn the backends, wait until every one passes both the ping and
+    the work probe (a real tiny generate — a backend that pings but
+    wedges on work never counts as healthy), and start the supervisor
+    (reaps dead backends, respawns them, restores their health once
+    both probes pass again). Raises [Failure] if a backend never comes
+    up. *)
 
 val generate :
   t ->
@@ -92,6 +104,18 @@ val restarts : t -> int
 
 val reloads : t -> int
 (** Backends cycled by {!rolling_restart}. *)
+
+val hedges : t -> int
+(** Hedge requests fired at a ring successor. *)
+
+val hedge_wins : t -> int
+(** Hedged generates whose hedge reply arrived first and was used. *)
+
+val unavailable : t -> int
+(** Generates answered 503 because no shard could take the request. *)
+
+val breaker_states : t -> int array
+(** Per-shard breaker state codes (0 closed, 1 open, 2 half-open). *)
 
 val pids : t -> int array
 (** Current backend process ids, by shard (tests kill these). *)

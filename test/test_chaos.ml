@@ -1,0 +1,444 @@
+(* The chaos-hardening plane: frame integrity (CRC32 + structured
+   nack), the deterministic fault schedule, the per-shard circuit
+   breaker state machine, and live-cluster coverage for the two
+   resilience paths the fault plane exists to prove — corruption
+   detected and failed over without desyncing a backend, and a stalled
+   shard hedged around with exactly one response per request. *)
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let bool_t = Alcotest.bool
+
+module Frame = Server.Frame
+module Chaos = Server.Chaos
+module Breaker = Server.Breaker
+module Shard = Server.Shard
+
+(* ------------------------------------------------------------------ *)
+(* Frame codec                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_crc32_vector () =
+  (* The IEEE 802.3 check value: CRC32("123456789") = 0xCBF43926. *)
+  check int_t "standard check value" 0xcbf43926 (Frame.crc32 "123456789")
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) [ a; b ])
+    (fun () -> f a b)
+
+let test_frame_roundtrip () =
+  with_socketpair (fun a b ->
+      let payload = "Ghello \x00\xff frame" in
+      Frame.send_frame a payload;
+      check Alcotest.string "payload survives the wire" payload (Frame.recv_frame b))
+
+let test_frame_encode_layout () =
+  let payload = "xyzzy" in
+  let wire = Frame.encode payload in
+  check Alcotest.string "payload sits at payload_offset" payload
+    (String.sub wire Frame.payload_offset (String.length payload));
+  (* encode and send_frame must put identical bytes on the wire. *)
+  with_socketpair (fun a b ->
+      Frame.send_all a wire;
+      check Alcotest.string "encode is send_frame's bytes" payload (Frame.recv_frame b))
+
+let test_frame_corruption_detected_and_framed () =
+  with_socketpair (fun a b ->
+      (* One payload byte flipped, CRC left stale: the receiver must
+         detect the damage, and — the nack contract — the next frame on
+         the same stream must still parse, because the length header
+         was consumed before the damage was found. *)
+      let wire = Bytes.of_string (Frame.encode "Gdamaged payload") in
+      Bytes.set wire (Frame.payload_offset + 3)
+        (Char.chr (Char.code (Bytes.get wire (Frame.payload_offset + 3)) lxor 0xff));
+      Frame.send_all a (Bytes.to_string wire);
+      Frame.send_frame a "Gclean payload";
+      (match Frame.recv_frame b with
+      | _ -> Alcotest.fail "corrupted frame parsed as clean"
+      | exception Frame.Crc_mismatch -> ());
+      check Alcotest.string "stream survives the bad frame" "Gclean payload"
+        (Frame.recv_frame b))
+
+let test_frame_version_rejected () =
+  with_socketpair (fun a b ->
+      let wire = Bytes.of_string (Frame.encode "Gpayload") in
+      Bytes.set wire 4 '\x07';
+      Frame.send_all a (Bytes.to_string wire);
+      match Frame.recv_frame b with
+      | _ -> Alcotest.fail "wrong version byte accepted"
+      | exception Frame.Protocol_error _ -> ())
+
+let test_nack_roundtrip () =
+  let p = Frame.nack "bad frame crc" in
+  (match Frame.nack_reason p with
+  | Some r -> check Alcotest.string "reason survives" "bad frame crc" r
+  | None -> Alcotest.fail "nack payload not recognized");
+  check bool_t "ordinary payload is not a nack" true (Frame.nack_reason "Gxx" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Chaos schedule                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_chaos_deterministic () =
+  let c = Chaos.of_seed 1234 in
+  check bool_t "same seed, same schedule" true
+    (Chaos.schedule c ~shard:0 400 = Chaos.schedule c ~shard:0 400);
+  check bool_t "decide agrees with schedule" true
+    (List.init 50 (fun seq -> Chaos.decide c ~shard:3 ~seq)
+    = Chaos.schedule c ~shard:3 50);
+  check bool_t "different seed, different schedule" true
+    (Chaos.schedule c ~shard:0 400
+    <> Chaos.schedule (Chaos.of_seed 1235) ~shard:0 400);
+  check bool_t "different shard, different schedule" true
+    (Chaos.schedule c ~shard:0 400 <> Chaos.schedule c ~shard:1 400)
+
+let test_chaos_none_passes () =
+  check bool_t "none injects nothing" true
+    (List.for_all (fun a -> a = Chaos.Pass) (Chaos.schedule Chaos.none ~shard:0 500))
+
+let test_chaos_rates_roughly_honored () =
+  (* of_seed's standard schedule faults ~26% of frames. The bound is
+     loose — it catches a broken draw (all-Pass, all-fault), not
+     statistical wobble. *)
+  let c = Chaos.of_seed 9 in
+  let faults =
+    List.filter (fun a -> a <> Chaos.Pass) (Chaos.schedule c ~shard:0 2000)
+    |> List.length
+  in
+  check bool_t (Printf.sprintf "fault fraction %d/2000 within [0.10, 0.45]" faults) true
+    (faults > 200 && faults < 900)
+
+(* ------------------------------------------------------------------ *)
+(* Breaker state machine                                               *)
+(* ------------------------------------------------------------------ *)
+
+let bcfg = { Breaker.failure_threshold = 3; timeout_rate_threshold = 0.5; window = 4; cooldown_s = 10. }
+
+let test_breaker_trips_on_consecutive_failures () =
+  let b = Breaker.create ~config:bcfg () in
+  let now = 100. in
+  check int_t "starts closed" 0 (Breaker.state_code b);
+  Breaker.record_failure b ~now ();
+  Breaker.record_failure b ~now ();
+  check int_t "below threshold stays closed" 0 (Breaker.state_code b);
+  Breaker.record_failure b ~now ();
+  check int_t "third consecutive failure trips open" 1 (Breaker.state_code b);
+  check bool_t "open inside cooldown blocks routing" true (Breaker.blocked b ~now:(now +. 1.));
+  check bool_t "no probe inside cooldown" false (Breaker.try_probe b ~now:(now +. 1.));
+  check int_t "one trip counted" 1 (Breaker.trips b)
+
+let test_breaker_success_interrupts_the_count () =
+  let b = Breaker.create ~config:bcfg () in
+  let now = 100. in
+  Breaker.record_failure b ~now ();
+  Breaker.record_failure b ~now ();
+  Breaker.record_success b;
+  Breaker.record_failure b ~now ();
+  Breaker.record_failure b ~now ();
+  check int_t "consecutive count reset by success" 0 (Breaker.state_code b)
+
+let test_breaker_trips_on_timeout_rate () =
+  (* Failures never consecutive enough to trip the count, but 3 of the
+     4-outcome window are timeouts: the rate threshold must fire. *)
+  let b =
+    Breaker.create ~config:{ bcfg with Breaker.failure_threshold = 100 } ()
+  in
+  let now = 100. in
+  Breaker.record_success b;
+  Breaker.record_failure b ~timeout:true ~now ();
+  Breaker.record_failure b ~timeout:true ~now ();
+  check int_t "window not yet full" 0 (Breaker.state_code b);
+  Breaker.record_failure b ~timeout:true ~now ();
+  check int_t "timeout rate over a full window trips open" 1 (Breaker.state_code b)
+
+let test_breaker_half_open_single_probe () =
+  let b = Breaker.create ~config:bcfg () in
+  let now = 100. in
+  for _ = 1 to 3 do
+    Breaker.record_failure b ~now ()
+  done;
+  let after = now +. bcfg.Breaker.cooldown_s +. 0.1 in
+  check bool_t "cooldown over: routing may consider the shard" false
+    (Breaker.blocked b ~now:after);
+  check bool_t "first caller claims the probe slot" true (Breaker.try_probe b ~now:after);
+  check int_t "now half-open" 2 (Breaker.state_code b);
+  check bool_t "second caller is refused while the probe flies" false
+    (Breaker.try_probe b ~now:after);
+  check bool_t "half-open with probe in flight blocks routing" true
+    (Breaker.blocked b ~now:after);
+  Breaker.record_success b;
+  check int_t "probe success closes the circuit" 0 (Breaker.state_code b);
+  check bool_t "closed admits freely" true (Breaker.try_probe b ~now:after)
+
+let test_breaker_reopens_on_probe_failure () =
+  let b = Breaker.create ~config:bcfg () in
+  let now = 100. in
+  for _ = 1 to 3 do
+    Breaker.record_failure b ~now ()
+  done;
+  let after = now +. bcfg.Breaker.cooldown_s +. 0.1 in
+  check bool_t "probe admitted" true (Breaker.try_probe b ~now:after);
+  Breaker.record_failure b ~now:after ();
+  check int_t "probe failure re-opens" 1 (Breaker.state_code b);
+  check bool_t "cooldown restarts" false (Breaker.try_probe b ~now:(after +. 1.));
+  check bool_t "next probe admitted after the fresh cooldown" true
+    (Breaker.try_probe b ~now:(after +. bcfg.Breaker.cooldown_s +. 0.2));
+  Breaker.record_success b;
+  check int_t "second probe closes" 0 (Breaker.state_code b)
+
+let test_breaker_force_open () =
+  let b = Breaker.create ~config:bcfg () in
+  Breaker.force_open b ~now:100.;
+  check int_t "forced open" 1 (Breaker.state_code b);
+  check bool_t "blocked inside cooldown" true (Breaker.blocked b ~now:100.5)
+
+(* ------------------------------------------------------------------ *)
+(* Failover chain                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_failover_chain_matches_the_walk () =
+  let r = Server.Router.create [ 0; 1; 2; 3 ] in
+  List.iter
+    (fun k ->
+      let chain = Server.Router.failover_chain r k in
+      check int_t "chain covers every shard" 4 (List.length chain);
+      check int_t "chain is duplicate-free" 4
+        (List.length (List.sort_uniq compare chain));
+      (* The chain IS the exclusion walk: dropping its first i shards
+         must route to element i. *)
+      check int_t "head is the home shard" (Server.Router.route r k) (List.hd chain);
+      List.iteri
+        (fun i expected ->
+          let dead = List.filteri (fun j _ -> j < i) chain in
+          match
+            Server.Router.route_excluding r ~exclude:(fun id -> List.mem id dead) k
+          with
+          | Some got -> check int_t "walk lands on chain element" expected got
+          | None -> Alcotest.fail "walk exhausted before the chain did")
+        chain;
+      check int_t "limit truncates" 2
+        (List.length (Server.Router.failover_chain ~limit:2 r k)))
+    (List.init 50 (fun i -> Printf.sprintf "chain-key-%d" (i * 131)))
+
+(* ------------------------------------------------------------------ *)
+(* Live clusters                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let users_tpl =
+  "<document><for nodes=\"start type(User); sort-by label\"><p><label/></p></for></document>"
+
+let bodies = List.init 8 (fun i -> Printf.sprintf "%s<!-- v%d -->" users_tpl i)
+
+let gen ?(deadline_ms = 0) cluster body =
+  let status, _, _ =
+    Shard.generate cluster ~id:"t" ~engine:"host" ~level:Docgen.Spec.Full ~deadline_ms
+      ~body
+  in
+  status
+
+(* A seed whose schedule corrupts exactly the first data frame to shard
+   0 and passes the next few — found by scan so the test is
+   deterministic without hardcoding a magic constant. *)
+let corrupt_then_clean_seed () =
+  let rec scan seed =
+    if seed > 10_000 then Alcotest.fail "no corrupt-then-clean seed under 10000"
+    else
+      let c = { Chaos.none with Chaos.seed; corrupt_rate = 0.5 } in
+      match Chaos.schedule c ~shard:0 4 with
+      | Chaos.Corrupt :: rest when List.for_all (fun a -> a = Chaos.Pass) rest -> c
+      | _ -> scan (seed + 1)
+  in
+  scan 0
+
+let test_corruption_fails_over_without_desync () =
+  let chaos = corrupt_then_clean_seed () in
+  let cluster =
+    Shard.start
+      ~config:
+        {
+          Shard.default_cluster_config with
+          Shard.shards = 1;
+          drain_timeout_s = 5.;
+          chaos = Some chaos;
+        }
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Shard.shutdown cluster)
+    (fun () ->
+      (* Frame 0 to shard 0 is corrupted in flight: the backend must
+         answer a structured nack (not desync), the front must count a
+         failover, and with no other shard the client sees 503. *)
+      check int_t "corrupted exchange fails over to 503" 503 (gen cluster users_tpl);
+      check bool_t "failover counted" true (Shard.failovers cluster >= 1);
+      (* The backend survived the bad frame: the supervisor never had a
+         corpse to reap... *)
+      check int_t "backend not restarted" 0 (Shard.restarts cluster);
+      (* ...and once the probe restores the route, the very same backend
+         process serves the next request — a desynced or wedged stream
+         would fail here. *)
+      let deadline = Clock.now () +. 10. in
+      while Shard.healthy_count cluster < 1 && Clock.now () < deadline do
+        Thread.delay 0.05
+      done;
+      check int_t "same backend serves the next request" 200 (gen cluster users_tpl);
+      check int_t "still no restart" 0 (Shard.restarts cluster))
+
+let test_hedge_covers_a_stalled_shard () =
+  (* A kernel-level stall: SIGSTOP one backend, so frames to it are
+     accepted by the socket but never answered — the deterministic
+     equivalent of a chaos Stall verdict, without a race against the
+     fault schedule. Probes are slowed way down so the supervisor
+     cannot hide the stall by failing the shard first; the hedge path
+     must do the covering. *)
+  let cluster =
+    Shard.start
+      ~config:
+        {
+          Shard.default_cluster_config with
+          Shard.shards = 2;
+          drain_timeout_s = 5.;
+          probe_interval_s = 30.;
+          hedge = true;
+          hedge_min_delay_s = 0.05;
+        }
+      ()
+  in
+  let stopped = ref None in
+  Fun.protect
+    ~finally:(fun () ->
+      (match !stopped with
+      | Some pid -> ( try Unix.kill pid Sys.sigcont with Unix.Unix_error _ -> ())
+      | None -> ());
+      Shard.shutdown cluster)
+    (fun () ->
+      (* Warm both shards so every pooled connection exists and the
+         hedge decision is about latency, not connect time. *)
+      List.iter (fun b -> check int_t "warm" 200 (gen cluster b)) bodies;
+      let victim = (Shard.pids cluster).(0) in
+      Unix.kill victim Sys.sigstop;
+      stopped := Some victim;
+      (* Every request must still get exactly one 200: bodies homed on
+         the live shard answer directly; bodies homed on the stalled
+         shard hang past the hedge delay, fire a hedge at the ring
+         successor, and use its reply. *)
+      let oks =
+        List.fold_left
+          (fun acc b -> if gen ~deadline_ms:2000 cluster b = 200 then acc + 1 else acc)
+          0 bodies
+      in
+      check int_t "exactly one 200 per request under the stall" (List.length bodies) oks;
+      check bool_t "hedges fired" true (Shard.hedges cluster >= 1);
+      check bool_t "a hedge reply was used" true (Shard.hedge_wins cluster >= 1);
+      (* The observability contract: breaker state, hedge counters. *)
+      let m = Shard.metrics cluster in
+      check bool_t "breaker gauge exposed" true
+        (Astring.String.is_infix ~affix:"lopsided_shard_breaker_state" m);
+      check bool_t "hedge counters exposed" true
+        (Astring.String.is_infix ~affix:"lopsided_shard_hedges_total" m
+        && Astring.String.is_infix ~affix:"lopsided_shard_hedge_wins_total" m);
+      Unix.kill victim Sys.sigcont;
+      stopped := None)
+
+(* ------------------------------------------------------------------ *)
+(* Recorder round-trip                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_recorder_roundtrip () =
+  let r = Server.Recorder.create ~capacity:4 () in
+  for i = 1 to 6 do
+    Server.Recorder.record r
+      (Server.Recorder.entry ~ts:(float_of_int i) ~meth:"POST" ~path:"/generate"
+         ~tenant:(Printf.sprintf "t%d" i) ~deadline_ms:(i * 100)
+         ~body:(Printf.sprintf "<doc v=\"%d\"/>" i) ())
+  done;
+  (* Capacity 4, 6 writes: the two oldest fell off the ring. *)
+  check int_t "ring holds capacity" 4 (Server.Recorder.length r);
+  check int_t "overwrites counted" 2 (Server.Recorder.dropped r);
+  let path = Filename.temp_file "chaos_rec" ".rec" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      check int_t "save writes the survivors" 4 (Server.Recorder.save r path);
+      match Server.Recorder.load path with
+      | [] -> Alcotest.fail "empty load"
+      | first :: _ as es ->
+        check int_t "load round-trips" 4 (List.length es);
+        check bool_t "timestamps re-based to zero" true (first.Server.Recorder.e_ts = 0.);
+        let last = List.nth es 3 in
+        check Alcotest.string "payload survives" "<doc v=\"6\"/>" last.Server.Recorder.e_body;
+        check Alcotest.string "tenant survives" "t6" last.Server.Recorder.e_tenant;
+        check int_t "deadline survives" 600 last.Server.Recorder.e_deadline_ms)
+
+let test_invariant_checker_flags_losses () =
+  let clean =
+    {
+      Server.Recorder.sent = 10;
+      responses = 9;
+      conn_errors = 1;
+      status_counts = [ (200, 7); (503, 2) ];
+    }
+  in
+  let metrics_text =
+    "lopsided_server_accepted_total 7\nlopsided_server_shed_total 2\n\
+     lopsided_server_buffers_created_total 3\nlopsided_server_buffers_idle 2\n\
+     lopsided_server_buffers_dropped_total 1\n"
+  in
+  check bool_t "clean run has no violations" true
+    (Server.Recorder.check_invariants ~ledger:clean ~metrics_text = []);
+  (* A lost response (sent <> responses + conn_errors) must be caught. *)
+  let lost = { clean with Server.Recorder.responses = 8 } in
+  check bool_t "lost response flagged" true
+    (Server.Recorder.check_invariants ~ledger:lost ~metrics_text <> []);
+  (* More 200s than the server admitted: double-send or phantom. *)
+  let phantom = { clean with Server.Recorder.status_counts = [ (200, 9) ] } in
+  check bool_t "phantom success flagged" true
+    (Server.Recorder.check_invariants ~ledger:phantom ~metrics_text <> []);
+  (* A leaked pool buffer after drain. *)
+  let leaky =
+    "lopsided_server_accepted_total 7\nlopsided_server_shed_total 2\n\
+     lopsided_server_buffers_created_total 3\nlopsided_server_buffers_idle 1\n\
+     lopsided_server_buffers_dropped_total 1\n"
+  in
+  check bool_t "buffer leak flagged" true
+    (Server.Recorder.check_invariants ~ledger:clean ~metrics_text:leaky <> [])
+
+let suite =
+  [
+    ( "chaos",
+      [
+        Alcotest.test_case "crc32 standard vector" `Quick test_crc32_vector;
+        Alcotest.test_case "frame round-trip" `Quick test_frame_roundtrip;
+        Alcotest.test_case "encode layout matches the wire" `Quick test_frame_encode_layout;
+        Alcotest.test_case "corruption detected, stream stays framed" `Quick
+          test_frame_corruption_detected_and_framed;
+        Alcotest.test_case "wrong version rejected" `Quick test_frame_version_rejected;
+        Alcotest.test_case "nack round-trip" `Quick test_nack_roundtrip;
+        Alcotest.test_case "schedule is seed-deterministic" `Quick test_chaos_deterministic;
+        Alcotest.test_case "none injects nothing" `Quick test_chaos_none_passes;
+        Alcotest.test_case "rates roughly honored" `Quick test_chaos_rates_roughly_honored;
+        Alcotest.test_case "breaker trips on consecutive failures" `Quick
+          test_breaker_trips_on_consecutive_failures;
+        Alcotest.test_case "breaker count resets on success" `Quick
+          test_breaker_success_interrupts_the_count;
+        Alcotest.test_case "breaker trips on timeout rate" `Quick
+          test_breaker_trips_on_timeout_rate;
+        Alcotest.test_case "half-open admits one probe" `Quick
+          test_breaker_half_open_single_probe;
+        Alcotest.test_case "probe failure re-opens" `Quick
+          test_breaker_reopens_on_probe_failure;
+        Alcotest.test_case "force open" `Quick test_breaker_force_open;
+        Alcotest.test_case "failover chain matches the exclusion walk" `Quick
+          test_failover_chain_matches_the_walk;
+        Alcotest.test_case "recorder ring round-trips" `Quick test_recorder_roundtrip;
+        Alcotest.test_case "invariant checker flags losses" `Quick
+          test_invariant_checker_flags_losses;
+        Alcotest.test_case "corrupt frame fails over, backend survives" `Slow
+          test_corruption_fails_over_without_desync;
+        Alcotest.test_case "hedge covers a stalled shard" `Slow
+          test_hedge_covers_a_stalled_shard;
+      ] );
+  ]
