@@ -1954,6 +1954,472 @@ let chaos_exp () =
 
 (* ---------------------------------------------------------------- *)
 
+(* STORE: the crash-safety claims behind the persistent collection
+   tier. Five arms:
+
+   1. The I/O fault plane is deterministic — one seed, one
+      byte-identical fault schedule (the same contract Chaos makes for
+      the shard transport).
+   2. The kill-point crash oracle, exact mode: seeded trials re-exec
+      this binary as a child ingester under crash/short-write/fsync-fail
+      faults, kill it mid-operation, recover, and require the recovered
+      store to equal exactly the acknowledged prefix — no lost acked
+      write, no resurrected unacked write, zero checksum escapes, no
+      quarantine.
+   3. The lying-disk arm: fsync-ignore schedules where exact equality is
+      unachievable by construction; the invariants that must still hold
+      are zero checksum escapes and zero unquarantined damage.
+   4. Deliberate mid-log corruption (bit rot, not a torn tail) is
+      quarantined at recovery behind store:corrupt, with the rest of the
+      store still serving, and the offline scrub agrees.
+   5. A recorded mixed generate+ingest workload driven over HTTP, then
+      replayed at speed through a small-capacity brownout server backed
+      by a fresh store — the open replay-through-overload/brownout
+      item — gated on the replay conservation invariants plus the store
+      conservation check after drain + reopen. *)
+
+let rec store_rm_rf p =
+  match Unix.lstat p with
+  | exception Unix.Unix_error _ -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter
+      (fun e -> store_rm_rf (Filename.concat p e))
+      (try Sys.readdir p with Sys_error _ -> [||]);
+    (try Unix.rmdir p with Unix.Unix_error _ -> ())
+  | _ -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+
+(* One-shot HTTP exchange honoring method and path (the store routes
+   are not POST /generate); returns (status, response body). *)
+let store_request ~port ~meth ~path ~headers body =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      send_all fd
+        (Printf.sprintf "%s %s HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n%sContent-Length: %d\r\n\r\n%s"
+           meth path
+           (String.concat "" (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) headers))
+           (String.length body) body);
+      let buf = Buffer.create 256 in
+      let chunk = Bytes.create 4096 in
+      let rec recv () =
+        let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+        if n > 0 then begin
+          Buffer.add_subbytes buf chunk 0 n;
+          recv ()
+        end
+      in
+      (try recv () with Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ());
+      let raw = Buffer.contents buf in
+      let status =
+        if String.length raw >= 12 then
+          Option.value ~default:0 (int_of_string_opt (String.sub raw 9 3))
+        else 0
+      in
+      let body =
+        match find_sub "\r\n\r\n" raw with
+        | Some i -> String.sub raw (i + 4) (String.length raw - i - 4)
+        | None -> ""
+      in
+      (status, body))
+
+let store_doc_of_path path =
+  match String.split_on_char '/' path with
+  | [ ""; "collections"; _; "docs"; d ] -> Some d
+  | _ -> None
+
+let store_headers (e : Server.Recorder.entry) =
+  ("x-tenant", e.e_tenant)
+  ::
+  (if e.e_deadline_ms > 0 then [ ("x-deadline-ms", string_of_int e.e_deadline_ms) ]
+   else [])
+
+(* Open-loop driver over Recorder entries that honors each entry's
+   method and path, tracking the client-side ledger plus the set of
+   acknowledged durable writes (200 PUTs and the hash they acked). *)
+let store_drive ~port ~speed entries =
+  let mu = Mutex.create () in
+  let responses = ref 0 and conn_errors = ref 0 in
+  let statuses = Hashtbl.create 8 in
+  let acked : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let note e st body =
+    Mutex.lock mu;
+    (if st = 0 then incr conn_errors
+     else begin
+       incr responses;
+       Hashtbl.replace statuses st (1 + Option.value ~default:0 (Hashtbl.find_opt statuses st))
+     end);
+    (if st = 200 && e.Server.Recorder.e_meth = "PUT" then
+       match store_doc_of_path e.Server.Recorder.e_path with
+       | Some doc -> Hashtbl.replace acked doc (String.trim body)
+       | None -> ());
+    Mutex.unlock mu
+  in
+  let t0 = Clock.now () in
+  let threads =
+    List.map
+      (fun (e : Server.Recorder.entry) ->
+        let due = t0 +. (e.e_ts /. speed) in
+        let d = due -. Clock.now () in
+        if d > 0. then Thread.delay d;
+        Thread.create
+          (fun () ->
+            let status, body =
+              try
+                store_request ~port ~meth:e.e_meth ~path:e.e_path
+                  ~headers:(store_headers e) e.e_body
+              with Unix.Unix_error _ | Sys_error _ -> (0, "")
+            in
+            note e status body)
+          ())
+      entries
+  in
+  List.iter Thread.join threads;
+  let ledger =
+    {
+      Server.Recorder.sent = List.length entries;
+      responses = !responses;
+      conn_errors = !conn_errors;
+      status_counts = Hashtbl.fold (fun st n acc -> (st, n) :: acc) statuses [];
+    }
+  in
+  (ledger, Hashtbl.fold (fun d h acc -> (d, h) :: acc) acked [])
+
+let store_exp () =
+  section "STORE - crash-safe collection store: kill-point oracle, quarantine, conservation";
+  let module St = Server.Store in
+  let tmp = Filename.concat (Filename.get_temp_dir_name ()) "lopsided-store-bench" in
+  store_rm_rf tmp;
+  Unix.mkdir tmp 0o755;
+  (* --- 1. fault-plane determinism ---------------------------------- *)
+  let plane =
+    St.Io_fault.of_seed ~short_write_rate:0.1 ~fsync_fail_rate:0.1 ~fsync_ignore_rate:0.05
+      ~crash_rate:0.05 7
+  in
+  let sched op = St.Io_fault.schedule plane ~op 500 in
+  if sched St.Io_fault.Write <> sched St.Io_fault.Write
+     || sched St.Io_fault.Fsync <> sched St.Io_fault.Fsync
+  then begin
+    Printf.eprintf "bench: Io_fault schedule is not deterministic for a fixed seed\n";
+    exit 1
+  end;
+  let faults =
+    List.length (List.filter Option.is_some (sched St.Io_fault.Write))
+    + List.length (List.filter Option.is_some (sched St.Io_fault.Fsync))
+  in
+  Printf.printf "  io_fault schedule(seed=7, n=500x2): %d faulted ops, reproducible\n" faults;
+  (* --- 2. crash oracle, exact mode --------------------------------- *)
+  let exe = Sys.executable_name in
+  let trials = if quick then 200 else 300 in
+  let exact_rates =
+    { St.Oracle.r_crash = 0.02; r_short = 0.015; r_ffail = 0.015; r_fignore = 0. }
+  in
+  let ex =
+    St.Oracle.run_trials ~exe ~tmp:(Filename.concat tmp "exact") ~trials ~seed0:5000
+      ~n:40 exact_rates
+  in
+  Printf.printf
+    "  oracle exact: %d trials (%d killed at seeded points, %d completed), %d acked / %d \
+     recovered, %d torn tails truncated\n"
+    ex.St.Oracle.s_trials ex.St.Oracle.s_killed ex.St.Oracle.s_completed
+    ex.St.Oracle.s_acked ex.St.Oracle.s_recovered ex.St.Oracle.s_truncated_tails;
+  let exact_ok =
+    ex.St.Oracle.s_lost = 0 && ex.St.Oracle.s_resurrected = 0 && ex.St.Oracle.s_escapes = 0
+    && ex.St.Oracle.s_quarantined = 0
+    && ex.St.Oracle.s_unquarantined_damage = 0
+  in
+  if not exact_ok then
+    Printf.eprintf
+      "bench: oracle exact mode violated recovery: %d lost, %d resurrected, %d escapes, \
+       %d quarantined, %d unquarantined damage\n"
+      ex.St.Oracle.s_lost ex.St.Oracle.s_resurrected ex.St.Oracle.s_escapes
+      ex.St.Oracle.s_quarantined ex.St.Oracle.s_unquarantined_damage;
+  (* A kill-point oracle that never kills proves nothing. *)
+  if ex.St.Oracle.s_killed * 4 < trials then begin
+    Printf.eprintf "bench: only %d/%d oracle trials hit a kill point — rates too low\n"
+      ex.St.Oracle.s_killed trials;
+    exit 1
+  end;
+  (* --- 3. lying-disk arm (fsync-ignore) ----------------------------- *)
+  let liar_trials = if quick then 24 else 48 in
+  let liar_rates =
+    { St.Oracle.r_crash = 0.03; r_short = 0.01; r_ffail = 0.01; r_fignore = 0.08 }
+  in
+  let li =
+    St.Oracle.run_trials ~exe ~tmp:(Filename.concat tmp "liar") ~trials:liar_trials
+      ~seed0:9000 ~n:40 liar_rates
+  in
+  Printf.printf
+    "  oracle fsync-ignore: %d trials, %d acked / %d recovered (%d lost to the lying \
+     disk — undetectable by construction), %d escapes, %d unquarantined damage\n"
+    li.St.Oracle.s_trials li.St.Oracle.s_acked li.St.Oracle.s_recovered
+    li.St.Oracle.s_lost li.St.Oracle.s_escapes li.St.Oracle.s_unquarantined_damage;
+  let liar_ok = li.St.Oracle.s_escapes = 0 && li.St.Oracle.s_unquarantined_damage = 0 in
+  if not liar_ok then
+    Printf.eprintf
+      "bench: fsync-ignore arm served corruption: %d escapes, %d unquarantined damage\n"
+      li.St.Oracle.s_escapes li.St.Oracle.s_unquarantined_damage;
+  (* --- 4. mid-log corruption is quarantined, store keeps serving ---- *)
+  let qdir = Filename.concat tmp "quarantine" in
+  let s = St.open_store ~max_segment_bytes:512 qdir in
+  let n_docs = 20 in
+  for i = 0 to n_docs - 1 do
+    match
+      St.put s ~collection:"q" ~doc:(Printf.sprintf "d%d" i)
+        (Printf.sprintf "<doc n=\"%d\"><p>%s</p></doc>" i (String.make 80 'z'))
+    with
+    | Ok _ -> ()
+    | Error e -> failwith (St.error_message e)
+  done;
+  St.close s;
+  (* Flip one byte inside the first record of a multi-record segment:
+     mid-log damage, not a torn tail. *)
+  let segs =
+    Sys.readdir qdir |> Array.to_list
+    |> List.filter_map St.Segment.seg_id
+    |> List.sort compare
+  in
+  let victim =
+    List.find
+      (fun id ->
+        (Unix.stat (Filename.concat qdir (St.Segment.seg_name id))).Unix.st_size
+        >= St.Segment.header_len + 200)
+      segs
+  in
+  let vpath = Filename.concat qdir (St.Segment.seg_name victim) in
+  let fd = Unix.openfile vpath [ Unix.O_RDWR ] 0 in
+  ignore (Unix.lseek fd (St.Segment.header_len + 6) Unix.SEEK_SET);
+  ignore (Unix.write fd (Bytes.make 1 '\xff') 0 1);
+  Unix.close fd;
+  let s2 = St.open_store qdir in
+  (* Quarantine is lazy: damage the checkpoint already covers is caught
+     at read time, not at open. Read every doc — the victim segment's
+     docs must answer store:corrupt, the rest must still serve. *)
+  let served, corrupt =
+    List.fold_left
+      (fun (ok, bad) (d, _) ->
+        match St.get s2 ~collection:"q" ~doc:d with
+        | Ok _ -> (ok + 1, bad)
+        | Error (`Corrupt _) -> (ok, bad + 1)
+        | Error _ -> (ok, bad))
+      (0, 0)
+      (St.list_docs s2 ~collection:"q")
+  in
+  let quarantined = St.quarantined s2 in
+  (* Close checkpoints, persisting the quarantine into the manifest —
+     after which the offline scrub must agree nothing damaged is left
+     unquarantined. *)
+  St.close s2;
+  let report = St.Scrub.run qdir in
+  Printf.printf
+    "  quarantine: corrupted segment %d mid-log -> %d segment(s) quarantined, %d/%d docs \
+     still served (%d corrupt), scrub: %d damaged / %d unquarantined\n"
+    victim (List.length quarantined) served n_docs corrupt
+    (List.length report.St.Scrub.damaged)
+    (List.length (St.Scrub.unquarantined_damage report));
+  let quarantine_ok =
+    quarantined <> [] && served > 0 && corrupt > 0
+    && served + corrupt = n_docs
+    && St.Scrub.unquarantined_damage report = []
+  in
+  if not quarantine_ok then
+    Printf.eprintf "bench: mid-log corruption was not quarantined cleanly\n";
+  (* --- 5. HTTP ingest conservation + replay through brownout -------- *)
+  (* Phase A: sequential mixed workload against a store-backed server
+     with the recorder attached; sequential so the client-side acked
+     (doc, hash) map has the same last-write-wins order the store
+     serialized. *)
+  let dir_a = Filename.concat tmp "http" in
+  let store_a = St.open_store dir_a in
+  let recorder = Server.Recorder.create () in
+  let svc_a = Service.create ~config:{ Service.default_config with Service.result_cache_cap = 64 } () in
+  let srv_a =
+    Server.create
+      ~config:
+        {
+          Server.default_config with
+          Server.max_inflight = 2;
+          queue_cap = 64;
+          store = Some store_a;
+          recorder = Some recorder;
+        }
+      svc_a
+  in
+  Server.start srv_a;
+  let port_a = Server.port srv_a in
+  let n_mix = if quick then 60 else 160 in
+  let mixed = Workload.entries ~seed:19 ~ingest:0.6 ~quick ~n:n_mix ~rate:1000. () in
+  let acked_a : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let ok_a = ref 0 and put_a = ref 0 in
+  List.iter
+    (fun (e : Server.Recorder.entry) ->
+      let status, body =
+        store_request ~port:port_a ~meth:e.e_meth ~path:e.e_path ~headers:(store_headers e)
+          e.e_body
+      in
+      if status = 200 then incr ok_a;
+      if e.e_meth = "PUT" then begin
+        incr put_a;
+        if status = 200 then
+          match store_doc_of_path e.e_path with
+          | Some doc -> Hashtbl.replace acked_a doc (String.trim body)
+          | None -> ()
+      end)
+    mixed;
+  let recorded = Server.Recorder.length recorder in
+  Server.drain srv_a;
+  St.close store_a;
+  (* Reopen from disk: recovery must reproduce exactly the acked map. *)
+  let re_a = St.open_store dir_a in
+  let recovered_a = St.list_docs re_a ~collection:Workload.ingest_collection in
+  List.iter (fun (d, _) -> ignore (St.get re_a ~collection:Workload.ingest_collection ~doc:d)) recovered_a;
+  let escapes_a = (St.counts re_a).St.n_read_crc_failures in
+  let store_violations =
+    Server.Recorder.check_store_invariants
+      ~acked:(Hashtbl.fold (fun d h acc -> (d, h) :: acc) acked_a [])
+      ~recovered:recovered_a ~escapes:escapes_a
+  in
+  St.close re_a;
+  Printf.printf
+    "  http ingest: %d mixed requests (%d ok, %d puts, %d acked docs), %d recorded; \
+     drain+reopen recovered %d docs, %d store violations\n"
+    n_mix !ok_a !put_a (Hashtbl.length acked_a) recorded (List.length recovered_a)
+    (List.length store_violations);
+  List.iter
+    (fun v -> Printf.eprintf "bench: store conservation violation: %s\n" v)
+    store_violations;
+  (* Phase B: the capture replayed at 2x through a small, brownout-
+     enabled server on a fresh store — overload + degradation + ingest
+     in one run, gated on the replay conservation invariants and on
+     no-lost-acked-write after drain + reopen. *)
+  let capture = "STORE_mixed.rec" in
+  let saved = Server.Recorder.save recorder capture in
+  let replayed = Server.Recorder.load capture in
+  if List.length replayed <> saved then begin
+    Printf.eprintf "bench: store capture round-trip lost entries (%d saved, %d loaded)\n"
+      saved (List.length replayed);
+    exit 1
+  end;
+  let dir_b = Filename.concat tmp "replay" in
+  let store_b = St.open_store dir_b in
+  let svc_b = Service.create ~config:{ Service.default_config with Service.result_cache_cap = 64 } () in
+  let srv_b =
+    Server.create
+      ~config:
+        {
+          Server.default_config with
+          Server.max_inflight = 2;
+          queue_cap = 8;
+          store = Some store_b;
+          brownout = Some Server.Brownout.default_config;
+        }
+      svc_b
+  in
+  Server.start srv_b;
+  let port_b = Server.port srv_b in
+  let ledger_b, acked_b = store_drive ~port:port_b ~speed:2. replayed in
+  Thread.delay 0.3;
+  let metrics_b = Server.metrics_body srv_b in
+  let replay_violations = Server.Recorder.check_invariants ~ledger:ledger_b ~metrics_text:metrics_b in
+  Server.drain srv_b;
+  St.close store_b;
+  let re_b = St.open_store dir_b in
+  let recovered_b = St.list_docs re_b ~collection:Workload.ingest_collection in
+  St.close re_b;
+  (* Parallel replay overwrites the same doc ids in racy order, so hash
+     equality is not well-defined — the invariant that is: every doc
+     with an acknowledged durable write exists after reopen. *)
+  let lost_b =
+    List.filter (fun (d, _) -> not (List.mem_assoc d recovered_b)) acked_b
+  in
+  let scrub_b = St.Scrub.run dir_b in
+  let ok_b =
+    List.fold_left
+      (fun acc (st, n) -> if st = 200 then acc + n else acc)
+      0 ledger_b.Server.Recorder.status_counts
+  in
+  Printf.printf
+    "  brownout replay (2x, queue 8): %d sent, %d responses (%d ok), %d acked puts, %d \
+     recovered after reopen, %d lost, %d replay violations, scrub %s\n"
+    ledger_b.Server.Recorder.sent ledger_b.Server.Recorder.responses ok_b
+    (List.length acked_b) (List.length recovered_b) (List.length lost_b)
+    (List.length replay_violations)
+    (if St.Scrub.clean scrub_b then "clean" else "DAMAGED");
+  List.iter
+    (fun v -> Printf.eprintf "bench: store replay invariant violation: %s\n" v)
+    replay_violations;
+  List.iter (fun (d, _) -> Printf.eprintf "bench: replay lost acked write: %s\n" d) lost_b;
+  if json then begin
+    let path = "BENCH_server.json" in
+    let base_json =
+      if Sys.file_exists path then begin
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      end
+      else "{\n  \"bench\": \"overload\"\n}\n"
+    in
+    let head =
+      match find_sub ",\n  \"store\":" base_json with
+      | Some i -> String.sub base_json 0 i
+      | None -> (
+        match String.rindex_opt base_json '}' with
+        | None -> "{\n  \"bench\": \"overload\""
+        | Some j ->
+          let rec back k =
+            if k > 0 && (match base_json.[k - 1] with '\n' | ' ' | '\t' | '\r' -> true | _ -> false)
+            then back (k - 1)
+            else k
+          in
+          String.sub base_json 0 (back j))
+    in
+    let block =
+      Printf.sprintf
+        "{\n\
+        \    \"oracle_trials\": %d,\n\
+        \    \"oracle_killed\": %d,\n\
+        \    \"oracle_lost\": %d,\n\
+        \    \"oracle_resurrected\": %d,\n\
+        \    \"oracle_escapes\": %d,\n\
+        \    \"oracle_truncated_tails\": %d,\n\
+        \    \"liar_trials\": %d,\n\
+        \    \"liar_lost\": %d,\n\
+        \    \"liar_escapes\": %d,\n\
+        \    \"quarantined_segments\": %d,\n\
+        \    \"http_acked_docs\": %d,\n\
+        \    \"http_store_violations\": %d,\n\
+        \    \"replay_sent\": %d,\n\
+        \    \"replay_ok\": %d,\n\
+        \    \"replay_acked_puts\": %d,\n\
+        \    \"replay_lost\": %d,\n\
+        \    \"replay_violations\": %d,\n\
+        \    \"replay_scrub_clean\": %b\n\
+        \  }"
+        ex.St.Oracle.s_trials ex.St.Oracle.s_killed ex.St.Oracle.s_lost
+        ex.St.Oracle.s_resurrected ex.St.Oracle.s_escapes ex.St.Oracle.s_truncated_tails
+        li.St.Oracle.s_trials li.St.Oracle.s_lost li.St.Oracle.s_escapes
+        (List.length quarantined) (Hashtbl.length acked_a)
+        (List.length store_violations) ledger_b.Server.Recorder.sent ok_b
+        (List.length acked_b) (List.length lost_b) (List.length replay_violations)
+        (St.Scrub.clean scrub_b)
+    in
+    let oc = open_out path in
+    output_string oc (head ^ ",\n  \"store\": " ^ block ^ "\n}\n");
+    close_out oc;
+    Printf.printf "  merged store block into BENCH_server.json\n"
+  end;
+  store_rm_rf tmp;
+  (* Gates. *)
+  if not exact_ok then exit 1;
+  if not liar_ok then exit 1;
+  if not quarantine_ok then exit 1;
+  if store_violations <> [] then exit 1;
+  if replay_violations <> [] || lost_b <> [] || not (St.Scrub.clean scrub_b) then exit 1
+
+(* ---------------------------------------------------------------- *)
+
 let experiments =
   [
     ("t1t2", t1_t2);
@@ -1970,6 +2436,7 @@ let experiments =
     ("overload", overload);
     ("serving", serving);
     ("chaos", chaos_exp);
+    ("store", store_exp);
     ("a1", a1);
     ("a2", a2);
     ("a3", a3);
@@ -1980,6 +2447,9 @@ let () =
   (* The serving experiment spawns shard backends by re-exec'ing this
      binary; when this IS such a backend, serve frames and exit. *)
   Server.Shard.maybe_run_backend ();
+  (* The store experiment likewise re-execs this binary as a crash-
+     oracle child ingester. *)
+  Server.Store.Oracle.maybe_run_child ();
   Printf.printf "Lopsided Little Languages - benchmark harness%s\n"
     (if quick then " (quick mode)" else "");
   let selected =

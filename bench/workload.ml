@@ -43,6 +43,25 @@ let search_tpl =
 
 let tenants = [| "acme"; "globex"; "initech"; "umbrella" |]
 
+(* Ingest traffic: durable PUTs into a collection plus queries that
+   resolve doc() against it — the store's write and read paths under
+   the same admission machinery as generation. Docs cycle over a small
+   id space so a schedule mixes fresh inserts with overwrites. *)
+let ingest_collection = "bench"
+
+let ingest_doc_body r i =
+  Printf.sprintf
+    "<doc n=\"%d\"><field a=\"%d\"/><payload>%s</payload></doc>" i (next r mod 1000)
+    (String.make (32 + (next r mod 256)) 'y')
+
+let ingest_put_path i =
+  Printf.sprintf "/collections/%s/docs/doc-%d" ingest_collection (i mod 64)
+
+let ingest_query_body i =
+  Printf.sprintf "doc(\"doc-%d\")//field/@a" (i mod 64)
+
+let ingest_query_path = Printf.sprintf "/collections/%s/query" ingest_collection
+
 (* Model working set: one synthetic model per requested size, exported
    once and shared by every entry that targets it. Sizes are node
    counts for Synth.generate_of_size; 10^5-node exports run to
@@ -70,8 +89,13 @@ let default_sizes ~quick =
    gets the linear scan — a 10^4-node follow/distinct report is a batch
    job, not interactive traffic, and a workload that mixes multi-second
    generations into a seconds-long schedule measures overload, not
-   fault tolerance (OVERLOAD and BROWNOUT own that axis). *)
-let entries ~seed ?sizes ~quick ~n ~rate () =
+   fault tolerance (OVERLOAD and BROWNOUT own that axis).
+
+   [ingest] (default 0, keeping earlier schedules byte-identical) is
+   the fraction of entries that are store traffic instead of
+   generation: two thirds durable PUTs into the [bench] collection, one
+   third doc()-resolving queries against it. *)
+let entries ~seed ?sizes ?(ingest = 0.) ~quick ~n ~rate () =
   let sizes = match sizes with Some s -> s | None -> default_sizes ~quick in
   let xmls = models ~seed sizes in
   let r = rng seed in
@@ -79,13 +103,22 @@ let entries ~seed ?sizes ~quick ~n ~rate () =
   List.init n (fun i ->
       let gap = (0.5 +. uniform r) /. rate in
       if i > 0 then ts := !ts +. gap;
-      let mi = next r mod Array.length xmls in
-      let template =
-        if sizes.(mi) >= 3000 then scan_tpl
+      if ingest > 0. && uniform r < ingest then
+        if next r mod 3 < 2 then
+          Server.Recorder.entry ~ts:!ts ~meth:"PUT" ~path:(ingest_put_path i)
+            ~tenant:(pick r tenants) ~deadline_ms:4000 ~body:(ingest_doc_body r i) ()
         else
-          match next r mod 4 with 0 | 1 -> scan_tpl | 2 -> report_tpl | _ -> search_tpl
-      in
-      let body = Server.Composite.build ~template ~model:xmls.(mi) in
-      let deadline_ms = if uniform r < 0.8 then 4000 else 0 in
-      Server.Recorder.entry ~ts:!ts ~meth:"POST" ~path:"/generate"
-        ~tenant:(pick r tenants) ~deadline_ms ~body ())
+          Server.Recorder.entry ~ts:!ts ~meth:"POST" ~path:ingest_query_path
+            ~tenant:(pick r tenants) ~deadline_ms:4000 ~body:(ingest_query_body i) ()
+      else begin
+        let mi = next r mod Array.length xmls in
+        let template =
+          if sizes.(mi) >= 3000 then scan_tpl
+          else
+            match next r mod 4 with 0 | 1 -> scan_tpl | 2 -> report_tpl | _ -> search_tpl
+        in
+        let body = Server.Composite.build ~template ~model:xmls.(mi) in
+        let deadline_ms = if uniform r < 0.8 then 4000 else 0 in
+        Server.Recorder.entry ~ts:!ts ~meth:"POST" ~path:"/generate"
+          ~tenant:(pick r tenants) ~deadline_ms ~body ()
+      end)

@@ -151,7 +151,7 @@ let serve host port max_inflight queue_cap tenant_cap rate burst deadline_ms
     drain_deadline brownout result_cache_cap sample model_file engine cache_capacity
     fuel max_depth max_nodes retries quarantine_after fault_seed crash_rate
     deadline_rate transient_rate keepalive idle_timeout max_conn_requests shards
-    record chaos_seed hedge breaker_failures breaker_cooldown =
+    record chaos_seed hedge breaker_failures breaker_cooldown store_dir =
   let engine =
     match Docgen.engine_of_string engine with Ok e -> e | Error m -> fail m
   in
@@ -216,6 +216,24 @@ let serve host port max_inflight queue_cap tenant_cap rate burst deadline_ms
     end
   in
   let recorder = Option.map (fun _ -> Server.Recorder.create ()) record in
+  (* Incremental capture durability: the ring alone only survives a
+     clean drain; the sink flushes to disk every 32 admitted requests,
+     so a kill -9 loses at most that window. *)
+  (match (record, recorder) with
+  | Some path, Some r -> Server.Recorder.attach_sink r ~path ~every:32 ()
+  | _ -> ());
+  let store =
+    Option.map
+      (fun dir ->
+        let s = Server.Store.open_store dir in
+        let q = Server.Store.quarantined s in
+        Printf.printf "awbserve: store %s: %d docs in %d segments%s\n%!" dir
+          (Server.Store.doc_count s) (Server.Store.segment_count s)
+          (if q = [] then ""
+           else Printf.sprintf ", %d segments QUARANTINED" (List.length q));
+        s)
+      store_dir
+  in
   let server =
     Server.create
       ~config:
@@ -238,13 +256,14 @@ let serve host port max_inflight queue_cap tenant_cap rate burst deadline_ms
           idle_timeout_s = idle_timeout;
           max_conn_requests;
           recorder;
+          store;
         }
       ?cluster svc
   in
   Server.install_sigterm server;
   Server.install_sighup server;
   Server.start server;
-  Printf.printf "awbserve: listening on %s:%d (%d workers, queue %d%s%s%s%s%s%s%s)\n%!"
+  Printf.printf "awbserve: listening on %s:%d (%d workers, queue %d%s%s%s%s%s%s%s%s)\n%!"
     host (Server.port server) max_inflight queue_cap
     (if rate > 0. then Printf.sprintf ", %.1f req/s per client" rate else "")
     (if brownout then ", brownout on" else "")
@@ -256,7 +275,8 @@ let serve host port max_inflight queue_cap tenant_cap rate burst deadline_ms
     | None -> ""
     | Some s -> Printf.sprintf ", chaos seed %d" s)
     (if hedge then ", hedging on" else "")
-    (if record <> None then ", recording" else "");
+    (if record <> None then ", recording" else "")
+    (match store_dir with None -> "" | Some d -> ", store " ^ d);
   (* Blocks until SIGTERM (or a remote drain) completes; exit 0 is the
      contract a process supervisor keys on. *)
   Server.await server;
@@ -265,10 +285,17 @@ let serve host port max_inflight queue_cap tenant_cap rate burst deadline_ms
     (Server.Metrics.drained (Server.metrics server));
   (match (record, recorder) with
   | Some path, Some r ->
-    let n = Server.Recorder.save r path in
+    (* The sink already holds everything that was admitted (the ring
+       drops its oldest past capacity); finalize flushes the backlog. *)
+    let n = Server.Recorder.detach_sink r in
     Printf.printf "awbserve: wrote %d recorded requests to %s (%d dropped by ring)\n%!" n
       path (Server.Recorder.dropped r)
   | _ -> ());
+  (match store with
+  | Some s ->
+    Server.Store.close s;
+    Printf.printf "awbserve: store checkpointed and closed\n%!"
+  | None -> ());
   0
 
 (* ------------------------------------------------------------------ *)
@@ -317,7 +344,7 @@ let replay_request ~port (e : Server.Recorder.entry) =
       else int_of_string_opt (String.sub raw 9 3))
 
 let replay file speed shards chaos_seed hedge sample model_file engine cache_capacity
-    max_inflight queue_cap =
+    max_inflight queue_cap store_dir =
   if speed <= 0. then fail "--speed must be positive";
   if chaos_seed <> None && shards <= 0 then
     fail "--chaos injects faults on the shard transport; it needs --shards >= 1";
@@ -357,6 +384,10 @@ let replay file speed shards chaos_seed hedge sample model_file engine cache_cap
            ())
   in
   let svc = Service.create ~config:{ Service.default_config with Service.cache_capacity } () in
+  (* A capture with store traffic (the /collections routes) replays
+     against a real store so the mixed workload exercises the same
+     write path. *)
+  let store = Option.map Server.Store.open_store store_dir in
   let server =
     Server.create
       ~config:
@@ -367,6 +398,7 @@ let replay file speed shards chaos_seed hedge sample model_file engine cache_cap
           queue_cap;
           default_engine = engine;
           model = Some model;
+          store;
         }
       ?cluster svc
   in
@@ -444,6 +476,7 @@ let replay file speed shards chaos_seed hedge sample model_file engine cache_cap
               (Array.map string_of_int (Server.Shard.breaker_states c))))
   in
   Server.drain server;
+  Option.iter Server.Store.close store;
   let ledger =
     {
       Server.Recorder.sent = List.length entries;
@@ -470,6 +503,19 @@ let replay file speed shards chaos_seed hedge sample model_file engine cache_cap
   | vs ->
     List.iter (fun v -> Printf.eprintf "replay: invariant violation: %s\n" v) vs;
     1
+
+(* ------------------------------------------------------------------ *)
+(* Scrub mode                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Offline integrity pass over a store directory: verify every checksum
+   in every segment, read-only, and report torn tails, mid-log damage
+   and whether the manifest already quarantines it. Exit 0 only when no
+   unquarantined damage remains. *)
+let scrub dir =
+  let report = Server.Store.Scrub.run dir in
+  print_string (Server.Store.Scrub.render report);
+  if Server.Store.Scrub.clean report then 0 else 1
 
 (* ------------------------------------------------------------------ *)
 (* Terms                                                               *)
@@ -733,6 +779,17 @@ let breaker_cooldown =
     & info [ "breaker-cooldown" ] ~docv:"S"
         ~doc:"Seconds an open breaker dwells before admitting its half-open probe.")
 
+let store_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Crash-safe persistent collection store rooted at $(docv) (created if \
+           missing, recovered on open). Enables $(b,PUT/GET/DELETE) \
+           /collections/:name/docs/:id and $(b,POST) /collections/:name/query, \
+           where doc() resolves against the named collection.")
+
 (* replay-only flags *)
 
 let capture_file =
@@ -779,7 +836,7 @@ let serve_cmd =
       $ model_file $ engine $ cache_capacity $ fuel $ max_depth $ max_nodes $ retries
       $ quarantine_after $ fault_seed $ crash_rate $ deadline_rate $ transient_rate
       $ keepalive $ idle_timeout $ max_conn_requests $ shards $ record $ chaos_seed
-      $ hedge $ breaker_failures $ breaker_cooldown)
+      $ hedge $ breaker_failures $ breaker_cooldown $ store_dir)
 
 let replay_cmd =
   let doc =
@@ -791,15 +848,31 @@ let replay_cmd =
     Term.(
       const replay $ capture_file $ speed $ replay_shards $ chaos_seed $ hedge
       $ sample $ model_file $ engine $ cache_capacity $ replay_max_inflight
-      $ replay_queue_cap)
+      $ replay_queue_cap $ store_dir)
+
+let scrub_cmd =
+  let doc =
+    "verify every checksum in a store directory offline and report torn tails, \
+     mid-log damage and quarantine state"
+  in
+  let scrub_dir =
+    Arg.(
+      required
+      & pos 0 (some dir) None
+      & info [] ~docv:"DIR" ~doc:"Store directory to scrub (read-only).")
+  in
+  Cmd.v (Cmd.info "scrub" ~doc) Term.(const scrub $ scrub_dir)
 
 let cmd =
   let doc = "serve batches of document generations from AWB models" in
-  Cmd.group ~default:batch_term (Cmd.info "awbserve" ~doc) [ serve_cmd; replay_cmd ]
+  Cmd.group ~default:batch_term (Cmd.info "awbserve" ~doc)
+    [ serve_cmd; replay_cmd; scrub_cmd ]
 
 let () =
   (* When exec'd as a shard backend this serves frames and exits —
      before any argument parsing, so backend argv stays an internal
-     contract rather than part of the CLI. *)
+     contract rather than part of the CLI. The same re-exec discipline
+     turns this process into a store crash-oracle child ingester. *)
   Server.Shard.maybe_run_backend ();
+  Server.Store.Oracle.maybe_run_child ();
   exit (Cmd.eval' cmd)

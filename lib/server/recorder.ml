@@ -24,11 +24,25 @@ type entry = {
   e_body : string;
 }
 
+(* Incremental durability: a sink mirrors every recorded entry into an
+   append-only capture file, flushed every [every] records, so a capture
+   survives a server crash — the ring alone only survives a drain. The
+   file may end in a torn record (a crash mid-flush); [load] tolerates
+   that by keeping the parsed prefix. *)
+type sink = {
+  s_oc : out_channel;
+  s_every : int;
+  s_buf : Buffer.t;  (* serialized entries not yet written *)
+  mutable s_pending : int;  (* entries in s_buf *)
+  mutable s_written : int;  (* entries flushed to the file *)
+}
+
 type t = {
   ring : entry option array;
   mutable next : int;
   mutable count : int;  (* entries currently held, <= capacity *)
   mutable dropped : int;  (* overwritten by ring wrap *)
+  mutable sink : sink option;
   mutex : Mutex.t;
 }
 
@@ -38,11 +52,34 @@ let create ?(capacity = 65536) () =
     next = 0;
     count = 0;
     dropped = 0;
+    sink = None;
     mutex = Mutex.create ();
   }
 
 let entry ?(ts = Clock.now ()) ~meth ~path ~tenant ~deadline_ms ~body () =
   { e_ts = ts; e_meth = meth; e_path = path; e_tenant = tenant; e_deadline_ms = deadline_ms; e_body = body }
+
+let magic = "AWBREC2\n"
+
+let add_entry b e =
+  let r = Buffer.create (String.length e.e_body + 64) in
+  Frame.add_lp r (Printf.sprintf "%.0f" (e.e_ts *. 1e6));
+  Frame.add_lp r e.e_meth;
+  Frame.add_lp r e.e_path;
+  Frame.add_lp r e.e_tenant;
+  Frame.add_u32 r e.e_deadline_ms;
+  Frame.add_lp r e.e_body;
+  Frame.add_u32 b (Buffer.length r);
+  Buffer.add_buffer b r
+
+let sink_flush s =
+  if s.s_pending > 0 then begin
+    output_string s.s_oc (Buffer.contents s.s_buf);
+    flush s.s_oc;
+    s.s_written <- s.s_written + s.s_pending;
+    s.s_pending <- 0;
+    Buffer.clear s.s_buf
+  end
 
 let record t e =
   Mutex.lock t.mutex;
@@ -50,7 +87,44 @@ let record t e =
   t.ring.(t.next) <- Some e;
   t.next <- (t.next + 1) mod Array.length t.ring;
   if t.count < Array.length t.ring then t.count <- t.count + 1;
+  (match t.sink with
+  | None -> ()
+  | Some s ->
+    add_entry s.s_buf e;
+    s.s_pending <- s.s_pending + 1;
+    if s.s_pending >= s.s_every then sink_flush s);
   Mutex.unlock t.mutex
+
+let attach_sink t ~path ?(every = 64) () =
+  let oc = open_out_bin path in
+  output_string oc magic;
+  flush oc;
+  let s =
+    { s_oc = oc; s_every = max 1 every; s_buf = Buffer.create 4096; s_pending = 0; s_written = 0 }
+  in
+  Mutex.lock t.mutex;
+  (match t.sink with
+  | Some old ->
+    (* Replacing a sink finalizes the old one. *)
+    sink_flush old;
+    close_out_noerr old.s_oc
+  | None -> ());
+  t.sink <- Some s;
+  Mutex.unlock t.mutex
+
+let detach_sink t =
+  Mutex.lock t.mutex;
+  let written =
+    match t.sink with
+    | None -> 0
+    | Some s ->
+      sink_flush s;
+      close_out_noerr s.s_oc;
+      t.sink <- None;
+      s.s_written
+  in
+  Mutex.unlock t.mutex;
+  written
 
 let length t =
   Mutex.lock t.mutex;
@@ -77,19 +151,6 @@ let entries t =
   Mutex.unlock t.mutex;
   out
 
-let magic = "AWBREC2\n"
-
-let add_entry b e =
-  let r = Buffer.create (String.length e.e_body + 64) in
-  Frame.add_lp r (Printf.sprintf "%.0f" (e.e_ts *. 1e6));
-  Frame.add_lp r e.e_meth;
-  Frame.add_lp r e.e_path;
-  Frame.add_lp r e.e_tenant;
-  Frame.add_u32 r e.e_deadline_ms;
-  Frame.add_lp r e.e_body;
-  Frame.add_u32 b (Buffer.length r);
-  Buffer.add_buffer b r
-
 let save t path =
   let es = entries t in
   let b = Buffer.create 4096 in
@@ -113,27 +174,37 @@ let load path =
     Frame.perr "not a capture file (bad magic): %s" path;
   let pos = ref mlen in
   let out = ref [] in
-  while !pos < String.length data do
-    let rlen = Frame.get_u32 data pos in
-    if !pos + rlen > String.length data then Frame.perr "truncated capture record";
-    let p = ref !pos in
-    let ts_us = Frame.get_lp data p in
-    let meth = Frame.get_lp data p in
-    let path' = Frame.get_lp data p in
-    let tenant = Frame.get_lp data p in
-    let deadline_ms = Frame.get_u32 data p in
-    let body = Frame.get_lp data p in
-    pos := !pos + rlen;
-    out :=
-      {
-        e_ts = float_of_string ts_us /. 1e6;
-        e_meth = meth;
-        e_path = path';
-        e_tenant = tenant;
-        e_deadline_ms = deadline_ms;
-        e_body = body;
-      }
-      :: !out
+  let torn = ref false in
+  (* A capture written by the incremental sink can end mid-record (the
+     writer crashed between flushes). That torn tail is expected, not an
+     error: keep every record that parses and stop at the first that
+     doesn't reach EOF intact. *)
+  while (not !torn) && !pos < String.length data do
+    match
+      let rlen = Frame.get_u32 data pos in
+      if !pos + rlen > String.length data then Frame.perr "truncated capture record";
+      let p = ref !pos in
+      let ts_us = Frame.get_lp data p in
+      let meth = Frame.get_lp data p in
+      let path' = Frame.get_lp data p in
+      let tenant = Frame.get_lp data p in
+      let deadline_ms = Frame.get_u32 data p in
+      let body = Frame.get_lp data p in
+      (rlen, ts_us, meth, path', tenant, deadline_ms, body)
+    with
+    | exception Frame.Protocol_error _ -> torn := true
+    | rlen, ts_us, meth, path', tenant, deadline_ms, body ->
+      pos := !pos + rlen;
+      out :=
+        {
+          e_ts = float_of_string ts_us /. 1e6;
+          e_meth = meth;
+          e_path = path';
+          e_tenant = tenant;
+          e_deadline_ms = deadline_ms;
+          e_body = body;
+        }
+        :: !out
   done;
   match List.rev !out with
   | [] -> []
@@ -228,4 +299,28 @@ let check_invariants ~ledger ~metrics_text =
   if pool_created > 0 && pool_idle + pool_dropped < pool_created then
     fail "buffer pool leak: %d created, %d idle + %d dropped after drain" pool_created
       pool_idle pool_dropped;
+  List.rev !violations
+
+(* Store conservation after drain + reopen: the recovered store must be
+   exactly the acknowledged writes — every acked (doc, hash) present
+   with that hash, nothing present that was never acked, and no
+   checksum failure served as a read. Inputs are plain (doc, hash)
+   lists so the harness decides where they come from (client ledger on
+   one side, [Store.list_docs] after reopen on the other). *)
+let check_store_invariants ~acked ~recovered ~escapes =
+  let violations = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> violations := m :: !violations) fmt in
+  List.iter
+    (fun (doc, hash) ->
+      match List.assoc_opt doc recovered with
+      | None -> fail "lost acked write: %s" doc
+      | Some h when h <> hash ->
+        fail "content mismatch on %s: acked hash %s, recovered %s" doc hash h
+      | Some _ -> ())
+    acked;
+  List.iter
+    (fun (doc, _) ->
+      if not (List.mem_assoc doc acked) then fail "resurrected unacked write: %s" doc)
+    recovered;
+  if escapes <> 0 then fail "%d checksum escapes served to readers" escapes;
   List.rev !violations

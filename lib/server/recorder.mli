@@ -31,8 +31,21 @@ val entry :
 (** [ts] defaults to [Clock.now ()]. *)
 
 val record : t -> entry -> unit
-(** O(1), one mutex, no IO — safe on the admission path. When the ring
-    is full the oldest entry is overwritten (counted in {!dropped}). *)
+(** O(1), one mutex — safe on the admission path. When the ring is full
+    the oldest entry is overwritten (counted in {!dropped}). With a
+    sink attached, every [every]-th record additionally flushes the
+    serialized backlog to the capture file. *)
+
+val attach_sink : t -> path:string -> ?every:int -> unit -> unit
+(** Mirror every subsequent record into [path] (truncated, magic
+    written immediately), flushing each [every] (default 64) records —
+    so at most [every - 1] acknowledged captures are lost to a crash,
+    instead of the whole ring. Replaces (and finalizes) any previous
+    sink. *)
+
+val detach_sink : t -> int
+(** Flush the backlog, close the file, return entries written. No-op
+    ([0]) without a sink. *)
 
 val length : t -> int
 val dropped : t -> int
@@ -45,7 +58,9 @@ val save : t -> string -> int
 
 val load : string -> entry list
 (** Parse a capture file; timestamps are re-based so the first entry is
-    at 0. Raises [Frame.Protocol_error] on a damaged file. *)
+    at 0. A torn tail (a sink writer crashed between flushes) is
+    tolerated: the parsed prefix is returned. Raises
+    [Frame.Protocol_error] only on a bad magic. *)
 
 (** {1 End-of-run invariants} *)
 
@@ -66,3 +81,14 @@ val check_invariants : ledger:ledger -> metrics_text:string -> string list
     server admitted plus stale cache hits; 429/503s never exceed the
     refusals it counted; the buffer pool's books balance after drain
     ([created = idle + dropped]). Returns violations (empty = clean). *)
+
+val check_store_invariants :
+  acked:(string * string) list ->
+  recovered:(string * string) list ->
+  escapes:int ->
+  string list
+(** Store conservation after drain + reopen: [recovered] must be
+    exactly [acked] — every acknowledged [(doc, hash)] present with
+    that hash (no lost acked write), nothing recovered that was never
+    acknowledged (no resurrection), and [escapes] (read-time checksum
+    failures served) must be zero. Returns violations. *)

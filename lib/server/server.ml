@@ -69,6 +69,9 @@ type config = {
   recorder : Recorder.t option;
       (* when set, admitted /generate requests are captured into this
          ring for later replay (awbserve --record) *)
+  store : Store.t option;
+      (* the persistent collection store behind /collections/*; None
+         answers those routes 503 no-store *)
 }
 
 let default_config =
@@ -97,6 +100,7 @@ let default_config =
     idle_timeout_s = 5.;
     max_conn_requests = 1000;
     recorder = None;
+    store = None;
   }
 
 (* The pseudo-tenant that stale-while-revalidate refresh jobs queue
@@ -298,6 +302,7 @@ let metrics_body t =
   ^ Metrics.to_prometheus t.metrics ~mode:(Brownout.mode_index m)
       ~queue_depth:(queue_depth t) ~inflight:(inflight t) ~ready:(ready t) ()
   ^ buffers
+  ^ (match t.config.store with None -> "" | Some s -> Store.to_prometheus s)
   ^ (match t.cluster with None -> "" | Some c -> Shard.metrics c)
 
 (* ------------------------------------------------------------------ *)
@@ -549,6 +554,74 @@ let handle_refresh t (job : job) =
     in
     try ignore (Service.run t.svc sreq) with Fault.Crashed _ as e -> raise e | _ -> ())
 
+(* ------------------------------------------------------------------ *)
+(* Collection store routes                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* /collections/:name/docs/:id and /collections/:name/query *)
+let store_path path =
+  match String.split_on_char '/' path with
+  | [ ""; "collections"; c; "docs"; d ] when c <> "" && d <> "" -> Some (`Doc (c, d))
+  | [ ""; "collections"; c; "query" ] when c <> "" -> Some (`Query c)
+  | _ -> None
+
+let store_error_response : Store.error -> int * string * string = function
+  | `Not_found -> (404, "store:not-found", "document not found")
+  | `Corrupt reason -> (500, "store:corrupt", reason)
+  | `Io reason -> (503, "store:io", reason)
+
+(* Serve one admitted store job on a worker. PUT validates the body is
+   well-formed XML before anything touches disk — the store holds parsed
+   documents, not blobs — and acks only after the fsync barrier. The
+   query arm resolves doc() against the collection's live documents, so
+   a query can never observe an unacknowledged or quarantined write. *)
+let handle_store t (job : job) conn ~ka store op =
+  let fd = conn.cfd in
+  let fail ?headers (status, code, message) =
+    respond_error t fd ~request_id:job.jid ~status ?headers ~keep_alive:ka ~buf:conn.cbuf
+      ~code ~message ()
+  in
+  match (op, job.jreq.Http.meth) with
+  | `Doc (collection, doc), "PUT" -> (
+    match Xml_base.Parser.parse_string job.jreq.Http.body with
+    | exception _ -> fail (400, "bad-request", "body is not well-formed XML")
+    | _tree -> (
+      match Store.put store ~collection ~doc job.jreq.Http.body with
+      | Ok hash ->
+        Http.write_response fd ~status:200
+          ~headers:
+            (std_headers t ~request_id:job.jid
+               [ ("Content-Type", "text/plain"); ("X-Doc-Hash", hash) ])
+          ~keep_alive:ka ~buf:conn.cbuf ~body:(hash ^ "\n") ()
+      | Error e -> fail (store_error_response e)))
+  | `Doc (collection, doc), "DELETE" -> (
+    match Store.delete store ~collection ~doc with
+    | Ok true ->
+      Http.write_response fd ~status:200
+        ~headers:(std_headers t ~request_id:job.jid [ ("Content-Type", "text/plain") ])
+        ~keep_alive:ka ~buf:conn.cbuf ~body:"deleted\n" ()
+    | Ok false -> fail (404, "store:not-found", "document not found")
+    | Error e -> fail (store_error_response e))
+  | `Query collection, "POST" -> (
+    let doc_resolver uri =
+      match Store.get store ~collection ~doc:uri with
+      | Ok (snapshot, _) -> (
+        try Some (Xml_base.Parser.parse_string snapshot) with _ -> None)
+      | Error _ -> None
+    in
+    match Service.run_query t.svc ~doc_resolver job.jreq.Http.body with
+    | Ok items ->
+      let body =
+        String.concat "\n" (List.map Xquery.Value.item_to_string items) ^ "\n"
+      in
+      Http.write_response fd ~status:200
+        ~headers:(std_headers t ~request_id:job.jid [ ("Content-Type", "text/plain") ])
+        ~keep_alive:ka ~buf:conn.cbuf ~body ()
+    | Error e ->
+      let status, code, message, headers = http_of_error e in
+      fail ~headers (status, code, message))
+  | _ -> fail (405, "method-not-allowed", "unsupported method for this store route")
+
 (* Serve one admitted job, then recycle or close the connection. Catches
    its own failures into a 500. The one exception deliberately let
    through is Fault.Crashed — that is the injected worker death the
@@ -587,6 +660,12 @@ let handle_client t (job : job) conn =
          respond_error t fd ~request_id:job.jid ~status:504 ~keep_alive:ka ~buf:conn.cbuf
            ~code:"resource:deadline" ~message:"deadline expired while queued" ()
        | _ -> (
+         match (t.config.store, store_path job.jreq.Http.path) with
+         | Some store, Some op ->
+           (* Store traffic is served by the front process even when
+              generation is sharded: the store is local state. *)
+           handle_store t job conn ~ka store op
+         | _ -> (
          match t.cluster with
          | Some cluster ->
            (* Sharded: forward the raw body — the routing key is its
@@ -633,7 +712,7 @@ let handle_client t (job : job) conn =
            | Error e ->
              let status, code, message, headers = http_of_error e in
              respond_error t fd ~request_id:job.jid ~status ~headers ~keep_alive:ka
-               ~buf:conn.cbuf ~code ~message ())))
+               ~buf:conn.cbuf ~code ~message ()))))
     with
     | Fault.Crashed _ as e ->
       close_conn t conn;
@@ -782,6 +861,122 @@ let try_serve_stale t conn ~ka ~id ~tenant (req : Http.request) =
       end;
       Some wok)
 
+(* Capture an admitted request into the recorder ring: exactly the
+   traffic that cost a queue slot, with the client's own deadline, so
+   replay reproduces the admitted workload. *)
+let record_admitted t (req : Http.request) ~tenant =
+  match t.config.recorder with
+  | None -> ()
+  | Some r ->
+    Metrics.incr_recorded t.metrics;
+    let deadline_ms =
+      match Http.header req "x-deadline-ms" with
+      | Some v -> (
+        match float_of_string_opt (String.trim v) with
+        | Some ms when ms > 0. -> int_of_float ms
+        | _ -> 0)
+      | None -> 0
+    in
+    Recorder.record r
+      (Recorder.entry ~meth:req.Http.meth ~path:req.Http.path ~tenant ~deadline_ms
+         ~body:req.Http.body ())
+
+(* Store routes. Document reads are answered inline on the reader (one
+   pread plus a CRC check); writes and queries go through the same
+   admission path as /generate — drain refusal, rate limiting, critical
+   brownout shed, fair-queue bulkheads, recorder capture — so every
+   governance layer sees ingest traffic too. *)
+let route_store t conn ~ka (req : Http.request) op =
+  let fd = conn.cfd in
+  let id = fresh_id t req in
+  let refuse ~status ?(headers = []) ~code ~message () =
+    let wok =
+      respond_error t fd ~request_id:id ~status ~headers ~keep_alive:ka ~buf:conn.cbuf
+        ~code ~message ()
+    in
+    finish_conn t conn ~ka:(ka && wok)
+  in
+  match (t.config.store, op, req.Http.meth) with
+  | None, _, _ ->
+    refuse ~status:503 ~code:"no-store"
+      ~message:"no collection store is configured (start with --store DIR)" ()
+  | Some store, `Doc (collection, doc), "GET" -> (
+    match Store.get store ~collection ~doc with
+    | Ok (snapshot, hash) ->
+      let wok =
+        Http.write_response fd ~status:200
+          ~headers:
+            (std_headers t ~request_id:id
+               [ ("Content-Type", "application/xml"); ("X-Doc-Hash", hash) ])
+          ~keep_alive:ka ~buf:conn.cbuf ~body:snapshot ()
+      in
+      finish_conn t conn ~ka:(ka && wok)
+    | Error e ->
+      let status, code, message = store_error_response e in
+      refuse ~status ~code ~message ())
+  | Some _, `Doc _, ("PUT" | "DELETE") | Some _, `Query _, "POST" ->
+    let tenant = tenant_key conn.cpeer req in
+    if Atomic.get t.is_draining then begin
+      Metrics.incr_shed t.metrics;
+      ignore
+        (respond_error t fd ~request_id:id ~status:503 ~headers:(retry_after 1.)
+           ~buf:conn.cbuf ~code:"draining" ~message:"server is draining" ());
+      close_conn t conn
+    end
+    else if not (Token_bucket.admit t.bucket ~key:conn.cpeer ~now:(Clock.now ())) then begin
+      Metrics.incr_rate_limited t.metrics;
+      refuse ~status:429 ~headers:(retry_after_derived t) ~code:"rate-limited"
+        ~message:(Printf.sprintf "client %s exceeds %.1f requests/s" conn.cpeer t.config.rate)
+        ()
+    end
+    else if mode t = Brownout.Critical then begin
+      (* Critical brownout sheds ingest like generation: durable writes
+         are exactly the deferrable kind of work. *)
+      Metrics.incr_shed t.metrics;
+      Metrics.note_tenant t.metrics ~tenant ~outcome:`Shed;
+      refuse ~status:503 ~headers:(retry_after_derived t) ~code:"overloaded"
+        ~message:"service is in critical brownout; store writes are shed" ()
+    end
+    else begin
+      let job =
+        {
+          jconn = Some conn;
+          jka = ka;
+          jreq = req;
+          jid = id;
+          jarrival = Clock.now ();
+          jtenant = tenant;
+          jlevel = Docgen.Spec.Full;
+        }
+      in
+      match Fair_queue.push t.queue ~tenant job with
+      | `Accepted ->
+        Metrics.incr_accepted t.metrics;
+        Metrics.note_tenant t.metrics ~tenant ~outcome:`Served;
+        record_admitted t req ~tenant
+      | `Shed `Tenant_full ->
+        Metrics.incr_tenant_rejected t.metrics;
+        Metrics.note_tenant t.metrics ~tenant ~outcome:`Shed;
+        refuse ~status:429 ~headers:(retry_after_derived t) ~code:"tenant-overloaded"
+          ~message:
+            (Printf.sprintf "tenant %s has %d requests queued (cap %d)" tenant
+               (Fair_queue.tenant_depth t.queue tenant)
+               (min t.config.queue_cap t.config.tenant_cap))
+          ()
+      | `Shed `Queue_full ->
+        Metrics.incr_shed t.metrics;
+        Metrics.note_tenant t.metrics ~tenant ~outcome:`Shed;
+        refuse ~status:503 ~headers:(retry_after_derived t) ~code:"overloaded"
+          ~message:(Printf.sprintf "admission queue full (%d waiting)" t.config.queue_cap)
+          ()
+    end
+  | Some _, `Doc _, _ ->
+    refuse ~status:405 ~headers:[ ("Allow", "GET, PUT, DELETE") ] ~code:"method-not-allowed"
+      ~message:"use GET, PUT or DELETE on /collections/:name/docs/:id" ()
+  | Some _, `Query _, _ ->
+    refuse ~status:405 ~headers:[ ("Allow", "POST") ] ~code:"method-not-allowed"
+      ~message:"use POST on /collections/:name/query" ()
+
 (* Route one parsed request. Inline answers (health, metrics, every
    refusal) are written here and the connection recycled or closed per
    [ka]; admitted generate jobs hand the connection to a worker. *)
@@ -890,24 +1085,7 @@ let route t conn ~ka (req : Http.request) =
           | `Accepted ->
             Metrics.incr_accepted t.metrics;
             Metrics.note_tenant t.metrics ~tenant ~outcome:`Served;
-            (match t.config.recorder with
-            | None -> ()
-            | Some r ->
-              (* Capture at admission: exactly the traffic that cost a
-                 queue slot, with the client's own deadline, so replay
-                 reproduces the admitted workload. *)
-              Metrics.incr_recorded t.metrics;
-              let deadline_ms =
-                match Http.header req "x-deadline-ms" with
-                | Some v ->
-                  (match float_of_string_opt (String.trim v) with
-                  | Some ms when ms > 0. -> int_of_float ms
-                  | _ -> 0)
-                | None -> 0
-              in
-              Recorder.record r
-                (Recorder.entry ~meth:req.Http.meth ~path:req.Http.path ~tenant
-                   ~deadline_ms ~body:req.Http.body ()))
+            record_admitted t req ~tenant
           | `Shed `Tenant_full ->
             (* The flooding tenant's own bulkhead is full: their 429,
                everyone else's queue space is untouched. *)
@@ -946,6 +1124,8 @@ let route t conn ~ka (req : Http.request) =
     inline_response ~status:405
       ~headers:(std_headers t ~request_id:(fresh_id t req) [ ("Allow", "POST") ])
       ""
+  | _, path when store_path path <> None ->
+    route_store t conn ~ka req (Option.get (store_path path))
   | _ ->
     let wok =
       respond_error t fd ~request_id:(fresh_id t req) ~status:404 ~keep_alive:ka
@@ -1040,6 +1220,11 @@ let rec drain_now t =
        joins and retires them, then exits itself. *)
     (match t.supervisor with Some th -> Thread.join th | None -> ());
     Atomic.set t.stop_supervisor true;
+    (* Workers are gone: nothing races the final store checkpoint, so
+       the manifest lands exactly on the acknowledged state. *)
+    (match t.config.store with
+    | Some s -> ( match Store.checkpoint s with Ok () | Error _ -> ())
+    | None -> ());
     Atomic.set t.stop_accept true;
     (match t.acceptor with Some th -> Thread.join th | None -> ());
     (* Readers stayed up until here so /healthz and /readyz kept
@@ -1171,3 +1356,4 @@ module Frame = Frame
 module Chaos = Chaos
 module Breaker = Breaker
 module Recorder = Recorder
+module Store = Store

@@ -56,6 +56,7 @@ module Frame = Frame
 module Chaos = Chaos
 module Breaker = Breaker
 module Recorder = Recorder
+module Store = Store
 
 type config = {
   host : string;  (** bind address, default ["127.0.0.1"] *)
@@ -106,9 +107,19 @@ type config = {
           then [Connection: close] — bounds how long one client can pin
           a pooled buffer *)
   recorder : Recorder.t option;
-      (** when set, every admitted [/generate] request is captured into
-          this ring (method, path, tenant, deadline, body, monotonic
-          timestamp) for later replay — the [--record] flag *)
+      (** when set, every admitted request ([/generate] and store
+          writes/queries) is captured into this ring (method, path,
+          tenant, deadline, body, monotonic timestamp) for later
+          replay — the [--record] flag *)
+  store : Store.t option;
+      (** the crash-safe persistent collection store behind
+          [PUT/GET/DELETE /collections/:name/docs/:id] and
+          [POST /collections/:name/query] (where [doc()] resolves
+          against the named collection). Reads are answered inline;
+          writes and queries pass through admission — drain, rate
+          limit, critical-brownout shed, fair-queue bulkheads,
+          recorder capture. [None] (the default) answers the store
+          routes 503 [no-store]. *)
 }
 
 val default_config : config

@@ -925,7 +925,7 @@ let run_batch ?domains t (reqs : request list) : response list =
    registration, per-query quarantine, and one seed-evaluator re-run on
    an internal fault. *)
 let run_query t ?(compat = Xquery.Context.default_compat) ?(typed_mode = false)
-    ?(optimize = true) ?context_item ?(vars = []) ?mode src :
+    ?(optimize = true) ?context_item ?(vars = []) ?mode ?doc_resolver src :
     (Xquery.Value.sequence, error) result =
   let mode = Option.value mode ~default:t.config.mode in
   let t0 = now () in
@@ -986,7 +986,7 @@ let run_query t ?(compat = Xquery.Context.default_compat) ?(typed_mode = false)
             if mode = Xquery.Engine.Exec_opts.Plan then note_plan_run t compiled;
             let opts =
               Xquery.Engine.Exec_opts.make ~mode ~limits ?context_item ~vars
-                ?pool:(plan_pool t ~mode) ()
+                ?doc_resolver ?pool:(plan_pool t ~mode) ()
             in
             Xquery.Engine.run ~opts compiled)
       in

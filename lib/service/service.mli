@@ -170,6 +170,7 @@ val run_query :
   ?context_item:Xquery.Value.item ->
   ?vars:(string * Xquery.Value.sequence) list ->
   ?mode:Xquery.Engine.Exec_opts.mode ->
+  ?doc_resolver:(string -> Xml_base.Node.t option) ->
   string ->
   (Xquery.Value.sequence, error) result
 (** Run a bare XQuery query with the service's full machinery: the
@@ -178,8 +179,10 @@ val run_query :
     evaluator, in-flight registration (so {!preempt_inflight} reaches
     it), per-query-hash quarantine, and one seed-evaluator re-run on an
     internal fault. [mode] overrides the configured execution mode for
-    this call; [Plan] runs count against the [plan_*] counters. This is
-    the shell's ([xqsh]) path into the engine. *)
+    this call; [Plan] runs count against the [plan_*] counters.
+    [doc_resolver] answers [doc()]/[fn:doc] calls (the server wires the
+    persistent collection store in here). This is the shell's ([xqsh])
+    path into the engine. *)
 
 (** {1 XSLT stylesheets} *)
 

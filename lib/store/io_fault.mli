@@ -1,0 +1,91 @@
+(** Deterministic I/O fault injection — the Chaos plane's discipline
+    (every decision a pure function of seed x op x sequence) pushed down
+    into the filesystem layer — plus the faultable append-only file the
+    segment log writes through.
+
+    With a plane attached, appended bytes buffer in memory and reach the
+    file descriptor only at the {!fsync} barrier, so an injected crash
+    ([Unix._exit] mid-operation) genuinely loses un-fsynced data instead
+    of leaving it to survive in the OS page cache. *)
+
+type fault =
+  | Short_write of float
+      (** fraction of the buffer that lands before the error *)
+  | Fsync_fail  (** bytes reach the fd, durability does not, call errors *)
+  | Fsync_ignore  (** reports success with nothing made durable *)
+  | Crash_after of float
+      (** flush this fraction of pending bytes, then [_exit] — always a
+          strict prefix, so an operation never both completes and
+          crashes *)
+
+type op = Write | Fsync
+
+type t = {
+  seed : int;
+  short_write_rate : float;
+  fsync_fail_rate : float;
+  fsync_ignore_rate : float;
+  crash_rate : float;
+}
+
+val none : t
+
+val of_seed :
+  ?short_write_rate:float ->
+  ?fsync_fail_rate:float ->
+  ?fsync_ignore_rate:float ->
+  ?crash_rate:float ->
+  int ->
+  t
+(** All rates default to 0. *)
+
+val enabled : t -> bool
+
+val decide : t -> op:op -> seq:int -> fault option
+(** Pure: same plane, op and sequence number always produce the same
+    decision. At most one fault per operation, drawn in a fixed
+    priority order (crash first). *)
+
+val schedule : t -> op:op -> int -> fault option list
+(** The first [n] decisions for [op] — byte-identical across runs. *)
+
+val fault_name : fault -> string
+
+(** {1 The faultable append-only file} *)
+
+exception Fault of string
+(** An injected write/fsync failure (or a genuine short write). *)
+
+type file
+
+val openf : ?plane:t -> string -> file
+(** Open (creating if absent) for append at the current size. A plane
+    with all rates zero is treated as absent: writes go straight
+    through. *)
+
+val path : file -> string
+
+val committed : file -> int
+(** Bytes known durable: on the fd and covered by a real fsync. *)
+
+val length : file -> int
+(** Logical length: committed + flushed-but-unsynced + buffered. The
+    offset the next {!append} lands at. *)
+
+val append : file -> string -> unit
+(** Buffer bytes for the next barrier. Raises {!Fault} on an injected
+    short write (after buffering a torn prefix — call {!repair}). *)
+
+val fsync : file -> unit
+(** The durability barrier: flush buffered bytes and fsync. Raises
+    {!Fault} on an injected failure (call {!repair}); an injected
+    ignore returns success with nothing durable. *)
+
+val repair : file -> unit
+(** After a failed append/fsync: discard pending bytes and truncate the
+    fd back to the last barrier, so nothing unacknowledged can be
+    resurrected by a later successful fsync. *)
+
+val close : file -> unit
+(** Close the fd. Buffered-unflushed bytes are lost — callers fsync
+    first. *)

@@ -1,0 +1,600 @@
+(* The crash-safe collection store: named collections of documents on a
+   segmented append-only log.
+
+   Write path: serialize the record, append it to the active segment,
+   fsync (the durability barrier), and only then update the in-memory
+   index and acknowledge. Any failure on the way repairs the segment
+   back to the last barrier — pending bytes are discarded and the fd
+   truncated — so a failed-but-flushed record can never be resurrected
+   by a later successful fsync.
+
+   Read path: every get re-reads the record's framed bytes from its
+   segment and verifies the CRC — a checksum escape (serving bytes that
+   fail verification) is structurally impossible; a read-time mismatch
+   quarantines the segment and answers [`Corrupt].
+
+   Recovery (open): load the manifest (a checkpoint, not an authority —
+   a damaged or missing manifest just means replaying every segment
+   from its header), seed the index from its doc table, then replay
+   each live segment from its checkpointed durable length. A torn tail
+   (damage reaching EOF — the signature of a crash mid-append) is
+   truncated and counted; mid-log damage (bit rot) quarantines the
+   segment behind [`Corrupt] with the rest of the store still serving.
+
+   Concurrency: one mutex over the write path and index; reads take the
+   mutex only for the index lookup and read file bytes outside it
+   (segments are append-only, and an indexed record is durable). *)
+
+type error = [ `Corrupt of string | `Io of string | `Not_found ]
+
+let error_message = function
+  | `Corrupt m -> Printf.sprintf "store:corrupt: %s" m
+  | `Io m -> Printf.sprintf "store:io: %s" m
+  | `Not_found -> "store:not-found"
+
+type counters = {
+  ingests : int Atomic.t;
+  deletes : int Atomic.t;
+  reads : int Atomic.t;
+  fsyncs : int Atomic.t;
+  recovered_records : int Atomic.t;
+  truncated_tails : int Atomic.t;
+  quarantined_segments : int Atomic.t;
+  read_crc_failures : int Atomic.t;
+  io_errors : int Atomic.t;
+  appended_bytes : int Atomic.t;
+}
+
+type counts = {
+  n_ingests : int;
+  n_deletes : int;
+  n_reads : int;
+  n_fsyncs : int;
+  n_recovered_records : int;
+  n_truncated_tails : int;
+  n_quarantined_segments : int;
+  n_read_crc_failures : int;
+  n_io_errors : int;
+  n_appended_bytes : int;
+}
+
+type t = {
+  dir : string;
+  max_segment_bytes : int;
+  plane : Io_fault.t option;
+  mutex : Mutex.t;
+  index : (string * string, Manifest.loc) Hashtbl.t;  (* (collection, doc) -> loc *)
+  mutable segs : (int * int) list;  (* id, durable length at last checkpoint *)
+  mutable quarantined : (int * string) list;
+  mutable active_id : int;
+  mutable active : Io_fault.file;
+  mutable next_seg : int;
+  mutable closed : bool;
+  c : counters;
+}
+
+let make_counters () =
+  {
+    ingests = Atomic.make 0;
+    deletes = Atomic.make 0;
+    reads = Atomic.make 0;
+    fsyncs = Atomic.make 0;
+    recovered_records = Atomic.make 0;
+    truncated_tails = Atomic.make 0;
+    quarantined_segments = Atomic.make 0;
+    read_crc_failures = Atomic.make 0;
+    io_errors = Atomic.make 0;
+    appended_bytes = Atomic.make 0;
+  }
+
+let counts t =
+  {
+    n_ingests = Atomic.get t.c.ingests;
+    n_deletes = Atomic.get t.c.deletes;
+    n_reads = Atomic.get t.c.reads;
+    n_fsyncs = Atomic.get t.c.fsyncs;
+    n_recovered_records = Atomic.get t.c.recovered_records;
+    n_truncated_tails = Atomic.get t.c.truncated_tails;
+    n_quarantined_segments = Atomic.get t.c.quarantined_segments;
+    n_read_crc_failures = Atomic.get t.c.read_crc_failures;
+    n_io_errors = Atomic.get t.c.io_errors;
+    n_appended_bytes = Atomic.get t.c.appended_bytes;
+  }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let seg_path dir id = Filename.concat dir (Segment.seg_name id)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let rec mkdirs dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdirs parent;
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoints                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The manifest image of the current state. Doc entries that point past
+   their segment's durable length are dropped: under a lying fsync the
+   in-memory index can run ahead of the disk, and checkpointing such an
+   entry would promise a record the segment cannot deliver. *)
+let manifest_of t ~segs =
+  let durable = Hashtbl.create 16 in
+  List.iter (fun (id, len) -> Hashtbl.replace durable id len) segs;
+  let docs =
+    Hashtbl.fold
+      (fun _ loc acc ->
+        match Hashtbl.find_opt durable loc.Manifest.l_seg with
+        | Some len when loc.Manifest.l_off + loc.Manifest.l_len <= len -> loc :: acc
+        | _ -> acc)
+      t.index []
+  in
+  {
+    Manifest.next_seg = t.next_seg;
+    active = t.active_id;
+    segs;
+    quarantined = t.quarantined;
+    docs;
+  }
+
+(* Current durable lengths: the checkpointed value for closed segments,
+   the live committed count for the active one. *)
+let current_segs t =
+  List.map
+    (fun (id, len) -> if id = t.active_id then (id, Io_fault.committed t.active) else (id, len))
+    t.segs
+
+let save_manifest t =
+  let segs = current_segs t in
+  Manifest.save ?plane:t.plane ~dir:t.dir (manifest_of t ~segs);
+  t.segs <- segs
+
+let save_manifest_quiet t =
+  try save_manifest t with Io_fault.Fault _ | Unix.Unix_error _ | Sys_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let quarantine_now t id reason =
+  if not (List.mem_assoc id t.quarantined) then begin
+    t.quarantined <- t.quarantined @ [ (id, reason) ];
+    Atomic.incr t.c.quarantined_segments
+  end
+
+let apply_record t id (r, off, len) =
+  Atomic.incr t.c.recovered_records;
+  let key = (r.Segment.collection, r.Segment.doc) in
+  match r.Segment.kind with
+  | `Put ->
+    Hashtbl.replace t.index key
+      {
+        Manifest.l_collection = r.Segment.collection;
+        l_doc = r.Segment.doc;
+        l_hash = r.Segment.hash;
+        l_seg = id;
+        l_off = off;
+        l_len = len;
+      }
+  | `Delete -> Hashtbl.remove t.index key
+
+(* Replay one segment from [from]; returns its recovered durable
+   length, or None if the segment was quarantined. Truncates a torn
+   tail in place so the recovered length is also the physical one. *)
+let recover_segment t id ~from =
+  let path = seg_path t.dir id in
+  let data = read_file path in
+  let size = String.length data in
+  match Segment.check_header data with
+  | `Torn_header ->
+    (* The segment died at birth: its header never became durable, so
+       nothing can be in it. Truncate to a clean torn tail of zero. *)
+    Atomic.incr t.c.truncated_tails;
+    (try Unix.truncate path 0 with Unix.Unix_error _ -> ());
+    Some 0
+  | `Bad_header ->
+    quarantine_now t id "bad segment header";
+    None
+  | `Ok ->
+    let from = max from Segment.header_len in
+    if from > size then begin
+      (* The checkpoint claims durable bytes the file no longer has:
+         external truncation — nothing trustworthy here. *)
+      quarantine_now t id
+        (Printf.sprintf "segment shorter than checkpoint (%d < %d)" size from);
+      None
+    end
+    else begin
+      let records, outcome = Segment.scan_tail data ~from in
+      List.iter (apply_record t id) records;
+      match outcome with
+      | Segment.Clean -> Some size
+      | Segment.Torn_tail (keep, _reason) ->
+        Atomic.incr t.c.truncated_tails;
+        (try Unix.truncate path keep with Unix.Unix_error _ -> ());
+        Some keep
+      | Segment.Mid_log_damage (_off, reason) ->
+        quarantine_now t id reason;
+        None
+    end
+
+(* A fresh segment: header appended and fsynced before the id becomes
+   the active segment. *)
+let create_segment t id =
+  let f = Io_fault.openf ?plane:t.plane (seg_path t.dir id) in
+  (try
+     Io_fault.append f Segment.magic;
+     Io_fault.fsync f;
+     Atomic.incr t.c.fsyncs
+   with e ->
+     Io_fault.repair f;
+     Io_fault.close f;
+     (try Unix.unlink (seg_path t.dir id) with Unix.Unix_error _ -> ());
+     raise e);
+  f
+
+let open_store ?plane ?(max_segment_bytes = 8 * 1024 * 1024) dir =
+  mkdirs dir;
+  let plane = match plane with Some p when Io_fault.enabled p -> Some p | _ -> None in
+  let manifest =
+    match Manifest.load ~dir with
+    | `Manifest m -> m
+    | `Missing -> Manifest.empty
+    | `Damaged _ -> Manifest.empty (* rebuild below by scanning everything *)
+  in
+  (try Unix.unlink (Filename.concat dir Manifest.tmp_name) with Unix.Unix_error _ -> ());
+  (* A throwaway handle to occupy [active] until recovery picks the
+     real one: opened on an unlinked scratch path, closed before the
+     store is returned. *)
+  let bootstrap =
+    let path = Filename.concat dir ".bootstrap" in
+    let f = Io_fault.openf path in
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    f
+  in
+  (* Every segment on disk, whether the manifest knows it or not — a
+     crash between segment creation and the next checkpoint leaves an
+     orphan the doc table has never heard of. *)
+  let on_disk =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map Segment.seg_id
+    |> List.sort compare
+  in
+  let checkpointed = manifest.Manifest.segs in
+  let t =
+    {
+      dir;
+      max_segment_bytes;
+      plane;
+      mutex = Mutex.create ();
+      index = Hashtbl.create 1024;
+      segs = [];
+      quarantined = manifest.Manifest.quarantined;
+      active_id = -1;
+      active = bootstrap;  (* replaced below, before any write *)
+      next_seg = max manifest.Manifest.next_seg
+                   (match on_disk with [] -> 0 | l -> List.fold_left max 0 l + 1);
+      closed = false;
+      c = make_counters ();
+    }
+  in
+  (* Seed the index from the checkpointed doc table, then replay each
+     segment's suffix — replayed records override the checkpoint. *)
+  List.iter
+    (fun loc -> Hashtbl.replace t.index (loc.Manifest.l_collection, loc.Manifest.l_doc) loc)
+    manifest.Manifest.docs;
+  let recovered =
+    List.filter_map
+      (fun id ->
+        if List.mem_assoc id t.quarantined then None
+        else begin
+          let from =
+            match List.assoc_opt id checkpointed with
+            | Some len -> len
+            | None -> Segment.header_len
+          in
+          match recover_segment t id ~from with
+          | Some len -> Some (id, len)
+          | None -> None
+          | exception Sys_error reason ->
+            quarantine_now t id ("unreadable segment: " ^ reason);
+            None
+        end)
+      on_disk
+  in
+  (* Segments the manifest lists but the directory no longer has: their
+     docs are unservable — quarantine the id so gets answer corrupt. *)
+  List.iter
+    (fun (id, _) ->
+      if not (List.mem id on_disk) && not (List.mem_assoc id t.quarantined) then
+        quarantine_now t id "segment file missing")
+    checkpointed;
+  (* Drop index entries for quarantined segments' docs? No: keep them
+     so a get answers `Corrupt (the doc existed; its bytes are suspect)
+     rather than a silent not-found. *)
+  let reopen_as_active id len =
+    (* An empty recovered segment lost its header with its tail; give
+       it the header back before appending records. *)
+    let f = Io_fault.openf ?plane (seg_path dir id) in
+    if len = 0 then begin
+      Io_fault.append f Segment.magic;
+      Io_fault.fsync f;
+      Atomic.incr t.c.fsyncs
+    end;
+    f
+  in
+  let segs, active_id, active =
+    let usable_active =
+      match List.assoc_opt manifest.Manifest.active recovered with
+      | Some len when len < max_segment_bytes -> Some (manifest.Manifest.active, len)
+      | _ -> (
+        (* Fall back to the highest recovered segment with room — an
+           orphan created just before the crash is exactly that. *)
+        match List.rev recovered with
+        | (id, len) :: _ when len < max_segment_bytes -> Some (id, len)
+        | _ -> None)
+    in
+    match usable_active with
+    | Some (id, len) -> (recovered, id, reopen_as_active id len)
+    | None ->
+      let id = t.next_seg in
+      t.next_seg <- id + 1;
+      let f = create_segment t id in
+      (recovered @ [ (id, Segment.header_len) ], id, f)
+  in
+  Io_fault.close bootstrap;
+  t.segs <- segs;
+  t.active_id <- active_id;
+  t.active <- active;
+  (* Checkpoint what recovery just established. Best-effort: a failure
+     here only means the next open replays more. *)
+  save_manifest_quiet t;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Writes                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let io_error t e =
+  Atomic.incr t.c.io_errors;
+  let m =
+    match e with
+    | Io_fault.Fault m -> m
+    | Unix.Unix_error (err, fn, _) -> Printf.sprintf "%s: %s" fn (Unix.error_message err)
+    | e -> Printexc.to_string e
+  in
+  Error (`Io m)
+
+(* Seal the active segment and start a fresh one. On failure the old
+   active is repaired and stays active (the segment runs oversize —
+   harmless), and the caller's append fails cleanly. *)
+let rotate t =
+  Io_fault.fsync t.active;
+  Atomic.incr t.c.fsyncs;
+  let id = t.next_seg in
+  let f = create_segment t id in
+  Io_fault.close t.active;
+  t.next_seg <- id + 1;
+  t.segs <-
+    List.map (fun (i, l) -> if i = t.active_id then (i, Io_fault.committed t.active) else (i, l)) t.segs
+    @ [ (id, Segment.header_len) ];
+  t.active_id <- id;
+  t.active <- f;
+  save_manifest_quiet t
+
+let append_record t record =
+  if t.closed then Error (`Io "store is closed")
+  else begin
+    let bytes = Segment.encode record in
+    match
+      if
+        Io_fault.length t.active + String.length bytes > t.max_segment_bytes
+        && Io_fault.length t.active > Segment.header_len
+      then rotate t
+    with
+    | () -> (
+      let off = Io_fault.length t.active in
+      match
+        Io_fault.append t.active bytes;
+        Io_fault.fsync t.active
+      with
+      | () ->
+        Atomic.incr t.c.fsyncs;
+        Atomic.fetch_and_add t.c.appended_bytes (String.length bytes) |> ignore;
+        Ok (off, String.length bytes)
+      | exception e ->
+        Io_fault.repair t.active;
+        io_error t e)
+    | exception e ->
+      Io_fault.repair t.active;
+      io_error t e
+  end
+
+let put t ~collection ~doc snapshot =
+  let hash = Digest.to_hex (Digest.string snapshot) in
+  with_lock t (fun () ->
+      let record =
+        { Segment.kind = `Put; collection; doc; hash; snapshot }
+      in
+      match append_record t record with
+      | Ok (off, len) ->
+        Hashtbl.replace t.index (collection, doc)
+          {
+            Manifest.l_collection = collection;
+            l_doc = doc;
+            l_hash = hash;
+            l_seg = t.active_id;
+            l_off = off;
+            l_len = len;
+          };
+        Atomic.incr t.c.ingests;
+        Ok hash
+      | Error _ as e -> e)
+
+let delete t ~collection ~doc =
+  with_lock t (fun () ->
+      if not (Hashtbl.mem t.index (collection, doc)) then Ok false
+      else
+        let record =
+          { Segment.kind = `Delete; collection; doc; hash = ""; snapshot = "" }
+        in
+        match append_record t record with
+        | Ok _ ->
+          Hashtbl.remove t.index (collection, doc);
+          Atomic.incr t.c.deletes;
+          Ok true
+        | Error _ as e -> e)
+
+(* ------------------------------------------------------------------ *)
+(* Reads                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let read_exact path ~off ~len =
+  let fd = Unix.openfile path [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      ignore (Unix.lseek fd off Unix.SEEK_SET);
+      let b = Bytes.create len in
+      let rec go o =
+        if o < len then
+          match Unix.read fd b o (len - o) with 0 -> o | n -> go (o + n)
+        else o
+      in
+      let got = go 0 in
+      if got < len then None else Some (Bytes.unsafe_to_string b))
+
+let get t ~collection ~doc =
+  Atomic.incr t.c.reads;
+  let looked =
+    with_lock t (fun () ->
+        match Hashtbl.find_opt t.index (collection, doc) with
+        | None -> Error `Not_found
+        | Some loc ->
+          if List.mem_assoc loc.Manifest.l_seg t.quarantined then
+            Error (`Corrupt (Printf.sprintf "segment %d is quarantined" loc.Manifest.l_seg))
+          else Ok loc)
+  in
+  match looked with
+  | Error _ as e -> e
+  | Ok loc -> (
+    let path = seg_path t.dir loc.Manifest.l_seg in
+    (* Every read re-verifies the record CRC: a mismatch here is bit
+       rot caught in the act — quarantine the segment, answer corrupt,
+       and never let an unverified byte out. *)
+    let fail reason =
+      Atomic.incr t.c.read_crc_failures;
+      with_lock t (fun () -> quarantine_now t loc.Manifest.l_seg reason);
+      Error (`Corrupt reason)
+    in
+    match read_exact path ~off:loc.Manifest.l_off ~len:loc.Manifest.l_len with
+    | None -> fail (Printf.sprintf "segment %d short read" loc.Manifest.l_seg)
+    | exception Unix.Unix_error (err, _, _) ->
+      Atomic.incr t.c.io_errors;
+      Error (`Io (Unix.error_message err))
+    | Some data -> (
+      match Segment.scan_one data 0 with
+      | Segment.Rec (r, _)
+        when r.Segment.kind = `Put && r.Segment.collection = collection
+             && r.Segment.doc = doc ->
+        Ok (r.Segment.snapshot, r.Segment.hash)
+      | Segment.Rec _ ->
+        fail (Printf.sprintf "segment %d record mismatch at %d" loc.Manifest.l_seg loc.Manifest.l_off)
+      | Segment.End | Segment.Torn _ | Segment.Damaged _ ->
+        fail
+          (Printf.sprintf "segment %d record at %d failed verification" loc.Manifest.l_seg
+             loc.Manifest.l_off)))
+
+let mem t ~collection ~doc = with_lock t (fun () -> Hashtbl.mem t.index (collection, doc))
+
+let list_docs t ~collection =
+  with_lock t (fun () ->
+      Hashtbl.fold
+        (fun (c, d) loc acc -> if c = collection then (d, loc.Manifest.l_hash) :: acc else acc)
+        t.index [])
+  |> List.sort compare
+
+let collections t =
+  with_lock t (fun () ->
+      Hashtbl.fold (fun (c, _) _ acc -> if List.mem c acc then acc else c :: acc) t.index [])
+  |> List.sort compare
+
+let doc_count t = with_lock t (fun () -> Hashtbl.length t.index)
+let quarantined t = with_lock t (fun () -> t.quarantined)
+let segment_count t = with_lock t (fun () -> List.length t.segs)
+let dir t = t.dir
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint / close                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let checkpoint t =
+  with_lock t (fun () ->
+      if t.closed then Error (`Io "store is closed")
+      else
+        match
+          Io_fault.fsync t.active;
+          Atomic.incr t.c.fsyncs;
+          save_manifest t
+        with
+        | () -> Ok ()
+        | exception e ->
+          Io_fault.repair t.active;
+          io_error t e)
+
+let close t =
+  (match checkpoint t with Ok () | Error _ -> ());
+  with_lock t (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        Io_fault.close t.active
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let to_prometheus t =
+  let c = counts t in
+  let b = Buffer.create 1024 in
+  let counter name help v =
+    Buffer.add_string b
+      (Printf.sprintf
+         "# HELP lopsided_store_%s %s\n# TYPE lopsided_store_%s counter\nlopsided_store_%s %d\n"
+         name help name name v)
+  in
+  let gauge name help v =
+    Buffer.add_string b
+      (Printf.sprintf
+         "# HELP lopsided_store_%s %s\n# TYPE lopsided_store_%s gauge\nlopsided_store_%s %d\n"
+         name help name name v)
+  in
+  counter "ingests_total" "Documents durably ingested (acknowledged puts)." c.n_ingests;
+  counter "deletes_total" "Documents durably tombstoned." c.n_deletes;
+  counter "reads_total" "Document reads served (each CRC-verified)." c.n_reads;
+  counter "fsyncs_total" "Durability barriers issued." c.n_fsyncs;
+  counter "recovered_records_total" "Records replayed from segments at open."
+    c.n_recovered_records;
+  counter "truncated_tails_total" "Torn segment tails truncated at recovery."
+    c.n_truncated_tails;
+  counter "quarantined_segments_total" "Segments quarantined for mid-log damage."
+    c.n_quarantined_segments;
+  counter "read_crc_failures_total" "Read-time checksum failures (never served)."
+    c.n_read_crc_failures;
+  counter "io_errors_total" "Failed writes/fsyncs repaired back to the last barrier."
+    c.n_io_errors;
+  counter "appended_bytes_total" "Record bytes appended to segments." c.n_appended_bytes;
+  gauge "docs" "Live documents across all collections." (doc_count t);
+  gauge "segments" "Live log segments." (segment_count t);
+  gauge "quarantined" "Segments currently quarantined." (List.length (quarantined t));
+  Buffer.contents b

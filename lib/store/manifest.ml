@@ -1,0 +1,150 @@
+(* The manifest: one CRC-guarded binary snapshot of the store's shape —
+   live segments with their checkpointed durable lengths, quarantined
+   segments, and the doc -> (segment, offset) table as of the last
+   checkpoint.
+
+   Swap is atomic and durable: serialize to MANIFEST.tmp (through the
+   faultable file, so the I/O fault plane reaches this path too), fsync
+   the temp, rename over MANIFEST, fsync the directory. A crash at any
+   point leaves either the old manifest or the new one, never a blend;
+   a torn temp is ignored on load. Recovery treats the manifest as a
+   checkpoint, not an authority: segments are replayed from their
+   checkpointed lengths, so a stale manifest only costs replay work. *)
+
+let magic = "AWBMAN1\n"
+let file_name = "MANIFEST"
+let tmp_name = "MANIFEST.tmp"
+
+type loc = {
+  l_collection : string;
+  l_doc : string;
+  l_hash : string;
+  l_seg : int;
+  l_off : int;
+  l_len : int;  (* framed record length *)
+}
+
+type t = {
+  next_seg : int;
+  active : int;  (* -1 = none *)
+  segs : (int * int) list;  (* id, checkpointed durable length; ascending *)
+  quarantined : (int * string) list;  (* id, reason *)
+  docs : loc list;
+}
+
+let empty = { next_seg = 0; active = -1; segs = []; quarantined = []; docs = [] }
+
+let encode m =
+  let p = Buffer.create 4096 in
+  Segment.add_u32 p m.next_seg;
+  Segment.add_u32 p (m.active + 1);
+  Segment.add_u32 p (List.length m.segs);
+  List.iter
+    (fun (id, len) ->
+      Segment.add_u32 p id;
+      Segment.add_u32 p len)
+    m.segs;
+  Segment.add_u32 p (List.length m.quarantined);
+  List.iter
+    (fun (id, reason) ->
+      Segment.add_u32 p id;
+      Segment.add_lp p reason)
+    m.quarantined;
+  Segment.add_u32 p (List.length m.docs);
+  List.iter
+    (fun l ->
+      Segment.add_lp p l.l_collection;
+      Segment.add_lp p l.l_doc;
+      Segment.add_lp p l.l_hash;
+      Segment.add_u32 p l.l_seg;
+      Segment.add_u32 p l.l_off;
+      Segment.add_u32 p l.l_len)
+    m.docs;
+  let payload = Buffer.contents p in
+  let b = Buffer.create (String.length payload + 20) in
+  Buffer.add_string b magic;
+  Segment.add_u32 b (String.length payload);
+  Buffer.add_string b payload;
+  Segment.add_u32 b (Segment.crc32 payload);
+  Buffer.contents b
+
+let decode data =
+  let mlen = String.length magic in
+  if String.length data < mlen + 8 then raise (Segment.Corrupt "manifest truncated");
+  if String.sub data 0 mlen <> magic then raise (Segment.Corrupt "bad manifest magic");
+  let pos = ref mlen in
+  let plen = Segment.get_u32 data pos in
+  if !pos + plen + 4 > String.length data then
+    raise (Segment.Corrupt "manifest payload truncated");
+  let payload = String.sub data !pos plen in
+  let crc = Segment.get_u32 data (ref (!pos + plen)) in
+  if crc <> Segment.crc32 payload then raise (Segment.Corrupt "manifest crc mismatch");
+  let pos = ref 0 in
+  let next_seg = Segment.get_u32 payload pos in
+  let active = Segment.get_u32 payload pos - 1 in
+  let nsegs = Segment.get_u32 payload pos in
+  let segs =
+    List.init nsegs (fun _ ->
+        let id = Segment.get_u32 payload pos in
+        let len = Segment.get_u32 payload pos in
+        (id, len))
+  in
+  let nq = Segment.get_u32 payload pos in
+  let quarantined =
+    List.init nq (fun _ ->
+        let id = Segment.get_u32 payload pos in
+        let reason = Segment.get_lp payload pos in
+        (id, reason))
+  in
+  let ndocs = Segment.get_u32 payload pos in
+  let docs =
+    List.init ndocs (fun _ ->
+        let l_collection = Segment.get_lp payload pos in
+        let l_doc = Segment.get_lp payload pos in
+        let l_hash = Segment.get_lp payload pos in
+        let l_seg = Segment.get_u32 payload pos in
+        let l_off = Segment.get_u32 payload pos in
+        let l_len = Segment.get_u32 payload pos in
+        { l_collection; l_doc; l_hash; l_seg; l_off; l_len })
+  in
+  { next_seg; active; segs; quarantined; docs }
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 with
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+(* Write temp + fsync + rename + fsync dir. Raises Io_fault.Fault (or a
+   Unix error) with the old manifest still installed; may also _exit at
+   an injected kill point — both leave a recoverable store. *)
+let save ?plane ~dir m =
+  let tmp = Filename.concat dir tmp_name in
+  (try Unix.unlink tmp with Unix.Unix_error _ -> ());
+  let f = Io_fault.openf ?plane tmp in
+  (try
+     Io_fault.append f (encode m);
+     Io_fault.fsync f
+   with e ->
+     Io_fault.close f;
+     (try Unix.unlink tmp with Unix.Unix_error _ -> ());
+     raise e);
+  Io_fault.close f;
+  Unix.rename tmp (Filename.concat dir file_name);
+  fsync_dir dir
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load ~dir =
+  let path = Filename.concat dir file_name in
+  if not (Sys.file_exists path) then `Missing
+  else
+    match decode (read_file path) with
+    | m -> `Manifest m
+    | exception Segment.Corrupt reason -> `Damaged reason
+    | exception Sys_error reason -> `Damaged reason

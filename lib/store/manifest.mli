@@ -1,0 +1,38 @@
+(** The store manifest: a CRC-guarded binary checkpoint of live
+    segments (with durable lengths), quarantined segments, and the
+    doc location table, swapped atomically (write temp + fsync +
+    rename + directory fsync). *)
+
+val file_name : string
+val tmp_name : string
+
+type loc = {
+  l_collection : string;
+  l_doc : string;
+  l_hash : string;  (** MD5 hex of the snapshot at ingest *)
+  l_seg : int;
+  l_off : int;
+  l_len : int;  (** framed record length *)
+}
+
+type t = {
+  next_seg : int;
+  active : int;  (** -1 = none *)
+  segs : (int * int) list;  (** id, checkpointed durable length *)
+  quarantined : (int * string) list;
+  docs : loc list;
+}
+
+val empty : t
+val encode : t -> string
+
+val decode : string -> t
+(** Raises [Segment.Corrupt]. *)
+
+val save : ?plane:Io_fault.t -> dir:string -> t -> unit
+(** Atomic durable swap. On an injected or genuine I/O failure the old
+    manifest is still installed (and the temp removed). *)
+
+val load : dir:string -> [ `Manifest of t | `Missing | `Damaged of string ]
+(** A damaged manifest is reported, not fatal: the caller rebuilds by
+    scanning every segment from its header. *)

@@ -1,0 +1,277 @@
+(* The crash oracle: prove recovery, don't assert it.
+
+   A trial re-execs the current binary as a child ingester (the
+   [AWBSTORE_ORACLE] environment variable carries the spec, the same
+   re-exec discipline as the shard backends), which opens a store with
+   a seeded I/O fault plane and ingests a deterministic document
+   sequence, printing one flushed ack line per durable operation:
+
+     A <doc> <hash>   put acknowledged (fsync barrier passed)
+     D <doc>          delete acknowledged
+     E <doc>          operation failed and was repaired; not durable
+
+   At a seeded kill point the child [_exit]s mid-operation. The parent
+   replays the ack stream into the expected live set, reopens the store
+   fault-free, and checks recovery against it *exactly*: every
+   acknowledged write present with its acknowledged content hash (no
+   lost acks), nothing present that was never acknowledged (no
+   resurrection), zero read-time checksum failures (no escapes), and a
+   post-recovery scrub with no unquarantined damage.
+
+   Under fsync-ignore schedules (a lying disk) exact equality is
+   unachievable by construction — the caller gates those trials on the
+   weaker invariants: recovered is a subset of acknowledged, nothing
+   resurrected, nothing corrupt served. *)
+
+let env_var = "AWBSTORE_ORACLE"
+
+type rates = {
+  r_crash : float;
+  r_short : float;
+  r_ffail : float;
+  r_fignore : float;
+}
+
+let no_rates = { r_crash = 0.; r_short = 0.; r_ffail = 0.; r_fignore = 0. }
+
+let spec_to_string ~dir ~seed ~n ~segbytes rates =
+  Printf.sprintf "dir=%s;seed=%d;n=%d;segbytes=%d;crash=%f;short=%f;ffail=%f;fignore=%f"
+    dir seed n segbytes rates.r_crash rates.r_short rates.r_ffail rates.r_fignore
+
+let spec_of_string s =
+  let kv =
+    String.split_on_char ';' s
+    |> List.filter_map (fun part ->
+           match String.index_opt part '=' with
+           | None -> None
+           | Some i ->
+             Some
+               ( String.sub part 0 i,
+                 String.sub part (i + 1) (String.length part - i - 1) ))
+  in
+  let str k = try List.assoc k kv with Not_found -> failwith ("oracle spec missing " ^ k) in
+  let int k = int_of_string (str k) in
+  let flt k = float_of_string (str k) in
+  ( str "dir",
+    int "seed",
+    int "n",
+    int "segbytes",
+    { r_crash = flt "crash"; r_short = flt "short"; r_ffail = flt "ffail"; r_fignore = flt "fignore" } )
+
+let collection = "oracle"
+let doc_name i = Printf.sprintf "d%d" i
+
+(* Deterministic per-doc content; size varies so records straddle
+   rotation boundaries at the child's small segment cap. *)
+let doc_body ~seed i =
+  Printf.sprintf "<doc id=\"d%d\" seed=\"%d\"><payload>%s</payload></doc>" i seed
+    (String.make (16 + ((i * 37) + seed) mod 240) 'x')
+
+(* ------------------------------------------------------------------ *)
+(* Child                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_child spec =
+  let dir, seed, n, segbytes, rates = spec_of_string spec in
+  let plane =
+    Io_fault.of_seed ~short_write_rate:rates.r_short ~fsync_fail_rate:rates.r_ffail
+      ~fsync_ignore_rate:rates.r_fignore ~crash_rate:rates.r_crash seed
+  in
+  (* Opening the store sits on the fault plane too (the first segment's
+     header append + fsync): a fault there is a death before any ack —
+     exit quietly with a distinct code, the parent's comparison against
+     the (empty) acknowledged prefix still runs. *)
+  let store =
+    try Log.open_store ~plane ~max_segment_bytes:segbytes dir
+    with Io_fault.Fault _ -> exit 3
+  in
+  for i = 0 to n - 1 do
+    (* Mix tombstones into the stream: every seventh step deletes an
+       earlier doc, so recovery is checked against deletes too. *)
+    (if i mod 7 = 3 && i >= 2 then
+       let target = doc_name (i - 2) in
+       match Log.delete store ~collection ~doc:target with
+       | Ok true -> Printf.printf "D %s\n%!" target
+       | Ok false -> ()
+       | Error _ -> Printf.printf "E %s\n%!" target);
+    let doc = doc_name i in
+    match Log.put store ~collection ~doc (doc_body ~seed i) with
+    | Ok hash -> Printf.printf "A %s %s\n%!" doc hash
+    | Error _ -> Printf.printf "E %s\n%!" doc
+  done;
+  (* The final checkpoint (and its manifest swap) sits on the fault
+     plane too — a kill here must still recover. *)
+  (match Log.checkpoint store with Ok () | Error _ -> ());
+  Log.close store;
+  print_string "DONE\n";
+  exit 0
+
+let maybe_run_child () =
+  match Sys.getenv_opt env_var with
+  | None -> ()
+  | Some spec -> run_child spec
+
+(* ------------------------------------------------------------------ *)
+(* Parent                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type trial = {
+  tr_exit : int;  (* child exit code; 137 = injected kill point *)
+  tr_killed : bool;
+  tr_completed : bool;  (* child printed DONE *)
+  tr_acked : int;  (* expected live docs after replaying the ack stream *)
+  tr_recovered : int;
+  tr_lost : int;  (* acked but missing or wrong content after recovery *)
+  tr_resurrected : int;  (* recovered but never acknowledged *)
+  tr_escapes : int;  (* read-time checksum failures *)
+  tr_truncated_tails : int;
+  tr_quarantined : int;
+  tr_unquarantined_damage : int;
+}
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error _ -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (try Sys.readdir path with Sys_error _ -> [||]);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+
+let child_env spec =
+  let keep =
+    Unix.environment () |> Array.to_list
+    |> List.filter (fun kv -> not (String.length kv > String.length env_var
+                                   && String.sub kv 0 (String.length env_var + 1) = env_var ^ "="))
+  in
+  Array.of_list (keep @ [ env_var ^ "=" ^ spec ])
+
+let read_all fd =
+  let b = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read fd chunk 0 4096 with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes b chunk 0 n;
+      go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ();
+  Buffer.contents b
+
+let rec waitpid_retry pid =
+  match Unix.waitpid [] pid with
+  | _, status -> status
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_retry pid
+
+let run_trial ~exe ~dir ~seed ~n ?(segbytes = 4096) rates =
+  rm_rf dir;
+  let spec = spec_to_string ~dir ~seed ~n ~segbytes rates in
+  let dev_null = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let pr, pw = Unix.pipe ~cloexec:false () in
+  let pid =
+    Unix.create_process_env exe [| exe |] (child_env spec) dev_null pw Unix.stderr
+  in
+  Unix.close pw;
+  Unix.close dev_null;
+  let out = read_all pr in
+  Unix.close pr;
+  let status = waitpid_retry pid in
+  let exit_code =
+    match status with Unix.WEXITED c -> c | Unix.WSIGNALED s -> 128 + s | Unix.WSTOPPED s -> 128 + s
+  in
+  (* Replay the ack stream into the expected live set. *)
+  let expected = Hashtbl.create 64 in
+  let completed = ref false in
+  String.split_on_char '\n' out
+  |> List.iter (fun line ->
+         match String.split_on_char ' ' (String.trim line) with
+         | [ "A"; doc; hash ] -> Hashtbl.replace expected doc hash
+         | [ "D"; doc ] -> Hashtbl.remove expected doc
+         | [ "E"; _ ] -> ()
+         | [ "DONE" ] -> completed := true
+         | _ -> ());
+  (* Recover fault-free and compare, then scrub what recovery left. *)
+  let store = Log.open_store dir in
+  let recovered = Log.list_docs store ~collection in
+  let lost = ref 0 and resurrected = ref 0 in
+  Hashtbl.iter
+    (fun doc hash ->
+      match Log.get store ~collection ~doc with
+      | Ok (snapshot, h) when h = hash && Digest.to_hex (Digest.string snapshot) = hash -> ()
+      | Ok _ | Error _ -> incr lost)
+    expected;
+  List.iter (fun (doc, _) -> if not (Hashtbl.mem expected doc) then incr resurrected) recovered;
+  let c = Log.counts store in
+  let quarantined = List.length (Log.quarantined store) in
+  Log.close store;
+  let scrub = Scrub.run dir in
+  let trial =
+    {
+      tr_exit = exit_code;
+      tr_killed = exit_code = 137;
+      tr_completed = !completed;
+      tr_acked = Hashtbl.length expected;
+      tr_recovered = List.length recovered;
+      tr_lost = !lost;
+      tr_resurrected = !resurrected;
+      tr_escapes = c.Log.n_read_crc_failures;
+      tr_truncated_tails = c.Log.n_truncated_tails;
+      tr_quarantined = quarantined;
+      tr_unquarantined_damage = List.length (Scrub.unquarantined_damage scrub);
+    }
+  in
+  rm_rf dir;
+  trial
+
+type summary = {
+  s_trials : int;
+  s_killed : int;
+  s_completed : int;
+  s_acked : int;
+  s_recovered : int;
+  s_lost : int;
+  s_resurrected : int;
+  s_escapes : int;
+  s_truncated_tails : int;
+  s_quarantined : int;
+  s_unquarantined_damage : int;
+}
+
+let run_trials ~exe ~tmp ~trials ~seed0 ~n rates =
+  let z =
+    {
+      s_trials = 0;
+      s_killed = 0;
+      s_completed = 0;
+      s_acked = 0;
+      s_recovered = 0;
+      s_lost = 0;
+      s_resurrected = 0;
+      s_escapes = 0;
+      s_truncated_tails = 0;
+      s_quarantined = 0;
+      s_unquarantined_damage = 0;
+    }
+  in
+  let acc = ref z in
+  for i = 0 to trials - 1 do
+    let dir = Filename.concat tmp (Printf.sprintf "trial-%d" (seed0 + i)) in
+    let tr = run_trial ~exe ~dir ~seed:(seed0 + i) ~n rates in
+    let s = !acc in
+    acc :=
+      {
+        s_trials = s.s_trials + 1;
+        s_killed = s.s_killed + (if tr.tr_killed then 1 else 0);
+        s_completed = s.s_completed + (if tr.tr_completed then 1 else 0);
+        s_acked = s.s_acked + tr.tr_acked;
+        s_recovered = s.s_recovered + tr.tr_recovered;
+        s_lost = s.s_lost + tr.tr_lost;
+        s_resurrected = s.s_resurrected + tr.tr_resurrected;
+        s_escapes = s.s_escapes + tr.tr_escapes;
+        s_truncated_tails = s.s_truncated_tails + tr.tr_truncated_tails;
+        s_quarantined = s.s_quarantined + tr.tr_quarantined;
+        s_unquarantined_damage = s.s_unquarantined_damage + tr.tr_unquarantined_damage;
+      }
+  done;
+  !acc

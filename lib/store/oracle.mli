@@ -1,0 +1,58 @@
+(** Kill-point crash oracle: re-exec the current binary as a child
+    ingester running under a seeded I/O fault plane, kill it at seeded
+    points, then check that recovery yields exactly the acknowledged
+    prefix — no lost acked write, no resurrected unacked write, zero
+    checksum escapes. *)
+
+val env_var : string
+(** [AWBSTORE_ORACLE] — presence in the environment turns the process
+    into an oracle child. *)
+
+val maybe_run_child : unit -> unit
+(** Call first in [main]. If [env_var] is set, runs the child ingester
+    and never returns; otherwise a no-op. *)
+
+type rates = {
+  r_crash : float;  (** crash-after-N-bytes kill points *)
+  r_short : float;  (** short writes *)
+  r_ffail : float;  (** fsync reports failure *)
+  r_fignore : float;  (** fsync lies (reports success, does nothing) *)
+}
+
+val no_rates : rates
+
+type trial = {
+  tr_exit : int;
+  tr_killed : bool;  (** child died at an injected kill point *)
+  tr_completed : bool;  (** child ran to completion *)
+  tr_acked : int;  (** live docs per the acknowledged prefix *)
+  tr_recovered : int;
+  tr_lost : int;  (** acked but missing/wrong after recovery *)
+  tr_resurrected : int;  (** recovered but never acked *)
+  tr_escapes : int;  (** read-time checksum failures *)
+  tr_truncated_tails : int;
+  tr_quarantined : int;
+  tr_unquarantined_damage : int;
+}
+
+val run_trial :
+  exe:string -> dir:string -> seed:int -> n:int -> ?segbytes:int -> rates -> trial
+(** One seeded trial: spawn [exe] as child on a fresh [dir], collect
+    ack lines, wait, recover fault-free, compare, scrub, clean up. *)
+
+type summary = {
+  s_trials : int;
+  s_killed : int;
+  s_completed : int;
+  s_acked : int;
+  s_recovered : int;
+  s_lost : int;
+  s_resurrected : int;
+  s_escapes : int;
+  s_truncated_tails : int;
+  s_quarantined : int;
+  s_unquarantined_damage : int;
+}
+
+val run_trials :
+  exe:string -> tmp:string -> trials:int -> seed0:int -> n:int -> rates -> summary

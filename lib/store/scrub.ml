@@ -1,0 +1,92 @@
+(* Offline scrub: verify every checksum in every segment of a store
+   directory without opening (or modifying) the store. The report
+   separates the two damage classes recovery distinguishes — torn tails
+   (a crash's partial append; open would truncate them) and mid-log
+   damage (bit rot; open would quarantine) — and cross-references the
+   manifest so already-quarantined segments don't count as escapes. *)
+
+type report = {
+  segments : int;
+  records : int;
+  bytes : int;
+  live_docs : int;  (* per the manifest doc table, if readable *)
+  torn_tails : (int * string) list;  (* segment id, reason *)
+  damaged : (int * string) list;  (* segment id, reason — mid-log *)
+  quarantined : int list;  (* ids the manifest already quarantines *)
+  manifest : [ `Ok | `Missing | `Damaged of string ];
+}
+
+(* Damage in segments the manifest does not already quarantine: the
+   number that must be zero for a store to count as clean. *)
+let unquarantined_damage r =
+  List.filter (fun (id, _) -> not (List.mem id r.quarantined)) r.damaged
+
+let clean r = unquarantined_damage r = []
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run dir =
+  let manifest_state, quarantined, live_docs =
+    match Manifest.load ~dir with
+    | `Manifest m -> (`Ok, List.map fst m.Manifest.quarantined, List.length m.Manifest.docs)
+    | `Missing -> (`Missing, [], 0)
+    | `Damaged reason -> (`Damaged reason, [], 0)
+  in
+  let ids =
+    (try Sys.readdir dir |> Array.to_list with Sys_error _ -> [])
+    |> List.filter_map Segment.seg_id
+    |> List.sort compare
+  in
+  let records = ref 0 and bytes = ref 0 in
+  let torn = ref [] and damaged = ref [] in
+  List.iter
+    (fun id ->
+      match read_file (Filename.concat dir (Segment.seg_name id)) with
+      | exception Sys_error reason -> damaged := (id, "unreadable: " ^ reason) :: !damaged
+      | data -> (
+        bytes := !bytes + String.length data;
+        match Segment.check_header data with
+        | `Torn_header -> torn := (id, "torn segment header") :: !torn
+        | `Bad_header -> damaged := (id, "bad segment header") :: !damaged
+        | `Ok -> (
+          let recs, outcome = Segment.scan_tail data ~from:Segment.header_len in
+          records := !records + List.length recs;
+          match outcome with
+          | Segment.Clean -> ()
+          | Segment.Torn_tail (_, reason) -> torn := (id, reason) :: !torn
+          | Segment.Mid_log_damage (off, reason) ->
+            damaged := (id, Printf.sprintf "%s at offset %d" reason off) :: !damaged)))
+    ids;
+  {
+    segments = List.length ids;
+    records = !records;
+    bytes = !bytes;
+    live_docs;
+    torn_tails = List.rev !torn;
+    damaged = List.rev !damaged;
+    quarantined;
+    manifest = manifest_state;
+  }
+
+let render r =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "segments %d, records %d, bytes %d, live docs %d\n" r.segments r.records
+    r.bytes r.live_docs;
+  Printf.bprintf b "manifest %s\n"
+    (match r.manifest with
+    | `Ok -> "ok"
+    | `Missing -> "missing"
+    | `Damaged reason -> "damaged: " ^ reason);
+  List.iter (fun (id, reason) -> Printf.bprintf b "torn tail: segment %d: %s\n" id reason)
+    r.torn_tails;
+  List.iter
+    (fun (id, reason) ->
+      Printf.bprintf b "damaged: segment %d: %s%s\n" id reason
+        (if List.mem id r.quarantined then " (quarantined)" else " (NOT QUARANTINED)"))
+    r.damaged;
+  Printf.bprintf b "%d damaged unquarantined\n" (List.length (unquarantined_damage r));
+  Buffer.contents b

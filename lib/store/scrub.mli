@@ -1,0 +1,24 @@
+(** Offline integrity scrub: verify every checksum in every segment of
+    a store directory, read-only. *)
+
+type report = {
+  segments : int;
+  records : int;
+  bytes : int;
+  live_docs : int;
+  torn_tails : (int * string) list;
+  damaged : (int * string) list;  (** mid-log damage per segment *)
+  quarantined : int list;  (** already quarantined per the manifest *)
+  manifest : [ `Ok | `Missing | `Damaged of string ];
+}
+
+val run : string -> report
+
+val unquarantined_damage : report -> (int * string) list
+(** Damage the manifest does not already quarantine — the set that must
+    be empty for the store to count as clean. *)
+
+val clean : report -> bool
+
+val render : report -> string
+(** Human-readable summary (one line per finding). *)

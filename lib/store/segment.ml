@@ -1,0 +1,196 @@
+(* Segment files: the append-only record log under the store.
+
+   One segment = an 8-byte magic header followed by length-prefixed,
+   CRC32-checksummed records in the Frame wire discipline (see
+   lib/server/frame.ml — the codec is duplicated here rather than
+   inverting the dependency, since the server depends on the store for
+   its /collections routes):
+
+     record  = u32 length, u8 version, payload, u32 crc32(payload)
+     payload = u8 kind ('P' put | 'D' delete), lp collection, lp doc,
+               lp content-md5-hex, lp snapshot
+
+   where [length] counts everything after itself. The scanner never
+   trusts a byte it has not checksummed, and classifies damage by
+   position: a bad record whose extent reaches end-of-file is a torn
+   tail (the crash left a partial append — truncate and carry on), a
+   bad record with live data after it is mid-log damage (bit rot — the
+   segment is quarantined, never silently skipped). *)
+
+(* ------------------------------------------------------------------ *)
+(* Codec (the Frame primitives)                                        *)
+(* ------------------------------------------------------------------ *)
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
+
+let add_u8 b n = Buffer.add_char b (Char.chr (n land 0xff))
+
+let add_u16 b n =
+  add_u8 b (n lsr 8);
+  add_u8 b n
+
+let add_u32 b n =
+  add_u16 b (n lsr 16);
+  add_u16 b n
+
+let add_lp b s =
+  add_u32 b (String.length s);
+  Buffer.add_string b s
+
+let get_u8 s pos =
+  if !pos >= String.length s then corrupt "truncated record";
+  let v = Char.code s.[!pos] in
+  incr pos;
+  v
+
+let get_u16 s pos =
+  let hi = get_u8 s pos in
+  (hi lsl 8) lor get_u8 s pos
+
+let get_u32 s pos =
+  let hi = get_u16 s pos in
+  (hi lsl 16) lor get_u16 s pos
+
+let get_lp s pos =
+  let n = get_u32 s pos in
+  if !pos + n > String.length s then corrupt "truncated string field";
+  let v = String.sub s !pos n in
+  pos := !pos + n;
+  v
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let tbl = Lazy.force crc_table in
+  let c = ref 0xffffffff in
+  String.iter (fun ch -> c := tbl.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8)) s;
+  !c lxor 0xffffffff
+
+(* ------------------------------------------------------------------ *)
+(* Records                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let magic = "AWBSEG1\n"
+let header_len = String.length magic
+let version = 1
+let max_record_bytes = 64 * 1024 * 1024
+
+type record = {
+  kind : [ `Put | `Delete ];
+  collection : string;
+  doc : string;
+  hash : string;  (* MD5 hex of [snapshot] at ingest *)
+  snapshot : string;  (* serialized document; empty for [`Delete] *)
+}
+
+let encode r =
+  let p = Buffer.create (String.length r.snapshot + 64) in
+  add_u8 p (Char.code (match r.kind with `Put -> 'P' | `Delete -> 'D'));
+  add_lp p r.collection;
+  add_lp p r.doc;
+  add_lp p r.hash;
+  add_lp p r.snapshot;
+  let payload = Buffer.contents p in
+  let b = Buffer.create (String.length payload + 9) in
+  add_u32 b (String.length payload + 5);
+  add_u8 b version;
+  Buffer.add_string b payload;
+  add_u32 b (crc32 payload);
+  Buffer.contents b
+
+let decode_payload payload =
+  let pos = ref 0 in
+  let kind =
+    match Char.chr (get_u8 payload pos) with
+    | 'P' -> `Put
+    | 'D' -> `Delete
+    | k -> corrupt "unknown record kind %C" k
+  in
+  let collection = get_lp payload pos in
+  let doc = get_lp payload pos in
+  let hash = get_lp payload pos in
+  let snapshot = get_lp payload pos in
+  if !pos <> String.length payload then corrupt "trailing bytes in record payload";
+  { kind; collection; doc; hash; snapshot }
+
+(* ------------------------------------------------------------------ *)
+(* Scanning                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type verdict =
+  | Rec of record * int  (* record, end offset *)
+  | End  (* clean end of segment at this offset *)
+  | Torn of string  (* damage reaches EOF: truncate here and carry on *)
+  | Damaged of string  (* damage with live data after it: quarantine *)
+
+let scan_one data pos =
+  let total = String.length data in
+  if pos = total then End
+  else if pos + 4 > total then Torn "truncated record length"
+  else begin
+    let rlen = get_u32 data (ref pos) in
+    let rend = pos + 4 + rlen in
+    (* A verdict for a record that failed validation: damage that runs
+       to EOF is a torn append, anything earlier is mid-log. *)
+    let bad reason = if rend >= total then Torn reason else Damaged reason in
+    if rend > total then Torn (Printf.sprintf "record runs %d bytes past EOF" (rend - total))
+    else if rlen < 5 || rlen > max_record_bytes then
+      bad (Printf.sprintf "absurd record length %d" rlen)
+    else begin
+      let ver = Char.code data.[pos + 4] in
+      let payload = String.sub data (pos + 5) (rlen - 5) in
+      let crc = get_u32 data (ref (rend - 4)) in
+      if ver <> version then bad (Printf.sprintf "unsupported record version %d" ver)
+      else if crc <> crc32 payload then bad "record crc mismatch"
+      else
+        match decode_payload payload with
+        | r -> Rec (r, rend)
+        | exception Corrupt m -> bad m
+    end
+  end
+
+type outcome =
+  | Clean
+  | Torn_tail of int * string  (* keep length, reason *)
+  | Mid_log_damage of int * string  (* damage offset, reason *)
+
+(* Walk the records in [data] starting at [from]; returns each valid
+   record with its (offset, framed length) and how the walk ended. *)
+let scan_tail data ~from =
+  let recs = ref [] in
+  let rec go pos =
+    match scan_one data pos with
+    | End -> Clean
+    | Rec (r, next) ->
+      recs := (r, pos, next - pos) :: !recs;
+      go next
+    | Torn reason -> Torn_tail (pos, reason)
+    | Damaged reason -> Mid_log_damage (pos, reason)
+  in
+  let outcome = go from in
+  (List.rev !recs, outcome)
+
+(* Header triage: a short file that is a prefix of the magic is a torn
+   header (the segment's birth was cut short — harmless), anything else
+   that fails the magic check is damage. *)
+let check_header data =
+  let n = String.length data in
+  if n >= header_len && String.sub data 0 header_len = magic then `Ok
+  else if n < header_len && data = String.sub magic 0 n then `Torn_header
+  else `Bad_header
+
+let seg_name id = Printf.sprintf "seg-%06d.log" id
+
+let seg_id name =
+  match String.length name = 14 && String.sub name 0 4 = "seg-" && Filename.check_suffix name ".log" with
+  | true -> int_of_string_opt (String.sub name 4 6)
+  | false -> None

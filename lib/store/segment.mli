@@ -1,0 +1,68 @@
+(** Segment files: magic header + length-prefixed, CRC32-checksummed
+    records in the Frame wire discipline. The scanner classifies every
+    failure by position — damage reaching EOF is a torn tail (truncate),
+    damage with live data after it is mid-log (quarantine). *)
+
+exception Corrupt of string
+
+(** {1 Codec primitives} (shared with the manifest) *)
+
+val add_u8 : Buffer.t -> int -> unit
+val add_u16 : Buffer.t -> int -> unit
+val add_u32 : Buffer.t -> int -> unit
+val add_lp : Buffer.t -> string -> unit
+val get_u8 : string -> int ref -> int
+val get_u16 : string -> int ref -> int
+val get_u32 : string -> int ref -> int
+val get_lp : string -> int ref -> string
+
+val crc32 : string -> int
+(** IEEE 802.3, table-driven — [crc32 "123456789" = 0xcbf43926]. *)
+
+(** {1 Records} *)
+
+val magic : string
+val header_len : int
+val version : int
+val max_record_bytes : int
+
+type record = {
+  kind : [ `Put | `Delete ];
+  collection : string;
+  doc : string;
+  hash : string;  (** MD5 hex of [snapshot] at ingest *)
+  snapshot : string;  (** serialized document; empty for [`Delete] *)
+}
+
+val encode : record -> string
+(** The full framed record: u32 length, u8 version, payload,
+    u32 crc32(payload). *)
+
+val decode_payload : string -> record
+(** Raises {!Corrupt}. *)
+
+(** {1 Scanning} *)
+
+type verdict =
+  | Rec of record * int  (** record, end offset *)
+  | End
+  | Torn of string
+  | Damaged of string
+
+val scan_one : string -> int -> verdict
+
+type outcome =
+  | Clean
+  | Torn_tail of int * string  (** keep length, reason *)
+  | Mid_log_damage of int * string  (** damage offset, reason *)
+
+val scan_tail : string -> from:int -> (record * int * int) list * outcome
+(** Valid records (with their offset and framed length) from [from] to
+    wherever the walk ends, and how it ended. *)
+
+val check_header : string -> [ `Ok | `Torn_header | `Bad_header ]
+
+val seg_name : int -> string
+(** [seg-%06d.log] *)
+
+val seg_id : string -> int option
