@@ -2420,6 +2420,118 @@ let store_exp () =
 
 (* ---------------------------------------------------------------- *)
 
+(* REPL: the replicated-store claims. Seeded trials re-exec this binary
+   as 3 replica store backends, each running a live Io_fault disk plane,
+   with the Chaos network plane on the data frames — one seed drives
+   both — then kill and partition nodes (preferentially the then-
+   primary) at seeded points mid-ingest. After repair, three invariants
+   gate: every quorum-acked write survives byte-exact on every replica,
+   no unacked write resurrects anywhere, and all replica directories
+   converge segment-for-segment byte-identically. A disruption floor
+   (>= 25% of trials hitting the primary) keeps the oracle honest —
+   a failover oracle that never deposes a primary proves nothing. *)
+let repl_exp () =
+  section "REPL - replicated store: quorum log shipping, failover, partition oracle";
+  let module St = Server.Store in
+  let tmp = Filename.concat (Filename.get_temp_dir_name ()) "lopsided-repl-bench" in
+  store_rm_rf tmp;
+  Unix.mkdir tmp 0o755;
+  (* Env knobs for bisecting a failing seed without recompiling. *)
+  let env_int name default =
+    match Sys.getenv_opt name with Some s -> int_of_string s | None -> default
+  in
+  let trials = env_int "REPL_TRIALS" (if quick then 30 else 200) in
+  let seed0 = env_int "REPL_SEED0" 6100 in
+  let rates =
+    { St.Oracle.r_crash = 0.02; r_short = 0.02; r_ffail = 0.02; r_fignore = 0. }
+  in
+  let s = St.Oracle.run_repl_trials ~tmp ~trials ~seed0 ~n:18 rates in
+  Printf.printf
+    "  repl oracle: %d trials (%d ops), %d kills + %d partitions (%d trials disrupted \
+     the primary), %d promotions, %d tails truncated, %d repair rounds\n"
+    s.St.Oracle.rs_trials s.St.Oracle.rs_ops s.St.Oracle.rs_kills
+    s.St.Oracle.rs_partitions s.St.Oracle.rs_primary_disrupted s.St.Oracle.rs_promotions
+    s.St.Oracle.rs_truncated_tails s.St.Oracle.rs_repairs;
+  Printf.printf
+    "  ledger: %d acked / %d refused-clean / %d ambiguous-rollback; %d lost, %d \
+     resurrected, %d diverged\n"
+    s.St.Oracle.rs_acked s.St.Oracle.rs_refused s.St.Oracle.rs_ambiguous
+    s.St.Oracle.rs_lost s.St.Oracle.rs_resurrected s.St.Oracle.rs_diverged;
+  let invariants_ok =
+    s.St.Oracle.rs_lost = 0 && s.St.Oracle.rs_resurrected = 0
+    && s.St.Oracle.rs_diverged = 0
+  in
+  if not invariants_ok then
+    Printf.eprintf
+      "bench: replication oracle violated: %d acked writes lost, %d unacked \
+       resurrected, %d trials diverged\n"
+      s.St.Oracle.rs_lost s.St.Oracle.rs_resurrected s.St.Oracle.rs_diverged;
+  let disruption_ok = s.St.Oracle.rs_primary_disrupted * 4 >= trials in
+  if not disruption_ok then
+    Printf.eprintf
+      "bench: only %d/%d repl trials disrupted the primary — the failover arm never \
+       fired\n"
+      s.St.Oracle.rs_primary_disrupted trials;
+  if json then begin
+    let path = "BENCH_server.json" in
+    let base_json =
+      if Sys.file_exists path then begin
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      end
+      else "{\n  \"bench\": \"overload\"\n}\n"
+    in
+    let head =
+      match find_sub ",\n  \"repl\":" base_json with
+      | Some i -> String.sub base_json 0 i
+      | None -> (
+        match String.rindex_opt base_json '}' with
+        | None -> "{\n  \"bench\": \"overload\""
+        | Some j ->
+          let rec back k =
+            if k > 0 && (match base_json.[k - 1] with '\n' | ' ' | '\t' | '\r' -> true | _ -> false)
+            then back (k - 1)
+            else k
+          in
+          String.sub base_json 0 (back j))
+    in
+    let block =
+      Printf.sprintf
+        "{\n\
+        \    \"trials\": %d,\n\
+        \    \"ops\": %d,\n\
+        \    \"kills\": %d,\n\
+        \    \"partitions\": %d,\n\
+        \    \"primary_disrupted_trials\": %d,\n\
+        \    \"promotions\": %d,\n\
+        \    \"truncated_tails\": %d,\n\
+        \    \"repairs\": %d,\n\
+        \    \"acked\": %d,\n\
+        \    \"refused_clean\": %d,\n\
+        \    \"ambiguous\": %d,\n\
+        \    \"lost\": %d,\n\
+        \    \"resurrected\": %d,\n\
+        \    \"diverged\": %d\n\
+        \  }"
+        s.St.Oracle.rs_trials s.St.Oracle.rs_ops s.St.Oracle.rs_kills
+        s.St.Oracle.rs_partitions s.St.Oracle.rs_primary_disrupted
+        s.St.Oracle.rs_promotions s.St.Oracle.rs_truncated_tails s.St.Oracle.rs_repairs
+        s.St.Oracle.rs_acked s.St.Oracle.rs_refused s.St.Oracle.rs_ambiguous
+        s.St.Oracle.rs_lost s.St.Oracle.rs_resurrected s.St.Oracle.rs_diverged
+    in
+    let oc = open_out path in
+    output_string oc (head ^ ",\n  \"repl\": " ^ block ^ "\n}\n");
+    close_out oc;
+    Printf.printf "  merged repl block into BENCH_server.json\n"
+  end;
+  store_rm_rf tmp;
+  if not invariants_ok then exit 1;
+  if not disruption_ok then exit 1
+
+(* ---------------------------------------------------------------- *)
+
 let experiments =
   [
     ("t1t2", t1_t2);
@@ -2437,6 +2549,7 @@ let experiments =
     ("serving", serving);
     ("chaos", chaos_exp);
     ("store", store_exp);
+    ("repl", repl_exp);
     ("a1", a1);
     ("a2", a2);
     ("a3", a3);
@@ -2448,8 +2561,10 @@ let () =
      binary; when this IS such a backend, serve frames and exit. *)
   Server.Shard.maybe_run_backend ();
   (* The store experiment likewise re-execs this binary as a crash-
-     oracle child ingester. *)
+     oracle child ingester, and the replication experiment as replica
+     store backends. *)
   Server.Store.Oracle.maybe_run_child ();
+  Server.Store.Replica.maybe_run_backend ();
   Printf.printf "Lopsided Little Languages - benchmark harness%s\n"
     (if quick then " (quick mode)" else "");
   let selected =

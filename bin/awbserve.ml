@@ -151,7 +151,8 @@ let serve host port max_inflight queue_cap tenant_cap rate burst deadline_ms
     drain_deadline brownout result_cache_cap sample model_file engine cache_capacity
     fuel max_depth max_nodes retries quarantine_after fault_seed crash_rate
     deadline_rate transient_rate keepalive idle_timeout max_conn_requests shards
-    record chaos_seed hedge breaker_failures breaker_cooldown store_dir =
+    record chaos_seed hedge breaker_failures breaker_cooldown store_dir replicas
+    write_quorum scrub_interval =
   let engine =
     match Docgen.engine_of_string engine with Ok e -> e | Error m -> fail m
   in
@@ -222,17 +223,51 @@ let serve host port max_inflight queue_cap tenant_cap rate burst deadline_ms
   (match (record, recorder) with
   | Some path, Some r -> Server.Recorder.attach_sink r ~path ~every:32 ()
   | _ -> ());
+  if replicas > 0 && store_dir = None then fail "--replicas needs --store DIR";
+  if replicas > 0 && (write_quorum < 1 || write_quorum > replicas) then
+    fail "--write-quorum must be between 1 and --replicas";
+  (* Replicated mode replaces the in-process store with a cluster of
+     backend processes: every write is quorum-acked, reads follow the
+     primary through failover. The two are exclusive — [repl] wins in
+     the server's store tier when both are set, so we only ever set
+     one. *)
+  let repl =
+    match (store_dir, replicas > 0) with
+    | Some dir, true ->
+      let cl =
+        Server.Store.Replica.create
+          ~config:
+            {
+              Server.Store.Replica.default_config with
+              Server.Store.Replica.replicas;
+              write_quorum;
+              scrub_interval_s = scrub_interval;
+            }
+          ~dir ()
+      in
+      Printf.printf
+        "awbserve: replicated store %s: %d replicas, write quorum %d, primary %d \
+         (epoch %d)\n\
+         %!"
+        dir replicas write_quorum
+        (Server.Store.Replica.primary cl)
+        (Server.Store.Replica.epoch cl);
+      Some cl
+    | _ -> None
+  in
   let store =
-    Option.map
-      (fun dir ->
-        let s = Server.Store.open_store dir in
-        let q = Server.Store.quarantined s in
-        Printf.printf "awbserve: store %s: %d docs in %d segments%s\n%!" dir
-          (Server.Store.doc_count s) (Server.Store.segment_count s)
-          (if q = [] then ""
-           else Printf.sprintf ", %d segments QUARANTINED" (List.length q));
-        s)
-      store_dir
+    if repl <> None then None
+    else
+      Option.map
+        (fun dir ->
+          let s = Server.Store.open_store dir in
+          let q = Server.Store.quarantined s in
+          Printf.printf "awbserve: store %s: %d docs in %d segments%s\n%!" dir
+            (Server.Store.doc_count s) (Server.Store.segment_count s)
+            (if q = [] then ""
+             else Printf.sprintf ", %d segments QUARANTINED" (List.length q));
+          s)
+        store_dir
   in
   let server =
     Server.create
@@ -257,6 +292,8 @@ let serve host port max_inflight queue_cap tenant_cap rate burst deadline_ms
           max_conn_requests;
           recorder;
           store;
+          repl;
+          scrub_interval_s = scrub_interval;
         }
       ?cluster svc
   in
@@ -276,7 +313,11 @@ let serve host port max_inflight queue_cap tenant_cap rate burst deadline_ms
     | Some s -> Printf.sprintf ", chaos seed %d" s)
     (if hedge then ", hedging on" else "")
     (if record <> None then ", recording" else "")
-    (match store_dir with None -> "" | Some d -> ", store " ^ d);
+    (match store_dir with
+    | None -> ""
+    | Some d ->
+      if replicas > 0 then Printf.sprintf ", store %s x%d (W=%d)" d replicas write_quorum
+      else ", store " ^ d);
   (* Blocks until SIGTERM (or a remote drain) completes; exit 0 is the
      contract a process supervisor keys on. *)
   Server.await server;
@@ -295,6 +336,11 @@ let serve host port max_inflight queue_cap tenant_cap rate burst deadline_ms
   | Some s ->
     Server.Store.close s;
     Printf.printf "awbserve: store checkpointed and closed\n%!"
+  | None -> ());
+  (* The drain already shut the cluster down (Server owns it); this is
+     just the operator-facing confirmation. *)
+  (match repl with
+  | Some _ -> Printf.printf "awbserve: replicas drained and closed\n%!"
   | None -> ());
   0
 
@@ -790,6 +836,38 @@ let store_dir =
            /collections/:name/docs/:id and $(b,POST) /collections/:name/query, \
            where doc() resolves against the named collection.")
 
+let replicas =
+  Arg.(
+    value & opt int 0
+    & info [ "replicas" ] ~docv:"N"
+        ~doc:
+          "Replicate the store (requires $(b,--store)) across $(docv) backend \
+           processes with quorum-acked log shipping: a write is acknowledged only \
+           once $(b,--write-quorum) of them have fsync'd it, the primary fails over \
+           when its breaker trips, and rejoining replicas are repaired by \
+           anti-entropy before serving. 0 (the default) serves the store \
+           in-process, unreplicated.")
+
+let write_quorum =
+  Arg.(
+    value
+    & opt int Server.Store.Replica.default_config.Server.Store.Replica.write_quorum
+    & info [ "write-quorum" ] ~docv:"W"
+        ~doc:
+          "Fsync'd copies required before a replicated write is acknowledged; short \
+           of $(docv) reachable replicas, writes are rolled back and answered 503 + \
+           Retry-After while reads keep serving.")
+
+let scrub_interval =
+  Arg.(
+    value & opt float 0.
+    & info [ "scrub-interval" ] ~docv:"S"
+        ~doc:
+          "Run one incremental online scrub pass against the store every $(docv) \
+           seconds from a background thread: checksum-verify the next live segment, \
+           quarantine rot, export scrub counters on /metrics. 0 (the default) \
+           disables. Replicated backends scrub themselves on the same cadence.")
+
 (* replay-only flags *)
 
 let capture_file =
@@ -836,7 +914,8 @@ let serve_cmd =
       $ model_file $ engine $ cache_capacity $ fuel $ max_depth $ max_nodes $ retries
       $ quarantine_after $ fault_seed $ crash_rate $ deadline_rate $ transient_rate
       $ keepalive $ idle_timeout $ max_conn_requests $ shards $ record $ chaos_seed
-      $ hedge $ breaker_failures $ breaker_cooldown $ store_dir)
+      $ hedge $ breaker_failures $ breaker_cooldown $ store_dir $ replicas
+      $ write_quorum $ scrub_interval)
 
 let replay_cmd =
   let doc =
@@ -875,4 +954,5 @@ let () =
      turns this process into a store crash-oracle child ingester. *)
   Server.Shard.maybe_run_backend ();
   Server.Store.Oracle.maybe_run_child ();
+  Server.Store.Replica.maybe_run_backend ();
   exit (Cmd.eval' cmd)

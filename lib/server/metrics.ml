@@ -30,6 +30,7 @@ type t = {
   tenant_rejected : int Atomic.t;
   keepalive_reused : int Atomic.t;
   recorded : int Atomic.t;
+  store_refused : int Atomic.t;
   window_s : float;
   wmutex : Mutex.t;
   mutable wstart : float;  (* monotonic start of the current window *)
@@ -59,6 +60,7 @@ let create ?(window_s = 2.) () =
     tenant_rejected = Atomic.make 0;
     keepalive_reused = Atomic.make 0;
     recorded = Atomic.make 0;
+    store_refused = Atomic.make 0;
     window_s;
     wmutex = Mutex.create ();
     wstart = now;
@@ -115,6 +117,7 @@ let incr_refreshes t = Atomic.incr t.refreshes
 let incr_tenant_rejected t = Atomic.incr t.tenant_rejected
 let incr_keepalive_reused t = Atomic.incr t.keepalive_reused
 let incr_recorded t = Atomic.incr t.recorded
+let incr_store_refused t = Atomic.incr t.store_refused
 
 let accepted t = Atomic.get t.accepted
 let shed t = Atomic.get t.shed
@@ -129,6 +132,7 @@ let refreshes t = Atomic.get t.refreshes
 let tenant_rejected t = Atomic.get t.tenant_rejected
 let keepalive_reused t = Atomic.get t.keepalive_reused
 let recorded t = Atomic.get t.recorded
+let store_refused t = Atomic.get t.store_refused
 
 let shed_fraction t ~now = with_window t (fun () -> roll t ~now; t.prev_fraction)
 
@@ -259,6 +263,10 @@ let to_prometheus t ?(mode = 0) ~queue_depth ~inflight ~ready () =
   sample "lopsided_server_keepalive_reused_total"
     "Requests served on an already-established keep-alive connection."
     (keepalive_reused t);
+  sample "lopsided_server_store_refused_total"
+    "Store requests answered 503 by the store tier itself (I/O error, quarantine, write \
+     quorum unavailable)."
+    (store_refused t);
   sample ~typ:"gauge" "lopsided_server_mode"
     "Brownout mode: 0 normal, 1 degraded, 2 critical." mode;
   sample ~typ:"gauge" "lopsided_server_queue_depth" "Requests queued but not yet started."

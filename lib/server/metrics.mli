@@ -54,6 +54,12 @@ val incr_keepalive_reused : t -> unit
 (** [incr_recorded] — admitted requests captured into the replay ring. *)
 val incr_recorded : t -> unit
 
+(** [incr_store_refused] — store requests answered 503 by the store tier
+    itself: I/O error, quarantined data, or (replicated) no write
+    quorum. Counted so the recorder's shed-conservation check covers
+    store-tier refusals too. *)
+val incr_store_refused : t -> unit
+
 val accepted : t -> int
 val shed : t -> int
 val rate_limited : t -> int
@@ -67,6 +73,7 @@ val refreshes : t -> int
 val tenant_rejected : t -> int
 val keepalive_reused : t -> int
 val recorded : t -> int
+val store_refused : t -> int
 
 (** {1 Shed-rate window} *)
 

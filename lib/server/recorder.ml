@@ -277,6 +277,9 @@ let check_invariants ~ledger ~metrics_text =
     + c "lopsided_server_tenant_rejected_total"
     + c "lopsided_server_quarantined_total"
     + c "lopsided_shard_unavailable_total"
+    (* Store-tier refusals: quorum unavailable, I/O error, quarantined
+       data — 503s the store itself decided on. *)
+    + c "lopsided_server_store_refused_total"
   in
   let stale = c "lopsided_server_stale_served_total" in
   let bad = c "lopsided_server_bad_requests_total" in

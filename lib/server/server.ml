@@ -72,6 +72,14 @@ type config = {
   store : Store.t option;
       (* the persistent collection store behind /collections/*; None
          answers those routes 503 no-store *)
+  repl : Store.Replica.t option;
+      (* when set, /collections/* is served by the replicated cluster
+         instead of [store]: writes are quorum-acked, reads follow the
+         primary through failover *)
+  scrub_interval_s : float;
+      (* > 0 starts a background thread running one incremental scrub
+         pass against the local store on this cadence (the replicated
+         backends scrub themselves; see Replica.config.scrub_interval_s) *)
 }
 
 let default_config =
@@ -101,6 +109,8 @@ let default_config =
     max_conn_requests = 1000;
     recorder = None;
     store = None;
+    repl = None;
+    scrub_interval_s = 0.;
   }
 
 (* The pseudo-tenant that stale-while-revalidate refresh jobs queue
@@ -185,6 +195,9 @@ type t = {
   mutable readers : Thread.t list;
   mutable supervisor : Thread.t option;
   mutable watcher : Thread.t option;
+  stop_scrub : bool Atomic.t;
+  mutable scrubber : Thread.t option;
+      (* online scrub against the local store (scrub_interval_s > 0) *)
 }
 
 let create ?(config = default_config) ?cluster svc =
@@ -237,6 +250,8 @@ let create ?(config = default_config) ?cluster svc =
     readers = [];
     supervisor = None;
     watcher = None;
+    stop_scrub = Atomic.make false;
+    scrubber = None;
   }
 
 let config t = t.config
@@ -303,6 +318,7 @@ let metrics_body t =
       ~queue_depth:(queue_depth t) ~inflight:(inflight t) ~ready:(ready t) ()
   ^ buffers
   ^ (match t.config.store with None -> "" | Some s -> Store.to_prometheus s)
+  ^ (match t.config.repl with None -> "" | Some r -> Store.Replica.metrics r)
   ^ (match t.cluster with None -> "" | Some c -> Shard.metrics c)
 
 (* ------------------------------------------------------------------ *)
@@ -565,46 +581,82 @@ let store_path path =
   | [ ""; "collections"; c; "query" ] when c <> "" -> Some (`Query c)
   | _ -> None
 
-let store_error_response : Store.error -> int * string * string = function
+(* The store tier behind /collections/*: one local store, or the
+   replicated cluster when --replicas is set. *)
+type store_tier = Local of Store.t | Repl of Store.Replica.t
+
+let store_tier t =
+  match t.config.repl with
+  | Some r -> Some (Repl r)
+  | None -> Option.map (fun s -> Local s) t.config.store
+
+let tier_put tier ~collection ~doc body : (string, Store.Replica.error) result =
+  match tier with
+  | Local s -> (Store.put s ~collection ~doc body :> (string, Store.Replica.error) result)
+  | Repl r -> Store.Replica.put r ~collection ~doc body
+
+let tier_delete tier ~collection ~doc : (bool, Store.Replica.error) result =
+  match tier with
+  | Local s -> (Store.delete s ~collection ~doc :> (bool, Store.Replica.error) result)
+  | Repl r -> Store.Replica.delete r ~collection ~doc
+
+let tier_get tier ~collection ~doc : (string * string, Store.Replica.error) result =
+  match tier with
+  | Local s -> (Store.get s ~collection ~doc :> (string * string, Store.Replica.error) result)
+  | Repl r -> Store.Replica.get r ~collection ~doc
+
+let store_error_response : Store.Replica.error -> int * string * string = function
   | `Not_found -> (404, "store:not-found", "document not found")
   | `Corrupt reason -> (500, "store:corrupt", reason)
   | `Io reason -> (503, "store:io", reason)
+  | `Unavailable reason -> (503, "store:unavailable", reason)
 
 (* Serve one admitted store job on a worker. PUT validates the body is
    well-formed XML before anything touches disk — the store holds parsed
    documents, not blobs — and acks only after the fsync barrier. The
    query arm resolves doc() against the collection's live documents, so
    a query can never observe an unacknowledged or quarantined write. *)
-let handle_store t (job : job) conn ~ka store op =
+let handle_store t (job : job) conn ~ka tier op =
   let fd = conn.cfd in
   let fail ?headers (status, code, message) =
     respond_error t fd ~request_id:job.jid ~status ?headers ~keep_alive:ka ~buf:conn.cbuf
       ~code ~message ()
+  in
+  (* A store-tier 503 (I/O error, quarantine, write quorum unavailable)
+     promises recovery: it carries the same derived Retry-After as the
+     shed paths and is counted as a refusal for the recorder's
+     conservation checker. *)
+  let fail_store ((status, _, _) as r) =
+    if status = 503 then begin
+      Metrics.incr_store_refused t.metrics;
+      fail ~headers:(retry_after_derived t) r
+    end
+    else fail r
   in
   match (op, job.jreq.Http.meth) with
   | `Doc (collection, doc), "PUT" -> (
     match Xml_base.Parser.parse_string job.jreq.Http.body with
     | exception _ -> fail (400, "bad-request", "body is not well-formed XML")
     | _tree -> (
-      match Store.put store ~collection ~doc job.jreq.Http.body with
+      match tier_put tier ~collection ~doc job.jreq.Http.body with
       | Ok hash ->
         Http.write_response fd ~status:200
           ~headers:
             (std_headers t ~request_id:job.jid
                [ ("Content-Type", "text/plain"); ("X-Doc-Hash", hash) ])
           ~keep_alive:ka ~buf:conn.cbuf ~body:(hash ^ "\n") ()
-      | Error e -> fail (store_error_response e)))
+      | Error e -> fail_store (store_error_response e)))
   | `Doc (collection, doc), "DELETE" -> (
-    match Store.delete store ~collection ~doc with
+    match tier_delete tier ~collection ~doc with
     | Ok true ->
       Http.write_response fd ~status:200
         ~headers:(std_headers t ~request_id:job.jid [ ("Content-Type", "text/plain") ])
         ~keep_alive:ka ~buf:conn.cbuf ~body:"deleted\n" ()
     | Ok false -> fail (404, "store:not-found", "document not found")
-    | Error e -> fail (store_error_response e))
+    | Error e -> fail_store (store_error_response e))
   | `Query collection, "POST" -> (
     let doc_resolver uri =
-      match Store.get store ~collection ~doc:uri with
+      match tier_get tier ~collection ~doc:uri with
       | Ok (snapshot, _) -> (
         try Some (Xml_base.Parser.parse_string snapshot) with _ -> None)
       | Error _ -> None
@@ -660,11 +712,12 @@ let handle_client t (job : job) conn =
          respond_error t fd ~request_id:job.jid ~status:504 ~keep_alive:ka ~buf:conn.cbuf
            ~code:"resource:deadline" ~message:"deadline expired while queued" ()
        | _ -> (
-         match (t.config.store, store_path job.jreq.Http.path) with
-         | Some store, Some op ->
+         match (store_tier t, store_path job.jreq.Http.path) with
+         | Some tier, Some op ->
            (* Store traffic is served by the front process even when
-              generation is sharded: the store is local state. *)
-           handle_store t job conn ~ka store op
+              generation is sharded: the store (or its replica
+              coordinator) is local state. *)
+           handle_store t job conn ~ka tier op
          | _ -> (
          match t.cluster with
          | Some cluster ->
@@ -896,12 +949,12 @@ let route_store t conn ~ka (req : Http.request) op =
     in
     finish_conn t conn ~ka:(ka && wok)
   in
-  match (t.config.store, op, req.Http.meth) with
+  match (store_tier t, op, req.Http.meth) with
   | None, _, _ ->
     refuse ~status:503 ~code:"no-store"
       ~message:"no collection store is configured (start with --store DIR)" ()
-  | Some store, `Doc (collection, doc), "GET" -> (
-    match Store.get store ~collection ~doc with
+  | Some tier, `Doc (collection, doc), "GET" -> (
+    match tier_get tier ~collection ~doc with
     | Ok (snapshot, hash) ->
       let wok =
         Http.write_response fd ~status:200
@@ -912,8 +965,12 @@ let route_store t conn ~ka (req : Http.request) op =
       in
       finish_conn t conn ~ka:(ka && wok)
     | Error e ->
-      let status, code, message = store_error_response e in
-      refuse ~status ~code ~message ())
+      let ((status, code, message) : int * string * string) = store_error_response e in
+      if status = 503 then begin
+        Metrics.incr_store_refused t.metrics;
+        refuse ~status ~headers:(retry_after_derived t) ~code ~message ()
+      end
+      else refuse ~status ~code ~message ())
   | Some _, `Doc _, ("PUT" | "DELETE") | Some _, `Query _, "POST" ->
     let tenant = tenant_key conn.cpeer req in
     if Atomic.get t.is_draining then begin
@@ -1221,10 +1278,17 @@ let rec drain_now t =
     (match t.supervisor with Some th -> Thread.join th | None -> ());
     Atomic.set t.stop_supervisor true;
     (* Workers are gone: nothing races the final store checkpoint, so
-       the manifest lands exactly on the acknowledged state. *)
+       the manifest lands exactly on the acknowledged state. The scrub
+       thread stops first for the same reason. *)
+    Atomic.set t.stop_scrub true;
+    (match t.scrubber with Some th -> Thread.join th | None -> ());
+    t.scrubber <- None;
     (match t.config.store with
     | Some s -> ( match Store.checkpoint s with Ok () | Error _ -> ())
     | None -> ());
+    (* The replicated cluster drains its backends (checkpoint + clean
+       exit) the same way. *)
+    (match t.config.repl with Some r -> Store.Replica.shutdown r | None -> ());
     Atomic.set t.stop_accept true;
     (match t.acceptor with Some th -> Thread.join th | None -> ());
     (* Readers stayed up until here so /healthz and /readyz kept
@@ -1332,6 +1396,24 @@ let start t =
   t.supervisor <- Some (Thread.create (fun () -> supervisor_loop t) ());
   if t.config.keepalive then
     t.watcher <- Some (Thread.create (fun () -> watcher_loop t) ());
+  (* Online scrub: one incremental checksum pass over the live local
+     store per cadence tick, quarantining whatever rotted in place.
+     Replicated backends run their own scrubbers in-process. *)
+  (match t.config.store with
+  | Some store when t.config.scrub_interval_s > 0. ->
+    t.scrubber <-
+      Some
+        (Thread.create
+           (fun () ->
+             while not (Atomic.get t.stop_scrub) do
+               let deadline = Clock.now () +. t.config.scrub_interval_s in
+               while (not (Atomic.get t.stop_scrub)) && Clock.now () < deadline do
+                 Thread.delay 0.05
+               done;
+               if not (Atomic.get t.stop_scrub) then ignore (Store.scrub_pass store)
+             done)
+           ())
+  | _ -> ());
   t.acceptor <- Some (Thread.create (fun () -> accept_loop t fd) ())
 
 let install_sigterm t =

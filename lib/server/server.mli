@@ -120,6 +120,19 @@ type config = {
           limit, critical-brownout shed, fair-queue bulkheads,
           recorder capture. [None] (the default) answers the store
           routes 503 [no-store]. *)
+  repl : Store.Replica.t option;
+      (** when set, the store routes are served by this replicated
+          cluster instead of [store]: PUT/DELETE are acknowledged only
+          after a write quorum of backends has fsync'd the record
+          (503 [store:unavailable] + Retry-After short of quorum), and
+          reads follow the primary through failover. Shut down with the
+          server's drain. *)
+  scrub_interval_s : float;
+      (** > 0 runs one incremental online-scrub pass against the local
+          [store] on this cadence from a background thread —
+          checksum-verifying live segments and quarantining rot — the
+          [--scrub-interval] flag. Replicated backends scrub
+          themselves; see {!Store.Replica.config}. *)
 }
 
 val default_config : config

@@ -43,6 +43,8 @@ type counters = {
   read_crc_failures : int Atomic.t;
   io_errors : int Atomic.t;
   appended_bytes : int Atomic.t;
+  scrub_runs : int Atomic.t;
+  scrub_damaged : int Atomic.t;
 }
 
 type counts = {
@@ -56,6 +58,8 @@ type counts = {
   n_read_crc_failures : int;
   n_io_errors : int;
   n_appended_bytes : int;
+  n_scrub_runs : int;
+  n_scrub_damaged : int;
 }
 
 type t = {
@@ -69,6 +73,7 @@ type t = {
   mutable active_id : int;
   mutable active : Io_fault.file;
   mutable next_seg : int;
+  mutable epoch : int;  (* replication term stamped into appended records *)
   mutable closed : bool;
   c : counters;
 }
@@ -85,6 +90,8 @@ let make_counters () =
     read_crc_failures = Atomic.make 0;
     io_errors = Atomic.make 0;
     appended_bytes = Atomic.make 0;
+    scrub_runs = Atomic.make 0;
+    scrub_damaged = Atomic.make 0;
   }
 
 let counts t =
@@ -99,6 +106,8 @@ let counts t =
     n_read_crc_failures = Atomic.get t.c.read_crc_failures;
     n_io_errors = Atomic.get t.c.io_errors;
     n_appended_bytes = Atomic.get t.c.appended_bytes;
+    n_scrub_runs = Atomic.get t.c.scrub_runs;
+    n_scrub_damaged = Atomic.get t.c.scrub_damaged;
   }
 
 let with_lock t f =
@@ -142,6 +151,7 @@ let manifest_of t ~segs =
   {
     Manifest.next_seg = t.next_seg;
     active = t.active_id;
+    epoch = t.epoch;
     segs;
     quarantined = t.quarantined;
     docs;
@@ -174,8 +184,10 @@ let quarantine_now t id reason =
 
 let apply_record t id (r, off, len) =
   Atomic.incr t.c.recovered_records;
+  if r.Segment.epoch > t.epoch then t.epoch <- r.Segment.epoch;
   let key = (r.Segment.collection, r.Segment.doc) in
   match r.Segment.kind with
+  | `Epoch -> ()
   | `Put ->
     Hashtbl.replace t.index key
       {
@@ -284,6 +296,11 @@ let open_store ?plane ?(max_segment_bytes = 8 * 1024 * 1024) dir =
       active = bootstrap;  (* replaced below, before any write *)
       next_seg = max manifest.Manifest.next_seg
                    (match on_disk with [] -> 0 | l -> List.fold_left max 0 l + 1);
+      (* Seed from the checkpoint; replayed records can only raise it.
+         Markers below the checkpointed lengths are never replayed, so
+         this is the sole carrier of the term across a post-checkpoint
+         crash. *)
+      epoch = manifest.Manifest.epoch;
       closed = false;
       c = make_counters ();
     }
@@ -424,7 +441,7 @@ let put t ~collection ~doc snapshot =
   let hash = Digest.to_hex (Digest.string snapshot) in
   with_lock t (fun () ->
       let record =
-        { Segment.kind = `Put; collection; doc; hash; snapshot }
+        { Segment.kind = `Put; epoch = t.epoch; collection; doc; hash; snapshot }
       in
       match append_record t record with
       | Ok (off, len) ->
@@ -446,7 +463,8 @@ let delete t ~collection ~doc =
       if not (Hashtbl.mem t.index (collection, doc)) then Ok false
       else
         let record =
-          { Segment.kind = `Delete; collection; doc; hash = ""; snapshot = "" }
+          { Segment.kind = `Delete; epoch = t.epoch; collection; doc; hash = "";
+            snapshot = "" }
         in
         match append_record t record with
         | Ok _ ->
@@ -515,6 +533,41 @@ let get t ~collection ~doc =
           (Printf.sprintf "segment %d record at %d failed verification" loc.Manifest.l_seg
              loc.Manifest.l_off)))
 
+(* ------------------------------------------------------------------ *)
+(* Replication hooks                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let epoch t = with_lock t (fun () -> t.epoch)
+
+(* Monotonic: a replica only ever learns of newer terms. *)
+let set_epoch t e = with_lock t (fun () -> if e > t.epoch then t.epoch <- e)
+
+(* The log position the next append lands at: (active segment id,
+   logical offset within it). Replicas in sync with the primary agree
+   on this pair before every replicated append — the log-matching
+   check. *)
+let position t = with_lock t (fun () -> (t.active_id, Io_fault.length t.active))
+
+(* Total durable log bytes across live segments — the replication lag
+   unit ([primary.total_bytes - replica.total_bytes]). *)
+let total_bytes t =
+  with_lock t (fun () -> List.fold_left (fun acc (_, len) -> acc + len) 0 (current_segs t))
+
+(* Durable segment extents (id, committed length), for anti-entropy
+   digest comparison. *)
+let live_segments t = with_lock t (fun () -> current_segs t)
+
+(* Append the durable promotion record. The marker advances the new
+   primary's log past any position the deposed primary could have
+   reached in the old term, so divergence is always detectable by
+   digest comparison. *)
+let append_epoch_marker t ~epoch:e =
+  with_lock t (fun () ->
+      if e > t.epoch then t.epoch <- e;
+      match append_record t (Segment.epoch_marker t.epoch) with
+      | Ok _ -> Ok ()
+      | Error _ as err -> err)
+
 let mem t ~collection ~doc = with_lock t (fun () -> Hashtbl.mem t.index (collection, doc))
 
 let list_docs t ~collection =
@@ -533,6 +586,65 @@ let doc_count t = with_lock t (fun () -> Hashtbl.length t.index)
 let quarantined t = with_lock t (fun () -> t.quarantined)
 let segment_count t = with_lock t (fun () -> List.length t.segs)
 let dir t = t.dir
+
+(* ------------------------------------------------------------------ *)
+(* Online scrub                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* One incremental scrub pass against the live store: re-verify every
+   record checksum in the durable prefix of each live segment,
+   quarantining damage the moment it is found instead of waiting for an
+   unlucky read to trip over it. Segment bytes are read outside the
+   store lock — committed prefixes of append-only segments are
+   immutable — and only the extent snapshot and quarantine verdicts
+   take it. Returns the number of segments newly quarantined. *)
+let scrub_pass t =
+  Atomic.incr t.c.scrub_runs;
+  let extents, quarantined =
+    with_lock t (fun () -> (current_segs t, List.map fst t.quarantined))
+  in
+  let newly = ref 0 in
+  List.iter
+    (fun (id, len) ->
+      if (not (List.mem id quarantined)) && len > Segment.header_len then begin
+        let damage =
+          match read_file (seg_path t.dir id) with
+          | exception Sys_error reason -> Some ("unreadable segment: " ^ reason)
+          | data ->
+            if String.length data < len then
+              Some
+                (Printf.sprintf "segment shorter than durable length (%d < %d)"
+                   (String.length data) len)
+            else begin
+              (* Scan only the durable prefix: bytes past [len] may be a
+                 concurrent append or an unflushed tail, not damage. *)
+              let data = String.sub data 0 len in
+              match Segment.check_header data with
+              | `Torn_header | `Bad_header -> Some "bad segment header"
+              | `Ok -> (
+                match Segment.scan_tail data ~from:Segment.header_len with
+                | _, Segment.Clean -> None
+                | _, Segment.Torn_tail (off, reason)
+                | _, Segment.Mid_log_damage (off, reason) ->
+                  (* Every byte of the durable prefix once passed the
+                     fsync barrier: any verification failure here is bit
+                     rot, wherever it sits. *)
+                  Some (Printf.sprintf "%s at offset %d" reason off))
+            end
+        in
+        match damage with
+        | None -> ()
+        | Some reason ->
+          incr newly;
+          Atomic.incr t.c.scrub_damaged;
+          with_lock t (fun () ->
+              quarantine_now t id reason;
+              (* A damaged active segment must stop taking appends: seal
+                 it and let writes land in a fresh one. *)
+              if id = t.active_id then (try rotate t with _ -> ()))
+      end)
+    extents;
+  !newly
 
 (* ------------------------------------------------------------------ *)
 (* Checkpoint / close                                                  *)
@@ -594,6 +706,10 @@ let to_prometheus t =
   counter "io_errors_total" "Failed writes/fsyncs repaired back to the last barrier."
     c.n_io_errors;
   counter "appended_bytes_total" "Record bytes appended to segments." c.n_appended_bytes;
+  counter "scrub_runs_total" "Online scrub passes over the live store." c.n_scrub_runs;
+  counter "scrub_damaged_total" "Segments quarantined by the online scrub."
+    c.n_scrub_damaged;
+  gauge "epoch" "Replication epoch stamped into appended records." (epoch t);
   gauge "docs" "Live documents across all collections." (doc_count t);
   gauge "segments" "Live log segments." (segment_count t);
   gauge "quarantined" "Segments currently quarantined." (List.length (quarantined t));

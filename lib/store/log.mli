@@ -22,6 +22,8 @@ type counts = {
   n_read_crc_failures : int;
   n_io_errors : int;
   n_appended_bytes : int;
+  n_scrub_runs : int;
+  n_scrub_damaged : int;
 }
 
 val open_store : ?plane:Io_fault.t -> ?max_segment_bytes:int -> string -> t
@@ -53,6 +55,37 @@ val doc_count : t -> int
 val segment_count : t -> int
 val quarantined : t -> (int * string) list
 val dir : t -> string
+
+(** {1 Replication hooks} *)
+
+val epoch : t -> int
+(** The replication term stamped into appended records. Recovered as
+    the maximum epoch among replayed records (0 for a store that has
+    never been replicated). *)
+
+val set_epoch : t -> int -> unit
+(** Adopt a newer term; monotonic — lower values are ignored. *)
+
+val position : t -> int * int
+(** [(active segment id, logical offset)] the next append lands at.
+    Replicas in sync with the primary agree on this pair before every
+    replicated append. *)
+
+val total_bytes : t -> int
+(** Durable log bytes across live segments — the replication lag unit. *)
+
+val live_segments : t -> (int * int) list
+(** [(id, durable length)] per live segment, for anti-entropy digest
+    comparison. *)
+
+val append_epoch_marker : t -> epoch:int -> (unit, error) result
+(** Adopt [epoch] and append the durable promotion record. *)
+
+val scrub_pass : t -> int
+(** One online scrub pass: re-verify every record checksum in the
+    durable prefix of each live segment, quarantining damage found (a
+    damaged active segment is also sealed). Returns the number of
+    segments newly quarantined. *)
 
 val checkpoint : t -> (unit, error) result
 (** Fsync the active segment and atomically swap a fresh manifest. *)

@@ -11,7 +11,7 @@
    checkpoint, not an authority: segments are replayed from their
    checkpointed lengths, so a stale manifest only costs replay work. *)
 
-let magic = "AWBMAN1\n"
+let magic = "AWBMAN2\n"
 let file_name = "MANIFEST"
 let tmp_name = "MANIFEST.tmp"
 
@@ -27,17 +27,24 @@ type loc = {
 type t = {
   next_seg : int;
   active : int;  (* -1 = none *)
+  epoch : int;  (* replication term at checkpoint time; 0 = never replicated *)
   segs : (int * int) list;  (* id, checkpointed durable length; ascending *)
   quarantined : (int * string) list;  (* id, reason *)
   docs : loc list;
 }
 
-let empty = { next_seg = 0; active = -1; segs = []; quarantined = []; docs = [] }
+let empty =
+  { next_seg = 0; active = -1; epoch = 0; segs = []; quarantined = []; docs = [] }
 
 let encode m =
   let p = Buffer.create 4096 in
   Segment.add_u32 p m.next_seg;
   Segment.add_u32 p (m.active + 1);
+  (* The epoch must ride in the checkpoint: replay starts at the
+     checkpointed lengths, so an epoch marker below them is never seen
+     again — without this field a crashed replica would reopen at term
+     0 and look electable over nodes that outrank it. *)
+  Segment.add_u32 p m.epoch;
   Segment.add_u32 p (List.length m.segs);
   List.iter
     (fun (id, len) ->
@@ -82,6 +89,7 @@ let decode data =
   let pos = ref 0 in
   let next_seg = Segment.get_u32 payload pos in
   let active = Segment.get_u32 payload pos - 1 in
+  let epoch = Segment.get_u32 payload pos in
   let nsegs = Segment.get_u32 payload pos in
   let segs =
     List.init nsegs (fun _ ->
@@ -107,7 +115,7 @@ let decode data =
         let l_len = Segment.get_u32 payload pos in
         { l_collection; l_doc; l_hash; l_seg; l_off; l_len })
   in
-  { next_seg; active; segs; quarantined; docs }
+  { next_seg; active; epoch; segs; quarantined; docs }
 
 let fsync_dir dir =
   match Unix.openfile dir [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 with

@@ -18,6 +18,10 @@ type loc = {
 type t = {
   next_seg : int;
   active : int;  (** -1 = none *)
+  epoch : int;
+      (** replication term at checkpoint time; replay only sees records
+          above the checkpointed lengths, so the checkpoint must carry
+          the term itself or a reopen after checkpoint lands at term 0 *)
   segs : (int * int) list;  (** id, checkpointed durable length *)
   quarantined : (int * string) list;
   docs : loc list;

@@ -275,3 +275,276 @@ let run_trials ~exe ~tmp ~trials ~seed0 ~n rates =
       }
   done;
   !acc
+
+(* ------------------------------------------------------------------ *)
+(* The partition-aware replication oracle                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A replication trial drives a live 3-replica cluster (the backends
+   re-exec'd children with per-node disk fault planes, the coordinator
+   in-process with the seeded chaos plane on its frames) through a
+   deterministic ingest while a seeded disruption schedule SIGKILLs
+   nodes, partitions them away, and heals/respawns them a few steps
+   later. The ledger classifies every write by what the coordinator
+   promised:
+
+     acked       quorum met        -> must survive, byte-exact, on
+                                      every replica after repair
+     refused     rolled back and   -> must be absent everywhere (an
+                 confirmed            unacked write never resurrects)
+     ambiguous   rollback not      -> gated on convergence only: all
+                 confirmed            replicas must agree on it
+
+   After the storm every partition heals, every corpse respawns, and
+   anti-entropy must converge the cluster; the audit then reopens each
+   node's directory fault-free and checks the ledger against all of
+   them, plus byte-identity of the segment files across nodes. Lying
+   fsync (fsync-ignore) is deliberately excluded from replication
+   trials: a disk that acks durability it never provided voids the
+   quorum contract itself, and PR 8's single-store oracle already owns
+   those weaker invariants. *)
+
+type repl_trial = {
+  rt_ops : int;
+  rt_acked : int;  (* live docs per the acked ledger *)
+  rt_refused : int;  (* quorum-refused writes, rollback confirmed *)
+  rt_ambiguous : int;  (* rollback unconfirmed (node tainted) *)
+  rt_kills : int;
+  rt_partitions : int;
+  rt_primary_disrupted : bool;  (* a kill/partition hit the then-primary *)
+  rt_promotions : int;
+  rt_truncated_tails : int;
+  rt_repairs : int;
+  rt_converged : bool;  (* repair converged and segment files byte-match *)
+  rt_lost : int;  (* acked but missing/wrong on some replica *)
+  rt_resurrected : int;  (* present on some replica but never acked *)
+}
+
+let repl_doc_body ~seed i =
+  Printf.sprintf "<doc id=\"r%d\" seed=\"%d\"><payload>%s</payload></doc>" i seed
+    (String.make (16 + ((i * 53) + seed) mod 200) 'y')
+
+let seg_digests dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun n -> Segment.seg_id n <> None)
+  |> List.sort compare
+  |> List.map (fun n ->
+         let ic = open_in_bin (Filename.concat dir n) in
+         let data =
+           Fun.protect
+             ~finally:(fun () -> close_in_noerr ic)
+             (fun () -> really_input_string ic (in_channel_length ic))
+         in
+         (n, Digest.to_hex (Digest.string data)))
+
+let run_repl_trial ~dir ~seed ~n ?(replicas = 3) ?(write_quorum = 2) ?(segbytes = 4096)
+    ?(chaos = true) rates =
+  rm_rf dir;
+  let cl =
+    Replica.create
+      ~config:
+        {
+          Replica.default_config with
+          Replica.replicas;
+          write_quorum;
+          max_segment_bytes = segbytes;
+          probe_interval_s = 0.;  (* the schedule owns respawn and repair *)
+          call_timeout_s = 0.25;
+          chaos = (if chaos then Some (Chaos.of_seed seed) else None);
+          io_faults = Some (seed, rates.r_short, rates.r_ffail, 0., rates.r_crash);
+        }
+      ~dir ()
+  in
+  let u tag i = Chaos.uniform ~seed ~tag ~shard:0 ~seq:i in
+  let acked = Hashtbl.create 64 in
+  let ambiguous = Hashtbl.create 8 in
+  let refused = ref 0 in
+  let kills = ref 0 and partitions = ref 0 in
+  let primary_disrupted = ref false in
+  let dead = Array.make replicas None in
+  let cut = Array.make replicas None in
+  let record ~is_delete doc outcome =
+    match (outcome : Replica.write_outcome) with
+    | Replica.Acked _ when is_delete -> Hashtbl.remove acked doc
+    | Replica.Acked { hash; _ } -> Hashtbl.replace acked doc hash
+    | Replica.Refused { clean = true; _ } -> incr refused
+    | Replica.Refused { clean = false; _ } -> Hashtbl.replace ambiguous doc ()
+  in
+  for i = 0 to n - 1 do
+    (* A backend felled by its own injected disk crash is a kill the
+       schedule didn't order: book it so it respawns like one. *)
+    for j = 0 to replicas - 1 do
+      if dead.(j) = None && not (Replica.alive cl j) then dead.(j) <- Some i
+    done;
+    (* Scheduled recoveries first: corpses respawn ~4 steps after the
+       kill, partitions heal ~5 steps after the cut. *)
+    for j = 0 to replicas - 1 do
+      (match dead.(j) with
+      | Some k when i - k >= 4 -> if Replica.respawn_node cl j then dead.(j) <- None
+      | _ -> ());
+      match cut.(j) with
+      | Some k when i - k >= 5 ->
+        Replica.set_partition cl j false;
+        cut.(j) <- None
+      | _ -> ()
+    done;
+    (* One seeded disruption draw per step; the victim draw leans on
+       the current primary, so failover — not mere follower churn — is
+       what most trials exercise. *)
+    let d = u "disrupt" i in
+    (if d < 0.14 then begin
+       let v = u "victim" i in
+       let p = Replica.primary cl in
+       let tgt =
+         if v < 0.45 then p
+         else (p + 1 + (int_of_float (v *. 997.) mod max 1 (replicas - 1))) mod replicas
+       in
+       if dead.(tgt) = None && cut.(tgt) = None then
+         if d < 0.07 then begin
+           Replica.kill_node cl tgt;
+           dead.(tgt) <- Some i;
+           incr kills;
+           if tgt = p then primary_disrupted := true
+         end
+         else begin
+           Replica.set_partition cl tgt true;
+           cut.(tgt) <- Some i;
+           incr partitions;
+           if tgt = p then primary_disrupted := true
+         end
+     end);
+    (* Background anti-entropy on a cadence, as the probe thread would. *)
+    if i mod 5 = 4 then ignore (Replica.repair cl);
+    (if i mod 7 = 3 && i >= 2 then
+       let target = doc_name (i - 2) in
+       record ~is_delete:true target
+         (Replica.write_outcome cl ~kind:`Delete ~collection ~doc:target ~body:""));
+    let doc = doc_name i in
+    record ~is_delete:false doc
+      (Replica.write_outcome cl ~kind:`Put ~collection ~doc ~body:(repl_doc_body ~seed i))
+  done;
+  (* The storm is over: heal everything, bring every corpse back, and
+     demand convergence. Repair itself runs against the still-live disk
+     fault planes, so a round can crash a backend — respawn and retry
+     until the cluster settles. *)
+  Array.iteri (fun j _ -> Replica.set_partition cl j false) cut;
+  let rec settle tries =
+    for j = 0 to replicas - 1 do
+      if not (Replica.alive cl j) then ignore (Replica.respawn_node cl j)
+    done;
+    if Replica.repair_until_converged cl ~max_rounds:2 then true
+    else if tries <= 1 then false
+    else settle (tries - 1)
+  in
+  let converged = settle 8 in
+  let promotions = Replica.promotions cl in
+  let truncated_tails = Replica.truncated_tails cl in
+  let repairs = Replica.repairs cl in
+  let dirs = List.init replicas (Replica.node_dir cl) in
+  Replica.shutdown cl;
+  (* Fault-free audit of every node directory against the ledger. *)
+  let lost = ref 0 and resurrected = ref 0 in
+  List.iter
+    (fun d ->
+      let store = Log.open_store d in
+      Hashtbl.iter
+        (fun doc hash ->
+          if not (Hashtbl.mem ambiguous doc) then
+            match Log.get store ~collection ~doc with
+            | Ok (snapshot, h)
+              when h = hash && Digest.to_hex (Digest.string snapshot) = hash ->
+              ()
+            | Ok _ | Error _ -> incr lost)
+        acked;
+      List.iter
+        (fun (doc, _) ->
+          if (not (Hashtbl.mem acked doc)) && not (Hashtbl.mem ambiguous doc) then
+            incr resurrected)
+        (Log.list_docs store ~collection);
+      Log.close store)
+    dirs;
+  let images = List.map seg_digests dirs in
+  let identical =
+    match images with [] -> true | first :: rest -> List.for_all (( = ) first) rest
+  in
+  let trial =
+    {
+      rt_ops = n;
+      rt_acked = Hashtbl.length acked;
+      rt_refused = !refused;
+      rt_ambiguous = Hashtbl.length ambiguous;
+      rt_kills = !kills;
+      rt_partitions = !partitions;
+      rt_primary_disrupted = !primary_disrupted;
+      rt_promotions = promotions;
+      rt_truncated_tails = truncated_tails;
+      rt_repairs = repairs;
+      rt_converged = converged && identical;
+      rt_lost = !lost;
+      rt_resurrected = !resurrected;
+    }
+  in
+  rm_rf dir;
+  trial
+
+type repl_summary = {
+  rs_trials : int;
+  rs_ops : int;
+  rs_acked : int;
+  rs_refused : int;
+  rs_ambiguous : int;
+  rs_kills : int;
+  rs_partitions : int;
+  rs_primary_disrupted : int;  (* trials whose primary was killed/partitioned *)
+  rs_promotions : int;
+  rs_truncated_tails : int;
+  rs_repairs : int;
+  rs_diverged : int;  (* trials that failed to converge byte-identically *)
+  rs_lost : int;
+  rs_resurrected : int;
+}
+
+let run_repl_trials ~tmp ~trials ~seed0 ~n ?(chaos = true) rates =
+  let z =
+    {
+      rs_trials = 0;
+      rs_ops = 0;
+      rs_acked = 0;
+      rs_refused = 0;
+      rs_ambiguous = 0;
+      rs_kills = 0;
+      rs_partitions = 0;
+      rs_primary_disrupted = 0;
+      rs_promotions = 0;
+      rs_truncated_tails = 0;
+      rs_repairs = 0;
+      rs_diverged = 0;
+      rs_lost = 0;
+      rs_resurrected = 0;
+    }
+  in
+  let acc = ref z in
+  for i = 0 to trials - 1 do
+    let dir = Filename.concat tmp (Printf.sprintf "repl-%d" (seed0 + i)) in
+    let tr = run_repl_trial ~dir ~seed:(seed0 + i) ~n ~chaos rates in
+    let s = !acc in
+    acc :=
+      {
+        rs_trials = s.rs_trials + 1;
+        rs_ops = s.rs_ops + tr.rt_ops;
+        rs_acked = s.rs_acked + tr.rt_acked;
+        rs_refused = s.rs_refused + tr.rt_refused;
+        rs_ambiguous = s.rs_ambiguous + tr.rt_ambiguous;
+        rs_kills = s.rs_kills + tr.rt_kills;
+        rs_partitions = s.rs_partitions + tr.rt_partitions;
+        rs_primary_disrupted =
+          s.rs_primary_disrupted + (if tr.rt_primary_disrupted then 1 else 0);
+        rs_promotions = s.rs_promotions + tr.rt_promotions;
+        rs_truncated_tails = s.rs_truncated_tails + tr.rt_truncated_tails;
+        rs_repairs = s.rs_repairs + tr.rt_repairs;
+        rs_diverged = s.rs_diverged + (if tr.rt_converged then 0 else 1);
+        rs_lost = s.rs_lost + tr.rt_lost;
+        rs_resurrected = s.rs_resurrected + tr.rt_resurrected;
+      }
+  done;
+  !acc

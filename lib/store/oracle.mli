@@ -56,3 +56,66 @@ type summary = {
 
 val run_trials :
   exe:string -> tmp:string -> trials:int -> seed0:int -> n:int -> rates -> summary
+
+(** {1 The partition-aware replication oracle}
+
+    A replication trial drives a live [Replica] cluster (backends
+    re-exec'd with per-node disk fault planes, the coordinator's frames
+    under the seeded chaos plane) through a deterministic ingest while
+    a seeded schedule SIGKILLs and partitions nodes — biased toward the
+    current primary — then heals everything and demands convergence.
+    The ledger gates: every quorum-acked write survives byte-exact on
+    every replica, no confirmed-rolled-back write resurrects anywhere,
+    ambiguous rollbacks (tainted nodes) at least converge, and the
+    segment files of all replicas end byte-identical. *)
+
+type repl_trial = {
+  rt_ops : int;
+  rt_acked : int;  (** live docs per the acked ledger *)
+  rt_refused : int;  (** quorum-refused writes, rollback confirmed *)
+  rt_ambiguous : int;  (** rollback unconfirmed (node tainted) *)
+  rt_kills : int;
+  rt_partitions : int;
+  rt_primary_disrupted : bool;  (** a kill/partition hit the then-primary *)
+  rt_promotions : int;
+  rt_truncated_tails : int;
+  rt_repairs : int;
+  rt_converged : bool;  (** repair converged and segment files byte-match *)
+  rt_lost : int;  (** acked but missing/wrong on some replica *)
+  rt_resurrected : int;  (** present on some replica but never acked *)
+}
+
+val run_repl_trial :
+  dir:string ->
+  seed:int ->
+  n:int ->
+  ?replicas:int ->
+  ?write_quorum:int ->
+  ?segbytes:int ->
+  ?chaos:bool ->
+  rates ->
+  repl_trial
+(** One seeded replication trial on a fresh [dir]. [rates.r_fignore] is
+    ignored: lying fsync voids the quorum contract itself and belongs
+    to the single-store oracle's weaker invariants. *)
+
+type repl_summary = {
+  rs_trials : int;
+  rs_ops : int;
+  rs_acked : int;
+  rs_refused : int;
+  rs_ambiguous : int;
+  rs_kills : int;
+  rs_partitions : int;
+  rs_primary_disrupted : int;
+      (** trials whose then-primary was killed or partitioned *)
+  rs_promotions : int;
+  rs_truncated_tails : int;
+  rs_repairs : int;
+  rs_diverged : int;  (** trials that failed to converge byte-identically *)
+  rs_lost : int;
+  rs_resurrected : int;
+}
+
+val run_repl_trials :
+  tmp:string -> trials:int -> seed0:int -> n:int -> ?chaos:bool -> rates -> repl_summary

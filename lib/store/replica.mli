@@ -1,0 +1,128 @@
+(** Replicated collection store: quorum-acked log shipping of the
+    segmented store across N backend processes, breaker-informed
+    primary failover onto epoch-stamped terms, and digest-driven
+    anti-entropy repair. A write is acknowledged only once W of N
+    stores have fsync'd it; short of quorum it is rolled back
+    everywhere it landed, so nothing unacknowledged can resurrect. *)
+
+val backend_flag : string
+(** The argv marker ([--replica-backend]) that turns the host binary
+    into a replica backend process. *)
+
+val maybe_run_backend : unit -> unit
+(** Call first thing in main: if the process was exec'd as a replica
+    backend, runs it and never returns. *)
+
+type config = {
+  replicas : int;  (** N *)
+  write_quorum : int;  (** W: fsync'd copies before a write is acked *)
+  max_segment_bytes : int;
+  socket_dir : string option;
+  probe_interval_s : float;  (** supervisor cadence; <= 0 disables the thread *)
+  call_timeout_s : float;
+  scrub_interval_s : float;  (** per-backend online scrub cadence; 0 = off *)
+  chaos : Chaos.config option;  (** network fault plane on data-plane frames *)
+  breaker : Breaker.config;
+  io_faults : (int * float * float * float * float) option;
+      (** base seed, short-write / fsync-fail / fsync-ignore / crash
+          rates: a per-node disk fault plane — the oracle's composition
+          axis. Never set it in production. *)
+}
+
+val default_config : config
+(** 3 replicas, write quorum 2, no fault planes. *)
+
+type t
+
+val create : ?config:config -> dir:string -> unit -> t
+(** Spawn the backends (node [i] stores under [dir]/replica-[i]), run
+    the first election — rejoining divergent directories is repaired
+    before traffic — and start the supervisor thread. *)
+
+type error = [ Log.error | `Unavailable of string ]
+
+val error_message : error -> string
+
+val put : t -> collection:string -> doc:string -> string -> (string, error) result
+(** Quorum-acked append: [Ok hash] means W stores hold it fsync'd.
+    [`Unavailable] means the write was refused and rolled back. *)
+
+val delete : t -> collection:string -> doc:string -> (bool, error) result
+
+val get : t -> collection:string -> doc:string -> (string * string, error) result
+(** [(snapshot, hash)] from the primary; falls back to any reachable
+    replica (possibly slightly stale, never torn) during failover. *)
+
+(** {1 Write outcomes (the oracle's ledger classes)} *)
+
+type write_outcome =
+  | Acked of { hash : string; applied : bool }
+  | Refused of { clean : bool; reason : string }
+      (** no quorum; [clean] = the append was confirmed rolled back
+          everywhere it landed *)
+
+val write_outcome :
+  t ->
+  kind:[ `Put | `Delete ] ->
+  collection:string ->
+  doc:string ->
+  body:string ->
+  write_outcome
+
+(** {1 Repair} *)
+
+val repair : t -> int
+(** One anti-entropy round: bring every follower byte-identical to the
+    primary (suffix streaming when the shared prefix still matches,
+    wholesale segment replacement otherwise). Returns followers
+    repaired or verified in sync. *)
+
+val repair_until_converged : t -> max_rounds:int -> bool
+val converged : t -> bool
+(** Every node byte-identical to the primary (epoch + per-segment
+    extents and digests). *)
+
+(** {1 Introspection} *)
+
+val primary : t -> int
+val epoch : t -> int
+val replica_count : t -> int
+val promotions : t -> int
+val truncated_tails : t -> int
+val quorum_failures : t -> int
+val undo_failures : t -> int
+val repairs : t -> int
+val node_pid : t -> int -> int
+val node_dir : t -> int -> string
+
+val node_socket : t -> int -> string
+(** The backend's UDS path — the oracle's side door for injecting
+    frames behind the coordinator's back. *)
+
+val tainted : t -> int -> bool
+val statuses : t -> Repl_log.status option array
+
+val metrics : t -> string
+(** Per-replica store expositions relabeled with [{replica="i"}], plus
+    role / lag / breaker gauges and the promotion, truncated-tail,
+    quorum-failure and repair counters. *)
+
+(** {1 The oracle's disruption hooks} *)
+
+val kill_node : t -> int -> unit
+(** SIGKILL the backend and reap it. *)
+
+val respawn_node : t -> int -> bool
+
+val alive : t -> int -> bool
+(** Is the backend process still running? Reaps (and books) a corpse
+    the supervisor thread would otherwise have noticed — the oracle
+    runs with that thread disabled. *)
+
+val set_partition : t -> int -> bool -> unit
+(** Sever (or heal) every frame to the node — the coordinator-side
+    network partition. *)
+
+val shutdown : t -> unit
+(** Drain every backend (checkpoint + clean exit), escalating to
+    SIGKILL on a deadline. *)

@@ -7,8 +7,16 @@
    its /collections routes):
 
      record  = u32 length, u8 version, payload, u32 crc32(payload)
-     payload = u8 kind ('P' put | 'D' delete), lp collection, lp doc,
+     payload = u8 kind ('P' put | 'D' delete | 'E' epoch marker),
+               u32 epoch, lp collection, lp doc,
                lp content-md5-hex, lp snapshot
+
+   Version 2 stamps every record with the replication epoch (the term
+   of the primary that wrote it); version 1 records — written before
+   replication existed — decode with epoch 0. Epoch markers ('E') are
+   appended at promotion: they carry no document, only the new epoch,
+   making a failover durable and giving the new primary's log a record
+   the deposed primary's divergent tail can never match.
 
    where [length] counts everything after itself. The scanner never
    trusts a byte it has not checksummed, and classifies damage by
@@ -81,20 +89,26 @@ let crc32 s =
 
 let magic = "AWBSEG1\n"
 let header_len = String.length magic
-let version = 1
+let version = 2
+let min_version = 1
 let max_record_bytes = 64 * 1024 * 1024
 
 type record = {
-  kind : [ `Put | `Delete ];
+  kind : [ `Put | `Delete | `Epoch ];
+  epoch : int;  (* replication term stamped at append; 0 in v1 records *)
   collection : string;
   doc : string;
   hash : string;  (* MD5 hex of [snapshot] at ingest *)
   snapshot : string;  (* serialized document; empty for [`Delete] *)
 }
 
+let epoch_marker epoch =
+  { kind = `Epoch; epoch; collection = ""; doc = ""; hash = ""; snapshot = "" }
+
 let encode r =
   let p = Buffer.create (String.length r.snapshot + 64) in
-  add_u8 p (Char.code (match r.kind with `Put -> 'P' | `Delete -> 'D'));
+  add_u8 p (Char.code (match r.kind with `Put -> 'P' | `Delete -> 'D' | `Epoch -> 'E'));
+  add_u32 p r.epoch;
   add_lp p r.collection;
   add_lp p r.doc;
   add_lp p r.hash;
@@ -107,20 +121,22 @@ let encode r =
   add_u32 b (crc32 payload);
   Buffer.contents b
 
-let decode_payload payload =
+let decode_payload ~ver payload =
   let pos = ref 0 in
   let kind =
     match Char.chr (get_u8 payload pos) with
     | 'P' -> `Put
     | 'D' -> `Delete
+    | 'E' when ver >= 2 -> `Epoch
     | k -> corrupt "unknown record kind %C" k
   in
+  let epoch = if ver >= 2 then get_u32 payload pos else 0 in
   let collection = get_lp payload pos in
   let doc = get_lp payload pos in
   let hash = get_lp payload pos in
   let snapshot = get_lp payload pos in
   if !pos <> String.length payload then corrupt "trailing bytes in record payload";
-  { kind; collection; doc; hash; snapshot }
+  { kind; epoch; collection; doc; hash; snapshot }
 
 (* ------------------------------------------------------------------ *)
 (* Scanning                                                            *)
@@ -149,10 +165,11 @@ let scan_one data pos =
       let ver = Char.code data.[pos + 4] in
       let payload = String.sub data (pos + 5) (rlen - 5) in
       let crc = get_u32 data (ref (rend - 4)) in
-      if ver <> version then bad (Printf.sprintf "unsupported record version %d" ver)
+      if ver < min_version || ver > version then
+        bad (Printf.sprintf "unsupported record version %d" ver)
       else if crc <> crc32 payload then bad "record crc mismatch"
       else
-        match decode_payload payload with
+        match decode_payload ~ver payload with
         | r -> Rec (r, rend)
         | exception Corrupt m -> bad m
     end

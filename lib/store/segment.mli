@@ -24,22 +24,27 @@ val crc32 : string -> int
 val magic : string
 val header_len : int
 val version : int
+val min_version : int
 val max_record_bytes : int
 
 type record = {
-  kind : [ `Put | `Delete ];
+  kind : [ `Put | `Delete | `Epoch ];
+  epoch : int;  (** replication term stamped at append; 0 in v1 records *)
   collection : string;
   doc : string;
   hash : string;  (** MD5 hex of [snapshot] at ingest *)
   snapshot : string;  (** serialized document; empty for [`Delete] *)
 }
 
+val epoch_marker : int -> record
+(** The durable promotion record: kind [`Epoch], no document fields. *)
+
 val encode : record -> string
 (** The full framed record: u32 length, u8 version, payload,
     u32 crc32(payload). *)
 
-val decode_payload : string -> record
-(** Raises {!Corrupt}. *)
+val decode_payload : ver:int -> string -> record
+(** Raises {!Corrupt}. Version 1 payloads decode with epoch 0. *)
 
 (** {1 Scanning} *)
 

@@ -7,4 +7,6 @@ module Segment = Segment
 module Manifest = Manifest
 module Scrub = Scrub
 module Oracle = Oracle
+module Repl_log = Repl_log
+module Replica = Replica
 include Log

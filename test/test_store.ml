@@ -115,8 +115,8 @@ let test_segment_crc_vector () =
 
 let test_segment_roundtrip () =
   let r =
-    { Segment.kind = `Put; collection = "c"; doc = "d1"; hash = String.make 32 'a';
-      snapshot = "<doc/>" }
+    { Segment.kind = `Put; epoch = 3; collection = "c"; doc = "d1";
+      hash = String.make 32 'a'; snapshot = "<doc/>" }
   in
   let wire = Segment.encode r in
   (match Segment.scan_one wire 0 with
@@ -125,15 +125,15 @@ let test_segment_roundtrip () =
     check int_t "end offset is the wire length" (String.length wire) fin
   | _ -> Alcotest.fail "encoded record did not scan");
   (* A tombstone too. *)
-  let d = { Segment.kind = `Delete; collection = "c"; doc = "d1"; hash = ""; snapshot = "" } in
+  let d = { Segment.kind = `Delete; epoch = 0; collection = "c"; doc = "d1"; hash = ""; snapshot = "" } in
   match Segment.scan_one (Segment.encode d) 0 with
   | Segment.Rec (d', _) -> check bool_t "tombstone survives" true (d' = d)
   | _ -> Alcotest.fail "encoded tombstone did not scan"
 
 let test_segment_flip_detected () =
   let r =
-    { Segment.kind = `Put; collection = "c"; doc = "d"; hash = String.make 32 'b';
-      snapshot = "payload payload payload" }
+    { Segment.kind = `Put; epoch = 1; collection = "c"; doc = "d";
+      hash = String.make 32 'b'; snapshot = "payload payload payload" }
   in
   let wire = Bytes.of_string (Segment.encode r) in
   Bytes.set wire 9 (Char.chr (Char.code (Bytes.get wire 9) lxor 0x40));
@@ -182,7 +182,7 @@ let test_store_torn_tail_truncated () =
   (* A crash mid-append: half a record at EOF. *)
   let seg = Filename.concat dir (Segment.seg_name 0) in
   let torn =
-    let r = { Segment.kind = `Put; collection = "c"; doc = "torn"; hash = String.make 32 'c'; snapshot = doc_xml 1 } in
+    let r = { Segment.kind = `Put; epoch = 0; collection = "c"; doc = "torn"; hash = String.make 32 'c'; snapshot = doc_xml 1 } in
     let w = Segment.encode r in
     String.sub w 0 (String.length w / 2)
   in
@@ -250,6 +250,7 @@ let test_manifest_roundtrip_and_damage () =
     {
       Manifest.next_seg = 3;
       active = 2;
+      epoch = 7;
       segs = [ (0, 500); (2, 120) ];
       quarantined = [ (1, "bit rot") ];
       docs =
@@ -358,6 +359,199 @@ let test_oracle_exact_recovery () =
   check int_t "no checksum escapes" 0 s.Oracle.s_escapes;
   check int_t "no unquarantined damage" 0 s.Oracle.s_unquarantined_damage
 
+(* ------------------------------------------------------------------ *)
+(* Replication: quorum edges, failover, catch-up                       *)
+(* ------------------------------------------------------------------ *)
+
+module Replica = Store.Replica
+module Repl_log = Store.Repl_log
+
+let repl_config ?(segbytes = 64 * 1024) () =
+  {
+    Replica.default_config with
+    Replica.max_segment_bytes = segbytes;
+    probe_interval_s = 0.;  (* tests drive respawn/repair by hand *)
+    call_timeout_s = 1.;
+  }
+
+let repl_put cl ~doc body =
+  match Replica.put cl ~collection:"c" ~doc body with
+  | Ok h -> h
+  | Error e -> Alcotest.failf "replicated put %s: %s" doc (Replica.error_message e)
+
+(* Epoch-stamped record codec: the replication term survives the
+   segment round-trip, the promotion marker is a first-class record,
+   and the replicate-frame payloads ship positions and digests
+   faithfully. *)
+let test_repl_epoch_codec () =
+  let r =
+    {
+      Segment.kind = `Put;
+      epoch = 7;
+      collection = "c";
+      doc = "d1";
+      hash = "00112233445566778899aabbccddeeff";
+      snapshot = "<doc/>";
+    }
+  in
+  (match Segment.scan_one (Segment.magic ^ Segment.encode r) Segment.header_len with
+  | Segment.Rec (r', _) ->
+    check int_t "epoch survives the segment codec" 7 r'.Segment.epoch;
+    check bool_t "record fields survive" true (r' = r)
+  | _ -> Alcotest.fail "epoch-stamped record did not scan");
+  (match
+     Segment.scan_one
+       (Segment.magic ^ Segment.encode (Segment.epoch_marker 9))
+       Segment.header_len
+   with
+  | Segment.Rec (m, _) ->
+    check bool_t "promotion marker is an `Epoch record" true (m.Segment.kind = `Epoch);
+    check int_t "promotion marker carries the term" 9 m.Segment.epoch
+  | _ -> Alcotest.fail "epoch marker did not scan");
+  let w =
+    {
+      Repl_log.w_epoch = 3;
+      w_expect = Some (2, 4096);
+      w_kind = `Put;
+      w_collection = "c";
+      w_doc = "d2";
+      w_body = "<doc n=\"2\"/>";
+    }
+  in
+  let w' = Repl_log.decode_write (Repl_log.encode_write w) (ref 1) in
+  check bool_t "replicate payload round-trips" true (w' = w);
+  let a =
+    { Repl_log.a_applied = true; a_hash = String.make 32 'a'; a_pre = (2, 4096); a_post = (2, 4300) }
+  in
+  check bool_t "write reply round-trips" true
+    (Repl_log.decode_write_reply (Repl_log.encode_write_reply a) = a);
+  let st =
+    {
+      Repl_log.st_epoch = 5;
+      st_pos = (3, 128);
+      st_total = 9000;
+      st_segs = [ { Repl_log.g_id = 2; g_len = 4096; g_digest = String.make 32 'b' } ];
+      st_quarantined = 1;
+    }
+  in
+  check bool_t "status round-trips" true (Repl_log.decode_status (Repl_log.encode_status st) = st)
+
+(* W unreachable: ingest refuses cleanly (and rolls the primary back),
+   reads keep serving, and recovery of the followers restores writes. *)
+let test_repl_quorum_unavailable_reads_serve () =
+  let dir = fresh_dir () in
+  let cl = Replica.create ~config:(repl_config ()) ~dir () in
+  Fun.protect
+    ~finally:(fun () -> Replica.shutdown cl)
+    (fun () ->
+      let h1 = repl_put cl ~doc:"d1" (doc_xml 1) in
+      let p = Replica.primary cl in
+      for i = 0 to Replica.replica_count cl - 1 do
+        if i <> p then Replica.kill_node cl i
+      done;
+      (match Replica.put cl ~collection:"c" ~doc:"d2" (doc_xml 2) with
+      | Error (`Unavailable _) -> ()
+      | Ok _ -> Alcotest.fail "write acked without a quorum"
+      | Error e -> Alcotest.failf "expected quorum refusal, got %s" (Replica.error_message e));
+      check bool_t "quorum failure counted" true (Replica.quorum_failures cl > 0);
+      (match Replica.get cl ~collection:"c" ~doc:"d1" with
+      | Ok (_, h) -> check Alcotest.string "reads serve through the outage" h1 h
+      | Error e -> Alcotest.failf "read during outage: %s" (Replica.error_message e));
+      (match Replica.get cl ~collection:"c" ~doc:"d2" with
+      | Error `Not_found -> ()
+      | Ok _ -> Alcotest.fail "refused write visible"
+      | Error e -> Alcotest.failf "read of refused doc: %s" (Replica.error_message e));
+      for i = 0 to Replica.replica_count cl - 1 do
+        if i <> p then check bool_t "respawned" true (Replica.respawn_node cl i)
+      done;
+      ignore (Replica.repair cl);
+      ignore (repl_put cl ~doc:"d2" (doc_xml 2));
+      check bool_t "converged after recovery" true
+        (Replica.repair_until_converged cl ~max_rounds:4))
+
+(* Deposed-primary rejoin: a record that reached only the old primary
+   (injected behind the coordinator's back) is truncated on rejoin —
+   never resurrected — once a new term has been established. *)
+let test_repl_deposed_primary_truncates_tail () =
+  let dir = fresh_dir () in
+  let cl = Replica.create ~config:(repl_config ()) ~dir () in
+  Fun.protect
+    ~finally:(fun () -> Replica.shutdown cl)
+    (fun () ->
+      ignore (repl_put cl ~doc:"d1" (doc_xml 1));
+      let p = Replica.primary cl in
+      (* The unreplicated tail: a write shipped straight to the primary's
+         backend, bypassing quorum. *)
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX (Replica.node_socket cl p));
+      Frame.send_frame fd
+        (Repl_log.encode_write
+           {
+             Repl_log.w_epoch = Replica.epoch cl;
+             w_expect = None;
+             w_kind = `Put;
+             w_collection = "c";
+             w_doc = "ghost";
+             w_body = doc_xml 99;
+           });
+      ignore (Frame.recv_frame fd);
+      Unix.close fd;
+      (* Depose it: partition, force a write through a new primary. *)
+      Replica.set_partition cl p true;
+      ignore (repl_put cl ~doc:"d2" (doc_xml 2));
+      check bool_t "failover promoted a new primary" true (Replica.primary cl <> p);
+      check bool_t "promotion counted" true (Replica.promotions cl > 0);
+      (* Rejoin and repair: the ghost must go. *)
+      Replica.set_partition cl p false;
+      check bool_t "converged after rejoin" true
+        (Replica.repair_until_converged cl ~max_rounds:6);
+      check bool_t "unreplicated tail truncated" true (Replica.truncated_tails cl > 0);
+      (match Replica.get cl ~collection:"c" ~doc:"ghost" with
+      | Error `Not_found -> ()
+      | Ok _ -> Alcotest.fail "unacked write resurrected after rejoin"
+      | Error e -> Alcotest.failf "ghost read: %s" (Replica.error_message e));
+      (match Replica.get cl ~collection:"c" ~doc:"d2" with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "acked write lost: %s" (Replica.error_message e)))
+
+(* Catch-up across a missed rotation: a follower that was dead through
+   whole-segment turnover is streamed the missing suffix and converges
+   byte-identically. *)
+let test_repl_catchup_after_rotation () =
+  let dir = fresh_dir () in
+  let cl = Replica.create ~config:(repl_config ~segbytes:512 ()) ~dir () in
+  Fun.protect
+    ~finally:(fun () -> Replica.shutdown cl)
+    (fun () ->
+      ignore (repl_put cl ~doc:"d0" (doc_xml 0));
+      let p = Replica.primary cl in
+      let victim = (p + 1) mod Replica.replica_count cl in
+      Replica.kill_node cl victim;
+      (* ~200-byte docs against 512-byte segments: several rotations. *)
+      for i = 1 to 12 do
+        ignore (repl_put cl ~doc:(Printf.sprintf "d%d" i) (doc_xml i))
+      done;
+      check bool_t "victim respawned" true (Replica.respawn_node cl victim);
+      check bool_t "catch-up converged" true (Replica.repair_until_converged cl ~max_rounds:6);
+      check bool_t "anti-entropy actually repaired" true (Replica.repairs cl > 0);
+      match Replica.statuses cl |> Array.to_list |> List.filter_map Fun.id with
+      | st :: rest ->
+        check bool_t "all replicas report one position" true
+          (List.for_all (fun s -> s.Repl_log.st_pos = st.Repl_log.st_pos) rest)
+      | [] -> Alcotest.fail "no statuses after catch-up")
+
+(* The replication oracle, in miniature: a few seeded kill/partition
+   storms (the bench runs the 200+ trial matrix) must lose nothing
+   acked, resurrect nothing refused, and converge byte-identically. *)
+let test_repl_oracle_mini () =
+  let tmp = fresh_dir () in
+  let rates = { Oracle.r_crash = 0.02; r_short = 0.02; r_ffail = 0.02; r_fignore = 0. } in
+  let s = Oracle.run_repl_trials ~tmp ~trials:3 ~seed0:4200 ~n:18 rates in
+  check int_t "3 trials ran" 3 s.Oracle.rs_trials;
+  check int_t "no quorum-acked write lost" 0 s.Oracle.rs_lost;
+  check int_t "no refused write resurrected" 0 s.Oracle.rs_resurrected;
+  check int_t "every trial converged byte-identically" 0 s.Oracle.rs_diverged
+
 let suite =
   [
     ( "store",
@@ -386,5 +580,15 @@ let suite =
           test_store_invariant_checker;
         Alcotest.test_case "crash oracle: exact acked-prefix recovery" `Slow
           test_oracle_exact_recovery;
+        Alcotest.test_case "epoch-stamped records and replicate payloads round-trip" `Quick
+          test_repl_epoch_codec;
+        Alcotest.test_case "quorum unreachable: writes refuse, reads serve" `Slow
+          test_repl_quorum_unavailable_reads_serve;
+        Alcotest.test_case "deposed primary rejoins with its tail truncated" `Slow
+          test_repl_deposed_primary_truncates_tail;
+        Alcotest.test_case "catch-up across a missed segment rotation" `Slow
+          test_repl_catchup_after_rotation;
+        Alcotest.test_case "replication oracle: seeded storms, miniature" `Slow
+          test_repl_oracle_mini;
       ] );
   ]
